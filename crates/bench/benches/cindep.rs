@@ -1,0 +1,26 @@
+//! B1 — Prop. 2: the syntactic c-independence test scales polynomially in
+//! pattern size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxv_bench::{chain_query, wide_query};
+
+fn bench_cindep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cindep");
+    for s in [2usize, 4, 8, 12, 16] {
+        // Fully-overlapping chain views: worst case for the pair scan.
+        let q1 = chain_query(s);
+        let q2 = chain_query(s);
+        g.bench_with_input(BenchmarkId::new("chain_dependent", s), &s, |b, _| {
+            b.iter(|| pxv_rewrite::c_independent(std::hint::black_box(&q1), &q2))
+        });
+        let w1 = wide_query(s, true);
+        let w2 = w1.main_branch_only();
+        g.bench_with_input(BenchmarkId::new("wide_vs_bare", s), &s, |b, _| {
+            b.iter(|| pxv_rewrite::c_independent(std::hint::black_box(&w1), &w2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cindep);
+criterion_main!(benches);

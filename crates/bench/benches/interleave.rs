@@ -1,0 +1,66 @@
+//! B4 — §5.1 / Corollary 2: TP∩ interleaving enumeration explodes for
+//! `//`-separated middles and stays flat when merges are forced (the
+//! extended-skeleton regime of [10]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxv_bench::pat;
+use pxv_tpq::TpIntersection;
+
+fn bench_interleavings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interleave");
+    g.sample_size(15);
+    for k in [2usize, 3, 4, 5] {
+        // Worst case: k distinct //-separated middle nodes permute freely.
+        let loose: Vec<pxv_tpq::TreePattern> = (0..k)
+            .map(|i| pat(&format!("r//m{i}[x]//out")))
+            .collect();
+        let inter = TpIntersection::new(loose);
+        g.bench_with_input(BenchmarkId::new("loose", k), &k, |b, _| {
+            b.iter(|| {
+                inter
+                    .interleavings(1_000_000)
+                    .map(|v| v.len())
+                    .unwrap_or(usize::MAX)
+            })
+        });
+        // Forced case: /-chains coalesce into a single interleaving.
+        let forced: Vec<pxv_tpq::TreePattern> =
+            (0..k).map(|i| pat(&format!("r/m[x{i}]/out"))).collect();
+        let inter2 = TpIntersection::new(forced);
+        g.bench_with_input(BenchmarkId::new("forced", k), &k, |b, _| {
+            b.iter(|| {
+                inter2
+                    .interleavings(1_000_000)
+                    .map(|v| v.len())
+                    .unwrap_or(usize::MAX)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpi_equivalence");
+    g.sample_size(15);
+    for k in [2usize, 3, 4] {
+        let parts: Vec<pxv_tpq::TreePattern> = (0..k)
+            .map(|i| pat(&format!("r//m{i}[x]//out")))
+            .collect();
+        // The target: everything coalesced in one chain (not equivalent,
+        // forcing a full interleaving sweep).
+        let mut target = String::from("r");
+        for i in 0..k {
+            target.push_str(&format!("//m{i}[x]"));
+        }
+        target.push_str("//out");
+        let q = pat(&target);
+        let inter = TpIntersection::new(parts);
+        g.bench_with_input(BenchmarkId::new("loose_vs_chain", k), &k, |b, _| {
+            b.iter(|| inter.equivalent_to_tp(&q, 1_000_000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_interleavings, bench_equivalence);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! B6 — Theorem 4: exhaustive search for a pairwise c-independent view
+//! cover grows exponentially with the number of views (it solves perfect
+//! matching).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxv_rewrite::hardness::{hypergraph_instance, random_hypergraph};
+use pxv_rewrite::tpi_rewrite::find_c_independent_cover;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cover_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    for m in [4usize, 8, 12, 16] {
+        let edges = random_hypergraph(6, 2, m, &mut rng);
+        let (q, views) = hypergraph_instance(6, &edges);
+        g.bench_with_input(BenchmarkId::new("edges", m), &m, |b, _| {
+            b.iter(|| find_c_independent_cover(std::hint::black_box(&q), &views, 10_000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cover_search);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! B3 — the [22] evaluation envelope: linear-ish in data size for a fixed
+//! query, exponential in query size in the worst case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxv_bench::{chain_pdoc, wide_query};
+use pxv_pxml::generators::personnel;
+
+fn bench_data_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("peval_data");
+    g.sample_size(20);
+    let q = wide_query(4, false);
+    for copies in [4usize, 16, 64, 256] {
+        let p = chain_pdoc(4, copies);
+        g.bench_with_input(BenchmarkId::new("chain", p.len()), &copies, |b, _| {
+            b.iter(|| pxv_peval::eval_tp(std::hint::black_box(&p), &q))
+        });
+    }
+    let qb = pxv_bench::qbon();
+    for persons in [20usize, 80, 320] {
+        let (p, _) = personnel(persons, 3, 1);
+        g.bench_with_input(BenchmarkId::new("personnel", p.len()), &persons, |b, _| {
+            b.iter(|| pxv_peval::eval_tp(std::hint::black_box(&p), &qb))
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("peval_query");
+    g.sample_size(15);
+    for n in [2usize, 4, 8, 12] {
+        let q = wide_query(n, false);
+        let p = chain_pdoc(n, 8);
+        g.bench_with_input(BenchmarkId::new("query_size", q.len()), &n, |b, _| {
+            b.iter(|| pxv_peval::eval_tp(std::hint::black_box(&p), &q))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_data_scaling, bench_query_scaling);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! B7 — Prop. 5/6: the d-view decomposition and the exact `S(q,V)` solve
+//! stay polynomial; TPIrewrite end-to-end on Example-16-style families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxv_bench::{decomposition_views, wide_query};
+use pxv_rewrite::system::build_system;
+use pxv_rewrite::View;
+
+fn bench_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    for n in [2usize, 4, 8, 12] {
+        let q = wide_query(n, false);
+        let views = decomposition_views(&q);
+        g.bench_with_input(
+            BenchmarkId::new("build_and_solve", format!("mb{}_v{}", q.mb_len(), views.len())),
+            &n,
+            |b, _| b.iter(|| build_system(std::hint::black_box(&q), &views)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_tpirewrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpirewrite");
+    g.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let q = wide_query(n, false);
+        let views: Vec<View> = decomposition_views(&q)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| View::new(format!("v{i}"), p))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("end_to_end", n), &n, |b, _| {
+            b.iter(|| pxv_rewrite::tpi_rewrite(std::hint::black_box(&q), &views, 50_000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_system, bench_tpirewrite);
+criterion_main!(benches);

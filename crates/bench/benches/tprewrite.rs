@@ -1,0 +1,34 @@
+//! B2 — Prop. 4: TPrewrite runs in polynomial time in `|q|` and `|V|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxv_bench::wide_query;
+use pxv_rewrite::View;
+
+fn bench_tprewrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tprewrite");
+    for s in [2usize, 4, 8, 12] {
+        let q = wide_query(s, true);
+        let views: Vec<View> = (1..=q.mb_len())
+            .map(|k| View::new(format!("v{k}"), q.prefix(k)))
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("prefix_views", format!("mb{}_v{}", q.mb_len(), views.len())),
+            &s,
+            |b, _| b.iter(|| pxv_rewrite::tp_rewrite(std::hint::black_box(&q), &views)),
+        );
+    }
+    // Fixed query, growing view set.
+    let q = wide_query(6, true);
+    for copies in [4usize, 16, 64] {
+        let views: Vec<View> = (0..copies)
+            .map(|i| View::new(format!("v{i}"), q.prefix(1 + i % q.mb_len())))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("view_count", copies), &copies, |b, _| {
+            b.iter(|| pxv_rewrite::tp_rewrite(std::hint::black_box(&q), &views))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tprewrite);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! B5 — the paper's motivation (§1, §7): answering from materialized view
+//! extensions vs. direct evaluation over the original p-document. The
+//! extension is much smaller than `P̂`, so the answering phase wins once
+//! materialization is amortized.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pxv_bench::{qbon, v2bon};
+use pxv_pxml::generators::personnel;
+use pxv_rewrite::view::ProbExtension;
+
+fn bench_views_vs_direct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("views_vs_direct");
+    g.sample_size(10);
+    for persons in [50usize, 200, 800] {
+        let (pdoc, _) = personnel(persons, 3, 9);
+        let q = qbon();
+        let view = v2bon();
+        let rs = pxv_rewrite::tp_rewrite(&q, std::slice::from_ref(&view));
+        let rw = rs.into_iter().next().expect("plan");
+        let ext = ProbExtension::materialize(&pdoc, &view);
+        g.bench_with_input(BenchmarkId::new("direct", persons), &persons, |b, _| {
+            b.iter(|| pxv_rewrite::answer_direct(std::hint::black_box(&pdoc), &q))
+        });
+        g.bench_with_input(BenchmarkId::new("from_view", persons), &persons, |b, _| {
+            b.iter(|| pxv_rewrite::fr_tp::answer_tp(&rw, std::hint::black_box(&ext)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("materialize", persons),
+            &persons,
+            |b, _| b.iter(|| ProbExtension::materialize(std::hint::black_box(&pdoc), &view)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_views_vs_direct);
+criterion_main!(benches);

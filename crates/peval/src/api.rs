@@ -1,0 +1,191 @@
+//! High-level evaluation API used by the rewriting engine and examples.
+
+use crate::dp;
+use pxv_pxml::{NodeId, PDocument};
+use pxv_tpq::TreePattern;
+
+/// `q(P̂)`: all node/probability pairs with positive probability, sorted by
+/// node id (the probabilistic query semantics of §2, "Querying
+/// p-documents").
+///
+/// Candidates are found on the maximal world (TP is monotone), then each
+/// candidate's probability is computed by a pinned run of the DP.
+pub fn eval_tp(pdoc: &PDocument, q: &TreePattern) -> Vec<(NodeId, f64)> {
+    let max = dp::max_world(pdoc);
+    let candidates = pxv_tpq::embed::eval(q, &max);
+    let mut out = Vec::with_capacity(candidates.len());
+    for n in candidates {
+        let p = eval_tp_at(pdoc, q, n);
+        if p > 0.0 {
+            out.push((n, p));
+        }
+    }
+    out
+}
+
+/// `Pr(n ∈ q(P))` for one target node.
+pub fn eval_tp_at(pdoc: &PDocument, q: &TreePattern, n: NodeId) -> f64 {
+    if !pdoc.contains(n) {
+        return 0.0;
+    }
+    let (pinned_doc, label) = dp::pin_node(pdoc, n, 0);
+    let pinned_q = dp::pin_pattern(q, label);
+    dp::boolean_probability(&pinned_doc, &pinned_q)
+}
+
+/// `Pr(n ∈ (q1 ∩ … ∩ qm)(P))`: all parts select `n` simultaneously.
+pub fn eval_intersection_at(pdoc: &PDocument, parts: &[TreePattern], n: NodeId) -> f64 {
+    if parts.is_empty() || !pdoc.contains(n) {
+        return if pdoc.contains(n) {
+            pdoc.appearance_probability(n)
+        } else {
+            0.0
+        };
+    }
+    let (pinned_doc, label) = dp::pin_node(pdoc, n, 0);
+    let pinned: Vec<TreePattern> = parts.iter().map(|q| dp::pin_pattern(q, label)).collect();
+    dp::boolean_conjunction_probability(&pinned_doc, &pinned)
+}
+
+/// Joint probability of several (pattern, target) pairs holding at once:
+/// `Pr(⋀_i  n_i ∈ q_i(P))`. Each pattern is pinned at its own target.
+pub fn joint_probability(pdoc: &PDocument, specs: &[(&TreePattern, NodeId)]) -> f64 {
+    if specs.is_empty() {
+        return 1.0;
+    }
+    // Pin each distinct target once; reuse pins across patterns.
+    let mut doc = pdoc.clone();
+    let mut pins: Vec<(NodeId, pxv_pxml::Label)> = Vec::new();
+    let mut pinned = Vec::with_capacity(specs.len());
+    for &(q, n) in specs {
+        if !pdoc.contains(n) {
+            return 0.0;
+        }
+        let label = match pins.iter().find(|&&(m, _)| m == n) {
+            Some(&(_, l)) => l,
+            None => {
+                let l = dp::pin_label(pins.len());
+                doc.add_ordinary(n, l, 1.0);
+                pins.push((n, l));
+                l
+            }
+        };
+        pinned.push(dp::pin_pattern(q, label));
+    }
+    dp::boolean_conjunction_probability(&doc, &pinned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxv_pxml::examples_paper::{fig2_pper, fig5_p1, fig5_p2, fig5_p3, fig5_p4};
+    use pxv_pxml::examples_paper::{fig5_chain_nodes, fig5_p1_b, fig5_p2_b};
+    use pxv_tpq::parse::parse_pattern;
+
+    fn q(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    #[test]
+    fn example_6_via_dp() {
+        let pper = fig2_pper();
+        let n5 = NodeId(5);
+        let n7 = NodeId(7);
+        assert!((eval_tp_at(&pper, &q("IT-personnel//person/bonus[laptop]"), n5) - 0.9).abs() < 1e-9);
+        assert!(
+            (eval_tp_at(&pper, &q("IT-personnel//person[name/Rick]/bonus"), n5) - 0.75).abs()
+                < 1e-9
+        );
+        assert!(
+            (eval_tp_at(
+                &pper,
+                &q("IT-personnel//person[name/Rick]/bonus[laptop]"),
+                n5
+            ) - 0.675)
+                .abs()
+                < 1e-9
+        );
+        let v2 = q("IT-personnel//person/bonus");
+        let ans = eval_tp(&pper, &v2);
+        assert_eq!(ans, vec![(n5, 1.0), (n7, 1.0)]);
+    }
+
+    #[test]
+    fn example_11_probabilities() {
+        // q = a/b[c]: 0.325 on P1, 0.5 on P2.
+        let query = q("a/b[c]");
+        assert!((eval_tp_at(&fig5_p1(), &query, fig5_p1_b()) - 0.325).abs() < 1e-9);
+        assert!((eval_tp_at(&fig5_p2(), &query, fig5_p2_b()) - 0.5).abs() < 1e-9);
+        // v = a[.//c]/b: 0.65 on both.
+        let view = q("a[.//c]/b");
+        assert!((eval_tp_at(&fig5_p1(), &view, fig5_p1_b()) - 0.65).abs() < 1e-9);
+        assert!((eval_tp_at(&fig5_p2(), &view, fig5_p2_b()) - 0.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn example_12_probabilities() {
+        let (nc1, nc2, nd) = fig5_chain_nodes();
+        let query = q("a//b[e]/c/b/c//d");
+        let view = q("a//b[e]/c/b/c");
+        assert!((eval_tp_at(&fig5_p3(), &query, nd) - 0.288).abs() < 1e-9);
+        assert!((eval_tp_at(&fig5_p4(), &query, nd) - 0.264).abs() < 1e-9);
+        // v selects nc1 with 0.12 and nc2 with 0.24 in both documents.
+        for pdoc in [fig5_p3(), fig5_p4()] {
+            assert!((eval_tp_at(&pdoc, &view, nc1) - 0.12).abs() < 1e-9);
+            assert!((eval_tp_at(&pdoc, &view, nc2) - 0.24).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dp_agrees_with_exact_on_examples() {
+        let pper = fig2_pper();
+        for pat in [
+            "IT-personnel//person/bonus[laptop]",
+            "IT-personnel//person[name/Rick]/bonus[laptop]",
+            "IT-personnel//person/bonus/pda",
+            "IT-personnel//person/bonus[pda/50]",
+            "IT-personnel//bonus//44",
+        ] {
+            let query = q(pat);
+            let dp_ans = eval_tp(&pper, &query);
+            let exact = crate::exact::eval_tp_exact(&pper, &query);
+            assert_eq!(dp_ans.len(), exact.len(), "{pat}");
+            for ((n1, p1), (n2, p2)) in dp_ans.iter().zip(&exact) {
+                assert_eq!(n1, n2, "{pat}");
+                assert!((p1 - p2).abs() < 1e-9, "{pat}: {p1} vs {p2}");
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_at_node() {
+        let pper = fig2_pper();
+        let parts = vec![
+            q("IT-personnel//person[name/Rick]/bonus"),
+            q("IT-personnel//person/bonus[laptop]"),
+        ];
+        // Conjunction at n5 = qRBON's probability.
+        let pr = eval_intersection_at(&pper, &parts, NodeId(5));
+        assert!((pr - 0.675).abs() < 1e-9);
+        let exact = crate::exact::eval_intersection_at_exact(&pper, &parts, NodeId(5));
+        assert!((pr - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_probability_different_targets() {
+        let p3 = fig5_p3();
+        let (nc1, nc2, _) = fig5_chain_nodes();
+        let view = q("a//b[e]/c/b/c");
+        // Joint: view selects both nc1 and nc2 = E1 ∧ E2 ∧ chain = .3*.6*.4.
+        let joint = joint_probability(&p3, &[(&view, nc1), (&view, nc2)]);
+        assert!((joint - 0.072).abs() < 1e-9, "joint = {joint}");
+    }
+
+    #[test]
+    fn empty_parts_and_missing_nodes() {
+        let pper = fig2_pper();
+        assert_eq!(eval_tp_at(&pper, &q("IT-personnel/person"), NodeId(999)), 0.0);
+        let pr = eval_intersection_at(&pper, &[], NodeId(8));
+        assert!((pr - 0.75).abs() < 1e-12); // appearance probability of Rick
+    }
+}

@@ -1,0 +1,81 @@
+//! Reference evaluation by exhaustive possible-world enumeration.
+//!
+//! Exponential in the number of distributional nodes; serves as ground
+//! truth for the dynamic program ([`crate::dp`]) and for every probability
+//! function of `pxv-rewrite`.
+
+use pxv_pxml::{NodeId, PDocument, PxSpace};
+use pxv_tpq::TreePattern;
+use std::collections::HashMap;
+
+/// `q(P̂)` by enumeration: node/probability pairs with positive probability,
+/// sorted by node id.
+pub fn eval_tp_exact(pdoc: &PDocument, q: &TreePattern) -> Vec<(NodeId, f64)> {
+    eval_tp_over_space(&pdoc.px_space(), q)
+}
+
+/// Same as [`eval_tp_exact`] but over a precomputed px-space.
+pub fn eval_tp_over_space(space: &PxSpace, q: &TreePattern) -> Vec<(NodeId, f64)> {
+    let mut acc: HashMap<NodeId, f64> = HashMap::new();
+    for (world, p) in space.worlds() {
+        for n in pxv_tpq::embed::eval(q, world) {
+            *acc.entry(n).or_insert(0.0) += p;
+        }
+    }
+    let mut out: Vec<(NodeId, f64)> = acc.into_iter().filter(|&(_, p)| p > 0.0).collect();
+    out.sort_by_key(|&(n, _)| n);
+    out
+}
+
+/// `Pr(n ∈ q(P))` by enumeration.
+pub fn eval_tp_at_exact(pdoc: &PDocument, q: &TreePattern, n: NodeId) -> f64 {
+    pdoc.px_space()
+        .probability_where(|w| pxv_tpq::embed::selects(q, w, n))
+}
+
+/// `Pr(n ∈ (q1 ∩ … ∩ qm)(P))` by enumeration.
+pub fn eval_intersection_at_exact(pdoc: &PDocument, parts: &[TreePattern], n: NodeId) -> f64 {
+    pdoc.px_space().probability_where(|w| {
+        parts.iter().all(|q| pxv_tpq::embed::selects(q, w, n))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxv_pxml::examples_paper::fig2_pper;
+    use pxv_pxml::text::parse_pdocument;
+    use pxv_tpq::parse::parse_pattern;
+
+    #[test]
+    fn example_6_exact_probabilities() {
+        let pper = fig2_pper();
+        let n5 = NodeId(5);
+        let qbon = parse_pattern("IT-personnel//person/bonus[laptop]").unwrap();
+        let v1 = parse_pattern("IT-personnel//person[name/Rick]/bonus").unwrap();
+        let qrbon =
+            parse_pattern("IT-personnel//person[name/Rick]/bonus[laptop]").unwrap();
+        let v2 = parse_pattern("IT-personnel//person/bonus").unwrap();
+
+        assert!((eval_tp_at_exact(&pper, &qbon, n5) - 0.9).abs() < 1e-9);
+        assert!((eval_tp_at_exact(&pper, &v1, n5) - 0.75).abs() < 1e-9);
+        assert!((eval_tp_at_exact(&pper, &qrbon, n5) - 0.675).abs() < 1e-9);
+        let v2_answers = eval_tp_exact(&pper, &v2);
+        assert_eq!(v2_answers.len(), 2);
+        for (n, p) in v2_answers {
+            assert!(
+                (p - 1.0).abs() < 1e-9,
+                "v2BON answer {n} should be certain"
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_exact() {
+        let p = parse_pdocument("a#0[b#1[ind#2(0.5: x#3, 0.4: y#4)]]").unwrap();
+        let q1 = parse_pattern("a/b[x]").unwrap();
+        let q2 = parse_pattern("a/b[y]").unwrap();
+        let pr = eval_intersection_at_exact(&p, &[q1, q2], NodeId(1));
+        assert!((pr - 0.2).abs() < 1e-12);
+    }
+}

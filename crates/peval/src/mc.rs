@@ -1,0 +1,104 @@
+//! Monte-Carlo estimation of query probabilities.
+//!
+//! Used as a scalable cross-check (statistical tests) and as a baseline in
+//! the benches; the paper's approximate-computation pointer is [22, 33].
+
+use pxv_pxml::{NodeId, PDocument};
+use pxv_tpq::TreePattern;
+use rand::Rng;
+
+/// A Monte-Carlo estimate with a crude 95% confidence half-width.
+#[derive(Clone, Copy, Debug)]
+pub struct Estimate {
+    /// Point estimate of the probability.
+    pub mean: f64,
+    /// ±95% normal-approximation half width.
+    pub half_width: f64,
+    /// Number of samples drawn.
+    pub samples: usize,
+}
+
+impl Estimate {
+    /// Whether `p` is inside the confidence interval (with slack).
+    pub fn covers(&self, p: f64) -> bool {
+        (self.mean - p).abs() <= self.half_width + 1e-9
+    }
+}
+
+/// Estimates `Pr(n ∈ q(P))` by sampling.
+pub fn estimate_tp_at<R: Rng + ?Sized>(
+    pdoc: &PDocument,
+    q: &TreePattern,
+    n: NodeId,
+    samples: usize,
+    rng: &mut R,
+) -> Estimate {
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let w = pdoc.sample(rng);
+        if w.contains(n) && pxv_tpq::embed::selects(q, &w, n) {
+            hits += 1;
+        }
+    }
+    let mean = hits as f64 / samples as f64;
+    let half_width = 1.96 * (mean * (1.0 - mean) / samples as f64).sqrt();
+    Estimate {
+        mean,
+        half_width,
+        samples,
+    }
+}
+
+/// Estimates `Pr(n ∈ ∩qi(P))` by sampling.
+pub fn estimate_intersection_at<R: Rng + ?Sized>(
+    pdoc: &PDocument,
+    parts: &[TreePattern],
+    n: NodeId,
+    samples: usize,
+    rng: &mut R,
+) -> Estimate {
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let w = pdoc.sample(rng);
+        if w.contains(n) && parts.iter().all(|q| pxv_tpq::embed::selects(q, &w, n)) {
+            hits += 1;
+        }
+    }
+    let mean = hits as f64 / samples as f64;
+    let half_width = 1.96 * (mean * (1.0 - mean) / samples as f64).sqrt();
+    Estimate {
+        mean,
+        half_width,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxv_pxml::examples_paper::fig2_pper;
+    use pxv_tpq::parse::parse_pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimate_matches_example_6() {
+        let pper = fig2_pper();
+        let qrbon =
+            parse_pattern("IT-personnel//person[name/Rick]/bonus[laptop]").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = estimate_tp_at(&pper, &qrbon, NodeId(5), 20_000, &mut rng);
+        assert!(est.covers(0.675), "estimate {est:?} should cover 0.675");
+    }
+
+    #[test]
+    fn estimate_intersection() {
+        use pxv_pxml::text::parse_pdocument;
+        let p = parse_pdocument("a#0[b#1[ind#2(0.5: x#3, 0.4: y#4)]]").unwrap();
+        let q1 = parse_pattern("a/b[x]").unwrap();
+        let q2 = parse_pattern("a/b[y]").unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let est = estimate_intersection_at(&p, &[q1, q2], NodeId(1), 20_000, &mut rng);
+        assert!(est.covers(0.2), "estimate {est:?} should cover 0.2");
+    }
+}

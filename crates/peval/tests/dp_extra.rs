@@ -1,0 +1,165 @@
+//! Extra evaluation-engine coverage: `det`/`exp` distributional kinds,
+//! randomized cross-validation against enumeration, and conjunction
+//! semantics corner cases.
+
+use pxv_pxml::{Label, NodeId, PDocument, PKind};
+use pxv_tpq::parse::parse_pattern;
+use pxv_tpq::TreePattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn q(s: &str) -> TreePattern {
+    parse_pattern(s).unwrap()
+}
+
+fn l(s: &str) -> Label {
+    Label::new(s)
+}
+
+#[test]
+fn det_nodes_behave_as_certain_groups() {
+    let mut p = PDocument::new(l("a"));
+    let mux = p.add_dist(p.root(), PKind::Mux, 1.0);
+    let det = p.add_dist(mux, PKind::Det, 0.5);
+    p.add_ordinary(det, l("b"), 1.0);
+    p.add_ordinary(det, l("c"), 1.0);
+    assert!(p.validate().is_ok());
+    // b and c appear together with probability 0.5.
+    let joint = pxv_peval::dp::boolean_conjunction_probability(&p, &[q("a/b"), q("a/c")]);
+    assert!((joint - 0.5).abs() < 1e-12);
+    let single = pxv_peval::dp::boolean_probability(&p, &q("a/b"));
+    assert!((single - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn exp_nodes_arbitrary_correlations() {
+    // Anti-correlated children: exactly one of b, c.
+    let mut p = PDocument::new(l("a"));
+    let exp = p.add_dist(p.root(), PKind::Exp(Vec::new()), 1.0);
+    p.add_ordinary(exp, l("b"), 1.0);
+    p.add_ordinary(exp, l("c"), 1.0);
+    p.set_exp_distribution(exp, vec![(0b01, 0.5), (0b10, 0.5)]);
+    let pb = pxv_peval::dp::boolean_probability(&p, &q("a/b"));
+    let pc = pxv_peval::dp::boolean_probability(&p, &q("a/c"));
+    let joint = pxv_peval::dp::boolean_conjunction_probability(&p, &[q("a/b"), q("a/c")]);
+    assert!((pb - 0.5).abs() < 1e-12);
+    assert!((pc - 0.5).abs() < 1e-12);
+    assert!(joint.abs() < 1e-12, "mutually exclusive by construction");
+}
+
+#[test]
+fn exp_against_enumeration() {
+    let mut p = PDocument::new(l("a"));
+    let b = p.add_ordinary(p.root(), l("b"), 1.0);
+    let exp = p.add_dist(b, PKind::Exp(Vec::new()), 1.0);
+    p.add_ordinary(exp, l("x"), 1.0);
+    let y = p.add_ordinary(exp, l("y"), 1.0);
+    p.add_ordinary(y, l("z"), 1.0);
+    p.set_exp_distribution(exp, vec![(0b11, 0.2), (0b01, 0.3), (0b10, 0.4), (0b00, 0.1)]);
+    let space = p.px_space();
+    for pat in ["a/b[x]", "a/b[y/z]", "a/b[x][y]", "a//z", "a/b[x]/y"] {
+        let query = q(pat);
+        let dp = pxv_peval::dp::boolean_probability(&p, &query);
+        let exact = space.probability_where(|w| pxv_tpq::embed::matches(&query, w));
+        assert!((dp - exact).abs() < 1e-9, "{pat}: {dp} vs {exact}");
+    }
+}
+
+/// Random p-documents with all four distributional kinds, validated
+/// against enumeration for a battery of queries.
+#[test]
+fn randomized_all_kinds_cross_validation() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let labels = ["a", "b", "c"];
+    for round in 0..30 {
+        let mut p = PDocument::new(l("a"));
+        // Random small tree.
+        let mut ordinary = vec![p.root()];
+        for _ in 0..rng.gen_range(3..8) {
+            let parent = ordinary[rng.gen_range(0..ordinary.len())];
+            let lab = l(labels[rng.gen_range(0..3)]);
+            let child = match rng.gen_range(0..4) {
+                0 => {
+                    let m = p.add_dist(parent, PKind::Mux, 1.0);
+                    p.add_ordinary(m, lab, rng.gen_range(0.1..0.9))
+                }
+                1 => {
+                    let m = p.add_dist(parent, PKind::Ind, 1.0);
+                    p.add_ordinary(m, lab, rng.gen_range(0.1..0.9))
+                }
+                2 => {
+                    let m = p.add_dist(parent, PKind::Det, 1.0);
+                    p.add_ordinary(m, lab, 1.0)
+                }
+                _ => p.add_ordinary(parent, lab, 1.0),
+            };
+            ordinary.push(child);
+        }
+        assert!(p.validate().is_ok(), "round {round}");
+        let Some(space) = p.px_space_limited(1 << 14) else {
+            continue;
+        };
+        for pat in ["a//b", "a//c", "a/b[c]", "a//b[c]", "a[b]//c", "a/a", "a//a//a"] {
+            let query = q(pat);
+            let dp_answers = pxv_peval::eval_tp(&p, &query);
+            let exact = pxv_peval::exact::eval_tp_over_space(&space, &query);
+            assert_eq!(dp_answers.len(), exact.len(), "round {round} {pat}");
+            for ((n1, p1), (n2, p2)) in dp_answers.iter().zip(&exact) {
+                assert_eq!(n1, n2, "round {round} {pat}");
+                assert!((p1 - p2).abs() < 1e-9, "round {round} {pat}: {p1} vs {p2}");
+            }
+        }
+    }
+}
+
+#[test]
+fn conjunction_with_shared_subpattern() {
+    // q1's and q2's witnesses overlap on the same node: the DP must treat
+    // them jointly, not multiply.
+    let p = pxv_pxml::text::parse_pdocument("a[mux(0.5: b[c, d])]").unwrap();
+    let joint =
+        pxv_peval::dp::boolean_conjunction_probability(&p, &[q("a/b[c]"), q("a/b[d]")]);
+    assert!((joint - 0.5).abs() < 1e-12);
+    let triple = pxv_peval::dp::boolean_conjunction_probability(
+        &p,
+        &[q("a/b[c]"), q("a/b[d]"), q("a//c")],
+    );
+    assert!((triple - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn joint_probability_mixed_targets_vs_enumeration() {
+    let p = pxv_pxml::text::parse_pdocument(
+        "a#0[b#1[ind#2(0.6: c#3, 0.7: c#4[d#5])], mux#6(0.4: b#7[c#8])]",
+    )
+    .unwrap();
+    let space = p.px_space();
+    let view = q("a/b");
+    let qq = q("a/b/c");
+    // view selects n1 AND q selects n4.
+    let got = pxv_peval::joint_probability(&p, &[(&view, NodeId(1)), (&qq, NodeId(4))]);
+    let want = space.probability_where(|w| {
+        pxv_tpq::embed::selects(&view, w, NodeId(1)) && pxv_tpq::embed::selects(&qq, w, NodeId(4))
+    });
+    assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    // Same target twice reuses the pin.
+    let got2 = pxv_peval::joint_probability(&p, &[(&view, NodeId(1)), (&view, NodeId(1))]);
+    let want2 = space.probability_where(|w| pxv_tpq::embed::selects(&view, w, NodeId(1)));
+    assert!((got2 - want2).abs() < 1e-9);
+}
+
+#[test]
+fn max_world_monotonicity_bound() {
+    // Every positive-probability answer appears in the maximal world.
+    let p = pxv_pxml::text::parse_pdocument(
+        "a#0[mux#1(0.5: b#2[c#3]), ind#4(0.3: b#5[mux#6(0.9: c#7)])]",
+    )
+    .unwrap();
+    let query = q("a/b[c]");
+    let answers = pxv_peval::eval_tp(&p, &query);
+    let max = pxv_peval::dp::max_world(&p);
+    let max_answers = pxv_tpq::embed::eval(&query, &max);
+    for (n, _) in answers {
+        assert!(max_answers.contains(&n));
+    }
+}

@@ -1,0 +1,232 @@
+//! Executable reconstructions of the paper's figures.
+//!
+//! Node ids follow the paper (Figures 1, 2, 4 and 5) so that worked
+//! examples (Examples 1–16) can be checked against the exact numbers in the
+//! text. Where the scanned figure is ambiguous, the reconstruction is the
+//! unique structure consistent with every probability stated in the
+//! narrative (see DESIGN.md §5); all of those numbers are asserted in tests
+//! and in the benchmark harness.
+
+use crate::document::{Document, NodeId};
+use crate::label::Label;
+use crate::pdocument::{PDocument, PKind};
+
+fn l(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// Figure 1: the deterministic document `dPER`.
+///
+/// `IT-personnel` with two persons: Rick (bonuses 44, 50 under `laptop` and
+/// 50 under `pda`) and Mary (bonuses 15, 44 under `pda`).
+pub fn fig1_dper() -> Document {
+    let mut d = Document::with_root_id(l("IT-personnel"), NodeId(1));
+    // person [2] — Rick
+    d.add_child_with_id(NodeId(1), l("person"), NodeId(2));
+    d.add_child_with_id(NodeId(2), l("name"), NodeId(4));
+    d.add_child_with_id(NodeId(4), l("Rick"), NodeId(8));
+    d.add_child_with_id(NodeId(2), l("bonus"), NodeId(5));
+    d.add_child_with_id(NodeId(5), l("laptop"), NodeId(24));
+    d.add_child_with_id(NodeId(24), l("44"), NodeId(25));
+    d.add_child_with_id(NodeId(24), l("50"), NodeId(26));
+    d.add_child_with_id(NodeId(5), l("pda"), NodeId(31));
+    d.add_child_with_id(NodeId(31), l("50"), NodeId(32));
+    // person [3] — Mary
+    d.add_child_with_id(NodeId(1), l("person"), NodeId(3));
+    d.add_child_with_id(NodeId(3), l("name"), NodeId(6));
+    d.add_child_with_id(NodeId(6), l("Mary"), NodeId(41));
+    d.add_child_with_id(NodeId(3), l("bonus"), NodeId(7));
+    d.add_child_with_id(NodeId(7), l("pda"), NodeId(51));
+    d.add_child_with_id(NodeId(51), l("15"), NodeId(54));
+    d.add_child_with_id(NodeId(51), l("44"), NodeId(55));
+    d
+}
+
+/// Figure 2: the p-document `P̂PER`.
+///
+/// Distributional structure (checked against Examples 3 and 6):
+/// * `mux` n11 under `name` n4: 0.75 → Rick n8, 0.25 → John n13;
+/// * `mux` n21 under `bonus` n5: 0.1 → pda n22 (with 25 n23),
+///   0.9 → laptop n24 (with 44 n25, 50 n26); pda n31 (50 n32) is certain;
+/// * `mux` n52 under pda n51: 0.7 → `ind` n53 (15 n54, 44 n55, both prob 1),
+///   0.3 → 15 n56.
+///
+/// Choosing Rick, laptop, the ind branch and both its children yields
+/// `dPER` with probability `0.75 × 0.9 × 0.7 × 1 × 1 = 0.4725` (Example 3).
+pub fn fig2_pper() -> PDocument {
+    let mut p = PDocument::with_root_id(l("IT-personnel"), NodeId(1));
+    // person [2]
+    p.add_ordinary_with_id(NodeId(1), l("person"), 1.0, NodeId(2));
+    p.add_ordinary_with_id(NodeId(2), l("name"), 1.0, NodeId(4));
+    p.add_dist_with_id(NodeId(4), PKind::Mux, 1.0, NodeId(11));
+    p.add_ordinary_with_id(NodeId(11), l("Rick"), 0.75, NodeId(8));
+    p.add_ordinary_with_id(NodeId(11), l("John"), 0.25, NodeId(13));
+    p.add_ordinary_with_id(NodeId(2), l("bonus"), 1.0, NodeId(5));
+    p.add_dist_with_id(NodeId(5), PKind::Mux, 1.0, NodeId(21));
+    p.add_ordinary_with_id(NodeId(21), l("pda"), 0.1, NodeId(22));
+    p.add_ordinary_with_id(NodeId(22), l("25"), 1.0, NodeId(23));
+    p.add_ordinary_with_id(NodeId(21), l("laptop"), 0.9, NodeId(24));
+    p.add_ordinary_with_id(NodeId(24), l("44"), 1.0, NodeId(25));
+    p.add_ordinary_with_id(NodeId(24), l("50"), 1.0, NodeId(26));
+    p.add_ordinary_with_id(NodeId(5), l("pda"), 1.0, NodeId(31));
+    p.add_ordinary_with_id(NodeId(31), l("50"), 1.0, NodeId(32));
+    // person [3]
+    p.add_ordinary_with_id(NodeId(1), l("person"), 1.0, NodeId(3));
+    p.add_ordinary_with_id(NodeId(3), l("name"), 1.0, NodeId(6));
+    p.add_ordinary_with_id(NodeId(6), l("Mary"), 1.0, NodeId(41));
+    p.add_ordinary_with_id(NodeId(3), l("bonus"), 1.0, NodeId(7));
+    p.add_ordinary_with_id(NodeId(7), l("pda"), 1.0, NodeId(51));
+    p.add_dist_with_id(NodeId(51), PKind::Mux, 1.0, NodeId(52));
+    p.add_dist_with_id(NodeId(52), PKind::Ind, 0.7, NodeId(53));
+    p.add_ordinary_with_id(NodeId(53), l("15"), 1.0, NodeId(54));
+    p.add_ordinary_with_id(NodeId(53), l("44"), 1.0, NodeId(55));
+    p.add_ordinary_with_id(NodeId(52), l("15"), 0.3, NodeId(56));
+    p
+}
+
+/// Figure 5 (left), `P̂1` of Example 11, for `q = a/b[c]`, `v = a[.//c]/b`:
+/// `a → { c (certain), mux(0.65: b) }`, `b → mux(0.5: c)`.
+///
+/// `Pr(b ∈ q(P1)) = 0.65 × 0.5 = 0.325`; `Pr(b ∈ v(P1)) = 0.65`.
+pub fn fig5_p1() -> PDocument {
+    let mut p = PDocument::with_root_id(l("a"), NodeId(0));
+    p.add_ordinary_with_id(NodeId(0), l("c"), 1.0, NodeId(1));
+    p.add_dist_with_id(NodeId(0), PKind::Mux, 1.0, NodeId(2));
+    p.add_ordinary_with_id(NodeId(2), l("b"), 0.65, NodeId(3));
+    p.add_dist_with_id(NodeId(3), PKind::Mux, 1.0, NodeId(4));
+    p.add_ordinary_with_id(NodeId(4), l("c"), 0.5, NodeId(5));
+    p
+}
+
+/// The `b` node of [`fig5_p1`] (the candidate answer node).
+pub fn fig5_p1_b() -> NodeId {
+    NodeId(3)
+}
+
+/// Figure 5 (left), `P̂2` of Example 11:
+/// `a → { b (certain), mux(0.3: c) }`, `b → mux(0.5: c)`.
+///
+/// `Pr(b ∈ q(P2)) = 0.5`; `Pr(b ∈ v(P2)) = 1 − (1−0.3)(1−0.5) = 0.65`.
+/// The view extensions of `P̂1` and `P̂2` are isomorphic, so no probability
+/// function `fr` can distinguish them.
+pub fn fig5_p2() -> PDocument {
+    let mut p = PDocument::with_root_id(l("a"), NodeId(0));
+    p.add_ordinary_with_id(NodeId(0), l("b"), 1.0, NodeId(1));
+    p.add_dist_with_id(NodeId(1), PKind::Mux, 1.0, NodeId(2));
+    p.add_ordinary_with_id(NodeId(2), l("c"), 0.5, NodeId(3));
+    p.add_dist_with_id(NodeId(0), PKind::Mux, 1.0, NodeId(4));
+    p.add_ordinary_with_id(NodeId(4), l("c"), 0.3, NodeId(5));
+    p
+}
+
+/// The `b` node of [`fig5_p2`].
+pub fn fig5_p2_b() -> NodeId {
+    NodeId(1)
+}
+
+/// Common chain shape for `P̂3`/`P̂4` of Example 12
+/// (`q = a//b[e]/c/b/c//d`, `v = a//b[e]/c/b/c`):
+///
+/// ```text
+/// a → b1 → { ind(e1: e), c1 } ; c1 → b2 ;
+/// b2 → { ind(e2: e), mux(x: c2) } ; c2 → b3 → c3 → d
+/// ```
+///
+/// The two images of the last token `b[e]/c/b/c` end at `c2` (= `nc1`) and
+/// `c3` (= `nc2`) and overlap on `b2, c2` (prefix-suffix of length `u = 2`).
+fn fig5_chain(e1: f64, e2: f64, x: f64) -> PDocument {
+    let mut p = PDocument::with_root_id(l("a"), NodeId(0));
+    p.add_ordinary_with_id(NodeId(0), l("b"), 1.0, NodeId(1)); // b1
+    p.add_dist_with_id(NodeId(1), PKind::Ind, 1.0, NodeId(2));
+    p.add_ordinary_with_id(NodeId(2), l("e"), e1, NodeId(3));
+    p.add_ordinary_with_id(NodeId(1), l("c"), 1.0, NodeId(4)); // c1
+    p.add_ordinary_with_id(NodeId(4), l("b"), 1.0, NodeId(5)); // b2
+    p.add_dist_with_id(NodeId(5), PKind::Ind, 1.0, NodeId(6));
+    p.add_ordinary_with_id(NodeId(6), l("e"), e2, NodeId(7));
+    p.add_dist_with_id(NodeId(5), PKind::Mux, 1.0, NodeId(8));
+    p.add_ordinary_with_id(NodeId(8), l("c"), x, NodeId(9)); // c2 = nc1
+    p.add_ordinary_with_id(NodeId(9), l("b"), 1.0, NodeId(10)); // b3
+    p.add_ordinary_with_id(NodeId(10), l("c"), 1.0, NodeId(11)); // c3 = nc2
+    p.add_ordinary_with_id(NodeId(11), l("d"), 1.0, NodeId(12)); // nd
+    p
+}
+
+/// Figure 5 (right), `P̂3`: `e1 = 0.3`, `e2 = 0.6`, chain factor `0.4`.
+/// `Pr(nd ∈ q(P3)) = 0.4·0.3 + 0.6·0.4 − 0.3·0.4·0.6 = 0.288`.
+pub fn fig5_p3() -> PDocument {
+    fig5_chain(0.3, 0.6, 0.4)
+}
+
+/// Figure 5 (right), `P̂4`: `e1 = 0.4`, `e2 = 0.8`, chain factor `0.3`.
+/// `Pr(nd ∈ q(P4)) = 0.3·0.4 + 0.3·0.8 − 0.3·0.4·0.8 = 0.264`.
+///
+/// `v` selects `nc1` with probability 0.12 and `nc2` with 0.24 in *both*
+/// `P̂3` and `P̂4`, and the selected subtrees are identical — the extensions
+/// are indistinguishable while the query probabilities differ.
+pub fn fig5_p4() -> PDocument {
+    fig5_chain(0.4, 0.8, 0.3)
+}
+
+/// Named nodes of `P̂3`/`P̂4`: `(nc1, nc2, nd)`.
+pub fn fig5_chain_nodes() -> (NodeId, NodeId, NodeId) {
+    (NodeId(9), NodeId(11), NodeId(12))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dper_shape() {
+        let d = fig1_dper();
+        assert_eq!(d.len(), 17);
+        assert_eq!(d.label(NodeId(8)).name(), "Rick");
+        assert_eq!(d.parent(NodeId(24)), Some(NodeId(5)));
+        assert_eq!(d.depth(NodeId(25)), 5);
+    }
+
+    #[test]
+    fn pper_validates_and_matches_example_3() {
+        let p = fig2_pper();
+        assert!(p.validate().is_ok());
+        // dPER arises with probability 0.75 * 0.9 * 0.7 = 0.4725 (Example 3).
+        let d = fig1_dper();
+        let space = p.px_space();
+        let pr = space.probability_where(|w| w.id_set_key() == d.id_set_key());
+        assert!((pr - 0.4725).abs() < 1e-9, "Pr(dPER) = {pr}");
+        assert!((space.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pper_marginals() {
+        let p = fig2_pper();
+        assert!((p.appearance_probability(NodeId(8)) - 0.75).abs() < 1e-12); // Rick
+        assert!((p.appearance_probability(NodeId(13)) - 0.25).abs() < 1e-12); // John
+        assert!((p.appearance_probability(NodeId(24)) - 0.9).abs() < 1e-12); // laptop
+        assert!((p.appearance_probability(NodeId(54)) - 0.7).abs() < 1e-12); // 15 via ind
+        assert!((p.appearance_probability(NodeId(5)) - 1.0).abs() < 1e-12); // bonus n5
+    }
+
+    #[test]
+    fn fig5_p1_p2_marginals() {
+        let p1 = fig5_p1();
+        assert!((p1.appearance_probability(fig5_p1_b()) - 0.65).abs() < 1e-12);
+        let p2 = fig5_p2();
+        assert!((p2.appearance_probability(fig5_p2_b()) - 1.0).abs() < 1e-12);
+        assert!(p1.validate().is_ok());
+        assert!(p2.validate().is_ok());
+    }
+
+    #[test]
+    fn fig5_p3_p4_marginals() {
+        let (nc1, nc2, nd) = fig5_chain_nodes();
+        let p3 = fig5_p3();
+        assert!((p3.appearance_probability(nc1) - 0.4).abs() < 1e-12);
+        assert!((p3.appearance_probability(nc2) - 0.4).abs() < 1e-12);
+        assert!((p3.appearance_probability(nd) - 0.4).abs() < 1e-12);
+        let p4 = fig5_p4();
+        assert!((p4.appearance_probability(nc1) - 0.3).abs() < 1e-12);
+        assert!(p3.validate().is_ok());
+        assert!(p4.validate().is_ok());
+    }
+}

@@ -1,0 +1,111 @@
+//! Interned labels.
+//!
+//! The paper assumes a set of labels `L` subsuming XML tags and values.
+//! Labels are interned into `u32` handles so that structural algorithms
+//! (embeddings, containment mappings, the evaluation DP) compare labels with
+//! a single integer comparison and tree nodes stay small.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned label. Cheap to copy, compare and hash.
+///
+/// Two labels are equal iff their spellings are equal; the interner is
+/// global, so labels can be freely moved between documents, p-documents and
+/// queries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(u32);
+
+struct Interner {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Label {
+    /// Interns `name` and returns its handle.
+    pub fn new(name: &str) -> Label {
+        let mut i = interner().lock().expect("label interner poisoned");
+        if let Some(&id) = i.by_name.get(name) {
+            return Label(id);
+        }
+        let id = u32::try_from(i.names.len()).expect("label interner overflow");
+        i.names.push(name.to_owned());
+        i.by_name.insert(name.to_owned(), id);
+        Label(id)
+    }
+
+    /// The spelling this label was interned with.
+    pub fn name(self) -> String {
+        let i = interner().lock().expect("label interner poisoned");
+        i.names[self.0 as usize].clone()
+    }
+
+    /// Raw interner index (stable within a process, useful for dense maps).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({})", self.name())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Label {
+        Label::new(s)
+    }
+}
+
+impl From<&String> for Label {
+    fn from(s: &String) -> Label {
+        Label::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a1 = Label::new("a");
+        let a2 = Label::new("a");
+        let b = Label::new("b");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.name(), "a");
+        assert_eq!(b.name(), "b");
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let l = Label::new("IT-personnel");
+        assert_eq!(l.to_string(), "IT-personnel");
+        assert_eq!(Label::new(&l.to_string()), l);
+    }
+
+    #[test]
+    fn from_str_conversion() {
+        let l: Label = "bonus".into();
+        assert_eq!(l, Label::new("bonus"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Monte-Carlo sampling of random documents from a p-document.
+//!
+//! Implements the generative process of §2 top-down: at each distributional
+//! node the surviving children are drawn, everything else is deleted, and
+//! ordinary children re-attach to their closest ordinary ancestor. Sampling
+//! is used by `pxv-peval`'s estimator and by statistical tests.
+
+use crate::document::{Document, NodeId};
+use crate::pdocument::{PDocument, PKind};
+use rand::Rng;
+
+impl PDocument {
+    /// Draws one random document `P ∼ ⟦P̂⟧`. Node ids are preserved.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Document {
+        let root_label = self.label(self.root()).expect("root is ordinary");
+        let mut doc = Document::with_root_id(root_label, self.root());
+        // Stack of (p-document node, ordinary ancestor already in doc).
+        let mut stack: Vec<(NodeId, NodeId)> = Vec::new();
+        self.push_surviving_children(self.root(), self.root(), &mut stack, rng);
+        while let Some((n, anchor)) = stack.pop() {
+            match self.kind(n) {
+                PKind::Ordinary(l) => {
+                    doc.add_child_with_id(anchor, *l, n);
+                    self.push_surviving_children(n, n, &mut stack, rng);
+                }
+                _ => self.push_surviving_children(n, anchor, &mut stack, rng),
+            }
+        }
+        doc
+    }
+
+    /// Pushes the children of `n` that survive this draw onto the stack.
+    fn push_surviving_children<R: Rng + ?Sized>(
+        &self,
+        n: NodeId,
+        anchor: NodeId,
+        stack: &mut Vec<(NodeId, NodeId)>,
+        rng: &mut R,
+    ) {
+        let kids = self.children(n);
+        match self.kind(n) {
+            PKind::Ordinary(_) | PKind::Det => {
+                for &c in kids {
+                    stack.push((c, anchor));
+                }
+            }
+            PKind::Mux => {
+                let mut roll: f64 = rng.gen();
+                for &c in kids {
+                    let p = self.child_prob(n, c);
+                    if roll < p {
+                        stack.push((c, anchor));
+                        return;
+                    }
+                    roll -= p;
+                }
+                // Falls through with probability 1 - Σ p_i: no child kept.
+            }
+            PKind::Ind => {
+                for &c in kids {
+                    if rng.gen::<f64>() < self.child_prob(n, c) {
+                        stack.push((c, anchor));
+                    }
+                }
+            }
+            PKind::Exp(dist) => {
+                let mut roll: f64 = rng.gen();
+                let mut chosen: u64 = 0;
+                for &(mask, p) in dist {
+                    if roll < p {
+                        chosen = mask;
+                        break;
+                    }
+                    roll -= p;
+                }
+                for (i, &c) in kids.iter().enumerate() {
+                    if chosen & (1 << i) != 0 {
+                        stack.push((c, anchor));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Estimates `Pr(pred(P))` by drawing `samples` documents.
+    pub fn estimate<R: Rng + ?Sized, F: Fn(&Document) -> bool>(
+        &self,
+        rng: &mut R,
+        samples: usize,
+        pred: F,
+    ) -> f64 {
+        let mut hits = 0usize;
+        for _ in 0..samples {
+            if pred(&self.sample(rng)) {
+                hits += 1;
+            }
+        }
+        hits as f64 / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn sampled_frequencies_match_marginals() {
+        let mut p = PDocument::new(l("a"));
+        let mux = p.add_dist(p.root(), PKind::Mux, 1.0);
+        let b = p.add_ordinary(mux, l("b"), 0.3);
+        let ind = p.add_dist(b, PKind::Ind, 1.0);
+        let c = p.add_ordinary(ind, l("c"), 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let est_b = p.estimate(&mut rng, 20_000, |d| d.contains(b));
+        let est_c = p.estimate(&mut rng, 20_000, |d| d.contains(c));
+        assert!((est_b - 0.3).abs() < 0.02, "b: {est_b}");
+        assert!((est_c - 0.15).abs() < 0.02, "c: {est_c}");
+    }
+
+    #[test]
+    fn sampled_worlds_are_valid_subdocuments() {
+        let mut p = PDocument::new(l("a"));
+        let ind = p.add_dist(p.root(), PKind::Ind, 1.0);
+        let b = p.add_ordinary(ind, l("b"), 0.5);
+        p.add_ordinary(b, l("x"), 1.0);
+        p.add_ordinary(ind, l("c"), 0.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let d = p.sample(&mut rng);
+            assert!(d.contains(p.root()));
+            for n in d.node_ids() {
+                assert!(p.contains(n), "sampled node {n} not in p-document");
+            }
+        }
+    }
+
+    #[test]
+    fn exp_sampling_respects_distribution() {
+        let mut p = PDocument::new(l("a"));
+        let exp = p.add_dist(p.root(), PKind::Exp(Vec::new()), 1.0);
+        let b = p.add_ordinary(exp, l("b"), 1.0);
+        let c = p.add_ordinary(exp, l("c"), 1.0);
+        p.set_exp_distribution(exp, vec![(0b11, 0.5), (0b00, 0.5)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let d = p.sample(&mut rng);
+            // b and c always appear together under this distribution.
+            assert_eq!(d.contains(b), d.contains(c));
+        }
+    }
+}

@@ -1,0 +1,500 @@
+//! Compact textual syntax for documents and p-documents.
+//!
+//! Documents: `a#1[b#2, c#3[d]]` — labels with optional explicit `#id` and
+//! bracketed child lists. P-documents additionally allow distributional
+//! nodes: `mux(0.3: b, 0.6: c)`, `ind(0.5: x)`, `det(a, b)`. Probabilities
+//! default to 1 when omitted. Labels are identifiers
+//! (`[A-Za-z0-9_.-]+`) or single-quoted strings.
+//!
+//! This format exists for tests, examples and the benchmark harness; it is
+//! not an XML parser (the paper's model abstracts XML as unordered labeled
+//! trees, so a minimal tree syntax is the faithful substrate).
+
+use crate::document::{Document, NodeId};
+use crate::label::Label;
+use crate::pdocument::{PDocument, PKind};
+use std::fmt;
+
+/// Parse error with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error occurred.
+    pub at: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, ch: u8) -> bool {
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, ch: u8) -> Result<(), ParseError> {
+        if self.eat(ch) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", ch as char))
+        }
+    }
+
+    fn is_ident_byte(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.')
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        if self.eat(b'\'') {
+            let start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            if self.pos >= self.src.len() {
+                return self.err("unterminated quoted label");
+            }
+            let s = std::str::from_utf8(&self.src[start..self.pos])
+                .map_err(|_| ParseError {
+                    at: start,
+                    msg: "invalid utf-8 in label".into(),
+                })?
+                .to_owned();
+            self.pos += 1;
+            return Ok(s);
+        }
+        let start = self.pos;
+        while self.pos < self.src.len() && Self::is_ident_byte(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected label");
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii ident")
+            .to_owned())
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_digit() || self.src[self.pos] == b'.')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected number");
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii number")
+            .parse::<f64>()
+            .map_err(|e| ParseError {
+                at: start,
+                msg: format!("bad number: {e}"),
+            })
+    }
+
+    fn uint(&mut self) -> Result<u32, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected integer id");
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii digits")
+            .parse::<u32>()
+            .map_err(|e| ParseError {
+                at: start,
+                msg: format!("bad id: {e}"),
+            })
+    }
+
+    fn opt_id(&mut self) -> Result<Option<NodeId>, ParseError> {
+        if self.eat(b'#') {
+            Ok(Some(NodeId(self.uint()?)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+}
+
+/// Parses a [`Document`] from the textual format.
+pub fn parse_document(input: &str) -> Result<Document, ParseError> {
+    let mut c = Cursor::new(input);
+    let label = c.ident()?;
+    let id = c.opt_id()?;
+    let mut doc = match id {
+        Some(id) => Document::with_root_id(Label::new(&label), id),
+        None => Document::new(Label::new(&label)),
+    };
+    let root = doc.root();
+    parse_doc_children(&mut c, &mut doc, root)?;
+    if !c.at_end() {
+        return c.err("trailing input after document");
+    }
+    Ok(doc)
+}
+
+fn parse_doc_children(
+    c: &mut Cursor<'_>,
+    doc: &mut Document,
+    parent: NodeId,
+) -> Result<(), ParseError> {
+    if !c.eat(b'[') {
+        return Ok(());
+    }
+    loop {
+        let label = c.ident()?;
+        let id = c.opt_id()?;
+        let node = match id {
+            Some(id) => {
+                doc.add_child_with_id(parent, Label::new(&label), id);
+                id
+            }
+            None => doc.add_child(parent, Label::new(&label)),
+        };
+        parse_doc_children(c, doc, node)?;
+        if !c.eat(b',') {
+            break;
+        }
+    }
+    c.expect(b']')?;
+    Ok(())
+}
+
+/// Parses a [`PDocument`] from the textual format.
+pub fn parse_pdocument(input: &str) -> Result<PDocument, ParseError> {
+    let mut c = Cursor::new(input);
+    let label = c.ident()?;
+    let id = c.opt_id()?;
+    if matches!(label.as_str(), "mux" | "ind" | "det") && c.peek() == Some(b'(') {
+        return c.err("p-document root must be ordinary");
+    }
+    let mut pdoc = match id {
+        Some(id) => PDocument::with_root_id(Label::new(&label), id),
+        None => PDocument::new(Label::new(&label)),
+    };
+    let root = pdoc.root();
+    parse_pdoc_children(&mut c, &mut pdoc, root)?;
+    if !c.at_end() {
+        return c.err("trailing input after p-document");
+    }
+    Ok(pdoc)
+}
+
+/// Parses one p-node (after its parent's separator) under `parent` with the
+/// given survival probability.
+fn parse_pnode(
+    c: &mut Cursor<'_>,
+    pdoc: &mut PDocument,
+    parent: NodeId,
+    prob: f64,
+) -> Result<(), ParseError> {
+    let label = c.ident()?;
+    let id = c.opt_id()?;
+    // exp nodes use a dedicated grammar:
+    //   exp(child, child; 0.5: {0, 1}, 0.3: {0}, 0.2: {})
+    // — a child list, then an explicit distribution over child-index sets.
+    if label == "exp" && c.peek() == Some(b'(') {
+        let node = match id {
+            Some(id) => {
+                pdoc.add_dist_with_id(parent, PKind::Exp(Vec::new()), prob, id);
+                id
+            }
+            None => pdoc.add_dist(parent, PKind::Exp(Vec::new()), prob),
+        };
+        c.expect(b'(')?;
+        loop {
+            parse_pnode(c, pdoc, node, 1.0)?;
+            if !c.eat(b',') {
+                break;
+            }
+        }
+        c.expect(b';')?;
+        let n_children = pdoc.children(node).len();
+        let mut dist: Vec<(u64, f64)> = Vec::new();
+        loop {
+            let p = c.number()?;
+            c.expect(b':')?;
+            c.expect(b'{')?;
+            let mut mask = 0u64;
+            if c.peek() != Some(b'}') {
+                loop {
+                    let idx = c.uint()? as usize;
+                    if idx >= n_children {
+                        return c.err(format!("exp subset index {idx} out of range"));
+                    }
+                    mask |= 1 << idx;
+                    if !c.eat(b',') {
+                        break;
+                    }
+                }
+            }
+            c.expect(b'}')?;
+            dist.push((mask, p));
+            if !c.eat(b',') {
+                break;
+            }
+        }
+        c.expect(b')')?;
+        pdoc.set_exp_distribution(node, dist);
+        return Ok(());
+    }
+    let kind = match label.as_str() {
+        "mux" => Some(PKind::Mux),
+        "ind" => Some(PKind::Ind),
+        "det" => Some(PKind::Det),
+        _ => None,
+    };
+    match kind {
+        Some(kind) if c.peek() == Some(b'(') => {
+            let node = match id {
+                Some(id) => {
+                    pdoc.add_dist_with_id(parent, kind, prob, id);
+                    id
+                }
+                None => pdoc.add_dist(parent, kind, prob),
+            };
+            c.expect(b'(')?;
+            loop {
+                // Optional `prob:` prefix. Disambiguate a number that is a
+                // label (e.g. `50`) from a probability by the colon.
+                let save = c.pos;
+                let entry_prob = match c.number() {
+                    Ok(p) if c.eat(b':') => p,
+                    _ => {
+                        c.pos = save;
+                        1.0
+                    }
+                };
+                parse_pnode(c, pdoc, node, entry_prob)?;
+                if !c.eat(b',') {
+                    break;
+                }
+            }
+            c.expect(b')')?;
+        }
+        _ => {
+            let node = match id {
+                Some(id) => {
+                    pdoc.add_ordinary_with_id(parent, Label::new(&label), prob, id);
+                    id
+                }
+                None => pdoc.add_ordinary(parent, Label::new(&label), prob),
+            };
+            parse_pdoc_children(c, pdoc, node)?;
+        }
+    }
+    Ok(())
+}
+
+fn parse_pdoc_children(
+    c: &mut Cursor<'_>,
+    pdoc: &mut PDocument,
+    parent: NodeId,
+) -> Result<(), ParseError> {
+    if !c.eat(b'[') {
+        return Ok(());
+    }
+    loop {
+        parse_pnode(c, pdoc, parent, 1.0)?;
+        if !c.eat(b',') {
+            break;
+        }
+    }
+    c.expect(b']')?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_document() {
+        let d = parse_document("a[b, c[d]]").expect("parses");
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.label(d.root()).name(), "a");
+        assert_eq!(d.children(d.root()).len(), 2);
+    }
+
+    #[test]
+    fn parse_document_with_ids() {
+        let d = parse_document("a#1[b#2[c#5], d#3]").expect("parses");
+        assert_eq!(d.root(), NodeId(1));
+        assert!(d.contains(NodeId(5)));
+        assert_eq!(d.parent(NodeId(5)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn parse_quoted_label() {
+        let d = parse_document("'IT personnel'[person]").expect("parses");
+        assert_eq!(d.label(d.root()).name(), "IT personnel");
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let d = parse_document("a#1[b#2[x#4], c#3]").expect("parses");
+        let d2 = parse_document(&d.to_string()).expect("round trip parses");
+        assert!(d.structurally_equal(&d2));
+        assert_eq!(d.id_set_key(), d2.id_set_key());
+    }
+
+    #[test]
+    fn parse_pdocument_kinds() {
+        let p = parse_pdocument("a[mux(0.3: b, 0.6: c[d]), ind(0.5: e), det(f, g)]")
+            .expect("parses");
+        assert!(p.validate().is_ok());
+        assert_eq!(p.distributional_count(), 3);
+        assert_eq!(p.ordinary_ids().count(), 7);
+    }
+
+    #[test]
+    fn numeric_labels_vs_probabilities() {
+        // `50` with no colon is a label, `0.5:` is a probability.
+        let p = parse_pdocument("a[mux(0.5: 50, 0.5: 44)]").expect("parses");
+        let labels: Vec<String> = p
+            .ordinary_ids()
+            .filter_map(|n| p.label(n))
+            .map(|l| l.name())
+            .collect();
+        assert!(labels.contains(&"50".to_owned()));
+        assert!(labels.contains(&"44".to_owned()));
+    }
+
+    #[test]
+    fn pdocument_with_explicit_ids() {
+        let p = parse_pdocument("a#1[mux#11(0.75: Rick#8, 0.25: John#13)]").expect("parses");
+        assert!(p.contains(NodeId(8)));
+        assert!((p.appearance_probability(NodeId(8)) - 0.75).abs() < 1e-12);
+        assert!((p.appearance_probability(NodeId(13)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(parse_document("a[b").is_err());
+        assert!(parse_document("a]").is_err());
+        assert!(parse_pdocument("mux(0.5: a)").is_err());
+        assert!(parse_pdocument("a[mux(1.5x: b)]").is_err());
+    }
+
+    #[test]
+    fn pdocument_display_round_trip() {
+        let p = parse_pdocument("a#0[b#1[mux#2(0.25: c#3, 0.5: d#4)], ind#5(0.9: e#6)]")
+            .expect("parses");
+        let p2 = parse_pdocument(&p.to_string().replace('(', "(").as_str())
+            .or_else(|_| parse_pdocument(&p.to_string()))
+            .expect("round trip");
+        // Spot-check: same marginals.
+        for n in [NodeId(3), NodeId(4), NodeId(6)] {
+            assert!(
+                (p.appearance_probability(n) - p2.appearance_probability(n)).abs() < 1e-12
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod exp_tests {
+    use super::*;
+
+    #[test]
+    fn parse_exp_distribution() {
+        let p = parse_pdocument("a[exp(b, c; 0.5: {0, 1}, 0.2: {0}, 0.3: {})]").unwrap();
+        assert!(p.validate().is_ok());
+        let exp = p
+            .node_ids()
+            .find(|&n| matches!(p.kind(n), PKind::Exp(_)))
+            .expect("exp node present");
+        let kids = p.children(exp).to_vec();
+        assert_eq!(kids.len(), 2);
+        assert!((p.appearance_probability(kids[0]) - 0.7).abs() < 1e-12);
+        assert!((p.appearance_probability(kids[1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_round_trips_through_display() {
+        let src = "a#0[exp#1(b#2[x#3], c#4; 0.4: {0, 1}, 0.35: {1}, 0.25: {})]";
+        let p = parse_pdocument(src).unwrap();
+        let p2 = parse_pdocument(&p.to_string()).unwrap();
+        assert!(p2.validate().is_ok());
+        for n in p.ordinary_ids() {
+            assert!(
+                (p.appearance_probability(n) - p2.appearance_probability(n)).abs() < 1e-12,
+                "marginal of {n}"
+            );
+        }
+        // Correlations preserved, not just marginals.
+        let w1 = p.px_space();
+        let w2 = p2.px_space();
+        assert_eq!(w1.len(), w2.len());
+    }
+
+    #[test]
+    fn exp_errors() {
+        // Index out of range.
+        assert!(parse_pdocument("a[exp(b; 1.0: {3})]").is_err());
+        // Missing distribution.
+        assert!(parse_pdocument("a[exp(b, c)]").is_err());
+        // Distribution not summing to 1 is caught by validate, not parse.
+        let p = parse_pdocument("a[exp(b; 0.5: {0})]").unwrap();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn exp_nested_under_other_kinds() {
+        let p = parse_pdocument("a[mux(0.5: b[exp(c, d; 0.9: {0, 1}, 0.1: {})])]").unwrap();
+        assert!(p.validate().is_ok());
+        let space = p.px_space();
+        assert!((space.total_probability() - 1.0).abs() < 1e-9);
+    }
+}

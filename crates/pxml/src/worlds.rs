@@ -1,0 +1,328 @@
+//! Exact possible-world semantics `⟦P̂⟧`.
+//!
+//! A p-document induces a finite probability space of documents (a
+//! *px-space*, §2). Because a random document is fully determined by the set
+//! of surviving ordinary nodes (labels and edges are inherited from `P̂`),
+//! we enumerate worlds as sets of ordinary node ids and merge duplicates by
+//! summing probabilities — exactly the "sum over runs resulting in the same
+//! P" of Example 3.
+//!
+//! Enumeration is exponential in the number of distributional nodes; it is
+//! the ground truth against which the polynomial evaluation DP
+//! (`pxv-peval`) and all probability-retrieving functions are validated.
+
+use crate::document::{Document, NodeId};
+use crate::pdocument::{PDocument, PKind};
+use std::collections::HashMap;
+
+/// A finite probability space of documents: a px-space `(D, Pr)`.
+#[derive(Clone, Debug)]
+pub struct PxSpace {
+    worlds: Vec<(Document, f64)>,
+}
+
+impl PxSpace {
+    /// The worlds and their probabilities.
+    pub fn worlds(&self) -> &[(Document, f64)] {
+        &self.worlds
+    }
+
+    /// Number of distinct worlds.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// True iff there are no worlds (cannot happen for a valid p-document).
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Total probability mass (should be ≈ 1).
+    pub fn total_probability(&self) -> f64 {
+        self.worlds.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// `Pr(n ∈ P)`: marginal probability that node `n` appears.
+    pub fn node_marginal(&self, n: NodeId) -> f64 {
+        self.worlds
+            .iter()
+            .filter(|(d, _)| d.contains(n))
+            .map(|&(_, p)| p)
+            .sum()
+    }
+
+    /// Probability mass of worlds satisfying `pred`.
+    pub fn probability_where<F: Fn(&Document) -> bool>(&self, pred: F) -> f64 {
+        self.worlds
+            .iter()
+            .filter(|(d, _)| pred(d))
+            .map(|&(_, p)| p)
+            .sum()
+    }
+}
+
+/// Alternatives for a subtree: kept ordinary-node sets with probabilities.
+/// Sets are sorted id vectors so they can key a hash map.
+type Alts = Vec<(Vec<NodeId>, f64)>;
+
+fn merge_alts(alts: Alts) -> Alts {
+    let mut map: HashMap<Vec<NodeId>, f64> = HashMap::with_capacity(alts.len());
+    for (k, p) in alts {
+        *map.entry(k).or_insert(0.0) += p;
+    }
+    map.into_iter().collect()
+}
+
+/// Cross product of alternatives of independent sibling subtrees.
+fn cross(a: Alts, b: Alts) -> Alts {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for (ka, pa) in &a {
+        for (kb, pb) in &b {
+            let mut k = ka.clone();
+            k.extend_from_slice(kb);
+            k.sort_unstable();
+            out.push((k, pa * pb));
+        }
+    }
+    merge_alts(out)
+}
+
+fn alts_of(p: &PDocument, n: NodeId, limit: usize) -> Option<Alts> {
+    let kids = p.children(n);
+    let mut child_alts: Vec<Alts> = Vec::with_capacity(kids.len());
+    for &c in kids {
+        child_alts.push(alts_of(p, c, limit)?);
+    }
+    let combined = match p.kind(n) {
+        PKind::Ordinary(_) | PKind::Det => {
+            // All children survive: independent cross product.
+            let mut acc: Alts = vec![(Vec::new(), 1.0)];
+            for ca in child_alts {
+                acc = cross(acc, ca);
+                if acc.len() > limit {
+                    return None;
+                }
+            }
+            if let PKind::Ordinary(_) = p.kind(n) {
+                for (k, _) in acc.iter_mut() {
+                    k.push(n);
+                    k.sort_unstable();
+                }
+            }
+            acc
+        }
+        PKind::Mux => {
+            // At most one child survives.
+            let mut acc: Alts = Vec::new();
+            let mut mass = 0.0;
+            for (i, ca) in child_alts.into_iter().enumerate() {
+                let pc = p.child_prob(n, kids[i]);
+                mass += pc;
+                for (k, q) in ca {
+                    acc.push((k, pc * q));
+                }
+            }
+            acc.push((Vec::new(), (1.0 - mass).max(0.0)));
+            merge_alts(acc)
+        }
+        PKind::Ind => {
+            // Each child survives independently.
+            let mut acc: Alts = vec![(Vec::new(), 1.0)];
+            for (i, ca) in child_alts.into_iter().enumerate() {
+                let pc = p.child_prob(n, kids[i]);
+                let mut option: Alts = ca.into_iter().map(|(k, q)| (k, pc * q)).collect();
+                option.push((Vec::new(), 1.0 - pc));
+                acc = cross(acc, merge_alts(option));
+                if acc.len() > limit {
+                    return None;
+                }
+            }
+            acc
+        }
+        PKind::Exp(dist) => {
+            let dist = dist.clone();
+            let mut acc: Alts = Vec::new();
+            for (mask, pm) in dist {
+                let mut sub: Alts = vec![(Vec::new(), 1.0)];
+                for (i, ca) in child_alts.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        sub = cross(sub, ca.clone());
+                    }
+                }
+                for (k, q) in sub {
+                    acc.push((k, pm * q));
+                }
+            }
+            merge_alts(acc)
+        }
+    };
+    if combined.len() > limit {
+        return None;
+    }
+    Some(combined)
+}
+
+/// Builds the document induced by a set of surviving ordinary node ids.
+fn document_from_ids(p: &PDocument, ids: &[NodeId]) -> Document {
+    let keep: std::collections::HashSet<NodeId> = ids.iter().copied().collect();
+    let root_label = p.label(p.root()).expect("root is ordinary");
+    let mut d = Document::with_root_id(root_label, p.root());
+    // Pre-order ensures parents are inserted before children.
+    for n in p.preorder() {
+        if n == p.root() || !keep.contains(&n) {
+            continue;
+        }
+        let label = p.label(n).expect("kept nodes are ordinary");
+        let parent = p
+            .ordinary_ancestor(n)
+            .expect("non-root ordinary node has an ordinary ancestor");
+        d.add_child_with_id(parent, label, n);
+    }
+    d
+}
+
+impl PDocument {
+    /// Enumerates `⟦P̂⟧` exactly. Panics if the space exceeds
+    /// 2^20 intermediate alternatives (use [`PDocument::px_space_limited`]
+    /// to handle large spaces gracefully).
+    pub fn px_space(&self) -> PxSpace {
+        self.px_space_limited(1 << 20)
+            .expect("possible-world space too large; use px_space_limited")
+    }
+
+    /// Enumerates `⟦P̂⟧`, giving up (returning `None`) once more than
+    /// `limit` intermediate alternatives appear.
+    pub fn px_space_limited(&self, limit: usize) -> Option<PxSpace> {
+        let alts = alts_of(self, self.root(), limit)?;
+        let mut worlds = Vec::with_capacity(alts.len());
+        for (ids, prob) in alts {
+            if prob <= 0.0 {
+                continue;
+            }
+            worlds.push((document_from_ids(self, &ids), prob));
+        }
+        Some(PxSpace { worlds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn deterministic_document_single_world() {
+        let mut p = PDocument::new(l("a"));
+        let b = p.add_ordinary(p.root(), l("b"), 1.0);
+        p.add_ordinary(b, l("c"), 1.0);
+        let space = p.px_space();
+        assert_eq!(space.len(), 1);
+        assert!((space.total_probability() - 1.0).abs() < 1e-12);
+        assert_eq!(space.worlds()[0].0.len(), 3);
+    }
+
+    #[test]
+    fn mux_three_worlds() {
+        let mut p = PDocument::new(l("a"));
+        let mux = p.add_dist(p.root(), PKind::Mux, 1.0);
+        let b = p.add_ordinary(mux, l("b"), 0.3);
+        let c = p.add_ordinary(mux, l("c"), 0.6);
+        let space = p.px_space();
+        // worlds: {a,b} 0.3, {a,c} 0.6, {a} 0.1
+        assert_eq!(space.len(), 3);
+        assert!((space.total_probability() - 1.0).abs() < 1e-12);
+        assert!((space.node_marginal(b) - 0.3).abs() < 1e-12);
+        assert!((space.node_marginal(c) - 0.6).abs() < 1e-12);
+        assert!((space.probability_where(|d| d.len() == 1) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ind_independent_children() {
+        let mut p = PDocument::new(l("a"));
+        let ind = p.add_dist(p.root(), PKind::Ind, 1.0);
+        let b = p.add_ordinary(ind, l("b"), 0.5);
+        let c = p.add_ordinary(ind, l("c"), 0.25);
+        let space = p.px_space();
+        assert_eq!(space.len(), 4);
+        assert!((space.node_marginal(b) - 0.5).abs() < 1e-12);
+        assert!((space.node_marginal(c) - 0.25).abs() < 1e-12);
+        let both = space.probability_where(|d| d.contains(b) && d.contains(c));
+        assert!((both - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_keeps_everything() {
+        let mut p = PDocument::new(l("a"));
+        let det = p.add_dist(p.root(), PKind::Det, 1.0);
+        let b = p.add_ordinary(det, l("b"), 1.0);
+        let space = p.px_space();
+        assert_eq!(space.len(), 1);
+        assert!(space.worlds()[0].0.contains(b));
+    }
+
+    #[test]
+    fn exp_subset_distribution() {
+        let mut p = PDocument::new(l("a"));
+        let exp = p.add_dist(p.root(), PKind::Exp(Vec::new()), 1.0);
+        let b = p.add_ordinary(exp, l("b"), 1.0);
+        let c = p.add_ordinary(exp, l("c"), 1.0);
+        p.set_exp_distribution(exp, vec![(0b11, 0.5), (0b01, 0.2), (0b10, 0.2), (0b00, 0.1)]);
+        let space = p.px_space();
+        assert_eq!(space.len(), 4);
+        assert!((space.node_marginal(b) - 0.7).abs() < 1e-12);
+        assert!((space.node_marginal(c) - 0.7).abs() < 1e-12);
+        // exp is NOT independent: both appear with 0.5, not 0.49.
+        let both = space.probability_where(|d| d.contains(b) && d.contains(c));
+        assert!((both - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_distributional_reattaches_children() {
+        // a -> mux(0.5: b -> ind(0.4: c))
+        let mut p = PDocument::new(l("a"));
+        let mux = p.add_dist(p.root(), PKind::Mux, 1.0);
+        let b = p.add_ordinary(mux, l("b"), 0.5);
+        let ind = p.add_dist(b, PKind::Ind, 1.0);
+        let c = p.add_ordinary(ind, l("c"), 0.4);
+        let space = p.px_space();
+        assert!((space.node_marginal(c) - 0.2).abs() < 1e-12);
+        // In the world containing c, its parent is b (distributional nodes removed).
+        for (d, _) in space.worlds() {
+            if d.contains(c) {
+                assert_eq!(d.parent(c), Some(b));
+            }
+        }
+    }
+
+    #[test]
+    fn marginals_match_appearance_probability() {
+        let mut p = PDocument::new(l("r"));
+        let mux = p.add_dist(p.root(), PKind::Mux, 1.0);
+        let x = p.add_ordinary(mux, l("x"), 0.75);
+        let ind = p.add_dist(x, PKind::Ind, 1.0);
+        let y = p.add_ordinary(ind, l("y"), 0.9);
+        let space = p.px_space();
+        for n in [x, y] {
+            assert!(
+                (space.node_marginal(n) - p.appearance_probability(n)).abs() < 1e-12,
+                "marginal mismatch for {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        // 12 independent children => 4096 worlds > limit 100.
+        let mut p = PDocument::new(l("a"));
+        let ind = p.add_dist(p.root(), PKind::Ind, 1.0);
+        for i in 0..12 {
+            p.add_ordinary(ind, l(&format!("c{i}")), 0.5);
+        }
+        assert!(p.px_space_limited(100).is_none());
+        assert!(p.px_space_limited(1 << 13).is_some());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the substrate: possible-world semantics, marginals,
+//! sampling, and text round trips on randomly generated p-documents.
+
+use proptest::prelude::*;
+use pxv_pxml::{Label, NodeId, PDocument, PKind};
+
+const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+
+#[derive(Clone, Debug)]
+enum Spec {
+    Ord(usize, Vec<Spec>),
+    Mux(Vec<(u32, Spec)>),
+    Ind(Vec<(u32, Spec)>),
+    Det(Vec<Spec>),
+}
+
+fn spec(depth: u32) -> impl Strategy<Value = Spec> {
+    let leaf = (0..LABELS.len()).prop_map(|l| Spec::Ord(l, Vec::new()));
+    leaf.prop_recursive(depth, 14, 3, |inner| {
+        prop_oneof![
+            3 => ((0..LABELS.len()), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(l, k)| Spec::Ord(l, k)),
+            1 => prop::collection::vec(((5u32..45), inner.clone()), 1..3).prop_map(Spec::Mux),
+            1 => prop::collection::vec(((10u32..90), inner.clone()), 1..3).prop_map(Spec::Ind),
+            1 => prop::collection::vec(inner, 1..3).prop_map(Spec::Det),
+        ]
+    })
+}
+
+fn build(p: &mut PDocument, parent: NodeId, s: &Spec, prob: f64) {
+    match s {
+        Spec::Ord(l, kids) => {
+            let n = p.add_ordinary(parent, Label::new(LABELS[*l]), prob);
+            for k in kids {
+                build(p, n, k, 1.0);
+            }
+        }
+        Spec::Mux(kids) => {
+            let m = p.add_dist(parent, PKind::Mux, prob);
+            for (w, k) in kids {
+                build(p, m, k, *w as f64 / 100.0);
+            }
+        }
+        Spec::Ind(kids) => {
+            let m = p.add_dist(parent, PKind::Ind, prob);
+            for (w, k) in kids {
+                build(p, m, k, *w as f64 / 100.0);
+            }
+        }
+        Spec::Det(kids) => {
+            let m = p.add_dist(parent, PKind::Det, prob);
+            for k in kids {
+                build(p, m, k, 1.0);
+            }
+        }
+    }
+}
+
+prop_compose! {
+    fn small_pdoc()(specs in prop::collection::vec(spec(3), 0..3)) -> PDocument {
+        let mut p = PDocument::new(Label::new("r"));
+        let root = p.root();
+        for s in &specs {
+            build(&mut p, root, s, 1.0);
+        }
+        p
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_pdocs_validate(p in small_pdoc()) {
+        prop_assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one(p in small_pdoc()) {
+        if let Some(space) = p.px_space_limited(1 << 14) {
+            prop_assert!((space.total_probability() - 1.0).abs() < 1e-9);
+            for (w, pr) in space.worlds() {
+                prop_assert!(*pr > 0.0);
+                prop_assert!(w.contains(p.root()));
+            }
+        }
+    }
+
+    #[test]
+    fn marginals_match_appearance_probability(p in small_pdoc()) {
+        if let Some(space) = p.px_space_limited(1 << 14) {
+            for n in p.ordinary_ids() {
+                let a = p.appearance_probability(n);
+                let m = space.node_marginal(n);
+                prop_assert!((a - m).abs() < 1e-9, "node {}: {} vs {}", n, a, m);
+            }
+        }
+    }
+
+    #[test]
+    fn worlds_are_ancestor_closed(p in small_pdoc()) {
+        if let Some(space) = p.px_space_limited(1 << 12) {
+            for (w, _) in space.worlds() {
+                for n in w.node_ids() {
+                    // Parent in the world = closest ordinary ancestor in P̂.
+                    if let Some(par) = w.parent(n) {
+                        prop_assert_eq!(p.ordinary_ancestor(n), Some(par));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_worlds_are_possible(p in small_pdoc(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        if let Some(space) = p.px_space_limited(1 << 12) {
+            let keys: std::collections::HashSet<Vec<NodeId>> = space
+                .worlds()
+                .iter()
+                .map(|(w, _)| w.id_set_key())
+                .collect();
+            for _ in 0..5 {
+                let s = p.sample(&mut rng);
+                prop_assert!(keys.contains(&s.id_set_key()),
+                    "sampled world not in ⟦P̂⟧: {}", s);
+            }
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip(p in small_pdoc()) {
+        let text = p.to_string();
+        let p2 = pxv_pxml::text::parse_pdocument(&text)
+            .unwrap_or_else(|e| panic!("re-parse {text}: {e}"));
+        prop_assert_eq!(p.len(), p2.len());
+        for n in p.ordinary_ids() {
+            prop_assert!(
+                (p.appearance_probability(n) - p2.appearance_probability(n)).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn subtree_marginals_are_conditionals(p in small_pdoc()) {
+        // Pr(n ∈ P) = Pr(root(sub) ∈ P) × Pr_sub(n ∈ P') for n under an
+        // ordinary node: subtree semantics compose.
+        let ords: Vec<NodeId> = p.ordinary_ids().collect();
+        for &m in ords.iter().take(4) {
+            let sub = p.subtree(m);
+            let top = p.appearance_probability(m);
+            for n in sub.ordinary_ids() {
+                let whole = p.appearance_probability(n);
+                let cond = sub.appearance_probability(n);
+                prop_assert!((whole - top * cond).abs() < 1e-9,
+                    "chain rule at {} under {}", n, m);
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! End-to-end query answering using views: plan, materialize, evaluate.
+//!
+//! This is the "query optimizer" face of the library: given a p-document,
+//! a query and a set of views, [`answer_with_views`] finds a probabilistic
+//! rewriting (single-view TP plan first, then a TP∩ plan), materializes
+//! the view extensions, and computes the answer **touching only the
+//! extensions** — the original p-document is used exclusively to
+//! materialize the views, exactly as a cache/warehouse would.
+
+use crate::fr_tp::answer_tp;
+use crate::system::SqvSystem;
+use crate::tp_rewrite::{tp_rewrite, TpRewriting};
+use crate::tpi_algorithm::{tpi_rewrite, TpiPart, TpiRewriting};
+use crate::tpi_rewrite::VirtualView;
+use crate::view::{ProbExtension, View};
+use pxv_pxml::{NodeId, PDocument};
+use pxv_tpq::pattern::TreePattern;
+use std::collections::BTreeSet;
+
+/// A chosen probabilistic rewriting.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Single-view plan with compensation (§4; copy semantics suffices).
+    Tp(TpRewriting),
+    /// Multi-view intersection plan (§5; needs persistent ids).
+    Tpi(TpiRewriting),
+}
+
+impl Plan {
+    /// Short human-readable description (used by examples and the
+    /// harness).
+    pub fn describe(&self, views: &[View]) -> String {
+        match self {
+            Plan::Tp(rw) => format!(
+                "TP plan: comp(doc({})/{}, {})  [{}]",
+                views[rw.view_index].name,
+                views[rw.view_index].pattern.output_label(),
+                rw.compensation,
+                if rw.restricted { "restricted" } else { "unrestricted" }
+            ),
+            Plan::Tpi(rw) => {
+                let parts: Vec<String> = rw
+                    .parts
+                    .iter()
+                    .map(|p| match &p.compensation {
+                        None => format!("doc({})", views[p.view_index].name),
+                        Some(c) => format!("comp(doc({}), {})", views[p.view_index].name, c),
+                    })
+                    .collect();
+                format!("TP∩ plan: {}", parts.join(" ∩ "))
+            }
+        }
+    }
+}
+
+/// Finds a probabilistic rewriting of `q` over `views`: single-view TP
+/// plans are preferred (cheaper, no persistent-id requirement); otherwise
+/// a TP∩ plan via TPIrewrite.
+pub fn plan(q: &TreePattern, views: &[View], interleaving_limit: usize) -> Option<Plan> {
+    if let Some(rw) = tp_rewrite(q, views).into_iter().next() {
+        return Some(Plan::Tp(rw));
+    }
+    tpi_rewrite(q, views, interleaving_limit).ok().map(Plan::Tpi)
+}
+
+/// Candidate original nodes retrievable from a part's extension by
+/// navigation (deterministic retrieval — no probabilities involved).
+fn part_candidates(part: &TpiPart, ext: &ProbExtension) -> BTreeSet<NodeId> {
+    match &part.compensation {
+        None => ext.results.iter().map(|r| r.orig).collect(),
+        Some(compensation) => {
+            let mut out = BTreeSet::new();
+            for i in 0..ext.results.len() {
+                let sub = ext.result_subtree(i);
+                let max = pxv_peval::dp::max_world(&sub);
+                for ext_node in pxv_tpq::embed::eval(compensation, &max) {
+                    if let Some(orig) = ext.original_of(ext_node) {
+                        out.insert(orig);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Evaluates a TP∩ plan against materialized extensions.
+pub fn answer_tpi(rw: &TpiRewriting, extensions: &[ProbExtension]) -> Vec<(NodeId, f64)> {
+    // Deterministic retrieval: intersect candidates over ALL parts (V′).
+    let mut candidates: Option<BTreeSet<NodeId>> = None;
+    for part in &rw.parts {
+        let c = part_candidates(part, &extensions[part.view_index]);
+        candidates = Some(match candidates {
+            None => c,
+            Some(prev) => prev.intersection(&c).copied().collect(),
+        });
+    }
+    let candidates = candidates.unwrap_or_default();
+    // Probability retrieval: V″ virtual views feeding the system's fr.
+    let vviews: Vec<VirtualView> = rw
+        .fr_parts
+        .iter()
+        .map(|&i| {
+            let part = &rw.parts[i];
+            let ext = &extensions[part.view_index];
+            match &part.tp_descriptor {
+                None => VirtualView::from_extension(ext),
+                Some(d) => VirtualView::from_compensated(d, ext),
+            }
+        })
+        .collect();
+    let system: &SqvSystem = &rw.system;
+    candidates
+        .into_iter()
+        .map(|n| (n, system.fr(&vviews, n)))
+        .filter(|&(_, p)| p > 0.0)
+        .collect()
+}
+
+/// The full pipeline: plan, materialize extensions, answer. Returns `None`
+/// when no probabilistic rewriting exists (the caller must fall back to
+/// direct evaluation over `P̂`).
+pub fn answer_with_views(
+    pdoc: &PDocument,
+    q: &TreePattern,
+    views: &[View],
+) -> Option<(Plan, Vec<(NodeId, f64)>)> {
+    let chosen = plan(q, views, 5_000)?;
+    let answer = match &chosen {
+        Plan::Tp(rw) => {
+            let ext = ProbExtension::materialize(pdoc, &views[rw.view_index]);
+            answer_tp(rw, &ext)
+        }
+        Plan::Tpi(rw) => {
+            let extensions: Vec<ProbExtension> = views
+                .iter()
+                .map(|v| ProbExtension::materialize(pdoc, v))
+                .collect();
+            answer_tpi(rw, &extensions)
+        }
+    };
+    Some((chosen, answer))
+}
+
+/// Direct evaluation baseline (what the rewriting avoids).
+pub fn answer_direct(pdoc: &PDocument, q: &TreePattern) -> Vec<(NodeId, f64)> {
+    pxv_peval::eval_tp(pdoc, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxv_pxml::examples_paper::fig2_pper;
+    use pxv_tpq::parse::parse_pattern;
+
+    fn p(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    fn assert_same_answers(got: &[(NodeId, f64)], want: &[(NodeId, f64)], ctx: &str) {
+        assert_eq!(got.len(), want.len(), "{ctx}: {got:?} vs {want:?}");
+        for ((n1, p1), (n2, p2)) in got.iter().zip(want) {
+            assert_eq!(n1, n2, "{ctx}");
+            assert!((p1 - p2).abs() < 1e-9, "{ctx} at {n1}: {p1} vs {p2}");
+        }
+    }
+
+    #[test]
+    fn tp_plan_preferred_for_single_view() {
+        let pper = fig2_pper();
+        let q = p("IT-personnel//person/bonus[laptop]");
+        let views = vec![View::new("v2BON", p("IT-personnel//person/bonus"))];
+        let (plan, ans) = answer_with_views(&pper, &q, &views).expect("plan");
+        assert!(matches!(plan, Plan::Tp(_)));
+        assert_same_answers(&ans, &answer_direct(&pper, &q), "qBON/v2BON");
+    }
+
+    #[test]
+    fn tpi_plan_for_example_15() {
+        // qRBON from v1BON ∩ compensated v2BON. No single-view TP plan
+        // exists over {v1BON partial, v2BON}? v1BON alone *does* give a TP
+        // plan, so drop it to force TP∩: use the two halves.
+        let pper = fig2_pper();
+        let q = p("IT-personnel//person[name/Rick]/bonus[laptop]");
+        let views = vec![
+            View::new("vRick", p("IT-personnel//person[name/Rick]/bonus")),
+            View::new("v2BON", p("IT-personnel//person/bonus")),
+        ];
+        let (chosen, ans) = answer_with_views(&pper, &q, &views).expect("plan");
+        // v1BON admits a TP plan (compensation [laptop]); either plan kind
+        // must produce the right numbers.
+        let _ = chosen;
+        assert_same_answers(&ans, &answer_direct(&pper, &q), "qRBON");
+        assert_eq!(ans.len(), 1);
+        assert!((ans[0].1 - 0.675).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forced_tpi_plan_example_16() {
+        use pxv_pxml::text::parse_pdocument;
+        let q = p("a[1]/b[2]/c[3]/d");
+        let views = vec![
+            View::new("v1", p("a[1]/b/c[3]/d")),
+            View::new("v2", p("a/b[2]/c[3]/d")),
+            View::new("v3", p("a[1]/b[2]/c/d")),
+            View::new("v4", p("a//d")),
+        ];
+        let pdoc = parse_pdocument(
+            "a#0[ind#1(0.9: 1#2), b#3[ind#4(0.8: 2#5), c#6[ind#7(0.7: 3#8), mux#9(0.6: d#10)]]]",
+        )
+        .unwrap();
+        let (chosen, ans) = answer_with_views(&pdoc, &q, &views).expect("plan");
+        assert!(matches!(chosen, Plan::Tpi(_)), "{}", chosen.describe(&views));
+        assert_same_answers(&ans, &answer_direct(&pdoc, &q), "example 16");
+    }
+
+    #[test]
+    fn no_views_no_plan() {
+        let q = p("a/b[c]");
+        assert!(plan(&q, &[], 100).is_none());
+        // Example 11's view admits no probabilistic plan at all.
+        let views = vec![View::new("v", p("a[.//c]/b"))];
+        assert!(plan(&q, &views, 100).is_none());
+    }
+
+    #[test]
+    fn plan_descriptions_render() {
+        let q = p("IT-personnel//person/bonus[laptop]");
+        let views = vec![View::new("v2BON", p("IT-personnel//person/bonus"))];
+        let pl = plan(&q, &views, 100).unwrap();
+        let s = pl.describe(&views);
+        assert!(s.contains("doc(v2BON)"), "{s}");
+        assert!(s.contains("restricted"), "{s}");
+    }
+}

@@ -1,0 +1,240 @@
+//! The deterministic baseline: XPath rewriting using materialized views
+//! over ordinary XML ([36], [3], [8] — the prior work the paper builds
+//! on, implemented as the comparison baseline).
+//!
+//! Deterministic rewritings only retrieve *nodes* (Definition 3); there is
+//! no probability component. Fact 1 characterizes single-view rewritings:
+//! one exists iff `comp(v, q_(k)) ≡ q` for `k = |mb(v)|`. Multi-view
+//! rewritings intersect extensions by persistent node identity.
+
+use crate::view::{DetExtension, View};
+use pxv_pxml::{Document, NodeId};
+use pxv_tpq::compose::comp;
+use pxv_tpq::containment::{contained_in, equivalent};
+use pxv_tpq::intersect::TpIntersection;
+use pxv_tpq::pattern::TreePattern;
+use std::collections::BTreeSet;
+
+/// A deterministic single-view rewriting (Fact 1).
+#[derive(Clone, Debug)]
+pub struct DetTpRewriting {
+    /// Index of the view used.
+    pub view_index: usize,
+    /// The compensation `q_(k)`.
+    pub compensation: TreePattern,
+}
+
+/// Finds all deterministic single-view rewritings of `q` (Fact 1; PTime).
+pub fn det_tp_rewrite(q: &TreePattern, views: &[View]) -> Vec<DetTpRewriting> {
+    let mut out = Vec::new();
+    for (i, v) in views.iter().enumerate() {
+        let k = v.pattern.mb_len();
+        if k > q.mb_len() {
+            continue;
+        }
+        let compensation = q.suffix(k);
+        if compensation.label(compensation.root()) != v.pattern.output_label() {
+            continue;
+        }
+        if equivalent(&comp(&v.pattern, &compensation), q) {
+            out.push(DetTpRewriting {
+                view_index: i,
+                compensation,
+            });
+        }
+    }
+    out
+}
+
+/// Evaluates a deterministic single-view rewriting over an extension: the
+/// answer is the set of original nodes reached by the compensation inside
+/// any result subtree.
+pub fn det_answer_tp(rw: &DetTpRewriting, ext: &DetExtension) -> Vec<NodeId> {
+    let mut out: BTreeSet<NodeId> = BTreeSet::new();
+    for &(ext_root, _) in &ext.results {
+        let sub = ext.doc.subtree(ext_root);
+        for n in pxv_tpq::embed::eval(&rw.compensation, &sub) {
+            if let Some(orig) = ext.original_of(n) {
+                out.insert(orig);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// A deterministic TP∩-rewriting: the canonical intersection of (possibly
+/// compensated) views, following [8]'s canonical-plan approach.
+#[derive(Clone, Debug)]
+pub struct DetTpiRewriting {
+    /// `(view index, compensation)` pairs; `None` = the raw view.
+    pub parts: Vec<(usize, Option<TreePattern>)>,
+}
+
+/// Builds the canonical deterministic TP∩-rewriting if one exists.
+pub fn det_tpi_rewrite(
+    q: &TreePattern,
+    views: &[View],
+    interleaving_limit: usize,
+) -> Option<DetTpiRewriting> {
+    let mut parts: Vec<(usize, Option<TreePattern>)> = Vec::new();
+    let mut unfolded: Vec<TreePattern> = Vec::new();
+    for (i, v) in views.iter().enumerate() {
+        if contained_in(q, &v.pattern) {
+            parts.push((i, None));
+            unfolded.push(v.pattern.clone());
+        }
+        for a in 1..=q.mb_len() {
+            let prefix = q.prefix(a);
+            if v.pattern.output_label() != prefix.output_label()
+                || !contained_in(&prefix, &v.pattern)
+            {
+                continue;
+            }
+            let compensation = q.suffix(a);
+            let u = comp(&v.pattern, &compensation);
+            if contained_in(q, &u) {
+                parts.push((i, Some(compensation)));
+                unfolded.push(u);
+            }
+        }
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    let inter = TpIntersection::new(unfolded);
+    if inter.equivalent_to_tp(q, interleaving_limit) == Some(true) {
+        Some(DetTpiRewriting { parts })
+    } else {
+        None
+    }
+}
+
+/// Evaluates a deterministic TP∩ plan: intersect per-part candidate sets
+/// by persistent node id.
+pub fn det_answer_tpi(
+    rw: &DetTpiRewriting,
+    extensions: &[DetExtension],
+) -> Vec<NodeId> {
+    let mut acc: Option<BTreeSet<NodeId>> = None;
+    for (view_index, compensation) in &rw.parts {
+        let ext = &extensions[*view_index];
+        let mut cands: BTreeSet<NodeId> = BTreeSet::new();
+        match compensation {
+            None => cands.extend(ext.results.iter().map(|&(_, o)| o)),
+            Some(c) => {
+                for &(ext_root, _) in &ext.results {
+                    let sub = ext.doc.subtree(ext_root);
+                    for n in pxv_tpq::embed::eval(c, &sub) {
+                        if let Some(orig) = ext.original_of(n) {
+                            cands.insert(orig);
+                        }
+                    }
+                }
+            }
+        }
+        acc = Some(match acc {
+            None => cands,
+            Some(prev) => prev.intersection(&cands).copied().collect(),
+        });
+    }
+    acc.unwrap_or_default().into_iter().collect()
+}
+
+/// End-to-end deterministic baseline: materialize `D^d_V`, plan, answer.
+pub fn det_answer_with_views(d: &Document, q: &TreePattern, views: &[View]) -> Option<Vec<NodeId>> {
+    if let Some(rw) = det_tp_rewrite(q, views).into_iter().next() {
+        let ext = DetExtension::materialize(d, &views[rw.view_index]);
+        return Some(det_answer_tp(&rw, &ext));
+    }
+    let rw = det_tpi_rewrite(q, views, 5_000)?;
+    let extensions: Vec<DetExtension> = views
+        .iter()
+        .map(|v| DetExtension::materialize(d, v))
+        .collect();
+    Some(det_answer_tpi(&rw, &extensions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxv_pxml::examples_paper::fig1_dper;
+    use pxv_tpq::parse::parse_pattern;
+
+    fn p(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    #[test]
+    fn fact_1_deterministic_rewriting() {
+        let d = fig1_dper();
+        let q = p("IT-personnel//person[name/Rick]/bonus[laptop]");
+        let views = vec![View::new("v1BON", p("IT-personnel//person[name/Rick]/bonus"))];
+        let got = det_answer_with_views(&d, &q, &views).expect("Fact 1 plan");
+        assert_eq!(got, pxv_tpq::embed::eval(&q, &d));
+    }
+
+    #[test]
+    fn deterministic_rewriting_more_permissive_than_probabilistic() {
+        // Example 11: deterministic rewriting exists and retrieves the right
+        // node; the probabilistic one does not exist.
+        let q = p("a/b[c]");
+        let views = vec![View::new("v", p("a[.//c]/b"))];
+        let d = pxv_pxml::text::parse_document("a#0[b#1[c#2], c#3]").unwrap();
+        let got = det_answer_with_views(&d, &q, &views).expect("det plan exists");
+        assert_eq!(got, vec![pxv_pxml::NodeId(1)]);
+        assert!(crate::tp_rewrite::tp_rewrite(&q, &views).is_empty());
+    }
+
+    #[test]
+    fn det_tpi_intersection() {
+        let q = p("a[x]/b[y]/c");
+        let views = vec![
+            View::new("vx", p("a[x]/b/c")),
+            View::new("vy", p("a/b[y]/c")),
+        ];
+        // No single-view plan.
+        assert!(det_tp_rewrite(&q, &views).is_empty());
+        let d = pxv_pxml::text::parse_document("a#0[x#1, b#2[y#3, c#4], b#5[c#6]]").unwrap();
+        let got = det_answer_with_views(&d, &q, &views).expect("TP∩ plan");
+        assert_eq!(got, pxv_tpq::embed::eval(&q, &d));
+        assert_eq!(got, vec![pxv_pxml::NodeId(4)]);
+    }
+
+    #[test]
+    fn no_plan_when_views_insufficient() {
+        let q = p("a[x]/b[y]/c");
+        let views = vec![View::new("vx", p("a[x]/b/c"))];
+        let d = pxv_pxml::text::parse_document("a#0[x#1, b#2[y#3, c#4]]").unwrap();
+        assert!(det_answer_with_views(&d, &q, &views).is_none());
+    }
+
+    #[test]
+    fn randomized_agreement_with_direct() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(44);
+        let cfg = pxv_pxml::generators::RandomPDocConfig {
+            dist_density: 0.0, // deterministic documents
+            target_size: 30,
+            max_depth: 6,
+            ..Default::default()
+        };
+        let mut plans = 0;
+        for _ in 0..40 {
+            let pd = pxv_pxml::generators::random_pdocument(&cfg, &mut rng);
+            let Some(d) = pd.to_document() else { continue };
+            if d.label(d.root()) != pxv_pxml::Label::new("a") {
+                continue;
+            }
+            for (qs, vs) in [("a//b/c", "a//b"), ("a//b[c]", "a//b"), ("a//c", "a//c")] {
+                let q = p(qs);
+                let views = vec![View::new("v", p(vs))];
+                if let Some(got) = det_answer_with_views(&d, &q, &views) {
+                    plans += 1;
+                    assert_eq!(got, pxv_tpq::embed::eval(&q, &d), "{qs} over {vs}");
+                }
+            }
+        }
+        assert!(plans > 10);
+    }
+}

@@ -1,0 +1,281 @@
+//! Minimal exact rational arithmetic for the `S(q,V)` linear system.
+//!
+//! The system's coefficient matrix is 0/1 (§5.3); Gaussian elimination
+//! over `i128` rationals decides "unique solution for `Pr(n ∈ q(P))`"
+//! exactly, with no floating-point rank guesses. Magnitudes stay tiny for
+//! any realistic view set, but every operation checks for overflow.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num/den` with `den > 0`, always reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den`; panics on zero denominator or overflow during
+    /// reduction.
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Rat {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    /// Integer rational.
+    pub fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Numerator (after reduction; sign carried here).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff this is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Rat {
+        assert!(self.num != 0, "division by zero rational");
+        Rat::new(self.den, self.num)
+    }
+
+    /// Conversion to `f64` (used only to *apply* solved exponents).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, o: Rat) -> Rat {
+        let num = self
+            .num
+            .checked_mul(o.den)
+            .and_then(|a| o.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+            .expect("rational overflow in add");
+        let den = self.den.checked_mul(o.den).expect("rational overflow");
+        Rat::new(num, den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, o: Rat) -> Rat {
+        self + (-o)
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, o: Rat) -> Rat {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num, o.den).max(1);
+        let g2 = gcd(o.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(o.num / g2)
+            .expect("rational overflow in mul");
+        let den = (self.den / g2)
+            .checked_mul(o.den / g1)
+            .expect("rational overflow in mul");
+        Rat::new(num, den)
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    fn div(self, o: Rat) -> Rat {
+        self * o.recip()
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Solves `M · x = b` exactly, where `M` is `rows × cols`. Returns any
+/// solution `x` if the system is consistent, `None` otherwise.
+pub fn solve_linear(m: &[Vec<Rat>], b: &[Rat]) -> Option<Vec<Rat>> {
+    let rows = m.len();
+    assert_eq!(rows, b.len());
+    let cols = if rows == 0 { 0 } else { m[0].len() };
+    // Augmented matrix.
+    let mut a: Vec<Vec<Rat>> = m
+        .iter()
+        .zip(b)
+        .map(|(r, &bi)| {
+            assert_eq!(r.len(), cols);
+            let mut row = r.clone();
+            row.push(bi);
+            row
+        })
+        .collect();
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; cols];
+    let mut r = 0usize;
+    for c in 0..cols {
+        // Find pivot.
+        let Some(p) = (r..rows).find(|&i| !a[i][c].is_zero()) else {
+            continue;
+        };
+        a.swap(r, p);
+        let inv = a[r][c].recip();
+        for j in c..=cols {
+            a[r][j] = a[r][j] * inv;
+        }
+        for i in 0..rows {
+            if i != r && !a[i][c].is_zero() {
+                let f = a[i][c];
+                for j in c..=cols {
+                    a[i][j] = a[i][j] - f * a[r][j];
+                }
+            }
+        }
+        pivot_of_col[c] = Some(r);
+        r += 1;
+        if r == rows {
+            break;
+        }
+    }
+    // Inconsistency: zero row with nonzero RHS.
+    for i in r..rows {
+        if a[i][..cols].iter().all(Rat::is_zero) && !a[i][cols].is_zero() {
+            return None;
+        }
+    }
+    // Read off a particular solution (free variables = 0).
+    let mut x = vec![Rat::ZERO; cols];
+    for c in 0..cols {
+        if let Some(pr) = pivot_of_col[c] {
+            x[c] = a[pr][cols];
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(1, -2), Rat::new(-1, 2));
+        assert!((Rat::new(3, 4).to_f64() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // x + y = 3, x - y = 1  =>  x = 2, y = 1.
+        let m = vec![
+            vec![Rat::ONE, Rat::ONE],
+            vec![Rat::ONE, -Rat::ONE],
+        ];
+        let b = vec![Rat::int(3), Rat::int(1)];
+        let x = solve_linear(&m, &b).unwrap();
+        assert_eq!(x, vec![Rat::int(2), Rat::int(1)]);
+    }
+
+    #[test]
+    fn inconsistent_system() {
+        // x + y = 1, x + y = 2: inconsistent.
+        let m = vec![
+            vec![Rat::ONE, Rat::ONE],
+            vec![Rat::ONE, Rat::ONE],
+        ];
+        let b = vec![Rat::int(1), Rat::int(2)];
+        assert!(solve_linear(&m, &b).is_none());
+    }
+
+    #[test]
+    fn underdetermined_system_gives_some_solution() {
+        // x + y = 2: many solutions; check the returned one satisfies it.
+        let m = vec![vec![Rat::ONE, Rat::ONE]];
+        let b = vec![Rat::int(2)];
+        let x = solve_linear(&m, &b).unwrap();
+        assert_eq!(x[0] + x[1], Rat::int(2));
+    }
+
+    #[test]
+    fn example_16_shape() {
+        // y + x1 + x3 = v1; y + x2 + x3 = v2; y + x1 + x2 = v3; y = v4;
+        // solve for coefficients c with Σ ci · row_i = target row
+        // (target = y + x1 + x2 + x3): transposed system.
+        // rows (y,x1,x2,x3): v1=(1,1,0,1) v2=(1,0,1,1) v3=(1,1,1,0) v4=(1,0,0,0)
+        // target t=(1,1,1,1). Solve Mᵀ c = t.
+        let rows = [
+            [1, 1, 0, 1],
+            [1, 0, 1, 1],
+            [1, 1, 1, 0],
+            [1, 0, 0, 0],
+        ];
+        let cols = 4;
+        let mt: Vec<Vec<Rat>> = (0..cols)
+            .map(|c| (0..4).map(|r| Rat::int(rows[r][c])).collect())
+            .collect();
+        let t = vec![Rat::ONE; 4];
+        let c = solve_linear(&mt, &t).unwrap();
+        // Verify: Σ ci rowi = t.
+        for col in 0..cols {
+            let mut s = Rat::ZERO;
+            for r in 0..4 {
+                s = s + c[r] * Rat::int(rows[r][col]);
+            }
+            assert_eq!(s, Rat::ONE, "column {col}");
+        }
+        // Known solution: c = (1/2, 1/2, 1/2, -1/2).
+        assert_eq!(c, vec![Rat::new(1, 2); 3].into_iter().chain([Rat::new(-1, 2)]).collect::<Vec<_>>());
+    }
+}

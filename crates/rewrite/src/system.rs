@@ -1,0 +1,216 @@
+//! The `S(q,V)` log-linear system (§5.3, Theorem 5, Prop. 5).
+//!
+//! Taking logarithms of the decomposition equations
+//! `Pr(n ∈ vi(P)) = Pr(n ∈ P) · Π_{wj ∈ Wi} Pr(n ∈ wj(P) | n ∈ P)` gives a
+//! linear system over the unknowns `x_P = ln Pr(n ∈ P)` and
+//! `x_j = ln Pr(n ∈ wj | n ∈ P)`, one equation per view, plus the target
+//! combination `x_q = x_P + Σ_{wj ∈ Wq} x_j`. A probabilistic
+//! TP∩-rewriting exists iff the target is *determined*: iff the target row
+//! lies in the row space of the view rows, i.e. iff there are coefficients
+//! `c` with `Σ ci · rowi = target` — and then
+//! `fr(n) = Π_i Pr(n ∈ vi(P))^{ci}`, computable from extensions alone.
+//!
+//! Everything is decided by exact rational Gaussian elimination.
+
+use crate::dviews::{decompose_all, Decomposition};
+use crate::rational::{solve_linear, Rat};
+use crate::tpi_rewrite::VirtualView;
+use pxv_pxml::NodeId;
+use pxv_tpq::pattern::TreePattern;
+
+/// A built `S(q,V)` system.
+#[derive(Clone, Debug)]
+pub struct SqvSystem {
+    /// The underlying decomposition (d-views, `Wi`, `Wq`).
+    pub decomposition: Decomposition,
+    /// View rows over the variables `[x_P, x_1 … x_s]` (0/1 coefficients).
+    pub rows: Vec<Vec<Rat>>,
+    /// Target row for `x_q`.
+    pub target: Vec<Rat>,
+    /// Coefficients `c` with `Σ ci · rowi = target`, when the target is
+    /// determined.
+    pub coefficients: Option<Vec<Rat>>,
+}
+
+/// Builds and solves `S(q, V)` for unfolded view patterns.
+pub fn build_system(q: &TreePattern, view_patterns: &[TreePattern]) -> SqvSystem {
+    let decomposition = decompose_all(q, view_patterns);
+    let s = decomposition.dviews.len();
+    let row_of = |set: &[usize]| -> Vec<Rat> {
+        let mut row = vec![Rat::ZERO; s + 1];
+        row[0] = Rat::ONE; // x_P
+        for &j in set {
+            row[j + 1] = Rat::ONE;
+        }
+        row
+    };
+    let rows: Vec<Vec<Rat>> = decomposition.per_view.iter().map(|w| row_of(w)).collect();
+    let target = row_of(&decomposition.wq);
+    // Solve Mᵀ c = target.
+    let m = rows.len();
+    let mt: Vec<Vec<Rat>> = (0..s + 1)
+        .map(|col| (0..m).map(|r| rows[r][col]).collect())
+        .collect();
+    let coefficients = solve_linear(&mt, &target);
+    SqvSystem {
+        decomposition,
+        rows,
+        target,
+        coefficients,
+    }
+}
+
+impl SqvSystem {
+    /// Whether the system admits a unique solution for `Pr(n ∈ q(P))`
+    /// (Theorem 5's criterion).
+    pub fn is_solvable(&self) -> bool {
+        self.coefficients.is_some()
+    }
+
+    /// Applies `fr(n) = Π Pr(n ∈ vi(P))^{ci}` using materialized view
+    /// probabilities. Returns 0 for nodes missing from a positively-used
+    /// view.
+    pub fn fr(&self, views: &[VirtualView], n: NodeId) -> f64 {
+        let Some(coeffs) = &self.coefficients else {
+            return 0.0;
+        };
+        let mut out = 1.0;
+        for (i, c) in coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            let p = views[i].prob(n);
+            if p <= 0.0 {
+                return 0.0;
+            }
+            out *= p.powf(c.to_f64());
+        }
+        out
+    }
+
+    /// Answers the plan: nodes present in every view (the canonical
+    /// deterministic intersection), with their probabilities.
+    pub fn answer(&self, views: &[VirtualView]) -> Vec<(NodeId, f64)> {
+        if views.is_empty() {
+            return Vec::new();
+        }
+        let mut candidates: Vec<NodeId> = views[0].probs.keys().copied().collect();
+        candidates.retain(|n| views.iter().all(|v| v.prob(*n) > 0.0));
+        candidates.sort_unstable();
+        candidates
+            .into_iter()
+            .map(|n| (n, self.fr(views, n)))
+            .filter(|&(_, p)| p > 0.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{ProbExtension, View};
+    use pxv_tpq::parse::parse_pattern;
+
+    fn p(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    #[test]
+    fn example_16_system_is_solvable() {
+        let q = p("a[1]/b[2]/c[3]/d");
+        let views = vec![
+            p("a[1]/b/c[3]/d"),
+            p("a/b[2]/c[3]/d"),
+            p("a[1]/b[2]/c/d"),
+            p("a//d"),
+        ];
+        let sys = build_system(&q, &views);
+        assert!(sys.is_solvable(), "Example 16's system must be solvable");
+        // Known solution: c = (1/2, 1/2, 1/2, -1/2).
+        let c = sys.coefficients.clone().unwrap();
+        assert_eq!(
+            c,
+            vec![
+                Rat::new(1, 2),
+                Rat::new(1, 2),
+                Rat::new(1, 2),
+                Rat::new(-1, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn example_16_without_v4_is_not_solvable() {
+        // Without the appearance view, Pr(n ∈ P) cannot be recovered.
+        let q = p("a[1]/b[2]/c[3]/d");
+        let views = vec![
+            p("a[1]/b/c[3]/d"),
+            p("a/b[2]/c[3]/d"),
+            p("a[1]/b[2]/c/d"),
+        ];
+        let sys = build_system(&q, &views);
+        assert!(!sys.is_solvable());
+    }
+
+    #[test]
+    fn example_16_fr_matches_direct_evaluation() {
+        use pxv_pxml::text::parse_pdocument;
+        let q = p("a[1]/b[2]/c[3]/d");
+        let views = vec![
+            p("a[1]/b/c[3]/d"),
+            p("a/b[2]/c[3]/d"),
+            p("a[1]/b[2]/c/d"),
+            p("a//d"),
+        ];
+        let sys = build_system(&q, &views);
+        let pdoc = parse_pdocument(
+            "a#0[ind#1(0.9: 1#2), b#3[ind#4(0.8: 2#5), c#6[ind#7(0.7: 3#8), mux#9(0.6: d#10)]]]",
+        )
+        .unwrap();
+        let vviews: Vec<VirtualView> = views
+            .iter()
+            .enumerate()
+            .map(|(i, pat)| {
+                let v = View::new(format!("v{i}"), pat.clone());
+                VirtualView::from_extension(&ProbExtension::materialize(&pdoc, &v))
+            })
+            .collect();
+        let n = NodeId(10);
+        let got = sys.fr(&vviews, n);
+        let want = pxv_peval::eval_tp_at(&pdoc, &q, n);
+        assert!((want - 0.9 * 0.8 * 0.7 * 0.6).abs() < 1e-9);
+        assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        let answers = sys.answer(&vviews);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].0, n);
+    }
+
+    #[test]
+    fn pairwise_independent_views_solve_with_unit_coefficients() {
+        // Theorem 3 as a special case of the system: v1, v2, appearance.
+        let q = p("a[1]/b[2]/c");
+        let views = vec![p("a[1]/b/c"), p("a/b[2]/c"), p("a/b/c")];
+        let sys = build_system(&q, &views);
+        assert!(sys.is_solvable());
+        let c = sys.coefficients.unwrap();
+        assert_eq!(c, vec![Rat::ONE, Rat::ONE, Rat::int(-1)]);
+    }
+
+    #[test]
+    fn insufficient_views_unsolvable() {
+        // Single view missing a predicate: cannot determine x_q.
+        let q = p("a[1]/b[2]/c");
+        let views = vec![p("a[1]/b/c"), p("a/b/c")];
+        let sys = build_system(&q, &views);
+        assert!(!sys.is_solvable());
+    }
+
+    #[test]
+    fn identity_view_trivially_solvable() {
+        let q = p("a[1]/b[2]/c");
+        let views = vec![p("a[1]/b[2]/c")];
+        let sys = build_system(&q, &views);
+        assert!(sys.is_solvable());
+        assert_eq!(sys.coefficients.unwrap(), vec![Rat::ONE]);
+    }
+}

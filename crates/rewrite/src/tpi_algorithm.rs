@@ -1,0 +1,236 @@
+//! **TPIrewrite** (§5.4, Figure 7): probabilistic TP∩-rewritings with
+//! possibly compensated views.
+//!
+//! Starting from views `V` (each containing `q` or a prefix of it), the
+//! algorithm expands `V` into `V′` with every compensation
+//! `comp(v, q_(a))` for prefixes `q(a) ⊑ v`, builds the canonical plan
+//! `qr = ⋂_{vi ∈ V′} doc(vi)/vi`, and checks `unfold(qr) ≡ q`. For the
+//! probability side it keeps the subset `V″ ⊆ V′` of views whose result
+//! probabilities are computable from the *original* extensions — original
+//! views, plus compensated ones passing the §4 conditions (re-used through
+//! [`crate::tp_rewrite::try_view`]) — and tests whether `S(q, V″)` has a
+//! unique solution for `Pr(n ∈ q(P))`.
+//!
+//! Sound; complete unless `mb(q)` is `/`-only (Prop. 6); PTime modulo the
+//! TP∩-equivalence tests, which are polynomial on extended skeletons
+//! (Corollary 3).
+
+use crate::system::{build_system, SqvSystem};
+use crate::tp_rewrite::{try_view, TpRewriting};
+use crate::view::View;
+use pxv_tpq::compose::comp;
+use pxv_tpq::containment::contained_in;
+use pxv_tpq::intersect::TpIntersection;
+use pxv_tpq::pattern::TreePattern;
+
+/// One member of the canonical plan.
+#[derive(Clone, Debug)]
+pub struct TpiPart {
+    /// Index of the base view in the input set.
+    pub view_index: usize,
+    /// Compensation applied to the view (`None` for the view itself).
+    /// When present, this is `q_(a)` and the unfolding is
+    /// `comp(v, q_(a))`.
+    pub compensation: Option<TreePattern>,
+    /// The unfolded pattern of this part.
+    pub unfolded: TreePattern,
+    /// For compensated parts in `V″`: the §4 rewriting descriptor used to
+    /// compute the part's probabilities from the base view's extension.
+    pub tp_descriptor: Option<TpRewriting>,
+}
+
+/// A successful TPIrewrite plan.
+#[derive(Clone, Debug)]
+pub struct TpiRewriting {
+    /// The canonical plan members `V′` (deterministic node retrieval).
+    pub parts: Vec<TpiPart>,
+    /// Indices into `parts` forming `V″` (probability-computable views).
+    pub fr_parts: Vec<usize>,
+    /// The solved `S(q, V″)` system.
+    pub system: SqvSystem,
+}
+
+/// Why TPIrewrite failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TpiReject {
+    /// `unfold(qr) ≢ q`: the canonical plan is not a deterministic
+    /// rewriting (no plan exists at all, by canonicity [8]).
+    NotEquivalent,
+    /// Interleaving blow-up during the equivalence test.
+    EquivalenceTooExpensive,
+    /// `S(q, V″)` has no unique solution for `Pr(n ∈ q(P))`.
+    SystemUnsolvable,
+}
+
+/// Runs TPIrewrite. `interleaving_limit` bounds the equivalence tests
+/// (the "modulo equivalence tests" of Prop. 6).
+pub fn tpi_rewrite(
+    q: &TreePattern,
+    views: &[View],
+    interleaving_limit: usize,
+) -> Result<TpiRewriting, TpiReject> {
+    let mut parts: Vec<TpiPart> = Vec::new();
+    let mut seen_keys: Vec<String> = Vec::new();
+    let mut push_part = |part: TpiPart, parts: &mut Vec<TpiPart>| {
+        let key = part.unfolded.canonical_key();
+        if !seen_keys.contains(&key) {
+            seen_keys.push(key);
+            parts.push(part);
+        }
+    };
+    // Original views that contain q participate directly (V ⊆ V′, V″).
+    for (i, v) in views.iter().enumerate() {
+        if contained_in(q, &v.pattern) {
+            push_part(
+                TpiPart {
+                    view_index: i,
+                    compensation: None,
+                    unfolded: v.pattern.clone(),
+                    tp_descriptor: None,
+                },
+                &mut parts,
+            );
+        }
+    }
+    // Prefs: compensations comp(v, q_(a)) for prefixes q(a) ⊑ v.
+    for (i, v) in views.iter().enumerate() {
+        for a in 1..=q.mb_len() {
+            let prefix = q.prefix(a);
+            if v.pattern.output_label() != prefix.output_label() {
+                continue;
+            }
+            if !contained_in(&prefix, &v.pattern) {
+                continue;
+            }
+            let compensation = q.suffix(a);
+            let unfolded = comp(&v.pattern, &compensation);
+            if !contained_in(q, &unfolded) {
+                continue;
+            }
+            // §4 conditions decide membership in V″: the compensated
+            // view's probabilities must be computable from v's extension.
+            let descriptor = try_view(&unfolded, std::slice::from_ref(v), 0).ok();
+            push_part(
+                TpiPart {
+                    view_index: i,
+                    compensation: Some(compensation),
+                    unfolded,
+                    tp_descriptor: descriptor,
+                },
+                &mut parts,
+            );
+        }
+    }
+    if parts.is_empty() {
+        return Err(TpiReject::NotEquivalent);
+    }
+    // Canonical plan: ⋂ parts ≡ q?
+    let inter = TpIntersection::new(parts.iter().map(|p| p.unfolded.clone()).collect());
+    match inter.equivalent_to_tp(q, interleaving_limit) {
+        None => return Err(TpiReject::EquivalenceTooExpensive),
+        Some(false) => return Err(TpiReject::NotEquivalent),
+        Some(true) => {}
+    }
+    // V″: originals + compensated parts with a §4 descriptor.
+    let fr_parts: Vec<usize> = (0..parts.len())
+        .filter(|&i| parts[i].compensation.is_none() || parts[i].tp_descriptor.is_some())
+        .collect();
+    let fr_patterns: Vec<TreePattern> = fr_parts
+        .iter()
+        .map(|&i| parts[i].unfolded.clone())
+        .collect();
+    let system = build_system(q, &fr_patterns);
+    if !system.is_solvable() {
+        return Err(TpiReject::SystemUnsolvable);
+    }
+    Ok(TpiRewriting {
+        parts,
+        fr_parts,
+        system,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxv_tpq::parse::parse_pattern;
+
+    fn p(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    fn vs(defs: &[&str]) -> Vec<View> {
+        defs.iter()
+            .enumerate()
+            .map(|(i, s)| View::new(format!("v{i}"), p(s)))
+            .collect()
+    }
+
+    #[test]
+    fn example_16_views_accepted() {
+        let q = p("a[1]/b[2]/c[3]/d");
+        let views = vs(&["a[1]/b/c[3]/d", "a/b[2]/c[3]/d", "a[1]/b[2]/c/d", "a//d"]);
+        let rw = tpi_rewrite(&q, &views, 5_000).expect("Example 16 must plan");
+        assert!(rw.system.is_solvable());
+        assert!(rw.fr_parts.len() >= 4);
+    }
+
+    #[test]
+    fn example_16_without_appearance_view_rejected() {
+        let q = p("a[1]/b[2]/c[3]/d");
+        let views = vs(&["a[1]/b/c[3]/d", "a/b[2]/c[3]/d", "a[1]/b[2]/c/d"]);
+        assert_eq!(
+            tpi_rewrite(&q, &views, 5_000).err(),
+            Some(TpiReject::SystemUnsolvable)
+        );
+    }
+
+    #[test]
+    fn compensation_expands_the_view_set() {
+        // Example 15: v2BON compensated with bonus[laptop] joins v1BON.
+        let q = p("IT-personnel//person[name/Rick]/bonus[laptop]");
+        let views = vs(&[
+            "IT-personnel//person[name/Rick]/bonus",
+            "IT-personnel//person/bonus",
+        ]);
+        let rw = tpi_rewrite(&q, &views, 5_000).expect("plan exists");
+        // Some compensated part of v1 (index 1) must appear.
+        assert!(rw
+            .parts
+            .iter()
+            .any(|part| part.view_index == 1 && part.compensation.is_some()));
+        // All parts usable for fr here.
+        assert_eq!(rw.fr_parts.len(), rw.parts.len());
+    }
+
+    #[test]
+    fn insufficient_views_rejected() {
+        let q = p("a[1]/b[2]/c");
+        let views = vs(&["a[1]/b/c"]);
+        let err = tpi_rewrite(&q, &views, 5_000).err().unwrap();
+        assert!(
+            err == TpiReject::NotEquivalent || err == TpiReject::SystemUnsolvable,
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn compensated_view_with_uncomputable_probability_excluded_from_fr() {
+        // Example 11 inside TP∩: v = a[.//c]/b can retrieve nodes of
+        // q = a/b[c] deterministically but its compensated probability is
+        // not computable, so it cannot join V″; with no other view the
+        // system is unsolvable.
+        let q = p("a/b[c]");
+        let views = vs(&["a[.//c]/b"]);
+        let res = tpi_rewrite(&q, &views, 5_000);
+        assert_eq!(res.err(), Some(TpiReject::SystemUnsolvable));
+    }
+
+    #[test]
+    fn identity_view_plans_trivially() {
+        let q = p("a//b[c]/d");
+        let views = vs(&["a//b[c]/d"]);
+        let rw = tpi_rewrite(&q, &views, 5_000).expect("identity plan");
+        assert_eq!(rw.parts.len(), 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! Views and their (probabilistic) extensions (§3, §3.1).
+//!
+//! A view is a named TP query. Its probabilistic extension `P̂_v` bundles
+//! the view's results: a `doc(v)`-labeled root, one `ind` child, and below
+//! it one subtree `P̂_n` per result `(n, p) ∈ v(P̂)` with edge probability
+//! `p`. Every ordinary node of a result subtree carries an extra child
+//! labeled `Id(n)` exposing the original node identity (the paper's
+//! post-processing step) — the same original node may occur in several
+//! result subtrees, so extension nodes get fresh ids and `Id(·)` markers
+//! carry identity.
+//!
+//! The `ind` node conveys *no* independence assumption (§3.1): all
+//! probability functions in this crate only ever combine (i) the per-result
+//! edge probabilities and (ii) probabilities computed *within a single
+//! result subtree*, exactly as the paper's `fr` constructions do.
+
+use pxv_pxml::{Document, Label, NodeId, PDocument, PKind};
+use pxv_tpq::pattern::{Axis, TreePattern};
+use std::collections::HashMap;
+
+/// A named view.
+#[derive(Clone, Debug)]
+pub struct View {
+    /// View name (`v ∈ V`, disjoint from the label alphabet).
+    pub name: String,
+    /// The TP query defining the view.
+    pub pattern: TreePattern,
+}
+
+impl View {
+    /// Creates a view.
+    pub fn new(name: impl Into<String>, pattern: TreePattern) -> View {
+        View {
+            name: name.into(),
+            pattern,
+        }
+    }
+
+    /// The `doc(v)` label of this view's extensions.
+    pub fn doc_label(&self) -> Label {
+        Label::new(&format!("doc({})", self.name))
+    }
+}
+
+/// The `Id(n)` marker label for original node `n`.
+pub fn id_label(n: NodeId) -> Label {
+    Label::new(&format!("Id({})", n.0))
+}
+
+/// Parses an `Id(n)` label back to the original node id.
+pub fn parse_id_label(l: Label) -> Option<NodeId> {
+    let s = l.name();
+    let inner = s.strip_prefix("Id(")?.strip_suffix(')')?;
+    inner.parse::<u32>().ok().map(NodeId)
+}
+
+/// Builds the plan pattern `doc(v)/…` from a compensation whose root is
+/// `lbl(v)`: a fresh `doc(v)` root with the compensation grafted below via
+/// a `/`-edge; the output is the compensation's output.
+pub fn doc_plan(view: &View, compensation: &TreePattern) -> TreePattern {
+    let mut q = TreePattern::leaf(view.doc_label());
+    let root = q.root();
+    // Manual graft tracking the output image.
+    let top = q.add_child(root, Axis::Child, compensation.label(compensation.root()));
+    let mut map = vec![pxv_tpq::QNodeId(u32::MAX); compensation.len()];
+    map[compensation.root().0 as usize] = top;
+    let mut stack = vec![compensation.root()];
+    while let Some(n) = stack.pop() {
+        let d = map[n.0 as usize];
+        for &c in compensation.children(n) {
+            let dc = q.add_child(d, compensation.axis(c), compensation.label(c));
+            map[c.0 as usize] = dc;
+            stack.push(c);
+        }
+    }
+    q.set_output(map[compensation.output().0 as usize]);
+    q
+}
+
+/// One view result bundled in an extension.
+#[derive(Clone, Copy, Debug)]
+pub struct ViewResult {
+    /// Root of the result subtree inside the extension (fresh id).
+    pub ext_root: NodeId,
+    /// The original p-document node this result selects.
+    pub orig: NodeId,
+    /// `Pr(orig ∈ v(P))` — the probability attached to the `ind` edge.
+    pub prob: f64,
+}
+
+/// The probabilistic view extension `P̂_v` (§3.1).
+#[derive(Clone, Debug)]
+pub struct ProbExtension {
+    /// The view this extension materializes.
+    pub view: View,
+    /// The extension as a p-document (`doc(v)` root, `ind` child, result
+    /// subtrees with `Id(·)` markers).
+    pub pdoc: PDocument,
+    /// The bundled results, sorted by original node id.
+    pub results: Vec<ViewResult>,
+    /// Original id of every ordinary extension node (markers excluded).
+    orig_of: HashMap<NodeId, NodeId>,
+}
+
+impl ProbExtension {
+    /// Materializes `P̂_v` from the original p-document. This is the *only*
+    /// function that touches `P̂`; everything downstream (probability
+    /// functions, plan evaluation) uses the extension alone.
+    pub fn materialize(pdoc: &PDocument, view: &View) -> ProbExtension {
+        let answers = pxv_peval::eval_tp(pdoc, &view.pattern);
+        let mut ext = PDocument::new(view.doc_label());
+        let ind = ext.add_dist(ext.root(), PKind::Ind, 1.0);
+        let mut orig_of = HashMap::new();
+        let mut results = Vec::with_capacity(answers.len());
+        for (orig, prob) in answers {
+            let ext_root = copy_subtree_with_markers(pdoc, orig, &mut ext, ind, prob, &mut orig_of);
+            results.push(ViewResult {
+                ext_root,
+                orig,
+                prob,
+            });
+        }
+        ProbExtension {
+            view: view.clone(),
+            pdoc: ext,
+            results,
+            orig_of,
+        }
+    }
+
+    /// The result whose selected original node is `orig`.
+    pub fn result_for(&self, orig: NodeId) -> Option<&ViewResult> {
+        self.results.iter().find(|r| r.orig == orig)
+    }
+
+    /// Indices of results whose subtree contains (an occurrence of)
+    /// original node `orig` — i.e. results selecting an ancestor-or-self of
+    /// `orig`, shallowest first.
+    pub fn results_containing(&self, orig: NodeId) -> Vec<usize> {
+        let mut hits: Vec<usize> = (0..self.results.len())
+            .filter(|&i| !self.occurrences_in_result(i, orig).is_empty())
+            .collect();
+        // Shallowest ancestor = the one whose subtree contains the others'
+        // roots; sort by decreasing subtree size ≈ ancestry order. We sort
+        // by the depth of orig's occurrence (larger depth ⇒ higher root).
+        hits.sort_by_key(|&i| {
+            let occ = self.occurrences_in_result(i, orig)[0];
+            std::cmp::Reverse(self.depth_in_result(i, occ))
+        });
+        hits
+    }
+
+    /// Extension nodes inside result `i` whose original id is `orig`.
+    pub fn occurrences_in_result(&self, i: usize, orig: NodeId) -> Vec<NodeId> {
+        let root = self.results[i].ext_root;
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if self.orig_of.get(&n) == Some(&orig) {
+                out.push(n);
+            }
+            stack.extend(self.pdoc.children(n).iter().copied());
+        }
+        out
+    }
+
+    /// Original id of an extension node.
+    pub fn original_of(&self, ext_node: NodeId) -> Option<NodeId> {
+        self.orig_of.get(&ext_node).copied()
+    }
+
+    /// The result subtree `P̂^{n_i}_v` as a standalone p-document
+    /// (markers included).
+    pub fn result_subtree(&self, i: usize) -> PDocument {
+        self.pdoc.subtree(self.results[i].ext_root)
+    }
+
+    /// Number of *ordinary, non-marker* nodes from the result root to
+    /// `ext_node`, inclusive on both ends (the paper's `s(i, j)` when
+    /// `ext_node` is an occurrence of `n_j` in result `i`).
+    pub fn depth_in_result(&self, i: usize, ext_node: NodeId) -> usize {
+        let root = self.results[i].ext_root;
+        let mut depth = 0;
+        let mut cur = Some(ext_node);
+        while let Some(c) = cur {
+            if self.orig_of.contains_key(&c) {
+                depth += 1;
+            }
+            if c == root {
+                return depth;
+            }
+            cur = self.pdoc.parent(c);
+        }
+        panic!("ext node {ext_node} not inside result {i}");
+    }
+}
+
+/// Copies `P̂_orig` under `parent` in `ext` with fresh ids and `Id(·)`
+/// markers; returns the copy's root id.
+fn copy_subtree_with_markers(
+    src: &PDocument,
+    orig: NodeId,
+    ext: &mut PDocument,
+    parent: NodeId,
+    top_prob: f64,
+    orig_of: &mut HashMap<NodeId, NodeId>,
+) -> NodeId {
+    let root_label = src.label(orig).expect("view results are ordinary nodes");
+    let ext_root = ext.add_ordinary(parent, root_label, top_prob);
+    orig_of.insert(ext_root, orig);
+    ext.add_ordinary(ext_root, id_label(orig), 1.0);
+    let mut stack = vec![(orig, ext_root)];
+    while let Some((s, d)) = stack.pop() {
+        for &c in src.children(s) {
+            let prob = src.child_prob(s, c);
+            match src.kind(c) {
+                PKind::Ordinary(l) => {
+                    let dc = ext.add_ordinary(d, *l, prob);
+                    orig_of.insert(dc, c);
+                    ext.add_ordinary(dc, id_label(c), 1.0);
+                    stack.push((c, dc));
+                }
+                k => {
+                    let dc = ext.add_dist(d, k.clone(), prob);
+                    stack.push((c, dc));
+                }
+            }
+        }
+    }
+    ext_root
+}
+
+/// Deterministic view extension `d_v` (§3) with `Id(·)` markers.
+#[derive(Clone, Debug)]
+pub struct DetExtension {
+    /// The view.
+    pub view: View,
+    /// The extension document.
+    pub doc: Document,
+    /// `(extension subtree root, original node)` per result.
+    pub results: Vec<(NodeId, NodeId)>,
+    orig_of: HashMap<NodeId, NodeId>,
+}
+
+impl DetExtension {
+    /// Materializes `d_v` from a deterministic document.
+    pub fn materialize(d: &Document, view: &View) -> DetExtension {
+        let answers = pxv_tpq::embed::eval(&view.pattern, d);
+        let mut doc = Document::new(view.doc_label());
+        let mut orig_of = HashMap::new();
+        let mut results = Vec::with_capacity(answers.len());
+        for orig in answers {
+            let root = doc.root();
+            let ext_root = {
+                let r = doc.add_child(root, d.label(orig));
+                orig_of.insert(r, orig);
+                doc.add_child(r, id_label(orig));
+                let mut stack = vec![(orig, r)];
+                while let Some((s, dd)) = stack.pop() {
+                    for &c in d.children(s) {
+                        let dc = doc.add_child(dd, d.label(c));
+                        orig_of.insert(dc, c);
+                        doc.add_child(dc, id_label(c));
+                        stack.push((c, dc));
+                    }
+                }
+                r
+            };
+            results.push((ext_root, orig));
+        }
+        DetExtension {
+            view: view.clone(),
+            doc,
+            results,
+            orig_of,
+        }
+    }
+
+    /// Original id of an extension node.
+    pub fn original_of(&self, ext_node: NodeId) -> Option<NodeId> {
+        self.orig_of.get(&ext_node).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxv_pxml::examples_paper::{fig1_dper, fig2_pper};
+    use pxv_tpq::parse::parse_pattern;
+
+    fn v(name: &str, s: &str) -> View {
+        View::new(name, parse_pattern(s).unwrap())
+    }
+
+    #[test]
+    fn example_7_det_extension() {
+        // (dPER)_{v1BON}: one result subtree rooted at a copy of n5.
+        let d = fig1_dper();
+        let v1 = v("v1BON", "IT-personnel//person[name/Rick]/bonus");
+        let ext = DetExtension::materialize(&d, &v1);
+        assert_eq!(ext.results.len(), 1);
+        assert_eq!(ext.results[0].1, NodeId(5));
+        assert_eq!(ext.doc.label(ext.doc.root()), Label::new("doc(v1BON)"));
+        // v2BON: two results (n5 and n7).
+        let v2 = v("v2BON", "IT-personnel//person/bonus");
+        let ext2 = DetExtension::materialize(&d, &v2);
+        let origs: Vec<NodeId> = ext2.results.iter().map(|&(_, o)| o).collect();
+        assert_eq!(origs, vec![NodeId(5), NodeId(7)]);
+    }
+
+    #[test]
+    fn example_8_prob_extension() {
+        // (P̂PER)_{v1BON}: n5 bundled with probability 0.75.
+        let pper = fig2_pper();
+        let v1 = v("v1BON", "IT-personnel//person[name/Rick]/bonus");
+        let ext = ProbExtension::materialize(&pper, &v1);
+        assert_eq!(ext.results.len(), 1);
+        assert_eq!(ext.results[0].orig, NodeId(5));
+        assert!((ext.results[0].prob - 0.75).abs() < 1e-9);
+        assert!(ext.pdoc.validate().is_ok());
+        // The subtree keeps the mux structure under bonus: pda/laptop/pda.
+        let sub = ext.result_subtree(0);
+        assert!(sub.distributional_count() >= 1);
+        // v2BON: both bonuses, probability 1 each (Example 8).
+        let v2 = v("v2BON", "IT-personnel//person/bonus");
+        let ext2 = ProbExtension::materialize(&pper, &v2);
+        assert_eq!(ext2.results.len(), 2);
+        for r in &ext2.results {
+            assert!((r.prob - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn id_markers_expose_identity() {
+        let pper = fig2_pper();
+        let v2 = v("v2BON", "IT-personnel//person/bonus");
+        let ext = ProbExtension::materialize(&pper, &v2);
+        // laptop node n24 occurs in the subtree of n5's result.
+        let idx = ext
+            .results
+            .iter()
+            .position(|r| r.orig == NodeId(5))
+            .unwrap();
+        let occ = ext.occurrences_in_result(idx, NodeId(24));
+        assert_eq!(occ.len(), 1);
+        assert_eq!(ext.original_of(occ[0]), Some(NodeId(24)));
+        // And not in n7's result.
+        let idx7 = ext
+            .results
+            .iter()
+            .position(|r| r.orig == NodeId(7))
+            .unwrap();
+        assert!(ext.occurrences_in_result(idx7, NodeId(24)).is_empty());
+    }
+
+    #[test]
+    fn nested_results_duplicate_content() {
+        // v = a//b over a/b1/b2: two results; b2 occurs in both subtrees.
+        let p = pxv_pxml::text::parse_pdocument("a#0[b#1[b#2[c#3]]]").unwrap();
+        let view = v("nested", "a//b");
+        let ext = ProbExtension::materialize(&p, &view);
+        assert_eq!(ext.results.len(), 2);
+        let containing = ext.results_containing(NodeId(2));
+        assert_eq!(containing.len(), 2);
+        // Shallower-rooted result (the one at b1) comes first.
+        assert_eq!(ext.results[containing[0]].orig, NodeId(1));
+        assert_eq!(ext.results[containing[1]].orig, NodeId(2));
+        // s-distance: b2 at depth 2 inside b1's subtree.
+        let occ = ext.occurrences_in_result(containing[0], NodeId(2));
+        assert_eq!(ext.depth_in_result(containing[0], occ[0]), 2);
+    }
+
+    #[test]
+    fn id_label_round_trip() {
+        let l = id_label(NodeId(42));
+        assert_eq!(l.name(), "Id(42)");
+        assert_eq!(parse_id_label(l), Some(NodeId(42)));
+        assert_eq!(parse_id_label(Label::new("bonus")), None);
+    }
+
+    #[test]
+    fn doc_plan_builds_rooted_pattern() {
+        let view = v("v1", "a//b[c]/d");
+        let compq = parse_pattern("d[e]/f").unwrap();
+        let plan = doc_plan(&view, &compq);
+        assert_eq!(plan.label(plan.root()), Label::new("doc(v1)"));
+        assert_eq!(plan.mb_len(), 3);
+        assert_eq!(plan.output_label().name(), "f");
+    }
+
+    #[test]
+    fn example_12_extensions_indistinguishable() {
+        // (P̂3)_v and (P̂4)_v have the same results (0.12, 0.24) with
+        // structurally identical subtrees (modulo fresh ids).
+        use pxv_pxml::examples_paper::{fig5_p3, fig5_p4};
+        let view = v("v", "a//b[e]/c/b/c");
+        let e3 = ProbExtension::materialize(&fig5_p3(), &view);
+        let e4 = ProbExtension::materialize(&fig5_p4(), &view);
+        assert_eq!(e3.results.len(), 2);
+        assert_eq!(e4.results.len(), 2);
+        for (r3, r4) in e3.results.iter().zip(&e4.results) {
+            assert!((r3.prob - r4.prob).abs() < 1e-9);
+            assert_eq!(r3.orig, r4.orig);
+        }
+        let probs: Vec<f64> = e3.results.iter().map(|r| r.prob).collect();
+        assert!((probs[0] - 0.12).abs() < 1e-9);
+        assert!((probs[1] - 0.24).abs() < 1e-9);
+    }
+}

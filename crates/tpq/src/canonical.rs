@@ -1,0 +1,179 @@
+//! Canonical models of tree patterns.
+//!
+//! A tree pattern has a family of *canonical documents* obtained by
+//! instantiating every `//`-edge with a path of `0+1 … k+1` fresh-labeled
+//! steps; for the wildcard-free fragment, containment holds iff it holds
+//! on canonical models with expansion depth up to a small bound ([27]).
+//! This module builds them — they serve as semantic test oracles for the
+//! containment machinery and as witness generators in documentation and
+//! tests.
+
+use crate::pattern::{Axis, QNodeId, TreePattern};
+use pxv_pxml::{Document, Label};
+
+/// Fresh label used for `//`-edge expansion steps (cannot collide with a
+/// query label: patterns never contain it unless a user interns it).
+fn padding_label() -> Label {
+    Label::new("\u{22c6}pad\u{22c6}")
+}
+
+/// Builds the canonical document of `q` where the `i`-th `//`-edge is
+/// expanded into `1 + expansions[i]` edges (0 extra steps = direct child).
+/// Returns the document and the node corresponding to `out(q)`.
+pub fn canonical_document(q: &TreePattern, expansions: &[usize]) -> (Document, pxv_pxml::NodeId) {
+    let mut desc_idx = 0usize;
+    let mut doc = Document::new(q.label(q.root()));
+    let root = doc.root();
+    let mut out_node = root;
+    // DFS with explicit stack mapping query nodes to document nodes.
+    let mut stack: Vec<(QNodeId, pxv_pxml::NodeId)> = vec![(q.root(), root)];
+    // Children must be visited in a deterministic order matching the
+    // arena; the expansion index follows pre-order of `//`-edges.
+    while let Some((qn, dn)) = stack.pop() {
+        if qn == q.output() {
+            out_node = dn;
+        }
+        // Push children in reverse so they are processed in arena order.
+        for &c in q.children(qn).iter().rev() {
+            let mut attach = dn;
+            if q.axis(c) == Axis::Descendant {
+                let extra = expansions.get(desc_idx).copied().unwrap_or(0);
+                desc_idx += 1;
+                for _ in 0..extra {
+                    attach = doc.add_child(attach, padding_label());
+                }
+            }
+            let cn = doc.add_child(attach, q.label(c));
+            stack.push((c, cn));
+        }
+    }
+    (doc, out_node)
+}
+
+/// Number of `//`-edges in `q`.
+pub fn descendant_edge_count(q: &TreePattern) -> usize {
+    q.node_ids()
+        .filter(|&n| n != q.root() && q.axis(n) == Axis::Descendant)
+        .count()
+}
+
+/// Enumerates canonical documents with every `//`-edge expanded by
+/// `0..=max_extra` steps (the cross product — exponential in the number of
+/// `//`-edges, fine for test patterns).
+pub fn canonical_documents(
+    q: &TreePattern,
+    max_extra: usize,
+) -> Vec<(Document, pxv_pxml::NodeId)> {
+    let d = descendant_edge_count(q);
+    let base = max_extra + 1;
+    let total = base.pow(d as u32);
+    let mut out = Vec::with_capacity(total);
+    for mut code in 0..total {
+        let mut expansions = Vec::with_capacity(d);
+        for _ in 0..d {
+            expansions.push(code % base);
+            code /= base;
+        }
+        out.push(canonical_document(q, &expansions));
+    }
+    out
+}
+
+/// Semantic containment check via canonical models: `q1 ⊑ q2` implies `q2`
+/// selects `q1`'s output node on every canonical document of `q1`. With
+/// `max_extra ≥ 1` this refutes non-containment for the patterns in this
+/// code base; it is used as an oracle against the containment-mapping DP.
+pub fn semantically_contained(q1: &TreePattern, q2: &TreePattern, max_extra: usize) -> bool {
+    for (doc, out) in canonical_documents(q1, max_extra) {
+        if !crate::embed::eval(q2, &doc).contains(&out) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::contained_in;
+    use crate::parse::parse_pattern;
+
+    fn p(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    #[test]
+    fn canonical_document_matches_its_pattern() {
+        for s in ["a/b[c]", "a//b[.//c]/d", "IT-personnel//person[name/Rick]/bonus[laptop]"] {
+            let q = p(s);
+            for (doc, out) in canonical_documents(&q, 2) {
+                let ans = crate::embed::eval(&q, &doc);
+                assert!(ans.contains(&out), "{s} must select its own output: {doc}");
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_counts() {
+        assert_eq!(descendant_edge_count(&p("a/b/c")), 0);
+        assert_eq!(descendant_edge_count(&p("a//b[.//c]//d")), 3);
+        assert_eq!(canonical_documents(&p("a//b//c"), 2).len(), 9);
+        assert_eq!(canonical_documents(&p("a/b"), 5).len(), 1);
+    }
+
+    #[test]
+    fn containment_mapping_agrees_with_canonical_oracle() {
+        let pairs = [
+            ("a/b/c", "a//c", true),
+            ("a//c", "a/b/c", false),
+            ("a[b]/c", "a/c", true),
+            ("a/c", "a[b]/c", false),
+            ("a[b/d]/c", "a[b]/c", true),
+            ("a//b[c]", "a//b", true),
+            ("a//b", "a//b[c]", false),
+            ("a[.//x]/b", "a/b", true),
+            ("a/b", "a[.//x]/b", false),
+            ("a/b[c]/d", "a//b[c]//d", true),
+        ];
+        for (s1, s2, expected) in pairs {
+            let q1 = p(s1);
+            let q2 = p(s2);
+            assert_eq!(contained_in(&q1, &q2), expected, "{s1} ⊑ {s2}");
+            assert_eq!(
+                semantically_contained(&q1, &q2, 2),
+                expected,
+                "canonical oracle for {s1} ⊑ {s2}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_mapping_vs_oracle() {
+        use crate::generators::{random_pattern, RandomPatternConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = RandomPatternConfig::default();
+        for _ in 0..150 {
+            let q1 = random_pattern(&cfg, &mut rng);
+            let q2 = random_pattern(&cfg, &mut rng);
+            if descendant_edge_count(&q1) > 5 {
+                continue;
+            }
+            let mapped = contained_in(&q1, &q2);
+            let semantic = semantically_contained(&q1, &q2, 2);
+            // Mapping ⇒ semantic containment (soundness, always).
+            if mapped {
+                assert!(semantic, "soundness: {q1} ⊑ {q2}");
+            }
+            // The oracle refutes: no mapping ⇒ some canonical model escapes
+            // (completeness of mappings on this fragment).
+            if !mapped {
+                assert!(
+                    !semantic,
+                    "completeness: expected a canonical-model witness for {q1} ⋢ {q2}"
+                );
+            }
+        }
+    }
+}

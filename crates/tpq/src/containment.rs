@@ -1,0 +1,242 @@
+//! Containment, equivalence and minimization of tree patterns.
+//!
+//! For the wildcard-free fragment TP the paper uses, `q2 ⊑ q1` iff there is
+//! a *containment mapping* from `q1` to `q2` ([27], [4]; §2 of the paper):
+//! a label-preserving map sending `/`-edges to `/`-edges and `//`-edges to
+//! ancestor/descendant pairs, root to root and output to output. The
+//! mapping is computed by a polynomial bottom-up dynamic program.
+//!
+//! Minimization removes subsumed predicate branches until a fixpoint;
+//! minimized patterns are equivalent iff isomorphic ([27], [4]), which
+//! [`crate::pattern::TreePattern::canonical_key`] decides.
+
+use crate::pattern::{Axis, QNodeId, TreePattern};
+use pxv_pxml::Label;
+
+/// Output-marker label used to pin `out ↦ out` in containment mappings.
+fn out_marker() -> Label {
+    Label::new("\u{27e8}out\u{27e9}")
+}
+
+/// Returns `q` with a fresh `/`-child labeled `⟨out⟩` under the output
+/// node. A containment mapping of marked patterns necessarily maps output
+/// to output.
+fn mark_output(q: &TreePattern) -> TreePattern {
+    let mut m = q.clone();
+    m.add_child(q.output(), Axis::Child, out_marker());
+    m
+}
+
+/// True iff there is a containment mapping from `q1` to `q2` (so
+/// `q2 ⊑ q1`), ignoring output nodes (Boolean semantics).
+pub fn containment_mapping_exists(q1: &TreePattern, q2: &TreePattern) -> bool {
+    let n1 = q1.len();
+    let n2 = q2.len();
+    // can[x][y]: subpattern of q1 at x maps with x ↦ y.
+    // below[x][y]: x maps to some proper descendant of y.
+    let mut can = vec![vec![false; n2]; n1];
+    let mut below = vec![vec![false; n2]; n1];
+    let post1 = q1.postorder();
+    let post2 = q2.postorder();
+    for &x in &post1 {
+        let xi = x.0 as usize;
+        for &y in &post2 {
+            let yi = y.0 as usize;
+            if q1.label(x) == q2.label(y) {
+                let ok = q1.children(x).iter().all(|&xc| {
+                    q2.children(y).iter().any(|&yc| match q1.axis(xc) {
+                        // A /-edge must map to a /-edge of q2.
+                        Axis::Child => {
+                            q2.axis(yc) == Axis::Child && can[xc.0 as usize][yc.0 as usize]
+                        }
+                        // A //-edge maps to any connected pair: a child
+                        // (either axis) or anything strictly below it.
+                        Axis::Descendant => {
+                            can[xc.0 as usize][yc.0 as usize]
+                                || below[xc.0 as usize][yc.0 as usize]
+                        }
+                    })
+                });
+                can[xi][yi] = ok;
+            }
+        }
+        // below[x][y] over q2 in postorder: children already final.
+        for &y in &post2 {
+            let yi = y.0 as usize;
+            below[xi][yi] = q2
+                .children(y)
+                .iter()
+                .any(|&yc| can[xi][yc.0 as usize] || below[xi][yc.0 as usize]);
+        }
+    }
+    can[q1.root().0 as usize][q2.root().0 as usize]
+}
+
+/// `q2 ⊑ q1` for unary patterns: containment mapping `q1 → q2` with
+/// `root ↦ root` and `out ↦ out`.
+pub fn contained_in(q2: &TreePattern, q1: &TreePattern) -> bool {
+    containment_mapping_exists(&mark_output(q1), &mark_output(q2))
+}
+
+/// `q1 ≡ q2` (mutual containment).
+pub fn equivalent(q1: &TreePattern, q2: &TreePattern) -> bool {
+    contained_in(q1, q2) && contained_in(q2, q1)
+}
+
+/// Removes the subtree rooted at `victim` (not the root, not a main-branch
+/// node) and returns the rebuilt pattern.
+pub fn remove_subtree(q: &TreePattern, victim: QNodeId) -> TreePattern {
+    assert!(!q.on_main_branch(victim), "cannot remove a main-branch node");
+    let mut out = TreePattern::leaf(q.label(q.root()));
+    let mut map = vec![QNodeId(u32::MAX); q.len()];
+    map[q.root().0 as usize] = out.root();
+    let mut stack = vec![q.root()];
+    while let Some(n) = stack.pop() {
+        let d = map[n.0 as usize];
+        for &c in q.children(n) {
+            if c == victim {
+                continue;
+            }
+            let dc = out.add_child(d, q.axis(c), q.label(c));
+            map[c.0 as usize] = dc;
+            stack.push(c);
+        }
+    }
+    out.set_output(map[q.output().0 as usize]);
+    out
+}
+
+/// Minimizes a pattern by repeatedly deleting redundant predicate branches
+/// (subtrees whose removal preserves equivalence). Runs in polynomial time;
+/// the result is the unique minimal equivalent pattern of the fragment.
+pub fn minimize(q: &TreePattern) -> TreePattern {
+    let mut cur = q.clone();
+    'outer: loop {
+        for n in cur.node_ids() {
+            if cur.on_main_branch(n) {
+                continue;
+            }
+            // Only try branch roots: children whose removal keeps a tree.
+            let parent = cur.parent(n).expect("non-root");
+            // Remove n's whole subtree and test equivalence.
+            let _ = parent;
+            let candidate = remove_subtree(&cur, n);
+            if equivalent(&candidate, q) {
+                cur = candidate;
+                continue 'outer;
+            }
+        }
+        return cur;
+    }
+}
+
+/// True iff `q` is minimized (no removable predicate branch).
+pub fn is_minimal(q: &TreePattern) -> bool {
+    minimize(q).len() == q.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern;
+
+    fn p(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    #[test]
+    fn paper_containment_facts() {
+        let qrbon = p("IT-personnel//person[name/Rick]/bonus[laptop]");
+        let qbon = p("IT-personnel//person/bonus[laptop]");
+        let v1 = p("IT-personnel//person[name/Rick]/bonus");
+        let v2 = p("IT-personnel//person/bonus");
+        // §2: qRBON ⊑ v2BON, qRBON ⊑ qBON, qRBON ⊑ v1BON,
+        // and qBON, v1BON incomparable.
+        assert!(contained_in(&qrbon, &v2));
+        assert!(contained_in(&qrbon, &qbon));
+        assert!(contained_in(&qrbon, &v1));
+        assert!(!contained_in(&qbon, &v1));
+        assert!(!contained_in(&v1, &qbon));
+        assert!(contained_in(&qbon, &v2));
+        assert!(contained_in(&v1, &v2));
+        assert!(!contained_in(&v2, &qbon));
+    }
+
+    #[test]
+    fn descendant_edge_containment() {
+        assert!(contained_in(&p("a/b/c"), &p("a//c")));
+        assert!(contained_in(&p("a/b/c"), &p("a//b/c")));
+        assert!(!contained_in(&p("a//c"), &p("a/b/c")));
+        // // is proper descendant: a//a does not contain a.
+        assert!(!contained_in(&p("a"), &p("a//a")));
+    }
+
+    #[test]
+    fn predicates_strengthen() {
+        assert!(contained_in(&p("a[b]/c"), &p("a/c")));
+        assert!(!contained_in(&p("a/c"), &p("a[b]/c")));
+        assert!(contained_in(&p("a[b[d]]/c"), &p("a[b]/c")));
+    }
+
+    #[test]
+    fn output_position_matters() {
+        // Same tree, different outputs: not equivalent.
+        let q1 = p("a/b/c");
+        let q2 = p("a/b/c").prefix(2);
+        assert!(!contained_in(&q1, &q2));
+        assert!(!contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn equivalence_reflexive_and_modulo_redundancy() {
+        let q = p("a[b]/c");
+        assert!(equivalent(&q, &q));
+        // a[b][b]/c ≡ a[b]/c.
+        assert!(equivalent(&p("a[b][b]/c"), &p("a[b]/c")));
+        // a[b/d][b]/c ≡ a[b/d]/c.
+        assert!(equivalent(&p("a[b/d][b]/c"), &p("a[b/d]/c")));
+    }
+
+    #[test]
+    fn minimize_removes_subsumed_branches() {
+        let q = p("a[b][b/d]/c");
+        let m = minimize(&q);
+        assert_eq!(m.canonical_key(), p("a[b/d]/c").canonical_key());
+        assert!(is_minimal(&m));
+        assert!(!is_minimal(&q));
+    }
+
+    #[test]
+    fn minimize_with_descendant_predicates() {
+        // [.//x] subsumes nothing here; [b//x] makes [.//x] redundant.
+        let q = p("a[.//x][b//x]/c");
+        let m = minimize(&q);
+        assert_eq!(m.canonical_key(), p("a[b//x]/c").canonical_key());
+    }
+
+    #[test]
+    fn minimal_patterns_equivalent_iff_isomorphic() {
+        let q1 = minimize(&p("a[b][c]/d"));
+        let q2 = minimize(&p("a[c][b]/d"));
+        assert!(equivalent(&q1, &q2));
+        assert_eq!(q1.canonical_key(), q2.canonical_key());
+        let q3 = minimize(&p("a[c]/d"));
+        assert!(!equivalent(&q1, &q3));
+        assert_ne!(q1.canonical_key(), q3.canonical_key());
+    }
+
+    #[test]
+    fn containment_implies_answer_containment_spot_check() {
+        use crate::embed::eval;
+        use pxv_pxml::text::parse_document;
+        let d = parse_document("a#0[b#1[c#2, d#3], b#4[c#5]]").unwrap();
+        let small = p("a/b[d]/c");
+        let large = p("a//b/c");
+        assert!(contained_in(&small, &large));
+        let s = eval(&small, &d);
+        let l = eval(&large, &d);
+        for n in s {
+            assert!(l.contains(&n));
+        }
+    }
+}

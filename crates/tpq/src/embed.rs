@@ -1,0 +1,212 @@
+//! Embeddings and evaluation of tree patterns over deterministic documents.
+//!
+//! `q(d) = { e(out(q)) | e an embedding of q into d }` (§2). The evaluation
+//! is the classic two-pass bitmask algorithm: a bottom-up pass computes, for
+//! every document node, which query subpatterns match at / strictly below
+//! it; a top-down pass marks the (document node, query node) pairs that
+//! participate in at least one *full* embedding. Linear in `|d| · |q|` for
+//! patterns of up to 64 nodes.
+
+use crate::pattern::{Axis, QNodeId, TreePattern};
+use pxv_pxml::{Document, NodeId};
+use std::collections::HashMap;
+
+/// Per-query-node bit. Patterns are limited to 64 nodes (far beyond any
+/// pattern in the paper; evaluation over p-documents is exponential in
+/// query size anyway).
+fn bit(x: QNodeId) -> u64 {
+    assert!(x.0 < 64, "tree pattern too large for bitmask evaluation");
+    1u64 << x.0
+}
+
+/// Bottom-up match table for `q` over `d`.
+pub struct MatchTable {
+    /// `at[v]` bit `x` set ⇔ subpattern rooted at `x` embeds with its root
+    /// mapped exactly to `v`.
+    pub at: HashMap<NodeId, u64>,
+    /// `below[v]` bit `x` set ⇔ subpattern `x` embeds with its root mapped
+    /// to a proper descendant of `v`.
+    pub below: HashMap<NodeId, u64>,
+}
+
+/// Computes the bottom-up match table.
+pub fn match_table(q: &TreePattern, d: &Document) -> MatchTable {
+    let mut at: HashMap<NodeId, u64> = HashMap::with_capacity(d.len());
+    let mut below: HashMap<NodeId, u64> = HashMap::with_capacity(d.len());
+    // Pre-split children of each query node by axis.
+    let qn: Vec<QNodeId> = q.node_ids().collect();
+    for v in d.postorder() {
+        let mut child_at = 0u64;
+        let mut child_any = 0u64;
+        for &c in d.children(v) {
+            let ca = at[&c];
+            child_at |= ca;
+            child_any |= ca | below[&c];
+        }
+        below.insert(v, child_any);
+        let vlabel = d.label(v);
+        let mut mask = 0u64;
+        'next: for &x in &qn {
+            if q.label(x) != vlabel {
+                continue;
+            }
+            for &y in q.children(x) {
+                let need = bit(y);
+                let ok = match q.axis(y) {
+                    Axis::Child => child_at & need != 0,
+                    Axis::Descendant => child_any & need != 0,
+                };
+                if !ok {
+                    continue 'next;
+                }
+            }
+            mask |= bit(x);
+        }
+        at.insert(v, mask);
+    }
+    MatchTable { at, below }
+}
+
+/// True iff there is an embedding of `q` into `d` (root to root).
+pub fn matches(q: &TreePattern, d: &Document) -> bool {
+    let t = match_table(q, d);
+    t.at[&d.root()] & bit(q.root()) != 0
+}
+
+/// Evaluates `q(d)`: the sorted set of output-node images over all
+/// embeddings.
+pub fn eval(q: &TreePattern, d: &Document) -> Vec<NodeId> {
+    let t = match_table(q, d);
+    if t.at[&d.root()] & bit(q.root()) == 0 {
+        return Vec::new();
+    }
+    // Top-down marking: active[v] = query nodes x whose image can be v in a
+    // full embedding; pd = query nodes that may match anywhere strictly
+    // below (inherited through `//`-edges).
+    let out_bit = bit(q.output());
+    let mut answers = Vec::new();
+    // Stack of (doc node, active mask, pending-descendant mask).
+    let mut stack: Vec<(NodeId, u64, u64)> = vec![(d.root(), bit(q.root()), 0)];
+    while let Some((v, active, pd)) = stack.pop() {
+        if active & out_bit != 0 {
+            answers.push(v);
+        }
+        // Requirements emitted by active query nodes at v.
+        let mut want_child = 0u64;
+        let mut want_desc = 0u64;
+        let mut a = active;
+        while a != 0 {
+            let x = QNodeId(a.trailing_zeros());
+            a &= a - 1;
+            for &y in q.children(x) {
+                match q.axis(y) {
+                    Axis::Child => want_child |= bit(y),
+                    Axis::Descendant => want_desc |= bit(y),
+                }
+            }
+        }
+        let pd_new = pd | want_desc;
+        for &c in d.children(v) {
+            let child_active = (want_child | pd_new) & t.at[&c];
+            if child_active != 0 || pd_new & t.below[&c] != 0 || pd_new & t.at[&c] != 0 {
+                stack.push((c, child_active, pd_new));
+            }
+        }
+    }
+    answers.sort_unstable();
+    answers.dedup();
+    answers
+}
+
+/// Evaluates `q` on `d` requiring the output image to be exactly `n`.
+pub fn selects(q: &TreePattern, d: &Document, n: NodeId) -> bool {
+    eval(q, d).contains(&n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern;
+    use pxv_pxml::examples_paper::fig1_dper;
+    use pxv_pxml::text::parse_document;
+
+    fn q(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    #[test]
+    fn example_5_answers_over_dper() {
+        let d = fig1_dper();
+        let n5 = NodeId(5);
+        let n7 = NodeId(7);
+        let qrbon = q("IT-personnel//person[name/Rick]/bonus[laptop]");
+        let qbon = q("IT-personnel//person/bonus[laptop]");
+        let v1 = q("IT-personnel//person[name/Rick]/bonus");
+        let v2 = q("IT-personnel//person/bonus");
+        assert_eq!(eval(&qrbon, &d), vec![n5]);
+        assert_eq!(eval(&qbon, &d), vec![n5]);
+        assert_eq!(eval(&v1, &d), vec![n5]);
+        assert_eq!(eval(&v2, &d), vec![n5, n7]);
+    }
+
+    #[test]
+    fn child_vs_descendant() {
+        let d = parse_document("a#0[b#1[c#2[d#3]]]").unwrap();
+        assert!(matches(&q("a//d"), &d));
+        assert!(!matches(&q("a/d"), &d));
+        assert!(matches(&q("a/b//d"), &d));
+        assert!(matches(&q("a//c/d"), &d));
+        // Proper descendant: a//a does not match a lone a.
+        let single = parse_document("a#0").unwrap();
+        assert!(!matches(&q("a//a"), &single));
+        let nested = parse_document("a#0[a#1]").unwrap();
+        assert!(matches(&q("a//a"), &nested));
+    }
+
+    #[test]
+    fn predicates_filter_answers() {
+        let d = parse_document("r#0[x#1[ok#2], x#3]").unwrap();
+        assert_eq!(eval(&q("r/x[ok]"), &d), vec![NodeId(1)]);
+        assert_eq!(eval(&q("r/x"), &d), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn multiple_embeddings_union_answers() {
+        let d = parse_document("a#0[b#1[c#2], b#3[b#4[c#5]]]").unwrap();
+        // a//b[c] matches b1, b4 (both have c children); b3 has no c child.
+        assert_eq!(eval(&q("a//b[c]"), &d), vec![NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn root_label_must_match() {
+        let d = parse_document("a#0[b#1]").unwrap();
+        assert!(!matches(&q("x/b"), &d));
+        assert!(eval(&q("x/b"), &d).is_empty());
+    }
+
+    #[test]
+    fn deep_predicate_with_descendant() {
+        let d = parse_document("a#0[b#1, x#2[c#3]]").unwrap();
+        assert!(matches(&q("a[.//c]/b"), &d));
+        let d2 = parse_document("a#0[b#1, x#2]").unwrap();
+        assert!(!matches(&q("a[.//c]/b"), &d2));
+    }
+
+    #[test]
+    fn output_inside_repeated_structure() {
+        // Two distinct b-nodes are both answers of a//b when nested.
+        let d = parse_document("a#0[b#1[b#2]]").unwrap();
+        assert_eq!(eval(&q("a//b"), &d), vec![NodeId(1), NodeId(2)]);
+        // a//b/b selects only the inner one.
+        assert_eq!(eval(&q("a//b/b"), &d), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn selects_specific_node() {
+        let d = fig1_dper();
+        let v2 = q("IT-personnel//person/bonus");
+        assert!(selects(&v2, &d, NodeId(5)));
+        assert!(selects(&v2, &d, NodeId(7)));
+        assert!(!selects(&v2, &d, NodeId(4)));
+    }
+}

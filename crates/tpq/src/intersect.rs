@@ -1,0 +1,536 @@
+//! Intersections of tree patterns (TP∩) and their interleavings (§2, §5.1).
+//!
+//! A TP∩ query `q1 ∩ … ∩ qk` returns the nodes selected by *every* `qi`.
+//! Containment and equivalence against a TP query go through
+//! *interleavings*: the (worst-case exponentially many) TP queries
+//! capturing all ways to order or coalesce the main-branch nodes of the
+//! intersected patterns. `q ≡ Q` iff (i) `q ⊑ qi` for every part, and
+//! (ii) every interleaving of `Q` is contained in `q` — the coNP-hard
+//! boundary of Corollary 2. When the merge is forced (one interleaving),
+//! the intersection is *union-free* and everything is polynomial; this is
+//! the fast path that covers extended-skeleton workloads ([10]).
+
+use crate::containment::contained_in;
+use crate::pattern::{Axis, TreePattern};
+use pxv_pxml::{Document, NodeId};
+use std::collections::HashSet;
+
+/// An intersection of tree patterns.
+#[derive(Clone, Debug)]
+pub struct TpIntersection {
+    parts: Vec<TreePattern>,
+}
+
+impl TpIntersection {
+    /// Builds an intersection; requires at least one part.
+    pub fn new(parts: Vec<TreePattern>) -> TpIntersection {
+        assert!(!parts.is_empty(), "empty intersection");
+        TpIntersection { parts }
+    }
+
+    /// The intersected patterns.
+    pub fn parts(&self) -> &[TreePattern] {
+        &self.parts
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Always false (at least one part).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the intersection over a document: `∩ qi(d)` (persistent
+    /// node ids make this meaningful, §3).
+    pub fn eval(&self, d: &Document) -> Vec<NodeId> {
+        let mut iter = self.parts.iter();
+        let first = crate::embed::eval(iter.next().expect("nonempty"), d);
+        let mut acc: HashSet<NodeId> = first.into_iter().collect();
+        for q in iter {
+            if acc.is_empty() {
+                break;
+            }
+            let ans: HashSet<NodeId> = crate::embed::eval(q, d).into_iter().collect();
+            acc = acc.intersection(&ans).copied().collect();
+        }
+        let mut v: Vec<NodeId> = acc.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Enumerates the interleavings, up to `limit` results. Returns `None`
+    /// if the limit is exceeded (callers treat this as "too expensive",
+    /// matching the paper's "PTime modulo equivalence tests" framing).
+    pub fn interleavings(&self, limit: usize) -> Option<Vec<TreePattern>> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        if !self.interleave_rec(&mut out, &mut seen, limit, false) {
+            return None;
+        }
+        Some(out)
+    }
+
+    /// True iff the intersection is satisfiable, i.e. some interleaving
+    /// exists (footnote 4 of the paper). Stops at the first witness.
+    pub fn is_satisfiable(&self) -> bool {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        // Early-exit mode: returns false on limit, but limit=1 with
+        // early_exit stops as soon as one interleaving is found.
+        let _ = self.interleave_rec(&mut out, &mut seen, usize::MAX, true);
+        !out.is_empty()
+    }
+
+    /// If the intersection has exactly one interleaving (it is
+    /// *union-free*), returns it.
+    pub fn union_free(&self, limit: usize) -> Option<TreePattern> {
+        let inter = self.interleavings(limit)?;
+        if inter.len() == 1 {
+            inter.into_iter().next()
+        } else {
+            None
+        }
+    }
+
+    /// `self ⊑ q`: every interleaving is contained in `q`.
+    /// `None` if the interleaving limit is exceeded.
+    pub fn contained_in_tp(&self, q: &TreePattern, limit: usize) -> Option<bool> {
+        let inter = self.interleavings(limit)?;
+        Some(inter.iter().all(|i| contained_in(i, q)))
+    }
+
+    /// `q ⊑ self`: `q` is contained in every part (no interleavings
+    /// needed — intersection semantics).
+    pub fn contains_tp(&self, q: &TreePattern) -> bool {
+        self.parts.iter().all(|p| contained_in(q, p))
+    }
+
+    /// `q ≡ self` (the rewriting check `unfold(qr) ≡ q` of §5).
+    /// `None` if the interleaving limit is exceeded.
+    pub fn equivalent_to_tp(&self, q: &TreePattern, limit: usize) -> Option<bool> {
+        if !self.contains_tp(q) {
+            return Some(false);
+        }
+        self.contained_in_tp(q, limit)
+    }
+
+    /// Core DFS over merge states. Returns false iff the limit was hit.
+    fn interleave_rec(
+        &self,
+        out: &mut Vec<TreePattern>,
+        seen: &mut HashSet<String>,
+        limit: usize,
+        early_exit: bool,
+    ) -> bool {
+        let k = self.parts.len();
+        // All roots must coalesce: equal labels required.
+        let root_label = self.parts[0].label(self.parts[0].root());
+        if self
+            .parts
+            .iter()
+            .any(|p| p.label(p.root()) != root_label)
+        {
+            return true; // unsatisfiable: zero interleavings
+        }
+        let mbs: Vec<Vec<crate::pattern::QNodeId>> =
+            self.parts.iter().map(|p| p.main_branch()).collect();
+        // Merged pattern under construction: positions hold (per-query mb
+        // index sets). We track, per query, the index of the next unplaced
+        // mb node and the position of the last placed one.
+        struct State {
+            next: Vec<usize>,
+            last_pos: Vec<usize>,
+        }
+        // The merged pattern is built on the way down and truncated on
+        // backtrack; we rebuild from placements instead (simpler): each
+        // stack frame records, for every position, the set of (query, mb
+        // index) pairs placed there plus the edge axis into the position.
+        let mut placements: Vec<(Axis, Vec<(usize, usize)>)> =
+            vec![(Axis::Child, (0..k).map(|j| (j, 0)).collect())];
+        let mut st = State {
+            next: vec![1; k],
+            last_pos: vec![0; k],
+        };
+
+        fn build(
+            parts: &[TreePattern],
+            mbs: &[Vec<crate::pattern::QNodeId>],
+            placements: &[(Axis, Vec<(usize, usize)>)],
+        ) -> TreePattern {
+            let (_, first) = &placements[0];
+            let (j0, i0) = first[0];
+            let mut q = TreePattern::leaf(parts[j0].label(mbs[j0][i0]));
+            let mut prev = q.root();
+            for (pos, (axis, group)) in placements.iter().enumerate() {
+                if pos > 0 {
+                    let (j0, i0) = group[0];
+                    prev = q.add_child(prev, *axis, parts[j0].label(mbs[j0][i0]));
+                }
+                for &(j, i) in group {
+                    let node = mbs[j][i];
+                    for c in parts[j].predicate_children(node) {
+                        q.graft_subtree(prev, parts[j].axis(c), &parts[j], c);
+                    }
+                }
+            }
+            q.set_output(prev);
+            q
+        }
+
+        // Recursive exploration with explicit recursion (closures cannot
+        // recurse easily) — implemented as a nested fn taking everything.
+        #[allow(clippy::too_many_arguments)]
+        fn rec(
+            parts: &[TreePattern],
+            mbs: &[Vec<crate::pattern::QNodeId>],
+            st: &mut State,
+            placements: &mut Vec<(Axis, Vec<(usize, usize)>)>,
+            out: &mut Vec<TreePattern>,
+            seen: &mut HashSet<String>,
+            limit: usize,
+            early_exit: bool,
+        ) -> bool {
+            let k = parts.len();
+            let pos = placements.len(); // next position index
+            let pending: Vec<usize> = (0..k).filter(|&j| st.next[j] < mbs[j].len()).collect();
+            if pending.is_empty() {
+                // Accept iff all outputs are at the final position.
+                if st.last_pos.iter().all(|&lp| lp == pos - 1) {
+                    let q = build(parts, mbs, placements);
+                    let key = q.canonical_key();
+                    if seen.insert(key) {
+                        if out.len() >= limit {
+                            return false;
+                        }
+                        out.push(q);
+                        if early_exit {
+                            return false; // abort search, witness found
+                        }
+                    }
+                }
+                return true;
+            }
+            // If some query is exhausted while others pend, outputs cannot
+            // coalesce any more: dead branch.
+            if pending.len() < k {
+                return true;
+            }
+            // Forced advancers: '/'-edge whose parent sits at pos-1.
+            let forced: Vec<usize> = pending
+                .iter()
+                .copied()
+                .filter(|&j| {
+                    parts[j].axis(mbs[j][st.next[j]]) == Axis::Child
+                        && st.last_pos[j] == pos - 1
+                })
+                .collect();
+            // Candidate subsets: all nonempty subsets of pending containing
+            // `forced`, whose next labels agree, and whose '/'-queries are
+            // adjacent. k is small (≤ ~8 views), so subset enumeration is
+            // fine; dedup by canonical key bounds the output.
+            let free: Vec<usize> = pending
+                .iter()
+                .copied()
+                .filter(|j| !forced.contains(j))
+                .collect();
+            let n_free = free.len();
+            for mask in 0..(1usize << n_free) {
+                let mut s: Vec<usize> = forced.clone();
+                for (b, &j) in free.iter().enumerate() {
+                    if mask & (1 << b) != 0 {
+                        s.push(j);
+                    }
+                }
+                if s.is_empty() {
+                    continue;
+                }
+                // Label agreement.
+                let lab = parts[s[0]].label(mbs[s[0]][st.next[s[0]]]);
+                if s.iter().any(|&j| parts[j].label(mbs[j][st.next[j]]) != lab) {
+                    continue;
+                }
+                // '/'-axis advancers must come from pos-1.
+                if s.iter().any(|&j| {
+                    parts[j].axis(mbs[j][st.next[j]]) == Axis::Child
+                        && st.last_pos[j] != pos - 1
+                }) {
+                    continue;
+                }
+                // Non-advancing '/'-queries anchored at pos-1 would miss
+                // their slot: prune (they are all in `forced` ⊆ s already,
+                // so this cannot happen — kept as an invariant).
+                debug_assert!(forced.iter().all(|j| s.contains(j)));
+                let axis = if s
+                    .iter()
+                    .any(|&j| parts[j].axis(mbs[j][st.next[j]]) == Axis::Child)
+                {
+                    Axis::Child
+                } else {
+                    Axis::Descendant
+                };
+                // Apply.
+                let group: Vec<(usize, usize)> = s.iter().map(|&j| (j, st.next[j])).collect();
+                for &j in &s {
+                    st.next[j] += 1;
+                    st.last_pos[j] = pos;
+                }
+                placements.push((axis, group));
+                let cont = rec(parts, mbs, st, placements, out, seen, limit, early_exit);
+                placements.pop();
+                for &j in &s {
+                    st.next[j] -= 1;
+                    st.last_pos[j] = pos - 1;
+                }
+                if !cont {
+                    return false;
+                }
+            }
+            true
+        }
+
+        rec(
+            &self.parts,
+            &mbs,
+            &mut st,
+            &mut placements,
+            out,
+            seen,
+            limit,
+            early_exit,
+        )
+    }
+}
+
+/// Merges two patterns that have identical main-branch skeletons (same
+/// labels and axes) by taking the union of predicates node-wise. Returns
+/// `None` if the skeletons differ.
+///
+/// **Soundness caveat**: the merge is equivalent to the intersection only
+/// when the predicate anchors are forced — e.g. predicates confined to the
+/// first and last tokens, whose main-branch images are unambiguous on the
+/// root-to-answer path. That is exactly the situation of the d-view
+/// construction (§5.3 Step 2), its intended caller. For arbitrary patterns
+/// use [`intersect_to_tp`].
+pub fn merge_same_skeleton(q1: &TreePattern, q2: &TreePattern) -> Option<TreePattern> {
+    let mb1 = q1.main_branch();
+    let mb2 = q2.main_branch();
+    if mb1.len() != mb2.len() {
+        return None;
+    }
+    for (&a, &b) in mb1.iter().zip(&mb2) {
+        if q1.label(a) != q2.label(b) || (a != mb1[0] && q1.axis(a) != q2.axis(b)) {
+            return None;
+        }
+    }
+    let mut out = TreePattern::leaf(q1.label(mb1[0]));
+    let mut prev = out.root();
+    for (i, (&a, &b)) in mb1.iter().zip(&mb2).enumerate() {
+        if i > 0 {
+            prev = out.add_child(prev, q1.axis(a), q1.label(a));
+        }
+        for c in q1.predicate_children(a) {
+            out.graft_subtree(prev, q1.axis(c), q1, c);
+        }
+        for c in q2.predicate_children(b) {
+            out.graft_subtree(prev, q2.axis(c), q2, c);
+        }
+    }
+    out.set_output(prev);
+    Some(crate::containment::minimize(&out))
+}
+
+/// Convenience: `q1 ∩ q2` as a minimized TP query when the intersection is
+/// union-free within `limit`; `None` otherwise.
+///
+/// Unlike [`merge_same_skeleton`] (which is only an equivalent rewriting
+/// when predicate anchors are forced, e.g. first/last-token predicates in
+/// the d-view construction of §5.3), this is sound for arbitrary patterns:
+/// it enumerates interleavings and checks that one subsumes the rest.
+pub fn intersect_to_tp(q1: &TreePattern, q2: &TreePattern, limit: usize) -> Option<TreePattern> {
+    let inter = TpIntersection::new(vec![q1.clone(), q2.clone()]);
+    let mut all = inter.interleavings(limit)?; // None on blowup
+    if all.is_empty() {
+        return None; // unsatisfiable
+    }
+    // Union-free check modulo equivalence: one maximal interleaving
+    // containing all others.
+    all = all.into_iter().map(|q| crate::containment::minimize(&q)).collect();
+    let mut best: Option<TreePattern> = None;
+    for cand in &all {
+        if all.iter().all(|o| contained_in(o, cand)) {
+            best = Some(cand.clone());
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_pattern;
+    use pxv_pxml::text::parse_document;
+
+    fn p(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    #[test]
+    fn eval_intersects_answers() {
+        let d = parse_document("a#0[b#1[c#2, d#3], b#4[c#5]]").unwrap();
+        let inter = TpIntersection::new(vec![p("a/b[c]"), p("a/b[d]")]);
+        assert_eq!(inter.eval(&d), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn identical_skeletons_single_interleaving() {
+        let inter = TpIntersection::new(vec![p("a/b/c"), p("a/b/c")]);
+        let ils = inter.interleavings(100).unwrap();
+        assert_eq!(ils.len(), 1);
+        assert_eq!(ils[0].canonical_key(), p("a/b/c").canonical_key());
+    }
+
+    #[test]
+    fn child_edges_force_coalescing() {
+        // a/b ∩ a/b: both b's must coalesce at position 1.
+        let inter = TpIntersection::new(vec![p("a/b[x]"), p("a/b[y]")]);
+        let ils = inter.interleavings(100).unwrap();
+        assert_eq!(ils.len(), 1);
+        assert_eq!(ils[0].canonical_key(), p("a/b[x][y]").canonical_key());
+    }
+
+    #[test]
+    fn outputs_always_coalesce() {
+        // Both parts select the same answer node, so the outputs coalesce:
+        // a//b[x] ∩ a//b[y] has the single interleaving a//b[x][y].
+        let inter = TpIntersection::new(vec![p("a//b[x]"), p("a//b[y]")]);
+        let ils = inter.interleavings(100).unwrap();
+        assert_eq!(ils.len(), 1);
+        assert_eq!(ils[0].canonical_key(), p("a//b[x][y]").canonical_key());
+    }
+
+    #[test]
+    fn descendant_edges_allow_orderings() {
+        // Inner mb nodes may coalesce or order freely:
+        // a//b[x]//c ∩ a//b[y]//c has 3 interleavings.
+        let inter = TpIntersection::new(vec![p("a//b[x]//c"), p("a//b[y]//c")]);
+        let ils = inter.interleavings(100).unwrap();
+        let keys: HashSet<String> = ils.iter().map(|q| q.canonical_key()).collect();
+        assert_eq!(
+            ils.len(),
+            3,
+            "got: {:?}",
+            ils.iter().map(|q| q.to_string()).collect::<Vec<_>>()
+        );
+        assert!(keys.contains(&p("a//b[x][y]//c").canonical_key()));
+        assert!(keys.contains(&p("a//b[x]//b[y]//c").canonical_key()));
+        assert!(keys.contains(&p("a//b[y]//b[x]//c").canonical_key()));
+    }
+
+    #[test]
+    fn label_mismatch_unsatisfiable() {
+        let inter = TpIntersection::new(vec![p("a/b"), p("a/c")]);
+        assert!(!inter.is_satisfiable());
+        assert_eq!(inter.interleavings(10).unwrap().len(), 0);
+        // Different root labels: also unsatisfiable.
+        let inter2 = TpIntersection::new(vec![p("a/b"), p("x/b")]);
+        assert!(!inter2.is_satisfiable());
+    }
+
+    #[test]
+    fn length_mismatch_with_child_edges_unsatisfiable() {
+        // a/b ∩ a/x/b: out must coalesce but depths are forced differently.
+        let inter = TpIntersection::new(vec![p("a/b"), p("a/x/b")]);
+        assert!(!inter.is_satisfiable());
+    }
+
+    #[test]
+    fn descendant_absorbs_depth_differences() {
+        // a//b ∩ a/x/b is satisfiable: b at depth 3.
+        let inter = TpIntersection::new(vec![p("a//b"), p("a/x/b")]);
+        let ils = inter.interleavings(10).unwrap();
+        assert_eq!(ils.len(), 1);
+        assert_eq!(ils[0].canonical_key(), p("a/x/b").canonical_key());
+    }
+
+    #[test]
+    fn containment_and_equivalence_against_tp() {
+        // Example 16 spirit: v1 ∩ v2 ≡ q.
+        let v1 = p("a[x]/b/c");
+        let v2 = p("a/b[y]/c");
+        let q = p("a[x]/b[y]/c");
+        let inter = TpIntersection::new(vec![v1, v2]);
+        assert_eq!(inter.equivalent_to_tp(&q, 100), Some(true));
+        let weaker = p("a/b/c");
+        assert_eq!(inter.equivalent_to_tp(&weaker, 100), Some(false));
+    }
+
+    #[test]
+    fn intersection_not_equivalent_when_orderings_escape() {
+        // The separate-b interleavings are not contained in a//b[x][y]//c.
+        let inter = TpIntersection::new(vec![p("a//b[x]//c"), p("a//b[y]//c")]);
+        assert_eq!(inter.equivalent_to_tp(&p("a//b[x][y]//c"), 100), Some(false));
+        // It IS equivalent when the outputs are the b's themselves.
+        let inter2 = TpIntersection::new(vec![p("a//b[x]"), p("a//b[y]")]);
+        assert_eq!(inter2.equivalent_to_tp(&p("a//b[x][y]"), 100), Some(true));
+    }
+
+    #[test]
+    fn merge_same_skeleton_unions_predicates() {
+        let m = merge_same_skeleton(&p("a[1]/b/c[3]/d"), &p("a/b[2]/c[3]/d")).unwrap();
+        assert_eq!(
+            m.canonical_key(),
+            crate::containment::minimize(&p("a[1]/b[2]/c[3]/d")).canonical_key()
+        );
+        assert!(merge_same_skeleton(&p("a/b"), &p("a//b")).is_none());
+        assert!(merge_same_skeleton(&p("a/b"), &p("a/c")).is_none());
+    }
+
+    #[test]
+    fn intersect_to_tp_union_free() {
+        let r = intersect_to_tp(&p("a[x]/b"), &p("a[y]/b"), 100).unwrap();
+        assert_eq!(
+            r.canonical_key(),
+            crate::containment::minimize(&p("a[x][y]/b")).canonical_key()
+        );
+        // Union-ful: no single TP equivalent.
+        assert!(intersect_to_tp(&p("a//b[x]//c"), &p("a//b[y]//c"), 100).is_none());
+        // Output coalescing makes the two-b case union-free.
+        let r2 = intersect_to_tp(&p("a//b[x]"), &p("a//b[y]"), 100).unwrap();
+        assert_eq!(
+            r2.canonical_key(),
+            crate::containment::minimize(&p("a//b[x][y]")).canonical_key()
+        );
+    }
+
+    #[test]
+    fn eval_agrees_with_interleavings() {
+        // ∪ interleavings(Q)(d) = Q(d) on a sample document.
+        let d = parse_document("a#0[b#1[x#2, b#3[y#4, x#5]], b#6[y#7]]").unwrap();
+        let inter = TpIntersection::new(vec![p("a//b[x]"), p("a//b[y]")]);
+        let direct = inter.eval(&d);
+        let mut via_inter: Vec<NodeId> = inter
+            .interleavings(100)
+            .unwrap()
+            .iter()
+            .flat_map(|q| crate::embed::eval(q, &d))
+            .collect();
+        via_inter.sort_unstable();
+        via_inter.dedup();
+        assert_eq!(direct, via_inter);
+    }
+
+    #[test]
+    fn three_way_intersection() {
+        let inter = TpIntersection::new(vec![p("a[1]/b/c"), p("a/b[2]/c"), p("a/b/c[3]")]);
+        let ils = inter.interleavings(100).unwrap();
+        assert_eq!(ils.len(), 1);
+        assert_eq!(
+            ils[0].canonical_key(),
+            p("a[1]/b[2]/c[3]").canonical_key()
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # pxv-tpq — tree-pattern queries
+//!
+//! The query substrate of the reproduction of *Cautis & Kharlamov, VLDB
+//! 2012*: tree patterns (TP — XPath with `/`, `//` and predicates, no
+//! wildcard), their evaluation, containment and minimization, the
+//! structural operations of §4 (prefixes, suffixes, tokens, compensation),
+//! and intersections TP∩ with interleavings (§5.1) plus the
+//! extended-skeleton fragment.
+
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod compose;
+pub mod containment;
+pub mod embed;
+pub mod generators;
+pub mod intersect;
+pub mod parse;
+pub mod pattern;
+pub mod skeleton;
+
+pub use compose::comp;
+pub use containment::{contained_in, equivalent, minimize};
+pub use intersect::TpIntersection;
+pub use parse::parse_pattern;
+pub use pattern::{Axis, QNodeId, TreePattern};

@@ -1,0 +1,248 @@
+//! Extra tree-pattern toolkit coverage: containment corner cases,
+//! minimization idempotence, interleaving semantics, extended skeletons,
+//! parser round trips on random patterns.
+
+use pxv_tpq::containment::{contained_in, equivalent, is_minimal, minimize};
+use pxv_tpq::generators::{random_pattern, RandomPatternConfig};
+use pxv_tpq::intersect::TpIntersection;
+use pxv_tpq::parse::parse_pattern;
+use pxv_tpq::TreePattern;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn p(s: &str) -> TreePattern {
+    parse_pattern(s).unwrap()
+}
+
+#[test]
+fn containment_is_a_preorder() {
+    let pats = [
+        p("a/b"),
+        p("a//b"),
+        p("a[c]/b"),
+        p("a//b[c]"),
+        p("a/b[c]"),
+        p("a[.//x]//b"),
+        p("a/x/b").prefix(2),
+    ];
+    // Reflexivity.
+    for q in &pats {
+        assert!(contained_in(q, q), "{q} ⊑ {q}");
+    }
+    // Transitivity on all triples.
+    for x in &pats {
+        for y in &pats {
+            for z in &pats {
+                if contained_in(x, y) && contained_in(y, z) {
+                    assert!(contained_in(x, z), "{x} ⊑ {y} ⊑ {z}");
+                }
+            }
+        }
+    }
+}
+
+/// The document keeping every ordinary node of a p-document (local copy of
+/// `pxv_peval::dp::max_world`, which cannot be used here without a cyclic
+/// dev-dependency).
+fn max_world(pd: &pxv_pxml::PDocument) -> pxv_pxml::Document {
+    let root_label = pd.label(pd.root()).unwrap();
+    let mut d = pxv_pxml::Document::with_root_id(root_label, pd.root());
+    for n in pd.preorder() {
+        if n == pd.root() {
+            continue;
+        }
+        if let Some(l) = pd.label(n) {
+            d.add_child_with_id(pd.ordinary_ancestor(n).unwrap(), l, n);
+        }
+    }
+    d
+}
+
+#[test]
+fn containment_respects_semantics_on_random_documents() {
+    use pxv_pxml::generators::{random_pdocument, RandomPDocConfig};
+    let mut rng = StdRng::seed_from_u64(99);
+    let pcfg = RandomPDocConfig::default();
+    let qcfg = RandomPatternConfig {
+        labels: pcfg.labels.clone(),
+        ..Default::default()
+    };
+    let mut checked = 0;
+    for round in 0..200 {
+        let q1 = random_pattern(&qcfg, &mut rng);
+        // Weaken q1 into q2 by dropping predicates (guarantees q1 ⊑ q2).
+        let q2 = if round % 2 == 0 {
+            q1.main_branch_only()
+        } else {
+            q1.filter_predicates(|n, c| (n.0 + c.0 + round as u32) % 3 != 0)
+        };
+        if !contained_in(&q1, &q2) {
+            continue;
+        }
+        checked += 1;
+        let pd = random_pdocument(&pcfg, &mut rng);
+        let d = max_world(&pd);
+        let a1 = pxv_tpq::embed::eval(&q1, &d);
+        let a2 = pxv_tpq::embed::eval(&q2, &d);
+        for n in a1 {
+            assert!(a2.contains(&n), "{q1} ⊑ {q2} violated at {n}");
+        }
+    }
+    assert!(checked > 0, "no contained pairs generated");
+}
+
+#[test]
+fn minimize_is_idempotent_and_equivalent() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = RandomPatternConfig {
+        preds_per_node: 1.5,
+        ..Default::default()
+    };
+    for _ in 0..100 {
+        let q = random_pattern(&cfg, &mut rng);
+        if q.len() > 14 {
+            continue;
+        }
+        let m = minimize(&q);
+        assert!(equivalent(&m, &q), "minimize must preserve equivalence: {q}");
+        assert!(is_minimal(&m), "minimize must be idempotent: {q} -> {m}");
+        assert!(m.len() <= q.len());
+    }
+}
+
+#[test]
+fn equivalent_minimal_patterns_are_isomorphic() {
+    let pairs = [
+        ("a[b][c/d]//e", "a[c/d][b]//e"),
+        ("a[b[x][y]]/c", "a[b[y][x]]/c"),
+    ];
+    for (s1, s2) in pairs {
+        let m1 = minimize(&p(s1));
+        let m2 = minimize(&p(s2));
+        assert!(equivalent(&m1, &m2));
+        assert_eq!(m1.canonical_key(), m2.canonical_key());
+    }
+}
+
+#[test]
+fn interleavings_match_intersection_semantics_exhaustively() {
+    // For several intersections, compare ∩-eval and ∪-of-interleavings on a
+    // set of hand-built documents.
+    use pxv_pxml::text::parse_document;
+    let docs = [
+        "a#0[m#1[x#2, y#3], out#4]",
+        "a#0[m#1[x#2], m#3[y#4, out#5[w#6]]]",
+        "a#0[m#1[x#2, m#3[y#4, out#5]]]",
+        "a#0[m#1[x#2, y#3, out#4], m#5[y#6]]",
+        "a#0[m#1[x#2[out#3]], m#4[y#5[out#6]]]",
+    ];
+    let inter = TpIntersection::new(vec![p("a//m[x]//out"), p("a//m[y]//out")]);
+    let ils = inter.interleavings(10_000).unwrap();
+    assert!(ils.len() >= 3);
+    for dsrc in docs {
+        let d = parse_document(dsrc).unwrap();
+        let direct = inter.eval(&d);
+        let mut via: Vec<_> = ils
+            .iter()
+            .flat_map(|i| pxv_tpq::embed::eval(i, &d))
+            .collect();
+        via.sort_unstable();
+        via.dedup();
+        assert_eq!(direct, via, "doc {dsrc}");
+    }
+}
+
+#[test]
+fn union_free_detection() {
+    // Forced merges: union-free.
+    let forced = TpIntersection::new(vec![p("a/b[x]/c"), p("a/b[y]/c")]);
+    assert!(forced.union_free(100).is_some());
+    // Loose middles: not union-free.
+    let loose = TpIntersection::new(vec![p("a//b[x]//c"), p("a//b[y]//c")]);
+    assert!(loose.union_free(100).is_none());
+}
+
+#[test]
+fn contains_tp_no_interleavings_needed() {
+    let inter = TpIntersection::new(vec![p("a//b[x]//c"), p("a//b[y]//c")]);
+    assert!(inter.contains_tp(&p("a/b[x][y]/c")));
+    assert!(!inter.contains_tp(&p("a/b[x]/c")));
+}
+
+#[test]
+fn unsatisfiable_intersections() {
+    // Different output labels.
+    assert!(!TpIntersection::new(vec![p("a/b"), p("a/c")]).is_satisfiable());
+    // Forced depth conflict.
+    assert!(!TpIntersection::new(vec![p("a/x/b"), p("a/y/x/b")]).is_satisfiable());
+    // Satisfiable despite different shapes.
+    assert!(TpIntersection::new(vec![p("a//b"), p("a/x//b")]).is_satisfiable());
+}
+
+#[test]
+fn extended_skeletons_on_random_patterns_stable() {
+    // The check must be deterministic and total (no panics) on anything
+    // the generator produces; spot-check a few invariants.
+    use pxv_tpq::skeleton::is_extended_skeleton;
+    let mut rng = StdRng::seed_from_u64(17);
+    let cfg = RandomPatternConfig::default();
+    for _ in 0..200 {
+        let q = random_pattern(&cfg, &mut rng);
+        let _ = is_extended_skeleton(&q);
+        // /-only patterns are always extended skeletons.
+        let bare = q.main_branch_only();
+        if !bare.mb_has_descendant_edge() {
+            assert!(is_extended_skeleton(&bare));
+        }
+    }
+}
+
+#[test]
+fn compensation_associativity() {
+    // comp(comp(q1, q2), q3) = comp(q1, comp(q2, q3)).
+    use pxv_tpq::comp;
+    let q1 = p("a/b[x]");
+    let q2 = p("b[y]/c");
+    let q3 = p("c/d[z]");
+    let left = comp(&comp(&q1, &q2), &q3);
+    let right = comp(&q1, &comp(&q2, &q3));
+    assert_eq!(left.canonical_key(), right.canonical_key());
+}
+
+#[test]
+fn prefix_suffix_recomposition() {
+    // comp(q.prefix(k)-as-pure-path-base, q.suffix(k)) rebuilds q when there
+    // are no predicates above k... and in general comp(v, suffix) with
+    // v = prefix-with-stripped-out-preds contains q.
+    let q = p("IT-personnel//person[name/Rick]/bonus[laptop]");
+    for k in 1..=q.mb_len() {
+        let v = q.prefix(k);
+        let unf = pxv_tpq::comp(&v, &q.suffix(k));
+        // The unfolding re-tests the suffix predicates: equivalent to q.
+        assert!(equivalent(&unf, &q), "k = {k}");
+    }
+}
+
+#[test]
+fn parser_rejects_garbage() {
+    for s in ["", "/", "//", "a[", "a]", "a[]", "a//[b]", "a b", "a/'x"] {
+        assert!(parse_pattern(s).is_err(), "should reject {s:?}");
+    }
+}
+
+#[test]
+fn random_pattern_round_trips() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let cfg = RandomPatternConfig {
+        mb_len: 5,
+        preds_per_node: 1.2,
+        pred_depth: 3,
+        ..Default::default()
+    };
+    for _ in 0..200 {
+        let q = random_pattern(&cfg, &mut rng);
+        let s = q.to_string();
+        let q2 = parse_pattern(&s).unwrap_or_else(|e| panic!("re-parse {s}: {e}"));
+        assert_eq!(q.canonical_key(), q2.canonical_key(), "{s}");
+    }
+}

@@ -1,0 +1,131 @@
+//! `prxview` — command-line front end for the library.
+//!
+//! ```text
+//! prxview eval    <pdoc-file> <query>            probabilistic answers
+//! prxview worlds  <pdoc-file> [limit]            enumerate ⟦P̂⟧
+//! prxview plan    <query> name=pattern…          find a rewriting
+//! prxview answer  <pdoc-file> <query> name=pattern…
+//!                                                answer using views only
+//! prxview cindep  <q1> <q2>                      c-independence test
+//! ```
+//!
+//! P-document files use the `pxv-pxml` text syntax, e.g.
+//! `a[mux(0.3: b, 0.6: c[d])]`; queries use XPath-ish notation, e.g.
+//! `a//c[d]`.
+
+use prxview::pxml::text::parse_pdocument;
+use prxview::pxml::PDocument;
+use prxview::rewrite::{answer_with_views, plan, View};
+use prxview::tpq::parse::parse_pattern;
+use prxview::tpq::TreePattern;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  prxview eval <pdoc-file> <query>\n  prxview worlds <pdoc-file> [limit]\n  \
+         prxview plan <query> name=pattern...\n  prxview answer <pdoc-file> <query> name=pattern...\n  \
+         prxview cindep <q1> <q2>"
+    );
+    ExitCode::from(2)
+}
+
+fn load_pdoc(path: &str) -> Result<PDocument, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let pdoc = parse_pdocument(text.trim()).map_err(|e| format!("{path}: {e}"))?;
+    pdoc.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(pdoc)
+}
+
+fn load_query(s: &str) -> Result<TreePattern, String> {
+    parse_pattern(s).map_err(|e| format!("query `{s}`: {e}"))
+}
+
+fn parse_views(args: &[String]) -> Result<Vec<View>, String> {
+    args.iter()
+        .map(|a| {
+            let (name, pattern) = a
+                .split_once('=')
+                .ok_or_else(|| format!("view `{a}` must be name=pattern"))?;
+            Ok(View::new(name, load_query(pattern)?))
+        })
+        .collect()
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("eval") if args.len() == 3 => {
+            let pdoc = load_pdoc(&args[1])?;
+            let q = load_query(&args[2])?;
+            for (n, p) in prxview::peval::eval_tp(&pdoc, &q) {
+                println!("{n}\t{p:.9}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("worlds") if args.len() >= 2 => {
+            let pdoc = load_pdoc(&args[1])?;
+            let limit: usize = args
+                .get(2)
+                .map(|s| s.parse().map_err(|e| format!("bad limit: {e}")))
+                .transpose()?
+                .unwrap_or(1 << 16);
+            let space = pdoc
+                .px_space_limited(limit)
+                .ok_or("possible-world space exceeds the limit")?;
+            for (w, p) in space.worlds() {
+                println!("{p:.9}\t{w}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("plan") if args.len() >= 3 => {
+            let q = load_query(&args[1])?;
+            let views = parse_views(&args[2..])?;
+            match plan(&q, &views, 10_000) {
+                Some(pl) => {
+                    println!("{}", pl.describe(&views));
+                    Ok(ExitCode::SUCCESS)
+                }
+                None => {
+                    println!("no probabilistic rewriting over these views");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        Some("answer") if args.len() >= 4 => {
+            let pdoc = load_pdoc(&args[1])?;
+            let q = load_query(&args[2])?;
+            let views = parse_views(&args[3..])?;
+            match answer_with_views(&pdoc, &q, &views) {
+                Some((pl, answers)) => {
+                    eprintln!("plan: {}", pl.describe(&views));
+                    for (n, p) in answers {
+                        println!("{n}\t{p:.9}");
+                    }
+                    Ok(ExitCode::SUCCESS)
+                }
+                None => {
+                    eprintln!("no probabilistic rewriting; use `eval` for direct evaluation");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        Some("cindep") if args.len() == 3 => {
+            let q1 = load_query(&args[1])?;
+            let q2 = load_query(&args[2])?;
+            let indep = prxview::rewrite::c_independent(&q1, &q2);
+            println!("{}", if indep { "c-independent" } else { "dependent" });
+            Ok(if indep { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        _ => Ok(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # prxview — Answering Queries using Views over Probabilistic XML
+//!
+//! Facade crate re-exporting the whole workspace: a full reproduction of
+//! *Cautis & Kharlamov, VLDB 2012*. See the README for a tour and
+//! DESIGN.md for the architecture.
+//!
+//! ```
+//! use prxview::pxml::text::parse_pdocument;
+//! use prxview::tpq::parse::parse_pattern;
+//!
+//! let pdoc = parse_pdocument("a[mux(0.4: b[c], 0.6: b)]").unwrap();
+//! let q = parse_pattern("a/b[c]").unwrap();
+//! let answers = prxview::peval::api::eval_tp(&pdoc, &q);
+//! assert_eq!(answers.len(), 1);
+//! assert!((answers[0].1 - 0.4).abs() < 1e-9);
+//! ```
+
+pub use pxv_peval as peval;
+pub use pxv_pxml as pxml;
+pub use pxv_rewrite as rewrite;
+pub use pxv_tpq as tpq;

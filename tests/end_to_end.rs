@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: the full pipeline (materialize views →
+//! plan → answer from extensions only) against direct evaluation, over
+//! generated workloads.
+
+use prxview::pxml::generators::personnel;
+use prxview::pxml::text::parse_pdocument;
+use prxview::pxml::{NodeId, PDocument};
+use prxview::rewrite::{answer_direct, answer_with_views, View};
+use prxview::tpq::parse::parse_pattern;
+use prxview::tpq::TreePattern;
+
+fn p(s: &str) -> TreePattern {
+    parse_pattern(s).unwrap()
+}
+
+fn assert_answers_match(
+    got: &[(NodeId, f64)],
+    want: &[(NodeId, f64)],
+    ctx: &str,
+    tol: f64,
+) {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{ctx}: node sets differ\n got: {got:?}\nwant: {want:?}"
+    );
+    for ((n1, p1), (n2, p2)) in got.iter().zip(want) {
+        assert_eq!(n1, n2, "{ctx}");
+        assert!((p1 - p2).abs() < tol, "{ctx} at {n1}: {p1} vs {p2}");
+    }
+}
+
+fn run_case(pdoc: &PDocument, q: &TreePattern, views: &[View], ctx: &str) {
+    let (_plan, got) = answer_with_views(pdoc, q, views)
+        .unwrap_or_else(|| panic!("{ctx}: expected a plan"));
+    let want = answer_direct(pdoc, q);
+    assert_answers_match(&got, &want, ctx, 1e-9);
+}
+
+#[test]
+fn personnel_scaled_tp_plan() {
+    // The running example at 30 persons: answer "laptop bonuses" from the
+    // materialized bonuses view.
+    let (pdoc, _) = personnel(30, 3, 17);
+    let q = p("IT-personnel//person/bonus[laptop]");
+    let views = vec![View::new("bonuses", p("IT-personnel//person/bonus"))];
+    run_case(&pdoc, &q, &views, "personnel 30x3 laptop");
+}
+
+#[test]
+fn personnel_scaled_named_person_plan() {
+    let (pdoc, _) = personnel(20, 2, 5);
+    let q = p("IT-personnel//person[name/Rick]/bonus");
+    let views = vec![View::new("rick", p("IT-personnel//person[name/Rick]/bonus"))];
+    run_case(&pdoc, &q, &views, "personnel rick identity view");
+}
+
+#[test]
+fn personnel_deeper_compensation() {
+    let (pdoc, _) = personnel(15, 3, 23);
+    // Navigate below the view output: bonus values under pda projects.
+    let q = p("IT-personnel//person/bonus/pda");
+    let views = vec![View::new("bonuses", p("IT-personnel//person/bonus"))];
+    run_case(&pdoc, &q, &views, "personnel pda under bonuses view");
+}
+
+#[test]
+fn tpi_plan_on_personnel() {
+    let (pdoc, _) = personnel(12, 2, 31);
+    // Two partial views that only together answer the query.
+    let q = p("IT-personnel//person[name/Mary]/bonus[pda]");
+    let views = vec![
+        View::new("mary", p("IT-personnel//person[name/Mary]/bonus")),
+        View::new("all", p("IT-personnel//person/bonus")),
+    ];
+    run_case(&pdoc, &q, &views, "personnel TP∩ mary+pda");
+}
+
+#[test]
+fn descendant_views_with_nested_results() {
+    // Nested view results (b under b) with compensation below.
+    let pdoc = parse_pdocument(
+        "a#0[b#1[mux#2(0.6: c#3), b#4[ind#5(0.5: c#6), mux#7(0.3: b#8[c#9])]]]",
+    )
+    .unwrap();
+    let q = p("a//b/c");
+    let views = vec![View::new("bs", p("a//b"))];
+    run_case(&pdoc, &q, &views, "nested b results");
+}
+
+#[test]
+fn inclusion_exclusion_plan_with_three_ancestors() {
+    // Deep nesting: up to three selected ancestors for one answer node.
+    let pdoc = parse_pdocument(
+        "a#0[b#1[ind#2(0.8: b#3[ind#4(0.6: b#5[mux#6(0.5: x#7[d#8])]), mux#9(0.2: x#10)])]]",
+    )
+    .unwrap();
+    let q = p("a//b//d");
+    let views = vec![View::new("bs", p("a//b"))];
+    run_case(&pdoc, &q, &views, "three nested ancestors");
+}
+
+#[test]
+fn no_plan_falls_back_to_none() {
+    let pdoc = parse_pdocument("a#0[b#1[mux#2(0.5: c#3)]]").unwrap();
+    let q = p("a/b[c]");
+    // Example 11's pathological view: no probabilistic rewriting.
+    let views = vec![View::new("v", p("a[.//c]/b"))];
+    assert!(answer_with_views(&pdoc, &q, &views).is_none());
+    // Direct evaluation still works.
+    let direct = answer_direct(&pdoc, &q);
+    assert_eq!(direct, vec![(NodeId(1), 0.5)]);
+}
+
+#[test]
+fn det_and_exp_nodes_supported_end_to_end() {
+    // The §2 remark: results carry over to det/exp distributional nodes.
+    let mut pdoc = PDocument::new(prxview::pxml::Label::new("a"));
+    let root = pdoc.root();
+    let det = pdoc.add_dist(root, prxview::pxml::PKind::Det, 1.0);
+    let b = pdoc.add_ordinary(det, prxview::pxml::Label::new("b"), 1.0);
+    let exp = pdoc.add_dist(b, prxview::pxml::PKind::Exp(Vec::new()), 1.0);
+    let _c = pdoc.add_ordinary(exp, prxview::pxml::Label::new("c"), 1.0);
+    let _d = pdoc.add_ordinary(exp, prxview::pxml::Label::new("d"), 1.0);
+    pdoc.set_exp_distribution(exp, vec![(0b11, 0.4), (0b01, 0.3), (0b00, 0.3)]);
+    assert!(pdoc.validate().is_ok());
+    let q = p("a/b[c]");
+    let views = vec![View::new("bs", p("a/b"))];
+    run_case(&pdoc, &q, &views, "det+exp nodes");
+    // Exp correlation visible: Pr(b has c and d) = 0.4 ≠ 0.7 × 0.4.
+    let joint = prxview::peval::eval_intersection_at(
+        &pdoc,
+        &[p("a/b[c]"), p("a/b[d]")],
+        b,
+    );
+    assert!((joint - 0.4).abs() < 1e-9);
+}
+
+#[test]
+fn extension_only_access_is_sufficient() {
+    // Materialize extensions, then *drop* the original p-document before
+    // computing: the API makes it impossible to cheat, this test just
+    // documents the workflow.
+    let (pdoc, _) = personnel(10, 2, 77);
+    let q = p("IT-personnel//person/bonus[laptop]");
+    let view = View::new("bonuses", p("IT-personnel//person/bonus"));
+    let want = answer_direct(&pdoc, &q);
+    let rw = prxview::rewrite::tp_rewrite(&q, std::slice::from_ref(&view))
+        .into_iter()
+        .next()
+        .expect("plan");
+    let ext = prxview::rewrite::ProbExtension::materialize(&pdoc, &view);
+    drop(pdoc);
+    let got = prxview::rewrite::fr_tp::answer_tp(&rw, &ext);
+    assert_answers_match(&got, &want, "extension-only", 1e-9);
+}
+
+#[test]
+fn plans_agree_with_monte_carlo() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let (pdoc, _) = personnel(8, 2, 3);
+    let q = p("IT-personnel//person/bonus[tablet]");
+    let views = vec![View::new("bonuses", p("IT-personnel//person/bonus"))];
+    let (_, got) = answer_with_views(&pdoc, &q, &views).expect("plan");
+    let mut rng = StdRng::seed_from_u64(1);
+    for (n, prob) in got {
+        let est = prxview::peval::mc::estimate_tp_at(&pdoc, &q, n, 20_000, &mut rng);
+        assert!(
+            est.covers(prob),
+            "MC {est:?} should cover plan probability {prob} at {n}"
+        );
+    }
+}
