@@ -1,0 +1,69 @@
+//! Cold-catalog vs warm-catalog query latency: quantifies the win of the
+//! engine's memoized extensions (the whole point of answering from
+//! materialized views — §1/§7 of the paper, and the reason the `Engine`
+//! exists).
+//!
+//! `cold` builds a fresh engine per iteration, so every query pays
+//! planning + materialization; `warm` reuses one engine whose catalog was
+//! warmed once, so queries only plan and read cached extensions;
+//! `direct` is the no-views baseline over the original p-document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prxview::engine::Engine;
+use prxview::pxml::generators::personnel;
+use prxview::rewrite::View;
+use pxv_bench::{pat, qbon};
+
+fn views() -> [View; 2] {
+    [
+        View::new("bonuses", pat("IT-personnel//person/bonus")),
+        View::new("rick", pat("IT-personnel//person[name/Rick]/bonus")),
+    ]
+}
+
+fn bench_engine_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_cache");
+    g.sample_size(10);
+    for persons in [50usize, 200] {
+        let (pdoc, _) = personnel(persons, 3, 9);
+        let q = qbon();
+
+        g.bench_with_input(BenchmarkId::new("cold", persons), &persons, |b, _| {
+            b.iter(|| {
+                let mut engine = Engine::new();
+                let doc = engine
+                    .add_document("p", std::hint::black_box(&pdoc).clone())
+                    .unwrap();
+                engine.register_views(views()).unwrap();
+                engine.answer(doc, &q).unwrap().nodes
+            })
+        });
+
+        let mut warm_engine = Engine::new();
+        let warm_doc = warm_engine.add_document("p", pdoc.clone()).unwrap();
+        warm_engine.register_views(views()).unwrap();
+        warm_engine.warm(warm_doc).unwrap();
+        g.bench_with_input(BenchmarkId::new("warm", persons), &persons, |b, _| {
+            b.iter(|| {
+                let a = warm_engine
+                    .answer(warm_doc, std::hint::black_box(&q))
+                    .unwrap();
+                assert_eq!(a.stats.materializations, 0);
+                a.nodes
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("direct", persons), &persons, |b, _| {
+            b.iter(|| {
+                warm_engine
+                    .answer_direct(warm_doc, std::hint::black_box(&q))
+                    .unwrap()
+                    .nodes
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_cache);
+criterion_main!(benches);

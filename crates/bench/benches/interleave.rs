@@ -11,9 +11,8 @@ fn bench_interleavings(c: &mut Criterion) {
     g.sample_size(15);
     for k in [2usize, 3, 4, 5] {
         // Worst case: k distinct //-separated middle nodes permute freely.
-        let loose: Vec<pxv_tpq::TreePattern> = (0..k)
-            .map(|i| pat(&format!("r//m{i}[x]//out")))
-            .collect();
+        let loose: Vec<pxv_tpq::TreePattern> =
+            (0..k).map(|i| pat(&format!("r//m{i}[x]//out"))).collect();
         let inter = TpIntersection::new(loose);
         g.bench_with_input(BenchmarkId::new("loose", k), &k, |b, _| {
             b.iter(|| {
@@ -43,9 +42,8 @@ fn bench_equivalence(c: &mut Criterion) {
     let mut g = c.benchmark_group("tpi_equivalence");
     g.sample_size(15);
     for k in [2usize, 3, 4] {
-        let parts: Vec<pxv_tpq::TreePattern> = (0..k)
-            .map(|i| pat(&format!("r//m{i}[x]//out")))
-            .collect();
+        let parts: Vec<pxv_tpq::TreePattern> =
+            (0..k).map(|i| pat(&format!("r//m{i}[x]//out"))).collect();
         // The target: everything coalesced in one chain (not equivalent,
         // forcing a full interleaving sweep).
         let mut target = String::from("r");

@@ -12,7 +12,10 @@ fn bench_system(c: &mut Criterion) {
         let q = wide_query(n, false);
         let views = decomposition_views(&q);
         g.bench_with_input(
-            BenchmarkId::new("build_and_solve", format!("mb{}_v{}", q.mb_len(), views.len())),
+            BenchmarkId::new(
+                "build_and_solve",
+                format!("mb{}_v{}", q.mb_len(), views.len()),
+            ),
             &n,
             |b, _| b.iter(|| build_system(std::hint::black_box(&q), &views)),
         );

@@ -41,8 +41,12 @@ impl Table {
 
     fn row_str(&mut self, what: &str, paper: &str, measured: &str) {
         let ok = paper == measured;
-        self.rows
-            .push((what.to_string(), paper.to_string(), measured.to_string(), ok));
+        self.rows.push((
+            what.to_string(),
+            paper.to_string(),
+            measured.to_string(),
+            ok,
+        ));
     }
 
     fn print(&self) -> bool {
@@ -83,7 +87,10 @@ fn e2() -> bool {
     let d = fig1_dper();
     let show = |q: &pxv_tpq::TreePattern| -> String {
         let v = pxv_tpq::embed::eval(q, &d);
-        v.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
+        v.iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
     };
     t.row_str("qRBON(dPER)", "n5", &show(&qrbon()));
     t.row_str("qBON(dPER)", "n5", &show(&qbon()));
@@ -96,7 +103,11 @@ fn e3() -> bool {
     let mut t = Table::new("E3 — Example 6: probabilistic answers over P̂PER");
     let pper = fig2_pper();
     let n5 = NodeId(5);
-    t.row_num("Pr(n5 ∈ qBON)", 0.9, pxv_peval::eval_tp_at(&pper, &qbon(), n5));
+    t.row_num(
+        "Pr(n5 ∈ qBON)",
+        0.9,
+        pxv_peval::eval_tp_at(&pper, &qbon(), n5),
+    );
     t.row_num(
         "Pr(n5 ∈ v1BON)",
         0.75,
@@ -123,10 +134,18 @@ fn e4() -> bool {
     let mut t = Table::new("E4 — Figure 4, Examples 7–8: view extensions");
     let pper = fig2_pper();
     let ext1 = ProbExtension::materialize(&pper, &v1bon());
-    t.row_str("|results of (P̂PER)_v1BON|", "1", &ext1.results.len().to_string());
+    t.row_str(
+        "|results of (P̂PER)_v1BON|",
+        "1",
+        &ext1.results.len().to_string(),
+    );
     t.row_num("β of n5 in (P̂PER)_v1BON", 0.75, ext1.results[0].prob);
     let ext2 = ProbExtension::materialize(&pper, &v2bon());
-    t.row_str("|results of (P̂PER)_v2BON|", "2", &ext2.results.len().to_string());
+    t.row_str(
+        "|results of (P̂PER)_v2BON|",
+        "2",
+        &ext2.results.len().to_string(),
+    );
     t.row_num("β of n5 in (P̂PER)_v2BON", 1.0, ext2.results[0].prob);
     t.row_num("β of n7 in (P̂PER)_v2BON", 1.0, ext2.results[1].prob);
     t.print()
@@ -171,7 +190,11 @@ fn e6() -> bool {
     t.row_str(
         "deterministic rewriting exists (Fact 1)",
         "yes",
-        if pxv_tpq::equivalent(&unf, &q) { "yes" } else { "no" },
+        if pxv_tpq::equivalent(&unf, &q) {
+            "yes"
+        } else {
+            "no"
+        },
     );
     t.row_num(
         "Pr(b ∈ q(P1))",
@@ -216,8 +239,16 @@ fn e7() -> bool {
     let q = pat("a//b[e]/c/b/c//d");
     let v = View::new("v", pat("a//b[e]/c/b/c"));
     let (nc1, nc2, nd) = fig5_chain_nodes();
-    t.row_num("Pr(nd ∈ q(P3))", 0.288, pxv_peval::eval_tp_at(&fig5_p3(), &q, nd));
-    t.row_num("Pr(nd ∈ q(P4))", 0.264, pxv_peval::eval_tp_at(&fig5_p4(), &q, nd));
+    t.row_num(
+        "Pr(nd ∈ q(P3))",
+        0.288,
+        pxv_peval::eval_tp_at(&fig5_p3(), &q, nd),
+    );
+    t.row_num(
+        "Pr(nd ∈ q(P4))",
+        0.264,
+        pxv_peval::eval_tp_at(&fig5_p4(), &q, nd),
+    );
     for (name, pdoc) in [("P3", fig5_p3()), ("P4", fig5_p4())] {
         t.row_num(
             &format!("Pr(nc1 ∈ v({name}))"),
@@ -250,14 +281,22 @@ fn e8() -> bool {
     let pper = fig2_pper();
     let views = [v2bon()];
     let rs = pxv_rewrite::tp_rewrite(&qbon(), &views);
-    t.row_str("plan found & restricted", "yes", if rs[0].restricted { "yes" } else { "no" });
+    t.row_str(
+        "plan found & restricted",
+        "yes",
+        if rs[0].restricted { "yes" } else { "no" },
+    );
     let ext = ProbExtension::materialize(&pper, &views[0]);
     t.row_num(
         "fr(n5) = Pr(n5 ∈ qr(Pv)) ÷ Pr(n5 ∈ v(3)(P^n5_v))",
         0.9,
         pxv_rewrite::fr_tp::fr_tp(&rs[0], &ext, NodeId(5)),
     );
-    t.row_num("fr(n7)", 0.0, pxv_rewrite::fr_tp::fr_tp(&rs[0], &ext, NodeId(7)));
+    t.row_num(
+        "fr(n7)",
+        0.0,
+        pxv_rewrite::fr_tp::fr_tp(&rs[0], &ext, NodeId(7)),
+    );
     t.print()
 }
 
@@ -269,7 +308,11 @@ fn e9() -> bool {
         ("a//b/c/b/c[e]//d", "a//b/c/b/c[e]", "accept(u=2)"),
         ("a//b[e]/c//d", "a//b[e]/c", "accept(u=0)"),
         ("a/b[c]", "a[.//c]/b", "reject:c-dependence"),
-        ("IT-personnel//person/bonus[laptop]", "IT-personnel//person/bonus", "accept(restricted)"),
+        (
+            "IT-personnel//person/bonus[laptop]",
+            "IT-personnel//person/bonus",
+            "accept(restricted)",
+        ),
     ];
     for (qs, vs, expected) in cases {
         let q = pat(qs);
@@ -296,7 +339,14 @@ fn e10() -> bool {
         .map(|v| ProbExtension::materialize(&pper, v))
         .collect();
     let ans = pxv_rewrite::answer::answer_tpi(&rw, &exts);
-    t.row_str("answers", "n5", &ans.iter().map(|(n, _)| n.to_string()).collect::<Vec<_>>().join(","));
+    t.row_str(
+        "answers",
+        "n5",
+        &ans.iter()
+            .map(|(n, _)| n.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     t.row_num("fr(n5) = 0.75 × 0.9 ÷ 1", 0.675, ans[0].1);
     t.print()
 }
@@ -311,13 +361,22 @@ fn e11() -> bool {
         pat("a//d"),
     ];
     let sys = pxv_rewrite::system::build_system(&q, &views);
-    t.row_str("S(q,V) solvable", "yes", if sys.is_solvable() { "yes" } else { "no" });
+    t.row_str(
+        "S(q,V) solvable",
+        "yes",
+        if sys.is_solvable() { "yes" } else { "no" },
+    );
     t.row_str(
         "coefficients (v1..v4)",
         "1/2 1/2 1/2 -1/2",
         &sys.coefficients
             .clone()
-            .map(|c| c.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(" "))
+            .map(|c| {
+                c.iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
             .unwrap_or_default(),
     );
     let sys3 = pxv_rewrite::system::build_system(&q, &views[..3]);
@@ -369,7 +428,11 @@ fn b_compact() {
         let q2 = chain_query(s);
         let t0 = Instant::now();
         let r = pxv_rewrite::c_independent(&q1, &q2);
-        println!("  s={s:2}: {:>12}  (dependent: {})", fmt_ms(t0.elapsed()), !r);
+        println!(
+            "  s={s:2}: {:>12}  (dependent: {})",
+            fmt_ms(t0.elapsed()),
+            !r
+        );
     }
 
     // B2: TPrewrite PTime shape.
@@ -404,7 +467,12 @@ fn b_compact() {
         let p = chain_pdoc(n, 8);
         let t0 = Instant::now();
         let _ = pxv_peval::eval_tp(&p, &q);
-        println!("  query |q|={:2} (|P̂|={:4}): {:>12}", q.len(), p.len(), fmt_ms(t0.elapsed()));
+        println!(
+            "  query |q|={:2} (|P̂|={:4}): {:>12}",
+            q.len(),
+            p.len(),
+            fmt_ms(t0.elapsed())
+        );
     }
 
     // B4: interleavings blow-up vs forced merges.
@@ -501,13 +569,42 @@ fn b_compact() {
             sys.is_solvable()
         );
     }
+
+    // B8: engine catalog amortization (cold vs warm; full statistics in
+    // benches/engine_cache.rs).
+    println!("\n[B8] engine cold vs warm catalog (memoized extensions):");
+    for persons in [50usize, 200, 800] {
+        use prxview::engine::Engine;
+        let (pdoc, _) = personnel(persons, 3, 9);
+        let q = qbon();
+        let mut engine = Engine::new();
+        let doc = engine.add_document("p", pdoc).unwrap();
+        engine.register_view(v2bon()).unwrap();
+        let t0 = Instant::now();
+        let cold = engine.answer(doc, &q).expect("plan");
+        let t_cold = t0.elapsed();
+        let t1 = Instant::now();
+        let warm = engine.answer(doc, &q).expect("plan");
+        let t_warm = t1.elapsed();
+        assert_eq!(warm.stats.materializations, 0);
+        assert_eq!(warm.nodes, cold.nodes);
+        println!(
+            "  persons={persons:4}: cold {:>12} ({} materialized)  warm {:>12}  ({:.1}× faster)",
+            fmt_ms(t_cold),
+            cold.stats.materializations,
+            fmt_ms(t_warm),
+            t_cold.as_secs_f64() / t_warm.as_secs_f64()
+        );
+    }
 }
+
+type Experiment = (&'static str, fn() -> bool);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
     let mut all_ok = true;
-    let experiments: Vec<(&str, fn() -> bool)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),

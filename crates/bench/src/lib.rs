@@ -6,8 +6,8 @@
 
 use pxv_pxml::{Label, PDocument, PKind};
 use pxv_rewrite::View;
-use pxv_tpq::pattern::{Axis, TreePattern};
 use pxv_tpq::parse::parse_pattern;
+use pxv_tpq::pattern::{Axis, TreePattern};
 
 /// Parses a pattern, panicking on error (fixtures only).
 pub fn pat(s: &str) -> TreePattern {

@@ -91,7 +91,9 @@ mod tests {
         let pper = fig2_pper();
         let n5 = NodeId(5);
         let n7 = NodeId(7);
-        assert!((eval_tp_at(&pper, &q("IT-personnel//person/bonus[laptop]"), n5) - 0.9).abs() < 1e-9);
+        assert!(
+            (eval_tp_at(&pper, &q("IT-personnel//person/bonus[laptop]"), n5) - 0.9).abs() < 1e-9
+        );
         assert!(
             (eval_tp_at(&pper, &q("IT-personnel//person[name/Rick]/bonus"), n5) - 0.75).abs()
                 < 1e-9
@@ -184,7 +186,10 @@ mod tests {
     #[test]
     fn empty_parts_and_missing_nodes() {
         let pper = fig2_pper();
-        assert_eq!(eval_tp_at(&pper, &q("IT-personnel/person"), NodeId(999)), 0.0);
+        assert_eq!(
+            eval_tp_at(&pper, &q("IT-personnel/person"), NodeId(999)),
+            0.0
+        );
         let pr = eval_intersection_at(&pper, &[], NodeId(8));
         assert!((pr - 0.75).abs() < 1e-12); // appearance probability of Rick
     }

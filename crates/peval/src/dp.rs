@@ -171,12 +171,7 @@ fn message(pdoc: &PDocument, conj: &Conjunction<'_>, n: NodeId) -> Dist {
 }
 
 /// Message of an ordinary node: combine children, then derive `A_v`/`B_v`.
-fn ordinary_message(
-    pdoc: &PDocument,
-    conj: &Conjunction<'_>,
-    v: NodeId,
-    label: Label,
-) -> Dist {
+fn ordinary_message(pdoc: &PDocument, conj: &Conjunction<'_>, v: NodeId, label: Label) -> Dist {
     let mut children_dist = delta_zero();
     for &c in pdoc.children(v) {
         let msg = message(pdoc, conj, c);
@@ -363,10 +358,7 @@ mod tests {
             let query = q(pat);
             let dp = boolean_probability(&p, &query);
             let exact = space.probability_where(|w| pxv_tpq::embed::matches(&query, w));
-            assert!(
-                (dp - exact).abs() < 1e-9,
-                "{pat}: dp={dp} exact={exact}"
-            );
+            assert!((dp - exact).abs() < 1e-9, "{pat}: dp={dp} exact={exact}");
         }
     }
 }

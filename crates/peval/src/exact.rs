@@ -35,9 +35,8 @@ pub fn eval_tp_at_exact(pdoc: &PDocument, q: &TreePattern, n: NodeId) -> f64 {
 
 /// `Pr(n ∈ (q1 ∩ … ∩ qm)(P))` by enumeration.
 pub fn eval_intersection_at_exact(pdoc: &PDocument, parts: &[TreePattern], n: NodeId) -> f64 {
-    pdoc.px_space().probability_where(|w| {
-        parts.iter().all(|q| pxv_tpq::embed::selects(q, w, n))
-    })
+    pdoc.px_space()
+        .probability_where(|w| parts.iter().all(|q| pxv_tpq::embed::selects(q, w, n)))
 }
 
 #[cfg(test)]
@@ -53,8 +52,7 @@ mod tests {
         let n5 = NodeId(5);
         let qbon = parse_pattern("IT-personnel//person/bonus[laptop]").unwrap();
         let v1 = parse_pattern("IT-personnel//person[name/Rick]/bonus").unwrap();
-        let qrbon =
-            parse_pattern("IT-personnel//person[name/Rick]/bonus[laptop]").unwrap();
+        let qrbon = parse_pattern("IT-personnel//person[name/Rick]/bonus[laptop]").unwrap();
         let v2 = parse_pattern("IT-personnel//person/bonus").unwrap();
 
         assert!((eval_tp_at_exact(&pper, &qbon, n5) - 0.9).abs() < 1e-9);
@@ -63,10 +61,7 @@ mod tests {
         let v2_answers = eval_tp_exact(&pper, &v2);
         assert_eq!(v2_answers.len(), 2);
         for (n, p) in v2_answers {
-            assert!(
-                (p - 1.0).abs() < 1e-9,
-                "v2BON answer {n} should be certain"
-            );
+            assert!((p - 1.0).abs() < 1e-9, "v2BON answer {n} should be certain");
         }
     }
 

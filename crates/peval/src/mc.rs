@@ -84,8 +84,7 @@ mod tests {
     #[test]
     fn estimate_matches_example_6() {
         let pper = fig2_pper();
-        let qrbon =
-            parse_pattern("IT-personnel//person[name/Rick]/bonus[laptop]").unwrap();
+        let qrbon = parse_pattern("IT-personnel//person[name/Rick]/bonus[laptop]").unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let est = estimate_tp_at(&pper, &qrbon, NodeId(5), 20_000, &mut rng);
         assert!(est.covers(0.675), "estimate {est:?} should cover 0.675");

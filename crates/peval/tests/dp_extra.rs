@@ -55,7 +55,10 @@ fn exp_against_enumeration() {
     p.add_ordinary(exp, l("x"), 1.0);
     let y = p.add_ordinary(exp, l("y"), 1.0);
     p.add_ordinary(y, l("z"), 1.0);
-    p.set_exp_distribution(exp, vec![(0b11, 0.2), (0b01, 0.3), (0b10, 0.4), (0b00, 0.1)]);
+    p.set_exp_distribution(
+        exp,
+        vec![(0b11, 0.2), (0b01, 0.3), (0b10, 0.4), (0b00, 0.1)],
+    );
     let space = p.px_space();
     for pat in ["a/b[x]", "a/b[y/z]", "a/b[x][y]", "a//z", "a/b[x]/y"] {
         let query = q(pat);
@@ -77,7 +80,7 @@ fn randomized_all_kinds_cross_validation() {
         let mut ordinary = vec![p.root()];
         for _ in 0..rng.gen_range(3..8) {
             let parent = ordinary[rng.gen_range(0..ordinary.len())];
-            let lab = l(labels[rng.gen_range(0..3)]);
+            let lab = l(labels[rng.gen_range(0..3usize)]);
             let child = match rng.gen_range(0..4) {
                 0 => {
                     let m = p.add_dist(parent, PKind::Mux, 1.0);
@@ -99,7 +102,9 @@ fn randomized_all_kinds_cross_validation() {
         let Some(space) = p.px_space_limited(1 << 14) else {
             continue;
         };
-        for pat in ["a//b", "a//c", "a/b[c]", "a//b[c]", "a[b]//c", "a/a", "a//a//a"] {
+        for pat in [
+            "a//b", "a//c", "a/b[c]", "a//b[c]", "a[b]//c", "a/a", "a//a//a",
+        ] {
             let query = q(pat);
             let dp_answers = pxv_peval::eval_tp(&p, &query);
             let exact = pxv_peval::exact::eval_tp_over_space(&space, &query);
@@ -117,13 +122,10 @@ fn conjunction_with_shared_subpattern() {
     // q1's and q2's witnesses overlap on the same node: the DP must treat
     // them jointly, not multiply.
     let p = pxv_pxml::text::parse_pdocument("a[mux(0.5: b[c, d])]").unwrap();
-    let joint =
-        pxv_peval::dp::boolean_conjunction_probability(&p, &[q("a/b[c]"), q("a/b[d]")]);
+    let joint = pxv_peval::dp::boolean_conjunction_probability(&p, &[q("a/b[c]"), q("a/b[d]")]);
     assert!((joint - 0.5).abs() < 1e-12);
-    let triple = pxv_peval::dp::boolean_conjunction_probability(
-        &p,
-        &[q("a/b[c]"), q("a/b[d]"), q("a//c")],
-    );
+    let triple =
+        pxv_peval::dp::boolean_conjunction_probability(&p, &[q("a/b[c]"), q("a/b[d]"), q("a//c")]);
     assert!((triple - 0.5).abs() < 1e-12);
 }
 

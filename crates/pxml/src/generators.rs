@@ -32,7 +32,10 @@ impl Default for RandomPDocConfig {
         RandomPDocConfig {
             max_depth: 5,
             max_children: 3,
-            labels: ["a", "b", "c", "d", "e"].iter().map(|s| s.to_string()).collect(),
+            labels: ["a", "b", "c", "d", "e"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             dist_density: 0.4,
             target_size: 20,
         }
@@ -64,7 +67,7 @@ pub fn random_pdocument<R: Rng + ?Sized>(cfg: &RandomPDocConfig, rng: &mut R) ->
                     let mut ids = Vec::new();
                     let mut budget = 1.0f64;
                     for _ in 0..k {
-                        let pr = rng.gen_range(0.05..budget.max(0.06).min(0.9));
+                        let pr = rng.gen_range(0.05..budget.clamp(0.06, 0.9));
                         budget -= pr;
                         let lab = Label::new(&cfg.labels[rng.gen_range(0..cfg.labels.len())]);
                         ids.push(p.add_ordinary(mux, lab, pr));

@@ -257,7 +257,10 @@ impl PDocument {
 
     /// Number of distributional nodes.
     pub fn distributional_count(&self) -> usize {
-        self.nodes.values().filter(|n| !n.kind.is_ordinary()).count()
+        self.nodes
+            .values()
+            .filter(|n| !n.kind.is_ordinary())
+            .count()
     }
 
     /// Pre-order traversal.
@@ -551,7 +554,10 @@ mod tests {
     fn distributional_leaf_check() {
         let mut p = PDocument::new(l("a"));
         p.add_dist(p.root(), PKind::Ind, 1.0);
-        assert!(matches!(p.validate(), Err(PDocError::DistributionalLeaf(_))));
+        assert!(matches!(
+            p.validate(),
+            Err(PDocError::DistributionalLeaf(_))
+        ));
     }
 
     #[test]

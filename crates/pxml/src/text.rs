@@ -391,8 +391,8 @@ mod tests {
 
     #[test]
     fn parse_pdocument_kinds() {
-        let p = parse_pdocument("a[mux(0.3: b, 0.6: c[d]), ind(0.5: e), det(f, g)]")
-            .expect("parses");
+        let p =
+            parse_pdocument("a[mux(0.3: b, 0.6: c[d]), ind(0.5: e), det(f, g)]").expect("parses");
         assert!(p.validate().is_ok());
         assert_eq!(p.distributional_count(), 3);
         assert_eq!(p.ordinary_ids().count(), 7);
@@ -431,14 +431,10 @@ mod tests {
     fn pdocument_display_round_trip() {
         let p = parse_pdocument("a#0[b#1[mux#2(0.25: c#3, 0.5: d#4)], ind#5(0.9: e#6)]")
             .expect("parses");
-        let p2 = parse_pdocument(&p.to_string().replace('(', "(").as_str())
-            .or_else(|_| parse_pdocument(&p.to_string()))
-            .expect("round trip");
+        let p2 = parse_pdocument(&p.to_string()).expect("round trip");
         // Spot-check: same marginals.
         for n in [NodeId(3), NodeId(4), NodeId(6)] {
-            assert!(
-                (p.appearance_probability(n) - p2.appearance_probability(n)).abs() < 1e-12
-            );
+            assert!((p.appearance_probability(n) - p2.appearance_probability(n)).abs() < 1e-12);
         }
     }
 }

@@ -270,7 +270,10 @@ mod tests {
         let exp = p.add_dist(p.root(), PKind::Exp(Vec::new()), 1.0);
         let b = p.add_ordinary(exp, l("b"), 1.0);
         let c = p.add_ordinary(exp, l("c"), 1.0);
-        p.set_exp_distribution(exp, vec![(0b11, 0.5), (0b01, 0.2), (0b10, 0.2), (0b00, 0.1)]);
+        p.set_exp_distribution(
+            exp,
+            vec![(0b11, 0.5), (0b01, 0.2), (0b10, 0.2), (0b00, 0.1)],
+        );
         let space = p.px_space();
         assert_eq!(space.len(), 4);
         assert!((space.node_marginal(b) - 0.7).abs() < 1e-12);

@@ -167,7 +167,7 @@ fn predicate_reaches(
         Inside,
     }
     // A gap before position t+1 exists iff the edge into t+1 is Descendant.
-    let gap_exists = |t: usize| t + 1 <= j && align[t + 1].axis == Axis::Descendant;
+    let gap_exists = |t: usize| t < j && align[t + 1].axis == Axis::Descendant;
     // Locations a node may take given its parent's location and its axis.
     let targets = |parent: Loc, axis: Axis, label: Label| -> Vec<Loc> {
         let mut ts = Vec::new();
@@ -207,8 +207,8 @@ fn predicate_reaches(
             }
             Axis::Descendant => {
                 // Anywhere strictly below the parent's region.
-                for t in (base + 1)..=j {
-                    if label == align[t].label {
+                for (t, step) in align.iter().enumerate().take(j + 1).skip(base + 1) {
+                    if label == step.label {
                         ts.push(Loc::Path(t));
                     }
                 }
@@ -240,12 +240,13 @@ fn predicate_reaches(
     while let Some((x, loc)) = queue.pop() {
         match loc {
             Loc::Inside => return true,
-            Loc::Path(t) if t == j => {
+            Loc::Path(t)
+                if t == j
                 // On the lower anchor itself: its children (if any) land
                 // strictly inside.
-                if !q.children(x).is_empty() {
-                    return true;
-                }
+                && !q.children(x).is_empty() =>
+            {
+                return true;
             }
             _ => {}
         }
@@ -328,8 +329,7 @@ pub fn identity_holds_on(pdoc: &PDocument, q1: &TreePattern, q2: &TreePattern, t
         }
         let p1 = pxv_peval::eval_tp_at(pdoc, q1, n);
         let p2 = pxv_peval::eval_tp_at(pdoc, q2, n);
-        let joint =
-            pxv_peval::eval_intersection_at(pdoc, &[q1.clone(), q2.clone()], n);
+        let joint = pxv_peval::eval_intersection_at(pdoc, &[q1.clone(), q2.clone()], n);
         if (joint - p1 * p2 / pn).abs() > tol {
             return false;
         }
@@ -382,7 +382,11 @@ mod tests {
         assert!(c_independent(&v1, &v4));
         assert!(c_independent(&v2, &v4));
         assert!(c_independent(&v3, &v4));
-        assert!(!pairwise_c_independent(&[v1.clone(), v2.clone(), v4.clone()]));
+        assert!(!pairwise_c_independent(&[
+            v1.clone(),
+            v2.clone(),
+            v4.clone()
+        ]));
         assert!(pairwise_c_independent(&[v1, v4]));
     }
 
@@ -461,8 +465,7 @@ mod tests {
     fn numeric_identity_on_example_documents() {
         use pxv_pxml::text::parse_pdocument;
         // Independent pair: identity holds everywhere.
-        let pdoc =
-            parse_pdocument("a[mux(0.5: b[ind(0.3: x, 0.6: y)]), ind(0.7: c)]").unwrap();
+        let pdoc = parse_pdocument("a[mux(0.5: b[ind(0.3: x, 0.6: y)]), ind(0.7: c)]").unwrap();
         let q1 = p("a/b[x]");
         let q2 = p("a[c]/b");
         assert!(c_independent(&q1, &q2));

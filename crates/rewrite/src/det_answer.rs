@@ -111,10 +111,7 @@ pub fn det_tpi_rewrite(
 
 /// Evaluates a deterministic TP∩ plan: intersect per-part candidate sets
 /// by persistent node id.
-pub fn det_answer_tpi(
-    rw: &DetTpiRewriting,
-    extensions: &[DetExtension],
-) -> Vec<NodeId> {
+pub fn det_answer_tpi(rw: &DetTpiRewriting, extensions: &[DetExtension]) -> Vec<NodeId> {
     let mut acc: Option<BTreeSet<NodeId>> = None;
     for (view_index, compensation) in &rw.parts {
         let ext = &extensions[*view_index];
@@ -168,7 +165,10 @@ mod tests {
     fn fact_1_deterministic_rewriting() {
         let d = fig1_dper();
         let q = p("IT-personnel//person[name/Rick]/bonus[laptop]");
-        let views = vec![View::new("v1BON", p("IT-personnel//person[name/Rick]/bonus"))];
+        let views = vec![View::new(
+            "v1BON",
+            p("IT-personnel//person[name/Rick]/bonus"),
+        )];
         let got = det_answer_with_views(&d, &q, &views).expect("Fact 1 plan");
         assert_eq!(got, pxv_tpq::embed::eval(&q, &d));
     }

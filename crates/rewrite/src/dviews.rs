@@ -159,7 +159,12 @@ mod tests {
         let d = decompose_all(&q, &views);
         // Distinct d-views: [1]-only, [2]-only, [3]-only. Path-implied
         // restrictions (the bare mb(q)) are constants, not variables.
-        assert_eq!(d.dviews.len(), 3, "dviews: {:?}", d.dviews.iter().map(|x| x.to_string()).collect::<Vec<_>>());
+        assert_eq!(
+            d.dviews.len(),
+            3,
+            "dviews: {:?}",
+            d.dviews.iter().map(|x| x.to_string()).collect::<Vec<_>>()
+        );
         // v1 = {w1, w3}; v2 = {w2, w3}; v3 = {w1, w2}; v4 = {} (pure
         // appearance view, the paper's Pr(n ∈ v4(P)) = Pr(n ∈ P)).
         assert_eq!(d.per_view[0].len(), 2);
@@ -205,7 +210,11 @@ mod tests {
         let ws = decompose(&p("a//d"), &q);
         // a//d narrows to a/b/c/d, which is path-implied: no variables
         // remain — the view contributes exactly Pr(n ∈ P).
-        assert!(ws.is_empty(), "{:?}", ws.iter().map(|w| w.to_string()).collect::<Vec<_>>());
+        assert!(
+            ws.is_empty(),
+            "{:?}",
+            ws.iter().map(|w| w.to_string()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl fmt::Display for Explanation {
                 writeln!(f, "fr({node}) by Theorem 1 over view {view}:")?;
                 writeln!(f, "  β({ancestor})                       = {beta}")?;
                 writeln!(f, "  Pr(n ∈ q_(k)(P^{ancestor}_v))       = {numerator}")?;
-                writeln!(f, "  ÷ Pr({ancestor} ∈ v_(k)(P^{ancestor}_v)) = {denominator}")?;
+                writeln!(
+                    f,
+                    "  ÷ Pr({ancestor} ∈ v_(k)(P^{ancestor}_v)) = {denominator}"
+                )?;
                 write!(f, "  = {result}")
             }
             Explanation::InclusionExclusion {
@@ -226,7 +229,11 @@ pub fn explain_system(sys: &SqvSystem, views: &[VirtualView], n: NodeId) -> Expl
         if c.is_zero() {
             continue;
         }
-        factors.push((views[i].pattern.to_string(), views[i].prob(n), c.to_string()));
+        factors.push((
+            views[i].pattern.to_string(),
+            views[i].prob(n),
+            c.to_string(),
+        ));
     }
     let result = sys.fr(views, n);
     if result <= 0.0 {
@@ -251,7 +258,10 @@ mod tests {
     fn explain_example_13() {
         let pper = fig2_pper();
         let q = parse_pattern("IT-personnel//person/bonus[laptop]").unwrap();
-        let view = View::new("v2BON", parse_pattern("IT-personnel//person/bonus").unwrap());
+        let view = View::new(
+            "v2BON",
+            parse_pattern("IT-personnel//person/bonus").unwrap(),
+        );
         let rs = tp_rewrite(&q, std::slice::from_ref(&view));
         let ext = ProbExtension::materialize(&pper, &view);
         let ex = explain_tp(&rs[0], &ext, NodeId(5));
@@ -315,6 +325,9 @@ mod tests {
         assert!((ex.value() - 0.6 * 0.7 * 0.8).abs() < 1e-9);
         let text = ex.to_string();
         assert!(text.contains("Theorem 5"), "{text}");
-        assert!(text.contains("^-1"), "appearance view has exponent −1: {text}");
+        assert!(
+            text.contains("^-1"),
+            "appearance view has exponent −1: {text}"
+        );
     }
 }

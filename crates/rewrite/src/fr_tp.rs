@@ -85,7 +85,10 @@ pub fn fr_tp(rw: &TpRewriting, ext: &ProbExtension, n: NodeId) -> f64 {
     let a = anc.len();
     let mut total = 0.0;
     for mask in 1u32..(1 << a) {
-        let subset: Vec<usize> = (0..a).filter(|&b| mask & (1 << b) != 0).map(|b| anc[b]).collect();
+        let subset: Vec<usize> = (0..a)
+            .filter(|&b| mask & (1 << b) != 0)
+            .map(|b| anc[b])
+            .collect();
         let sign = if subset.len() % 2 == 1 { 1.0 } else { -1.0 };
         total += sign * joint_event_probability(ext, &subset, &t, m, &v_out_preds, &comp_pinned);
     }
@@ -242,10 +245,8 @@ mod tests {
     fn view_with_output_predicates_divided_away() {
         // v has predicates on out(v): their probability comes packed in β
         // and must be divided away (the Theorem 1 adjustment).
-        let pdoc = parse_pdocument(
-            "a#0[b#1[mux#2(0.6: x#3), ind#4(0.5: c#5[ind#6(0.8: d#7)])]]",
-        )
-        .unwrap();
+        let pdoc =
+            parse_pdocument("a#0[b#1[mux#2(0.6: x#3), ind#4(0.5: c#5[ind#6(0.8: d#7)])]]").unwrap();
         let q = p("a/b[x]/c[d]");
         let view = View::new("v", p("a/b[x]/c"));
         check_matches_direct(&pdoc, &q, &view);
@@ -265,10 +266,8 @@ mod tests {
     fn unrestricted_multiple_ancestors_inclusion_exclusion() {
         // v = a//b, q = a//b//c: a c under nested b's has several selected
         // ancestors; Eq. 1 with α patterns must agree with direct eval.
-        let pdoc = parse_pdocument(
-            "a#0[b#1[ind#2(0.7: b#3[mux#4(0.6: c#5)]), mux#6(0.3: c#7)]]",
-        )
-        .unwrap();
+        let pdoc =
+            parse_pdocument("a#0[b#1[ind#2(0.7: b#3[mux#4(0.6: c#5)]), mux#6(0.3: c#7)]]").unwrap();
         let q = p("a//b//c");
         let view = View::new("v", p("a//b"));
         check_matches_direct(&pdoc, &q, &view);
@@ -305,7 +304,7 @@ mod tests {
         let pper = fig2_pper();
         let q = p("IT-personnel//person/bonus[laptop]");
         let view = View::new("v2BON", p("IT-personnel//person/bonus"));
-        let rs = tp_rewrite(&q, &vec![view.clone()]);
+        let rs = tp_rewrite(&q, std::slice::from_ref(&view));
         let ext = ProbExtension::materialize(&pper, &view);
         assert_eq!(fr_tp(&rs[0], &ext, NodeId(4444)), 0.0);
     }

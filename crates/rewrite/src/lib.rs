@@ -36,7 +36,12 @@ pub mod tpi_algorithm;
 pub mod tpi_rewrite;
 pub mod view;
 
-pub use answer::{answer_direct, answer_with_views, plan, Plan};
+pub use answer::{
+    answer_direct, execute_tpi, plan_checked, Plan, PlanError, PlanPreference, TpiExecution,
+    DEFAULT_INTERLEAVING_LIMIT,
+};
+#[allow(deprecated)]
+pub use answer::{answer_with_views, plan};
 pub use cindep::c_independent;
 pub use tp_rewrite::{tp_rewrite, TpRewriting};
 pub use tpi_algorithm::{tpi_rewrite, TpiRewriting};

@@ -124,6 +124,8 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    // Division via the reciprocal is exact over rationals.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, o: Rat) -> Rat {
         self * o.recip()
     }
@@ -141,6 +143,9 @@ impl fmt::Display for Rat {
 
 /// Solves `M · x = b` exactly, where `M` is `rows × cols`. Returns any
 /// solution `x` if the system is consistent, `None` otherwise.
+// Index loops mirror the textbook elimination (two rows of `a` are
+// accessed per step, which iterators cannot express without split_at_mut).
+#[allow(clippy::needless_range_loop)]
 pub fn solve_linear(m: &[Vec<Rat>], b: &[Rat]) -> Option<Vec<Rat>> {
     let rows = m.len();
     assert_eq!(rows, b.len());
@@ -219,10 +224,7 @@ mod tests {
     #[test]
     fn solve_simple_system() {
         // x + y = 3, x - y = 1  =>  x = 2, y = 1.
-        let m = vec![
-            vec![Rat::ONE, Rat::ONE],
-            vec![Rat::ONE, -Rat::ONE],
-        ];
+        let m = vec![vec![Rat::ONE, Rat::ONE], vec![Rat::ONE, -Rat::ONE]];
         let b = vec![Rat::int(3), Rat::int(1)];
         let x = solve_linear(&m, &b).unwrap();
         assert_eq!(x, vec![Rat::int(2), Rat::int(1)]);
@@ -231,10 +233,7 @@ mod tests {
     #[test]
     fn inconsistent_system() {
         // x + y = 1, x + y = 2: inconsistent.
-        let m = vec![
-            vec![Rat::ONE, Rat::ONE],
-            vec![Rat::ONE, Rat::ONE],
-        ];
+        let m = vec![vec![Rat::ONE, Rat::ONE], vec![Rat::ONE, Rat::ONE]];
         let b = vec![Rat::int(1), Rat::int(2)];
         assert!(solve_linear(&m, &b).is_none());
     }
@@ -249,18 +248,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn example_16_shape() {
         // y + x1 + x3 = v1; y + x2 + x3 = v2; y + x1 + x2 = v3; y = v4;
         // solve for coefficients c with Σ ci · row_i = target row
         // (target = y + x1 + x2 + x3): transposed system.
         // rows (y,x1,x2,x3): v1=(1,1,0,1) v2=(1,0,1,1) v3=(1,1,1,0) v4=(1,0,0,0)
         // target t=(1,1,1,1). Solve Mᵀ c = t.
-        let rows = [
-            [1, 1, 0, 1],
-            [1, 0, 1, 1],
-            [1, 1, 1, 0],
-            [1, 0, 0, 0],
-        ];
+        let rows = [[1, 1, 0, 1], [1, 0, 1, 1], [1, 1, 1, 0], [1, 0, 0, 0]];
         let cols = 4;
         let mt: Vec<Vec<Rat>> = (0..cols)
             .map(|c| (0..4).map(|r| Rat::int(rows[r][c])).collect())
@@ -276,6 +271,12 @@ mod tests {
             assert_eq!(s, Rat::ONE, "column {col}");
         }
         // Known solution: c = (1/2, 1/2, 1/2, -1/2).
-        assert_eq!(c, vec![Rat::new(1, 2); 3].into_iter().chain([Rat::new(-1, 2)]).collect::<Vec<_>>());
+        assert_eq!(
+            c,
+            vec![Rat::new(1, 2); 3]
+                .into_iter()
+                .chain([Rat::new(-1, 2)])
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -143,11 +143,7 @@ mod tests {
     fn example_16_without_v4_is_not_solvable() {
         // Without the appearance view, Pr(n ∈ P) cannot be recovered.
         let q = p("a[1]/b[2]/c[3]/d");
-        let views = vec![
-            p("a[1]/b/c[3]/d"),
-            p("a/b[2]/c[3]/d"),
-            p("a[1]/b[2]/c/d"),
-        ];
+        let views = vec![p("a[1]/b/c[3]/d"), p("a/b[2]/c[3]/d"), p("a[1]/b[2]/c/d")];
         let sys = build_system(&q, &views);
         assert!(!sys.is_solvable());
     }

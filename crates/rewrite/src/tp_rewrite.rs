@@ -52,7 +52,11 @@ pub enum TpReject {
 }
 
 /// Checks one view; returns the accepted rewriting or the rejection reason.
-pub fn try_view(q: &TreePattern, views: &[View], view_index: usize) -> Result<TpRewriting, TpReject> {
+pub fn try_view(
+    q: &TreePattern,
+    views: &[View],
+    view_index: usize,
+) -> Result<TpRewriting, TpReject> {
     let v = &views[view_index].pattern;
     let k = v.mb_len();
     if k > q.mb_len() {
@@ -73,8 +77,7 @@ pub fn try_view(q: &TreePattern, views: &[View], view_index: usize) -> Result<Tp
     if !c_independent(&v_prime, &q_dprime) {
         return Err(TpReject::NotCIndependent);
     }
-    let restricted =
-        !v.mb_has_descendant_edge() || !compensation.mb_has_descendant_edge();
+    let restricted = !v.mb_has_descendant_edge() || !compensation.mb_has_descendant_edge();
     let t = v.last_token();
     let u = max_prefix_suffix(&t.mb_labels(1, t.mb_len()));
     if !restricted {
@@ -198,18 +201,24 @@ mod tests {
         let q = p("a/b");
         // View longer than the query.
         let views = vs(&["a/b/c"]);
-        assert_eq!(try_view(&q, &views, 0).err(), Some(TpReject::NoCompensation));
+        assert_eq!(
+            try_view(&q, &views, 0).err(),
+            Some(TpReject::NoCompensation)
+        );
         // Label mismatch at depth k.
         let views2 = vs(&["a/x"]);
-        assert_eq!(try_view(&q, &views2, 0).err(), Some(TpReject::NoCompensation));
+        assert_eq!(
+            try_view(&q, &views2, 0).err(),
+            Some(TpReject::NoCompensation)
+        );
     }
 
     #[test]
     fn multiple_views_filtered() {
         let q = p("IT-personnel//person[name/Rick]/bonus[laptop]");
         let views = vs(&[
-            "IT-personnel//person[name/Rick]/bonus", // OK
-            "IT-personnel//person/bonus",            // not equivalent (misses Rick)
+            "IT-personnel//person[name/Rick]/bonus",         // OK
+            "IT-personnel//person/bonus",                    // not equivalent (misses Rick)
             "IT-personnel//person[name/Rick]/bonus[laptop]", // OK (k = |mb(q)|)
         ]);
         let rs = tp_rewrite(&q, &views);

@@ -222,7 +222,7 @@ mod tests {
         // The compensated view w = comp(v2BON, q_(3)) = qBON, whose
         // probabilities come from v2BON's extension through §4 machinery.
         let w = pxv_tpq::compose::comp(&v2.pattern, &q.suffix(3));
-        let rw2 = try_view(&w, &[v2.clone()], 0).expect("v2BON compensable");
+        let rw2 = try_view(&w, std::slice::from_ref(&v2), 0).expect("v2BON compensable");
         let ext1 = ProbExtension::materialize(&pper, &v1);
         let ext2 = ProbExtension::materialize(&pper, &v2);
         let vv1 = VirtualView::from_extension(&ext1);
@@ -273,10 +273,8 @@ mod tests {
         let patterns = vec![p("a[1]/b/c"), p("a/b[2]/c"), p("a/b/c")];
         let prw = check_product_rewriting(&q, &patterns, 100).expect("applies");
         assert_eq!(prw.appearance_view, 2);
-        let pdoc = parse_pdocument(
-            "a#0[ind#1(0.6: 1#2), b#3[ind#4(0.7: 2#5), mux#6(0.8: c#7)]]",
-        )
-        .unwrap();
+        let pdoc =
+            parse_pdocument("a#0[ind#1(0.6: 1#2), b#3[ind#4(0.7: 2#5), mux#6(0.8: c#7)]]").unwrap();
         let views: Vec<VirtualView> = patterns
             .iter()
             .enumerate()
@@ -295,9 +293,9 @@ mod tests {
     fn cover_search_finds_minimal_subset() {
         let q = p("a[1]/a[2]/a//b");
         let patterns = vec![
-            p("a[1]/a/a//b"),      // {1}
-            p("a/a[2]/a//b"),      // {2}
-            p("a[1]/a[2]/a//b"),   // {1,2}
+            p("a[1]/a/a//b"),    // {1}
+            p("a/a[2]/a//b"),    // {2}
+            p("a[1]/a[2]/a//b"), // {1,2}
         ];
         let cover = find_c_independent_cover(&q, &patterns, 1000).unwrap();
         // Either {2 alone? no — [1] missing}; valid covers: {0,1} or {2}.
@@ -311,10 +309,7 @@ mod tests {
     fn cover_search_fails_when_views_overlap() {
         // Only overlapping views available: no pairwise-independent cover.
         let q = p("a[1]/a[2]/a[3]/a//b");
-        let patterns = vec![
-            p("a[1]/a[2]/a/a//b"),
-            p("a/a[2]/a[3]/a//b"),
-        ];
+        let patterns = vec![p("a[1]/a[2]/a/a//b"), p("a/a[2]/a[3]/a//b")];
         assert!(find_c_independent_cover(&q, &patterns, 1000).is_none());
     }
 }

@@ -5,8 +5,8 @@
 //! missed interaction.
 
 use pxv_pxml::{Label, NodeId, PDocument, PKind};
-use pxv_rewrite::cindep::identity_holds_on;
 use pxv_rewrite::c_independent;
+use pxv_rewrite::cindep::identity_holds_on;
 use pxv_tpq::canonical::canonical_documents;
 use pxv_tpq::generators::{random_pattern, RandomPatternConfig};
 use pxv_tpq::intersect::TpIntersection;
@@ -92,7 +92,10 @@ fn independence_survives_adversarial_documents() {
             );
         }
     }
-    assert!(independents >= 10, "only {independents} independent pairs exercised");
+    assert!(
+        independents >= 10,
+        "only {independents} independent pairs exercised"
+    );
 }
 
 #[test]

@@ -46,10 +46,8 @@ fn four_nested_ancestors_inclusion_exclusion() {
 fn ancestors_with_view_output_predicates() {
     // The view carries predicates on out(v) whose packed probability must
     // be divided away inside every inclusion-exclusion term.
-    let pdoc = parse_pdocument(
-        "a#0[b#1[ind#2(0.5: m#3), b#4[ind#5(0.7: m#6), mux#7(0.8: d#8)]]]",
-    )
-    .unwrap();
+    let pdoc = parse_pdocument("a#0[b#1[ind#2(0.5: m#3), b#4[ind#5(0.7: m#6), mux#7(0.8: d#8)]]]")
+        .unwrap();
     let q = p("a//b[m]//d");
     let view = View::new("bm", p("a//b[m]"));
     check(&pdoc, &q, &view, "output predicates + nesting");
@@ -60,10 +58,9 @@ fn partial_token_alpha_close_ancestors() {
     // v's last token has length m = 2 with prefix-suffix u = 1 (labels
     // b, b); two view results at distance s = 2 ≤ m overlap on one node,
     // forcing the partial-token α pattern.
-    let pdoc = parse_pdocument(
-        "a#0[b#1[b#2[b#3[mux#4(0.5: d#5)], ind#6(0.4: x#7)], ind#8(0.6: x#9)]]",
-    )
-    .unwrap();
+    let pdoc =
+        parse_pdocument("a#0[b#1[b#2[b#3[mux#4(0.5: d#5)], ind#6(0.4: x#7)], ind#8(0.6: x#9)]]")
+            .unwrap();
     // v = a//b/b: images (b1,b2), (b2,b3): selected nodes b2, b3 — nested.
     let q = p("a//b/b//d");
     let view = View::new("bb", p("a//b/b"));
@@ -100,14 +97,7 @@ fn randomized_tp_plans_cross_validated() {
         "a/b//c[d]",
         "a//b[e]/c",
     ];
-    let views = [
-        "a//b",
-        "a//b",
-        "a//b[c]",
-        "a//b",
-        "a/b",
-        "a//b[e]",
-    ];
+    let views = ["a//b", "a//b", "a//b[c]", "a//b", "a/b", "a//b[e]"];
     let mut plans = 0;
     for round in 0..40 {
         let pdoc = pxv_pxml::generators::random_pdocument(&cfg, &mut rng);
@@ -144,10 +134,8 @@ fn theorem_1_and_system_agree_when_both_apply() {
     // (Theorem 1) and the S(q,V) plan exist and must agree.
     use pxv_rewrite::system::build_system;
     use pxv_rewrite::tpi_rewrite::VirtualView;
-    let pdoc = parse_pdocument(
-        "a#0[ind#1(0.7: x#2), b#3[mux#4(0.6: c#5[ind#6(0.5: y#7)])]]",
-    )
-    .unwrap();
+    let pdoc =
+        parse_pdocument("a#0[ind#1(0.7: x#2), b#3[mux#4(0.6: c#5[ind#6(0.5: y#7)])]]").unwrap();
     let q = p("a[x]/b/c[y]");
     let view = View::new("id", q.clone());
     // Theorem 1 route.
@@ -176,13 +164,9 @@ fn theorem_1_and_system_agree_when_both_apply() {
 #[test]
 fn product_and_system_agree_on_independent_views() {
     use pxv_rewrite::system::build_system;
-    use pxv_rewrite::tpi_rewrite::{
-        answer_product, check_product_rewriting, VirtualView,
-    };
-    let pdoc = parse_pdocument(
-        "a#0[ind#1(0.8: u#2), b#3[ind#4(0.9: w#5), mux#6(0.7: c#7)]]",
-    )
-    .unwrap();
+    use pxv_rewrite::tpi_rewrite::{answer_product, check_product_rewriting, VirtualView};
+    let pdoc =
+        parse_pdocument("a#0[ind#1(0.8: u#2), b#3[ind#4(0.9: w#5), mux#6(0.7: c#7)]]").unwrap();
     let q = p("a[u]/b[w]/c");
     let patterns = vec![p("a[u]/b/c"), p("a/b[w]/c"), p("a/b/c")];
     let vviews: Vec<VirtualView> = patterns
@@ -222,10 +206,9 @@ fn nested_results_with_predicates_on_last_token_rejected_when_u_positive() {
     // a nasty document instead.
     let rs = tp_rewrite(&q, &views);
     assert_eq!(rs.len(), 1);
-    let pdoc = parse_pdocument(
-        "a#0[b#1[ind#2(0.5: e#3), b#4[ind#5(0.6: e#6), b#7[mux#8(0.7: d#9)]]]]",
-    )
-    .unwrap();
+    let pdoc =
+        parse_pdocument("a#0[b#1[ind#2(0.5: e#3), b#4[ind#5(0.6: e#6), b#7[mux#8(0.7: d#9)]]]]")
+            .unwrap();
     let ext = ProbExtension::materialize(&pdoc, &views[0]);
     let got = answer_tp(&rs[0], &ext);
     let want = pxv_peval::eval_tp(&pdoc, &q);

@@ -1,0 +1,569 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the proptest API its tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_recursive` / `boxed`, strategies for
+//! ranges, tuples and vectors, [`any`], and the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//! and `prop_assume!` macros.
+//!
+//! Semantics: each `#[test]` inside `proptest!` runs
+//! `ProptestConfig::cases` generated cases from a deterministic
+//! per-test seed. There is no shrinking — a failing case reports its
+//! case number and message and panics.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::rc::Rc;
+
+/// Per-test configuration (subset: the number of cases).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; another case is drawn.
+    Reject,
+}
+
+/// Source of randomness handed to strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// The underlying random generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of test values (no shrinking in this stub).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: unrolls `f` `depth` times over `self` as the
+    /// leaf case (the `desired_size` / `expected_branch_size` hints are
+    /// accepted for API compatibility and ignored).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut s = self.boxed();
+        for _ in 0..depth {
+            s = f(s).boxed();
+        }
+        s
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |runner: &mut TestRunner| {
+            self.gen_value(runner)
+        }))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRunner) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn gen_value(&self, runner: &mut TestRunner) -> V {
+        (self.0)(runner)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.gen_value(runner))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64, i32, i64);
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn gen_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.0.gen_value(runner),)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn gen_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.0.gen_value(runner), self.1.gen_value(runner))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn gen_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (
+            self.0.gen_value(runner),
+            self.1.gen_value(runner),
+            self.2.gen_value(runner),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn gen_value(&self, runner: &mut TestRunner) -> Self::Value {
+        (
+            self.0.gen_value(runner),
+            self.1.gen_value(runner),
+            self.2.gen_value(runner),
+            self.3.gen_value(runner),
+        )
+    }
+}
+
+/// Weighted union of boxed strategies (built by `prop_oneof!`).
+pub struct OneOf<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> OneOf<V> {
+    /// Builds a weighted union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> OneOf<V> {
+        let total: u64 = arms.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn gen_value(&self, runner: &mut TestRunner) -> V {
+        let mut pick = runner.rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.gen_value(runner);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights changed mid-draw")
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                runner.rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> f64 {
+        runner.rng.gen::<f64>()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// `any::<T>()` — an arbitrary value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// Element-count specification accepted by [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_incl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_incl: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            let (min, max_incl) = r.into_inner();
+            SizeRange { min, max_incl }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = runner.rng().gen_range(self.size.min..=self.size.max_incl);
+            (0..n).map(|_| self.elem.gen_value(runner)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(strategy, size)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-loop driver used by the `proptest!` macro expansion.
+pub mod runner {
+    use super::{ProptestConfig, TestCaseError, TestRunner};
+    use rand::SeedableRng;
+
+    fn seed_for(name: &str, case: u64) -> u64 {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Runs `config.cases` accepted cases of `f`; panics on the first
+    /// failing case. Rejections (`prop_assume!`) draw a replacement case,
+    /// up to a bounded number of attempts; exhausting the budget panics
+    /// (like proptest's "too many global rejects") so a property can
+    /// never silently become vacuous.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut f: F)
+    where
+        F: FnMut(&mut TestRunner) -> Result<(), TestCaseError>,
+    {
+        let mut accepted: u64 = 0;
+        let max_attempts = (config.cases as u64).saturating_mul(20).max(20);
+        let mut attempt: u64 = 0;
+        while accepted < config.cases as u64 && attempt < max_attempts {
+            let mut runner = TestRunner {
+                rng: rand::rngs::StdRng::seed_from_u64(seed_for(name, attempt)),
+            };
+            attempt += 1;
+            match f(&mut runner) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest `{name}` failed at case {attempt} \
+                         (seed {}): {msg}",
+                        seed_for(name, attempt - 1)
+                    );
+                }
+            }
+        }
+        if accepted < config.cases as u64 {
+            panic!(
+                "proptest `{name}`: too many rejects — only {accepted} of \
+                 {} cases accepted after {attempt} attempts \
+                 (loosen prop_assume! or the generators)",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Everything a proptest-based test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (a replacement case is drawn).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Defines a function returning a composed strategy.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($params:tt)*)
+        ($($var:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($params)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(($($strat,)+), move |($($var,)+)| $body)
+        }
+    };
+}
+
+/// Declares property tests; see the crate docs for the supported shape.
+/// The `#[test]` attribute written by the caller is captured together
+/// with any doc comments and re-emitted on the generated zero-argument
+/// test function.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($var:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::runner::run(stringify!($name), &config, |runner| {
+                    $(let $var = $crate::Strategy::gen_value(&($strat), runner);)+
+                    (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($var:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($var in $strat),+) $body)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn pair()(v in prop::collection::vec(0..10usize, 1..4)) -> (usize, usize) {
+            (v.len(), v.iter().sum())
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0..5usize, w in 5u32..45, b in any::<bool>()) {
+            prop_assert!(x < 5);
+            prop_assert!((5..45).contains(&w));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0..3usize, 0..3)) {
+            prop_assert!(v.len() < 3);
+        }
+
+        #[test]
+        fn composed(p in pair()) {
+            prop_assert!(p.0 >= 1 && p.0 <= 3);
+            prop_assert!(p.1 <= 9 * p.0, "sum {} too large", p.1);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0..10usize) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf(#[allow(dead_code)] usize),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(k) => 1 + k.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0..4usize).prop_map(T::Leaf);
+        let strat = leaf.prop_recursive(3, 8, 2, |inner| {
+            prop_oneof![
+                2 => (0..4usize).prop_map(T::Leaf),
+                1 => crate::collection::vec(inner, 1..3).prop_map(T::Node),
+            ]
+        });
+        crate::runner::run(
+            "oneof_and_recursive",
+            &ProptestConfig::with_cases(128),
+            |r| {
+                let t = strat.gen_value(r);
+                if depth(&t) > 4 {
+                    return Err(TestCaseError::Fail(format!("too deep: {t:?}")));
+                }
+                Ok(())
+            },
+        );
+    }
+}

@@ -60,10 +60,7 @@ pub fn descendant_edge_count(q: &TreePattern) -> usize {
 /// Enumerates canonical documents with every `//`-edge expanded by
 /// `0..=max_extra` steps (the cross product — exponential in the number of
 /// `//`-edges, fine for test patterns).
-pub fn canonical_documents(
-    q: &TreePattern,
-    max_extra: usize,
-) -> Vec<(Document, pxv_pxml::NodeId)> {
+pub fn canonical_documents(q: &TreePattern, max_extra: usize) -> Vec<(Document, pxv_pxml::NodeId)> {
     let d = descendant_edge_count(q);
     let base = max_extra + 1;
     let total = base.pow(d as u32);
@@ -104,7 +101,11 @@ mod tests {
 
     #[test]
     fn canonical_document_matches_its_pattern() {
-        for s in ["a/b[c]", "a//b[.//c]/d", "IT-personnel//person[name/Rick]/bonus[laptop]"] {
+        for s in [
+            "a/b[c]",
+            "a//b[.//c]/d",
+            "IT-personnel//person[name/Rick]/bonus[laptop]",
+        ] {
             let q = p(s);
             for (doc, out) in canonical_documents(&q, 2) {
                 let ans = crate::embed::eval(&q, &doc);

@@ -52,8 +52,7 @@ pub fn containment_mapping_exists(q1: &TreePattern, q2: &TreePattern) -> bool {
                         // A //-edge maps to any connected pair: a child
                         // (either axis) or anything strictly below it.
                         Axis::Descendant => {
-                            can[xc.0 as usize][yc.0 as usize]
-                                || below[xc.0 as usize][yc.0 as usize]
+                            can[xc.0 as usize][yc.0 as usize] || below[xc.0 as usize][yc.0 as usize]
                         }
                     })
                 });
@@ -86,7 +85,10 @@ pub fn equivalent(q1: &TreePattern, q2: &TreePattern) -> bool {
 /// Removes the subtree rooted at `victim` (not the root, not a main-branch
 /// node) and returns the rebuilt pattern.
 pub fn remove_subtree(q: &TreePattern, victim: QNodeId) -> TreePattern {
-    assert!(!q.on_main_branch(victim), "cannot remove a main-branch node");
+    assert!(
+        !q.on_main_branch(victim),
+        "cannot remove a main-branch node"
+    );
     let mut out = TreePattern::leaf(q.label(q.root()));
     let mut map = vec![QNodeId(u32::MAX); q.len()];
     map[q.root().0 as usize] = out.root();

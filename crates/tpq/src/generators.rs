@@ -26,7 +26,10 @@ impl Default for RandomPatternConfig {
             desc_prob: 0.4,
             preds_per_node: 0.8,
             pred_depth: 2,
-            labels: ["a", "b", "c", "d", "e"].iter().map(|s| s.to_string()).collect(),
+            labels: ["a", "b", "c", "d", "e"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
         }
     }
 }

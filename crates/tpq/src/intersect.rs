@@ -128,11 +128,7 @@ impl TpIntersection {
         let k = self.parts.len();
         // All roots must coalesce: equal labels required.
         let root_label = self.parts[0].label(self.parts[0].root());
-        if self
-            .parts
-            .iter()
-            .any(|p| p.label(p.root()) != root_label)
-        {
+        if self.parts.iter().any(|p| p.label(p.root()) != root_label) {
             return true; // unsatisfiable: zero interleavings
         }
         let mbs: Vec<Vec<crate::pattern::QNodeId>> =
@@ -223,8 +219,7 @@ impl TpIntersection {
                 .iter()
                 .copied()
                 .filter(|&j| {
-                    parts[j].axis(mbs[j][st.next[j]]) == Axis::Child
-                        && st.last_pos[j] == pos - 1
+                    parts[j].axis(mbs[j][st.next[j]]) == Axis::Child && st.last_pos[j] == pos - 1
                 })
                 .collect();
             // Candidate subsets: all nonempty subsets of pending containing
@@ -254,8 +249,7 @@ impl TpIntersection {
                 }
                 // '/'-axis advancers must come from pos-1.
                 if s.iter().any(|&j| {
-                    parts[j].axis(mbs[j][st.next[j]]) == Axis::Child
-                        && st.last_pos[j] != pos - 1
+                    parts[j].axis(mbs[j][st.next[j]]) == Axis::Child && st.last_pos[j] != pos - 1
                 }) {
                     continue;
                 }
@@ -357,7 +351,10 @@ pub fn intersect_to_tp(q1: &TreePattern, q2: &TreePattern, limit: usize) -> Opti
     }
     // Union-free check modulo equivalence: one maximal interleaving
     // containing all others.
-    all = all.into_iter().map(|q| crate::containment::minimize(&q)).collect();
+    all = all
+        .into_iter()
+        .map(|q| crate::containment::minimize(&q))
+        .collect();
     let mut best: Option<TreePattern> = None;
     for cand in &all {
         if all.iter().all(|o| contained_in(o, cand)) {
@@ -472,7 +469,10 @@ mod tests {
     fn intersection_not_equivalent_when_orderings_escape() {
         // The separate-b interleavings are not contained in a//b[x][y]//c.
         let inter = TpIntersection::new(vec![p("a//b[x]//c"), p("a//b[y]//c")]);
-        assert_eq!(inter.equivalent_to_tp(&p("a//b[x][y]//c"), 100), Some(false));
+        assert_eq!(
+            inter.equivalent_to_tp(&p("a//b[x][y]//c"), 100),
+            Some(false)
+        );
         // It IS equivalent when the outputs are the b's themselves.
         let inter2 = TpIntersection::new(vec![p("a//b[x]"), p("a//b[y]")]);
         assert_eq!(inter2.equivalent_to_tp(&p("a//b[x][y]"), 100), Some(true));
@@ -528,9 +528,6 @@ mod tests {
         let inter = TpIntersection::new(vec![p("a[1]/b/c"), p("a/b[2]/c"), p("a/b/c[3]")]);
         let ils = inter.interleavings(100).unwrap();
         assert_eq!(ils.len(), 1);
-        assert_eq!(
-            ils[0].canonical_key(),
-            p("a[1]/b[2]/c[3]").canonical_key()
-        );
+        assert_eq!(ils[0].canonical_key(), p("a[1]/b[2]/c[3]").canonical_key());
     }
 }

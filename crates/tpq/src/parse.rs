@@ -93,12 +93,11 @@ impl<'a> Cursor<'a> {
             if self.pos >= self.src.len() {
                 return self.err("unterminated quoted label");
             }
-            let s = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| {
-                PatternParseError {
+            let s =
+                std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| PatternParseError {
                     at: start,
                     msg: "invalid utf-8".into(),
-                }
-            })?;
+                })?;
             self.pos += 1;
             return Ok(Label::new(s));
         }
@@ -110,9 +109,7 @@ impl<'a> Cursor<'a> {
             // '.' only inside labels if not the './/' form — handled by caller
             // consuming '.' before calling label(); here '.' is allowed for
             // labels like '3.14'.
-            if self.src[self.pos] == b'.'
-                && self.src.get(self.pos + 1).copied() == Some(b'/')
-            {
+            if self.src[self.pos] == b'.' && self.src.get(self.pos + 1).copied() == Some(b'/') {
                 break;
             }
             self.pos += 1;

@@ -176,7 +176,10 @@ impl TreePattern {
     /// 1-based depth of a main-branch node (`root` ↦ 1, `out` ↦ `|mb|`);
     /// `None` if `n` is not on the main branch.
     pub fn mb_depth(&self, n: QNodeId) -> Option<usize> {
-        self.main_branch().iter().position(|&m| m == n).map(|i| i + 1)
+        self.main_branch()
+            .iter()
+            .position(|&m| m == n)
+            .map(|i| i + 1)
     }
 
     /// Whether `n` lies on the main branch.
@@ -486,7 +489,10 @@ mod tests {
         assert_eq!(s.mb_len(), 2);
         assert_eq!(s.label(s.root()).name(), "person");
         assert_eq!(s.output_label().name(), "bonus");
-        assert_eq!(s.canonical_key(), p("person[name/Rick]/bonus[laptop]").canonical_key());
+        assert_eq!(
+            s.canonical_key(),
+            p("person[name/Rick]/bonus[laptop]").canonical_key()
+        );
     }
 
     #[test]
@@ -495,7 +501,10 @@ mod tests {
         let q = p("IT-personnel//person[name/Rick]/bonus[laptop]");
         assert_eq!(q.token_ranges(), vec![(1, 1), (2, 3)]);
         let lt = q.last_token();
-        assert_eq!(lt.canonical_key(), p("person[name/Rick]/bonus[laptop]").canonical_key());
+        assert_eq!(
+            lt.canonical_key(),
+            p("person[name/Rick]/bonus[laptop]").canonical_key()
+        );
     }
 
     #[test]

@@ -115,7 +115,9 @@ mod tests {
         // The fragment does not restrict /-only predicates or mb //-edges.
         assert!(is_extended_skeleton(&p("a[b/c][d]/e/f")));
         assert!(is_extended_skeleton(&p("a//b//c[d/e]")));
-        assert!(is_extended_skeleton(&p("IT-personnel//person[name/Rick]/bonus[laptop]")));
+        assert!(is_extended_skeleton(&p(
+            "IT-personnel//person[name/Rick]/bonus[laptop]"
+        )));
     }
 
     #[test]

@@ -74,7 +74,7 @@ fn containment_respects_semantics_on_random_documents() {
         let q2 = if round % 2 == 0 {
             q1.main_branch_only()
         } else {
-            q1.filter_predicates(|n, c| (n.0 + c.0 + round as u32) % 3 != 0)
+            q1.filter_predicates(|n, c| !(n.0 + c.0 + round as u32).is_multiple_of(3))
         };
         if !contained_in(&q1, &q2) {
             continue;
@@ -104,7 +104,10 @@ fn minimize_is_idempotent_and_equivalent() {
             continue;
         }
         let m = minimize(&q);
-        assert!(equivalent(&m, &q), "minimize must preserve equivalence: {q}");
+        assert!(
+            equivalent(&m, &q),
+            "minimize must preserve equivalence: {q}"
+        );
         assert!(is_minimal(&m), "minimize must be idempotent: {q} -> {m}");
         assert!(m.len() <= q.len());
     }

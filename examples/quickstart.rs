@@ -1,12 +1,13 @@
-//! Quickstart: build a p-document, define a view, answer a query from the
-//! materialized view only.
+//! Quickstart: build a p-document, register it and a view with the
+//! engine, answer a query from the materialized view only.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
+use prxview::engine::Engine;
 use prxview::pxml::text::parse_pdocument;
-use prxview::rewrite::{answer_direct, answer_with_views, View};
+use prxview::rewrite::View;
 use prxview::tpq::parse::parse_pattern;
 
 fn main() {
@@ -21,23 +22,40 @@ fn main() {
 
     // The query: bonuses coming from the laptop project.
     let q = parse_pattern("IT-personnel//person/bonus[laptop]").unwrap();
-    // The materialized view: all bonuses.
-    let view = View::new("bonuses", parse_pattern("IT-personnel//person/bonus").unwrap());
+
+    // The engine owns the document and a catalog with one view.
+    let mut engine = Engine::new();
+    let doc = engine.add_document("personnel", pdoc).expect("valid doc");
+    let view = View::new(
+        "bonuses",
+        parse_pattern("IT-personnel//person/bonus").unwrap(),
+    );
     println!("query:  {q}");
     println!("view :  {} := {}\n", view.name, view.pattern);
+    engine.register_view(view).expect("unique name");
 
     // Answer using the view only (the paper's probabilistic rewriting).
-    let (plan, answers) =
-        answer_with_views(&pdoc, &q, std::slice::from_ref(&view)).expect("a rewriting exists");
-    println!("plan :  {}", plan.describe(std::slice::from_ref(&view)));
-    for (n, p) in &answers {
+    // The first query materializes the extension; it stays cached.
+    let answer = engine.answer(doc, &q).expect("a rewriting exists");
+    println!("plan :  {}", answer.description);
+    for (n, p) in &answer.nodes {
         println!("answer: node {n} with probability {p:.4}");
     }
+    println!(
+        "stats:  {} extension materialized, {} candidates considered",
+        answer.stats.materializations, answer.stats.candidates
+    );
+
+    // Ask again: the warm catalog serves the extension from cache.
+    let again = engine.answer(doc, &q).expect("same plan");
+    assert_eq!(again.stats.materializations, 0);
+    assert_eq!(again.stats.cache_hits, 1);
+    println!("again:  0 new materializations (cache hit) ✓");
 
     // Cross-check against direct evaluation over the p-document.
-    let direct = answer_direct(&pdoc, &q);
-    assert_eq!(answers.len(), direct.len());
-    for ((n1, p1), (n2, p2)) in answers.iter().zip(&direct) {
+    let direct = engine.answer_direct(doc, &q).unwrap();
+    assert_eq!(answer.nodes.len(), direct.nodes.len());
+    for ((n1, p1), (n2, p2)) in answer.nodes.iter().zip(&direct.nodes) {
         assert_eq!(n1, n2);
         assert!((p1 - p2).abs() < 1e-9);
     }

@@ -4,17 +4,20 @@
 //!
 //! The interesting query places predicates on *two different ancestors* of
 //! the answer node (`product[brand/acme]` and `listing[rating/good]` above
-//! `offer`), so no single view can answer it — the planner builds a TP∩
+//! `offer`), so no single view can answer it — the engine builds a TP∩
 //! plan intersecting two one-aspect views by persistent node identity and
 //! recovers probabilities through the `S(q,V)` system (Theorem 5), with
-//! the appearance probability from a predicate-free view (Lemma 3).
+//! the appearance probability from a predicate-free view (Lemma 3). The
+//! plan references all three views and the engine materializes exactly
+//! those — no more.
 //!
 //! ```sh
 //! cargo run --example uncertain_extraction
 //! ```
 
+use prxview::engine::{Engine, EngineError, PlanPreference, QueryOptions};
 use prxview::pxml::{Label, PDocument, PKind};
-use prxview::rewrite::{answer_direct, answer_with_views, Plan, View};
+use prxview::rewrite::{Plan, View};
 use prxview::tpq::parse::parse_pattern;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,73 +41,113 @@ fn extracted_catalog(n_products: usize, seed: u64) -> PDocument {
         for _ in 0..rng.gen_range(1..=2usize) {
             let listing = pdoc.add_ordinary(prod, Label::new("listing"), 1.0);
             let ind = pdoc.add_dist(listing, PKind::Ind, 1.0);
-            let rating =
-                pdoc.add_ordinary(ind, Label::new("rating"), rng.gen_range(0.5..0.99));
+            let rating = pdoc.add_ordinary(ind, Label::new("rating"), rng.gen_range(0.5..0.99));
             let stars = if rng.gen_bool(0.5) { "good" } else { "poor" };
             pdoc.add_ordinary(rating, Label::new(stars), 1.0);
             let omux = pdoc.add_dist(listing, PKind::Mux, 1.0);
             let offer = pdoc.add_ordinary(omux, Label::new("offer"), rng.gen_range(0.6..1.0));
-            pdoc.add_ordinary(offer, Label::new(&format!("{}", rng.gen_range(10..99))), 1.0);
+            pdoc.add_ordinary(
+                offer,
+                Label::new(&format!("{}", rng.gen_range(10..99))),
+                1.0,
+            );
         }
     }
     pdoc
 }
 
 fn main() {
-    let pdoc = extracted_catalog(40, 7);
-    println!(
-        "extracted catalog: {} nodes, {} distributional\n",
-        pdoc.len(),
-        pdoc.distributional_count()
-    );
+    let mut engine = Engine::new();
+    let doc = engine
+        .add_document("catalog", extracted_catalog(40, 7))
+        .expect("valid doc");
+    {
+        let pdoc = engine.document(doc).unwrap();
+        println!(
+            "extracted catalog: {} nodes, {} distributional\n",
+            pdoc.len(),
+            pdoc.distributional_count()
+        );
+    }
 
     // Offers of acme products with good ratings: predicates on two
     // different ancestors of the answer node.
     let q = parse_pattern("catalog/product[brand/acme]/listing[rating/good]/offer").unwrap();
-    let views = vec![
-        View::new(
-            "acme",
-            parse_pattern("catalog/product[brand/acme]/listing/offer").unwrap(),
-        ),
-        View::new(
-            "liked",
-            parse_pattern("catalog/product/listing[rating/good]/offer").unwrap(),
-        ),
-        View::new("all", parse_pattern("catalog/product/listing/offer").unwrap()),
-    ];
+    engine
+        .register_views([
+            View::new(
+                "acme",
+                parse_pattern("catalog/product[brand/acme]/listing/offer").unwrap(),
+            ),
+            View::new(
+                "liked",
+                parse_pattern("catalog/product/listing[rating/good]/offer").unwrap(),
+            ),
+            View::new(
+                "all",
+                parse_pattern("catalog/product/listing/offer").unwrap(),
+            ),
+        ])
+        .expect("unique names");
     println!("query: {q}");
-    for v in &views {
+    for v in engine.catalog().views() {
         println!("view {:6} := {}", v.name, v.pattern);
     }
 
     // No single-view plan: each view misses one aspect.
-    assert!(prxview::rewrite::tp_rewrite(&q, &views).is_empty());
+    let tp_only = QueryOptions::new().plan_preference(PlanPreference::TpOnly);
+    assert!(matches!(
+        engine.plan_with(&q, &tp_only),
+        Err(EngineError::Plan(_))
+    ));
 
-    let (plan, answers) = answer_with_views(&pdoc, &q, &views).expect("TP∩ plan exists");
-    assert!(matches!(plan, Plan::Tpi(_)));
-    println!("\nplan: {}\n", plan.describe(&views));
-    println!("{} matching offers:", answers.len());
-    for (n, p) in answers.iter().take(8) {
+    let answer = engine.answer(doc, &q).expect("TP∩ plan exists");
+    assert!(matches!(answer.plan, Some(Plan::Tpi(_))));
+    println!("\nplan: {}\n", answer.description);
+    println!(
+        "execution touched {} extensions ({} materialized, {} candidates)",
+        answer.stats.extensions_touched, answer.stats.materializations, answer.stats.candidates
+    );
+    println!("{} matching offers:", answer.nodes.len());
+    for (n, p) in answer.nodes.iter().take(8) {
         println!("  offer node {n}: probability {p:.4}");
     }
-    if answers.len() > 8 {
-        println!("  … and {} more", answers.len() - 8);
+    if answer.nodes.len() > 8 {
+        println!("  … and {} more", answer.nodes.len() - 8);
     }
 
     // Validate against direct evaluation.
-    let direct = answer_direct(&pdoc, &q);
-    assert_eq!(direct.len(), answers.len());
-    for ((n1, p1), (n2, p2)) in answers.iter().zip(&direct) {
+    let direct = engine.answer_direct(doc, &q).unwrap();
+    assert_eq!(direct.nodes.len(), answer.nodes.len());
+    for ((n1, p1), (n2, p2)) in answer.nodes.iter().zip(&direct.nodes) {
         assert_eq!(n1, n2);
         assert!((p1 - p2).abs() < 1e-9);
     }
     println!("\ndirect evaluation agrees ✓");
 
     // Without the appearance view the probabilities are not recoverable
-    // (Lemma 3): the two aspect views over-count Pr(n ∈ P).
-    let partial = &views[..2];
-    match answer_with_views(&pdoc, &q, partial) {
-        None => println!("without the `all` view: no probabilistic rewriting (Lemma 3) ✓"),
-        Some((pl, _)) => panic!("Lemma 3 should forbid this: {}", pl.describe(partial)),
+    // (Lemma 3): the two aspect views over-count Pr(n ∈ P). A fresh engine
+    // with only the two aspect views must refuse.
+    let mut partial = Engine::new();
+    let pdoc = engine.document(doc).unwrap().clone();
+    let pdoc_id = partial.add_document("catalog", pdoc).unwrap();
+    partial
+        .register_views([
+            View::new(
+                "acme",
+                parse_pattern("catalog/product[brand/acme]/listing/offer").unwrap(),
+            ),
+            View::new(
+                "liked",
+                parse_pattern("catalog/product/listing[rating/good]/offer").unwrap(),
+            ),
+        ])
+        .unwrap();
+    match partial.answer(pdoc_id, &q) {
+        Err(EngineError::Plan(e)) => {
+            println!("without the `all` view: {e} (Lemma 3) ✓")
+        }
+        Err(e) => panic!("unexpected engine error: {e}"),
+        Ok(a) => panic!("Lemma 3 should forbid this: {}", a.description),
     }
 }

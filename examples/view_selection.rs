@@ -9,19 +9,15 @@
 //! cargo run --release --example view_selection
 //! ```
 
+use prxview::engine::{Engine, PlanPreference, QueryOptions};
 use prxview::rewrite::hardness::*;
 use prxview::rewrite::tpi_rewrite::find_c_independent_cover;
+use prxview::rewrite::View;
 use std::time::Instant;
 
 fn main() {
     // A small 2-uniform hypergraph with a perfect matching.
-    let edges = vec![
-        vec![1, 2],
-        vec![2, 3],
-        vec![3, 4],
-        vec![1, 4],
-        vec![1, 3],
-    ];
+    let edges = vec![vec![1, 2], vec![2, 3], vec![3, 4], vec![1, 4], vec![1, 3]];
     let s = 4;
     let (q, views) = hypergraph_instance(s, &edges);
     println!("query: {q}");
@@ -64,5 +60,24 @@ fn main() {
             t.elapsed(),
             found == matching_direct(s, &edges)
         );
+    }
+
+    // The engine's typed planner on the first instance: same views through
+    // the catalog, TP∩ shape forced, with a typed verdict either way.
+    let (q, patterns) = hypergraph_instance(s, &edges);
+    let mut engine = Engine::new();
+    engine
+        .register_views(
+            patterns
+                .iter()
+                .enumerate()
+                .map(|(i, v)| View::new(format!("v{i}"), v.clone())),
+        )
+        .expect("unique names");
+    let tpi_only = QueryOptions::new().plan_preference(PlanPreference::TpiOnly);
+    println!("\nengine TP∩ planner on the gadget:");
+    match engine.plan_with(&q, &tpi_only) {
+        Ok(plan) => println!("  {}", plan.describe(engine.catalog().views())),
+        Err(e) => println!("  {e}"),
     }
 }

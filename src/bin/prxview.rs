@@ -1,4 +1,5 @@
-//! `prxview` — command-line front end for the library.
+//! `prxview` — command-line front end for the library, built on the
+//! stateful [`prxview::engine::Engine`].
 //!
 //! ```text
 //! prxview eval    <pdoc-file> <query>            probabilistic answers
@@ -11,11 +12,14 @@
 //!
 //! P-document files use the `pxv-pxml` text syntax, e.g.
 //! `a[mux(0.3: b, 0.6: c[d])]`; queries use XPath-ish notation, e.g.
-//! `a//c[d]`.
+//! `a//c[d]`. `answer` reports the chosen plan and per-query stats on
+//! stderr; when no probabilistic rewriting exists it exits non-zero with
+//! the planner's typed reason.
 
+use prxview::engine::{Engine, EngineError, QueryOptions};
 use prxview::pxml::text::parse_pdocument;
 use prxview::pxml::PDocument;
-use prxview::rewrite::{answer_with_views, plan, View};
+use prxview::rewrite::View;
 use prxview::tpq::parse::parse_pattern;
 use prxview::tpq::TreePattern;
 use std::process::ExitCode;
@@ -31,9 +35,7 @@ fn usage() -> ExitCode {
 
 fn load_pdoc(path: &str) -> Result<PDocument, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let pdoc = parse_pdocument(text.trim()).map_err(|e| format!("{path}: {e}"))?;
-    pdoc.validate().map_err(|e| format!("{path}: {e}"))?;
-    Ok(pdoc)
+    parse_pdocument(text.trim()).map_err(|e| format!("{path}: {e}"))
 }
 
 fn load_query(s: &str) -> Result<TreePattern, String> {
@@ -51,19 +53,32 @@ fn parse_views(args: &[String]) -> Result<Vec<View>, String> {
         .collect()
 }
 
+/// Builds an engine with the given views registered; the CLI inherits the
+/// library default interleaving limit through `QueryOptions::default()`.
+fn engine_with_views(views: Vec<View>) -> Result<Engine, String> {
+    let mut engine = Engine::with_options(QueryOptions::default());
+    engine.register_views(views).map_err(|e| e.to_string())?;
+    Ok(engine)
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("eval") if args.len() == 3 => {
-            let pdoc = load_pdoc(&args[1])?;
+            let mut engine = Engine::new();
+            let doc = engine
+                .add_document("doc", load_pdoc(&args[1])?)
+                .map_err(|e| format!("{}: {e}", args[1]))?;
             let q = load_query(&args[2])?;
-            for (n, p) in prxview::peval::eval_tp(&pdoc, &q) {
+            let answer = engine.answer_direct(doc, &q).map_err(|e| e.to_string())?;
+            for (n, p) in answer.nodes {
                 println!("{n}\t{p:.9}");
             }
             Ok(ExitCode::SUCCESS)
         }
         Some("worlds") if args.len() >= 2 => {
             let pdoc = load_pdoc(&args[1])?;
+            pdoc.validate().map_err(|e| format!("{}: {e}", args[1]))?;
             let limit: usize = args
                 .get(2)
                 .map(|s| s.parse().map_err(|e| format!("bad limit: {e}")))
@@ -79,34 +94,43 @@ fn run() -> Result<ExitCode, String> {
         }
         Some("plan") if args.len() >= 3 => {
             let q = load_query(&args[1])?;
-            let views = parse_views(&args[2..])?;
-            match plan(&q, &views, 10_000) {
-                Some(pl) => {
-                    println!("{}", pl.describe(&views));
+            let engine = engine_with_views(parse_views(&args[2..])?)?;
+            match engine.plan(&q) {
+                Ok(pl) => {
+                    println!("{}", pl.describe(engine.catalog().views()));
                     Ok(ExitCode::SUCCESS)
                 }
-                None => {
-                    println!("no probabilistic rewriting over these views");
+                Err(e) => {
+                    println!("{e}");
                     Ok(ExitCode::FAILURE)
                 }
             }
         }
         Some("answer") if args.len() >= 4 => {
-            let pdoc = load_pdoc(&args[1])?;
+            let mut engine = engine_with_views(parse_views(&args[3..])?)?;
+            let doc = engine
+                .add_document("doc", load_pdoc(&args[1])?)
+                .map_err(|e| format!("{}: {e}", args[1]))?;
             let q = load_query(&args[2])?;
-            let views = parse_views(&args[3..])?;
-            match answer_with_views(&pdoc, &q, &views) {
-                Some((pl, answers)) => {
-                    eprintln!("plan: {}", pl.describe(&views));
-                    for (n, p) in answers {
+            match engine.answer(doc, &q) {
+                Ok(answer) => {
+                    eprintln!("plan: {}", answer.description);
+                    eprintln!(
+                        "stats: {} extension(s) touched, {} materialized, {} candidate(s)",
+                        answer.stats.extensions_touched,
+                        answer.stats.materializations,
+                        answer.stats.candidates
+                    );
+                    for (n, p) in answer.nodes {
                         println!("{n}\t{p:.9}");
                     }
                     Ok(ExitCode::SUCCESS)
                 }
-                None => {
-                    eprintln!("no probabilistic rewriting; use `eval` for direct evaluation");
+                Err(EngineError::Plan(e)) => {
+                    eprintln!("{e}; use `eval` for direct evaluation");
                     Ok(ExitCode::FAILURE)
                 }
+                Err(e) => Err(e.to_string()),
             }
         }
         Some("cindep") if args.len() == 3 => {
@@ -114,7 +138,11 @@ fn run() -> Result<ExitCode, String> {
             let q2 = load_query(&args[2])?;
             let indep = prxview::rewrite::c_independent(&q1, &q2);
             println!("{}", if indep { "c-independent" } else { "dependent" });
-            Ok(if indep { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(if indep {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         _ => Ok(usage()),
     }

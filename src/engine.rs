@@ -1,0 +1,684 @@
+//! The stateful query-answering engine: a [`Catalog`] of registered views
+//! with lazily-materialized, memoized extensions, and an [`Engine`] that
+//! answers queries touching only those extensions.
+//!
+//! This is the session-style surface of the library — the paper's
+//! scenario (§1, §7) is a warehouse that materializes view extensions
+//! *once* and then serves many queries from them. The free functions of
+//! `pxv_rewrite::answer` re-materialize every extension per call; the
+//! engine pays materialization once per `(document, view)` pair and
+//! amortizes it across queries:
+//!
+//! ```
+//! use prxview::engine::{Engine, QueryOptions};
+//! use prxview::pxml::text::parse_pdocument;
+//! use prxview::rewrite::View;
+//! use prxview::tpq::parse::parse_pattern;
+//!
+//! let mut engine = Engine::new();
+//! let doc = engine
+//!     .add_document("hr", parse_pdocument("a[mux(0.4: b[c], 0.6: b)]").unwrap())
+//!     .unwrap();
+//! engine.register_view(View::new("bs", parse_pattern("a/b").unwrap())).unwrap();
+//!
+//! let q = parse_pattern("a/b[c]").unwrap();
+//! let first = engine.answer(doc, &q).unwrap();
+//! assert_eq!(first.stats.materializations, 1); // cold: materialize `bs`
+//! let second = engine.answer(doc, &q).unwrap();
+//! assert_eq!(second.stats.materializations, 0); // warm: cache hit only
+//! assert_eq!(second.stats.cache_hits, 1);
+//! assert_eq!(first.nodes, second.nodes);
+//! ```
+//!
+//! Execution is *minimal*: a plan only ever touches the extensions of the
+//! views it references ([`Plan::referenced_views`]) — a TP∩ plan over a
+//! catalog of fifty views materializes two extensions if its parts use
+//! two views.
+
+use pxv_pxml::{NodeId, PDocument};
+use pxv_rewrite::answer::{execute_tpi, plan_checked};
+use pxv_rewrite::fr_tp::answer_tp;
+use pxv_rewrite::view::ProbExtension;
+use pxv_rewrite::View;
+use pxv_tpq::TreePattern;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub use pxv_rewrite::answer::{Plan, PlanError, PlanPreference, DEFAULT_INTERLEAVING_LIMIT};
+
+/// Handle to a document registered with an [`Engine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(usize);
+
+/// Handle to a view registered with a [`Catalog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(usize);
+
+impl ViewId {
+    /// Position of the view in [`Catalog::views`] (also the index space
+    /// of [`Plan::referenced_views`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Errors reported by the engine (typed replacement for the `Option` /
+/// `String` signaling of the pre-engine free functions).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// A view with this name is already registered.
+    DuplicateView(String),
+    /// A document with this name is already registered.
+    DuplicateDocument(String),
+    /// The [`DocId`] does not belong to this engine.
+    UnknownDocument(DocId),
+    /// The document failed `PDocument::validate`.
+    InvalidDocument(String),
+    /// No probabilistic rewriting exists and direct fallback is disabled.
+    Plan(PlanError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DuplicateView(name) => write!(f, "view `{name}` already registered"),
+            EngineError::DuplicateDocument(name) => {
+                write!(f, "document `{name}` already registered")
+            }
+            EngineError::UnknownDocument(id) => write!(f, "unknown document id {:?}", id),
+            EngineError::InvalidDocument(why) => write!(f, "invalid p-document: {why}"),
+            EngineError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> EngineError {
+        EngineError::Plan(e)
+    }
+}
+
+/// What to do when no probabilistic rewriting over the catalog exists.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Fallback {
+    /// Report [`EngineError::Plan`] — the query is only answered if it can
+    /// be answered from view extensions alone. The default: it keeps the
+    /// "touch only materialized data" guarantee observable.
+    #[default]
+    Forbid,
+    /// Evaluate directly over the original p-document (the answer's
+    /// `plan` is `None` and no extension is touched).
+    Direct,
+}
+
+/// Per-query knobs, built fluently:
+///
+/// ```
+/// use prxview::engine::{Fallback, PlanPreference, QueryOptions};
+/// let opts = QueryOptions::new()
+///     .interleaving_limit(50_000)
+///     .plan_preference(PlanPreference::PreferTpi)
+///     .fallback(Fallback::Direct);
+/// assert_eq!(opts.get_interleaving_limit(), 50_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct QueryOptions {
+    interleaving_limit: usize,
+    preference: PlanPreference,
+    fallback: Fallback,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            interleaving_limit: DEFAULT_INTERLEAVING_LIMIT,
+            preference: PlanPreference::default(),
+            fallback: Fallback::default(),
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Options with all defaults ([`DEFAULT_INTERLEAVING_LIMIT`],
+    /// [`PlanPreference::PreferTp`], [`Fallback::Forbid`]).
+    pub fn new() -> QueryOptions {
+        QueryOptions::default()
+    }
+
+    /// Bounds TPIrewrite's interleaving enumeration during TP∩
+    /// equivalence tests.
+    pub fn interleaving_limit(mut self, limit: usize) -> QueryOptions {
+        self.interleaving_limit = limit;
+        self
+    }
+
+    /// Which plan shapes to consider, in which order.
+    pub fn plan_preference(mut self, preference: PlanPreference) -> QueryOptions {
+        self.preference = preference;
+        self
+    }
+
+    /// Behavior when no probabilistic rewriting exists.
+    pub fn fallback(mut self, fallback: Fallback) -> QueryOptions {
+        self.fallback = fallback;
+        self
+    }
+
+    /// The configured interleaving limit.
+    pub fn get_interleaving_limit(&self) -> usize {
+        self.interleaving_limit
+    }
+
+    /// The configured plan preference.
+    pub fn get_plan_preference(&self) -> PlanPreference {
+        self.preference
+    }
+
+    /// The configured fallback policy.
+    pub fn get_fallback(&self) -> Fallback {
+        self.fallback
+    }
+}
+
+/// Counters describing how one query was executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Distinct extensions the plan read (0 for direct evaluation).
+    pub extensions_touched: usize,
+    /// How many of those were served from the catalog's cache.
+    pub cache_hits: usize,
+    /// How many had to be materialized during this query
+    /// (`extensions_touched = cache_hits + materializations`).
+    pub materializations: usize,
+    /// Candidate answer nodes considered before probability filtering.
+    pub candidates: usize,
+}
+
+/// The result of [`Engine::answer`]: answers, the route taken, and
+/// per-query execution stats.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// `(node, probability)` pairs with positive probability, sorted by
+    /// node id.
+    pub nodes: Vec<(NodeId, f64)>,
+    /// The chosen rewriting; `None` when the query was answered by direct
+    /// evaluation (fallback or [`Engine::answer_direct`]).
+    pub plan: Option<Plan>,
+    /// Human-readable description of the route (plan shape and views).
+    pub description: String,
+    /// Execution counters.
+    pub stats: QueryStats,
+}
+
+impl Answer {
+    /// Whether this answer came from view extensions (a plan) rather than
+    /// direct evaluation.
+    pub fn from_views(&self) -> bool {
+        self.plan.is_some()
+    }
+}
+
+/// Lifetime counters for an [`Engine`] (monotone; never reset).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries answered (including direct fallbacks).
+    pub queries: u64,
+    /// Queries answered through a single-view TP plan.
+    pub plans_tp: u64,
+    /// Queries answered through a TP∩ plan.
+    pub plans_tpi: u64,
+    /// Queries answered by direct evaluation.
+    pub direct: u64,
+    /// Extensions materialized since the engine was created.
+    pub materializations: u64,
+    /// Extension reads served from cache.
+    pub cache_hits: u64,
+}
+
+/// A named set of views plus the memoized extensions materialized from
+/// them, keyed per document.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    views: Vec<View>,
+    by_name: HashMap<String, usize>,
+    /// `(document, view) →` materialized extension.
+    cache: HashMap<(usize, usize), Arc<ProbExtension>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a view; names must be unique within the catalog.
+    pub fn register(&mut self, view: View) -> Result<ViewId, EngineError> {
+        if self.by_name.contains_key(&view.name) {
+            return Err(EngineError::DuplicateView(view.name.clone()));
+        }
+        let id = ViewId(self.views.len());
+        self.by_name.insert(view.name.clone(), id.0);
+        self.views.push(view);
+        Ok(id)
+    }
+
+    /// The registered views, in registration order.
+    pub fn views(&self) -> &[View] {
+        &self.views
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the catalog has no views.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The view behind a handle.
+    pub fn view(&self, id: ViewId) -> &View {
+        &self.views[id.0]
+    }
+
+    /// Looks a view up by name.
+    pub fn find(&self, name: &str) -> Option<ViewId> {
+        self.by_name.get(name).copied().map(ViewId)
+    }
+
+    /// Number of extensions currently cached for `doc`.
+    pub fn cached_extensions(&self, doc: DocId) -> usize {
+        self.cache.keys().filter(|&&(d, _)| d == doc.0).count()
+    }
+
+    /// Drops every cached extension of `doc` (call after replacing the
+    /// document's content).
+    pub fn invalidate(&mut self, doc: DocId) {
+        self.cache.retain(|&(d, _), _| d != doc.0);
+    }
+
+    /// The memoized extension of view `view_idx` over `pdoc`; materializes
+    /// on first use. Returns the extension and whether it was a cache hit.
+    fn extension(
+        &mut self,
+        doc: usize,
+        pdoc: &PDocument,
+        view_idx: usize,
+    ) -> (Arc<ProbExtension>, bool) {
+        if let Some(ext) = self.cache.get(&(doc, view_idx)) {
+            return (Arc::clone(ext), true);
+        }
+        let ext = Arc::new(ProbExtension::materialize(pdoc, &self.views[view_idx]));
+        self.cache.insert((doc, view_idx), Arc::clone(&ext));
+        (ext, false)
+    }
+}
+
+/// The stateful query-answering engine (see the module docs for a tour).
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    documents: Vec<PDocument>,
+    doc_names: HashMap<String, usize>,
+    catalog: Catalog,
+    options: QueryOptions,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// An engine with default [`QueryOptions`].
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// An engine whose [`Engine::answer`] uses `options`.
+    pub fn with_options(options: QueryOptions) -> Engine {
+        Engine {
+            options,
+            ..Engine::default()
+        }
+    }
+
+    /// The engine-level default options.
+    pub fn options(&self) -> &QueryOptions {
+        &self.options
+    }
+
+    /// Registers (and validates) a document; names must be unique.
+    pub fn add_document(
+        &mut self,
+        name: impl Into<String>,
+        pdoc: PDocument,
+    ) -> Result<DocId, EngineError> {
+        let name = name.into();
+        if self.doc_names.contains_key(&name) {
+            return Err(EngineError::DuplicateDocument(name));
+        }
+        pdoc.validate()
+            .map_err(|e| EngineError::InvalidDocument(e.to_string()))?;
+        let id = DocId(self.documents.len());
+        self.doc_names.insert(name, id.0);
+        self.documents.push(pdoc);
+        Ok(id)
+    }
+
+    /// The document behind a handle.
+    pub fn document(&self, id: DocId) -> Result<&PDocument, EngineError> {
+        self.documents
+            .get(id.0)
+            .ok_or(EngineError::UnknownDocument(id))
+    }
+
+    /// Looks a document up by name.
+    pub fn find_document(&self, name: &str) -> Option<DocId> {
+        self.doc_names.get(name).copied().map(DocId)
+    }
+
+    /// Replaces a document's content and invalidates its cached
+    /// extensions.
+    pub fn replace_document(&mut self, id: DocId, pdoc: PDocument) -> Result<(), EngineError> {
+        pdoc.validate()
+            .map_err(|e| EngineError::InvalidDocument(e.to_string()))?;
+        let slot = self
+            .documents
+            .get_mut(id.0)
+            .ok_or(EngineError::UnknownDocument(id))?;
+        *slot = pdoc;
+        self.catalog.invalidate(id);
+        Ok(())
+    }
+
+    /// Registers a view in the engine's catalog.
+    pub fn register_view(&mut self, view: View) -> Result<ViewId, EngineError> {
+        self.catalog.register(view)
+    }
+
+    /// Registers several views, stopping at the first error.
+    pub fn register_views(
+        &mut self,
+        views: impl IntoIterator<Item = View>,
+    ) -> Result<Vec<ViewId>, EngineError> {
+        views.into_iter().map(|v| self.register_view(v)).collect()
+    }
+
+    /// The catalog (views + extension cache).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Plans `q` over the catalog with the engine's default options,
+    /// without executing anything.
+    pub fn plan(&self, q: &TreePattern) -> Result<Plan, EngineError> {
+        self.plan_with(q, &self.options)
+    }
+
+    /// Plans `q` with explicit options.
+    pub fn plan_with(&self, q: &TreePattern, options: &QueryOptions) -> Result<Plan, EngineError> {
+        Ok(plan_checked(
+            q,
+            &self.catalog.views,
+            options.interleaving_limit,
+            options.preference,
+        )?)
+    }
+
+    /// Eagerly materializes every registered view over `doc`; returns the
+    /// number of extensions that were newly materialized.
+    pub fn warm(&mut self, doc: DocId) -> Result<usize, EngineError> {
+        let pdoc = self
+            .documents
+            .get(doc.0)
+            .ok_or(EngineError::UnknownDocument(doc))?;
+        let mut new = 0;
+        for i in 0..self.catalog.views.len() {
+            let (_, hit) = self.catalog.extension(doc.0, pdoc, i);
+            if !hit {
+                new += 1;
+                self.stats.materializations += 1;
+            }
+        }
+        Ok(new)
+    }
+
+    /// Answers `q` over `doc` with the engine's default options.
+    pub fn answer(&mut self, doc: DocId, q: &TreePattern) -> Result<Answer, EngineError> {
+        let options = self.options.clone();
+        self.answer_with(doc, q, &options)
+    }
+
+    /// Answers `q` over `doc`: plans over the catalog, materializes (or
+    /// reuses) exactly the extensions the plan references, and evaluates
+    /// touching only those extensions.
+    pub fn answer_with(
+        &mut self,
+        doc: DocId,
+        q: &TreePattern,
+        options: &QueryOptions,
+    ) -> Result<Answer, EngineError> {
+        let pdoc = self
+            .documents
+            .get(doc.0)
+            .ok_or(EngineError::UnknownDocument(doc))?;
+        let plan = match plan_checked(
+            q,
+            &self.catalog.views,
+            options.interleaving_limit,
+            options.preference,
+        ) {
+            Ok(plan) => plan,
+            Err(e) => {
+                return match options.fallback {
+                    Fallback::Forbid => Err(EngineError::Plan(e)),
+                    Fallback::Direct => Ok(self.direct_answer(
+                        doc,
+                        q,
+                        format!("direct evaluation (fallback: {e})"),
+                    )),
+                }
+            }
+        };
+        // Fetch exactly the extensions the plan references.
+        let referenced = plan.referenced_views();
+        let mut hits = 0;
+        let mut mats = 0;
+        let slots: HashMap<usize, Arc<ProbExtension>> = referenced
+            .iter()
+            .map(|&i| {
+                let (ext, hit) = self.catalog.extension(doc.0, pdoc, i);
+                if hit {
+                    hits += 1;
+                } else {
+                    mats += 1;
+                }
+                (i, ext)
+            })
+            .collect();
+        let (nodes, candidates) = match &plan {
+            Plan::Tp(rw) => {
+                let ext = &slots[&rw.view_index];
+                (answer_tp(rw, ext), ext.results.len())
+            }
+            Plan::Tpi(rw) => {
+                let exec = execute_tpi(rw, &|i| &*slots[&i]);
+                (exec.answers, exec.candidates)
+            }
+        };
+        self.stats.queries += 1;
+        match &plan {
+            Plan::Tp(_) => self.stats.plans_tp += 1,
+            Plan::Tpi(_) => self.stats.plans_tpi += 1,
+        }
+        self.stats.materializations += mats as u64;
+        self.stats.cache_hits += hits as u64;
+        Ok(Answer {
+            nodes,
+            description: plan.describe(&self.catalog.views),
+            plan: Some(plan),
+            stats: QueryStats {
+                extensions_touched: referenced.len(),
+                cache_hits: hits,
+                materializations: mats,
+                candidates,
+            },
+        })
+    }
+
+    /// Evaluates `q` directly over the original p-document (the baseline
+    /// the rewriting avoids; touches no extension).
+    pub fn answer_direct(&mut self, doc: DocId, q: &TreePattern) -> Result<Answer, EngineError> {
+        self.documents
+            .get(doc.0)
+            .ok_or(EngineError::UnknownDocument(doc))?;
+        Ok(self.direct_answer(doc, q, "direct evaluation".to_string()))
+    }
+
+    /// Shared direct-evaluation path (plain `answer_direct` and the
+    /// `Fallback::Direct` branch of `answer_with`). The caller must have
+    /// checked that `doc` exists.
+    fn direct_answer(&mut self, doc: DocId, q: &TreePattern, description: String) -> Answer {
+        let nodes = pxv_peval::eval_tp(&self.documents[doc.0], q);
+        self.stats.queries += 1;
+        self.stats.direct += 1;
+        Answer {
+            stats: QueryStats {
+                candidates: nodes.len(),
+                ..QueryStats::default()
+            },
+            nodes,
+            plan: None,
+            description,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxv_pxml::examples_paper::fig2_pper;
+    use pxv_pxml::text::parse_pdocument;
+    use pxv_tpq::parse::parse_pattern;
+
+    fn p(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    fn bonus_engine() -> (Engine, DocId) {
+        let mut e = Engine::new();
+        let doc = e.add_document("pper", fig2_pper()).unwrap();
+        e.register_views([
+            View::new("rick", p("IT-personnel//person[name/Rick]/bonus")),
+            View::new("bonuses", p("IT-personnel//person/bonus")),
+        ])
+        .unwrap();
+        (e, doc)
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (mut e, _) = bonus_engine();
+        assert_eq!(
+            e.register_view(View::new("rick", p("a/b"))).err(),
+            Some(EngineError::DuplicateView("rick".into()))
+        );
+        assert_eq!(
+            e.add_document("pper", fig2_pper()).err(),
+            Some(EngineError::DuplicateDocument("pper".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_and_invalid_documents_rejected() {
+        let (mut e, _) = bonus_engine();
+        let bogus = DocId(99);
+        assert!(matches!(
+            e.answer(bogus, &p("a")).err(),
+            Some(EngineError::UnknownDocument(_))
+        ));
+        // A mux with mass > 1 fails validation.
+        let mut bad = PDocument::new(pxv_pxml::Label::new("a"));
+        let m = bad.add_dist(bad.root(), pxv_pxml::PKind::Mux, 1.0);
+        bad.add_ordinary(m, pxv_pxml::Label::new("b"), 0.7);
+        bad.add_ordinary(m, pxv_pxml::Label::new("c"), 0.7);
+        assert!(matches!(
+            e.add_document("bad", bad).err(),
+            Some(EngineError::InvalidDocument(_))
+        ));
+    }
+
+    #[test]
+    fn warm_then_all_hits() {
+        let (mut e, doc) = bonus_engine();
+        assert_eq!(e.warm(doc).unwrap(), 2);
+        assert_eq!(e.warm(doc).unwrap(), 0, "second warm is a no-op");
+        let a = e
+            .answer(doc, &p("IT-personnel//person/bonus[laptop]"))
+            .unwrap();
+        assert_eq!(a.stats.materializations, 0);
+        assert_eq!(a.stats.cache_hits, a.stats.extensions_touched);
+        assert_eq!(e.catalog().cached_extensions(doc), 2);
+    }
+
+    #[test]
+    fn fallback_policy() {
+        // Example 11: no probabilistic rewriting exists.
+        let mut e = Engine::new();
+        let doc = e
+            .add_document("d", parse_pdocument("a#0[b#1[mux#2(0.5: c#3)]]").unwrap())
+            .unwrap();
+        e.register_view(View::new("v", p("a[.//c]/b"))).unwrap();
+        let q = p("a/b[c]");
+        let err = e.answer(doc, &q).expect_err("forbidden by default");
+        assert!(matches!(err, EngineError::Plan(_)), "{err}");
+        let opts = QueryOptions::new().fallback(Fallback::Direct);
+        let a = e.answer_with(doc, &q, &opts).unwrap();
+        assert!(!a.from_views());
+        assert_eq!(a.stats.extensions_touched, 0);
+        assert_eq!(a.nodes, vec![(NodeId(1), 0.5)]);
+        assert_eq!(e.stats().direct, 1);
+    }
+
+    #[test]
+    fn replace_document_invalidates_cache() {
+        let mut e = Engine::new();
+        let doc = e
+            .add_document("d", parse_pdocument("a[b[c]]").unwrap())
+            .unwrap();
+        e.register_view(View::new("bs", p("a/b"))).unwrap();
+        let q = p("a/b[c]");
+        let a1 = e.answer(doc, &q).unwrap();
+        assert_eq!(a1.nodes.len(), 1);
+        e.replace_document(doc, parse_pdocument("a[b, b[c]]").unwrap())
+            .unwrap();
+        assert_eq!(e.catalog().cached_extensions(doc), 0);
+        let a2 = e.answer(doc, &q).unwrap();
+        assert_eq!(a2.stats.materializations, 1, "cache was invalidated");
+        assert_eq!(a2.nodes.len(), 1);
+    }
+
+    #[test]
+    fn per_document_cache_keys() {
+        let mut e = Engine::new();
+        let d1 = e
+            .add_document("d1", parse_pdocument("a[b[c]]").unwrap())
+            .unwrap();
+        let d2 = e
+            .add_document("d2", parse_pdocument("a[b, b[c]]").unwrap())
+            .unwrap();
+        e.register_view(View::new("bs", p("a/b"))).unwrap();
+        let q = p("a/b");
+        let a1 = e.answer(d1, &q).unwrap();
+        assert_eq!(a1.stats.materializations, 1);
+        // Different document: its own extension, not d1's.
+        let a2 = e.answer(d2, &q).unwrap();
+        assert_eq!(a2.stats.materializations, 1);
+        assert_eq!(a2.nodes.len(), 2);
+        assert_eq!(a1.nodes.len(), 1);
+    }
+}

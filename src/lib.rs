@@ -1,21 +1,102 @@
 //! # prxview — Answering Queries using Views over Probabilistic XML
 //!
-//! Facade crate re-exporting the whole workspace: a full reproduction of
-//! *Cautis & Kharlamov, VLDB 2012*. See the README for a tour and
-//! DESIGN.md for the architecture.
+//! Facade crate for a full reproduction of *Cautis & Kharlamov, VLDB
+//! 2012*. See README.md for a tour and DESIGN.md for the architecture
+//! (layer diagram: pxml → tpq → peval → rewrite → engine).
+//!
+//! The primary entry point is the stateful [`engine::Engine`], which owns
+//! a catalog of views and answers queries from lazily-materialized,
+//! memoized view extensions:
 //!
 //! ```
+//! use prxview::engine::Engine;
 //! use prxview::pxml::text::parse_pdocument;
+//! use prxview::rewrite::View;
 //! use prxview::tpq::parse::parse_pattern;
 //!
-//! let pdoc = parse_pdocument("a[mux(0.4: b[c], 0.6: b)]").unwrap();
+//! let mut engine = Engine::new();
+//! let doc = engine
+//!     .add_document("demo", parse_pdocument("a[mux(0.4: b[c], 0.6: b)]").unwrap())
+//!     .unwrap();
+//! engine
+//!     .register_view(View::new("bs", parse_pattern("a/b").unwrap()))
+//!     .unwrap();
+//!
 //! let q = parse_pattern("a/b[c]").unwrap();
-//! let answers = prxview::peval::api::eval_tp(&pdoc, &q);
-//! assert_eq!(answers.len(), 1);
-//! assert!((answers[0].1 - 0.4).abs() < 1e-9);
+//! let answer = engine.answer(doc, &q).unwrap();
+//! assert_eq!(answer.nodes.len(), 1);
+//! assert!((answer.nodes[0].1 - 0.4).abs() < 1e-9);
+//! assert!(answer.from_views()); // computed from the extension alone
 //! ```
+//!
+//! The underlying layers remain available (and re-exported) for direct
+//! use: [`pxml`] (p-documents), [`tpq`] (tree patterns), [`peval`]
+//! (probabilistic evaluation), [`rewrite`] (TPrewrite / TPIrewrite and
+//! plan execution).
+
+#![warn(missing_docs)]
+
+pub mod engine;
 
 pub use pxv_peval as peval;
 pub use pxv_pxml as pxml;
 pub use pxv_rewrite as rewrite;
 pub use pxv_tpq as tpq;
+
+use pxv_pxml::{NodeId, PDocument};
+use pxv_tpq::TreePattern;
+
+/// `q(P̂)` by direct evaluation over the p-document.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::Engine::answer_direct` (or `peval::eval_tp` when no engine is in play)"
+)]
+pub fn eval_tp(pdoc: &PDocument, q: &TreePattern) -> Vec<(NodeId, f64)> {
+    pxv_peval::eval_tp(pdoc, q)
+}
+
+/// Finds a probabilistic rewriting of `q` over `views`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::Engine::plan` (typed `PlanError`, options) instead"
+)]
+pub fn plan(
+    q: &TreePattern,
+    views: &[rewrite::View],
+    interleaving_limit: usize,
+) -> Option<rewrite::Plan> {
+    rewrite::answer::plan_checked(
+        q,
+        views,
+        interleaving_limit,
+        rewrite::PlanPreference::PreferTp,
+    )
+    .ok()
+}
+
+/// Plans and answers `q` from freshly materialized view extensions.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::Engine::answer`, which memoizes extensions across queries"
+)]
+#[allow(deprecated)]
+pub fn answer_with_views(
+    pdoc: &PDocument,
+    q: &TreePattern,
+    views: &[rewrite::View],
+) -> Option<(rewrite::Plan, Vec<(NodeId, f64)>)> {
+    rewrite::answer_with_views(pdoc, q, views)
+}
+
+/// Runs TPIrewrite directly (Fig. 7).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `engine::Engine::plan` with `PlanPreference::TpiOnly` instead"
+)]
+pub fn tpi_rewrite(
+    q: &TreePattern,
+    views: &[rewrite::View],
+    interleaving_limit: usize,
+) -> Result<rewrite::TpiRewriting, rewrite::tpi_algorithm::TpiReject> {
+    rewrite::tpi_algorithm::tpi_rewrite(q, views, interleaving_limit)
+}

@@ -1,11 +1,13 @@
-//! Cross-crate integration tests: the full pipeline (materialize views →
-//! plan → answer from extensions only) against direct evaluation, over
-//! generated workloads.
+//! Cross-crate integration tests: the full pipeline (register views →
+//! plan → answer from memoized extensions only) against direct
+//! evaluation, over generated workloads — all through the stateful
+//! `engine::Engine`.
 
+use prxview::engine::{Engine, EngineError, Fallback, QueryOptions};
 use prxview::pxml::generators::personnel;
 use prxview::pxml::text::parse_pdocument;
 use prxview::pxml::{NodeId, PDocument};
-use prxview::rewrite::{answer_direct, answer_with_views, View};
+use prxview::rewrite::View;
 use prxview::tpq::parse::parse_pattern;
 use prxview::tpq::TreePattern;
 
@@ -13,12 +15,7 @@ fn p(s: &str) -> TreePattern {
     parse_pattern(s).unwrap()
 }
 
-fn assert_answers_match(
-    got: &[(NodeId, f64)],
-    want: &[(NodeId, f64)],
-    ctx: &str,
-    tol: f64,
-) {
+fn assert_answers_match(got: &[(NodeId, f64)], want: &[(NodeId, f64)], ctx: &str, tol: f64) {
     assert_eq!(
         got.len(),
         want.len(),
@@ -30,11 +27,31 @@ fn assert_answers_match(
     }
 }
 
-fn run_case(pdoc: &PDocument, q: &TreePattern, views: &[View], ctx: &str) {
-    let (_plan, got) = answer_with_views(pdoc, q, views)
-        .unwrap_or_else(|| panic!("{ctx}: expected a plan"));
-    let want = answer_direct(pdoc, q);
-    assert_answers_match(&got, &want, ctx, 1e-9);
+/// Engine round trip: answers via views must equal direct evaluation, and
+/// a second query over the warm catalog must not re-materialize.
+fn run_case(pdoc: &PDocument, q: &TreePattern, views: Vec<View>, ctx: &str) {
+    let mut engine = Engine::new();
+    let doc = engine
+        .add_document("case", pdoc.clone())
+        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    engine
+        .register_views(views)
+        .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    let cold = engine
+        .answer(doc, q)
+        .unwrap_or_else(|e| panic!("{ctx}: expected a plan, got {e}"));
+    assert!(cold.from_views(), "{ctx}");
+    let want = engine.answer_direct(doc, q).unwrap();
+    assert_answers_match(&cold.nodes, &want.nodes, ctx, 1e-9);
+    // Warm catalog: same answers, zero new materializations.
+    let warm = engine.answer(doc, q).unwrap();
+    assert_eq!(warm.stats.materializations, 0, "{ctx}: warm run");
+    assert_eq!(
+        warm.stats.cache_hits, warm.stats.extensions_touched,
+        "{ctx}"
+    );
+    // Same cached extension ⇒ bitwise-identical answers.
+    assert_eq!(warm.nodes, cold.nodes, "{ctx}: warm run differs");
 }
 
 #[test]
@@ -44,15 +61,18 @@ fn personnel_scaled_tp_plan() {
     let (pdoc, _) = personnel(30, 3, 17);
     let q = p("IT-personnel//person/bonus[laptop]");
     let views = vec![View::new("bonuses", p("IT-personnel//person/bonus"))];
-    run_case(&pdoc, &q, &views, "personnel 30x3 laptop");
+    run_case(&pdoc, &q, views, "personnel 30x3 laptop");
 }
 
 #[test]
 fn personnel_scaled_named_person_plan() {
     let (pdoc, _) = personnel(20, 2, 5);
     let q = p("IT-personnel//person[name/Rick]/bonus");
-    let views = vec![View::new("rick", p("IT-personnel//person[name/Rick]/bonus"))];
-    run_case(&pdoc, &q, &views, "personnel rick identity view");
+    let views = vec![View::new(
+        "rick",
+        p("IT-personnel//person[name/Rick]/bonus"),
+    )];
+    run_case(&pdoc, &q, views, "personnel rick identity view");
 }
 
 #[test]
@@ -61,7 +81,7 @@ fn personnel_deeper_compensation() {
     // Navigate below the view output: bonus values under pda projects.
     let q = p("IT-personnel//person/bonus/pda");
     let views = vec![View::new("bonuses", p("IT-personnel//person/bonus"))];
-    run_case(&pdoc, &q, &views, "personnel pda under bonuses view");
+    run_case(&pdoc, &q, views, "personnel pda under bonuses view");
 }
 
 #[test]
@@ -73,19 +93,18 @@ fn tpi_plan_on_personnel() {
         View::new("mary", p("IT-personnel//person[name/Mary]/bonus")),
         View::new("all", p("IT-personnel//person/bonus")),
     ];
-    run_case(&pdoc, &q, &views, "personnel TP∩ mary+pda");
+    run_case(&pdoc, &q, views, "personnel TP∩ mary+pda");
 }
 
 #[test]
 fn descendant_views_with_nested_results() {
     // Nested view results (b under b) with compensation below.
-    let pdoc = parse_pdocument(
-        "a#0[b#1[mux#2(0.6: c#3), b#4[ind#5(0.5: c#6), mux#7(0.3: b#8[c#9])]]]",
-    )
-    .unwrap();
+    let pdoc =
+        parse_pdocument("a#0[b#1[mux#2(0.6: c#3), b#4[ind#5(0.5: c#6), mux#7(0.3: b#8[c#9])]]]")
+            .unwrap();
     let q = p("a//b/c");
     let views = vec![View::new("bs", p("a//b"))];
-    run_case(&pdoc, &q, &views, "nested b results");
+    run_case(&pdoc, &q, views, "nested b results");
 }
 
 #[test]
@@ -97,19 +116,28 @@ fn inclusion_exclusion_plan_with_three_ancestors() {
     .unwrap();
     let q = p("a//b//d");
     let views = vec![View::new("bs", p("a//b"))];
-    run_case(&pdoc, &q, &views, "three nested ancestors");
+    run_case(&pdoc, &q, views, "three nested ancestors");
 }
 
 #[test]
-fn no_plan_falls_back_to_none() {
-    let pdoc = parse_pdocument("a#0[b#1[mux#2(0.5: c#3)]]").unwrap();
-    let q = p("a/b[c]");
+fn no_plan_is_a_typed_error_with_direct_fallback() {
+    let mut engine = Engine::new();
+    let doc = engine
+        .add_document("d", parse_pdocument("a#0[b#1[mux#2(0.5: c#3)]]").unwrap())
+        .unwrap();
     // Example 11's pathological view: no probabilistic rewriting.
-    let views = vec![View::new("v", p("a[.//c]/b"))];
-    assert!(answer_with_views(&pdoc, &q, &views).is_none());
-    // Direct evaluation still works.
-    let direct = answer_direct(&pdoc, &q);
-    assert_eq!(direct, vec![(NodeId(1), 0.5)]);
+    engine
+        .register_view(View::new("v", p("a[.//c]/b")))
+        .unwrap();
+    let q = p("a/b[c]");
+    let err = engine.answer(doc, &q).expect_err("no rewriting");
+    assert!(matches!(err, EngineError::Plan(_)), "{err}");
+    // Opting into direct fallback still answers, touching no extension.
+    let opts = QueryOptions::new().fallback(Fallback::Direct);
+    let fallback = engine.answer_with(doc, &q, &opts).unwrap();
+    assert!(!fallback.from_views());
+    assert_eq!(fallback.stats.extensions_touched, 0);
+    assert_eq!(fallback.nodes, vec![(NodeId(1), 0.5)]);
 }
 
 #[test]
@@ -126,13 +154,9 @@ fn det_and_exp_nodes_supported_end_to_end() {
     assert!(pdoc.validate().is_ok());
     let q = p("a/b[c]");
     let views = vec![View::new("bs", p("a/b"))];
-    run_case(&pdoc, &q, &views, "det+exp nodes");
+    run_case(&pdoc, &q, views, "det+exp nodes");
     // Exp correlation visible: Pr(b has c and d) = 0.4 ≠ 0.7 × 0.4.
-    let joint = prxview::peval::eval_intersection_at(
-        &pdoc,
-        &[p("a/b[c]"), p("a/b[d]")],
-        b,
-    );
+    let joint = prxview::peval::eval_intersection_at(&pdoc, &[p("a/b[c]"), p("a/b[d]")], b);
     assert!((joint - 0.4).abs() < 1e-9);
 }
 
@@ -140,11 +164,11 @@ fn det_and_exp_nodes_supported_end_to_end() {
 fn extension_only_access_is_sufficient() {
     // Materialize extensions, then *drop* the original p-document before
     // computing: the API makes it impossible to cheat, this test just
-    // documents the workflow.
+    // documents the workflow (low-level layer, below the engine).
     let (pdoc, _) = personnel(10, 2, 77);
     let q = p("IT-personnel//person/bonus[laptop]");
     let view = View::new("bonuses", p("IT-personnel//person/bonus"));
-    let want = answer_direct(&pdoc, &q);
+    let want = prxview::rewrite::answer_direct(&pdoc, &q);
     let rw = prxview::rewrite::tp_rewrite(&q, std::slice::from_ref(&view))
         .into_iter()
         .next()
@@ -161,11 +185,16 @@ fn plans_agree_with_monte_carlo() {
     use rand::SeedableRng;
     let (pdoc, _) = personnel(8, 2, 3);
     let q = p("IT-personnel//person/bonus[tablet]");
-    let views = vec![View::new("bonuses", p("IT-personnel//person/bonus"))];
-    let (_, got) = answer_with_views(&pdoc, &q, &views).expect("plan");
+    let mut engine = Engine::new();
+    let doc = engine.add_document("mc", pdoc).unwrap();
+    engine
+        .register_view(View::new("bonuses", p("IT-personnel//person/bonus")))
+        .unwrap();
+    let answer = engine.answer(doc, &q).expect("plan");
     let mut rng = StdRng::seed_from_u64(1);
-    for (n, prob) in got {
-        let est = prxview::peval::mc::estimate_tp_at(&pdoc, &q, n, 20_000, &mut rng);
+    let pdoc = engine.document(doc).unwrap();
+    for (n, prob) in answer.nodes {
+        let est = prxview::peval::mc::estimate_tp_at(pdoc, &q, n, 20_000, &mut rng);
         assert!(
             est.covers(prob),
             "MC {est:?} should cover plan probability {prob} at {n}"

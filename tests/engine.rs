@@ -1,0 +1,220 @@
+//! Engine-level integration tests: the catalog memoization contract
+//! (satellite: warm-catalog queries perform zero materializations),
+//! selective materialization for TP∩ plans, and a randomized property
+//! test that `Engine::answer` agrees with direct evaluation on random
+//! p-documents and view sets (reusing `pxml::generators` and
+//! `tpq::generators`).
+
+use prxview::engine::{Engine, EngineError, Fallback, PlanPreference, QueryOptions};
+use prxview::pxml::generators::{personnel, random_pdocument, RandomPDocConfig};
+use prxview::rewrite::View;
+use prxview::tpq::generators::{random_pattern, RandomPatternConfig};
+use prxview::tpq::parse::parse_pattern;
+use prxview::tpq::TreePattern;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn p(s: &str) -> TreePattern {
+    parse_pattern(s).unwrap()
+}
+
+/// Satellite requirement: the second query on a warm catalog performs
+/// zero new materializations, observed through the `Answer` stats.
+#[test]
+fn warm_catalog_performs_zero_materializations() {
+    let (pdoc, _) = personnel(25, 3, 11);
+    let mut engine = Engine::new();
+    let doc = engine.add_document("personnel", pdoc).unwrap();
+    engine
+        .register_views([
+            View::new("bonuses", p("IT-personnel//person/bonus")),
+            View::new("rick", p("IT-personnel//person[name/Rick]/bonus")),
+        ])
+        .unwrap();
+    let q = p("IT-personnel//person/bonus[laptop]");
+    let cold = engine.answer(doc, &q).expect("plan");
+    assert_eq!(cold.stats.materializations, 1, "cold query materializes");
+    assert_eq!(cold.stats.cache_hits, 0);
+    let warm = engine.answer(doc, &q).expect("plan");
+    assert_eq!(warm.stats.materializations, 0, "warm query reuses cache");
+    assert_eq!(warm.stats.cache_hits, 1);
+    assert_eq!(warm.stats.extensions_touched, 1);
+    assert_eq!(warm.nodes, cold.nodes);
+    // A different query over the same view is also served from cache.
+    let q2 = p("IT-personnel//person/bonus[pda]");
+    let other = engine.answer(doc, &q2).expect("plan");
+    assert_eq!(other.stats.materializations, 0);
+    assert_eq!(other.stats.cache_hits, 1);
+    // Engine-lifetime counters agree.
+    assert_eq!(engine.stats().materializations, 1);
+    assert_eq!(engine.stats().cache_hits, 2);
+}
+
+/// Acceptance criterion: a TP∩ plan materializes only the views its parts
+/// reference — decoy views in the catalog stay unmaterialized.
+#[test]
+fn tpi_plan_materializes_only_referenced_views() {
+    let (pdoc, _) = personnel(10, 2, 19);
+    let mut engine = Engine::new();
+    let doc = engine.add_document("personnel", pdoc).unwrap();
+    engine
+        .register_views([
+            View::new("mary", p("IT-personnel//person[name/Mary]/bonus")),
+            View::new("all", p("IT-personnel//person/bonus")),
+            // Decoys: unrelated or useless for the query below.
+            View::new("decoy1", p("IT-personnel//person/name")),
+            View::new("decoy2", p("nosuchlabel//nothing")),
+            View::new("decoy3", p("IT-personnel//person")),
+        ])
+        .unwrap();
+    let q = p("IT-personnel//person[name/Mary]/bonus[pda]");
+    let tpi_only = QueryOptions::new().plan_preference(PlanPreference::TpiOnly);
+    let answer = engine.answer_with(doc, &q, &tpi_only).expect("TP∩ plan");
+    let plan = answer.plan.as_ref().expect("from views");
+    let referenced = plan.referenced_views();
+    assert!(
+        referenced.len() < engine.catalog().len(),
+        "plan must not reference the whole catalog: {referenced:?}"
+    );
+    assert_eq!(
+        answer.stats.extensions_touched,
+        referenced.len(),
+        "execution touches exactly the referenced extensions"
+    );
+    assert_eq!(answer.stats.materializations, referenced.len());
+    // The catalog holds extensions only for the referenced views.
+    assert_eq!(
+        engine.catalog().cached_extensions(doc),
+        referenced.len(),
+        "decoy views must stay unmaterialized"
+    );
+    // And the answers are right.
+    let direct = engine.answer_direct(doc, &q).unwrap();
+    assert_eq!(answer.nodes.len(), direct.nodes.len());
+    for ((n1, p1), (n2, p2)) in answer.nodes.iter().zip(&direct.nodes) {
+        assert_eq!(n1, n2);
+        assert!((p1 - p2).abs() < 1e-9);
+    }
+}
+
+/// `warm` pre-materializes everything; afterwards every plan runs with
+/// zero materializations, TP∩ included.
+#[test]
+fn warm_precomputes_all_views() {
+    let (pdoc, _) = personnel(8, 2, 29);
+    let mut engine = Engine::new();
+    let doc = engine.add_document("personnel", pdoc).unwrap();
+    engine
+        .register_views([
+            View::new("mary", p("IT-personnel//person[name/Mary]/bonus")),
+            View::new("all", p("IT-personnel//person/bonus")),
+        ])
+        .unwrap();
+    assert_eq!(engine.warm(doc).unwrap(), 2);
+    let q = p("IT-personnel//person[name/Mary]/bonus[laptop]");
+    let tpi_only = QueryOptions::new().plan_preference(PlanPreference::TpiOnly);
+    let answer = engine.answer_with(doc, &q, &tpi_only).expect("TP∩ plan");
+    assert_eq!(answer.stats.materializations, 0);
+    assert_eq!(answer.stats.cache_hits, answer.stats.extensions_touched);
+}
+
+/// Satellite requirement: randomized agreement between `Engine::answer`
+/// and direct evaluation. Queries are random tree patterns; the catalog
+/// holds prefix views of the query (frequently rewritable) plus an
+/// unrelated random decoy view.
+#[test]
+fn random_engine_answers_agree_with_direct() {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let doc_cfg = RandomPDocConfig {
+        max_depth: 5,
+        max_children: 3,
+        dist_density: 0.5,
+        target_size: 25,
+        ..RandomPDocConfig::default()
+    };
+    let pat_cfg = RandomPatternConfig {
+        mb_len: 3,
+        preds_per_node: 0.6,
+        pred_depth: 2,
+        ..RandomPatternConfig::default()
+    };
+    let mut planned = 0usize;
+    let mut fell_back = 0usize;
+    for trial in 0..120 {
+        let pdoc = random_pdocument(&doc_cfg, &mut rng);
+        let q = random_pattern(&pat_cfg, &mut rng);
+        let decoy = random_pattern(&pat_cfg, &mut rng);
+        let mut engine = Engine::new();
+        let doc = engine.add_document("rand", pdoc).unwrap();
+        // Prefix views of q admit TP plans often; add the full pattern
+        // sometimes to exercise identity plans too.
+        let mut views = Vec::new();
+        for k in 1..=q.mb_len() {
+            views.push(View::new(format!("prefix{k}"), q.prefix(k)));
+        }
+        views.push(View::new("decoy", decoy));
+        engine.register_views(views).unwrap();
+        let opts = QueryOptions::new().fallback(Fallback::Direct);
+        let answer = match engine.answer_with(doc, &q, &opts) {
+            Ok(a) => a,
+            Err(e) => panic!("trial {trial}: engine error {e}"),
+        };
+        if answer.from_views() {
+            planned += 1;
+        } else {
+            fell_back += 1;
+        }
+        let direct = engine.answer_direct(doc, &q).unwrap();
+        assert_eq!(
+            answer.nodes.len(),
+            direct.nodes.len(),
+            "trial {trial}: node sets differ for {q}\n got {:?}\nwant {:?}",
+            answer.nodes,
+            direct.nodes
+        );
+        for ((n1, p1), (n2, p2)) in answer.nodes.iter().zip(&direct.nodes) {
+            assert_eq!(n1, n2, "trial {trial}: {q}");
+            assert!(
+                (p1 - p2).abs() < 1e-8,
+                "trial {trial}: {q} at {n1}: {p1} vs {p2}"
+            );
+        }
+    }
+    // The workload must actually exercise the rewriting path.
+    assert!(
+        planned >= 30,
+        "too few planned cases: {planned} planned, {fell_back} direct"
+    );
+}
+
+/// Random documents keyed independently in one shared engine: answers on
+/// one document are unaffected by cache entries of another.
+#[test]
+fn shared_engine_keys_cache_per_document() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let cfg = RandomPDocConfig::default();
+    let mut engine = Engine::new();
+    engine.register_view(View::new("va", p("a//b"))).unwrap();
+    let d1 = engine
+        .add_document("d1", random_pdocument(&cfg, &mut rng))
+        .unwrap();
+    let d2 = engine
+        .add_document("d2", random_pdocument(&cfg, &mut rng))
+        .unwrap();
+    let q = p("a//b");
+    let opts = QueryOptions::new().fallback(Fallback::Direct);
+    let a1 = engine.answer_with(d1, &q, &opts).unwrap();
+    let a2 = engine.answer_with(d2, &q, &opts).unwrap();
+    let direct1 = engine.answer_direct(d1, &q).unwrap();
+    let direct2 = engine.answer_direct(d2, &q).unwrap();
+    assert_eq!(a1.nodes, direct1.nodes);
+    assert_eq!(a2.nodes, direct2.nodes);
+    // A handle from one engine is meaningless in another with fewer
+    // documents: typed UnknownDocument, not a panic or a wrong answer.
+    let mut other = Engine::new();
+    other.register_view(View::new("va", p("a//b"))).unwrap();
+    assert!(matches!(
+        other.answer(d2, &q),
+        Err(EngineError::UnknownDocument(_))
+    ));
+}

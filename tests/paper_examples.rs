@@ -116,7 +116,7 @@ fn e6_example_11_witnesses() {
     let unfolded = prxview::tpq::comp(&v.pattern, &q.suffix(2));
     assert!(prxview::tpq::equivalent(&unfolded, &q));
     // …but TPrewrite rejects (v′ ̸⊥ q″)…
-    assert!(prxview::rewrite::tp_rewrite(&q, &[v.clone()]).is_empty());
+    assert!(prxview::rewrite::tp_rewrite(&q, std::slice::from_ref(&v)).is_empty());
     // …and rightly so: P̂1, P̂2 differ on q but have identical extensions.
     let p1 = fig5_p1();
     let p2 = fig5_p2();
@@ -169,14 +169,16 @@ fn e7_example_12_witnesses() {
 /// E8 — Example 13: the restricted plan's `fr` over `(P̂PER)_{v2BON}`.
 #[test]
 fn e8_example_13_restricted_plan() {
-    let pper = fig2_pper();
-    let views = vec![View::new("v2BON", v2bon())];
-    let (plan, answers) =
-        prxview::rewrite::answer_with_views(&pper, &qbon(), &views).expect("plan exists");
-    assert!(matches!(plan, prxview::rewrite::Plan::Tp(_)));
-    assert_eq!(answers.len(), 1);
-    assert_eq!(answers[0].0, NodeId(5));
-    assert!((answers[0].1 - 0.9).abs() < 1e-9);
+    use prxview::engine::Engine;
+    let mut engine = Engine::new();
+    let doc = engine.add_document("pper", fig2_pper()).unwrap();
+    engine.register_view(View::new("v2BON", v2bon())).unwrap();
+    let answer = engine.answer(doc, &qbon()).expect("plan exists");
+    assert!(matches!(answer.plan, Some(prxview::rewrite::Plan::Tp(_))));
+    assert_eq!(answer.stats.extensions_touched, 1);
+    assert_eq!(answer.nodes.len(), 1);
+    assert_eq!(answer.nodes[0].0, NodeId(5));
+    assert!((answer.nodes[0].1 - 0.9).abs() < 1e-9);
 }
 
 /// E9 — Theorem 2 boundary: accept/reject matrix around Example 12.
@@ -205,22 +207,26 @@ fn e9_theorem_2_matrix() {
 /// E10 — Example 15: product-form TP∩ probability `0.75 × 0.9 ÷ 1`.
 #[test]
 fn e10_example_15_product() {
-    let pper = fig2_pper();
+    use prxview::engine::{Engine, PlanPreference, QueryOptions};
     let q = qrbon();
-    let views = vec![
-        View::new("v1BON", v1bon()),
-        View::new("v2BON", v2bon()),
-    ];
+    let mut engine = Engine::new();
+    let doc = engine.add_document("pper", fig2_pper()).unwrap();
+    engine
+        .register_views([View::new("v1BON", v1bon()), View::new("v2BON", v2bon())])
+        .unwrap();
     // Force the TP∩ path (TPIrewrite) and check the numbers.
-    let rw = prxview::rewrite::tpi_rewrite(&q, &views, 5_000).expect("TPIrewrite plans");
-    let exts: Vec<ProbExtension> = views
-        .iter()
-        .map(|v| ProbExtension::materialize(&pper, v))
-        .collect();
-    let answers = prxview::rewrite::answer::answer_tpi(&rw, &exts);
-    assert_eq!(answers.len(), 1);
-    assert_eq!(answers[0].0, NodeId(5));
-    assert!((answers[0].1 - 0.675).abs() < 1e-9, "{answers:?}");
+    let tpi_only = QueryOptions::new().plan_preference(PlanPreference::TpiOnly);
+    let answer = engine
+        .answer_with(doc, &q, &tpi_only)
+        .expect("TPIrewrite plans");
+    assert!(matches!(answer.plan, Some(prxview::rewrite::Plan::Tpi(_))));
+    assert_eq!(answer.nodes.len(), 1);
+    assert_eq!(answer.nodes[0].0, NodeId(5));
+    assert!(
+        (answer.nodes[0].1 - 0.675).abs() < 1e-9,
+        "{:?}",
+        answer.nodes
+    );
 }
 
 /// E11 — Example 16: the `S(q,V)` system with dependent views.
