@@ -1,0 +1,68 @@
+//! Batch-throughput scaling of `Engine::answer_batch_with` (the B9
+//! workload): a fixed query mix over a warm sharded catalog, answered on
+//! 1, 2, 4 and 8 worker threads. On multicore hardware throughput scales
+//! with the thread count because workers only take shard *read* locks on
+//! the warm cache; the 1-thread row doubles as the regression baseline
+//! for per-query overhead of the batch path itself.
+//!
+//! A separate `cold` row measures the single-flight path: a fresh engine
+//! per iteration, 8 threads racing for the same two cold extensions —
+//! exactly two materializations happen per iteration regardless of the
+//! thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prxview::engine::Engine;
+use prxview::pxml::generators::personnel;
+use pxv_bench::{batch_queries, v1bon, v2bon};
+
+fn bench_engine_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_batch");
+    g.sample_size(10);
+
+    let (pdoc, _) = personnel(200, 3, 9);
+    let mut engine = Engine::new();
+    let doc = engine.add_document("p", pdoc.clone()).unwrap();
+    engine.register_views([v1bon(), v2bon()]).unwrap();
+    engine.warm(doc).unwrap();
+    let batch: Vec<_> = batch_queries(64).into_iter().map(|q| (doc, q)).collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("warm", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let results = engine.answer_batch_with(
+                        std::hint::black_box(&batch),
+                        engine.options(),
+                        threads,
+                    );
+                    assert!(results.iter().all(|r| r.is_ok()));
+                    results.len()
+                })
+            },
+        );
+    }
+
+    g.bench_with_input(BenchmarkId::new("cold", 8), &8usize, |b, &threads| {
+        b.iter(|| {
+            let mut fresh = Engine::new();
+            let doc = fresh
+                .add_document("p", std::hint::black_box(&pdoc).clone())
+                .unwrap();
+            fresh.register_views([v1bon(), v2bon()]).unwrap();
+            let batch: Vec<_> = batch_queries(16).into_iter().map(|q| (doc, q)).collect();
+            let results = fresh.answer_batch_with(&batch, fresh.options(), threads);
+            assert!(results.iter().all(|r| r.is_ok()));
+            // Single-flight: the 16 racing queries materialize each of the
+            // two referenced extensions exactly once.
+            assert_eq!(fresh.stats().materializations, 2);
+            results.len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_batch);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! The experiment harness: regenerates every figure/example of the paper
 //! (E1–E12) and prints paper-value vs. measured-value tables, plus compact
-//! versions of the scaling experiments (B1–B7; full statistics via
+//! versions of the scaling experiments (B1–B9; full statistics via
 //! `cargo bench`). Output is recorded in EXPERIMENTS.md.
 //!
 //! ```sh
@@ -595,6 +595,45 @@ fn b_compact() {
             fmt_ms(t_warm),
             t_cold.as_secs_f64() / t_warm.as_secs_f64()
         );
+    }
+
+    // B9: concurrent batch throughput over a warm sharded catalog
+    // (tentpole of the concurrency PR; full statistics in
+    // benches/engine_batch.rs). Every thread count must produce answers
+    // identical to the single-threaded run, with zero re-materialization.
+    println!("\n[B9] concurrent batch throughput (warm sharded catalog, 64 queries):");
+    {
+        use prxview::engine::Engine;
+        let (pdoc, _) = personnel(200, 3, 9);
+        let mut engine = Engine::new();
+        let doc = engine.add_document("p", pdoc).unwrap();
+        engine.register_views([v1bon(), v2bon()]).unwrap();
+        engine.warm(doc).unwrap();
+        let batch: Vec<_> = batch_queries(64).into_iter().map(|q| (doc, q)).collect();
+        let baseline = engine.answer_batch_with(&batch, engine.options(), 1);
+        let warm_mats = engine.stats().materializations;
+        for threads in [1usize, 2, 4, 8] {
+            let t0 = Instant::now();
+            let results = engine.answer_batch_with(&batch, engine.options(), threads);
+            let dt = t0.elapsed();
+            for (got, want) in results.iter().zip(&baseline) {
+                assert_eq!(
+                    got.as_ref().unwrap().nodes,
+                    want.as_ref().unwrap().nodes,
+                    "batch answers must be identical to sequential"
+                );
+            }
+            assert_eq!(
+                engine.stats().materializations,
+                warm_mats,
+                "warm batches must never re-materialize"
+            );
+            println!(
+                "  threads={threads}: {:>12}  ({:>8.0} q/s)",
+                fmt_ms(dt),
+                batch.len() as f64 / dt.as_secs_f64()
+            );
+        }
     }
 }
 

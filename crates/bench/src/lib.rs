@@ -34,6 +34,20 @@ pub fn v2bon() -> View {
     View::new("v2BON", pat("IT-personnel//person/bonus"))
 }
 
+/// Query mix for the batch-throughput experiment (B9): `n` queries
+/// cycling over bonus-project variants, each answerable through a TP plan
+/// over the [`v1bon`] / [`v2bon`] catalog.
+pub fn batch_queries(n: usize) -> Vec<TreePattern> {
+    let variants = [
+        "IT-personnel//person/bonus[laptop]",
+        "IT-personnel//person/bonus[pda]",
+        "IT-personnel//person/bonus[tablet]",
+        "IT-personnel//person/bonus",
+        "IT-personnel//person[name/Rick]/bonus[laptop]",
+    ];
+    (0..n).map(|i| pat(variants[i % variants.len()])).collect()
+}
+
 /// A chain query `a/a/…/a//b` with predicates `[p1]…[ps]` on every node
 /// (the Theorem 4 query; also the B1/B2 scaling shape).
 pub fn chain_query(s: usize) -> TreePattern {

@@ -1,0 +1,128 @@
+//! Statistical cross-check of `peval::mc` against `peval::exact`: on
+//! seeded inputs (deterministic RNG — no flakes), Monte-Carlo estimates
+//! must fall within a 4-sigma Hoeffding-style bound of the exact
+//! probability. For a Bernoulli mean over `n` samples the standard
+//! deviation is at most `1/(2√n)`, so the bound is `4·1/(2√n) = 2/√n`; a
+//! correct sampler leaves that band with probability < 10⁻⁴ per check,
+//! and the fixed seeds pin the actual draws forever.
+
+use pxv_peval::{exact, mc};
+use pxv_pxml::examples_paper::fig2_pper;
+use pxv_pxml::generators::{random_pdocument, RandomPDocConfig};
+use pxv_pxml::text::parse_pdocument;
+use pxv_pxml::NodeId;
+use pxv_tpq::parse::parse_pattern;
+use pxv_tpq::TreePattern;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SAMPLES: usize = 20_000;
+
+/// The 4-sigma Hoeffding-style band: `2/√n` (plus float slack).
+fn four_sigma(samples: usize) -> f64 {
+    2.0 / (samples as f64).sqrt() + 1e-12
+}
+
+fn q(s: &str) -> TreePattern {
+    parse_pattern(s).unwrap()
+}
+
+#[test]
+fn tp_estimates_within_four_sigma_on_paper_example() {
+    let pper = fig2_pper();
+    let cases = [
+        ("IT-personnel//person/bonus[laptop]", NodeId(5)),
+        ("IT-personnel//person[name/Rick]/bonus", NodeId(5)),
+        ("IT-personnel//person[name/Rick]/bonus[laptop]", NodeId(5)),
+        ("IT-personnel//person/bonus", NodeId(7)),
+    ];
+    for (i, (pattern, node)) in cases.iter().enumerate() {
+        let query = q(pattern);
+        let exact_p = exact::eval_tp_at_exact(&pper, &query, *node);
+        let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+        let est = mc::estimate_tp_at(&pper, &query, *node, SAMPLES, &mut rng);
+        assert!(
+            (est.mean - exact_p).abs() <= four_sigma(SAMPLES),
+            "{pattern} at {node}: estimate {} vs exact {exact_p} \
+             (bound {})",
+            est.mean,
+            four_sigma(SAMPLES)
+        );
+    }
+}
+
+#[test]
+fn tp_estimates_within_four_sigma_on_random_documents() {
+    // A two-letter alphabet keeps query/document label collisions (and so
+    // positive selection probabilities) frequent.
+    let labels: Vec<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+    let cfg = RandomPDocConfig {
+        max_depth: 4,
+        max_children: 3,
+        dist_density: 0.6,
+        target_size: 12,
+        labels: labels.clone(),
+    };
+    let pat_cfg = pxv_tpq::generators::RandomPatternConfig {
+        mb_len: 2,
+        preds_per_node: 0.5,
+        pred_depth: 1,
+        labels,
+        ..pxv_tpq::generators::RandomPatternConfig::default()
+    };
+    let mut gen_rng = StdRng::seed_from_u64(9);
+    let mut checked = 0usize;
+    for trial in 0..12 {
+        let pdoc = random_pdocument(&cfg, &mut gen_rng);
+        let query = pxv_tpq::generators::random_pattern(&pat_cfg, &mut gen_rng);
+        // Check at every node the query can possibly select (bounded by
+        // the tiny document size).
+        for node in pdoc.ordinary_ids() {
+            let exact_p = exact::eval_tp_at_exact(&pdoc, &query, node);
+            if exact_p <= 0.0 {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(5000 + trial as u64 * 64 + node.0 as u64);
+            let est = mc::estimate_tp_at(&pdoc, &query, node, SAMPLES, &mut rng);
+            assert!(
+                (est.mean - exact_p).abs() <= four_sigma(SAMPLES),
+                "trial {trial}, {query} at {node}: estimate {} vs exact {exact_p}",
+                est.mean
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 8,
+        "too few positive-probability checks: {checked}"
+    );
+}
+
+#[test]
+fn intersection_estimates_within_four_sigma() {
+    let p =
+        parse_pdocument("a#0[b#1[ind#2(0.5: x#3, 0.4: y#4)], mux#5(0.3: c#6, 0.7: c#7)]").unwrap();
+    let parts = vec![q("a/b[x]"), q("a/b[y]")];
+    let exact_p = exact::eval_intersection_at_exact(&p, &parts, NodeId(1));
+    let mut rng = StdRng::seed_from_u64(31);
+    let est = mc::estimate_intersection_at(&p, &parts, NodeId(1), SAMPLES, &mut rng);
+    assert!(
+        (est.mean - exact_p).abs() <= four_sigma(SAMPLES),
+        "intersection at b: estimate {} vs exact {exact_p}",
+        est.mean
+    );
+    // And on the paper's example: qRBON as v1BON ∩ qBON at n5.
+    let pper = fig2_pper();
+    let parts = vec![
+        q("IT-personnel//person[name/Rick]/bonus"),
+        q("IT-personnel//person/bonus[laptop]"),
+    ];
+    let exact_p = exact::eval_intersection_at_exact(&pper, &parts, NodeId(5));
+    let mut rng = StdRng::seed_from_u64(32);
+    let est = mc::estimate_intersection_at(&pper, &parts, NodeId(5), SAMPLES, &mut rng);
+    assert!(
+        (est.mean - exact_p).abs() <= four_sigma(SAMPLES),
+        "qRBON at n5: estimate {} vs exact {exact_p}",
+        est.mean
+    );
+}

@@ -1,54 +1,114 @@
-//! Interned labels.
+//! The shared [`Symbol`] interner for node labels.
 //!
 //! The paper assumes a set of labels `L` subsuming XML tags and values.
 //! Labels are interned into `u32` handles so that structural algorithms
 //! (embeddings, containment mappings, the evaluation DP) compare labels with
-//! a single integer comparison and tree nodes stay small.
+//! a single integer comparison and tree nodes stay small. The interner is
+//! shared by every layer that names tree nodes — `pxv-pxml` documents and
+//! p-documents, `pxv-tpq` patterns, view `doc(v)` / `Id(n)` markers — so a
+//! symbol can move freely between documents and queries.
+//!
+//! Designed for the concurrent engine:
+//!
+//! * **Sharded interning.** The spelling→id map is split across
+//!   [`SHARD_COUNT`] `RwLock` shards keyed by a hash of the spelling, so
+//!   parallel parsers and generators interning *different* labels rarely
+//!   contend, and interning an *existing* label only ever takes a shard
+//!   read lock (the overwhelmingly common case once a workload is warm).
+//! * **Lock-light resolution.** Spellings are stored as leaked
+//!   `&'static str`s; [`Symbol::resolve`] takes one brief read lock on the
+//!   id→spelling table and hands back the `&'static str` — no `String`
+//!   clone, no lock held by the caller. Hot paths that render or hash
+//!   spellings (`canonical_key`, `Display`) stay allocation-free.
+//!
+//! Interned strings are never freed: the symbol universe of a workload is
+//! small (tag names, a few markers) and a process-lifetime table is what
+//! makes `resolve` borrowable.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock};
 
-/// An interned label. Cheap to copy, compare and hash.
+/// Number of spelling→id shards (power of two; see module docs).
+pub const SHARD_COUNT: usize = 16;
+
+/// An interned string handle. Cheap to copy, compare and hash.
 ///
-/// Two labels are equal iff their spellings are equal; the interner is
-/// global, so labels can be freely moved between documents, p-documents and
-/// queries.
+/// Two symbols are equal iff their spellings are equal; the interner is
+/// process-global, so symbols can be freely moved between documents,
+/// p-documents and queries.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Label(u32);
+pub struct Symbol(u32);
+
+/// Node labels are interned symbols (the historical name of [`Symbol`] in
+/// this codebase; the two are interchangeable).
+pub type Label = Symbol;
 
 struct Interner {
-    by_name: HashMap<String, u32>,
-    names: Vec<String>,
+    /// spelling → id, sharded by spelling hash.
+    shards: Vec<RwLock<HashMap<&'static str, u32>>>,
+    /// id → spelling. Leaf lock: only ever taken after a shard lock (on
+    /// insert) or alone (on resolve), so lock ordering is acyclic.
+    names: RwLock<Vec<&'static str>>,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            by_name: HashMap::new(),
-            names: Vec::new(),
-        })
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: (0..SHARD_COUNT)
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect(),
+        names: RwLock::new(Vec::new()),
     })
 }
 
-impl Label {
+fn shard_index(name: &str) -> usize {
+    // FNV-1a over the bytes; stable and cheap for short tag names.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) % SHARD_COUNT
+}
+
+impl Symbol {
     /// Interns `name` and returns its handle.
-    pub fn new(name: &str) -> Label {
-        let mut i = interner().lock().expect("label interner poisoned");
-        if let Some(&id) = i.by_name.get(name) {
-            return Label(id);
+    pub fn intern(name: &str) -> Symbol {
+        let i = interner();
+        let shard = &i.shards[shard_index(name)];
+        if let Some(&id) = shard.read().expect("symbol shard poisoned").get(name) {
+            return Symbol(id);
         }
-        let id = u32::try_from(i.names.len()).expect("label interner overflow");
-        i.names.push(name.to_owned());
-        i.by_name.insert(name.to_owned(), id);
-        Label(id)
+        let mut map = shard.write().expect("symbol shard poisoned");
+        // Double-checked: another thread may have interned it between the
+        // read unlock and the write lock.
+        if let Some(&id) = map.get(name) {
+            return Symbol(id);
+        }
+        let mut names = i.names.write().expect("symbol table poisoned");
+        let id = u32::try_from(names.len()).expect("symbol interner overflow");
+        let spelling: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        names.push(spelling);
+        drop(names);
+        map.insert(spelling, id);
+        Symbol(id)
     }
 
-    /// The spelling this label was interned with.
-    pub fn name(self) -> String {
-        let i = interner().lock().expect("label interner poisoned");
-        i.names[self.0 as usize].clone()
+    /// Interns `name` and returns its handle (alias of [`Symbol::intern`]).
+    pub fn new(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
+    /// The spelling this symbol was interned with.
+    pub fn resolve(self) -> &'static str {
+        interner().names.read().expect("symbol table poisoned")[self.0 as usize]
+    }
+
+    /// The spelling this symbol was interned with (alias of
+    /// [`Symbol::resolve`]).
+    pub fn name(self) -> &'static str {
+        self.resolve()
     }
 
     /// Raw interner index (stable within a process, useful for dense maps).
@@ -57,27 +117,36 @@ impl Label {
     }
 }
 
-impl fmt::Display for Label {
+/// Number of distinct symbols interned so far (diagnostics / tests).
+pub fn symbol_count() -> usize {
+    interner()
+        .names
+        .read()
+        .expect("symbol table poisoned")
+        .len()
+}
+
+impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.name())
+        f.write_str(self.resolve())
     }
 }
 
-impl fmt::Debug for Label {
+impl fmt::Debug for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Label({})", self.name())
+        write!(f, "Label({})", self.resolve())
     }
 }
 
-impl From<&str> for Label {
-    fn from(s: &str) -> Label {
-        Label::new(s)
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
     }
 }
 
-impl From<&String> for Label {
-    fn from(s: &String) -> Label {
-        Label::new(s)
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
     }
 }
 
@@ -107,5 +176,41 @@ mod tests {
     fn from_str_conversion() {
         let l: Label = "bonus".into();
         assert_eq!(l, Label::new("bonus"));
+    }
+
+    #[test]
+    fn resolve_intern_round_trip() {
+        for s in ["x", "doc(v1)", "Id(42)", "person", ""] {
+            let sym = Symbol::intern(s);
+            assert_eq!(sym.resolve(), s);
+            assert_eq!(Symbol::intern(sym.resolve()), sym);
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        // Hammer the interner from several threads with overlapping label
+        // sets; every thread must resolve identical handles.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| {
+                            let name = format!("conc-{}", (i + t * 13) % 50);
+                            let sym = Symbol::intern(&name);
+                            assert_eq!(sym.resolve(), name);
+                            (name, sym)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut seen: HashMap<String, Symbol> = HashMap::new();
+        for h in handles {
+            for (name, sym) in h.join().expect("interner thread panicked") {
+                let prev = seen.entry(name).or_insert(sym);
+                assert_eq!(*prev, sym, "same spelling, same handle");
+            }
+        }
     }
 }

@@ -26,6 +26,6 @@ pub mod text;
 pub mod worlds;
 
 pub use document::{Document, NodeId};
-pub use label::Label;
+pub use label::{symbol_count, Label, Symbol};
 pub use pdocument::{PDocError, PDocument, PKind};
 pub use worlds::PxSpace;

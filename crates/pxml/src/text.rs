@@ -402,13 +402,13 @@ mod tests {
     fn numeric_labels_vs_probabilities() {
         // `50` with no colon is a label, `0.5:` is a probability.
         let p = parse_pdocument("a[mux(0.5: 50, 0.5: 44)]").expect("parses");
-        let labels: Vec<String> = p
+        let labels: Vec<&str> = p
             .ordinary_ids()
             .filter_map(|n| p.label(n))
             .map(|l| l.name())
             .collect();
-        assert!(labels.contains(&"50".to_owned()));
-        assert!(labels.contains(&"44".to_owned()));
+        assert!(labels.contains(&"50"));
+        assert!(labels.contains(&"44"));
     }
 
     #[test]

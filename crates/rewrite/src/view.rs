@@ -25,20 +25,27 @@ pub struct View {
     pub name: String,
     /// The TP query defining the view.
     pub pattern: TreePattern,
+    /// `doc(v)`, interned once at construction — plan building and
+    /// extension matching compare the cached symbol instead of formatting
+    /// and re-interning per call.
+    doc_label: Label,
 }
 
 impl View {
     /// Creates a view.
     pub fn new(name: impl Into<String>, pattern: TreePattern) -> View {
+        let name = name.into();
+        let doc_label = Label::new(&format!("doc({name})"));
         View {
-            name: name.into(),
+            name,
             pattern,
+            doc_label,
         }
     }
 
     /// The `doc(v)` label of this view's extensions.
     pub fn doc_label(&self) -> Label {
-        Label::new(&format!("doc({})", self.name))
+        self.doc_label
     }
 }
 

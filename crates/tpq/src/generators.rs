@@ -1,7 +1,7 @@
 //! Random and parametric tree-pattern generators for tests and benches.
 
 use crate::pattern::{Axis, QNodeId, TreePattern};
-use pxv_pxml::Label;
+use pxv_pxml::Symbol as Label;
 use rand::Rng;
 
 /// Configuration for [`random_pattern`].

@@ -24,3 +24,6 @@ pub use containment::{contained_in, equivalent, minimize};
 pub use intersect::TpIntersection;
 pub use parse::parse_pattern;
 pub use pattern::{Axis, QNodeId, TreePattern};
+// Node labels are interned symbols shared with `pxv-pxml`: pattern
+// matching and embedding compare `u32` handles, never strings.
+pub use pxv_pxml::{Label, Symbol};

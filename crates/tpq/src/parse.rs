@@ -17,7 +17,7 @@
 //! `a[.//c]/b` (Example 11's view).
 
 use crate::pattern::{Axis, QNodeId, TreePattern};
-use pxv_pxml::Label;
+use pxv_pxml::Symbol as Label;
 use std::fmt;
 
 /// Error raised by [`parse_pattern`].

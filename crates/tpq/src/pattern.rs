@@ -355,7 +355,7 @@ impl TreePattern {
     pub fn canonical_key(&self) -> String {
         fn rec(q: &TreePattern, n: QNodeId, out: &mut String) {
             out.push_str(q.axis(n).as_str());
-            out.push_str(&q.label(n).name());
+            out.push_str(q.label(n).name());
             if n == q.output() {
                 out.push('!');
             }

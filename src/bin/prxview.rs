@@ -7,6 +7,8 @@
 //! prxview plan    <query> name=pattern…          find a rewriting
 //! prxview answer  <pdoc-file> <query> name=pattern…
 //!                                                answer using views only
+//! prxview batch   <pdoc-file> <query-file> [-jN] name=pattern…
+//!                                                concurrent batch answering
 //! prxview cindep  <q1> <q2>                      c-independence test
 //! ```
 //!
@@ -14,7 +16,10 @@
 //! `a[mux(0.3: b, 0.6: c[d])]`; queries use XPath-ish notation, e.g.
 //! `a//c[d]`. `answer` reports the chosen plan and per-query stats on
 //! stderr; when no probabilistic rewriting exists it exits non-zero with
-//! the planner's typed reason.
+//! the planner's typed reason. `batch` reads one query per line (blank
+//! lines and `#` comments skipped), answers them on `N` worker threads
+//! (default: available parallelism) against the shared sharded catalog,
+//! and reports throughput plus engine-lifetime cache stats on stderr.
 
 use prxview::engine::{Engine, EngineError, QueryOptions};
 use prxview::pxml::text::parse_pdocument;
@@ -28,6 +33,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  prxview eval <pdoc-file> <query>\n  prxview worlds <pdoc-file> [limit]\n  \
          prxview plan <query> name=pattern...\n  prxview answer <pdoc-file> <query> name=pattern...\n  \
+         prxview batch <pdoc-file> <query-file> [-jN] name=pattern...\n  \
          prxview cindep <q1> <q2>"
     );
     ExitCode::from(2)
@@ -132,6 +138,72 @@ fn run() -> Result<ExitCode, String> {
                 }
                 Err(e) => Err(e.to_string()),
             }
+        }
+        Some("batch") if args.len() >= 4 => {
+            // Optional `-jN` worker-count flag anywhere after the files.
+            let mut threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let mut view_args = Vec::new();
+            for a in &args[3..] {
+                if let Some(n) = a.strip_prefix("-j") {
+                    threads = n.parse().map_err(|e| format!("bad -j flag `{a}`: {e}"))?;
+                } else {
+                    view_args.push(a.clone());
+                }
+            }
+            let mut engine = engine_with_views(parse_views(&view_args)?)?;
+            let doc = engine
+                .add_document("doc", load_pdoc(&args[1])?)
+                .map_err(|e| format!("{}: {e}", args[1]))?;
+            let text = std::fs::read_to_string(&args[2])
+                .map_err(|e| format!("cannot read {}: {e}", args[2]))?;
+            let queries: Vec<(prxview::engine::DocId, TreePattern)> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(|l| Ok((doc, load_query(l)?)))
+                .collect::<Result<_, String>>()?;
+            if queries.is_empty() {
+                return Err(format!("{}: no queries", args[2]));
+            }
+            let t0 = std::time::Instant::now();
+            let results = engine.answer_batch_with(&queries, engine.options(), threads);
+            let elapsed = t0.elapsed();
+            let mut failed = 0usize;
+            for ((_, q), result) in queries.iter().zip(&results) {
+                match result {
+                    Ok(answer) => {
+                        let nodes: Vec<String> = answer
+                            .nodes
+                            .iter()
+                            .map(|(n, p)| format!("{n}:{p:.9}"))
+                            .collect();
+                        println!("{q}\t{}", nodes.join(" "));
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        println!("{q}\terror: {e}");
+                    }
+                }
+            }
+            let stats = engine.stats();
+            eprintln!(
+                "batch: {} queries on {} thread(s) in {:.3} ms ({:.0} q/s); \
+                 {} materialization(s), {} cache hit(s), {} failed",
+                queries.len(),
+                threads,
+                elapsed.as_secs_f64() * 1e3,
+                queries.len() as f64 / elapsed.as_secs_f64(),
+                stats.materializations,
+                stats.cache_hits,
+                failed
+            );
+            Ok(if failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         Some("cindep") if args.len() == 3 => {
             let q1 = load_query(&args[1])?;

@@ -1,6 +1,7 @@
 //! The stateful query-answering engine: a [`Catalog`] of registered views
 //! with lazily-materialized, memoized extensions, and an [`Engine`] that
-//! answers queries touching only those extensions.
+//! answers queries touching only those extensions — sequentially or in
+//! concurrent batches.
 //!
 //! This is the session-style surface of the library — the paper's
 //! scenario (§1, §7) is a warehouse that materializes view extensions
@@ -34,6 +35,42 @@
 //! views it references ([`Plan::referenced_views`]) — a TP∩ plan over a
 //! catalog of fifty views materializes two extensions if its parts use
 //! two views.
+//!
+//! # Concurrency
+//!
+//! All query paths take `&self`: the catalog's extension cache is sharded
+//! under interior mutability ([`RwLock`] shards keyed by a hash of the
+//! `(document, view)` pair) and lifetime counters are atomics, so any
+//! number of threads may answer queries against one engine concurrently.
+//! [`Engine::answer_batch`] runs a slice of queries on a small
+//! hand-rolled worker pool (scoped `std::thread`s pulling indices off an
+//! atomic cursor). Materialization is *single-flight*: when two threads
+//! race for the same cold extension, exactly one materializes while the
+//! other blocks on the entry's [`OnceLock`] and then shares the result —
+//! concurrent workloads never duplicate materialization work:
+//!
+//! ```
+//! use prxview::engine::Engine;
+//! use prxview::pxml::generators::personnel;
+//! use prxview::rewrite::View;
+//! use prxview::tpq::parse::parse_pattern;
+//!
+//! let mut engine = Engine::new();
+//! let (pdoc, _) = personnel(10, 2, 7);
+//! let doc = engine.add_document("hr", pdoc).unwrap();
+//! engine
+//!     .register_view(View::new(
+//!         "bonuses",
+//!         parse_pattern("IT-personnel//person/bonus").unwrap(),
+//!     ))
+//!     .unwrap();
+//! let q = parse_pattern("IT-personnel//person/bonus[laptop]").unwrap();
+//! let batch: Vec<_> = (0..16).map(|_| (doc, q.clone())).collect();
+//! let answers = engine.answer_batch(&batch);
+//! assert!(answers.iter().all(|a| a.is_ok()));
+//! // Single-flight: 16 concurrent queries, one materialization.
+//! assert_eq!(engine.stats().materializations, 1);
+//! ```
 
 use pxv_pxml::{NodeId, PDocument};
 use pxv_rewrite::answer::{execute_tpi, plan_checked};
@@ -42,9 +79,15 @@ use pxv_rewrite::view::ProbExtension;
 use pxv_rewrite::View;
 use pxv_tpq::TreePattern;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 pub use pxv_rewrite::answer::{Plan, PlanError, PlanPreference, DEFAULT_INTERLEAVING_LIMIT};
+
+/// Number of cache shards in a [`Catalog`] (power of two). Sixteen shards
+/// keep contention negligible for worker pools up to ~16 threads while the
+/// per-shard maps stay dense.
+pub const CATALOG_SHARDS: usize = 16;
 
 /// Handle to a document registered with an [`Engine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -187,9 +230,10 @@ impl QueryOptions {
 pub struct QueryStats {
     /// Distinct extensions the plan read (0 for direct evaluation).
     pub extensions_touched: usize,
-    /// How many of those were served from the catalog's cache.
+    /// How many of those were served from the catalog's cache (including
+    /// single-flight waits on a materialization another query started).
     pub cache_hits: usize,
-    /// How many had to be materialized during this query
+    /// How many this query materialized itself
     /// (`extensions_touched = cache_hits + materializations`).
     pub materializations: usize,
     /// Candidate answer nodes considered before probability filtering.
@@ -220,7 +264,8 @@ impl Answer {
     }
 }
 
-/// Lifetime counters for an [`Engine`] (monotone; never reset).
+/// Lifetime counters for an [`Engine`] (monotone; never reset — per-document
+/// cache counters that *are* reset by invalidation live in [`DocStats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Queries answered (including direct fallbacks).
@@ -235,16 +280,145 @@ pub struct EngineStats {
     pub materializations: u64,
     /// Extension reads served from cache.
     pub cache_hits: u64,
+    /// Cache invalidations ([`Engine::invalidate`] /
+    /// [`Engine::replace_document`]) that evicted at least one extension.
+    pub invalidations: u64,
 }
 
+/// Per-document cache counters. Unlike [`EngineStats`] these describe the
+/// *current* cache generation: [`Engine::invalidate`] resets them along
+/// with the document's cached extensions, so a warm-looking document never
+/// carries counters from extensions that no longer exist.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DocStats {
+    /// Extensions materialized for this document since its last
+    /// invalidation (or registration).
+    pub materializations: u64,
+    /// Cache hits served for this document since its last invalidation.
+    pub cache_hits: u64,
+}
+
+/// Interior-mutability counterparts of the public stats structs, so every
+/// query path can take `&self`.
+#[derive(Debug, Default)]
+struct AtomicEngineStats {
+    queries: AtomicU64,
+    plans_tp: AtomicU64,
+    plans_tpi: AtomicU64,
+    direct: AtomicU64,
+    materializations: AtomicU64,
+    cache_hits: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl AtomicEngineStats {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            plans_tp: self.plans_tp.load(Ordering::Relaxed),
+            plans_tpi: self.plans_tpi.load(Ordering::Relaxed),
+            direct: self.direct.load(Ordering::Relaxed),
+            materializations: self.materializations.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    fn restore(snapshot: EngineStats) -> AtomicEngineStats {
+        AtomicEngineStats {
+            queries: AtomicU64::new(snapshot.queries),
+            plans_tp: AtomicU64::new(snapshot.plans_tp),
+            plans_tpi: AtomicU64::new(snapshot.plans_tpi),
+            direct: AtomicU64::new(snapshot.direct),
+            materializations: AtomicU64::new(snapshot.materializations),
+            cache_hits: AtomicU64::new(snapshot.cache_hits),
+            invalidations: AtomicU64::new(snapshot.invalidations),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AtomicDocStats {
+    materializations: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl AtomicDocStats {
+    fn snapshot(&self) -> DocStats {
+        DocStats {
+            materializations: self.materializations.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.materializations.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One cache entry. The outer `Arc` lets a reader leave the shard lock
+/// before touching the `OnceLock`; the `OnceLock` provides single-flight
+/// materialization (`get_or_init` runs the closure in exactly one thread,
+/// everyone else blocks and shares the value); the inner `Arc` is the
+/// immutable extension handed to plan execution.
+type ExtensionSlot = Arc<OnceLock<Arc<ProbExtension>>>;
+
 /// A named set of views plus the memoized extensions materialized from
-/// them, keyed per document.
-#[derive(Clone, Debug, Default)]
+/// them, keyed per document and sharded for concurrent access.
+#[derive(Debug)]
 pub struct Catalog {
     views: Vec<View>,
     by_name: HashMap<String, usize>,
-    /// `(document, view) →` materialized extension.
-    cache: HashMap<(usize, usize), Arc<ProbExtension>>,
+    /// `(document, view) →` materialized extension, split across
+    /// [`CATALOG_SHARDS`] locks by key hash so concurrent queries touching
+    /// different extensions never serialize on one mutex.
+    shards: Vec<RwLock<HashMap<(usize, usize), ExtensionSlot>>>,
+}
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog {
+            views: Vec::new(),
+            by_name: HashMap::new(),
+            shards: (0..CATALOG_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+}
+
+impl Clone for Catalog {
+    /// Clones the views and the *completed* cache entries (extensions are
+    /// immutable, so clones share them through `Arc`); entries whose
+    /// materialization is still in flight in another thread are skipped.
+    fn clone(&self) -> Catalog {
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let map = shard.read().expect("catalog shard poisoned");
+                RwLock::new(
+                    map.iter()
+                        .filter(|(_, slot)| slot.get().is_some())
+                        .map(|(&k, slot)| (k, Arc::clone(slot)))
+                        .collect(),
+                )
+            })
+            .collect();
+        Catalog {
+            views: self.views.clone(),
+            by_name: self.by_name.clone(),
+            shards,
+        }
+    }
+}
+
+fn shard_index(key: (usize, usize)) -> usize {
+    // Fibonacci hashing of the combined key; documents and views are
+    // small dense indices, so this spreads consecutive ids well.
+    let combined = (key.0 as u64) << 32 | (key.1 as u64 & 0xffff_ffff);
+    (combined.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 48) as usize % CATALOG_SHARDS
 }
 
 impl Catalog {
@@ -289,42 +463,111 @@ impl Catalog {
         self.by_name.get(name).copied().map(ViewId)
     }
 
-    /// Number of extensions currently cached for `doc`.
+    /// Number of extensions currently cached (fully materialized) for
+    /// `doc`.
     pub fn cached_extensions(&self, doc: DocId) -> usize {
-        self.cache.keys().filter(|&&(d, _)| d == doc.0).count()
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .read()
+                    .expect("catalog shard poisoned")
+                    .iter()
+                    .filter(|(&(d, _), slot)| d == doc.0 && slot.get().is_some())
+                    .count()
+            })
+            .sum()
     }
 
     /// Drops every cached extension of `doc` (call after replacing the
-    /// document's content).
-    pub fn invalidate(&mut self, doc: DocId) {
-        self.cache.retain(|&(d, _), _| d != doc.0);
+    /// document's content). Returns how many materialized extensions were
+    /// evicted. Prefer [`Engine::invalidate`], which also resets the
+    /// document's [`DocStats`] counters.
+    pub fn invalidate(&mut self, doc: DocId) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.write().expect("catalog shard poisoned");
+            map.retain(|&(d, _), slot| {
+                if d == doc.0 {
+                    if slot.get().is_some() {
+                        evicted += 1;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        evicted
     }
 
     /// The memoized extension of view `view_idx` over `pdoc`; materializes
-    /// on first use. Returns the extension and whether it was a cache hit.
+    /// on first use. Returns the extension and whether it was a cache hit
+    /// (single-flight waiters count as hits — they did not materialize).
     fn extension(
-        &mut self,
+        &self,
         doc: usize,
         pdoc: &PDocument,
         view_idx: usize,
     ) -> (Arc<ProbExtension>, bool) {
-        if let Some(ext) = self.cache.get(&(doc, view_idx)) {
-            return (Arc::clone(ext), true);
+        let key = (doc, view_idx);
+        let shard = &self.shards[shard_index(key)];
+        let slot: ExtensionSlot = {
+            let map = shard.read().expect("catalog shard poisoned");
+            map.get(&key).cloned()
         }
-        let ext = Arc::new(ProbExtension::materialize(pdoc, &self.views[view_idx]));
-        self.cache.insert((doc, view_idx), Arc::clone(&ext));
-        (ext, false)
+        .unwrap_or_else(|| {
+            let mut map = shard.write().expect("catalog shard poisoned");
+            Arc::clone(map.entry(key).or_default())
+        });
+        // Single-flight: get_or_init runs the closure in exactly one
+        // thread; racing threads block here and share the result, so the
+        // same extension is never materialized twice.
+        let mut materialized = false;
+        let ext = slot.get_or_init(|| {
+            materialized = true;
+            Arc::new(ProbExtension::materialize(pdoc, &self.views[view_idx]))
+        });
+        (Arc::clone(ext), !materialized)
     }
 }
 
 /// The stateful query-answering engine (see the module docs for a tour).
-#[derive(Clone, Debug, Default)]
+///
+/// Registration (`add_document`, `register_view`, `replace_document`,
+/// `invalidate`) takes `&mut self`; every query path (`answer*`, `plan*`,
+/// `warm`) takes `&self` and is safe to call from many threads at once.
+#[derive(Debug, Default)]
 pub struct Engine {
     documents: Vec<PDocument>,
     doc_names: HashMap<String, usize>,
+    doc_stats: Vec<AtomicDocStats>,
     catalog: Catalog,
     options: QueryOptions,
-    stats: EngineStats,
+    stats: AtomicEngineStats,
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Engine {
+        Engine {
+            documents: self.documents.clone(),
+            doc_names: self.doc_names.clone(),
+            doc_stats: self
+                .doc_stats
+                .iter()
+                .map(|s| {
+                    let snap = s.snapshot();
+                    AtomicDocStats {
+                        materializations: AtomicU64::new(snap.materializations),
+                        cache_hits: AtomicU64::new(snap.cache_hits),
+                    }
+                })
+                .collect(),
+            catalog: self.catalog.clone(),
+            options: self.options.clone(),
+            stats: AtomicEngineStats::restore(self.stats.snapshot()),
+        }
+    }
 }
 
 impl Engine {
@@ -361,6 +604,7 @@ impl Engine {
         let id = DocId(self.documents.len());
         self.doc_names.insert(name, id.0);
         self.documents.push(pdoc);
+        self.doc_stats.push(AtomicDocStats::default());
         Ok(id)
     }
 
@@ -377,7 +621,7 @@ impl Engine {
     }
 
     /// Replaces a document's content and invalidates its cached
-    /// extensions.
+    /// extensions (resetting the document's [`DocStats`]).
     pub fn replace_document(&mut self, id: DocId, pdoc: PDocument) -> Result<(), EngineError> {
         pdoc.validate()
             .map_err(|e| EngineError::InvalidDocument(e.to_string()))?;
@@ -386,8 +630,24 @@ impl Engine {
             .get_mut(id.0)
             .ok_or(EngineError::UnknownDocument(id))?;
         *slot = pdoc;
-        self.catalog.invalidate(id);
+        self.invalidate(id)?;
         Ok(())
+    }
+
+    /// Drops every cached extension of `doc` and resets the document's
+    /// [`DocStats`] counters, so post-invalidation queries report
+    /// re-materializations rather than stale cache hits. Returns how many
+    /// materialized extensions were evicted.
+    pub fn invalidate(&mut self, doc: DocId) -> Result<usize, EngineError> {
+        if doc.0 >= self.documents.len() {
+            return Err(EngineError::UnknownDocument(doc));
+        }
+        let evicted = self.catalog.invalidate(doc);
+        self.doc_stats[doc.0].reset();
+        if evicted > 0 {
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(evicted)
     }
 
     /// Registers a view in the engine's catalog.
@@ -408,9 +668,19 @@ impl Engine {
         &self.catalog
     }
 
-    /// Lifetime counters.
+    /// Lifetime counters (a consistent-enough snapshot of the atomics;
+    /// exact once concurrent queries have quiesced).
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Current-generation cache counters for one document (reset by
+    /// [`Engine::invalidate`]).
+    pub fn doc_stats(&self, doc: DocId) -> Result<DocStats, EngineError> {
+        self.doc_stats
+            .get(doc.0)
+            .map(AtomicDocStats::snapshot)
+            .ok_or(EngineError::UnknownDocument(doc))
     }
 
     /// Plans `q` over the catalog with the engine's default options,
@@ -431,7 +701,7 @@ impl Engine {
 
     /// Eagerly materializes every registered view over `doc`; returns the
     /// number of extensions that were newly materialized.
-    pub fn warm(&mut self, doc: DocId) -> Result<usize, EngineError> {
+    pub fn warm(&self, doc: DocId) -> Result<usize, EngineError> {
         let pdoc = self
             .documents
             .get(doc.0)
@@ -441,23 +711,25 @@ impl Engine {
             let (_, hit) = self.catalog.extension(doc.0, pdoc, i);
             if !hit {
                 new += 1;
-                self.stats.materializations += 1;
+                self.stats.materializations.fetch_add(1, Ordering::Relaxed);
+                self.doc_stats[doc.0]
+                    .materializations
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
         Ok(new)
     }
 
     /// Answers `q` over `doc` with the engine's default options.
-    pub fn answer(&mut self, doc: DocId, q: &TreePattern) -> Result<Answer, EngineError> {
-        let options = self.options.clone();
-        self.answer_with(doc, q, &options)
+    pub fn answer(&self, doc: DocId, q: &TreePattern) -> Result<Answer, EngineError> {
+        self.answer_with(doc, q, &self.options)
     }
 
     /// Answers `q` over `doc`: plans over the catalog, materializes (or
     /// reuses) exactly the extensions the plan references, and evaluates
     /// touching only those extensions.
     pub fn answer_with(
-        &mut self,
+        &self,
         doc: DocId,
         q: &TreePattern,
         options: &QueryOptions,
@@ -510,13 +782,23 @@ impl Engine {
                 (exec.answers, exec.candidates)
             }
         };
-        self.stats.queries += 1;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
         match &plan {
-            Plan::Tp(_) => self.stats.plans_tp += 1,
-            Plan::Tpi(_) => self.stats.plans_tpi += 1,
-        }
-        self.stats.materializations += mats as u64;
-        self.stats.cache_hits += hits as u64;
+            Plan::Tp(_) => self.stats.plans_tp.fetch_add(1, Ordering::Relaxed),
+            Plan::Tpi(_) => self.stats.plans_tpi.fetch_add(1, Ordering::Relaxed),
+        };
+        self.stats
+            .materializations
+            .fetch_add(mats as u64, Ordering::Relaxed);
+        self.stats
+            .cache_hits
+            .fetch_add(hits as u64, Ordering::Relaxed);
+        self.doc_stats[doc.0]
+            .materializations
+            .fetch_add(mats as u64, Ordering::Relaxed);
+        self.doc_stats[doc.0]
+            .cache_hits
+            .fetch_add(hits as u64, Ordering::Relaxed);
         Ok(Answer {
             nodes,
             description: plan.describe(&self.catalog.views),
@@ -530,9 +812,80 @@ impl Engine {
         })
     }
 
+    /// Answers a batch of queries concurrently on a worker pool sized to
+    /// the available parallelism (capped by the batch length), with the
+    /// engine's default options. Results come back in input order and are
+    /// identical to answering each query sequentially — workers share the
+    /// sharded catalog, and single-flight materialization guarantees no
+    /// extension is built twice even when every query needs the same cold
+    /// view.
+    pub fn answer_batch(
+        &self,
+        queries: &[(DocId, TreePattern)],
+    ) -> Vec<Result<Answer, EngineError>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.answer_batch_with(queries, &self.options, threads)
+    }
+
+    /// [`Engine::answer_batch`] with explicit options and worker count.
+    /// `threads` is clamped to `1..=queries.len()`; with `threads == 1`
+    /// the batch runs inline on the calling thread.
+    pub fn answer_batch_with(
+        &self,
+        queries: &[(DocId, TreePattern)],
+        options: &QueryOptions,
+        threads: usize,
+    ) -> Vec<Result<Answer, EngineError>> {
+        let n = queries.len();
+        let threads = threads.clamp(1, n.max(1));
+        if n == 0 {
+            return Vec::new();
+        }
+        if threads == 1 {
+            return queries
+                .iter()
+                .map(|(doc, q)| self.answer_with(*doc, q, options))
+                .collect();
+        }
+        // Hand-rolled chunk-free dispatch: workers pull the next query
+        // index off a shared atomic cursor, so long queries never stall a
+        // statically-assigned chunk, and results are stitched back into
+        // input order at the end.
+        let cursor = AtomicUsize::new(0);
+        let mut out: Vec<Option<Result<Answer, EngineError>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let (doc, q) = &queries[i];
+                            local.push((i, self.answer_with(*doc, q, options)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (i, result) in worker.join().expect("batch worker panicked") {
+                    out[i] = Some(result);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every query index dispatched exactly once"))
+            .collect()
+    }
+
     /// Evaluates `q` directly over the original p-document (the baseline
     /// the rewriting avoids; touches no extension).
-    pub fn answer_direct(&mut self, doc: DocId, q: &TreePattern) -> Result<Answer, EngineError> {
+    pub fn answer_direct(&self, doc: DocId, q: &TreePattern) -> Result<Answer, EngineError> {
         self.documents
             .get(doc.0)
             .ok_or(EngineError::UnknownDocument(doc))?;
@@ -542,10 +895,10 @@ impl Engine {
     /// Shared direct-evaluation path (plain `answer_direct` and the
     /// `Fallback::Direct` branch of `answer_with`). The caller must have
     /// checked that `doc` exists.
-    fn direct_answer(&mut self, doc: DocId, q: &TreePattern, description: String) -> Answer {
+    fn direct_answer(&self, doc: DocId, q: &TreePattern, description: String) -> Answer {
         let nodes = pxv_peval::eval_tp(&self.documents[doc.0], q);
-        self.stats.queries += 1;
-        self.stats.direct += 1;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.direct.fetch_add(1, Ordering::Relaxed);
         Answer {
             stats: QueryStats {
                 candidates: nodes.len(),
@@ -564,6 +917,16 @@ mod tests {
     use pxv_pxml::examples_paper::fig2_pper;
     use pxv_pxml::text::parse_pdocument;
     use pxv_tpq::parse::parse_pattern;
+
+    // The whole point of the sharded catalog + atomic stats: an Engine is
+    // shareable across threads.
+    const _: fn() = || {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Catalog>();
+        assert_send_sync::<Answer>();
+        assert_send_sync::<EngineError>();
+    };
 
     fn p(s: &str) -> TreePattern {
         parse_pattern(s).unwrap()
@@ -601,6 +964,14 @@ mod tests {
             e.answer(bogus, &p("a")).err(),
             Some(EngineError::UnknownDocument(_))
         ));
+        assert!(matches!(
+            e.invalidate(bogus).err(),
+            Some(EngineError::UnknownDocument(_))
+        ));
+        assert!(matches!(
+            e.doc_stats(bogus).err(),
+            Some(EngineError::UnknownDocument(_))
+        ));
         // A mux with mass > 1 fails validation.
         let mut bad = PDocument::new(pxv_pxml::Label::new("a"));
         let m = bad.add_dist(bad.root(), pxv_pxml::PKind::Mux, 1.0);
@@ -614,7 +985,7 @@ mod tests {
 
     #[test]
     fn warm_then_all_hits() {
-        let (mut e, doc) = bonus_engine();
+        let (e, doc) = bonus_engine();
         assert_eq!(e.warm(doc).unwrap(), 2);
         assert_eq!(e.warm(doc).unwrap(), 0, "second warm is a no-op");
         let a = e
@@ -623,6 +994,9 @@ mod tests {
         assert_eq!(a.stats.materializations, 0);
         assert_eq!(a.stats.cache_hits, a.stats.extensions_touched);
         assert_eq!(e.catalog().cached_extensions(doc), 2);
+        let ds = e.doc_stats(doc).unwrap();
+        assert_eq!(ds.materializations, 2);
+        assert_eq!(ds.cache_hits, 1);
     }
 
     #[test]
@@ -660,6 +1034,7 @@ mod tests {
         let a2 = e.answer(doc, &q).unwrap();
         assert_eq!(a2.stats.materializations, 1, "cache was invalidated");
         assert_eq!(a2.nodes.len(), 1);
+        assert_eq!(e.stats().invalidations, 1);
     }
 
     #[test]
@@ -680,5 +1055,61 @@ mod tests {
         assert_eq!(a2.stats.materializations, 1);
         assert_eq!(a2.nodes.len(), 2);
         assert_eq!(a1.nodes.len(), 1);
+    }
+
+    #[test]
+    fn batch_matches_sequential_on_empty_and_small_inputs() {
+        let (e, doc) = bonus_engine();
+        assert!(e.answer_batch(&[]).is_empty());
+        let q = p("IT-personnel//person/bonus[laptop]");
+        let batch = vec![(doc, q.clone()); 5];
+        for threads in [1, 2, 4, 8] {
+            let fresh = e.clone();
+            let results = fresh.answer_batch_with(&batch, fresh.options(), threads);
+            let sequential = e.clone();
+            let want: Vec<_> = batch
+                .iter()
+                .map(|(d, q)| sequential.answer(*d, q).unwrap())
+                .collect();
+            for (got, want) in results.iter().zip(&want) {
+                let got = got.as_ref().expect("batch answer");
+                assert_eq!(got.nodes, want.nodes, "threads={threads}");
+                assert_eq!(got.description, want.description);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors() {
+        let (e, doc) = bonus_engine();
+        let batch = vec![
+            (doc, p("IT-personnel//person/bonus[laptop]")),
+            (DocId(42), p("a")),                    // unknown document
+            (doc, p("unrelated//query")),           // no rewriting, Forbid
+            (doc, p("IT-personnel//person/bonus")), // identity rewriting
+        ];
+        let results = e.answer_batch_with(&batch, e.options(), 4);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(EngineError::UnknownDocument(_))));
+        assert!(matches!(results[2], Err(EngineError::Plan(_))));
+        assert!(results[3].is_ok());
+    }
+
+    #[test]
+    fn concurrent_cold_batch_single_flight() {
+        // Many threads race for the same cold extension: exactly one
+        // materialization may happen (single-flight), everyone shares it.
+        let (e, doc) = bonus_engine();
+        let q = p("IT-personnel//person/bonus[laptop]");
+        let batch: Vec<_> = (0..32).map(|_| (doc, q.clone())).collect();
+        let results = e.answer_batch_with(&batch, e.options(), 8);
+        let total_mats: usize = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().stats.materializations)
+            .sum();
+        assert_eq!(total_mats, 1, "exactly one query materialized");
+        assert_eq!(e.stats().materializations, 1, "no duplicate work");
+        assert_eq!(e.stats().cache_hits, 31);
+        assert_eq!(e.catalog().cached_extensions(doc), 1);
     }
 }

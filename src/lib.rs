@@ -5,8 +5,12 @@
 //! (layer diagram: pxml → tpq → peval → rewrite → engine).
 //!
 //! The primary entry point is the stateful [`engine::Engine`], which owns
-//! a catalog of views and answers queries from lazily-materialized,
-//! memoized view extensions:
+//! a catalog of views and answers queries — one at a time or in
+//! concurrent batches ([`engine::Engine::answer_batch`]) — from
+//! lazily-materialized, memoized view extensions. The extension cache is
+//! sharded with single-flight materialization, so parallel queries share
+//! work instead of serializing on it; node labels are interned
+//! [`pxml::Symbol`]s, so all structural matching compares `u32`s:
 //!
 //! ```
 //! use prxview::engine::Engine;

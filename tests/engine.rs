@@ -187,6 +187,44 @@ fn random_engine_answers_agree_with_direct() {
     );
 }
 
+/// Satellite regression: invalidation evicts the document's extensions
+/// *and* resets its cache counters, so the next query reports a
+/// re-materialization — never a stale cache hit.
+#[test]
+fn invalidation_resets_stats_and_forces_rematerialization() {
+    let (pdoc, _) = personnel(10, 2, 3);
+    let mut engine = Engine::new();
+    let doc = engine.add_document("personnel", pdoc.clone()).unwrap();
+    engine
+        .register_view(View::new("bonuses", p("IT-personnel//person/bonus")))
+        .unwrap();
+    let q = p("IT-personnel//person/bonus[laptop]");
+    engine.answer(doc, &q).unwrap();
+    engine.answer(doc, &q).unwrap();
+    let before = engine.doc_stats(doc).unwrap();
+    assert_eq!(before.materializations, 1);
+    assert_eq!(before.cache_hits, 1);
+
+    let evicted = engine.invalidate(doc).unwrap();
+    assert_eq!(evicted, 1, "one cached extension evicted");
+    assert_eq!(engine.catalog().cached_extensions(doc), 0);
+    let reset = engine.doc_stats(doc).unwrap();
+    assert_eq!(reset, Default::default(), "doc counters reset");
+
+    // The regression: post-invalidation queries must re-materialize.
+    let after = engine.answer(doc, &q).unwrap();
+    assert_eq!(after.stats.materializations, 1, "re-materialized");
+    assert_eq!(after.stats.cache_hits, 0, "not a stale cache hit");
+    assert_eq!(engine.doc_stats(doc).unwrap().materializations, 1);
+    assert_eq!(engine.stats().invalidations, 1);
+
+    // Invalidating an empty cache is a no-op that does not count.
+    let mut empty = Engine::new();
+    let d = empty.add_document("p", pdoc).unwrap();
+    assert_eq!(empty.invalidate(d).unwrap(), 0);
+    assert_eq!(empty.stats().invalidations, 0);
+}
+
 /// Random documents keyed independently in one shared engine: answers on
 /// one document are unaffected by cache entries of another.
 #[test]

@@ -7,7 +7,10 @@
 //!   identity;
 //! * whenever TPrewrite accepts, `fr` equals direct evaluation;
 //! * whenever `S(q,V)` solves, its `fr` equals direct evaluation;
-//! * TP∩ evaluation agrees with the union of interleavings.
+//! * TP∩ evaluation agrees with the union of interleavings;
+//! * containment is reflexive and transitive;
+//! * `tpq::intersect` is commutative up to canonical form;
+//! * symbol interning round-trips (`intern(resolve(s)) == s`).
 
 use proptest::prelude::*;
 use prxview::pxml::{Label, NodeId, PDocument, PKind};
@@ -234,6 +237,68 @@ proptest! {
                     "marginal {} vs estimate {}", exact, est);
             }
         }
+    }
+
+    /// Containment is reflexive and transitive on generated patterns.
+    #[test]
+    fn containment_reflexive_and_transitive(s1 in pattern_spec(), s2 in pattern_spec(), s3 in pattern_spec()) {
+        let a = build_pattern(&s1);
+        let b = build_pattern(&s2);
+        let c = build_pattern(&s3);
+        prop_assert!(prxview::tpq::contained_in(&a, &a), "reflexivity: {}", a);
+        if prxview::tpq::contained_in(&a, &b) && prxview::tpq::contained_in(&b, &c) {
+            prop_assert!(
+                prxview::tpq::contained_in(&a, &c),
+                "transitivity: {} ⊑ {} ⊑ {}", a, b, c
+            );
+        }
+    }
+
+    /// `tpq::intersect` is commutative up to canonical form: the
+    /// interleaving sets of q1 ∩ q2 and q2 ∩ q1 coincide as canonical-key
+    /// sets, and when the intersection collapses to a single TP, the two
+    /// orders produce equivalent patterns.
+    #[test]
+    fn intersection_commutative_up_to_canonical_form(s1 in pattern_spec(), s2 in pattern_spec()) {
+        let q1 = build_pattern(&s1);
+        let q2 = build_pattern(&s2);
+        prop_assume!(q1.mb_len() + q2.mb_len() <= 8);
+        let i12 = prxview::tpq::TpIntersection::new(vec![q1.clone(), q2.clone()]);
+        let i21 = prxview::tpq::TpIntersection::new(vec![q2.clone(), q1.clone()]);
+        if let (Some(a), Some(b)) = (i12.interleavings(400), i21.interleavings(400)) {
+            let mut ka: Vec<String> = a.iter().map(|p| p.canonical_key()).collect();
+            let mut kb: Vec<String> = b.iter().map(|p| p.canonical_key()).collect();
+            ka.sort();
+            ka.dedup();
+            kb.sort();
+            kb.dedup();
+            prop_assert_eq!(ka, kb, "{} ∩ {}", q1, q2);
+        }
+        let t12 = prxview::tpq::intersect::intersect_to_tp(&q1, &q2, 400);
+        let t21 = prxview::tpq::intersect::intersect_to_tp(&q2, &q1, 400);
+        if let (Some(a), Some(b)) = (t12, t21) {
+            prop_assert!(
+                prxview::tpq::equivalent(&a, &b),
+                "{} ∩ {}: {} vs {}", q1, q2, a, b
+            );
+        }
+    }
+
+    /// Interning round-trips: `intern(resolve(s)) == s` and
+    /// `resolve(intern(name)) == name`.
+    #[test]
+    fn interning_round_trips(parts in prop::collection::vec(0..LABELS.len(), 1..5), salt in any::<u64>()) {
+        use prxview::pxml::Symbol;
+        let name = format!(
+            "prop-{}-{}",
+            parts.iter().map(|&i| LABELS[i]).collect::<Vec<_>>().join("_"),
+            salt % 997
+        );
+        let s = Symbol::intern(&name);
+        prop_assert_eq!(s.resolve(), name.as_str());
+        prop_assert_eq!(Symbol::intern(s.resolve()), s);
+        // And through the Label alias used by documents and patterns.
+        prop_assert_eq!(Label::new(&name), s);
     }
 
     /// When S(q,V) solves for a view family, its fr equals direct
