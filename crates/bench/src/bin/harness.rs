@@ -1,6 +1,6 @@
 //! The experiment harness: regenerates every figure/example of the paper
 //! (E1–E12) and prints paper-value vs. measured-value tables, plus compact
-//! versions of the scaling experiments (B1–B9; full statistics via
+//! versions of the scaling experiments (B1–B10; full statistics via
 //! `cargo bench`). Output is recorded in EXPERIMENTS.md.
 //!
 //! ```sh
@@ -419,7 +419,7 @@ fn fmt_ms(d: std::time::Duration) -> String {
 }
 
 fn b_compact() {
-    println!("\n== B1–B7 compact scaling runs (full statistics: cargo bench) ==");
+    println!("\n== B1–B10 compact scaling runs (full statistics: cargo bench) ==");
 
     // B1: c-independence PTime shape.
     println!("\n[B1] c-independence test vs pattern size (Prop. 2):");
@@ -634,6 +634,83 @@ fn b_compact() {
                 batch.len() as f64 / dt.as_secs_f64()
             );
         }
+    }
+
+    // B10: the TCP serving layer (tentpole of the prxd PR). A warm
+    // engine behind a loopback server; closed-loop clients split a fixed
+    // request budget across 1/2/4/8 connections. Answers must be
+    // bit-identical to in-process `Engine::answer` and protocol-error
+    // free; the speedup column shows how much concurrency the host gives
+    // (connection scaling is core-bound for this CPU-heavy mix — on a
+    // single-core container it reports ~1×; `prxload` measures the same
+    // against a standalone server).
+    println!("\n[B10] TCP serving layer (loopback, warm engine, closed-loop clients):");
+    {
+        use prxview::engine::Engine;
+        use pxv_server::client::Client;
+        use pxv_server::serve::{serve, ServerConfig};
+        let (pdoc, _) = personnel(25, 3, 9);
+        let mut engine = Engine::new();
+        let doc = engine.add_document("p", pdoc).unwrap();
+        engine.register_views([v1bon(), v2bon()]).unwrap();
+        engine.warm(doc).unwrap();
+        let mix: Vec<String> = batch_queries(5).iter().map(|q| q.to_string()).collect();
+        let expected: Vec<_> = batch_queries(5)
+            .iter()
+            .map(|q| engine.answer(doc, q).unwrap().nodes)
+            .collect();
+        let handle = serve(
+            engine,
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 8,
+                max_connections: 64,
+            },
+        )
+        .expect("bind loopback");
+        let addr = handle.addr();
+        const TOTAL_REQUESTS: usize = 200;
+        let mut single_qps = 0.0;
+        for conns in [1usize, 2, 4, 8] {
+            let per_conn = TOTAL_REQUESTS / conns;
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for c in 0..conns {
+                    let mix = &mix;
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        for r in 0..per_conn {
+                            let i = (c + r) % mix.len();
+                            let answer = client.query_text("p", &mix[i]).expect("answer");
+                            assert_eq!(
+                                answer.nodes, expected[i],
+                                "wire answers must be bit-identical to Engine::answer"
+                            );
+                        }
+                        let _ = client.quit();
+                    });
+                }
+            });
+            let dt = t0.elapsed();
+            let qps = (conns * per_conn) as f64 / dt.as_secs_f64();
+            if conns == 1 {
+                single_qps = qps;
+            }
+            println!(
+                "  connections={conns}: {:>12}  ({:>8.0} q/s aggregate, {:.2}× vs 1 conn)",
+                fmt_ms(dt),
+                qps,
+                qps / single_qps
+            );
+        }
+        let stats = handle.stats();
+        println!(
+            "  server: {} request(s), {} error(s), p50 {} µs, p99 {} µs",
+            stats.requests, stats.errors, stats.p50_us, stats.p99_us
+        );
+        assert_eq!(stats.errors, 0, "B10 burst must be protocol-error free");
+        handle.shutdown();
     }
 }
 

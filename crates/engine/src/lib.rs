@@ -1,7 +1,8 @@
 //! The stateful query-answering engine: a [`Catalog`] of registered views
 //! with lazily-materialized, memoized extensions, and an [`Engine`] that
 //! answers queries touching only those extensions — sequentially or in
-//! concurrent batches.
+//! concurrent batches. (Re-exported as `prxview::engine`; the TCP serving
+//! layer in `pxv-server` wraps one shared `Engine` behind a socket.)
 //!
 //! This is the session-style surface of the library — the paper's
 //! scenario (§1, §7) is a warehouse that materializes view extensions
@@ -11,10 +12,10 @@
 //! amortizes it across queries:
 //!
 //! ```
-//! use prxview::engine::{Engine, QueryOptions};
-//! use prxview::pxml::text::parse_pdocument;
-//! use prxview::rewrite::View;
-//! use prxview::tpq::parse::parse_pattern;
+//! use pxv_engine::{Engine, QueryOptions};
+//! use pxv_pxml::text::parse_pdocument;
+//! use pxv_rewrite::View;
+//! use pxv_tpq::parse::parse_pattern;
 //!
 //! let mut engine = Engine::new();
 //! let doc = engine
@@ -50,10 +51,10 @@
 //! concurrent workloads never duplicate materialization work:
 //!
 //! ```
-//! use prxview::engine::Engine;
-//! use prxview::pxml::generators::personnel;
-//! use prxview::rewrite::View;
-//! use prxview::tpq::parse::parse_pattern;
+//! use pxv_engine::Engine;
+//! use pxv_pxml::generators::personnel;
+//! use pxv_rewrite::View;
+//! use pxv_tpq::parse::parse_pattern;
 //!
 //! let mut engine = Engine::new();
 //! let (pdoc, _) = personnel(10, 2, 7);
@@ -71,12 +72,43 @@
 //! // Single-flight: 16 concurrent queries, one materialization.
 //! assert_eq!(engine.stats().materializations, 1);
 //! ```
+//!
+//! # Plan caching
+//!
+//! Planning is stateless over the registered views, so the engine caches
+//! plans keyed by the query's canonical structural form
+//! ([`pxv_tpq::TreePattern::canonical_key`]), the planning options, and
+//! the *catalog epoch* — a counter bumped by [`Engine::register_view`]
+//! and [`Engine::invalidate`], which also clear the cache. Two
+//! structurally-equal queries plan once; hit/miss counters live in
+//! [`EngineStats`]:
+//!
+//! ```
+//! use pxv_engine::Engine;
+//! use pxv_rewrite::View;
+//! use pxv_tpq::parse::parse_pattern;
+//!
+//! let mut engine = Engine::new();
+//! let doc = engine
+//!     .add_document("d", pxv_pxml::text::parse_pdocument("a[b[c]]").unwrap())
+//!     .unwrap();
+//! engine.register_view(View::new("bs", parse_pattern("a/b").unwrap())).unwrap();
+//! let q = parse_pattern("a/b[c]").unwrap();
+//! engine.answer(doc, &q).unwrap();
+//! engine.answer(doc, &q).unwrap();
+//! assert_eq!(engine.stats().plan_cache_misses, 1); // planned once
+//! assert_eq!(engine.stats().plan_cache_hits, 1);   // reused once
+//! ```
+
+#![warn(missing_docs)]
 
 use pxv_pxml::{NodeId, PDocument};
 use pxv_rewrite::answer::{execute_tpi, plan_checked};
 use pxv_rewrite::fr_tp::answer_tp;
 use pxv_rewrite::view::ProbExtension;
-use pxv_rewrite::View;
+// Re-exported so downstream layers (e.g. the TCP server) can register
+// views without depending on `pxv-rewrite` directly.
+pub use pxv_rewrite::View;
 use pxv_tpq::TreePattern;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -159,7 +191,7 @@ pub enum Fallback {
 /// Per-query knobs, built fluently:
 ///
 /// ```
-/// use prxview::engine::{Fallback, PlanPreference, QueryOptions};
+/// use pxv_engine::{Fallback, PlanPreference, QueryOptions};
 /// let opts = QueryOptions::new()
 ///     .interleaving_limit(50_000)
 ///     .plan_preference(PlanPreference::PreferTpi)
@@ -283,6 +315,11 @@ pub struct EngineStats {
     /// Cache invalidations ([`Engine::invalidate`] /
     /// [`Engine::replace_document`]) that evicted at least one extension.
     pub invalidations: u64,
+    /// Plans (or typed plan failures) served from the plan cache.
+    pub plan_cache_hits: u64,
+    /// Queries whose plan had to be computed (first sighting of a
+    /// canonical query under the current catalog epoch and options).
+    pub plan_cache_misses: u64,
 }
 
 /// Per-document cache counters. Unlike [`EngineStats`] these describe the
@@ -309,6 +346,8 @@ struct AtomicEngineStats {
     materializations: AtomicU64,
     cache_hits: AtomicU64,
     invalidations: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
 }
 
 impl AtomicEngineStats {
@@ -321,6 +360,8 @@ impl AtomicEngineStats {
             materializations: self.materializations.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -333,6 +374,8 @@ impl AtomicEngineStats {
             materializations: AtomicU64::new(snapshot.materializations),
             cache_hits: AtomicU64::new(snapshot.cache_hits),
             invalidations: AtomicU64::new(snapshot.invalidations),
+            plan_cache_hits: AtomicU64::new(snapshot.plan_cache_hits),
+            plan_cache_misses: AtomicU64::new(snapshot.plan_cache_misses),
         }
     }
 }
@@ -532,6 +575,46 @@ impl Catalog {
     }
 }
 
+/// Key of one plan-cache entry: the canonical structural form of the
+/// query plus every planning knob the plan depends on. The catalog epoch
+/// is part of the key so an entry can never outlive the view set it was
+/// planned against (the cache is also cleared whenever the epoch bumps).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct PlanKey {
+    query: String,
+    epoch: u64,
+    interleaving_limit: usize,
+    preference: u8,
+}
+
+impl PlanKey {
+    fn new(q: &TreePattern, epoch: u64, options: &QueryOptions) -> PlanKey {
+        PlanKey {
+            query: q.canonical_key(),
+            epoch,
+            interleaving_limit: options.interleaving_limit,
+            // PlanPreference has no Hash impl; a stable discriminant does.
+            preference: match options.preference {
+                PlanPreference::PreferTp => 0,
+                PlanPreference::PreferTpi => 1,
+                PlanPreference::TpOnly => 2,
+                PlanPreference::TpiOnly => 3,
+            },
+        }
+    }
+}
+
+/// Memoized planner outcomes — negative results are cached too, so a
+/// hot unanswerable query does not re-run TPIrewrite on every arrival.
+type PlanCache = RwLock<HashMap<PlanKey, Arc<Result<Plan, PlanError>>>>;
+
+/// Upper bound on cached plans. Keys are client-controlled (every
+/// distinct canonical query × options is one entry), so a serving
+/// deployment streaming unique queries must not grow the map without
+/// limit; at the cap the whole cache is flushed (simple, deterministic,
+/// and epoch bumps flush it anyway).
+pub const PLAN_CACHE_CAPACITY: usize = 4096;
+
 /// The stateful query-answering engine (see the module docs for a tour).
 ///
 /// Registration (`add_document`, `register_view`, `replace_document`,
@@ -545,6 +628,8 @@ pub struct Engine {
     catalog: Catalog,
     options: QueryOptions,
     stats: AtomicEngineStats,
+    plan_cache: PlanCache,
+    catalog_epoch: u64,
 }
 
 impl Clone for Engine {
@@ -566,6 +651,8 @@ impl Clone for Engine {
             catalog: self.catalog.clone(),
             options: self.options.clone(),
             stats: AtomicEngineStats::restore(self.stats.snapshot()),
+            plan_cache: RwLock::new(self.plan_cache.read().expect("plan cache poisoned").clone()),
+            catalog_epoch: self.catalog_epoch,
         }
     }
 }
@@ -620,6 +707,11 @@ impl Engine {
         self.doc_names.get(name).copied().map(DocId)
     }
 
+    /// Number of registered documents.
+    pub fn document_count(&self) -> usize {
+        self.documents.len()
+    }
+
     /// Replaces a document's content and invalidates its cached
     /// extensions (resetting the document's [`DocStats`]).
     pub fn replace_document(&mut self, id: DocId, pdoc: PDocument) -> Result<(), EngineError> {
@@ -647,12 +739,35 @@ impl Engine {
         if evicted > 0 {
             self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
         }
+        self.bump_epoch();
         Ok(evicted)
     }
 
-    /// Registers a view in the engine's catalog.
+    /// Registers a view in the engine's catalog. Bumps the catalog epoch:
+    /// cached plans were computed against the old view set and are
+    /// discarded.
     pub fn register_view(&mut self, view: View) -> Result<ViewId, EngineError> {
-        self.catalog.register(view)
+        let id = self.catalog.register(view)?;
+        self.bump_epoch();
+        Ok(id)
+    }
+
+    /// Advances the catalog epoch and drops every cached plan (they are
+    /// keyed by the old epoch and could never be read again anyway).
+    fn bump_epoch(&mut self) {
+        self.catalog_epoch += 1;
+        self.plan_cache
+            .get_mut()
+            .expect("plan cache poisoned")
+            .clear();
+    }
+
+    /// The current catalog epoch: bumped by [`Engine::register_view`] and
+    /// [`Engine::invalidate`] (and therefore by
+    /// [`Engine::replace_document`]). Plan-cache entries are scoped to one
+    /// epoch.
+    pub fn catalog_epoch(&self) -> u64 {
+        self.catalog_epoch
     }
 
     /// Registers several views, stopping at the first error.
@@ -689,14 +804,42 @@ impl Engine {
         self.plan_with(q, &self.options)
     }
 
-    /// Plans `q` with explicit options.
+    /// Plans `q` with explicit options (through the plan cache).
     pub fn plan_with(&self, q: &TreePattern, options: &QueryOptions) -> Result<Plan, EngineError> {
-        Ok(plan_checked(
+        match &*self.cached_plan(q, options) {
+            Ok(plan) => Ok(plan.clone()),
+            Err(e) => Err(EngineError::Plan(e.clone())),
+        }
+    }
+
+    /// The memoized planner outcome for `q` under `options` and the
+    /// current catalog epoch. On a miss the plan is computed and the
+    /// first-inserted entry wins, so racing threads observe one canonical
+    /// outcome per key.
+    fn cached_plan(&self, q: &TreePattern, options: &QueryOptions) -> Arc<Result<Plan, PlanError>> {
+        let key = PlanKey::new(q, self.catalog_epoch, options);
+        if let Some(hit) = self
+            .plan_cache
+            .read()
+            .expect("plan cache poisoned")
+            .get(&key)
+            .cloned()
+        {
+            self.stats.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.stats.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        let planned = Arc::new(plan_checked(
             q,
             &self.catalog.views,
             options.interleaving_limit,
             options.preference,
-        )?)
+        ));
+        let mut map = self.plan_cache.write().expect("plan cache poisoned");
+        if map.len() >= PLAN_CACHE_CAPACITY && !map.contains_key(&key) {
+            map.clear();
+        }
+        Arc::clone(map.entry(key).or_insert(planned))
     }
 
     /// Eagerly materializes every registered view over `doc`; returns the
@@ -738,16 +881,11 @@ impl Engine {
             .documents
             .get(doc.0)
             .ok_or(EngineError::UnknownDocument(doc))?;
-        let plan = match plan_checked(
-            q,
-            &self.catalog.views,
-            options.interleaving_limit,
-            options.preference,
-        ) {
-            Ok(plan) => plan,
+        let plan = match &*self.cached_plan(q, options) {
+            Ok(plan) => plan.clone(),
             Err(e) => {
                 return match options.fallback {
-                    Fallback::Forbid => Err(EngineError::Plan(e)),
+                    Fallback::Forbid => Err(EngineError::Plan(e.clone())),
                     Fallback::Direct => Ok(self.direct_answer(
                         doc,
                         q,

@@ -29,12 +29,45 @@
 use pxv_pxml::{Document, Label, NodeId, PDocument, PKind};
 use pxv_tpq::pattern::{Axis, QNodeId, TreePattern};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Joint event state: bit `2j` = `A(x_j)`, bit `2j+1` = `B(x_j)` over
 /// global query-node indices `j`.
 type State = u128;
-/// Sparse distribution over states.
-type Dist = HashMap<State, f64>;
+
+/// Deterministic hasher for [`Dist`] keys. Float accumulation in this
+/// module iterates `Dist` maps (OR-convolution, mixing), so iteration
+/// order — and with it the ULP rounding of the sums — must not vary
+/// between map instances. The std `RandomState` seeds every map
+/// differently, which made two evaluations of the same query differ in
+/// the last bits; the serving layer's bit-identical answers forbid that.
+#[derive(Default)]
+struct StateHasher(u64);
+
+impl Hasher for StateHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        // Fibonacci-style mix of both halves; states are sparse bitmasks,
+        // so the multiply spreads low-bit patterns across the table.
+        for half in [v as u64, (v >> 64) as u64] {
+            self.0 = (self.0 ^ half).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            self.0 ^= self.0 >> 32;
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Sparse distribution over states (deterministic iteration order given
+/// the same insertion history — see [`StateHasher`]).
+type Dist = HashMap<State, f64, BuildHasherDefault<StateHasher>>;
 
 /// A conjunction of Boolean patterns, with precomputed global bit indices.
 struct Conjunction<'a> {
@@ -90,7 +123,7 @@ fn or_convolve(d1: &Dist, d2: &Dist) -> Dist {
             }
         }
     }
-    let mut out = Dist::with_capacity(d1.len() * d2.len());
+    let mut out = dist_with_capacity(d1.len() * d2.len());
     for (&s1, &p1) in d1 {
         for (&s2, &p2) in d2 {
             *out.entry(s1 | s2).or_insert(0.0) += p1 * p2;
@@ -99,15 +132,20 @@ fn or_convolve(d1: &Dist, d2: &Dist) -> Dist {
     out
 }
 
+/// A `Dist` with capacity `n` and the deterministic hasher.
+fn dist_with_capacity(n: usize) -> Dist {
+    Dist::with_capacity_and_hasher(n, Default::default())
+}
+
 fn delta_zero() -> Dist {
-    let mut d = Dist::with_capacity(1);
+    let mut d = dist_with_capacity(1);
     d.insert(0, 1.0);
     d
 }
 
 /// Mixes `d` with the empty distribution: kept with probability `p`.
 fn keep_with(d: Dist, p: f64) -> Dist {
-    let mut out = Dist::with_capacity(d.len() + 1);
+    let mut out = dist_with_capacity(d.len() + 1);
     for (s, q) in d {
         *out.entry(s).or_insert(0.0) += p * q;
     }
@@ -121,7 +159,7 @@ fn message(pdoc: &PDocument, conj: &Conjunction<'_>, n: NodeId) -> Dist {
     match pdoc.kind(n) {
         PKind::Ordinary(label) => ordinary_message(pdoc, conj, n, *label),
         PKind::Mux => {
-            let mut out = Dist::new();
+            let mut out = Dist::default();
             let mut mass = 0.0;
             for &c in pdoc.children(n) {
                 let p = pdoc.child_prob(n, c);
@@ -153,7 +191,7 @@ fn message(pdoc: &PDocument, conj: &Conjunction<'_>, n: NodeId) -> Dist {
         PKind::Exp(dist) => {
             let kids = pdoc.children(n).to_vec();
             let msgs: Vec<Dist> = kids.iter().map(|&c| message(pdoc, conj, c)).collect();
-            let mut out = Dist::new();
+            let mut out = Dist::default();
             for &(mask, pm) in dist {
                 let mut acc = delta_zero();
                 for (i, msg) in msgs.iter().enumerate() {
@@ -178,7 +216,7 @@ fn ordinary_message(pdoc: &PDocument, conj: &Conjunction<'_>, v: NodeId, label: 
         children_dist = or_convolve(&children_dist, &msg);
     }
     // For each aggregated child state, compute this node's (A, B) state.
-    let mut out = Dist::with_capacity(children_dist.len());
+    let mut out = dist_with_capacity(children_dist.len());
     for (s, p) in children_dist {
         let mut ns: State = 0;
         for (g, &(pi, x)) in conj.nodes.iter().enumerate() {

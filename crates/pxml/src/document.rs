@@ -269,7 +269,7 @@ impl fmt::Display for Document {
     /// Compact textual form `label#id[child, child]`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn rec(d: &Document, n: NodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "{}#{}", d.label(n), n.0)?;
+            write!(f, "{}#{}", crate::text::quote_label(d.label(n).name()), n.0)?;
             let kids = d.children(n);
             if !kids.is_empty() {
                 f.write_str("[")?;

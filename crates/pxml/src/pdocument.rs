@@ -453,7 +453,7 @@ impl fmt::Display for PDocument {
             let kids = d.children(n);
             match d.kind(n) {
                 PKind::Ordinary(l) => {
-                    write!(f, "{}#{}", l, n.0)?;
+                    write!(f, "{}#{}", crate::text::quote_label(l.name()), n.0)?;
                     if !kids.is_empty() {
                         f.write_str("[")?;
                         for (i, &c) in kids.iter().enumerate() {

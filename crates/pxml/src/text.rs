@@ -32,6 +32,30 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Renders a label name in its parseable lexical form: bare when it is a
+/// plain identifier token, single-quoted otherwise. Shared by every
+/// `Display` impl whose output must re-parse (document/p-document text
+/// here, tree patterns in `pxv-tpq`) — the round trip is load-bearing for
+/// the wire protocol. A trailing `.` is quoted because the pattern lexer
+/// would split `a./b` as `a` + `./b`, and a leading `.` because a
+/// predicate's optional `[.//x]` dot would swallow it. Labels containing
+/// a single quote have no written form in this grammar and cannot
+/// round-trip; labels containing a newline round-trip here but cannot
+/// travel over the line-framed wire protocol (the client refuses them).
+pub fn quote_label(name: &str) -> std::borrow::Cow<'_, str> {
+    let bare = !name.is_empty()
+        && !name.ends_with('.')
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.'));
+    if bare {
+        std::borrow::Cow::Borrowed(name)
+    } else {
+        std::borrow::Cow::Owned(format!("'{name}'"))
+    }
+}
+
 struct Cursor<'a> {
     src: &'a [u8],
     pos: usize,

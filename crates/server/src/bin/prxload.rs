@@ -1,0 +1,189 @@
+//! `prxload` — closed-loop load generator for a running `prxd` server.
+//!
+//! ```text
+//! prxload [--addr HOST:PORT] [--connections N] [--requests N]
+//!         [--persons N] [--no-setup] [--quiet]
+//! ```
+//!
+//! Unless `--no-setup` is given, it first provisions the B10 workload on
+//! the server over the wire: a generated `personnel` p-document (seeded,
+//! so every run and every in-process benchmark sees the same data), the
+//! paper's `v1BON`/`v2BON` views, and a `WARM` pass. It then opens
+//! `--connections` parallel clients, each issuing `--requests` `QUERY`s
+//! round-robin over the bonus-query mix (the same mix as the harness's
+//! batch experiments), and reports aggregate throughput, per-connection
+//! latency, and the server's protocol-error count. Exit code is non-zero
+//! if any request failed — the CI smoke job asserts a zero-error burst.
+
+use pxv_server::client::Client;
+use std::time::Instant;
+
+/// Document name used by the generated workload.
+const DOC: &str = "b10";
+
+/// The B10 query mix (mirrors `pxv_bench::batch_queries`; duplicated here
+/// because depending on the bench crate would cycle the crate graph).
+const QUERIES: [&str; 5] = [
+    "IT-personnel//person/bonus[laptop]",
+    "IT-personnel//person/bonus[pda]",
+    "IT-personnel//person/bonus[tablet]",
+    "IT-personnel//person/bonus",
+    "IT-personnel//person[name/Rick]/bonus[laptop]",
+];
+
+struct Args {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    persons: usize,
+    setup: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        connections: 8,
+        requests: 200,
+        persons: 100,
+        setup: true,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().ok_or(format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--connections" | "-c" => {
+                args.connections = value(&flag)?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--requests" | "-n" => {
+                args.requests = value(&flag)?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--persons" => {
+                args.persons = value(&flag)?.parse().map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--no-setup" => args.setup = false,
+            "--quiet" => args.quiet = true,
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}`\nusage: prxload [--addr HOST:PORT] [-c N] [-n N] \
+                     [--persons N] [--no-setup] [--quiet]"
+                ))
+            }
+        }
+    }
+    if args.connections == 0 || args.requests == 0 {
+        return Err("connections and requests must be positive".into());
+    }
+    Ok(args)
+}
+
+/// Provisions the workload over the wire: LOAD + views + WARM.
+fn setup(args: &Args) -> Result<(), String> {
+    let err = |what: &str, e: &dyn std::fmt::Display| format!("setup: {what}: {e}");
+    let mut c = Client::connect(&args.addr).map_err(|e| err("connect", &e))?;
+    let (pdoc, _) = pxv_pxml::generators::personnel(args.persons, 3, 9);
+    c.load(DOC, &pdoc).map_err(|e| err("load", &e))?;
+    for (name, pattern) in [
+        ("v1BON", "IT-personnel//person[name/Rick]/bonus"),
+        ("v2BON", "IT-personnel//person/bonus"),
+    ] {
+        match c.view_text(name, pattern) {
+            Ok(()) => {}
+            // Re-running against a warm server: the duplicate-view
+            // rejection (an `engine`-coded error) is expected and fine.
+            Err(pxv_server::client::ClientError::Server(e)) if e.code() == "engine" => {}
+            Err(e) => return Err(err("view", &e)),
+        }
+    }
+    c.warm(DOC).map_err(|e| err("warm", &e))?;
+    c.quit().map_err(|e| err("quit", &e))?;
+    Ok(())
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.setup {
+        setup(&args)?;
+    }
+    // One client per connection, opened before the clock starts.
+    let mut clients = Vec::with_capacity(args.connections);
+    for _ in 0..args.connections {
+        clients.push(Client::connect(&args.addr).map_err(|e| format!("connect: {e}"))?);
+    }
+    let t0 = Instant::now();
+    let outcomes: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut client)| {
+                scope.spawn(move || {
+                    let mut ok = 0usize;
+                    let mut failed = 0usize;
+                    for r in 0..args.requests {
+                        // Offset by connection index so variants interleave.
+                        let q = QUERIES[(i + r) % QUERIES.len()];
+                        match client.query_text(DOC, q) {
+                            Ok(_) => ok += 1,
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    let _ = client.quit();
+                    (ok, failed)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("load thread panicked"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    let ok: usize = outcomes.iter().map(|&(ok, _)| ok).sum();
+    let failed: usize = outcomes.iter().map(|&(_, f)| f).sum();
+    let total = ok + failed;
+    let qps = total as f64 / elapsed.as_secs_f64();
+    if !args.quiet {
+        println!(
+            "prxload: {} connection(s) × {} request(s) in {:.3} s — {:.0} q/s aggregate \
+             ({:.0} q/s per connection); {} ok, {} failed",
+            args.connections,
+            args.requests,
+            elapsed.as_secs_f64(),
+            qps,
+            qps / args.connections as f64,
+            ok,
+            failed,
+        );
+        // Server-side view of the same burst.
+        if let Ok(mut c) = Client::connect(&args.addr) {
+            if let Ok(stats) = c.stats() {
+                let get = |k: &str| stats.get(k).copied().unwrap_or(0);
+                println!(
+                    "server: requests={} errors={} p50={}µs p99={}µs planhits={} exthits={}",
+                    get("requests"),
+                    get("errors"),
+                    get("p50us"),
+                    get("p99us"),
+                    get("planhits"),
+                    get("exthits"),
+                );
+            }
+            let _ = c.quit();
+        }
+    }
+    Ok(failed == 0)
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(true) => std::process::ExitCode::SUCCESS,
+        Ok(false) => std::process::ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}

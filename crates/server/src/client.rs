@@ -1,0 +1,277 @@
+//! A blocking client for the `prxd` wire protocol, used by the
+//! `remote_query` example, the `prxload` load generator, and the e2e
+//! tests. One request in flight per client; open several clients for
+//! concurrency (that is exactly what `prxload -c N` does).
+
+use crate::protocol::{
+    options_to_tokens, parse_answer_header, parse_node_line, ProtocolError, WireAnswer,
+};
+use pxv_engine::QueryOptions;
+use pxv_pxml::PDocument;
+use pxv_tpq::TreePattern;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport, a typed server `ERR`, or a response
+/// the client could not parse.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the server closing the connection).
+    Io(io::Error),
+    /// The server answered `ERR <code> <message>`.
+    Server(ProtocolError),
+    /// The response line did not match the protocol.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Unexpected(line) => write!(f, "unexpected response: {line}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a `prxd` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line. Refusing embedded newlines here keeps the
+    /// session framed: a payload (e.g. a quoted label) containing `\n`
+    /// would otherwise split into two wire lines, leaving a stray server
+    /// response that desynchronizes every later request.
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        if line.contains('\n') {
+            return Err(ClientError::Unexpected(format!(
+                "request contains a newline and cannot be framed: {line:?}"
+            )));
+        }
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    /// Receives a line, converting `ERR` responses into typed errors.
+    fn recv_ok(&mut self) -> Result<String, ClientError> {
+        let line = self.recv()?;
+        match ProtocolError::from_line(&line) {
+            Some(err) => Err(ClientError::Server(err)),
+            None => Ok(line),
+        }
+    }
+
+    /// Expects `OK <head> ...`; returns the tail after the head token.
+    fn expect_ok(&mut self, head: &str) -> Result<String, ClientError> {
+        let line = self.recv_ok()?;
+        line.strip_prefix("OK ")
+            .and_then(|rest| rest.strip_prefix(head))
+            .map(|tail| tail.trim().to_string())
+            .ok_or(ClientError::Unexpected(line))
+    }
+
+    /// `PING` → `PONG`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send("PING")?;
+        match self.recv_ok()?.as_str() {
+            "PONG" => Ok(()),
+            other => Err(ClientError::Unexpected(other.to_string())),
+        }
+    }
+
+    /// Loads (or replaces) a document from already-rendered text.
+    pub fn load_text(&mut self, doc: &str, pdoc_text: &str) -> Result<(), ClientError> {
+        self.send(&format!("LOAD {doc} {pdoc_text}"))?;
+        self.expect_ok("doc").map(|_| ())
+    }
+
+    /// Loads (or replaces) a document, serializing it through the
+    /// round-tripping `pxv_pxml::text` display form.
+    pub fn load(&mut self, doc: &str, pdoc: &PDocument) -> Result<(), ClientError> {
+        self.load_text(doc, &pdoc.to_string())
+    }
+
+    /// Registers a view from pattern text.
+    pub fn view_text(&mut self, name: &str, pattern_text: &str) -> Result<(), ClientError> {
+        self.send(&format!("VIEW {name} {pattern_text}"))?;
+        self.expect_ok("view").map(|_| ())
+    }
+
+    /// Registers a view (pattern serialized through `Display`).
+    pub fn view(&mut self, name: &str, pattern: &TreePattern) -> Result<(), ClientError> {
+        self.view_text(name, &pattern.to_string())
+    }
+
+    /// Eagerly materializes every view over `doc`; returns how many
+    /// extensions were newly built.
+    pub fn warm(&mut self, doc: &str) -> Result<usize, ClientError> {
+        self.send(&format!("WARM {doc}"))?;
+        let tail = self.expect_ok("warmed")?;
+        tail.parse()
+            .map_err(|_| ClientError::Unexpected(format!("OK warmed {tail}")))
+    }
+
+    /// Drops `doc`'s cached extensions; returns how many were evicted.
+    pub fn invalidate(&mut self, doc: &str) -> Result<usize, ClientError> {
+        self.send(&format!("INVALIDATE {doc}"))?;
+        let tail = self.expect_ok("invalidated")?;
+        tail.parse()
+            .map_err(|_| ClientError::Unexpected(format!("OK invalidated {tail}")))
+    }
+
+    fn read_answer(&mut self) -> Result<WireAnswer, ClientError> {
+        let header = self.recv_ok()?;
+        let (count, stats, plan) = parse_answer_header(&header).map_err(ClientError::Server)?;
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.recv()?;
+            nodes.push(parse_node_line(&line).map_err(ClientError::Server)?);
+        }
+        Ok(WireAnswer { nodes, stats, plan })
+    }
+
+    /// Answers one query from pattern text with default options.
+    pub fn query_text(&mut self, doc: &str, query_text: &str) -> Result<WireAnswer, ClientError> {
+        self.send(&format!("QUERY {doc} {query_text}"))?;
+        self.read_answer()
+    }
+
+    /// Answers one query (pattern serialized through `Display`).
+    pub fn query(&mut self, doc: &str, query: &TreePattern) -> Result<WireAnswer, ClientError> {
+        self.query_text(doc, &query.to_string())
+    }
+
+    /// Answers one query with explicit options (serialized as trailing
+    /// `key=value` tokens).
+    pub fn query_with(
+        &mut self,
+        doc: &str,
+        query: &TreePattern,
+        options: &QueryOptions,
+    ) -> Result<WireAnswer, ClientError> {
+        self.send(&format!(
+            "QUERY {doc} {query}{}",
+            options_to_tokens(options)
+        ))?;
+        self.read_answer()
+    }
+
+    /// Answers a batch concurrently on the server; per-query outcomes
+    /// come back in request order. The batch size is validated against
+    /// [`crate::protocol::MAX_BATCH`] *before* anything is written — the
+    /// server would reject only the header, and the already-sent body
+    /// lines would desynchronize the session for good.
+    pub fn batch(
+        &mut self,
+        queries: &[(String, TreePattern)],
+    ) -> Result<Vec<Result<WireAnswer, ProtocolError>>, ClientError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        if queries.len() > crate::protocol::MAX_BATCH {
+            return Err(ClientError::Server(ProtocolError::BadCount(format!(
+                "batch of {} exceeds the protocol cap of {}",
+                queries.len(),
+                crate::protocol::MAX_BATCH
+            ))));
+        }
+        let mut request = format!("BATCH {}\n", queries.len());
+        for (doc, q) in queries {
+            let line = format!("{doc} {q}");
+            if line.contains('\n') {
+                return Err(ClientError::Unexpected(format!(
+                    "batch line contains a newline and cannot be framed: {line:?}"
+                )));
+            }
+            request.push_str(&line);
+            request.push('\n');
+        }
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.flush()?;
+        let header = self.recv_ok()?;
+        let count: usize = header
+            .strip_prefix("RESULTS ")
+            .and_then(|n| n.parse().ok())
+            .ok_or(ClientError::Unexpected(header.clone()))?;
+        let mut results = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.recv()?;
+            match ProtocolError::from_line(&line) {
+                Some(err) => results.push(Err(err)),
+                None => {
+                    let (n, stats, plan) =
+                        parse_answer_header(&line).map_err(ClientError::Server)?;
+                    let mut nodes = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let node_line = self.recv()?;
+                        nodes.push(parse_node_line(&node_line).map_err(ClientError::Server)?);
+                    }
+                    results.push(Ok(WireAnswer { nodes, stats, plan }));
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// `STATS` as a key → value map (see the protocol docs for the keys).
+    pub fn stats(&mut self) -> Result<HashMap<String, u64>, ClientError> {
+        self.send("STATS")?;
+        let line = self.recv_ok()?;
+        let rest = line
+            .strip_prefix("STATS ")
+            .ok_or(ClientError::Unexpected(line.clone()))?;
+        rest.split_whitespace()
+            .map(|token| {
+                let (k, v) = token
+                    .split_once('=')
+                    .ok_or(ClientError::Unexpected(line.clone()))?;
+                let v: u64 = v
+                    .parse()
+                    .map_err(|_| ClientError::Unexpected(line.clone()))?;
+                Ok((k.to_string(), v))
+            })
+            .collect()
+    }
+
+    /// Ends the session (`QUIT` → `OK bye`), consuming the client.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.send("QUIT")?;
+        self.expect_ok("bye").map(|_| ())
+    }
+}

@@ -1,0 +1,62 @@
+//! # pxv-server — `prxd`, the TCP query-serving layer
+//!
+//! Exposes one shared [`pxv_engine::Engine`] over TCP with a hand-rolled,
+//! std-only stack: no async runtime, no serialization framework — a
+//! line-oriented wire protocol over `std::net`, a fixed-size worker pool
+//! of plain threads, and a blocking client. The engine already answers
+//! queries through `&self` (sharded catalog, single-flight
+//! materialization, plan cache), so the server's job is only transport:
+//! sessions take a `read` lock on the engine for query traffic and a
+//! `write` lock for the rare administrative requests (`LOAD`, `VIEW`,
+//! `INVALIDATE`).
+//!
+//! ```text
+//!   client ──TCP──▶ accept thread ──channel──▶ worker pool (N threads)
+//!                        │                          │ per-connection session
+//!                        │ connection cap           ▼
+//!                        ▼                   Arc<RwLock<Engine>>
+//!                   ERR busy                 (read: QUERY/BATCH/WARM/STATS,
+//!                                             write: LOAD/VIEW/INVALIDATE)
+//! ```
+//!
+//! The three layers:
+//!
+//! - [`protocol`] — requests, tagged-line responses, typed
+//!   [`protocol::ProtocolError`]s; reuses the `pxv_pxml::text` and
+//!   `pxv_tpq::parse` display forms, whose round-trip property is
+//!   load-bearing here.
+//! - [`serve`] — [`serve::serve`] binds a listener and returns a
+//!   [`serve::ServerHandle`] (ephemeral ports supported: bind to port 0);
+//!   graceful shutdown, connection limits, and atomic
+//!   [`stats::ServerStats`] with a fixed-bucket latency histogram.
+//! - [`client`] — a blocking [`client::Client`] speaking the protocol,
+//!   used by the `prxload` load generator, the e2e tests, and the
+//!   `remote_query` example.
+//!
+//! End to end:
+//!
+//! ```
+//! use pxv_server::client::Client;
+//! use pxv_server::serve::{serve, ServerConfig};
+//!
+//! let handle = serve(
+//!     pxv_engine::Engine::new(),
+//!     &ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() },
+//! )
+//! .unwrap();
+//! let mut c = Client::connect(handle.addr()).unwrap();
+//! c.load_text("hr", "a[mux(0.4: b[c], 0.6: b)]").unwrap();
+//! c.view_text("bs", "a/b").unwrap();
+//! let answer = c.query_text("hr", "a/b[c]").unwrap();
+//! assert_eq!(answer.nodes.len(), 1);
+//! assert!((answer.nodes[0].1 - 0.4).abs() < 1e-9);
+//! c.quit().unwrap();
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod serve;
+pub mod stats;

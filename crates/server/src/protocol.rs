@@ -1,0 +1,658 @@
+//! The `prxd` wire protocol: line-oriented requests and tagged-line
+//! responses over plain TCP.
+//!
+//! Every request is one line of UTF-8 text (`BATCH` is followed by its
+//! query lines); every response is one tagged line, except answers, which
+//! are a header line followed by one `NODE` line per result. Payload
+//! syntax is exactly the library's display forms: p-documents in the
+//! `pxv_pxml::text` grammar, queries in the XPath-ish `pxv_tpq::parse`
+//! notation — both round-trip through `Display`, which is what makes a
+//! text protocol exact (`f64` probabilities are printed with Rust's
+//! shortest-round-trip formatting, so a remote answer is bit-identical to
+//! the in-process one).
+//!
+//! ```text
+//! LOAD <doc> <pdoc-text>             -> OK doc <doc> nodes=<n>
+//! VIEW <name> <tpq-text>             -> OK view <name>
+//! WARM <doc>                         -> OK warmed <n>
+//! QUERY <doc> <tpq-text> [opts]      -> ANSWER <n> ext=. hits=. mats=. cands=. plan=<route>
+//!                                       NODE <node-id> <prob>   (n times)
+//! BATCH <n>                          -> RESULTS <n>, then per line one
+//!   <doc> <tpq-text>      (n lines)     ANSWER block or ERR line
+//! STATS                              -> STATS key=value ...
+//! INVALIDATE <doc>                   -> OK invalidated <n>
+//! PING                               -> PONG
+//! QUIT                               -> OK bye
+//! anything else                      -> ERR <code> <message>
+//! ```
+//!
+//! `QUERY` options are trailing `key=value` tokens: `limit=<n>`
+//! (interleaving limit), `pref=prefer-tp|prefer-tpi|tp|tpi` (plan
+//! preference), `fallback=forbid|direct`.
+
+use pxv_engine::{Answer, Fallback, PlanPreference, QueryOptions, QueryStats};
+use pxv_pxml::text::parse_pdocument;
+use pxv_pxml::{NodeId, PDocument};
+use pxv_tpq::parse::parse_pattern;
+use pxv_tpq::TreePattern;
+use std::fmt;
+use std::io::{self, Write};
+
+/// Cap on `BATCH <n>`: bounds how much a single request can make the
+/// server buffer before answering.
+pub const MAX_BATCH: usize = 4096;
+
+/// Typed failure of parsing, execution, or admission; serialized as
+/// `ERR <code> <message>` and parsed back by the client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Blank request line.
+    Empty,
+    /// First token is not a known verb.
+    UnknownCommand(String),
+    /// Known verb, wrong shape; carries the usage string.
+    Usage(String),
+    /// The p-document payload did not parse or validate.
+    BadDocument(String),
+    /// The tree-pattern payload did not parse.
+    BadPattern(String),
+    /// A `key=value` query option was malformed.
+    BadOption(String),
+    /// `BATCH` count missing, non-numeric, zero, or over [`MAX_BATCH`].
+    BadCount(String),
+    /// The named document is not loaded on the server.
+    UnknownDoc(String),
+    /// The planner found no probabilistic rewriting (and fallback was
+    /// forbidden) — the paper-level "cannot answer from views" outcome.
+    Plan(String),
+    /// Any other engine-side failure (duplicate view, invalid document…).
+    Engine(String),
+    /// The server is at its connection limit.
+    Busy,
+    /// The server is shutting down.
+    Shutdown,
+    /// A response line did not parse (client-side only).
+    Malformed(String),
+}
+
+impl ProtocolError {
+    /// Stable machine-readable code (first token after `ERR`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::Empty => "empty",
+            ProtocolError::UnknownCommand(_) => "unknown-command",
+            ProtocolError::Usage(_) => "usage",
+            ProtocolError::BadDocument(_) => "bad-document",
+            ProtocolError::BadPattern(_) => "bad-pattern",
+            ProtocolError::BadOption(_) => "bad-option",
+            ProtocolError::BadCount(_) => "bad-count",
+            ProtocolError::UnknownDoc(_) => "unknown-doc",
+            ProtocolError::Plan(_) => "plan",
+            ProtocolError::Engine(_) => "engine",
+            ProtocolError::Busy => "busy",
+            ProtocolError::Shutdown => "shutdown",
+            ProtocolError::Malformed(_) => "malformed",
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            ProtocolError::Empty => "empty request".into(),
+            ProtocolError::UnknownCommand(cmd) => format!("unknown command `{cmd}`"),
+            ProtocolError::Usage(usage) => format!("usage: {usage}"),
+            ProtocolError::BadDocument(m)
+            | ProtocolError::BadPattern(m)
+            | ProtocolError::BadOption(m)
+            | ProtocolError::BadCount(m)
+            | ProtocolError::Plan(m)
+            | ProtocolError::Engine(m)
+            | ProtocolError::Malformed(m) => m.clone(),
+            ProtocolError::UnknownDoc(doc) => format!("no document named `{doc}`"),
+            ProtocolError::Busy => "connection limit reached".into(),
+            ProtocolError::Shutdown => "server shutting down".into(),
+        }
+    }
+
+    /// The `ERR` line (no trailing newline). Embedded newlines are
+    /// flattened so the error stays one line.
+    pub fn to_line(&self) -> String {
+        format!("ERR {} {}", self.code(), self.message().replace('\n', " "))
+    }
+
+    /// Parses an `ERR <code> <message>` line back into the typed error.
+    pub fn from_line(line: &str) -> Option<ProtocolError> {
+        let rest = line.strip_prefix("ERR ")?;
+        let (code, msg) = match rest.split_once(' ') {
+            Some((c, m)) => (c, m.to_string()),
+            None => (rest, String::new()),
+        };
+        Some(match code {
+            "empty" => ProtocolError::Empty,
+            "unknown-command" => ProtocolError::UnknownCommand(msg),
+            // `message()` prefixes "usage: "; strip it so the round trip
+            // does not stack prefixes.
+            "usage" => {
+                ProtocolError::Usage(msg.strip_prefix("usage: ").unwrap_or(&msg).to_string())
+            }
+            "bad-document" => ProtocolError::BadDocument(msg),
+            "bad-pattern" => ProtocolError::BadPattern(msg),
+            "bad-option" => ProtocolError::BadOption(msg),
+            "bad-count" => ProtocolError::BadCount(msg),
+            // The name travels in backticks: `no document named `hr``.
+            "unknown-doc" => {
+                ProtocolError::UnknownDoc(msg.split('`').nth(1).unwrap_or(&msg).to_string())
+            }
+            "plan" => ProtocolError::Plan(msg),
+            "engine" => ProtocolError::Engine(msg),
+            "busy" => ProtocolError::Busy,
+            "shutdown" => ProtocolError::Shutdown,
+            other => ProtocolError::Malformed(format!("unknown error code `{other}`: {msg}")),
+        })
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.message(), self.code())
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// One parsed request line. `Batch` only carries the count — the session
+/// reads the following lines itself (see [`parse_batch_line`]).
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Register (or replace) a document under a name.
+    Load {
+        /// Document name (no whitespace).
+        doc: String,
+        /// Parsed p-document payload.
+        pdoc: PDocument,
+    },
+    /// Register a view.
+    View {
+        /// View name (unique per server).
+        name: String,
+        /// The view's tree pattern.
+        pattern: TreePattern,
+    },
+    /// Eagerly materialize every view over a document.
+    Warm {
+        /// Document name.
+        doc: String,
+    },
+    /// Answer one query.
+    Query {
+        /// Document name.
+        doc: String,
+        /// The tree-pattern query.
+        query: TreePattern,
+        /// Per-request options parsed from trailing `key=value` tokens.
+        options: QueryOptions,
+    },
+    /// Header of a batch; `count` query lines follow.
+    Batch {
+        /// How many `<doc> <tpq-text>` lines follow.
+        count: usize,
+    },
+    /// Engine + server counters.
+    Stats,
+    /// Drop a document's cached extensions.
+    Invalidate {
+        /// Document name.
+        doc: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// End the session.
+    Quit,
+}
+
+/// Splits `line` into its first whitespace-delimited token and the rest.
+fn split_token(line: &str) -> (&str, &str) {
+    let line = line.trim_start();
+    match line.split_once(char::is_whitespace) {
+        Some((tok, rest)) => (tok, rest.trim_start()),
+        None => (line, ""),
+    }
+}
+
+/// Parses trailing `key=value` option tokens off a query body; returns
+/// the remaining query text **verbatim** (never rebuilt from tokens —
+/// whitespace inside quoted labels is significant) and the options.
+/// Only *trailing* tokens with a known key, no quote character, and an
+/// even number of quotes before them are consumed, so quoted labels
+/// that merely look like options (`a/'p limit=3'`) stay part of the
+/// query. With duplicate keys the rightmost token wins.
+fn split_query_options(body: &str) -> Result<(String, QueryOptions), ProtocolError> {
+    let mut rest = body.trim();
+    let mut limit = None;
+    let mut preference = None;
+    let mut fallback = None;
+    while let Some(cut) = rest.rfind(char::is_whitespace) {
+        let token = rest[cut..].trim_start();
+        if token.contains('\'') {
+            break;
+        }
+        let Some((key, value)) = token.split_once('=') else {
+            break;
+        };
+        let prefix = rest[..cut].trim_end();
+        // An odd number of quotes before the token means it sits inside
+        // an (ill-formed) quoted label — leave it to the pattern parser.
+        if !prefix.matches('\'').count().is_multiple_of(2) {
+            break;
+        }
+        match key {
+            "limit" => {
+                let parsed = value
+                    .parse()
+                    .map_err(|e| ProtocolError::BadOption(format!("limit=`{value}`: {e}")))?;
+                limit.get_or_insert(parsed);
+            }
+            "pref" => {
+                let parsed = match value {
+                    "prefer-tp" => PlanPreference::PreferTp,
+                    "prefer-tpi" => PlanPreference::PreferTpi,
+                    "tp" => PlanPreference::TpOnly,
+                    "tpi" => PlanPreference::TpiOnly,
+                    other => {
+                        return Err(ProtocolError::BadOption(format!(
+                            "pref=`{other}` (want prefer-tp|prefer-tpi|tp|tpi)"
+                        )))
+                    }
+                };
+                preference.get_or_insert(parsed);
+            }
+            "fallback" => {
+                let parsed = match value {
+                    "forbid" => Fallback::Forbid,
+                    "direct" => Fallback::Direct,
+                    other => {
+                        return Err(ProtocolError::BadOption(format!(
+                            "fallback=`{other}` (want forbid|direct)"
+                        )))
+                    }
+                };
+                fallback.get_or_insert(parsed);
+            }
+            _ => break,
+        }
+        rest = prefix;
+    }
+    let defaults = QueryOptions::new();
+    let options = QueryOptions::new()
+        .interleaving_limit(limit.unwrap_or(defaults.get_interleaving_limit()))
+        .plan_preference(preference.unwrap_or_default())
+        .fallback(fallback.unwrap_or_default());
+    Ok((rest.to_string(), options))
+}
+
+/// Renders the non-default parts of `options` as wire tokens (the inverse
+/// of the trailing `key=value` parsing); empty for default options.
+pub fn options_to_tokens(options: &QueryOptions) -> String {
+    let defaults = QueryOptions::new();
+    let mut out = String::new();
+    if options.get_interleaving_limit() != defaults.get_interleaving_limit() {
+        out.push_str(&format!(" limit={}", options.get_interleaving_limit()));
+    }
+    if options.get_plan_preference() != defaults.get_plan_preference() {
+        out.push_str(match options.get_plan_preference() {
+            PlanPreference::PreferTp => " pref=prefer-tp",
+            PlanPreference::PreferTpi => " pref=prefer-tpi",
+            PlanPreference::TpOnly => " pref=tp",
+            PlanPreference::TpiOnly => " pref=tpi",
+        });
+    }
+    if options.get_fallback() != defaults.get_fallback() {
+        out.push_str(match options.get_fallback() {
+            Fallback::Forbid => " fallback=forbid",
+            Fallback::Direct => " fallback=direct",
+        });
+    }
+    out
+}
+
+fn parse_query_body(body: &str, usage: &'static str) -> Result<Request, ProtocolError> {
+    let (doc, rest) = split_token(body);
+    if doc.is_empty() || rest.is_empty() {
+        return Err(ProtocolError::Usage(usage.into()));
+    }
+    let (text, options) = split_query_options(rest)?;
+    if text.is_empty() {
+        return Err(ProtocolError::Usage(usage.into()));
+    }
+    let query = parse_pattern(&text).map_err(|e| ProtocolError::BadPattern(e.to_string()))?;
+    Ok(Request::Query {
+        doc: doc.to_string(),
+        query,
+        options,
+    })
+}
+
+/// Parses one request line. `BATCH` returns only the header; feed the
+/// following lines to [`parse_batch_line`].
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(ProtocolError::Empty);
+    }
+    let (verb, rest) = split_token(line);
+    match verb.to_ascii_uppercase().as_str() {
+        "LOAD" => {
+            let (doc, text) = split_token(rest);
+            if doc.is_empty() || text.is_empty() {
+                return Err(ProtocolError::Usage("LOAD <doc> <pdoc-text>".into()));
+            }
+            let pdoc =
+                parse_pdocument(text).map_err(|e| ProtocolError::BadDocument(e.to_string()))?;
+            Ok(Request::Load {
+                doc: doc.to_string(),
+                pdoc,
+            })
+        }
+        "VIEW" => {
+            let (name, text) = split_token(rest);
+            if name.is_empty() || text.is_empty() {
+                return Err(ProtocolError::Usage("VIEW <name> <tpq-text>".into()));
+            }
+            let pattern =
+                parse_pattern(text).map_err(|e| ProtocolError::BadPattern(e.to_string()))?;
+            Ok(Request::View {
+                name: name.to_string(),
+                pattern,
+            })
+        }
+        "WARM" => match split_token(rest) {
+            (doc, "") if !doc.is_empty() => Ok(Request::Warm {
+                doc: doc.to_string(),
+            }),
+            _ => Err(ProtocolError::Usage("WARM <doc>".into())),
+        },
+        "QUERY" => parse_query_body(rest, "QUERY <doc> <tpq-text> [limit=|pref=|fallback=]"),
+        "BATCH" => {
+            let count: usize = rest
+                .trim()
+                .parse()
+                .map_err(|e| ProtocolError::BadCount(format!("batch count `{rest}`: {e}")))?;
+            if count == 0 || count > MAX_BATCH {
+                return Err(ProtocolError::BadCount(format!(
+                    "batch count {count} out of range 1..={MAX_BATCH}"
+                )));
+            }
+            Ok(Request::Batch { count })
+        }
+        "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "INVALIDATE" => match split_token(rest) {
+            (doc, "") if !doc.is_empty() => Ok(Request::Invalidate {
+                doc: doc.to_string(),
+            }),
+            _ => Err(ProtocolError::Usage("INVALIDATE <doc>".into())),
+        },
+        "PING" if rest.is_empty() => Ok(Request::Ping),
+        "QUIT" if rest.is_empty() => Ok(Request::Quit),
+        other => Err(ProtocolError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Parses one `<doc> <tpq-text>` line of a `BATCH` body (no per-line
+/// options — a batch runs under the engine's default options).
+pub fn parse_batch_line(line: &str) -> Result<(String, TreePattern), ProtocolError> {
+    let (doc, text) = split_token(line.trim());
+    if doc.is_empty() || text.is_empty() {
+        return Err(ProtocolError::Usage("<doc> <tpq-text>".into()));
+    }
+    let query = parse_pattern(text).map_err(|e| ProtocolError::BadPattern(e.to_string()))?;
+    Ok((doc.to_string(), query))
+}
+
+/// An answer as it crosses the wire: node/probability pairs, the
+/// [`QueryStats`] counters, and the human-readable route description.
+/// Node ids and probabilities survive the round trip bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireAnswer {
+    /// `(node, probability)` pairs, sorted by node id.
+    pub nodes: Vec<(NodeId, f64)>,
+    /// Per-query execution counters.
+    pub stats: QueryStats,
+    /// The route taken (plan shape and views, or direct evaluation).
+    pub plan: String,
+}
+
+/// Serializes an [`Answer`] as an `ANSWER` header plus `NODE` lines.
+pub fn write_answer<W: Write>(w: &mut W, answer: &Answer) -> io::Result<()> {
+    writeln!(
+        w,
+        "ANSWER {} ext={} hits={} mats={} cands={} plan={}",
+        answer.nodes.len(),
+        answer.stats.extensions_touched,
+        answer.stats.cache_hits,
+        answer.stats.materializations,
+        answer.stats.candidates,
+        answer.description.replace('\n', " "),
+    )?;
+    for (n, p) in &answer.nodes {
+        // `{}` on f64 prints the shortest string that parses back to the
+        // same bits — the wire answer is exactly the in-process answer.
+        writeln!(w, "NODE {n} {p}")?;
+    }
+    Ok(())
+}
+
+/// Parses an `ANSWER` header; returns the node count, stats, and route.
+pub fn parse_answer_header(line: &str) -> Result<(usize, QueryStats, String), ProtocolError> {
+    let malformed = |what: &str| ProtocolError::Malformed(format!("{what} in `{line}`"));
+    let rest = line
+        .strip_prefix("ANSWER ")
+        .ok_or_else(|| malformed("missing ANSWER tag"))?;
+    let (head, plan) = rest
+        .split_once(" plan=")
+        .ok_or_else(|| malformed("missing plan="))?;
+    let mut tokens = head.split_whitespace();
+    let count: usize = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| malformed("bad node count"))?;
+    let mut stats = QueryStats::default();
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| malformed("bad stat token"))?;
+        let value: usize = value.parse().map_err(|_| malformed("bad stat value"))?;
+        match key {
+            "ext" => stats.extensions_touched = value,
+            "hits" => stats.cache_hits = value,
+            "mats" => stats.materializations = value,
+            "cands" => stats.candidates = value,
+            _ => return Err(malformed("unknown stat key")),
+        }
+    }
+    Ok((count, stats, plan.to_string()))
+}
+
+/// Parses one `NODE <id> <prob>` line.
+pub fn parse_node_line(line: &str) -> Result<(NodeId, f64), ProtocolError> {
+    let malformed = || ProtocolError::Malformed(format!("bad NODE line `{line}`"));
+    let rest = line.strip_prefix("NODE ").ok_or_else(malformed)?;
+    let (node, prob) = rest.split_once(' ').ok_or_else(malformed)?;
+    let id: u32 = node
+        .strip_prefix('n')
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(malformed)?;
+    let p: f64 = prob.parse().map_err(|_| malformed())?;
+    Ok((NodeId(id), p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        assert!(matches!(parse_request("PING"), Ok(Request::Ping)));
+        assert!(matches!(parse_request("quit"), Ok(Request::Quit)));
+        assert!(matches!(parse_request("STATS"), Ok(Request::Stats)));
+        match parse_request("LOAD hr a[mux(0.4: b[c], 0.6: b)]").unwrap() {
+            Request::Load { doc, pdoc } => {
+                assert_eq!(doc, "hr");
+                assert!(pdoc.validate().is_ok());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_request("QUERY hr a/b[c] limit=500 pref=tpi fallback=direct").unwrap() {
+            Request::Query {
+                doc,
+                query,
+                options,
+            } => {
+                assert_eq!(doc, "hr");
+                assert_eq!(query.to_string(), "a/b[c]");
+                assert_eq!(options.get_interleaving_limit(), 500);
+                assert_eq!(options.get_plan_preference(), PlanPreference::TpiOnly);
+                assert_eq!(options.get_fallback(), Fallback::Direct);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Review regression: the query text must travel verbatim — quoted
+    /// labels with significant whitespace, or spelled like option
+    /// tokens, must survive `QUERY` parsing.
+    #[test]
+    fn quoted_labels_survive_query_option_stripping() {
+        // A run of spaces inside a quoted label must not collapse.
+        match parse_request("QUERY d a/'two  spaces' limit=9").unwrap() {
+            Request::Query { query, options, .. } => {
+                assert_eq!(query.output_label().name(), "two  spaces");
+                assert_eq!(options.get_interleaving_limit(), 9);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A quoted label that looks like an option token stays a label.
+        match parse_request("QUERY d a/'p limit=3'").unwrap() {
+            Request::Query { query, options, .. } => {
+                assert_eq!(query.output_label().name(), "p limit=3");
+                assert_eq!(
+                    options.get_interleaving_limit(),
+                    QueryOptions::new().get_interleaving_limit()
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Duplicate option keys: the rightmost wins.
+        match parse_request("QUERY d a/b limit=5 limit=9").unwrap() {
+            Request::Query { options, .. } => {
+                assert_eq!(options.get_interleaving_limit(), 9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn options_tokens_round_trip() {
+        let options = QueryOptions::new()
+            .interleaving_limit(777)
+            .plan_preference(PlanPreference::PreferTpi)
+            .fallback(Fallback::Direct);
+        let line = format!("QUERY d a/b{}", options_to_tokens(&options));
+        match parse_request(&line).unwrap() {
+            Request::Query { options: got, .. } => {
+                assert_eq!(got.get_interleaving_limit(), 777);
+                assert_eq!(got.get_plan_preference(), PlanPreference::PreferTpi);
+                assert_eq!(got.get_fallback(), Fallback::Direct);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(options_to_tokens(&QueryOptions::new()), "");
+    }
+
+    #[test]
+    fn request_errors_are_typed() {
+        assert!(matches!(parse_request("  "), Err(ProtocolError::Empty)));
+        assert!(matches!(
+            parse_request("FROB x"),
+            Err(ProtocolError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse_request("LOAD onlyname"),
+            Err(ProtocolError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_request("QUERY d a/b limit=abc"),
+            Err(ProtocolError::BadOption(_))
+        ));
+        assert!(matches!(
+            parse_request("BATCH 0"),
+            Err(ProtocolError::BadCount(_))
+        ));
+        assert!(matches!(
+            parse_request("LOAD d a[unclosed"),
+            Err(ProtocolError::BadDocument(_))
+        ));
+        assert!(matches!(
+            parse_request("VIEW v a//"),
+            Err(ProtocolError::BadPattern(_))
+        ));
+    }
+
+    #[test]
+    fn error_lines_round_trip() {
+        for err in [
+            ProtocolError::Empty,
+            ProtocolError::UnknownCommand("FROB".into()),
+            ProtocolError::BadPattern("pattern parse error at byte 3: expected label".into()),
+            ProtocolError::UnknownDoc("hr".into()),
+            ProtocolError::Plan("no single-view TP rewriting over these views".into()),
+            ProtocolError::Busy,
+            ProtocolError::Shutdown,
+        ] {
+            let line = err.to_line();
+            let back = ProtocolError::from_line(&line).expect("parses");
+            assert_eq!(back.code(), err.code(), "{line}");
+        }
+        assert!(ProtocolError::from_line("OK bye").is_none());
+    }
+
+    #[test]
+    fn answer_block_round_trips_bit_identically() {
+        let answer = Answer {
+            nodes: vec![(NodeId(5), 0.1 + 0.2), (NodeId(7), 1.0 / 3.0)],
+            plan: None,
+            description: "TP plan via view `bs` (u=0)".into(),
+            stats: QueryStats {
+                extensions_touched: 1,
+                cache_hits: 1,
+                materializations: 0,
+                candidates: 4,
+            },
+        };
+        let mut wire = Vec::new();
+        write_answer(&mut wire, &answer).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        let mut lines = text.lines();
+        let (count, stats, plan) = parse_answer_header(lines.next().unwrap()).unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(stats, answer.stats);
+        assert_eq!(plan, answer.description);
+        let nodes: Vec<(NodeId, f64)> = lines.map(|l| parse_node_line(l).unwrap()).collect();
+        // Bit-identical, not approximately equal.
+        assert_eq!(nodes.len(), answer.nodes.len());
+        for ((n1, p1), (n2, p2)) in nodes.iter().zip(&answer.nodes) {
+            assert_eq!(n1, n2);
+            assert_eq!(p1.to_bits(), p2.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_lines() {
+        let (doc, q) = parse_batch_line("hr IT-personnel//person/bonus[laptop]").unwrap();
+        assert_eq!(doc, "hr");
+        assert_eq!(q.mb_len(), 3);
+        assert!(parse_batch_line("justadoc").is_err());
+        assert!(matches!(
+            parse_request("BATCH 5000"),
+            Err(ProtocolError::BadCount(_))
+        ));
+    }
+}

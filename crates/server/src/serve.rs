@@ -1,0 +1,502 @@
+//! The threaded TCP server: one accept thread feeding a fixed-size
+//! worker pool over an in-process channel, one session per connection.
+//!
+//! # Threading model
+//!
+//! - The **accept thread** owns the listener. It admits a connection if
+//!   the number of in-flight sessions (queued + running) is under
+//!   [`ServerConfig::max_connections`], otherwise it answers `ERR busy`
+//!   and closes — back-pressure is explicit and observable, never an
+//!   unbounded queue.
+//! - **Workers** (`ServerConfig::workers` plain threads) pull admitted
+//!   connections off the channel and run the whole session: read a line,
+//!   execute, write the tagged response, repeat until `QUIT`, EOF, or
+//!   shutdown. A session takes the engine's `read` lock for query
+//!   traffic (`QUERY`, `BATCH`, `WARM`, `STATS`) and the `write` lock
+//!   only for admin requests (`LOAD`, `VIEW`, `INVALIDATE`), so queries
+//!   from many connections run truly in parallel — the engine's sharded,
+//!   single-flight catalog does the rest.
+//! - **Graceful shutdown**: [`ServerHandle::shutdown`] sets a flag and
+//!   wakes the accept thread with a loopback connection; sessions poll
+//!   the flag on a short read timeout and drain. Every thread is joined
+//!   before `shutdown` returns.
+
+use crate::protocol::{
+    parse_batch_line, parse_request, write_answer, ProtocolError, Request, MAX_BATCH,
+};
+use crate::stats::{ServerStats, ServerStatsSnapshot};
+use pxv_engine::{DocId, Engine, EngineError};
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the server binds and sizes itself.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests, benches).
+    pub addr: String,
+    /// Worker threads — the number of sessions served concurrently.
+    pub workers: usize,
+    /// Admission cap on in-flight sessions (queued + running); beyond it
+    /// connections get `ERR busy` and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 8,
+            max_connections: 64,
+        }
+    }
+}
+
+/// State shared by the accept thread, the workers, and the handle.
+struct Shared {
+    engine: RwLock<Engine>,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    /// Sessions admitted but not yet finished (back-pressure gauge).
+    active: AtomicUsize,
+}
+
+/// A running server: its address, stats, and the threads behind it.
+/// Dropping the handle without calling [`ServerHandle::shutdown`] leaves
+/// the server running detached for the rest of the process.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Runs a closure against the shared engine (read lock) — lets the
+    /// process hosting the server inspect state without a socket.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
+        f(&self.shared.engine.read().expect("engine poisoned"))
+    }
+
+    /// Signals shutdown, wakes the accept thread, and joins every
+    /// thread. In-flight sessions notice within the session poll
+    /// interval (~200 ms) and drain first.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept thread out of its blocking accept(). A wildcard
+        // bind address (0.0.0.0 / ::) is not connectable on every
+        // platform — substitute the loopback of the same family.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        self.join_all();
+    }
+
+    /// Blocks until the server exits (i.e. until another thread calls
+    /// shutdown or the process dies) — what `prxview serve` runs on.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `config.addr` and starts the accept thread and worker pool
+/// around `engine`. Returns once the listener is live.
+pub fn serve(engine: Engine, config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(
+        config
+            .addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(ErrorKind::InvalidInput, "unresolvable address"))?,
+    )?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine: RwLock::new(engine),
+        stats: ServerStats::default(),
+        shutdown: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+    });
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || worker_loop(&shared, &rx))
+        })
+        .collect();
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let max_connections = config.max_connections.max(1);
+        std::thread::spawn(move || accept_loop(&listener, &shared, &tx, max_connections))
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Shared,
+    tx: &Sender<TcpStream>,
+    max_connections: usize,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Persistent failures (e.g. fd exhaustion) must not spin a
+                // core, and in that state the loopback shutdown wake-up
+                // cannot connect either — poll the flag here too.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a late client): turn it away.
+            let _ = writeln!(&stream, "{}", ProtocolError::Shutdown.to_line());
+            break; // tx drops here; workers drain and exit
+        }
+        if shared.active.load(Ordering::SeqCst) >= max_connections {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = writeln!(&stream, "{}", ProtocolError::Busy.to_line());
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        if tx.send(stream).is_err() {
+            break;
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the session.
+        let stream = match rx.lock().expect("receiver poisoned").recv() {
+            Ok(stream) => stream,
+            Err(_) => break, // accept thread gone and queue drained
+        };
+        // Contain a panicking session to its own connection: without the
+        // catch, one bad request would kill this worker for good and leak
+        // its admission slot, shrinking the pool until the server wedges.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session(stream, shared)));
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Longest request line the server will buffer (documents travel on one
+/// line, so this is generous — ~16 MiB). Beyond it the connection is
+/// dropped: without the cap, a client streaming bytes with no `\n`
+/// would grow the line buffer until the process is OOM-killed.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Reads one `\n`-terminated line, polling the shutdown flag on read
+/// timeouts so idle sessions drain promptly. Returns `None` on EOF or
+/// shutdown; errors on oversized or non-UTF-8 lines (ending the
+/// session). Framing happens on **raw bytes** (`read_until`) and the
+/// UTF-8 conversion only once the line is complete: `read_line`'s
+/// append-to-string guard would discard bytes already consumed from the
+/// socket when a read timeout lands mid-multibyte-character, silently
+/// corrupting the request stream for non-ASCII quoted labels.
+fn read_line_polling(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+    buf: &mut String,
+) -> io::Result<Option<()>> {
+    buf.clear();
+    let mut bytes = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut bytes) {
+            Ok(0) => return Ok(None),
+            Ok(_) if bytes.ends_with(b"\n") => {
+                let line = std::str::from_utf8(&bytes)
+                    .map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?;
+                buf.push_str(line);
+                return Ok(Some(()));
+            }
+            // A line can arrive split across timeouts: keep appending.
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        if bytes.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                "request line exceeds MAX_LINE_BYTES",
+            ));
+        }
+    }
+}
+
+fn session(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    // A client that stops *reading* must not wedge this worker forever in
+    // write_all: a stalled write errors out and ends the session, freeing
+    // the admission slot (and letting shutdown() join the pool).
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    while read_line_polling(&mut reader, shared, &mut line)?.is_some() {
+        if line.trim().is_empty() {
+            continue; // blank keep-alive lines are not an error
+        }
+        let t0 = Instant::now();
+        let mut out = Vec::with_capacity(256);
+        let quit = handle_line(&line, shared, &mut reader, &mut out)?;
+        writer.write_all(&out)?;
+        writer.flush()?;
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        shared.stats.latency.record(t0.elapsed());
+        if quit {
+            break;
+        }
+        // A client pipelining back-to-back requests never hits the read
+        // timeout where the flag is otherwise polled — check it between
+        // requests too, so shutdown() drains within one request.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = writeln!(writer, "{}", ProtocolError::Shutdown.to_line());
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Executes one request line, writing the full response into `out`.
+/// Returns `true` when the session should end (`QUIT`).
+fn handle_line(
+    line: &str,
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    out: &mut Vec<u8>,
+) -> io::Result<bool> {
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            writeln!(out, "{}", e.to_line())?;
+            return Ok(false);
+        }
+    };
+    let result = match request {
+        Request::Quit => {
+            writeln!(out, "OK bye")?;
+            return Ok(true);
+        }
+        Request::Ping => {
+            writeln!(out, "PONG")?;
+            return Ok(false);
+        }
+        Request::Batch { count } => {
+            return handle_batch(count, shared, reader, out).map(|()| false)
+        }
+        other => execute(other, shared, out),
+    };
+    if let Err(e) = result {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        writeln!(out, "{}", e.to_line())?;
+    }
+    Ok(false)
+}
+
+fn engine_err(e: EngineError) -> ProtocolError {
+    match e {
+        EngineError::Plan(p) => ProtocolError::Plan(p.to_string()),
+        other => ProtocolError::Engine(other.to_string()),
+    }
+}
+
+fn find_doc(engine: &Engine, name: &str) -> Result<DocId, ProtocolError> {
+    engine
+        .find_document(name)
+        .ok_or_else(|| ProtocolError::UnknownDoc(format!("no document named `{name}`")))
+}
+
+/// Executes one non-batch request against the shared engine and writes
+/// its success response; errors bubble up to be written as `ERR` lines.
+fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
+    match request {
+        Request::Load { doc, pdoc } => {
+            let nodes = pdoc.len();
+            let mut engine = shared.engine.write().expect("engine poisoned");
+            // LOAD is upsert: re-loading a name replaces the content and
+            // invalidates its cached extensions.
+            match engine.find_document(&doc) {
+                Some(id) => engine.replace_document(id, pdoc).map_err(engine_err)?,
+                None => {
+                    engine.add_document(&doc, pdoc).map_err(engine_err)?;
+                }
+            }
+            writeln!(out, "OK doc {doc} nodes={nodes}").map_err(io_to_protocol)
+        }
+        Request::View { name, pattern } => {
+            let mut engine = shared.engine.write().expect("engine poisoned");
+            engine
+                .register_view(pxv_engine::View::new(&name, pattern))
+                .map_err(engine_err)?;
+            writeln!(out, "OK view {name}").map_err(io_to_protocol)
+        }
+        Request::Warm { doc } => {
+            let engine = shared.engine.read().expect("engine poisoned");
+            let id = find_doc(&engine, &doc)?;
+            let n = engine.warm(id).map_err(engine_err)?;
+            writeln!(out, "OK warmed {n}").map_err(io_to_protocol)
+        }
+        Request::Query {
+            doc,
+            query,
+            options,
+        } => {
+            let engine = shared.engine.read().expect("engine poisoned");
+            let id = find_doc(&engine, &doc)?;
+            let answer = engine
+                .answer_with(id, &query, &options)
+                .map_err(engine_err)?;
+            write_answer(out, &answer).map_err(io_to_protocol)
+        }
+        Request::Invalidate { doc } => {
+            let mut engine = shared.engine.write().expect("engine poisoned");
+            let id = find_doc(&engine, &doc)?;
+            let n = engine.invalidate(id).map_err(engine_err)?;
+            writeln!(out, "OK invalidated {n}").map_err(io_to_protocol)
+        }
+        Request::Stats => {
+            let engine = shared.engine.read().expect("engine poisoned");
+            let es = engine.stats();
+            let ss = shared.stats.snapshot();
+            writeln!(
+                out,
+                "STATS docs={} views={} epoch={} queries={} tp={} tpi={} direct={} \
+                 mats={} exthits={} inval={} planhits={} planmiss={} \
+                 conns={} rejected={} active={} requests={} errors={} p50us={} p99us={}",
+                engine.document_count(),
+                engine.catalog().len(),
+                engine.catalog_epoch(),
+                es.queries,
+                es.plans_tp,
+                es.plans_tpi,
+                es.direct,
+                es.materializations,
+                es.cache_hits,
+                es.invalidations,
+                es.plan_cache_hits,
+                es.plan_cache_misses,
+                ss.connections,
+                ss.rejected,
+                shared.active.load(Ordering::SeqCst),
+                ss.requests,
+                ss.errors,
+                ss.p50_us,
+                ss.p99_us,
+            )
+            .map_err(io_to_protocol)
+        }
+        // Handled by the caller.
+        Request::Ping | Request::Quit | Request::Batch { .. } => unreachable!(),
+    }
+}
+
+fn io_to_protocol(e: io::Error) -> ProtocolError {
+    // Writes into a Vec cannot fail in practice; keep the type honest.
+    ProtocolError::Engine(format!("i/o: {e}"))
+}
+
+/// Reads the `count` body lines of a `BATCH`, answers the well-formed
+/// ones concurrently through [`Engine::answer_batch`], and writes a
+/// `RESULTS` header followed by one `ANSWER` block or `ERR` line per
+/// query, in request order.
+fn handle_batch(
+    count: usize,
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    out: &mut Vec<u8>,
+) -> io::Result<()> {
+    debug_assert!(count <= MAX_BATCH);
+    let mut line = String::new();
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        match read_line_polling(reader, shared, &mut line)? {
+            Some(()) => items.push(parse_batch_line(&line)),
+            None => return Ok(()), // connection died mid-batch
+        }
+    }
+    let engine = shared.engine.read().expect("engine poisoned");
+    // Resolve names, keeping per-item errors positional; well-formed
+    // queries move (not clone) into the batch, and `resolved` remembers
+    // which positions ran (batch indices are increasing, so draining the
+    // answers in order realigns them).
+    let mut batch: Vec<(DocId, pxv_tpq::TreePattern)> = Vec::new();
+    let resolved: Vec<Result<(), ProtocolError>> = items
+        .into_iter()
+        .map(|item| {
+            let (doc, query) = item?;
+            batch.push((find_doc(&engine, &doc)?, query));
+            Ok(())
+        })
+        .collect();
+    let mut answers = engine.answer_batch(&batch).into_iter();
+    writeln!(out, "RESULTS {count}")?;
+    let mut errors = 0u64;
+    for item in resolved {
+        match item {
+            Err(e) => {
+                errors += 1;
+                writeln!(out, "{}", e.to_line())?;
+            }
+            Ok(()) => match answers.next().expect("one answer per resolved query") {
+                Ok(answer) => write_answer(out, &answer)?,
+                Err(e) => {
+                    errors += 1;
+                    writeln!(out, "{}", engine_err(e).to_line())?;
+                }
+            },
+        }
+    }
+    // The whole batch is one request; keep `errors <= requests` by
+    // counting it once however many body lines failed.
+    if errors > 0 {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! Server-side counters: atomic totals plus a fixed-bucket latency
+//! histogram for p50/p99 without locks or allocation on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i` counts requests whose latency
+/// is in `[2^i, 2^(i+1))` microseconds, so 32 buckets cover 1 µs to over
+/// an hour.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A lock-free power-of-two histogram of request latencies. Recording is
+/// one atomic increment; quantiles walk the 32 buckets and report the
+/// upper bound of the bucket containing the requested rank (exact enough
+/// for p50/p99 dashboards, and never more than 2× off).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one request latency.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().max(1) as u64;
+        let idx = (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile
+    /// (`0.0 < q <= 1.0`); 0 when nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// Total number of recorded requests.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Atomic lifetime counters of one server.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted and admitted to the worker pool.
+    pub(crate) connections: AtomicU64,
+    /// Connections turned away at the limit (`ERR busy`).
+    pub(crate) rejected: AtomicU64,
+    /// Requests handled (including those answered with `ERR`).
+    pub(crate) requests: AtomicU64,
+    /// Requests whose response contained at least one `ERR` line (a
+    /// `BATCH` with failing body lines counts once).
+    pub(crate) errors: AtomicU64,
+    /// Per-request latency histogram.
+    pub(crate) latency: LatencyHistogram,
+}
+
+/// A point-in-time copy of [`ServerStats`] (what `STATS` serializes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Connections accepted and admitted.
+    pub connections: u64,
+    /// Connections rejected at the connection limit.
+    pub rejected: u64,
+    /// Requests handled.
+    pub requests: u64,
+    /// Requests whose response contained at least one `ERR` line.
+    pub errors: u64,
+    /// Median request latency (bucket upper bound, µs).
+    pub p50_us: u64,
+    /// 99th-percentile request latency (bucket upper bound, µs).
+    pub p99_us: u64,
+}
+
+impl ServerStats {
+    pub(crate) fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            p50_us: self.latency.quantile_us(0.50),
+            p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        for _ in 0..99 {
+            h.record(Duration::from_micros(3)); // bucket [2,4)
+        }
+        h.record(Duration::from_millis(40)); // bucket [32768, 65536)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), 4);
+        assert_eq!(h.quantile_us(0.99), 4);
+        assert_eq!(h.quantile_us(1.0), 65536);
+        // Sub-microsecond latencies land in the first bucket.
+        h.record(Duration::from_nanos(10));
+        assert_eq!(h.count(), 101);
+    }
+}

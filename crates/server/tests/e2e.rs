@@ -1,0 +1,277 @@
+//! Loopback end-to-end tests: a real `serve` on an ephemeral port,
+//! driven by real TCP clients.
+//!
+//! The load-bearing assertion is *bit identity*: a `QUERY` answered over
+//! the wire — query shipped as display text, probabilities as
+//! shortest-round-trip `f64` strings — equals the in-process
+//! `Engine::answer` result exactly (`==` on `Vec<(NodeId, f64)>`, no
+//! epsilon), including when 8 clients hammer the server concurrently.
+
+use pxv_engine::{Engine, QueryOptions, View};
+use pxv_pxml::generators::personnel;
+use pxv_pxml::PDocument;
+use pxv_server::client::{Client, ClientError};
+use pxv_server::protocol::ProtocolError;
+use pxv_server::serve::{serve, ServerConfig, ServerHandle};
+use pxv_tpq::parse::parse_pattern;
+use pxv_tpq::TreePattern;
+
+const DOC: &str = "hr";
+
+fn query_mix() -> Vec<TreePattern> {
+    [
+        "IT-personnel//person/bonus[laptop]",
+        "IT-personnel//person/bonus[pda]",
+        "IT-personnel//person/bonus[tablet]",
+        "IT-personnel//person/bonus",
+        "IT-personnel//person[name/Rick]/bonus[laptop]",
+    ]
+    .iter()
+    .map(|s| parse_pattern(s).unwrap())
+    .collect()
+}
+
+fn views() -> Vec<View> {
+    vec![
+        View::new(
+            "v1BON",
+            parse_pattern("IT-personnel//person[name/Rick]/bonus").unwrap(),
+        ),
+        View::new(
+            "v2BON",
+            parse_pattern("IT-personnel//person/bonus").unwrap(),
+        ),
+    ]
+}
+
+fn fixture_pdoc() -> PDocument {
+    personnel(40, 3, 11).0
+}
+
+/// The in-process reference: same document, same views, warm catalog.
+fn reference_engine() -> (Engine, pxv_engine::DocId) {
+    let mut engine = Engine::new();
+    let doc = engine.add_document(DOC, fixture_pdoc()).unwrap();
+    engine.register_views(views()).unwrap();
+    engine.warm(doc).unwrap();
+    (engine, doc)
+}
+
+/// Starts an empty server and provisions it entirely over the wire
+/// (LOAD + VIEW + WARM), so the display-form round trips are on the
+/// tested path.
+fn provisioned_server(workers: usize, max_connections: usize) -> ServerHandle {
+    let handle = serve(
+        Engine::new(),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            max_connections,
+        },
+    )
+    .expect("bind ephemeral port");
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.load(DOC, &fixture_pdoc()).unwrap();
+    for v in views() {
+        c.view(&v.name, &v.pattern).unwrap();
+    }
+    let warmed = c.warm(DOC).unwrap();
+    assert_eq!(warmed, 2, "both views materialized");
+    c.quit().unwrap();
+    handle
+}
+
+/// The acceptance-criterion test: 8 concurrent clients, every response
+/// bit-identical to `Engine::answer`, then a clean shutdown.
+#[test]
+fn eight_concurrent_clients_bit_identical_to_in_process_answers() {
+    let (reference, doc) = reference_engine();
+    let mix = query_mix();
+    let expected: Vec<_> = mix
+        .iter()
+        .map(|q| reference.answer(doc, q).unwrap().nodes)
+        .collect();
+    assert!(expected.iter().any(|nodes| !nodes.is_empty()));
+
+    let handle = provisioned_server(8, 64);
+    let addr = handle.addr();
+    const ROUNDS: usize = 40;
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let mix = &mix;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for r in 0..ROUNDS {
+                    let i = (t + r) % mix.len();
+                    let got = client.query(DOC, &mix[i]).unwrap();
+                    // Exact equality — NodeIds and f64 bits.
+                    assert_eq!(
+                        got.nodes, expected[i],
+                        "client {t} round {r}: wire answer diverged for {}",
+                        mix[i]
+                    );
+                    assert!(got.plan.contains("plan"), "served from views: {}", got.plan);
+                    assert_eq!(got.stats.materializations, 0, "warm server");
+                }
+                client.quit().unwrap();
+            });
+        }
+    });
+
+    let stats = handle.stats();
+    assert_eq!(stats.errors, 0, "no protocol errors");
+    assert!(stats.requests >= 8 * ROUNDS as u64);
+    assert!(stats.connections >= 9, "setup + 8 query clients");
+    // Single-flight across the wire: WARM materialized each view once and
+    // 320 concurrent queries never re-materialized.
+    handle.with_engine(|engine| {
+        assert_eq!(engine.stats().materializations, 2);
+    });
+    // Clean shutdown: every server thread joins.
+    handle.shutdown();
+}
+
+#[test]
+fn batch_matches_sequential_queries() {
+    let handle = provisioned_server(4, 16);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mix = query_mix();
+    let sequential: Vec<_> = mix.iter().map(|q| client.query(DOC, q).unwrap()).collect();
+    let batch: Vec<(String, TreePattern)> =
+        mix.iter().map(|q| (DOC.to_string(), q.clone())).collect();
+    let results = client.batch(&batch).unwrap();
+    assert_eq!(results.len(), mix.len());
+    for (got, want) in results.iter().zip(&sequential) {
+        let got = got.as_ref().expect("batch answer");
+        assert_eq!(got.nodes, want.nodes, "batch ≡ sequential, bit-identical");
+    }
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_and_engine_errors_are_typed_lines() {
+    let handle = provisioned_server(2, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    // Unknown document.
+    match client.query_text("nosuch", "a/b") {
+        Err(ClientError::Server(ProtocolError::UnknownDoc(_))) => {}
+        other => panic!("want unknown-doc, got {other:?}"),
+    }
+    // Malformed pattern.
+    match client.query_text(DOC, "a//") {
+        Err(ClientError::Server(ProtocolError::BadPattern(_))) => {}
+        other => panic!("want bad-pattern, got {other:?}"),
+    }
+    // Unanswerable query under the default Forbid fallback.
+    match client.query_text(DOC, "unrelated//thing") {
+        Err(ClientError::Server(ProtocolError::Plan(_))) => {}
+        other => panic!("want plan error, got {other:?}"),
+    }
+    // …but answerable with fallback=direct.
+    let opts = QueryOptions::new().fallback(pxv_engine::Fallback::Direct);
+    let direct = client
+        .query_with(DOC, &parse_pattern("unrelated//thing").unwrap(), &opts)
+        .unwrap();
+    assert!(direct.nodes.is_empty());
+    assert!(direct.plan.contains("direct"));
+    // Duplicate view.
+    match client.view_text("v1BON", "a/b") {
+        Err(ClientError::Server(ProtocolError::Engine(_))) => {}
+        other => panic!("want engine error, got {other:?}"),
+    }
+    // A batch with a bad line still answers the good ones, positionally.
+    let batch = vec![
+        (DOC.to_string(), query_mix()[0].clone()),
+        ("ghost".to_string(), query_mix()[1].clone()),
+        (DOC.to_string(), query_mix()[2].clone()),
+    ];
+    let results = client.batch(&batch).unwrap();
+    assert!(results[0].is_ok());
+    assert!(matches!(results[1], Err(ProtocolError::UnknownDoc(_))));
+    assert!(results[2].is_ok());
+    // Client-side framing guards: a newline-bearing label and an
+    // oversized batch are refused before anything hits the wire, so the
+    // session cannot desynchronize.
+    let mut evil = parse_pattern("a").unwrap();
+    evil.add_child(
+        evil.root(),
+        pxv_tpq::Axis::Child,
+        pxv_tpq::Label::new("two\nlines"),
+    );
+    match client.query(DOC, &evil) {
+        Err(ClientError::Unexpected(msg)) => assert!(msg.contains("newline"), "{msg}"),
+        other => panic!("want newline refusal, got {other:?}"),
+    }
+    let huge = vec![(DOC.to_string(), query_mix()[0].clone()); 5000];
+    match client.batch(&huge) {
+        Err(ClientError::Server(ProtocolError::BadCount(_))) => {}
+        other => panic!("want client-side bad-count, got {other:?}"),
+    }
+    assert!(client.batch(&[]).unwrap().is_empty());
+    // The session survives all of the above.
+    client.ping().unwrap();
+    let errors_seen = handle.stats().errors;
+    assert!(errors_seen >= 5, "errors counted: {errors_seen}");
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn invalidate_forces_rematerialization_over_the_wire() {
+    let handle = provisioned_server(2, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let q = &query_mix()[0];
+    let warm = client.query(DOC, q).unwrap();
+    assert_eq!(warm.stats.materializations, 0);
+    assert_eq!(client.invalidate(DOC).unwrap(), 2);
+    let cold = client.query(DOC, q).unwrap();
+    assert_eq!(
+        cold.stats.materializations, 1,
+        "re-materialized after invalidate"
+    );
+    assert_eq!(cold.nodes, warm.nodes);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats["inval"], 1);
+    assert!(stats.contains_key("p99us"));
+    assert!(stats.contains_key("planmiss"));
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn connection_limit_rejects_with_busy() {
+    // Fresh empty server: no setup session whose slot could still be
+    // draining when the test connects.
+    let handle = serve(
+        Engine::new(),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            max_connections: 1,
+        },
+    )
+    .unwrap();
+    let mut admitted = Client::connect(handle.addr()).unwrap();
+    admitted.ping().unwrap(); // ensure it is the one holding the slot
+    let mut turned_away = Client::connect(handle.addr()).unwrap();
+    match turned_away.ping() {
+        Err(ClientError::Server(ProtocolError::Busy)) | Err(ClientError::Io(_)) => {}
+        other => panic!("want busy/closed, got {other:?}"),
+    }
+    assert_eq!(handle.stats().rejected, 1);
+    admitted.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Shutdown must not hang on a session that is idle mid-connection.
+#[test]
+fn shutdown_drains_idle_sessions() {
+    let handle = provisioned_server(2, 8);
+    let mut idle = Client::connect(handle.addr()).unwrap();
+    idle.ping().unwrap();
+    // No QUIT: the session blocks in its read loop until the shutdown
+    // flag is observed on a poll tick. shutdown() joining is the assert.
+    handle.shutdown();
+}

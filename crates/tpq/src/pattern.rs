@@ -398,11 +398,18 @@ pub fn max_prefix_suffix(labels: &[Label]) -> usize {
 }
 
 impl fmt::Display for TreePattern {
-    /// XPath-ish notation (parseable back by [`crate::parse`]).
+    /// XPath-ish notation that re-parses (via [`crate::parse`]) to a
+    /// pattern with the same [`TreePattern::canonical_key`] — labels that
+    /// are not plain identifier tokens render single-quoted. The round
+    /// trip is load-bearing for the wire protocol of the serving layer
+    /// and is property-tested (`parse(display(q)) ≡ q`).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn label(q: &TreePattern, n: QNodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&pxv_pxml::text::quote_label(q.label(n).name()))
+        }
         fn pred(q: &TreePattern, n: QNodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             // Render a predicate subtree rooted at n (axis printed by caller).
-            write!(f, "{}", q.label(n))?;
+            label(q, n, f)?;
             let kids = q.children(n);
             // Single child chains render inline: name/Rick, x//y.
             if kids.len() == 1 {
@@ -425,7 +432,7 @@ impl fmt::Display for TreePattern {
             if i > 0 {
                 f.write_str(self.axis(n).as_str())?;
             }
-            write!(f, "{}", self.label(n))?;
+            label(self, n, f)?;
             for c in self.predicate_children(n) {
                 f.write_str("[")?;
                 if self.axis(c) == Axis::Descendant {

@@ -1,0 +1,96 @@
+//! Property test for the satellite fix of the serving-layer PR:
+//! `parse(display(q)) ≡ q` — the `Display` output of any tree pattern
+//! re-parses to a pattern with the same canonical structural key, even
+//! when labels need quoting (spaces, punctuation, non-ASCII, trailing
+//! dots, the empty label). The wire protocol ships queries as display
+//! text, so this round trip is what makes remote answers exact.
+
+use proptest::prelude::*;
+use pxv_tpq::generators::{random_pattern, RandomPatternConfig};
+use pxv_tpq::parse::parse_pattern;
+use pxv_tpq::TreePattern;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Label pool stressing every lexical class the parser knows: bare
+/// identifier tokens, labels that must be quoted (whitespace, symbols,
+/// UTF-8), and the lexer's corner cases (`a.`, which would otherwise
+/// split as `a` + `./…`; the empty label; a leading-dot label).
+fn gnarly_labels() -> Vec<String> {
+    [
+        "a",
+        "b-1",
+        "x_2",
+        "3.14",
+        "IT-personnel",
+        "IT personnel",
+        "two  spaces",
+        "a.",
+        ".hidden",
+        "",
+        "p@q",
+        "λ-node",
+        "mux",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn pattern_strategy() -> impl Strategy<Value = TreePattern> {
+    (any::<u64>(), 1usize..5).prop_map(|(seed, mb_len)| {
+        let cfg = RandomPatternConfig {
+            mb_len,
+            desc_prob: 0.4,
+            preds_per_node: 0.9,
+            pred_depth: 3,
+            labels: gnarly_labels(),
+        };
+        random_pattern(&cfg, &mut StdRng::seed_from_u64(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The satellite property itself.
+    #[test]
+    fn parse_display_is_identity_up_to_canonical_form(q in pattern_strategy()) {
+        let text = q.to_string();
+        let q2 = parse_pattern(&text)
+            .map_err(|e| TestCaseError::Fail(format!("display `{text}` did not re-parse: {e}")))?;
+        prop_assert_eq!(
+            q.canonical_key(),
+            q2.canonical_key(),
+            "display `{}` re-parsed to a different pattern",
+            text
+        );
+    }
+
+    /// Display is a fixed point: rendering the re-parsed pattern yields
+    /// the same text (no quote/axis flip-flopping between generations).
+    #[test]
+    fn display_is_stable(q in pattern_strategy()) {
+        let text = q.to_string();
+        let q2 = parse_pattern(&text)
+            .map_err(|e| TestCaseError::Fail(format!("`{text}`: {e}")))?;
+        prop_assert_eq!(text, q2.to_string());
+    }
+}
+
+/// The regression that motivated the fix: quoted labels used to render
+/// bare and fail to re-parse.
+#[test]
+fn quoted_labels_round_trip() {
+    for s in [
+        "'IT personnel'//person/bonus",
+        "'a.'/b",
+        "a['x y'[z]]/'w w'",
+        "''/x",
+    ] {
+        let q = parse_pattern(s).unwrap();
+        let text = q.to_string();
+        let q2 = parse_pattern(&text).unwrap_or_else(|e| panic!("{s} → {text}: {e}"));
+        assert_eq!(q.canonical_key(), q2.canonical_key(), "{s} → {text}");
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end tour of the serving layer, self-contained in one process:
+//! starts `prxd` on an ephemeral port, provisions the paper's running
+//! example over the wire (LOAD → VIEW → WARM), answers queries through
+//! the blocking client, and shows that remote answers are bit-identical
+//! to in-process `Engine::answer` results.
+//!
+//! ```sh
+//! cargo run --release --example remote_query
+//! ```
+//!
+//! Against a standalone server the client half is the same — run
+//! `prxview serve --port 7878` in one terminal and point
+//! `Client::connect("127.0.0.1:7878")` at it.
+
+use prxview::engine::Engine;
+use prxview::pxml::text::parse_pdocument;
+use prxview::rewrite::View;
+use prxview::server::client::Client;
+use prxview::server::serve::{serve, ServerConfig};
+use prxview::tpq::parse::parse_pattern;
+
+const PPER: &str = "IT-personnel[person[name[mux(0.75: Rick, 0.25: John)], \
+                    bonus[mux(0.9: laptop, 0.1: pda)]], \
+                    person[name[Mary], bonus[mux(0.5: tablet, 0.5: pda)]]]";
+
+fn main() {
+    // A server around an empty engine, on an ephemeral loopback port.
+    let handle = serve(
+        Engine::new(),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    println!("prxd listening on {}", handle.addr());
+
+    // Provision everything over the wire: the display forms round-trip,
+    // so the server's document is exactly the one we parsed here.
+    let pdoc = parse_pdocument(PPER).unwrap();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.load("pper", &pdoc).unwrap();
+    client
+        .view_text("bonuses", "IT-personnel//person/bonus")
+        .unwrap();
+    println!("warmed {} extension(s)", client.warm("pper").unwrap());
+
+    // Remote answers…
+    let q = parse_pattern("IT-personnel//person/bonus[laptop]").unwrap();
+    let remote = client.query("pper", &q).unwrap();
+    println!("\nQUERY pper {q}");
+    for (n, p) in &remote.nodes {
+        println!("  {n}\t{p:.9}");
+    }
+    println!("  route: {}", remote.plan);
+    println!(
+        "  stats: {} extension(s) touched, {} cache hit(s), {} materialization(s)",
+        remote.stats.extensions_touched, remote.stats.cache_hits, remote.stats.materializations
+    );
+
+    // …are bit-identical to in-process answers over the same state.
+    let mut local = Engine::new();
+    let doc = local.add_document("pper", pdoc).unwrap();
+    local
+        .register_view(View::new(
+            "bonuses",
+            parse_pattern("IT-personnel//person/bonus").unwrap(),
+        ))
+        .unwrap();
+    let direct = local.answer(doc, &q).unwrap();
+    assert_eq!(remote.nodes, direct.nodes, "wire answers are exact");
+    println!(
+        "\nremote ≡ local: {} node(s), every f64 bit equal",
+        remote.nodes.len()
+    );
+
+    // A batch, answered concurrently on the server.
+    let batch: Vec<(String, _)> = [
+        "IT-personnel//person/bonus[pda]",
+        "IT-personnel//person/bonus[tablet]",
+        "IT-personnel//person[name/Rick]/bonus",
+    ]
+    .iter()
+    .map(|s| ("pper".to_string(), parse_pattern(s).unwrap()))
+    .collect();
+    println!("\nBATCH {}", batch.len());
+    for ((_, q), result) in batch.iter().zip(client.batch(&batch).unwrap()) {
+        match result {
+            Ok(answer) => println!("  {q} → {} node(s)", answer.nodes.len()),
+            Err(e) => println!("  {q} → error: {e}"),
+        }
+    }
+
+    // Server-side counters, then a clean teardown.
+    let stats = client.stats().unwrap();
+    println!(
+        "\nSTATS: {} request(s), {} error(s), p50 {} µs, plan cache {} hit(s)",
+        stats["requests"], stats["errors"], stats["p50us"], stats["planhits"]
+    );
+    client.quit().unwrap();
+    handle.shutdown();
+    println!("server shut down cleanly");
+}

@@ -10,6 +10,9 @@
 //! prxview batch   <pdoc-file> <query-file> [-jN] name=pattern…
 //!                                                concurrent batch answering
 //! prxview cindep  <q1> <q2>                      c-independence test
+//! prxview serve   [--port P] [--addr H] [-jN] [--max-conn M]
+//!                 [--doc name=file]… [name=pattern]…
+//!                                                run the prxd TCP server
 //! ```
 //!
 //! P-document files use the `pxv-pxml` text syntax, e.g.
@@ -20,6 +23,10 @@
 //! lines and `#` comments skipped), answers them on `N` worker threads
 //! (default: available parallelism) against the shared sharded catalog,
 //! and reports throughput plus engine-lifetime cache stats on stderr.
+//! `serve` exposes the engine over TCP (the `pxv-server` wire protocol):
+//! documents and views can be preloaded from the command line or loaded
+//! live through the protocol's `LOAD`/`VIEW` requests; drive it with
+//! `prxload` or any line-oriented TCP client (`nc` included).
 
 use prxview::engine::{Engine, EngineError, QueryOptions};
 use prxview::pxml::text::parse_pdocument;
@@ -34,7 +41,8 @@ fn usage() -> ExitCode {
         "usage:\n  prxview eval <pdoc-file> <query>\n  prxview worlds <pdoc-file> [limit]\n  \
          prxview plan <query> name=pattern...\n  prxview answer <pdoc-file> <query> name=pattern...\n  \
          prxview batch <pdoc-file> <query-file> [-jN] name=pattern...\n  \
-         prxview cindep <q1> <q2>"
+         prxview cindep <q1> <q2>\n  \
+         prxview serve [--port P] [--addr H] [-jN] [--max-conn M] [--doc name=file]... [name=pattern]..."
     );
     ExitCode::from(2)
 }
@@ -204,6 +212,77 @@ fn run() -> Result<ExitCode, String> {
             } else {
                 ExitCode::FAILURE
             })
+        }
+        Some("serve") => {
+            let mut host = "127.0.0.1".to_string();
+            let mut port = 7878u16;
+            let mut config = prxview::server::serve::ServerConfig::default();
+            let mut engine = Engine::with_options(QueryOptions::default());
+            let mut view_args = Vec::new();
+            let mut i = 1;
+            let value = |args: &[String], i: usize| -> Result<String, String> {
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| format!("{} needs a value", args[i]))
+            };
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--port" => {
+                        port = value(&args, i)?
+                            .parse()
+                            .map_err(|e| format!("bad --port: {e}"))?;
+                        i += 2;
+                    }
+                    "--addr" => {
+                        host = value(&args, i)?;
+                        i += 2;
+                    }
+                    "--max-conn" => {
+                        config.max_connections = value(&args, i)?
+                            .parse()
+                            .map_err(|e| format!("bad --max-conn: {e}"))?;
+                        i += 2;
+                    }
+                    "--doc" => {
+                        let spec = value(&args, i)?;
+                        let (name, file) = spec
+                            .split_once('=')
+                            .ok_or_else(|| format!("--doc `{spec}` must be name=file"))?;
+                        engine
+                            .add_document(name, load_pdoc(file)?)
+                            .map_err(|e| format!("--doc {name}: {e}"))?;
+                        i += 2;
+                    }
+                    a if a.starts_with("-j") => {
+                        config.workers = a[2..].parse().map_err(|e| format!("bad {a}: {e}"))?;
+                        i += 1;
+                    }
+                    _ => {
+                        view_args.push(args[i].clone());
+                        i += 1;
+                    }
+                }
+            }
+            engine
+                .register_views(parse_views(&view_args)?)
+                .map_err(|e| e.to_string())?;
+            // Bracket bare IPv6 hosts so `host:port` stays resolvable.
+            config.addr = if host.contains(':') && !host.starts_with('[') {
+                format!("[{host}]:{port}")
+            } else {
+                format!("{host}:{port}")
+            };
+            let handle = prxview::server::serve::serve(engine, &config)
+                .map_err(|e| format!("bind {}: {e}", config.addr))?;
+            eprintln!(
+                "prxd listening on {} ({} workers, {} max connections); \
+                 protocol: LOAD/VIEW/WARM/QUERY/BATCH/STATS/INVALIDATE/PING/QUIT",
+                handle.addr(),
+                config.workers,
+                config.max_connections
+            );
+            handle.wait();
+            Ok(ExitCode::SUCCESS)
         }
         Some("cindep") if args.len() == 3 => {
             let q1 = load_query(&args[1])?;

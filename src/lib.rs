@@ -36,15 +36,17 @@
 //! The underlying layers remain available (and re-exported) for direct
 //! use: [`pxml`] (p-documents), [`tpq`] (tree patterns), [`peval`]
 //! (probabilistic evaluation), [`rewrite`] (TPrewrite / TPIrewrite and
-//! plan execution).
+//! plan execution), [`engine`] (the stateful facade, its own crate
+//! `pxv-engine`), and [`server`] (`pxv-server`: the `prxd` TCP serving
+//! layer — wire protocol, threaded server, blocking client, `prxload`).
 
 #![warn(missing_docs)]
 
-pub mod engine;
-
+pub use pxv_engine as engine;
 pub use pxv_peval as peval;
 pub use pxv_pxml as pxml;
 pub use pxv_rewrite as rewrite;
+pub use pxv_server as server;
 pub use pxv_tpq as tpq;
 
 use pxv_pxml::{NodeId, PDocument};

@@ -1,8 +1,9 @@
 //! Engine-level integration tests: the catalog memoization contract
 //! (satellite: warm-catalog queries perform zero materializations),
-//! selective materialization for TP∩ plans, and a randomized property
-//! test that `Engine::answer` agrees with direct evaluation on random
-//! p-documents and view sets (reusing `pxml::generators` and
+//! selective materialization for TP∩ plans, the plan cache (warm plans
+//! are never re-planned; epoch bumps invalidate), and a randomized
+//! property test that `Engine::answer` agrees with direct evaluation on
+//! random p-documents and view sets (reusing `pxml::generators` and
 //! `tpq::generators`).
 
 use prxview::engine::{Engine, EngineError, Fallback, PlanPreference, QueryOptions};
@@ -185,6 +186,110 @@ fn random_engine_answers_agree_with_direct() {
         planned >= 30,
         "too few planned cases: {planned} planned, {fell_back} direct"
     );
+}
+
+/// Satellite requirement (serving-layer PR): a warm plan cache. The
+/// second arrival of a structurally-equal query is answered without
+/// re-planning; `register_view` and `invalidate` bump the catalog epoch
+/// and drop cached plans.
+#[test]
+fn warm_plan_cache_skips_planning() {
+    let (pdoc, _) = personnel(10, 2, 5);
+    let mut engine = Engine::new();
+    let doc = engine.add_document("personnel", pdoc).unwrap();
+    engine
+        .register_view(View::new("bonuses", p("IT-personnel//person/bonus")))
+        .unwrap();
+    let epoch0 = engine.catalog_epoch();
+    let q = p("IT-personnel//person/bonus[laptop]");
+    engine.answer(doc, &q).unwrap();
+    assert_eq!(engine.stats().plan_cache_misses, 1, "cold: planned once");
+    assert_eq!(engine.stats().plan_cache_hits, 0);
+    // Same query again — and a structurally-equal spelling of it (the
+    // cache keys on the canonical form, not the text).
+    engine.answer(doc, &q).unwrap();
+    let respelled = p("IT-personnel//person/bonus[laptop]");
+    engine.answer(doc, &respelled).unwrap();
+    assert_eq!(
+        engine.stats().plan_cache_misses,
+        1,
+        "warm: never re-planned"
+    );
+    assert_eq!(engine.stats().plan_cache_hits, 2);
+    // Explicit planning shares the same cache.
+    engine.plan(&q).unwrap();
+    assert_eq!(engine.stats().plan_cache_hits, 3);
+    // Different options are a different key.
+    let opts = QueryOptions::new().interleaving_limit(123);
+    engine.answer_with(doc, &q, &opts).unwrap();
+    assert_eq!(engine.stats().plan_cache_misses, 2);
+    // Negative outcomes are cached too.
+    let hopeless = p("unrelated//thing");
+    assert!(engine.answer(doc, &hopeless).is_err());
+    assert!(engine.answer(doc, &hopeless).is_err());
+    assert_eq!(engine.stats().plan_cache_misses, 3);
+    assert_eq!(engine.stats().plan_cache_hits, 4);
+    // Registering a view bumps the epoch and drops every cached plan:
+    // the next arrival re-plans (it may now have a better rewriting).
+    engine
+        .register_view(View::new(
+            "rick",
+            p("IT-personnel//person[name/Rick]/bonus"),
+        ))
+        .unwrap();
+    assert!(engine.catalog_epoch() > epoch0);
+    engine.answer(doc, &q).unwrap();
+    assert_eq!(engine.stats().plan_cache_misses, 4, "epoch bump re-plans");
+    // Invalidation bumps the epoch as well.
+    let epoch1 = engine.catalog_epoch();
+    engine.invalidate(doc).unwrap();
+    assert!(engine.catalog_epoch() > epoch1);
+    engine.answer(doc, &q).unwrap();
+    assert_eq!(engine.stats().plan_cache_misses, 5);
+}
+
+/// The plan cache must not change what is answered: cached and
+/// fresh-engine answers are identical, including under concurrency.
+#[test]
+fn plan_cache_preserves_answers() {
+    let (pdoc, _) = personnel(15, 3, 17);
+    let mut engine = Engine::new();
+    let doc = engine.add_document("personnel", pdoc).unwrap();
+    engine
+        .register_views([
+            View::new("bonuses", p("IT-personnel//person/bonus")),
+            View::new("rick", p("IT-personnel//person[name/Rick]/bonus")),
+        ])
+        .unwrap();
+    let q = p("IT-personnel//person/bonus[laptop]");
+    let cold = engine.answer(doc, &q).unwrap();
+    let cached = engine.answer(doc, &q).unwrap();
+    assert_eq!(cold.nodes, cached.nodes);
+    assert_eq!(cold.description, cached.description);
+    // A concurrent batch of equal queries against a *cold* plan cache:
+    // racing workers may each plan once before the first insert lands,
+    // but the cache must fill and the answers must match the reference.
+    let (pdoc, _) = personnel(15, 3, 17);
+    let mut fresh = Engine::new();
+    let fresh_doc = fresh.add_document("personnel", pdoc).unwrap();
+    fresh
+        .register_views([
+            View::new("bonuses", p("IT-personnel//person/bonus")),
+            View::new("rick", p("IT-personnel//person[name/Rick]/bonus")),
+        ])
+        .unwrap();
+    assert_eq!(fresh.stats().plan_cache_misses, 0, "cache starts cold");
+    let batch: Vec<_> = (0..16).map(|_| (fresh_doc, q.clone())).collect();
+    let results = fresh.answer_batch_with(&batch, fresh.options(), 4);
+    for r in &results {
+        assert_eq!(r.as_ref().expect("batch answer").nodes, cold.nodes);
+    }
+    let misses = fresh.stats().plan_cache_misses;
+    assert!(
+        (1..=4).contains(&misses),
+        "16 equal queries on 4 workers plan between 1 and 4 times, got {misses}"
+    );
+    assert_eq!(fresh.stats().plan_cache_hits, 16 - misses);
 }
 
 /// Satellite regression: invalidation evicts the document's extensions
