@@ -1,6 +1,6 @@
 //! The experiment harness: regenerates every figure/example of the paper
 //! (E1–E12) and prints paper-value vs. measured-value tables, plus compact
-//! versions of the scaling experiments (B1–B10; full statistics via
+//! versions of the scaling experiments (B1–B11; full statistics via
 //! `cargo bench`). Output is recorded in EXPERIMENTS.md.
 //!
 //! ```sh
@@ -419,7 +419,7 @@ fn fmt_ms(d: std::time::Duration) -> String {
 }
 
 fn b_compact() {
-    println!("\n== B1–B10 compact scaling runs (full statistics: cargo bench) ==");
+    println!("\n== B1–B11 compact scaling runs (full statistics: cargo bench) ==");
 
     // B1: c-independence PTime shape.
     println!("\n[B1] c-independence test vs pattern size (Prop. 2):");
@@ -711,6 +711,63 @@ fn b_compact() {
         );
         assert_eq!(stats.errors, 0, "B10 burst must be protocol-error free");
         handle.shutdown();
+    }
+
+    // B11: the persistent store (tentpole of the pxv-store PR). Cold
+    // start = parse the document text, register views, warm the catalog,
+    // answer a first query; snapshot-restore start = read the binary
+    // snapshot and answer the same query from the restored (already
+    // warm) cache. The restored answer must be bit-identical with zero
+    // materializations — the snapshot is startup cost made durable.
+    println!("\n[B11] snapshot store: cold parse+warm-up vs snapshot restore (pxv-store):");
+    {
+        use prxview::engine::Engine;
+        use pxv_pxml::text::parse_pdocument;
+        let q = qbon();
+        for persons in [50usize, 200, 800] {
+            let (pdoc, _) = personnel(persons, 3, 9);
+            let text = pdoc.to_string();
+            // Cold start: parse + register + warm + first query.
+            let t0 = Instant::now();
+            let parsed = parse_pdocument(&text).expect("generated text re-parses");
+            let mut engine = Engine::new();
+            let doc = engine.add_document("p", parsed).unwrap();
+            engine.register_views([v1bon(), v2bon()]).unwrap();
+            engine.warm(doc).unwrap();
+            let cold_first = engine.answer(doc, &q).expect("plan");
+            let t_cold = t0.elapsed();
+            // Snapshot the warm engine.
+            let path =
+                std::env::temp_dir().join(format!("pxv-b11-{}-{persons}.pxv", std::process::id()));
+            let t1 = Instant::now();
+            let bytes = engine.snapshot_to(&path).expect("snapshot");
+            let t_save = t1.elapsed();
+            // Restore + first query (the warm path).
+            let t2 = Instant::now();
+            let restored = Engine::restore_from(&path).expect("restore");
+            let t_restore = t2.elapsed();
+            let rdoc = restored.find_document("p").expect("doc restored");
+            let t3 = Instant::now();
+            let warm_first = restored.answer(rdoc, &q).expect("plan");
+            let t_first = t3.elapsed();
+            assert_eq!(
+                warm_first.nodes, cold_first.nodes,
+                "restored answers must be bit-identical"
+            );
+            assert_eq!(warm_first.stats.materializations, 0, "restore is warm");
+            assert_eq!(restored.stats().materializations, 0);
+            std::fs::remove_file(&path).ok();
+            println!(
+                "  persons={persons:4}: cold parse+warm+query {:>12}  snapshot {:>12} \
+                 ({:>9} bytes)  restore {:>12}  first-query {:>12}  ({:.1}× faster start)",
+                fmt_ms(t_cold),
+                fmt_ms(t_save),
+                bytes,
+                fmt_ms(t_restore),
+                fmt_ms(t_first),
+                t_cold.as_secs_f64() / (t_restore + t_first).as_secs_f64()
+            );
+        }
     }
 }
 

@@ -111,10 +111,12 @@ use pxv_rewrite::view::ProbExtension;
 pub use pxv_rewrite::View;
 use pxv_tpq::TreePattern;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 pub use pxv_rewrite::answer::{Plan, PlanError, PlanPreference, DEFAULT_INTERLEAVING_LIMIT};
+pub use pxv_store::{ExtensionEntry, Snapshot, StoreError};
 
 /// Number of cache shards in a [`Catalog`] (power of two). Sixteen shards
 /// keep contention negligible for worker pools up to ~16 threads while the
@@ -542,6 +544,38 @@ impl Catalog {
             });
         }
         evicted
+    }
+
+    /// Every *completed* cache entry as `(doc index, view index,
+    /// extension)`, sorted by key — the extension cache as a snapshot
+    /// sees it (in-flight materializations are skipped, exactly like
+    /// [`Catalog::clone`] skips them).
+    fn completed_entries(&self) -> Vec<(usize, usize, Arc<ProbExtension>)> {
+        let mut out: Vec<(usize, usize, Arc<ProbExtension>)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let map = shard.read().expect("catalog shard poisoned");
+                map.iter()
+                    .filter_map(|(&(d, v), slot)| slot.get().map(|ext| (d, v, Arc::clone(ext))))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|&(d, v, _)| (d, v));
+        out
+    }
+
+    /// Installs an already-materialized extension as a completed cache
+    /// entry (snapshot restore). The caller guarantees the indices are in
+    /// range.
+    fn restore_entry(&mut self, doc: usize, view: usize, ext: Arc<ProbExtension>) {
+        let key = (doc, view);
+        let slot: ExtensionSlot = Arc::new(OnceLock::new());
+        slot.set(ext).expect("fresh OnceLock");
+        self.shards[shard_index(key)]
+            .get_mut()
+            .expect("catalog shard poisoned")
+            .insert(key, slot);
     }
 
     /// The memoized extension of view `view_idx` over `pdoc`; materializes
@@ -1021,6 +1055,132 @@ impl Engine {
             .collect()
     }
 
+    /// A point-in-time [`Snapshot`] of the engine: documents, registered
+    /// views, every *completed* cached extension, and the catalog epoch.
+    ///
+    /// The snapshot reads the **live** cache, so extensions evicted by
+    /// [`Engine::invalidate`] can never reappear in a later snapshot
+    /// (the staleness contract; see DESIGN.md §8). Lifetime counters are
+    /// deliberately not captured — a restored engine starts with zeroed
+    /// stats, which is what makes "`materializations == 0` on the warm
+    /// path" directly observable after a restore.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut names = vec![String::new(); self.documents.len()];
+        for (name, &idx) in &self.doc_names {
+            names[idx] = name.clone();
+        }
+        let documents = names
+            .into_iter()
+            .zip(self.documents.iter().cloned())
+            .collect();
+        let extensions = self
+            .catalog
+            .completed_entries()
+            .into_iter()
+            .map(|(doc, view, ext)| ExtensionEntry {
+                doc,
+                view,
+                extension: (*ext).clone(),
+            })
+            .collect();
+        Snapshot {
+            documents,
+            views: self.catalog.views.clone(),
+            extensions,
+            epoch: self.catalog_epoch,
+        }
+    }
+
+    /// Rebuilds an engine from a [`Snapshot`] with explicit default
+    /// [`QueryOptions`] (options are per-process configuration and are
+    /// not part of a snapshot). Cached extensions are installed without
+    /// re-materializing anything, and the catalog epoch is restored, so
+    /// warm queries run cache-hit-only and answer **bit-identically** to
+    /// the engine the snapshot was taken from.
+    pub fn from_snapshot_with(
+        snapshot: Snapshot,
+        options: QueryOptions,
+    ) -> Result<Engine, StoreError> {
+        let invalid = |e: EngineError| StoreError::Invalid(e.to_string());
+        let mut engine = Engine::with_options(options);
+        for (name, pdoc) in snapshot.documents {
+            engine.add_document(name, pdoc).map_err(invalid)?;
+        }
+        for view in snapshot.views {
+            engine.register_view(view).map_err(invalid)?;
+        }
+        for entry in snapshot.extensions {
+            if entry.doc >= engine.documents.len() {
+                return Err(StoreError::Invalid(format!(
+                    "extension references document {} of {}",
+                    entry.doc,
+                    engine.documents.len()
+                )));
+            }
+            let Some(view) = engine.catalog.views.get(entry.view) else {
+                return Err(StoreError::Invalid(format!(
+                    "extension references view {} of {}",
+                    entry.view,
+                    engine.catalog.views.len()
+                )));
+            };
+            if view.name != entry.extension.view.name {
+                return Err(StoreError::Invalid(format!(
+                    "extension for view `{}` filed under catalog slot `{}`",
+                    entry.extension.view.name, view.name
+                )));
+            }
+            // Cross-check the document association too: every original
+            // node the extension bundles must exist in the target
+            // document with a matching label, so a snapshot whose doc
+            // index was mis-filed (by a bug or a checksum-consistent
+            // edit) is rejected instead of silently serving another
+            // document's answers.
+            let pdoc = &engine.documents[entry.doc];
+            let ext = &entry.extension;
+            let consistent = |ext_node: NodeId, orig: NodeId| {
+                pdoc.contains(orig) && pdoc.label(orig) == ext.pdoc.label(ext_node)
+            };
+            if !ext.results.iter().all(|r| consistent(r.ext_root, r.orig))
+                || !ext.orig_entries().all(|(e, o)| consistent(e, o))
+            {
+                return Err(StoreError::Invalid(format!(
+                    "extension of view `{}` does not match document {}",
+                    view.name, entry.doc
+                )));
+            }
+            engine
+                .catalog
+                .restore_entry(entry.doc, entry.view, Arc::new(entry.extension));
+        }
+        // Adopt the snapshot's epoch (registration bumped a fresh
+        // counter; plan-cache entries are keyed by epoch, and the cache
+        // is empty, so this is purely the generation label).
+        engine.catalog_epoch = snapshot.epoch;
+        Ok(engine)
+    }
+
+    /// [`Engine::from_snapshot_with`] with default options.
+    pub fn from_snapshot(snapshot: Snapshot) -> Result<Engine, StoreError> {
+        Engine::from_snapshot_with(snapshot, QueryOptions::default())
+    }
+
+    /// Saves a snapshot of this engine to `path` atomically
+    /// (write-temp-then-rename via `pxv-store`). Returns the bytes
+    /// written.
+    pub fn snapshot_to(&self, path: impl AsRef<Path>) -> Result<u64, StoreError> {
+        pxv_store::write_snapshot(path, &self.snapshot())
+    }
+
+    /// Restores an engine from a snapshot file written by
+    /// [`Engine::snapshot_to`] (or the `SAVE` protocol command /
+    /// `prxview save`). Corrupted, truncated, wrong-version or
+    /// wrong-checksum files are rejected with a typed [`StoreError`] —
+    /// never a panic.
+    pub fn restore_from(path: impl AsRef<Path>) -> Result<Engine, StoreError> {
+        Engine::from_snapshot(pxv_store::read_snapshot(path)?)
+    }
+
     /// Evaluates `q` directly over the original p-document (the baseline
     /// the rewriting avoids; touches no extension).
     pub fn answer_direct(&self, doc: DocId, q: &TreePattern) -> Result<Answer, EngineError> {
@@ -1231,6 +1391,121 @@ mod tests {
         assert!(matches!(results[1], Err(EngineError::UnknownDocument(_))));
         assert!(matches!(results[2], Err(EngineError::Plan(_))));
         assert!(results[3].is_ok());
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_and_warm() {
+        let (e, doc) = bonus_engine();
+        e.warm(doc).unwrap();
+        let q = p("IT-personnel//person/bonus[laptop]");
+        let want = e.answer(doc, &q).unwrap();
+        let snap = e.snapshot();
+        assert_eq!(snap.extensions.len(), 2);
+        assert_eq!(snap.documents[0].0, "pper");
+        let restored = Engine::from_snapshot(snap).unwrap();
+        assert_eq!(restored.catalog_epoch(), e.catalog_epoch());
+        let rd = restored.find_document("pper").unwrap();
+        assert_eq!(restored.catalog().cached_extensions(rd), 2);
+        let got = restored.answer(rd, &q).unwrap();
+        assert_eq!(got.nodes, want.nodes, "bit-identical, not approximate");
+        assert_eq!(got.description, want.description);
+        assert_eq!(got.stats.materializations, 0, "restored cache is warm");
+        assert_eq!(restored.stats().materializations, 0);
+    }
+
+    /// The staleness regression of the store satellite: a snapshot taken
+    /// *after* an invalidation reads the live cache and therefore cannot
+    /// resurrect the evicted extensions.
+    #[test]
+    fn post_invalidate_snapshot_does_not_resurrect_extensions() {
+        let (mut e, doc) = bonus_engine();
+        e.warm(doc).unwrap();
+        let before = e.snapshot();
+        assert_eq!(before.extensions.len(), 2);
+        e.invalidate(doc).unwrap();
+        let after = e.snapshot();
+        assert!(after.extensions.is_empty(), "eviction is durable");
+        assert!(after.epoch > before.epoch, "epoch records the mutation");
+        let restored = Engine::from_snapshot(after).unwrap();
+        let rd = restored.find_document("pper").unwrap();
+        let a = restored
+            .answer(rd, &p("IT-personnel//person/bonus[laptop]"))
+            .unwrap();
+        assert_eq!(
+            a.stats.materializations, 1,
+            "restored engine re-materializes instead of resurrecting"
+        );
+    }
+
+    #[test]
+    fn snapshot_file_round_trip_and_typed_corruption_errors() {
+        let (e, doc) = bonus_engine();
+        e.warm(doc).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "pxv-engine-snap-{}-{:?}.pxv",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let bytes = e.snapshot_to(&path).unwrap();
+        assert!(bytes > 0);
+        let restored = Engine::restore_from(&path).unwrap();
+        let rd = restored.find_document("pper").unwrap();
+        assert_eq!(restored.catalog().cached_extensions(rd), 2);
+        // Truncate the file: restore must fail with a typed error.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = Engine::restore_from(&path).expect_err("truncated");
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Corrupt { .. }
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn from_snapshot_rejects_inconsistent_entries() {
+        let (e, doc) = bonus_engine();
+        e.warm(doc).unwrap();
+        let mut snap = e.snapshot();
+        snap.extensions[0].view = 99;
+        let err = Engine::from_snapshot(snap).expect_err("dangling view index");
+        assert!(matches!(err, StoreError::Invalid(_)), "{err}");
+        let mut swapped = e.snapshot();
+        swapped.extensions[0].view = 1 - swapped.extensions[0].view;
+        let err = Engine::from_snapshot(swapped).expect_err("view/extension mismatch");
+        assert!(matches!(err, StoreError::Invalid(_)), "{err}");
+    }
+
+    /// Review regression: an extension filed under the wrong *document*
+    /// index (range-valid, view name matching) must be rejected, not
+    /// silently served as another document's answers.
+    #[test]
+    fn from_snapshot_rejects_mismatched_document_association() {
+        let mut e = Engine::new();
+        let d1 = e
+            .add_document("one", parse_pdocument("a[b[c]]").unwrap())
+            .unwrap();
+        let d2 = e
+            .add_document("two", parse_pdocument("x[y]").unwrap())
+            .unwrap();
+        e.register_view(View::new("bs", p("a/b"))).unwrap();
+        e.warm(d1).unwrap();
+        e.warm(d2).unwrap();
+        let mut snap = e.snapshot();
+        let entry = snap
+            .extensions
+            .iter_mut()
+            .find(|entry| entry.doc == 0)
+            .expect("doc one has a cached extension");
+        assert!(!entry.extension.results.is_empty(), "nonempty extension");
+        entry.doc = 1; // mis-file doc one's extension under doc two
+        let err = Engine::from_snapshot(snap).expect_err("mis-filed document");
+        assert!(matches!(err, StoreError::Invalid(_)), "{err}");
     }
 
     #[test]

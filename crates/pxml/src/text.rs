@@ -32,6 +32,60 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl ParseError {
+    /// 1-based `(line, column)` of the error within `src` (columns count
+    /// bytes; the offset is clamped to the input length, so an
+    /// unexpected-end-of-input error points one past the last byte).
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        line_col_at(src, self.at)
+    }
+
+    /// Renders the error as `origin:line:col: msg` followed by the
+    /// offending source line with a caret — what the CLI prints instead
+    /// of a bare byte offset.
+    pub fn render(&self, origin: &str, src: &str) -> String {
+        render_at(origin, src, self.at, &self.msg)
+    }
+}
+
+/// 1-based `(line, column)` of byte offset `at` in `src`.
+pub fn line_col_at(src: &str, at: usize) -> (usize, usize) {
+    let at = at.min(src.len());
+    let prefix = &src.as_bytes()[..at];
+    let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
+    let line_start = prefix
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    (line, at - line_start + 1)
+}
+
+/// Shared `origin:line:col` + caret renderer for offset-carrying parse
+/// errors — used by this crate's [`ParseError`] and by `pxv-tpq`'s
+/// `PatternParseError`, so every layer reports malformed input the same
+/// way:
+///
+/// ```text
+/// doc.pxml:1:5: expected ']'
+///   a[b, , c]
+///       ^
+/// ```
+pub fn render_at(origin: &str, src: &str, at: usize, msg: &str) -> String {
+    let at = at.min(src.len());
+    let (line, col) = line_col_at(src, at);
+    let line_start = src.as_bytes()[..at]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    let line_end = src.as_bytes()[at..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(src.len(), |i| at + i);
+    let text = &src[line_start..line_end];
+    let caret: String = " ".repeat(col.saturating_sub(1));
+    format!("{origin}:{line}:{col}: {msg}\n  {text}\n  {caret}^")
+}
+
 /// Renders a label name in its parseable lexical form: bare when it is a
 /// plain identifier token, single-quoted otherwise. Shared by every
 /// `Display` impl whose output must re-parse (document/p-document text
@@ -449,6 +503,28 @@ mod tests {
         assert!(parse_document("a]").is_err());
         assert!(parse_pdocument("mux(0.5: a)").is_err());
         assert!(parse_pdocument("a[mux(1.5x: b)]").is_err());
+    }
+
+    #[test]
+    fn errors_render_with_line_col_and_caret() {
+        let src = "a[b,\n , c]";
+        let err = parse_document(src).expect_err("bad child list");
+        let (line, col) = err.line_col(src);
+        assert_eq!(line, 2, "error is on the second line");
+        let rendered = err.render("doc.pxml", src);
+        assert!(rendered.starts_with("doc.pxml:2:"), "{rendered}");
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3, "{rendered}");
+        assert_eq!(lines[1], "   , c]", "offending line quoted: {rendered}");
+        assert_eq!(
+            lines[2].len(),
+            2 + col,
+            "caret under column {col}: {rendered}"
+        );
+        // An error at end-of-input clamps instead of panicking.
+        let eof = parse_document("a[b").expect_err("unclosed");
+        assert_eq!(eof.line_col("a[b"), (1, 4));
+        assert!(eof.render("d", "a[b").contains("d:1:4"));
     }
 
     #[test]

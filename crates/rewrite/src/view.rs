@@ -182,6 +182,46 @@ impl ProbExtension {
         self.pdoc.subtree(self.results[i].ext_root)
     }
 
+    /// The `extension node → original node` pairs backing
+    /// [`ProbExtension::original_of`], in unspecified order. Together with
+    /// the public fields this makes an extension fully decomposable — the
+    /// persistent store serializes extensions through this accessor and
+    /// rebuilds them with [`ProbExtension::from_parts`].
+    pub fn orig_entries(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.orig_of.iter().map(|(&ext, &orig)| (ext, orig))
+    }
+
+    /// Reassembles an extension from its parts (the inverse of
+    /// [`ProbExtension::orig_entries`] + the public fields), validating
+    /// that every referenced extension node actually exists in `pdoc`.
+    /// This does **not** re-run the view — it trusts `results` and
+    /// `orig_of` to describe a previously materialized extension, which is
+    /// exactly what a snapshot restore needs (re-materializing would defeat
+    /// the point and could diverge bit-wise from the saved answers).
+    pub fn from_parts(
+        view: View,
+        pdoc: PDocument,
+        results: Vec<ViewResult>,
+        orig_of: HashMap<NodeId, NodeId>,
+    ) -> Result<ProbExtension, String> {
+        for r in &results {
+            if !pdoc.contains(r.ext_root) {
+                return Err(format!("result root {} not in extension", r.ext_root));
+            }
+        }
+        for &ext_node in orig_of.keys() {
+            if !pdoc.contains(ext_node) {
+                return Err(format!("orig_of node {ext_node} not in extension"));
+            }
+        }
+        Ok(ProbExtension {
+            view,
+            pdoc,
+            results,
+            orig_of,
+        })
+    }
+
     /// Number of *ordinary, non-marker* nodes from the result root to
     /// `ext_node`, inclusive on both ends (the paper's `s(i, j)` when
     /// `ext_node` is an occurrence of `n_j` in result `i`).

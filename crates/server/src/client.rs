@@ -155,6 +155,29 @@ impl Client {
             .map_err(|_| ClientError::Unexpected(format!("OK invalidated {tail}")))
     }
 
+    /// Snapshots the whole engine to a **server-side** file (admin).
+    /// Returns the server's `docs=… views=… exts=… epoch=… bytes=…`
+    /// summary tail.
+    pub fn save(&mut self, path: &str) -> Result<String, ClientError> {
+        self.send(&format!("SAVE {path}"))?;
+        self.expect_ok("saved")
+    }
+
+    /// Replaces the server's engine with a snapshot's contents (admin).
+    /// Returns the server's `docs=… views=… exts=… epoch=…` summary
+    /// tail.
+    pub fn restore(&mut self, path: &str) -> Result<String, ClientError> {
+        self.send(&format!("RESTORE {path}"))?;
+        self.expect_ok("restored")
+    }
+
+    /// Gracefully stops the server (admin), consuming the client — the
+    /// server acknowledges, then drains every session and exits.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        self.send("SHUTDOWN")?;
+        self.expect_ok("shutting-down").map(|_| ())
+    }
+
     fn read_answer(&mut self) -> Result<WireAnswer, ClientError> {
         let header = self.recv_ok()?;
         let (count, stats, plan) = parse_answer_header(&header).map_err(ClientError::Server)?;

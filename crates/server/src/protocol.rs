@@ -21,10 +21,23 @@
 //!   <doc> <tpq-text>      (n lines)     ANSWER block or ERR line
 //! STATS                              -> STATS key=value ...
 //! INVALIDATE <doc>                   -> OK invalidated <n>
+//! SAVE <path>                        -> OK saved docs=. views=. exts=. epoch=. bytes=.
+//! RESTORE <path>                     -> OK restored docs=. views=. exts=. epoch=.
+//! SHUTDOWN                           -> OK shutting-down
 //! PING                               -> PONG
 //! QUIT                               -> OK bye
 //! anything else                      -> ERR <code> <message>
 //! ```
+//!
+//! `SAVE`/`RESTORE`/`SHUTDOWN` are **admin** commands: `SAVE` snapshots
+//! the whole engine (documents, views, materialized extensions, catalog
+//! epoch) atomically to a server-side file via `pxv-store`; `RESTORE`
+//! replaces the engine with a snapshot's contents (bit-identical warm
+//! cache — post-restore queries report `mats=0`); `SHUTDOWN` drains the
+//! server gracefully, which is how `prxview serve --store` knows to
+//! persist its final state. Paths are interpreted by the server process
+//! — `prxd` is a trusted local/ops protocol, like `LOAD` already
+//! implies.
 //!
 //! `QUERY` options are trailing `key=value` tokens: `limit=<n>`
 //! (interleaving limit), `pref=prefer-tp|prefer-tpi|tp|tpi` (plan
@@ -67,6 +80,10 @@ pub enum ProtocolError {
     Plan(String),
     /// Any other engine-side failure (duplicate view, invalid document…).
     Engine(String),
+    /// A `SAVE`/`RESTORE` snapshot operation failed (i/o, corrupt or
+    /// wrong-version file, invalid contents) — carries the typed
+    /// `pxv_store::StoreError` rendering.
+    Store(String),
     /// The server is at its connection limit.
     Busy,
     /// The server is shutting down.
@@ -89,6 +106,7 @@ impl ProtocolError {
             ProtocolError::UnknownDoc(_) => "unknown-doc",
             ProtocolError::Plan(_) => "plan",
             ProtocolError::Engine(_) => "engine",
+            ProtocolError::Store(_) => "store",
             ProtocolError::Busy => "busy",
             ProtocolError::Shutdown => "shutdown",
             ProtocolError::Malformed(_) => "malformed",
@@ -106,6 +124,7 @@ impl ProtocolError {
             | ProtocolError::BadCount(m)
             | ProtocolError::Plan(m)
             | ProtocolError::Engine(m)
+            | ProtocolError::Store(m)
             | ProtocolError::Malformed(m) => m.clone(),
             ProtocolError::UnknownDoc(doc) => format!("no document named `{doc}`"),
             ProtocolError::Busy => "connection limit reached".into(),
@@ -144,6 +163,7 @@ impl ProtocolError {
             }
             "plan" => ProtocolError::Plan(msg),
             "engine" => ProtocolError::Engine(msg),
+            "store" => ProtocolError::Store(msg),
             "busy" => ProtocolError::Busy,
             "shutdown" => ProtocolError::Shutdown,
             other => ProtocolError::Malformed(format!("unknown error code `{other}`: {msg}")),
@@ -203,6 +223,18 @@ pub enum Request {
         /// Document name.
         doc: String,
     },
+    /// Snapshot the whole engine to a server-side file (admin).
+    Save {
+        /// Destination path (server-side; may contain spaces).
+        path: String,
+    },
+    /// Replace the engine with a snapshot's contents (admin).
+    Restore {
+        /// Source path (server-side; may contain spaces).
+        path: String,
+    },
+    /// Gracefully drain and stop the server (admin).
+    Shutdown,
     /// Liveness probe.
     Ping,
     /// End the session.
@@ -390,6 +422,19 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             }),
             _ => Err(ProtocolError::Usage("INVALIDATE <doc>".into())),
         },
+        "SAVE" => match rest.trim() {
+            "" => Err(ProtocolError::Usage("SAVE <path>".into())),
+            path => Ok(Request::Save {
+                path: path.to_string(),
+            }),
+        },
+        "RESTORE" => match rest.trim() {
+            "" => Err(ProtocolError::Usage("RESTORE <path>".into())),
+            path => Ok(Request::Restore {
+                path: path.to_string(),
+            }),
+        },
+        "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
         "PING" if rest.is_empty() => Ok(Request::Ping),
         "QUIT" if rest.is_empty() => Ok(Request::Quit),
         other => Err(ProtocolError::UnknownCommand(other.to_string())),
@@ -597,10 +642,32 @@ mod tests {
     }
 
     #[test]
+    fn save_restore_shutdown_requests_parse() {
+        match parse_request("SAVE /tmp/with space/engine.pxv").unwrap() {
+            Request::Save { path } => assert_eq!(path, "/tmp/with space/engine.pxv"),
+            other => panic!("{other:?}"),
+        }
+        match parse_request("restore snap.pxv").unwrap() {
+            Request::Restore { path } => assert_eq!(path, "snap.pxv"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(parse_request("SHUTDOWN"), Ok(Request::Shutdown)));
+        assert!(matches!(
+            parse_request("SAVE"),
+            Err(ProtocolError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_request("RESTORE   "),
+            Err(ProtocolError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn error_lines_round_trip() {
         for err in [
             ProtocolError::Empty,
             ProtocolError::UnknownCommand("FROB".into()),
+            ProtocolError::Store("corrupt at byte 42: bad section table".into()),
             ProtocolError::BadPattern("pattern parse error at byte 3: expected label".into()),
             ProtocolError::UnknownDoc("hr".into()),
             ProtocolError::Plan("no single-view TP rewriting over these views".into()),

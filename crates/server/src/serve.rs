@@ -63,6 +63,23 @@ struct Shared {
     shutdown: AtomicBool,
     /// Sessions admitted but not yet finished (back-pressure gauge).
     active: AtomicUsize,
+    /// The bound address — what the `SHUTDOWN` request connects to in
+    /// order to wake the accept thread out of its blocking `accept()`.
+    addr: SocketAddr,
+}
+
+/// Wakes a blocking `accept()` on `addr` with a loopback connection. A
+/// wildcard bind address (0.0.0.0 / ::) is not connectable on every
+/// platform — substitute the loopback of the same family.
+fn wake_accept(addr: SocketAddr) {
+    let mut wake = addr;
+    if wake.ip().is_unspecified() {
+        wake.set_ip(match wake.ip() {
+            std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    let _ = TcpStream::connect(wake);
 }
 
 /// A running server: its address, stats, and the threads behind it.
@@ -97,23 +114,22 @@ impl ServerHandle {
     /// interval (~200 ms) and drain first.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the accept thread out of its blocking accept(). A wildcard
-        // bind address (0.0.0.0 / ::) is not connectable on every
-        // platform — substitute the loopback of the same family.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake.ip() {
-                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect(wake);
+        wake_accept(self.addr);
         self.join_all();
     }
 
     /// Blocks until the server exits (i.e. until another thread calls
-    /// shutdown or the process dies) — what `prxview serve` runs on.
+    /// shutdown, a client sends the `SHUTDOWN` admin request, or the
+    /// process dies) — what `prxview serve` runs on.
     pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    /// Like [`ServerHandle::wait`], but keeps the handle alive so the
+    /// caller can still reach the engine afterwards —
+    /// `prxview serve --store` joins here and then snapshots the final
+    /// engine state through [`ServerHandle::with_engine`].
+    pub fn join(&mut self) {
         self.join_all();
     }
 
@@ -143,6 +159,7 @@ pub fn serve(engine: Engine, config: &ServerConfig) -> io::Result<ServerHandle> 
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
         active: AtomicUsize::new(0),
+        addr,
     });
     let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
     let rx = Arc::new(Mutex::new(rx));
@@ -328,6 +345,16 @@ fn handle_line(
             writeln!(out, "PONG")?;
             return Ok(false);
         }
+        Request::Shutdown => {
+            // Acknowledge first (the session writes `out` before it
+            // breaks), then raise the flag and wake the accept thread so
+            // `ServerHandle::wait`/`join` returns. Peer sessions drain on
+            // their next poll tick.
+            writeln!(out, "OK shutting-down")?;
+            shared.shutdown.store(true, Ordering::SeqCst);
+            wake_accept(shared.addr);
+            return Ok(true);
+        }
         Request::Batch { count } => {
             return handle_batch(count, shared, reader, out).map(|()| false)
         }
@@ -401,6 +428,55 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             let n = engine.invalidate(id).map_err(engine_err)?;
             writeln!(out, "OK invalidated {n}").map_err(io_to_protocol)
         }
+        Request::Save { path } => {
+            // Clone the state under the read lock, write the file
+            // outside it — disk latency must not stall query traffic.
+            let snapshot = {
+                let engine = shared.engine.read().expect("engine poisoned");
+                engine.snapshot()
+            };
+            let bytes = pxv_store::write_snapshot(&path, &snapshot)
+                .map_err(|e| ProtocolError::Store(e.to_string()))?;
+            writeln!(
+                out,
+                "OK saved docs={} views={} exts={} epoch={} bytes={bytes}",
+                snapshot.documents.len(),
+                snapshot.views.len(),
+                snapshot.extensions.len(),
+                snapshot.epoch,
+            )
+            .map_err(io_to_protocol)
+        }
+        Request::Restore { path } => {
+            // Read and rebuild outside the lock; swap atomically under
+            // the write lock. A failed restore leaves the old engine
+            // untouched.
+            let snapshot =
+                pxv_store::read_snapshot(&path).map_err(|e| ProtocolError::Store(e.to_string()))?;
+            let (docs, views, exts, epoch) = (
+                snapshot.documents.len(),
+                snapshot.views.len(),
+                snapshot.extensions.len(),
+                snapshot.epoch,
+            );
+            // Options are per-process configuration, not snapshot state:
+            // the replacement engine keeps the options the server was
+            // configured with.
+            let options = shared
+                .engine
+                .read()
+                .expect("engine poisoned")
+                .options()
+                .clone();
+            let restored = Engine::from_snapshot_with(snapshot, options)
+                .map_err(|e| ProtocolError::Store(e.to_string()))?;
+            *shared.engine.write().expect("engine poisoned") = restored;
+            writeln!(
+                out,
+                "OK restored docs={docs} views={views} exts={exts} epoch={epoch}"
+            )
+            .map_err(io_to_protocol)
+        }
         Request::Stats => {
             let engine = shared.engine.read().expect("engine poisoned");
             let es = engine.stats();
@@ -433,7 +509,9 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             .map_err(io_to_protocol)
         }
         // Handled by the caller.
-        Request::Ping | Request::Quit | Request::Batch { .. } => unreachable!(),
+        Request::Ping | Request::Quit | Request::Shutdown | Request::Batch { .. } => {
+            unreachable!()
+        }
     }
 }
 

@@ -275,3 +275,89 @@ fn shutdown_drains_idle_sessions() {
     // flag is observed on a poll tick. shutdown() joining is the assert.
     handle.shutdown();
 }
+
+/// The store acceptance criterion, over the wire: a warmed server is
+/// snapshotted with `SAVE`, torn down, and its state `RESTORE`d into a
+/// brand-new server. The new server must answer the same mix
+/// **bit-identically** with `materializations == 0` — the whole point of
+/// the persistent store is that a restart does not re-pay
+/// materialization.
+#[test]
+fn save_restore_across_servers_bit_identical_and_warm() {
+    let dir = std::env::temp_dir().join(format!("pxv-e2e-store-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("engine.pxv");
+    let snap_str = snap.to_str().unwrap();
+    let mix = query_mix();
+
+    let expected: Vec<_> = {
+        let handle = provisioned_server(4, 32);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let expected: Vec<_> = mix
+            .iter()
+            .map(|q| client.query(DOC, q).unwrap().nodes)
+            .collect();
+        let tail = client.save(snap_str).unwrap();
+        assert!(tail.contains("docs=1"), "{tail}");
+        assert!(tail.contains("exts=2"), "warm cache persisted: {tail}");
+        client.quit().unwrap();
+        handle.shutdown();
+        expected
+    };
+    assert!(expected.iter().any(|nodes| !nodes.is_empty()));
+
+    // A fresh, empty server — the restart. RESTORE replays the snapshot.
+    let handle = serve(
+        Engine::new(),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            max_connections: 8,
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let tail = client.restore(snap_str).unwrap();
+    assert!(tail.contains("docs=1 views=2 exts=2"), "{tail}");
+    for (q, want) in mix.iter().zip(&expected) {
+        let got = client.query(DOC, q).unwrap();
+        assert_eq!(&got.nodes, want, "bit-identical across save/restore: {q}");
+        assert_eq!(got.stats.materializations, 0, "warm path after restore");
+        assert!(got.plan.contains("plan"), "served from views: {}", got.plan);
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats["mats"], 0, "zero re-materializations after restore");
+
+    // A corrupted snapshot is rejected with a typed `store` error and
+    // leaves the running engine untouched.
+    let garbage = dir.join("garbage.pxv");
+    std::fs::write(&garbage, b"PXVSNAP\0but then garbage").unwrap();
+    match client.restore(garbage.to_str().unwrap()) {
+        Err(ClientError::Server(e)) => assert_eq!(e.code(), "store", "{e}"),
+        other => panic!("corrupt restore accepted: {other:?}"),
+    }
+    let after = client.query(DOC, &mix[0]).unwrap();
+    assert_eq!(after.nodes, expected[0], "failed restore left state intact");
+    client.quit().unwrap();
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The `SHUTDOWN` admin verb: the server acknowledges, then drains and
+/// joins — `wait()` returning (rather than hanging) is the assert. This
+/// is the graceful path `prxview serve --store` uses to snapshot on the
+/// way out.
+#[test]
+fn shutdown_verb_stops_the_server_gracefully() {
+    let handle = provisioned_server(2, 8);
+    let addr = handle.addr();
+    let client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    // Joins every thread; completing is the assertion.
+    handle.wait();
+    // The listener is gone: new connections are refused or turned away.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => assert!(c.ping().is_err(), "server still answering after SHUTDOWN"),
+    }
+}

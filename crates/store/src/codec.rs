@@ -1,0 +1,638 @@
+//! The binary codec: a bounds-checked byte reader/writer and the
+//! encoders/decoders for every persisted type.
+//!
+//! # Conventions
+//!
+//! * All integers are **little-endian, fixed width**; `f64`s travel as
+//!   their raw IEEE-754 bits ([`f64::to_bits`]), so probabilities restore
+//!   *bit-identically* — a restored engine's answers are `==` on the
+//!   floats, not approximately equal.
+//! * Labels never travel as raw interner indices. Interned
+//!   [`Symbol`] ids are process-local (a fresh process interns in a
+//!   different order), so the codec writes a **symbol table of
+//!   spellings** and encodes every label as an index into it; decoding
+//!   re-interns each spelling and remaps table indices to the new
+//!   process's symbols. This remapping layer is what makes snapshots
+//!   portable across process restarts.
+//! * Decoding is total: every malformed input returns a typed
+//!   [`StoreError`] (with the byte offset), never a panic. Counts are
+//!   plausibility-checked against the remaining input before any
+//!   allocation, so a corrupted length cannot balloon memory.
+//! * Encoding is deterministic: equal values produce equal bytes (hash
+//!   maps are sorted before emission), which the tests lean on.
+
+use crate::error::StoreError;
+use pxv_pxml::{Document, NodeId, PDocument, PKind, Symbol};
+use pxv_rewrite::view::{ProbExtension, ViewResult};
+use pxv_rewrite::View;
+use pxv_tpq::pattern::{Axis, QNodeId};
+use pxv_tpq::TreePattern;
+use std::collections::{HashMap, HashSet};
+
+/// FNV-1a 64-bit hash — the section checksum. Not cryptographic; it
+/// detects the accidental corruption (truncation, bit rot, partial
+/// writes) the store guards against.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Sentinel parent id marking the root node of an encoded tree.
+const NO_PARENT: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Append-only byte sink for the encoders.
+#[derive(Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Writer {
+        Writer::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_f64_bits(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub(crate) fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string too long for snapshot"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// Bounds-checked cursor over untrusted bytes. Every accessor verifies
+/// the remaining length first and reports the absolute offset on
+/// failure.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current absolute byte offset.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn corrupt<T>(&self, what: impl Into<String>) -> Result<T, StoreError> {
+        Err(StoreError::Corrupt {
+            at: self.pos,
+            what: what.into(),
+        })
+    }
+
+    fn need(&self, n: usize) -> Result<(), StoreError> {
+        if self.remaining() < n {
+            Err(StoreError::Truncated {
+                at: self.pos,
+                needed: n - self.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        self.need(n)?;
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f64_bits(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, StoreError> {
+        let len = self.u32()? as usize;
+        let at = self.pos;
+        let bytes = self.take(len)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_owned()),
+            Err(e) => Err(StoreError::Corrupt {
+                at,
+                what: format!("non-UTF-8 string: {e}"),
+            }),
+        }
+    }
+
+    /// Reads a `u32` element count and sanity-checks it against the bytes
+    /// actually left (`min_elem_bytes` per element), so a corrupted count
+    /// fails here instead of driving a giant allocation.
+    pub(crate) fn count(&mut self, min_elem_bytes: usize) -> Result<usize, StoreError> {
+        let at = self.pos;
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(StoreError::Corrupt {
+                at,
+                what: format!(
+                    "implausible count {n} ({} byte(s) remain)",
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Symbol table
+// ---------------------------------------------------------------------
+
+/// Encoder-side symbol table: first use of a spelling assigns the next
+/// dense local id. The table itself is emitted as a list of spellings.
+#[derive(Default)]
+pub(crate) struct SymTable {
+    ids: HashMap<Symbol, u32>,
+    order: Vec<Symbol>,
+}
+
+impl SymTable {
+    pub(crate) fn new() -> SymTable {
+        SymTable::default()
+    }
+
+    /// Local id of `sym`, assigning one on first use.
+    pub(crate) fn id(&mut self, sym: Symbol) -> u32 {
+        if let Some(&id) = self.ids.get(&sym) {
+            return id;
+        }
+        let id = u32::try_from(self.order.len()).expect("symbol table overflow");
+        self.ids.insert(sym, id);
+        self.order.push(sym);
+        id
+    }
+
+    /// Emits the table: count + spellings, in local-id order.
+    pub(crate) fn write(&self, w: &mut Writer) {
+        w.put_u32(self.order.len() as u32);
+        for sym in &self.order {
+            w.put_str(sym.name());
+        }
+    }
+
+    /// Reads a table and re-interns every spelling into **this**
+    /// process's interner — the remapping step that detaches snapshots
+    /// from the writer's process-local symbol ids.
+    pub(crate) fn read(r: &mut Reader<'_>) -> Result<Vec<Symbol>, StoreError> {
+        let n = r.count(4)?;
+        let mut syms = Vec::with_capacity(n);
+        for _ in 0..n {
+            syms.push(Symbol::intern(&r.string()?));
+        }
+        Ok(syms)
+    }
+}
+
+fn resolve_sym(r: &Reader<'_>, syms: &[Symbol], idx: u32) -> Result<Symbol, StoreError> {
+    syms.get(idx as usize).copied().map_or_else(
+        || {
+            r.corrupt(format!(
+                "symbol index {idx} out of range (table has {})",
+                syms.len()
+            ))
+        },
+        Ok,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Tree patterns
+// ---------------------------------------------------------------------
+
+pub(crate) fn write_pattern(w: &mut Writer, q: &TreePattern, t: &mut SymTable) {
+    w.put_u32(q.len() as u32);
+    w.put_u32(q.output().0);
+    for n in q.node_ids() {
+        w.put_u32(t.id(q.label(n)));
+        w.put_u8(match q.axis(n) {
+            Axis::Child => 0,
+            Axis::Descendant => 1,
+        });
+        w.put_u32(q.parent(n).map_or(NO_PARENT, |p| p.0));
+    }
+}
+
+pub(crate) fn read_pattern(r: &mut Reader<'_>, syms: &[Symbol]) -> Result<TreePattern, StoreError> {
+    let n = r.count(9)?;
+    if n == 0 {
+        return r.corrupt("pattern with zero nodes");
+    }
+    let output = r.u32()?;
+    if output as usize >= n {
+        return r.corrupt(format!("pattern output {output} out of range ({n} nodes)"));
+    }
+    let mut q = None;
+    for i in 0..n as u32 {
+        let label_idx = r.u32()?;
+        let label = resolve_sym(r, syms, label_idx)?;
+        let axis = match r.u8()? {
+            0 => Axis::Child,
+            1 => Axis::Descendant,
+            other => return r.corrupt(format!("bad axis byte {other}")),
+        };
+        let parent = r.u32()?;
+        match (&mut q, parent) {
+            (None, NO_PARENT) => q = Some(TreePattern::leaf(label)),
+            (None, p) => return r.corrupt(format!("pattern root has parent {p}")),
+            (Some(_), NO_PARENT) => return r.corrupt("pattern has two roots"),
+            (Some(q), p) if p < i => {
+                q.add_child(QNodeId(p), axis, label);
+            }
+            (Some(_), p) => {
+                return r.corrupt(format!("pattern node {i} references later parent {p}"))
+            }
+        }
+    }
+    let mut q = q.expect("n >= 1 so the root was built");
+    q.set_output(QNodeId(output));
+    Ok(q)
+}
+
+// ---------------------------------------------------------------------
+// Deterministic documents
+// ---------------------------------------------------------------------
+
+/// Node ids of `d` in a child-order-preserving depth-first order, root
+/// first (the emission order — parents always precede children, and
+/// re-adding in this order reproduces every child list exactly).
+fn dfs_order<F: Fn(NodeId) -> Vec<NodeId>>(root: NodeId, children: F, len: usize) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(len);
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        let kids = children(n);
+        stack.extend(kids.into_iter().rev());
+    }
+    out
+}
+
+pub(crate) fn write_document(w: &mut Writer, d: &Document, t: &mut SymTable) {
+    w.put_u32(d.root().0);
+    w.put_u32(d.next_fresh_id().0);
+    w.put_u32(d.len() as u32);
+    for n in dfs_order(d.root(), |n| d.children(n).to_vec(), d.len()) {
+        w.put_u32(n.0);
+        w.put_u32(d.parent(n).map_or(NO_PARENT, |p| p.0));
+        w.put_u32(t.id(d.label(n)));
+    }
+}
+
+pub(crate) fn read_document(r: &mut Reader<'_>, syms: &[Symbol]) -> Result<Document, StoreError> {
+    let root = r.u32()?;
+    let next_id = r.u32()?;
+    let n = r.count(12)?;
+    if n == 0 {
+        return r.corrupt("document with zero nodes");
+    }
+    let mut doc: Option<Document> = None;
+    let mut seen: HashSet<u32> = HashSet::with_capacity(n);
+    for _ in 0..n {
+        let id = r.u32()?;
+        let parent = r.u32()?;
+        let label_idx = r.u32()?;
+        let label = resolve_sym(r, syms, label_idx)?;
+        if seen.contains(&id) {
+            return r.corrupt(format!("duplicate node id {id}"));
+        }
+        match (&mut doc, parent) {
+            (None, NO_PARENT) if id == root => {
+                doc = Some(Document::with_root_id(label, NodeId(id)));
+            }
+            (None, _) => return r.corrupt("first node is not the declared root"),
+            (Some(_), NO_PARENT) => return r.corrupt("document has two roots"),
+            (Some(doc), p) => {
+                // `id` is inserted into `seen` only after this check, so
+                // a self-parent record (p == id) fails here instead of
+                // tripping the builder's `unknown parent` assert.
+                if !seen.contains(&p) {
+                    return r.corrupt(format!("node {id} references unseen parent {p}"));
+                }
+                doc.add_child_with_id(NodeId(p), label, NodeId(id));
+            }
+        }
+        seen.insert(id);
+    }
+    let mut doc = doc.expect("n >= 1 so the root was built");
+    doc.reserve_ids_below(next_id);
+    Ok(doc)
+}
+
+// ---------------------------------------------------------------------
+// p-documents
+// ---------------------------------------------------------------------
+
+const KIND_ORDINARY: u8 = 0;
+const KIND_MUX: u8 = 1;
+const KIND_IND: u8 = 2;
+const KIND_DET: u8 = 3;
+const KIND_EXP: u8 = 4;
+
+pub(crate) fn write_pdocument(w: &mut Writer, p: &PDocument, t: &mut SymTable) {
+    w.put_u32(p.root().0);
+    w.put_u32(p.next_fresh_id().0);
+    w.put_u32(p.len() as u32);
+    for n in dfs_order(p.root(), |n| p.children(n).to_vec(), p.len()) {
+        w.put_u32(n.0);
+        match p.parent(n) {
+            None => w.put_u32(NO_PARENT),
+            Some(parent) => {
+                w.put_u32(parent.0);
+                // The survival probability is only meaningful under
+                // mux/ind parents; write the canonical 1.0 elsewhere so
+                // equal semantics encode to equal bytes.
+                let prob = match p.kind(parent) {
+                    PKind::Mux | PKind::Ind => p.child_prob(parent, n),
+                    _ => 1.0,
+                };
+                w.put_f64_bits(prob);
+            }
+        }
+        match p.kind(n) {
+            PKind::Ordinary(l) => {
+                w.put_u8(KIND_ORDINARY);
+                w.put_u32(t.id(*l));
+            }
+            PKind::Mux => w.put_u8(KIND_MUX),
+            PKind::Ind => w.put_u8(KIND_IND),
+            PKind::Det => w.put_u8(KIND_DET),
+            PKind::Exp(dist) => {
+                w.put_u8(KIND_EXP);
+                w.put_u32(dist.len() as u32);
+                for &(mask, prob) in dist {
+                    w.put_u64(mask);
+                    w.put_f64_bits(prob);
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn read_pdocument(r: &mut Reader<'_>, syms: &[Symbol]) -> Result<PDocument, StoreError> {
+    let root = r.u32()?;
+    let next_id = r.u32()?;
+    let n = r.count(9)?;
+    if n == 0 {
+        return r.corrupt("p-document with zero nodes");
+    }
+    let mut pdoc: Option<PDocument> = None;
+    let mut seen: HashSet<u32> = HashSet::with_capacity(n);
+    for _ in 0..n {
+        let id = r.u32()?;
+        let (parent, prob) = {
+            let parent = r.u32()?;
+            if parent == NO_PARENT {
+                (None, 1.0)
+            } else {
+                (Some(parent), r.f64_bits()?)
+            }
+        };
+        let kind = match r.u8()? {
+            KIND_ORDINARY => {
+                let label_idx = r.u32()?;
+                PKind::Ordinary(resolve_sym(r, syms, label_idx)?)
+            }
+            KIND_MUX => PKind::Mux,
+            KIND_IND => PKind::Ind,
+            KIND_DET => PKind::Det,
+            KIND_EXP => {
+                let len = r.count(16)?;
+                let mut dist = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let mask = r.u64()?;
+                    let p = r.f64_bits()?;
+                    dist.push((mask, p));
+                }
+                PKind::Exp(dist)
+            }
+            other => return r.corrupt(format!("bad p-node kind byte {other}")),
+        };
+        if seen.contains(&id) {
+            return r.corrupt(format!("duplicate node id {id}"));
+        }
+        match (&mut pdoc, parent) {
+            (None, None) if id == root => match kind {
+                PKind::Ordinary(l) => pdoc = Some(PDocument::with_root_id(l, NodeId(id))),
+                _ => return r.corrupt("p-document root is not ordinary"),
+            },
+            (None, _) => return r.corrupt("first node is not the declared root"),
+            (Some(_), None) => return r.corrupt("p-document has two roots"),
+            (Some(pdoc), Some(p)) => {
+                // `id` joins `seen` only after this check — a self-parent
+                // record must fail typed, not trip the builder's assert.
+                if !seen.contains(&p) {
+                    return r.corrupt(format!("node {id} references unseen parent {p}"));
+                }
+                match kind {
+                    PKind::Ordinary(l) => {
+                        pdoc.add_ordinary_with_id(NodeId(p), l, prob, NodeId(id));
+                    }
+                    k => pdoc.add_dist_with_id(NodeId(p), k, prob, NodeId(id)),
+                }
+            }
+        }
+        seen.insert(id);
+    }
+    let mut pdoc = pdoc.expect("n >= 1 so the root was built");
+    pdoc.reserve_ids_below(next_id);
+    Ok(pdoc)
+}
+
+// ---------------------------------------------------------------------
+// Views and extensions
+// ---------------------------------------------------------------------
+
+pub(crate) fn write_view(w: &mut Writer, v: &View, t: &mut SymTable) {
+    w.put_str(&v.name);
+    write_pattern(w, &v.pattern, t);
+}
+
+pub(crate) fn read_view(r: &mut Reader<'_>, syms: &[Symbol]) -> Result<View, StoreError> {
+    let name = r.string()?;
+    let pattern = read_pattern(r, syms)?;
+    // View::new re-interns the `doc(name)` marker in this process.
+    Ok(View::new(name, pattern))
+}
+
+/// The extension body: its p-document, the bundled results (probabilities
+/// as raw bits) and the `extension node → original node` map. The view
+/// itself is written by the caller (by reference inside a snapshot, by
+/// value in the standalone codec).
+pub(crate) fn write_extension_body(w: &mut Writer, ext: &ProbExtension, t: &mut SymTable) {
+    write_pdocument(w, &ext.pdoc, t);
+    w.put_u32(ext.results.len() as u32);
+    for r in &ext.results {
+        w.put_u32(r.ext_root.0);
+        w.put_u32(r.orig.0);
+        w.put_f64_bits(r.prob);
+    }
+    let mut orig: Vec<(NodeId, NodeId)> = ext.orig_entries().collect();
+    orig.sort_unstable();
+    w.put_u32(orig.len() as u32);
+    for (ext_node, orig_node) in orig {
+        w.put_u32(ext_node.0);
+        w.put_u32(orig_node.0);
+    }
+}
+
+pub(crate) fn read_extension_body(
+    r: &mut Reader<'_>,
+    syms: &[Symbol],
+    view: View,
+) -> Result<ProbExtension, StoreError> {
+    let pdoc = read_pdocument(r, syms)?;
+    let n_results = r.count(16)?;
+    let mut results = Vec::with_capacity(n_results);
+    for _ in 0..n_results {
+        results.push(ViewResult {
+            ext_root: NodeId(r.u32()?),
+            orig: NodeId(r.u32()?),
+            prob: r.f64_bits()?,
+        });
+    }
+    let n_orig = r.count(8)?;
+    let at = r.pos();
+    let mut orig_of = HashMap::with_capacity(n_orig);
+    for _ in 0..n_orig {
+        orig_of.insert(NodeId(r.u32()?), NodeId(r.u32()?));
+    }
+    ProbExtension::from_parts(view, pdoc, results, orig_of)
+        .map_err(|what| StoreError::Corrupt { at, what })
+}
+
+// ---------------------------------------------------------------------
+// Standalone value codecs (self-contained blobs with their own symbol
+// table; the snapshot container shares one table across sections)
+// ---------------------------------------------------------------------
+
+fn standalone<F: FnOnce(&mut Writer, &mut SymTable)>(f: F) -> Vec<u8> {
+    let mut body = Writer::new();
+    let mut t = SymTable::new();
+    f(&mut body, &mut t);
+    let mut w = Writer::new();
+    t.write(&mut w);
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(&body.into_bytes());
+    bytes
+}
+
+fn standalone_read<T, F: FnOnce(&mut Reader<'_>, &[Symbol]) -> Result<T, StoreError>>(
+    bytes: &[u8],
+    f: F,
+) -> Result<T, StoreError> {
+    let mut r = Reader::new(bytes);
+    let syms = SymTable::read(&mut r)?;
+    let value = f(&mut r, &syms)?;
+    if r.remaining() > 0 {
+        return r.corrupt(format!("{} trailing byte(s)", r.remaining()));
+    }
+    Ok(value)
+}
+
+/// Encodes a deterministic [`Document`] as a self-contained blob.
+pub fn encode_document(d: &Document) -> Vec<u8> {
+    standalone(|w, t| write_document(w, d, t))
+}
+
+/// Decodes a [`Document`] encoded by [`encode_document`].
+pub fn decode_document(bytes: &[u8]) -> Result<Document, StoreError> {
+    standalone_read(bytes, read_document)
+}
+
+/// Encodes a [`PDocument`] as a self-contained blob.
+pub fn encode_pdocument(p: &PDocument) -> Vec<u8> {
+    standalone(|w, t| write_pdocument(w, p, t))
+}
+
+/// Decodes a [`PDocument`] encoded by [`encode_pdocument`].
+pub fn decode_pdocument(bytes: &[u8]) -> Result<PDocument, StoreError> {
+    standalone_read(bytes, read_pdocument)
+}
+
+/// Encodes a [`TreePattern`] as a self-contained blob.
+pub fn encode_pattern(q: &TreePattern) -> Vec<u8> {
+    standalone(|w, t| write_pattern(w, q, t))
+}
+
+/// Decodes a [`TreePattern`] encoded by [`encode_pattern`].
+pub fn decode_pattern(bytes: &[u8]) -> Result<TreePattern, StoreError> {
+    standalone_read(bytes, read_pattern)
+}
+
+/// Encodes a [`View`] (name + pattern) as a self-contained blob.
+pub fn encode_view(v: &View) -> Vec<u8> {
+    standalone(|w, t| write_view(w, v, t))
+}
+
+/// Decodes a [`View`] encoded by [`encode_view`].
+pub fn decode_view(bytes: &[u8]) -> Result<View, StoreError> {
+    standalone_read(bytes, read_view)
+}
+
+/// Encodes a materialized [`ProbExtension`] (view included) as a
+/// self-contained blob.
+pub fn encode_extension(ext: &ProbExtension) -> Vec<u8> {
+    standalone(|w, t| {
+        write_view(w, &ext.view, t);
+        write_extension_body(w, ext, t);
+    })
+}
+
+/// Decodes a [`ProbExtension`] encoded by [`encode_extension`].
+pub fn decode_extension(bytes: &[u8]) -> Result<ProbExtension, StoreError> {
+    standalone_read(bytes, |r, syms| {
+        let view = read_view(r, syms)?;
+        read_extension_body(r, syms, view)
+    })
+}

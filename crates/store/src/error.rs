@@ -1,0 +1,120 @@
+//! Typed failures of snapshot encoding, decoding and file management.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Why a snapshot could not be written or read back.
+///
+/// Decoding errors carry the **byte offset** at which the reader gave up,
+/// so a damaged file reports as `corrupt at byte 1234: …` rather than a
+/// bare failure — the same offset-first ergonomics as the text parsers'
+/// `ParseError`. Every malformed input maps to one of these variants;
+/// decoding never panics, whatever the bytes.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem-level failure (open, read, write, sync, rename).
+    Io {
+        /// The file being touched, when known.
+        path: Option<PathBuf>,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The file does not start with the snapshot magic bytes.
+    BadMagic,
+    /// The format version is one this build does not understand.
+    UnsupportedVersion(u32),
+    /// The input ended before a declared structure was complete.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        at: usize,
+        /// How many more bytes the decoder needed.
+        needed: usize,
+    },
+    /// A section's payload does not hash to its recorded checksum.
+    ChecksumMismatch {
+        /// Name of the damaged section.
+        section: &'static str,
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        found: u64,
+    },
+    /// Structurally invalid bytes: bad section table, a dangling node or
+    /// symbol reference, an implausible count, a non-UTF-8 spelling, …
+    Corrupt {
+        /// Byte offset of the offending value.
+        at: usize,
+        /// What was wrong there.
+        what: String,
+    },
+    /// The bytes decoded, but the contents violate engine-level
+    /// invariants (duplicate names, invalid p-document, an extension
+    /// referencing a missing view, …).
+    Invalid(String),
+}
+
+impl StoreError {
+    /// Wraps an [`io::Error`] with the path it occurred on.
+    pub fn io(path: impl AsRef<Path>, source: io::Error) -> StoreError {
+        StoreError::Io {
+            path: Some(path.as_ref().to_path_buf()),
+            source,
+        }
+    }
+
+    /// Stable machine-readable tag (used by the wire protocol's `ERR
+    /// store` messages and by tests asserting error classes).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoreError::Io { .. } => "io",
+            StoreError::BadMagic => "bad-magic",
+            StoreError::UnsupportedVersion(_) => "unsupported-version",
+            StoreError::Truncated { .. } => "truncated",
+            StoreError::ChecksumMismatch { .. } => "checksum-mismatch",
+            StoreError::Corrupt { .. } => "corrupt",
+            StoreError::Invalid(_) => "invalid",
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io {
+                path: Some(p),
+                source,
+            } => {
+                write!(f, "{}: {source}", p.display())
+            }
+            StoreError::Io { path: None, source } => write!(f, "i/o: {source}"),
+            StoreError::BadMagic => write!(f, "not a pxv snapshot (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            StoreError::Truncated { at, needed } => {
+                write!(f, "truncated at byte {at}: {needed} more byte(s) needed")
+            }
+            StoreError::ChecksumMismatch {
+                section,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch in section `{section}`: recorded {expected:#018x}, \
+                 computed {found:#018x}"
+            ),
+            StoreError::Corrupt { at, what } => write!(f, "corrupt at byte {at}: {what}"),
+            StoreError::Invalid(what) => write!(f, "invalid snapshot contents: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

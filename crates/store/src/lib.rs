@@ -1,0 +1,295 @@
+//! # pxv-store — persistent binary snapshots for warm restarts
+//!
+//! The engine (`pxv-engine`) and the `prxd` serving layer keep every
+//! p-document, view and memoized extension in memory; a restart threw
+//! away exactly the materialization work the view-based answering scheme
+//! exists to amortize. This crate makes that state durable: a versioned,
+//! checksummed binary [`Snapshot`] of documents, views, the
+//! materialized-extension cache and the catalog epoch, written
+//! atomically (write-temp-then-rename) and restored **bit-identically**
+//! — `f64` probabilities travel as raw IEEE-754 bits, so a restored
+//! engine's answers are `==` to the ones the snapshotted engine gave.
+//!
+//! Interned [`pxv_pxml::Symbol`] ids are process-local, so the codec
+//! never writes them: every label is an index into a spelling table that
+//! is re-interned (and remapped) on load. See [`codec`] for the format
+//! conventions and [`snapshot`] for the on-disk layout.
+//!
+//! Std-only, like the rest of the workspace: no serialization
+//! dependencies, no unsafe.
+//!
+//! ```
+//! use pxv_store::{Snapshot, Store};
+//! use pxv_pxml::text::parse_pdocument;
+//!
+//! let dir = std::env::temp_dir().join(format!("pxv-store-doc-{}", std::process::id()));
+//! let store = Store::open(&dir).unwrap();
+//! let snapshot = Snapshot {
+//!     documents: vec![("hr".into(), parse_pdocument("a[mux(0.4: b[c], 0.6: b)]").unwrap())],
+//!     ..Snapshot::default()
+//! };
+//! store.save(&snapshot).unwrap();
+//! let back = store.load().unwrap();
+//! assert_eq!(back.documents[0].0, "hr");
+//! assert_eq!(back.documents[0].1.to_string(), snapshot.documents[0].1.to_string());
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+mod error;
+pub mod snapshot;
+
+pub use error::StoreError;
+pub use snapshot::{decode_snapshot, encode_snapshot, ExtensionEntry, Snapshot, MAGIC, VERSION};
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// File name of the engine snapshot inside a [`Store`] directory.
+pub const SNAPSHOT_FILE: &str = "engine.pxv";
+
+/// Writes `snapshot` to `path` **atomically**: the bytes go to a
+/// temporary sibling file first (same directory, so the rename cannot
+/// cross filesystems), are fsync'd, and only then renamed over `path`.
+/// A crash mid-write leaves either the old snapshot or none — never a
+/// torn file. Returns the number of bytes written.
+pub fn write_snapshot(path: impl AsRef<Path>, snapshot: &Snapshot) -> Result<u64, StoreError> {
+    let path = path.as_ref();
+    let bytes = encode_snapshot(snapshot);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| StoreError::Invalid(format!("`{}` has no file name", path.display())))?;
+    // The temp name must be unique per *writer*, not just per process:
+    // two threads saving the same path concurrently (e.g. two `SAVE`
+    // requests on the server's worker pool) must never interleave into
+    // one temp file — each renames its own complete image, last one
+    // wins, and the target is a valid snapshot either way.
+    static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let tmp = {
+        let mut name = std::ffi::OsString::from(".");
+        name.push(file_name);
+        name.push(format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        match dir {
+            Some(d) => d.join(name),
+            None => PathBuf::from(name),
+        }
+    };
+    let result = (|| {
+        let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        f.write_all(&bytes).map_err(|e| StoreError::io(&tmp, e))?;
+        f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+        fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result.map(|()| bytes.len() as u64)
+}
+
+/// Reads and decodes a snapshot file.
+pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
+    let path = path.as_ref();
+    let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    decode_snapshot(&bytes)
+}
+
+/// A snapshot directory: the durable home of one engine's state
+/// (`<dir>/engine.pxv`), plus bookkeeping for the staleness contract.
+///
+/// # Staleness contract
+///
+/// A snapshot is a *point-in-time* image, valid for exactly the catalog
+/// epoch it was taken at. `Engine::register_view`, `Engine::invalidate`
+/// and `Engine::replace_document` all bump the epoch, so any admin
+/// mutation makes every earlier snapshot stale — [`Store::is_stale`]
+/// compares the engine's live epoch against the last epoch this store
+/// saved or loaded. Because `Engine::snapshot` reads the *live* cache, a
+/// snapshot taken after an invalidation can never resurrect evicted
+/// extensions (regression-tested in `pxv-engine`); re-saving on
+/// graceful shutdown is how the serving layer refreshes a stale store.
+pub struct Store {
+    dir: PathBuf,
+    /// Epoch of the last snapshot this handle saved or loaded.
+    last_epoch: Mutex<Option<u64>>,
+}
+
+impl Store {
+    /// Opens (creating if needed) a snapshot directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        Ok(Store {
+            dir,
+            last_epoch: Mutex::new(None),
+        })
+    }
+
+    /// The directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the engine snapshot file.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    /// Whether a snapshot file exists.
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot_path().is_file()
+    }
+
+    /// Saves a snapshot atomically; returns the bytes written and
+    /// records the snapshot's epoch for [`Store::is_stale`].
+    pub fn save(&self, snapshot: &Snapshot) -> Result<u64, StoreError> {
+        let bytes = write_snapshot(self.snapshot_path(), snapshot)?;
+        *self.last_epoch.lock().expect("store epoch poisoned") = Some(snapshot.epoch);
+        Ok(bytes)
+    }
+
+    /// Loads the snapshot, recording its epoch for [`Store::is_stale`].
+    pub fn load(&self) -> Result<Snapshot, StoreError> {
+        let snapshot = read_snapshot(self.snapshot_path())?;
+        *self.last_epoch.lock().expect("store epoch poisoned") = Some(snapshot.epoch);
+        Ok(snapshot)
+    }
+
+    /// Epoch of the last snapshot saved or loaded through this handle
+    /// (`None` before the first save/load).
+    pub fn saved_epoch(&self) -> Option<u64> {
+        *self.last_epoch.lock().expect("store epoch poisoned")
+    }
+
+    /// Whether the on-disk snapshot lags an engine whose catalog epoch
+    /// is `engine_epoch` (see the staleness contract above). A store
+    /// that never saved or loaded is trivially stale.
+    pub fn is_stale(&self, engine_epoch: u64) -> bool {
+        self.saved_epoch() != Some(engine_epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxv_pxml::text::parse_pdocument;
+    use pxv_rewrite::view::ProbExtension;
+    use pxv_rewrite::View;
+    use pxv_tpq::parse::parse_pattern;
+
+    fn sample_snapshot() -> Snapshot {
+        let pdoc = parse_pdocument("a[mux(0.4: b[c], 0.6: b)]").unwrap();
+        let view = View::new("bs", parse_pattern("a/b").unwrap());
+        let ext = ProbExtension::materialize(&pdoc, &view);
+        Snapshot {
+            documents: vec![("hr".into(), pdoc)],
+            views: vec![view],
+            extensions: vec![ExtensionEntry {
+                doc: 0,
+                view: 0,
+                extension: ext,
+            }],
+            epoch: 7,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = sample_snapshot();
+        let bytes = encode_snapshot(&s);
+        let back = decode_snapshot(&bytes).expect("round trip");
+        assert_eq!(back.documents.len(), 1);
+        assert_eq!(back.documents[0].0, "hr");
+        assert_eq!(
+            back.documents[0].1.to_string(),
+            s.documents[0].1.to_string()
+        );
+        assert_eq!(back.views[0].name, "bs");
+        assert_eq!(
+            back.views[0].pattern.canonical_key(),
+            s.views[0].pattern.canonical_key()
+        );
+        assert_eq!(back.epoch, 7);
+        let (e1, e2) = (&s.extensions[0].extension, &back.extensions[0].extension);
+        assert_eq!(e1.results.len(), e2.results.len());
+        for (r1, r2) in e1.results.iter().zip(&e2.results) {
+            assert_eq!(r1.ext_root, r2.ext_root);
+            assert_eq!(r1.orig, r2.orig);
+            assert_eq!(r1.prob.to_bits(), r2.prob.to_bits(), "bit-identical");
+        }
+        // Determinism: re-encoding the decoded snapshot is byte-identical.
+        assert_eq!(bytes, encode_snapshot(&back));
+    }
+
+    #[test]
+    fn store_tracks_staleness() {
+        let dir = std::env::temp_dir().join(format!("pxv-store-test-{}", std::process::id()));
+        let store = Store::open(&dir).unwrap();
+        assert!(!store.has_snapshot());
+        assert!(store.is_stale(7), "no snapshot yet");
+        let s = sample_snapshot();
+        store.save(&s).unwrap();
+        assert!(store.has_snapshot());
+        assert_eq!(store.saved_epoch(), Some(7));
+        assert!(!store.is_stale(7));
+        assert!(store.is_stale(8), "epoch moved on: snapshot is stale");
+        let back = store.load().unwrap();
+        assert_eq!(back.epoch, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Review regression: concurrent saves of the same path must each
+    /// write their own temp file — whatever the interleaving, the target
+    /// is always one writer's complete, valid snapshot.
+    #[test]
+    fn concurrent_saves_stay_atomic() {
+        let dir = std::env::temp_dir().join(format!("pxv-store-conc-{}", std::process::id()));
+        let store = Store::open(&dir).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let store = &store;
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        store.save(&sample_snapshot()).unwrap();
+                    }
+                });
+            }
+        });
+        let back = store
+            .load()
+            .expect("concurrent saves never tear the snapshot");
+        assert_eq!(back.epoch, 7);
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n != SNAPSHOT_FILE)
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("pxv-store-tmp-{}", std::process::id()));
+        let store = Store::open(&dir).unwrap();
+        store.save(&sample_snapshot()).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![SNAPSHOT_FILE.to_string()], "{names:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

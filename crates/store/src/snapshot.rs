@@ -1,0 +1,264 @@
+//! The snapshot container: a versioned, checksummed multi-section file
+//! holding an engine's entire warm state.
+//!
+//! # On-disk layout (version 1)
+//!
+//! ```text
+//! magic    8 bytes   "PXVSNAP\0"
+//! version  u32       1
+//! count    u32       number of sections (exactly 5 in v1)
+//! section* :
+//!   kind     u32     1=SYMBOLS 2=DOCUMENTS 3=VIEWS 4=EXTENSIONS 5=META
+//!   length   u64     payload byte length
+//!   checksum u64     FNV-1a 64 of the payload bytes
+//!   payload  length bytes
+//! ```
+//!
+//! Sections appear in ascending kind order, each exactly once; trailing
+//! bytes after the last section are an error. Every label in every
+//! section is an index into the SYMBOLS table (a list of spellings), so
+//! the file carries no process-local interner ids — see
+//! [`crate::codec`] for the remapping story.
+
+use crate::codec::{
+    fnv1a, read_extension_body, read_pdocument, read_view, write_extension_body, write_pdocument,
+    write_view, Reader, SymTable, Writer,
+};
+use crate::error::StoreError;
+use pxv_pxml::PDocument;
+use pxv_rewrite::view::ProbExtension;
+use pxv_rewrite::View;
+
+/// The 8 magic bytes opening every snapshot file.
+pub const MAGIC: &[u8; 8] = b"PXVSNAP\0";
+
+/// The format version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+const SECTION_SYMBOLS: u32 = 1;
+const SECTION_DOCUMENTS: u32 = 2;
+const SECTION_VIEWS: u32 = 3;
+const SECTION_EXTENSIONS: u32 = 4;
+const SECTION_META: u32 = 5;
+
+fn section_name(kind: u32) -> &'static str {
+    match kind {
+        SECTION_SYMBOLS => "symbols",
+        SECTION_DOCUMENTS => "documents",
+        SECTION_VIEWS => "views",
+        SECTION_EXTENSIONS => "extensions",
+        SECTION_META => "meta",
+        _ => "unknown",
+    }
+}
+
+/// One cached extension inside a [`Snapshot`]: which document and view
+/// (by index into the snapshot's own lists) it belongs to, plus the
+/// materialized extension itself.
+#[derive(Clone, Debug)]
+pub struct ExtensionEntry {
+    /// Index into [`Snapshot::documents`].
+    pub doc: usize,
+    /// Index into [`Snapshot::views`].
+    pub view: usize,
+    /// The materialized extension (restored bit-identically).
+    pub extension: ProbExtension,
+}
+
+/// A point-in-time image of an engine: documents, registered views, the
+/// materialized-extension cache, and the catalog epoch the plan cache
+/// was scoped to. This is the value the codec persists; converting an
+/// `Engine` to/from it lives in `pxv-engine` (`Engine::snapshot` /
+/// `Engine::from_snapshot`), keeping this crate engine-agnostic.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, p-document)` pairs in document-id order.
+    pub documents: Vec<(String, PDocument)>,
+    /// Registered views in registration order.
+    pub views: Vec<View>,
+    /// Cached (fully materialized) extensions, sorted by `(doc, view)`.
+    pub extensions: Vec<ExtensionEntry>,
+    /// The catalog epoch at snapshot time. Restoring adopts it, so a
+    /// snapshot can never be mistaken for a newer catalog generation.
+    pub epoch: u64,
+}
+
+impl Snapshot {
+    /// A short human-readable inventory (`3 doc(s), 2 view(s), …`).
+    pub fn describe(&self) -> String {
+        format!(
+            "{} doc(s), {} view(s), {} cached extension(s), epoch {}",
+            self.documents.len(),
+            self.views.len(),
+            self.extensions.len(),
+            self.epoch
+        )
+    }
+}
+
+/// Serializes a snapshot to bytes. Deterministic: equal snapshots encode
+/// to equal bytes.
+pub fn encode_snapshot(s: &Snapshot) -> Vec<u8> {
+    let mut t = SymTable::new();
+
+    let mut documents = Writer::new();
+    documents.put_u32(s.documents.len() as u32);
+    for (name, pdoc) in &s.documents {
+        documents.put_str(name);
+        write_pdocument(&mut documents, pdoc, &mut t);
+    }
+
+    let mut views = Writer::new();
+    views.put_u32(s.views.len() as u32);
+    for v in &s.views {
+        write_view(&mut views, v, &mut t);
+    }
+
+    let mut extensions = Writer::new();
+    extensions.put_u32(s.extensions.len() as u32);
+    for e in &s.extensions {
+        extensions.put_u32(e.doc as u32);
+        extensions.put_u32(e.view as u32);
+        write_extension_body(&mut extensions, &e.extension, &mut t);
+    }
+
+    let mut meta = Writer::new();
+    meta.put_u64(s.epoch);
+
+    // The symbol table is complete only now; it is nevertheless the
+    // first section so decoders can resolve labels in one pass.
+    let mut symbols = Writer::new();
+    t.write(&mut symbols);
+
+    let sections = [
+        (SECTION_SYMBOLS, symbols.into_bytes()),
+        (SECTION_DOCUMENTS, documents.into_bytes()),
+        (SECTION_VIEWS, views.into_bytes()),
+        (SECTION_EXTENSIONS, extensions.into_bytes()),
+        (SECTION_META, meta.into_bytes()),
+    ];
+    let mut w = Writer::new();
+    for b in MAGIC {
+        w.put_u8(*b);
+    }
+    w.put_u32(VERSION);
+    w.put_u32(sections.len() as u32);
+    let mut out = w.into_bytes();
+    for (kind, payload) in sections {
+        let mut header = Writer::new();
+        header.put_u32(kind);
+        header.put_u64(payload.len() as u64);
+        header.put_u64(fnv1a(&payload));
+        out.extend_from_slice(&header.into_bytes());
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Deserializes a snapshot, verifying magic, version, section table and
+/// per-section checksums. Total: corrupted or truncated input of any
+/// shape returns a typed [`StoreError`], never panics.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(8)?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let n_sections = r.u32()?;
+    if n_sections != 5 {
+        return r.corrupt(format!("expected 5 sections, file declares {n_sections}"));
+    }
+
+    let mut symbols = Vec::new();
+    let mut snapshot = Snapshot::default();
+    for expected_kind in [
+        SECTION_SYMBOLS,
+        SECTION_DOCUMENTS,
+        SECTION_VIEWS,
+        SECTION_EXTENSIONS,
+        SECTION_META,
+    ] {
+        let kind = r.u32()?;
+        if kind != expected_kind {
+            return r.corrupt(format!(
+                "expected section `{}`, found kind {kind}",
+                section_name(expected_kind)
+            ));
+        }
+        let len = r.u64()?;
+        let recorded = r.u64()?;
+        let len = usize::try_from(len)
+            .ok()
+            .filter(|&l| l <= r.remaining())
+            .ok_or(StoreError::Truncated {
+                at: r.pos(),
+                needed: len as usize - r.remaining().min(len as usize),
+            })?;
+        let payload_start = r.pos();
+        let computed = fnv1a(r.take(len)?);
+        if computed != recorded {
+            return Err(StoreError::ChecksumMismatch {
+                section: section_name(kind),
+                expected: recorded,
+                found: computed,
+            });
+        }
+        // Re-parse the verified payload in place, then require the
+        // section body to consume exactly its declared length.
+        let mut sr = Reader::new(&bytes[..payload_start + len]);
+        let _ = sr.take(payload_start).expect("prefix already read");
+        match kind {
+            SECTION_SYMBOLS => symbols = SymTable::read(&mut sr)?,
+            SECTION_DOCUMENTS => {
+                let n = sr.count(4)?;
+                for _ in 0..n {
+                    let name = sr.string()?;
+                    let pdoc = read_pdocument(&mut sr, &symbols)?;
+                    snapshot.documents.push((name, pdoc));
+                }
+            }
+            SECTION_VIEWS => {
+                let n = sr.count(4)?;
+                for _ in 0..n {
+                    snapshot.views.push(read_view(&mut sr, &symbols)?);
+                }
+            }
+            SECTION_EXTENSIONS => {
+                let n = sr.count(8)?;
+                for _ in 0..n {
+                    let doc = sr.u32()? as usize;
+                    let view_idx = sr.u32()? as usize;
+                    if doc >= snapshot.documents.len() {
+                        return sr.corrupt(format!("extension references document {doc}"));
+                    }
+                    let Some(view) = snapshot.views.get(view_idx) else {
+                        return sr.corrupt(format!("extension references view {view_idx}"));
+                    };
+                    let extension = read_extension_body(&mut sr, &symbols, view.clone())?;
+                    snapshot.extensions.push(ExtensionEntry {
+                        doc,
+                        view: view_idx,
+                        extension,
+                    });
+                }
+            }
+            SECTION_META => snapshot.epoch = sr.u64()?,
+            _ => unreachable!("kind checked against expected_kind"),
+        }
+        if sr.remaining() > 0 {
+            return sr.corrupt(format!(
+                "section `{}` has {} undeclared trailing byte(s)",
+                section_name(kind),
+                sr.remaining()
+            ));
+        }
+    }
+    if r.remaining() > 0 {
+        return r.corrupt(format!("{} byte(s) after the last section", r.remaining()));
+    }
+    Ok(snapshot)
+}

@@ -1,0 +1,219 @@
+//! Adversarial decoding: whatever the bytes, `decode_snapshot` returns
+//! a *typed* [`StoreError`] — it never panics, never loops, never
+//! allocates absurdly. Exercises every corruption class the format
+//! guards against: truncation at **every** prefix length, every
+//! single-byte flip, wrong magic, wrong version, damaged checksums and
+//! damaged section tables.
+
+use pxv_pxml::text::parse_pdocument;
+use pxv_rewrite::view::ProbExtension;
+use pxv_rewrite::View;
+use pxv_store::{decode_snapshot, encode_snapshot, ExtensionEntry, Snapshot, StoreError, MAGIC};
+use pxv_tpq::parse::parse_pattern;
+
+fn sample_bytes() -> Vec<u8> {
+    let pdoc = parse_pdocument("a[mux(0.4: b[c], 0.6: b), ind(0.5: 'two  spaces')]").unwrap();
+    let view = View::new("bs", parse_pattern("a/b").unwrap());
+    let ext = ProbExtension::materialize(&pdoc, &view);
+    encode_snapshot(&Snapshot {
+        documents: vec![("hr".into(), pdoc)],
+        views: vec![view],
+        extensions: vec![ExtensionEntry {
+            doc: 0,
+            view: 0,
+            extension: ext,
+        }],
+        epoch: 5,
+    })
+}
+
+#[test]
+fn every_truncation_fails_with_a_typed_error() {
+    let bytes = sample_bytes();
+    assert!(decode_snapshot(&bytes).is_ok(), "baseline must decode");
+    for len in 0..bytes.len() {
+        let err = decode_snapshot(&bytes[..len])
+            .expect_err(&format!("prefix of {len}/{} bytes decoded", bytes.len()));
+        // Typed, offset-carrying errors only — and the offset never
+        // exceeds what was actually present.
+        match err {
+            StoreError::Truncated { at, .. } | StoreError::Corrupt { at, .. } => {
+                assert!(at <= len, "offset {at} beyond prefix {len}")
+            }
+            StoreError::BadMagic
+            | StoreError::ChecksumMismatch { .. }
+            | StoreError::UnsupportedVersion(_) => {}
+            other => panic!("unexpected error class for prefix {len}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_fails_with_a_typed_error() {
+    let bytes = sample_bytes();
+    for i in 0..bytes.len() {
+        let mut damaged = bytes.clone();
+        damaged[i] ^= 0xFF;
+        let err = decode_snapshot(&damaged)
+            .expect_err(&format!("flip at byte {i}/{} decoded", bytes.len()));
+        // Any variant is acceptable — the assertion is typed failure
+        // (and, implicitly, no panic and no runaway allocation).
+        let _ = err.kind();
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let mut bytes = sample_bytes();
+    bytes[0] = b'Q';
+    assert!(matches!(decode_snapshot(&bytes), Err(StoreError::BadMagic)));
+    assert!(matches!(
+        decode_snapshot(b"not a snapshot at all"),
+        Err(StoreError::BadMagic)
+    ));
+    assert!(matches!(
+        decode_snapshot(&[]),
+        Err(StoreError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut bytes = sample_bytes();
+    // The version field sits right after the 8 magic bytes.
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&99u32.to_le_bytes());
+    match decode_snapshot(&bytes) {
+        Err(StoreError::UnsupportedVersion(99)) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn damaged_checksum_is_reported_with_section_name() {
+    let mut bytes = sample_bytes();
+    // First section header: kind u32 + length u64 at offset 16; the
+    // checksum occupies the following 8 bytes.
+    let checksum_at = MAGIC.len() + 4 + 4 + 4 + 8;
+    bytes[checksum_at] ^= 0xFF;
+    match decode_snapshot(&bytes) {
+        Err(StoreError::ChecksumMismatch { section, .. }) => assert_eq!(section, "symbols"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn damaged_payload_is_caught_by_the_checksum() {
+    let mut bytes = sample_bytes();
+    // Flip a byte deep inside the last section's payload.
+    let at = bytes.len() - 3;
+    bytes[at] ^= 0x10;
+    match decode_snapshot(&bytes) {
+        Err(StoreError::ChecksumMismatch { .. }) => {}
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = sample_bytes();
+    bytes.extend_from_slice(b"extra");
+    match decode_snapshot(&bytes) {
+        Err(StoreError::Corrupt { what, .. }) => {
+            assert!(what.contains("after the last section"), "{what}")
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn implausible_counts_do_not_allocate() {
+    // A hand-built "symbols" section declaring u32::MAX entries in a
+    // tiny payload must fail on the plausibility check, not OOM.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&1u32.to_le_bytes()); // version
+    bytes.extend_from_slice(&5u32.to_le_bytes()); // section count
+    let payload = u32::MAX.to_le_bytes().to_vec(); // count with no data
+    bytes.extend_from_slice(&1u32.to_le_bytes()); // kind = symbols
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&pxv_store::codec::fnv1a(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    match decode_snapshot(&bytes) {
+        Err(StoreError::Corrupt { what, .. }) => {
+            assert!(what.contains("implausible count"), "{what}")
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// The standalone value codecs have no checksum layer, so *they* must be
+/// flip-proof on their own: flipping any single byte of any blob may
+/// yield a decode error or (rarely) a different valid value, but never a
+/// panic.
+#[test]
+fn standalone_codec_byte_flips_never_panic() {
+    let pdoc = parse_pdocument("a[mux(0.4: b[c], 0.6: b)]").unwrap();
+    let doc = parse_pdocument("a[b, c[d]]")
+        .unwrap()
+        .to_document()
+        .unwrap();
+    let pattern = parse_pattern("a/b[c]//d").unwrap();
+    let view = View::new("bs", parse_pattern("a/b").unwrap());
+    let ext = ProbExtension::materialize(&pdoc, &view);
+    use pxv_store::codec as c;
+    type Decode = fn(&[u8]) -> Result<(), StoreError>;
+    let blobs: Vec<(&str, Vec<u8>, Decode)> = vec![
+        ("document", c::encode_document(&doc), |b| {
+            c::decode_document(b).map(|_| ())
+        }),
+        ("pdocument", c::encode_pdocument(&pdoc), |b| {
+            c::decode_pdocument(b).map(|_| ())
+        }),
+        ("pattern", c::encode_pattern(&pattern), |b| {
+            c::decode_pattern(b).map(|_| ())
+        }),
+        ("extension", c::encode_extension(&ext), |b| {
+            c::decode_extension(b).map(|_| ())
+        }),
+    ];
+    for (what, bytes, decode) in blobs {
+        for i in 0..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[i] ^= 0xFF;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = decode(&damaged);
+            }));
+            assert!(outcome.is_ok(), "{what}: flip at byte {i} panicked");
+        }
+    }
+}
+
+/// The review regression: a node record naming *itself* as parent must
+/// fail with a typed error — `seen` must not admit the id before the
+/// parent check, or the tree builder's `unknown parent` assert panics.
+#[test]
+fn self_parent_record_fails_typed_not_panic() {
+    use pxv_store::codec::{decode_document, decode_pdocument, encode_document, encode_pdocument};
+    // Document record layout (v1): …, last node = id u32, parent u32,
+    // label u32. Point the last node's parent at its own id.
+    let d = parse_pdocument("a[b]").unwrap().to_document().unwrap();
+    let mut bytes = encode_document(&d);
+    let n = bytes.len();
+    let id = bytes[n - 12..n - 8].to_vec();
+    bytes[n - 8..n - 4].copy_from_slice(&id);
+    match decode_document(&bytes) {
+        Err(StoreError::Corrupt { what, .. }) => assert!(what.contains("unseen parent"), "{what}"),
+        other => panic!("self-parent document decoded: {other:?}"),
+    }
+    // P-document ordinary record: id u32, parent u32, prob f64, kind u8,
+    // label u32 (21 bytes).
+    let p = parse_pdocument("a[b]").unwrap();
+    let mut bytes = encode_pdocument(&p);
+    let n = bytes.len();
+    let id = bytes[n - 21..n - 17].to_vec();
+    bytes[n - 17..n - 13].copy_from_slice(&id);
+    match decode_pdocument(&bytes) {
+        Err(StoreError::Corrupt { what, .. }) => assert!(what.contains("unseen parent"), "{what}"),
+        other => panic!("self-parent p-document decoded: {other:?}"),
+    }
+}

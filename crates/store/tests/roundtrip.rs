@@ -1,0 +1,209 @@
+//! Codec round-trip properties: `decode(encode(x)) ≡ x` for documents,
+//! p-documents, tree patterns, views and materialized extensions —
+//! including the gnarly label pool of `display_roundtrip.rs` (labels
+//! needing quoting, UTF-8, the empty label), because the symbol table
+//! stores *spellings* and must reproduce every one of them exactly.
+//!
+//! Equality is checked at the strongest observable level: display forms
+//! (which are parseable and order-sensitive), canonical keys, and
+//! **bit-level** `f64` probabilities — the store's contract is that a
+//! restored engine answers bit-identically, and that starts here.
+
+use proptest::prelude::*;
+use pxv_pxml::generators::{random_pdocument, RandomPDocConfig};
+use pxv_pxml::text::parse_pdocument;
+use pxv_pxml::PDocument;
+use pxv_rewrite::view::ProbExtension;
+use pxv_rewrite::View;
+use pxv_store::codec::{
+    decode_document, decode_extension, decode_pattern, decode_pdocument, decode_view,
+    encode_document, encode_extension, encode_pattern, encode_pdocument, encode_view,
+};
+use pxv_store::{decode_snapshot, encode_snapshot, ExtensionEntry, Snapshot};
+use pxv_tpq::generators::{random_pattern, RandomPatternConfig};
+use pxv_tpq::TreePattern;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The gnarly label pool (mirrors `crates/tpq/tests/display_roundtrip.rs`):
+/// bare identifiers, labels that must be quoted (whitespace, symbols,
+/// UTF-8), and the lexer corner cases (`a.`, leading dot, empty label,
+/// a distributional keyword used as an ordinary label).
+fn gnarly_labels() -> Vec<String> {
+    [
+        "a",
+        "b-1",
+        "x_2",
+        "3.14",
+        "IT-personnel",
+        "IT personnel",
+        "two  spaces",
+        "a.",
+        ".hidden",
+        "",
+        "p@q",
+        "λ-node",
+        "mux",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn pdoc_strategy() -> impl Strategy<Value = PDocument> {
+    any::<u64>().prop_map(|seed| {
+        let cfg = RandomPDocConfig {
+            labels: gnarly_labels(),
+            target_size: 16,
+            ..RandomPDocConfig::default()
+        };
+        random_pdocument(&cfg, &mut StdRng::seed_from_u64(seed))
+    })
+}
+
+fn pattern_strategy() -> impl Strategy<Value = TreePattern> {
+    (any::<u64>(), 1usize..5).prop_map(|(seed, mb_len)| {
+        let cfg = RandomPatternConfig {
+            mb_len,
+            desc_prob: 0.4,
+            preds_per_node: 0.9,
+            pred_depth: 3,
+            labels: gnarly_labels(),
+        };
+        random_pattern(&cfg, &mut StdRng::seed_from_u64(seed))
+    })
+}
+
+/// Bit-level p-document equivalence: identical display text (parseable,
+/// child-order-sensitive) and identical appearance-probability bits for
+/// every ordinary node.
+fn assert_pdoc_identical(a: &PDocument, b: &PDocument) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.to_string(), b.to_string());
+    prop_assert_eq!(a.len(), b.len());
+    prop_assert_eq!(a.next_fresh_id(), b.next_fresh_id());
+    for n in a.ordinary_ids() {
+        prop_assert!(b.contains(n));
+        prop_assert_eq!(
+            a.appearance_probability(n).to_bits(),
+            b.appearance_probability(n).to_bits(),
+            "marginal of {} must restore bit-identically",
+            n
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn pdocument_round_trips(p in pdoc_strategy()) {
+        let back = decode_pdocument(&encode_pdocument(&p))
+            .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}")))?;
+        assert_pdoc_identical(&p, &back)?;
+        prop_assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn document_round_trips(seed in any::<u64>()) {
+        // Distributional density 0 yields a plain deterministic document.
+        let cfg = RandomPDocConfig {
+            labels: gnarly_labels(),
+            dist_density: 0.0,
+            ..RandomPDocConfig::default()
+        };
+        let d = random_pdocument(&cfg, &mut StdRng::seed_from_u64(seed))
+            .to_document()
+            .expect("density 0 has no distributional nodes");
+        let back = decode_document(&encode_document(&d))
+            .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(d.to_string(), back.to_string());
+        prop_assert_eq!(d.id_set_key(), back.id_set_key());
+    }
+
+    #[test]
+    fn pattern_round_trips(q in pattern_strategy()) {
+        let back = decode_pattern(&encode_pattern(&q))
+            .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}")))?;
+        // Stronger than canonical-key equality: the arena layout, child
+        // order and display text are all preserved.
+        prop_assert_eq!(q.to_string(), back.to_string());
+        prop_assert_eq!(q.canonical_key(), back.canonical_key());
+        prop_assert_eq!(q.output(), back.output());
+        prop_assert_eq!(q.len(), back.len());
+    }
+
+    #[test]
+    fn view_round_trips(q in pattern_strategy()) {
+        let v = View::new("gnarly view", q);
+        let back = decode_view(&encode_view(&v))
+            .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(&back.name, &v.name);
+        prop_assert_eq!(v.pattern.canonical_key(), back.pattern.canonical_key());
+        // The doc(v) marker is re-interned in the decoding process.
+        prop_assert_eq!(v.doc_label(), back.doc_label());
+    }
+
+    #[test]
+    fn extension_round_trips(p in pdoc_strategy(), q in pattern_strategy()) {
+        let view = View::new("v", q);
+        let ext = ProbExtension::materialize(&p, &view);
+        let back = decode_extension(&encode_extension(&ext))
+            .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}")))?;
+        assert_pdoc_identical(&ext.pdoc, &back.pdoc)?;
+        prop_assert_eq!(ext.results.len(), back.results.len());
+        for (a, b) in ext.results.iter().zip(&back.results) {
+            prop_assert_eq!(a.ext_root, b.ext_root);
+            prop_assert_eq!(a.orig, b.orig);
+            prop_assert_eq!(
+                a.prob.to_bits(),
+                b.prob.to_bits(),
+                "result probability must restore bit-identically"
+            );
+        }
+        let mut orig_a: Vec<_> = ext.orig_entries().collect();
+        let mut orig_b: Vec<_> = back.orig_entries().collect();
+        orig_a.sort_unstable();
+        orig_b.sort_unstable();
+        prop_assert_eq!(orig_a, orig_b);
+    }
+
+    #[test]
+    fn snapshot_encoding_is_deterministic(p in pdoc_strategy(), q in pattern_strategy()) {
+        let view = View::new("v", q);
+        let ext = ProbExtension::materialize(&p, &view);
+        let snap = Snapshot {
+            documents: vec![("d".into(), p)],
+            views: vec![view],
+            extensions: vec![ExtensionEntry { doc: 0, view: 0, extension: ext }],
+            epoch: 3,
+        };
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes)
+            .map_err(|e| TestCaseError::Fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(bytes, encode_snapshot(&back), "decode→encode is a fixed point");
+    }
+}
+
+/// The paper-shaped distributional kinds the random generator does not
+/// emit (`det`, `exp`, explicit ids) round-trip too.
+#[test]
+fn det_and_exp_kinds_round_trip() {
+    for src in [
+        "a#0[det#1(b#2, c#3), ind#4(0.5: e#5)]",
+        "a[exp(b[x], c; 0.4: {0, 1}, 0.35: {1}, 0.25: {})]",
+        "a#1[mux#11(0.75: Rick#8, 0.25: John#13)]",
+        "'IT personnel'[person['two  spaces', mux(0.3: 'a.', 0.7: '.hidden')]]",
+    ] {
+        let p = parse_pdocument(src).unwrap();
+        let back = decode_pdocument(&encode_pdocument(&p)).unwrap();
+        assert_eq!(p.to_string(), back.to_string(), "{src}");
+        for n in p.ordinary_ids() {
+            assert_eq!(
+                p.appearance_probability(n).to_bits(),
+                back.appearance_probability(n).to_bits(),
+                "{src}: marginal of {n}"
+            );
+        }
+    }
+}

@@ -37,6 +37,19 @@ impl fmt::Display for PatternParseError {
 
 impl std::error::Error for PatternParseError {}
 
+impl PatternParseError {
+    /// 1-based `(line, column)` of the error within `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        pxv_pxml::text::line_col_at(src, self.at)
+    }
+
+    /// Renders the error as `origin:line:col: msg` with the offending
+    /// line and a caret (shared renderer with the p-document parser).
+    pub fn render(&self, origin: &str, src: &str) -> String {
+        pxv_pxml::text::render_at(origin, src, self.at, &self.msg)
+    }
+}
+
 struct Cursor<'a> {
     src: &'a [u8],
     pos: usize,
@@ -248,5 +261,16 @@ mod tests {
         let q = parse_pattern("'IT personnel'//'my node'").unwrap();
         assert_eq!(q.label(q.root()).name(), "IT personnel");
         assert_eq!(q.output_label().name(), "my node");
+    }
+
+    #[test]
+    fn errors_render_with_line_col_and_caret() {
+        let src = "a/b[c";
+        let err = parse_pattern(src).expect_err("unclosed predicate");
+        assert_eq!(err.line_col(src), (1, 6));
+        let rendered = err.render("query", src);
+        assert!(rendered.starts_with("query:1:6:"), "{rendered}");
+        assert!(rendered.contains("a/b[c"), "{rendered}");
+        assert!(rendered.ends_with('^'), "{rendered}");
     }
 }

@@ -10,8 +10,13 @@
 //! prxview batch   <pdoc-file> <query-file> [-jN] name=pattern…
 //!                                                concurrent batch answering
 //! prxview cindep  <q1> <q2>                      c-independence test
+//! prxview gen     personnel <persons> [projects] [seed]
+//!                                                print a generated p-document
+//! prxview save    <store-dir> --doc name=file… [--no-warm] [name=pattern]…
+//!                                                build, warm and snapshot an engine
+//! prxview load    <store-dir> [<doc> <query>]    inspect (and query) a snapshot
 //! prxview serve   [--port P] [--addr H] [-jN] [--max-conn M]
-//!                 [--doc name=file]… [name=pattern]…
+//!                 [--store DIR] [--doc name=file]… [name=pattern]…
 //!                                                run the prxd TCP server
 //! ```
 //!
@@ -26,7 +31,13 @@
 //! `serve` exposes the engine over TCP (the `pxv-server` wire protocol):
 //! documents and views can be preloaded from the command line or loaded
 //! live through the protocol's `LOAD`/`VIEW` requests; drive it with
-//! `prxload` or any line-oriented TCP client (`nc` included).
+//! `prxload` or any line-oriented TCP client (`nc` included). With
+//! `--store DIR` the server restores `DIR/engine.pxv` on boot (warm
+//! cache, zero re-materialization, bit-identical answers) and snapshots
+//! the engine back on graceful shutdown (the protocol's `SHUTDOWN`
+//! request). `save`/`load` manage the same snapshots offline, and parse
+//! errors print with `file:line:col` context plus a caret instead of
+//! bare byte offsets.
 
 use prxview::engine::{Engine, EngineError, QueryOptions};
 use prxview::pxml::text::parse_pdocument;
@@ -42,18 +53,27 @@ fn usage() -> ExitCode {
          prxview plan <query> name=pattern...\n  prxview answer <pdoc-file> <query> name=pattern...\n  \
          prxview batch <pdoc-file> <query-file> [-jN] name=pattern...\n  \
          prxview cindep <q1> <q2>\n  \
-         prxview serve [--port P] [--addr H] [-jN] [--max-conn M] [--doc name=file]... [name=pattern]..."
+         prxview gen personnel <persons> [projects] [seed]\n  \
+         prxview save <store-dir> --doc name=file... [--no-warm] [name=pattern]...\n  \
+         prxview load <store-dir> [<doc> <query>]\n  \
+         prxview serve [--port P] [--addr H] [-jN] [--max-conn M] [--store DIR] \
+         [--doc name=file]... [name=pattern]..."
     );
     ExitCode::from(2)
 }
 
+/// Reads and parses a p-document file. Parse failures render with
+/// `file:line:col` context and a caret (not a bare byte offset, and
+/// never a `Debug` dump).
 fn load_pdoc(path: &str) -> Result<PDocument, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_pdocument(text.trim()).map_err(|e| format!("{path}: {e}"))
+    // Parse the file verbatim (the grammar skips whitespace), so error
+    // offsets map to real line/column positions in the file.
+    parse_pdocument(&text).map_err(|e| e.render(path, &text))
 }
 
 fn load_query(s: &str) -> Result<TreePattern, String> {
-    parse_pattern(s).map_err(|e| format!("query `{s}`: {e}"))
+    parse_pattern(s).map_err(|e| e.render("query", s))
 }
 
 fn parse_views(args: &[String]) -> Result<Vec<View>, String> {
@@ -213,11 +233,118 @@ fn run() -> Result<ExitCode, String> {
                 ExitCode::FAILURE
             })
         }
+        Some("gen") if args.len() >= 3 && args[1] == "personnel" => {
+            let persons: usize = args[2].parse().map_err(|e| format!("bad persons: {e}"))?;
+            let projects: usize = args
+                .get(3)
+                .map(|s| s.parse().map_err(|e| format!("bad projects: {e}")))
+                .transpose()?
+                .unwrap_or(3);
+            let seed: u64 = args
+                .get(4)
+                .map(|s| s.parse().map_err(|e| format!("bad seed: {e}")))
+                .transpose()?
+                .unwrap_or(9);
+            let (pdoc, _) = prxview::pxml::generators::personnel(persons, projects, seed);
+            println!("{pdoc}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("save") if args.len() >= 2 => {
+            let mut warm = true;
+            let mut doc_specs: Vec<(String, String)> = Vec::new();
+            let mut view_args = Vec::new();
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--doc" => {
+                        let spec = args
+                            .get(i + 1)
+                            .ok_or_else(|| "--doc needs a value".to_string())?;
+                        let (name, file) = spec
+                            .split_once('=')
+                            .ok_or_else(|| format!("--doc `{spec}` must be name=file"))?;
+                        doc_specs.push((name.to_string(), file.to_string()));
+                        i += 2;
+                    }
+                    "--no-warm" => {
+                        warm = false;
+                        i += 1;
+                    }
+                    _ => {
+                        view_args.push(args[i].clone());
+                        i += 1;
+                    }
+                }
+            }
+            if doc_specs.is_empty() {
+                return Err("save: at least one --doc name=file is required".into());
+            }
+            let mut engine = engine_with_views(parse_views(&view_args)?)?;
+            let mut docs = Vec::new();
+            for (name, file) in &doc_specs {
+                let id = engine
+                    .add_document(name, load_pdoc(file)?)
+                    .map_err(|e| format!("--doc {name}: {e}"))?;
+                docs.push(id);
+            }
+            if warm {
+                for &doc in &docs {
+                    engine.warm(doc).map_err(|e| e.to_string())?;
+                }
+            }
+            let store = prxview::store::Store::open(&args[1]).map_err(|e| e.to_string())?;
+            let snapshot = engine.snapshot();
+            let bytes = store.save(&snapshot).map_err(|e| e.to_string())?;
+            eprintln!(
+                "saved {} to {} ({bytes} bytes)",
+                snapshot.describe(),
+                store.snapshot_path().display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("load") if matches!(args.len(), 2 | 4) => {
+            let store = prxview::store::Store::open(&args[1]).map_err(|e| e.to_string())?;
+            let snapshot = store.load().map_err(|e| e.to_string())?;
+            eprintln!(
+                "{} ({})",
+                snapshot.describe(),
+                store.snapshot_path().display()
+            );
+            for (i, (name, pdoc)) in snapshot.documents.iter().enumerate() {
+                let cached = snapshot.extensions.iter().filter(|e| e.doc == i).count();
+                eprintln!(
+                    "  doc `{name}`: {} node(s), {cached} cached extension(s)",
+                    pdoc.len()
+                );
+            }
+            for view in &snapshot.views {
+                eprintln!("  view `{}`: {}", view.name, view.pattern);
+            }
+            if args.len() == 4 {
+                // Answer one query from the restored (warm) engine.
+                let engine = Engine::from_snapshot(snapshot).map_err(|e| e.to_string())?;
+                let doc = engine
+                    .find_document(&args[2])
+                    .ok_or_else(|| format!("no document named `{}` in snapshot", args[2]))?;
+                let q = load_query(&args[3])?;
+                let answer = engine.answer(doc, &q).map_err(|e| e.to_string())?;
+                eprintln!("plan: {}", answer.description);
+                eprintln!(
+                    "stats: {} extension(s) touched, {} materialized",
+                    answer.stats.extensions_touched, answer.stats.materializations
+                );
+                for (n, p) in answer.nodes {
+                    println!("{n}\t{p:.9}");
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
         Some("serve") => {
             let mut host = "127.0.0.1".to_string();
             let mut port = 7878u16;
             let mut config = prxview::server::serve::ServerConfig::default();
-            let mut engine = Engine::with_options(QueryOptions::default());
+            let mut store_dir: Option<String> = None;
+            let mut doc_specs: Vec<(String, String)> = Vec::new();
             let mut view_args = Vec::new();
             let mut i = 1;
             let value = |args: &[String], i: usize| -> Result<String, String> {
@@ -243,14 +370,16 @@ fn run() -> Result<ExitCode, String> {
                             .map_err(|e| format!("bad --max-conn: {e}"))?;
                         i += 2;
                     }
+                    "--store" => {
+                        store_dir = Some(value(&args, i)?);
+                        i += 2;
+                    }
                     "--doc" => {
                         let spec = value(&args, i)?;
                         let (name, file) = spec
                             .split_once('=')
                             .ok_or_else(|| format!("--doc `{spec}` must be name=file"))?;
-                        engine
-                            .add_document(name, load_pdoc(file)?)
-                            .map_err(|e| format!("--doc {name}: {e}"))?;
+                        doc_specs.push((name.to_string(), file.to_string()));
                         i += 2;
                     }
                     a if a.starts_with("-j") => {
@@ -263,25 +392,95 @@ fn run() -> Result<ExitCode, String> {
                     }
                 }
             }
-            engine
-                .register_views(parse_views(&view_args)?)
+            // With --store, boot from the snapshot (warm cache, restored
+            // epoch) and layer any --doc / view arguments on top.
+            let store = store_dir
+                .map(prxview::store::Store::open)
+                .transpose()
                 .map_err(|e| e.to_string())?;
+            let mut engine = match &store {
+                Some(store) if store.has_snapshot() => {
+                    let snapshot = store.load().map_err(|e| e.to_string())?;
+                    eprintln!(
+                        "restored {} from {}",
+                        snapshot.describe(),
+                        store.snapshot_path().display()
+                    );
+                    Engine::from_snapshot_with(snapshot, QueryOptions::default())
+                        .map_err(|e| e.to_string())?
+                }
+                _ => Engine::with_options(QueryOptions::default()),
+            };
+            // `--doc` is an upsert over the restored snapshot (like the
+            // wire LOAD verb), so re-running the same command line after
+            // a graceful shutdown just works: an unchanged file keeps the
+            // restored document *and its warm cache*; a changed file
+            // replaces the content (invalidating that document's cache).
+            for (name, file) in &doc_specs {
+                let pdoc = load_pdoc(file)?;
+                match engine.find_document(name) {
+                    Some(id)
+                        if engine.document(id).map_err(|e| e.to_string())?.to_string()
+                            == pdoc.to_string() => {}
+                    Some(id) => engine
+                        .replace_document(id, pdoc)
+                        .map_err(|e| format!("--doc {name}: {e}"))?,
+                    None => {
+                        engine
+                            .add_document(name, pdoc)
+                            .map_err(|e| format!("--doc {name}: {e}"))?;
+                    }
+                }
+            }
+            // Views have no replace operation: a restored view with the
+            // same name is kept if its pattern matches, and a conflicting
+            // pattern is a hard error rather than a silent divergence.
+            for view in parse_views(&view_args)? {
+                match engine.catalog().find(&view.name) {
+                    Some(id)
+                        if engine.catalog().view(id).pattern.canonical_key()
+                            == view.pattern.canonical_key() => {}
+                    Some(_) => {
+                        return Err(format!(
+                            "view `{}` exists in the snapshot with a different pattern",
+                            view.name
+                        ))
+                    }
+                    None => {
+                        engine.register_view(view).map_err(|e| e.to_string())?;
+                    }
+                }
+            }
             // Bracket bare IPv6 hosts so `host:port` stays resolvable.
             config.addr = if host.contains(':') && !host.starts_with('[') {
                 format!("[{host}]:{port}")
             } else {
                 format!("{host}:{port}")
             };
-            let handle = prxview::server::serve::serve(engine, &config)
+            let mut handle = prxview::server::serve::serve(engine, &config)
                 .map_err(|e| format!("bind {}: {e}", config.addr))?;
             eprintln!(
                 "prxd listening on {} ({} workers, {} max connections); \
-                 protocol: LOAD/VIEW/WARM/QUERY/BATCH/STATS/INVALIDATE/PING/QUIT",
+                 protocol: LOAD/VIEW/WARM/QUERY/BATCH/STATS/INVALIDATE/\
+                 SAVE/RESTORE/SHUTDOWN/PING/QUIT",
                 handle.addr(),
                 config.workers,
                 config.max_connections
             );
-            handle.wait();
+            handle.join();
+            // Graceful shutdown (the SHUTDOWN request): persist the final
+            // engine state so the next `serve --store` boots warm.
+            if let Some(store) = &store {
+                let snapshot = handle.with_engine(|e| e.snapshot());
+                let bytes = store
+                    .save(&snapshot)
+                    .map_err(|e| format!("saving shutdown snapshot: {e}"))?;
+                eprintln!(
+                    "snapshot saved: {} to {} ({bytes} bytes)",
+                    snapshot.describe(),
+                    store.snapshot_path().display()
+                );
+            }
             Ok(ExitCode::SUCCESS)
         }
         Some("cindep") if args.len() == 3 => {

@@ -37,8 +37,11 @@
 //! use: [`pxml`] (p-documents), [`tpq`] (tree patterns), [`peval`]
 //! (probabilistic evaluation), [`rewrite`] (TPrewrite / TPIrewrite and
 //! plan execution), [`engine`] (the stateful facade, its own crate
-//! `pxv-engine`), and [`server`] (`pxv-server`: the `prxd` TCP serving
-//! layer — wire protocol, threaded server, blocking client, `prxload`).
+//! `pxv-engine`), [`store`] (`pxv-store`: persistent binary snapshots —
+//! `Engine::snapshot_to` / `Engine::restore_from` give warm restarts
+//! with bit-identical answers), and [`server`] (`pxv-server`: the `prxd`
+//! TCP serving layer — wire protocol, threaded server, blocking client,
+//! `prxload`).
 
 #![warn(missing_docs)]
 
@@ -47,6 +50,7 @@ pub use pxv_peval as peval;
 pub use pxv_pxml as pxml;
 pub use pxv_rewrite as rewrite;
 pub use pxv_server as server;
+pub use pxv_store as store;
 pub use pxv_tpq as tpq;
 
 use pxv_pxml::{NodeId, PDocument};
