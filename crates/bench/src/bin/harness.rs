@@ -1,6 +1,6 @@
 //! The experiment harness: regenerates every figure/example of the paper
 //! (E1–E12) and prints paper-value vs. measured-value tables, plus compact
-//! versions of the scaling experiments (B1–B11; full statistics via
+//! versions of the scaling experiments (B1–B12; full statistics via
 //! `cargo bench`). Output is recorded in EXPERIMENTS.md.
 //!
 //! ```sh
@@ -419,7 +419,7 @@ fn fmt_ms(d: std::time::Duration) -> String {
 }
 
 fn b_compact() {
-    println!("\n== B1–B11 compact scaling runs (full statistics: cargo bench) ==");
+    println!("\n== B1–B12 compact scaling runs (full statistics: cargo bench) ==");
 
     // B1: c-independence PTime shape.
     println!("\n[B1] c-independence test vs pattern size (Prop. 2):");
@@ -766,6 +766,92 @@ fn b_compact() {
                 fmt_ms(t_restore),
                 fmt_ms(t_first),
                 t_cold.as_secs_f64() / (t_restore + t_first).as_secs_f64()
+            );
+        }
+    }
+
+    // B12: incremental view-extension maintenance (tentpole of the
+    // updates PR). A warm engine takes one localized edit (reweigh a mux
+    // branch inside a single person) and re-answers qBON. Incremental =
+    // `Engine::apply_edits` (cached extensions maintained by delta);
+    // full = invalidate + rematerialize-on-query, the pre-update-path
+    // behavior. Both must produce answers bit-identical to a cold engine
+    // built from the post-edit document; the incremental path must stay
+    // fallback-free on these localized edits.
+    println!("\n[B12] incremental edit+re-query vs invalidate+rematerialize (updates):");
+    {
+        use prxview::engine::Engine;
+        use pxv_pxml::edit::Edit;
+        use pxv_pxml::PKind;
+        let q = qbon();
+        for persons in [50usize, 200, 800] {
+            let (pdoc, _) = personnel(persons, 3, 9);
+            // A mux-weighted edge deep inside one person subtree.
+            let edit_site = pdoc
+                .node_ids()
+                .filter(|&n| {
+                    pdoc.parent(n)
+                        .is_some_and(|p| matches!(pdoc.kind(p), PKind::Mux))
+                })
+                .min()
+                .expect("personnel has mux edges");
+            let edit = Edit::SetProb {
+                node: edit_site,
+                prob: 0.5,
+            };
+            let build = || {
+                let mut engine = Engine::new();
+                let doc = engine.add_document("p", pdoc.clone()).unwrap();
+                engine.register_views([v1bon(), v2bon()]).unwrap();
+                engine.warm(doc).unwrap();
+                (engine, doc)
+            };
+            // Incremental: apply_edits maintains both cached extensions.
+            let (engine, doc) = build();
+            let t0 = Instant::now();
+            let report = engine
+                .apply_edits(doc, std::slice::from_ref(&edit))
+                .unwrap();
+            let t_maint = t0.elapsed();
+            let incr = engine.answer(doc, &q).expect("plan");
+            let t_incr = t0.elapsed();
+            assert_eq!(
+                report.delta_fallbacks, 0,
+                "localized edit stays incremental"
+            );
+            assert_eq!(incr.stats.materializations, 0, "maintained cache is warm");
+            // Full: the pre-update-path alternative — replace the
+            // document (evicting the cache) and rematerialize the same
+            // extension set before answering.
+            let (engine2, doc2) = build();
+            let mut edited = pdoc.clone();
+            edited.apply_edit(&edit).unwrap();
+            let t1 = Instant::now();
+            engine2.replace_document(doc2, edited.clone()).unwrap();
+            engine2.warm(doc2).unwrap();
+            let t_remat = t1.elapsed();
+            let full = engine2.answer(doc2, &q).expect("plan");
+            let t_full = t1.elapsed();
+            // Both bit-identical to a cold post-edit engine.
+            let mut cold = Engine::new();
+            let cd = cold.add_document("p", edited).unwrap();
+            cold.register_views([v1bon(), v2bon()]).unwrap();
+            let want = cold.answer(cd, &q).expect("plan");
+            assert_eq!(incr.nodes, want.nodes, "incremental bit-identical");
+            assert_eq!(full.nodes, want.nodes, "full bit-identical");
+            assert!(
+                t_maint < t_remat,
+                "incremental maintenance must beat rematerialization \
+                 ({t_maint:?} vs {t_remat:?})"
+            );
+            println!(
+                "  persons={persons:4}: delta-maintain {:>10} vs rematerialize {:>10} \
+                 ({:.1}× faster); edit+query {:>10} vs {:>10}",
+                fmt_ms(t_maint),
+                fmt_ms(t_remat),
+                t_remat.as_secs_f64() / t_maint.as_secs_f64(),
+                fmt_ms(t_incr),
+                fmt_ms(t_full),
             );
         }
     }

@@ -100,15 +100,17 @@
 //! assert_eq!(engine.stats().plan_cache_hits, 1);   // reused once
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use pxv_pxml::{NodeId, PDocument};
 use pxv_rewrite::answer::{execute_tpi, plan_checked};
 use pxv_rewrite::fr_tp::answer_tp;
 use pxv_rewrite::view::ProbExtension;
 // Re-exported so downstream layers (e.g. the TCP server) can register
-// views without depending on `pxv-rewrite` directly.
-pub use pxv_rewrite::View;
+// views and apply document edits without depending on `pxv-rewrite` /
+// `pxv-pxml` directly.
+pub use pxv_pxml::{Edit, EditEffect, EditError};
+pub use pxv_rewrite::{DeltaOutcome, View};
 use pxv_tpq::TreePattern;
 use std::collections::HashMap;
 use std::path::Path;
@@ -151,6 +153,9 @@ pub enum EngineError {
     UnknownDocument(DocId),
     /// The document failed `PDocument::validate`.
     InvalidDocument(String),
+    /// An [`Edit`] was rejected by structural validation
+    /// ([`Engine::apply_edits`] mutates nothing when it reports this).
+    Edit(EditError),
     /// No probabilistic rewriting exists and direct fallback is disabled.
     Plan(PlanError),
 }
@@ -164,6 +169,7 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::UnknownDocument(id) => write!(f, "unknown document id {:?}", id),
             EngineError::InvalidDocument(why) => write!(f, "invalid p-document: {why}"),
+            EngineError::Edit(e) => write!(f, "edit rejected: {e}"),
             EngineError::Plan(e) => write!(f, "{e}"),
         }
     }
@@ -174,6 +180,12 @@ impl std::error::Error for EngineError {}
 impl From<PlanError> for EngineError {
     fn from(e: PlanError) -> EngineError {
         EngineError::Plan(e)
+    }
+}
+
+impl From<EditError> for EngineError {
+    fn from(e: EditError) -> EngineError {
+        EngineError::Edit(e)
     }
 }
 
@@ -322,6 +334,15 @@ pub struct EngineStats {
     /// Queries whose plan had to be computed (first sighting of a
     /// canonical query under the current catalog epoch and options).
     pub plan_cache_misses: u64,
+    /// Document edits applied through [`Engine::apply_edits`].
+    pub edits_applied: u64,
+    /// Per-(edit, cached extension) maintenance steps serviced by the
+    /// incremental delta path (stored probabilities reused where the
+    /// edit's scope test allowed).
+    pub deltas_applied: u64,
+    /// Maintenance steps that fell back to full rematerialization (the
+    /// edit touched a region the view could not localize).
+    pub delta_fallbacks: u64,
 }
 
 /// Per-document cache counters. Unlike [`EngineStats`] these describe the
@@ -350,6 +371,9 @@ struct AtomicEngineStats {
     invalidations: AtomicU64,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    edits_applied: AtomicU64,
+    deltas_applied: AtomicU64,
+    delta_fallbacks: AtomicU64,
 }
 
 impl AtomicEngineStats {
@@ -364,6 +388,9 @@ impl AtomicEngineStats {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            edits_applied: self.edits_applied.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            delta_fallbacks: self.delta_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -378,6 +405,9 @@ impl AtomicEngineStats {
             invalidations: AtomicU64::new(snapshot.invalidations),
             plan_cache_hits: AtomicU64::new(snapshot.plan_cache_hits),
             plan_cache_misses: AtomicU64::new(snapshot.plan_cache_misses),
+            edits_applied: AtomicU64::new(snapshot.edits_applied),
+            deltas_applied: AtomicU64::new(snapshot.deltas_applied),
+            delta_fallbacks: AtomicU64::new(snapshot.delta_fallbacks),
         }
     }
 }
@@ -528,7 +558,7 @@ impl Catalog {
     /// document's content). Returns how many materialized extensions were
     /// evicted. Prefer [`Engine::invalidate`], which also resets the
     /// document's [`DocStats`] counters.
-    pub fn invalidate(&mut self, doc: DocId) -> usize {
+    pub fn invalidate(&self, doc: DocId) -> usize {
         let mut evicted = 0;
         for shard in &self.shards {
             let mut map = shard.write().expect("catalog shard poisoned");
@@ -566,25 +596,56 @@ impl Catalog {
     }
 
     /// Installs an already-materialized extension as a completed cache
-    /// entry (snapshot restore). The caller guarantees the indices are in
-    /// range.
-    fn restore_entry(&mut self, doc: usize, view: usize, ext: Arc<ProbExtension>) {
+    /// entry, replacing whatever the slot held (snapshot restore, and the
+    /// commit step of [`Engine::apply_edits`]). The caller guarantees the
+    /// indices are in range.
+    fn install_entry(&self, doc: usize, view: usize, ext: Arc<ProbExtension>) {
         let key = (doc, view);
         let slot: ExtensionSlot = Arc::new(OnceLock::new());
         slot.set(ext).expect("fresh OnceLock");
         self.shards[shard_index(key)]
-            .get_mut()
+            .write()
             .expect("catalog shard poisoned")
             .insert(key, slot);
     }
 
-    /// The memoized extension of view `view_idx` over `pdoc`; materializes
-    /// on first use. Returns the extension and whether it was a cache hit
-    /// (single-flight waiters count as hits — they did not materialize).
+    /// Every *completed* cached extension of `doc` as `(view index,
+    /// extension)`, sorted by view index — the set the update path
+    /// maintains across an edit. In-flight materializations are skipped;
+    /// they belong to the pre-edit document, and the update's commit
+    /// step evicts their slots so they finish orphaned (private to the
+    /// query that started them) instead of publishing stale state.
+    fn completed_for(&self, doc: usize) -> Vec<(usize, Arc<ProbExtension>)> {
+        let mut out: Vec<(usize, Arc<ProbExtension>)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let map = shard.read().expect("catalog shard poisoned");
+                map.iter()
+                    .filter(|(&(d, _), _)| d == doc)
+                    .filter_map(|(&(_, v), slot)| slot.get().map(|ext| (v, Arc::clone(ext))))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|&(v, _)| v);
+        out
+    }
+
+    /// The memoized extension of view `view_idx` over the document
+    /// `fetch` returns; materializes on first use. Returns the extension
+    /// and whether it was a cache hit (single-flight waiters count as
+    /// hits — they did not materialize).
+    ///
+    /// `fetch` runs *inside* the materializing closure, not before the
+    /// slot lookup: it re-reads the engine's current document under its
+    /// per-document lock, so a materialization whose slot was inserted
+    /// after an `apply_edits` commit can only ever see the post-edit
+    /// document — a query still holding a pre-edit snapshot cannot
+    /// publish a stale extension into the shared cache.
     fn extension(
         &self,
         doc: usize,
-        pdoc: &PDocument,
+        fetch: impl Fn() -> Arc<PDocument>,
         view_idx: usize,
     ) -> (Arc<ProbExtension>, bool) {
         let key = (doc, view_idx);
@@ -603,7 +664,7 @@ impl Catalog {
         let mut materialized = false;
         let ext = slot.get_or_init(|| {
             materialized = true;
-            Arc::new(ProbExtension::materialize(pdoc, &self.views[view_idx]))
+            Arc::new(ProbExtension::materialize(&fetch(), &self.views[view_idx]))
         });
         (Arc::clone(ext), !materialized)
     }
@@ -638,6 +699,25 @@ impl PlanKey {
     }
 }
 
+/// What one [`Engine::apply_edits`] call did (per-call view of the
+/// lifetime `edits_applied` / `deltas_applied` / `delta_fallbacks`
+/// counters in [`EngineStats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Edits applied (the whole input sequence, or 0 on the empty one).
+    pub edits: usize,
+    /// Maintenance steps — one per (edit, cached extension) pair —
+    /// serviced incrementally.
+    pub deltas_applied: u64,
+    /// Maintenance steps that fell back to full rematerialization.
+    pub delta_fallbacks: u64,
+    /// Cached extensions carried warm across the edit sequence.
+    pub extensions_maintained: usize,
+    /// Fresh ids assigned to [`Edit::InsertSubtree`] roots, in edit
+    /// order.
+    pub inserted_roots: Vec<NodeId>,
+}
+
 /// Memoized planner outcomes — negative results are cached too, so a
 /// hot unanswerable query does not re-run TPIrewrite on every arrival.
 type PlanCache = RwLock<HashMap<PlanKey, Arc<Result<Plan, PlanError>>>>;
@@ -651,25 +731,41 @@ pub const PLAN_CACHE_CAPACITY: usize = 4096;
 
 /// The stateful query-answering engine (see the module docs for a tour).
 ///
-/// Registration (`add_document`, `register_view`, `replace_document`,
-/// `invalidate`) takes `&mut self`; every query path (`answer*`, `plan*`,
-/// `warm`) takes `&self` and is safe to call from many threads at once.
+/// Registration (`add_document`, `register_view`) takes `&mut self`;
+/// every query path (`answer*`, `plan*`, `warm`) takes `&self` and is
+/// safe to call from many threads at once. Mutation of *existing*
+/// documents ([`Engine::apply_edits`], [`Engine::invalidate`],
+/// [`Engine::replace_document`]) also takes `&self` — document slots sit
+/// behind per-document locks, the catalog is sharded, and the epoch is
+/// atomic — so a served (shared) engine can be updated in place. Writers
+/// are internally consistent but a query racing an `apply_edits` call on
+/// the *same document* may observe the pre-edit extension of one view and
+/// the post-edit extension of another; serialize updates against queries
+/// (as the `prxd` server's engine-level write lock does) when cross-view
+/// consistency matters.
 #[derive(Debug, Default)]
 pub struct Engine {
-    documents: Vec<PDocument>,
+    /// Per-document slots: the `Vec` only grows (under `&mut` in
+    /// [`Engine::add_document`]); each slot's content is swappable under
+    /// `&self` through its own lock.
+    documents: Vec<RwLock<Arc<PDocument>>>,
     doc_names: HashMap<String, usize>,
     doc_stats: Vec<AtomicDocStats>,
     catalog: Catalog,
     options: QueryOptions,
     stats: AtomicEngineStats,
     plan_cache: PlanCache,
-    catalog_epoch: u64,
+    catalog_epoch: AtomicU64,
 }
 
 impl Clone for Engine {
     fn clone(&self) -> Engine {
         Engine {
-            documents: self.documents.clone(),
+            documents: self
+                .documents
+                .iter()
+                .map(|slot| RwLock::new(Arc::clone(&slot.read().expect("document poisoned"))))
+                .collect(),
             doc_names: self.doc_names.clone(),
             doc_stats: self
                 .doc_stats
@@ -686,7 +782,7 @@ impl Clone for Engine {
             options: self.options.clone(),
             stats: AtomicEngineStats::restore(self.stats.snapshot()),
             plan_cache: RwLock::new(self.plan_cache.read().expect("plan cache poisoned").clone()),
-            catalog_epoch: self.catalog_epoch,
+            catalog_epoch: AtomicU64::new(self.catalog_epoch.load(Ordering::SeqCst)),
         }
     }
 }
@@ -724,15 +820,19 @@ impl Engine {
             .map_err(|e| EngineError::InvalidDocument(e.to_string()))?;
         let id = DocId(self.documents.len());
         self.doc_names.insert(name, id.0);
-        self.documents.push(pdoc);
+        self.documents.push(RwLock::new(Arc::new(pdoc)));
         self.doc_stats.push(AtomicDocStats::default());
         Ok(id)
     }
 
-    /// The document behind a handle.
-    pub fn document(&self, id: DocId) -> Result<&PDocument, EngineError> {
+    /// The document behind a handle — a cheap shared snapshot of the
+    /// slot's current content ([`Engine::apply_edits`] and
+    /// [`Engine::replace_document`] swap the slot; handles already taken
+    /// keep the content they saw).
+    pub fn document(&self, id: DocId) -> Result<Arc<PDocument>, EngineError> {
         self.documents
             .get(id.0)
+            .map(|slot| Arc::clone(&slot.read().expect("document poisoned")))
             .ok_or(EngineError::UnknownDocument(id))
     }
 
@@ -746,16 +846,18 @@ impl Engine {
         self.documents.len()
     }
 
-    /// Replaces a document's content and invalidates its cached
-    /// extensions (resetting the document's [`DocStats`]).
-    pub fn replace_document(&mut self, id: DocId, pdoc: PDocument) -> Result<(), EngineError> {
+    /// Replaces a document's content wholesale and invalidates its cached
+    /// extensions (resetting the document's [`DocStats`]). For localized
+    /// changes prefer [`Engine::apply_edits`], which *keeps* the cache
+    /// warm by maintaining extensions incrementally.
+    pub fn replace_document(&self, id: DocId, pdoc: PDocument) -> Result<(), EngineError> {
         pdoc.validate()
             .map_err(|e| EngineError::InvalidDocument(e.to_string()))?;
         let slot = self
             .documents
-            .get_mut(id.0)
+            .get(id.0)
             .ok_or(EngineError::UnknownDocument(id))?;
-        *slot = pdoc;
+        *slot.write().expect("document poisoned") = Arc::new(pdoc);
         self.invalidate(id)?;
         Ok(())
     }
@@ -763,8 +865,10 @@ impl Engine {
     /// Drops every cached extension of `doc` and resets the document's
     /// [`DocStats`] counters, so post-invalidation queries report
     /// re-materializations rather than stale cache hits. Returns how many
-    /// materialized extensions were evicted.
-    pub fn invalidate(&mut self, doc: DocId) -> Result<usize, EngineError> {
+    /// materialized extensions were evicted. Takes `&self`: eviction runs
+    /// on the catalog's interior-mutability write path, so a shared
+    /// (served) engine can be invalidated without exclusive access.
+    pub fn invalidate(&self, doc: DocId) -> Result<usize, EngineError> {
         if doc.0 >= self.documents.len() {
             return Err(EngineError::UnknownDocument(doc));
         }
@@ -775,6 +879,124 @@ impl Engine {
         }
         self.bump_epoch();
         Ok(evicted)
+    }
+
+    /// Applies a sequence of [`Edit`]s to a live document,
+    /// **incrementally maintaining** every cached extension of that
+    /// document instead of evicting it — the warm cache survives the
+    /// mutation, which is the whole point of the update path (evicting
+    /// would force exactly the rematerialization the engine exists to
+    /// amortize).
+    ///
+    /// All-or-nothing: the edits are validated and applied to a private
+    /// copy first, so an invalid edit anywhere in the sequence returns
+    /// [`EngineError::Edit`] and mutates nothing. On success the catalog
+    /// epoch is bumped (cached plans are dropped and earlier snapshots
+    /// become stale, exactly like [`Engine::invalidate`]) and the
+    /// per-step maintenance outcomes are surfaced in the returned
+    /// [`UpdateReport`] and the engine-lifetime [`EngineStats`] counters
+    /// (`edits_applied` / `deltas_applied` / `delta_fallbacks`).
+    ///
+    /// Post-edit answers are **bit-identical** to a cold engine built
+    /// from the post-edit document: incremental maintenance produces,
+    /// field for field, the extension a fresh materialization would.
+    ///
+    /// ```
+    /// use pxv_engine::{Edit, Engine};
+    /// use pxv_pxml::text::parse_pdocument;
+    /// use pxv_pxml::NodeId;
+    /// use pxv_rewrite::View;
+    /// use pxv_tpq::parse::parse_pattern;
+    ///
+    /// let mut engine = Engine::new();
+    /// let doc = engine
+    ///     .add_document("d", parse_pdocument("a#0[mux#1(0.4: b#2[c#3], 0.6: b#4)]").unwrap())
+    ///     .unwrap();
+    /// engine.register_view(View::new("bs", parse_pattern("a/b").unwrap())).unwrap();
+    /// let q = parse_pattern("a/b[c]").unwrap();
+    /// assert_eq!(engine.answer(doc, &q).unwrap().stats.materializations, 1);
+    ///
+    /// // Reweigh one mux branch: the cached extension is maintained, not
+    /// // evicted — the follow-up query is still a pure cache hit.
+    /// let report = engine
+    ///     .apply_edits(doc, &[Edit::SetProb { node: NodeId(2), prob: 0.25 }])
+    ///     .unwrap();
+    /// assert_eq!(report.edits, 1);
+    /// let again = engine.answer(doc, &q).unwrap();
+    /// assert_eq!(again.stats.materializations, 0);
+    /// assert!((again.nodes[0].1 - 0.25).abs() < 1e-12);
+    /// ```
+    pub fn apply_edits(&self, doc: DocId, edits: &[Edit]) -> Result<UpdateReport, EngineError> {
+        let slot = self
+            .documents
+            .get(doc.0)
+            .ok_or(EngineError::UnknownDocument(doc))?;
+        if edits.is_empty() {
+            return Ok(UpdateReport::default());
+        }
+        // Serialize writers on this document for the whole operation; the
+        // swap at the end publishes the post-edit state.
+        let mut guard = slot.write().expect("document poisoned");
+        // Build the chain of intermediate documents (edit k maps state k
+        // to state k+1) on private copies — one clone per edit, nothing
+        // published until every edit has validated.
+        let mut states: Vec<Arc<PDocument>> = Vec::with_capacity(edits.len() + 1);
+        states.push(Arc::clone(&guard));
+        let mut effects = Vec::with_capacity(edits.len());
+        for edit in edits {
+            let mut next = (**states.last().expect("seeded")).clone();
+            effects.push(next.apply_edit(edit)?);
+            states.push(Arc::new(next));
+        }
+        let last = states.last().expect("seeded");
+        last.validate()
+            .map_err(|e| EngineError::InvalidDocument(e.to_string()))?;
+        // Maintain every completed cached extension across the chain.
+        let mut report = UpdateReport {
+            edits: edits.len(),
+            ..UpdateReport::default()
+        };
+        report.inserted_roots = effects.iter().filter_map(|e| e.inserted_root).collect();
+        let mut maintained = Vec::new();
+        for (view_idx, ext) in self.catalog.completed_for(doc.0) {
+            let mut cur = ext;
+            for (k, edit) in edits.iter().enumerate() {
+                let (next, outcome) = cur.apply_delta(&states[k + 1], edit, &effects[k]);
+                match outcome {
+                    DeltaOutcome::Incremental { .. } => report.deltas_applied += 1,
+                    DeltaOutcome::Rematerialized => report.delta_fallbacks += 1,
+                }
+                cur = Arc::new(next);
+            }
+            maintained.push((view_idx, cur));
+        }
+        report.extensions_maintained = maintained.len();
+        // Commit — still under the per-document write lock, so a second
+        // apply_edits on the same document cannot read the new document
+        // with the old cache (it blocks on the guard until the catalog
+        // matches the published state). Evicting the document's slots
+        // first also orphans any *in-flight* materialization another
+        // query started against the pre-edit document: that query keeps
+        // its private slot handle and finishes with a consistent
+        // pre-edit answer, but the stale slot can never be published to
+        // later queries.
+        *guard = states.pop().expect("seeded");
+        self.catalog.invalidate(doc);
+        for (view_idx, ext) in maintained {
+            self.catalog.install_entry(doc.0, view_idx, ext);
+        }
+        self.bump_epoch();
+        drop(guard);
+        self.stats
+            .edits_applied
+            .fetch_add(report.edits as u64, Ordering::Relaxed);
+        self.stats
+            .deltas_applied
+            .fetch_add(report.deltas_applied, Ordering::Relaxed);
+        self.stats
+            .delta_fallbacks
+            .fetch_add(report.delta_fallbacks, Ordering::Relaxed);
+        Ok(report)
     }
 
     /// Registers a view in the engine's catalog. Bumps the catalog epoch:
@@ -788,20 +1010,21 @@ impl Engine {
 
     /// Advances the catalog epoch and drops every cached plan (they are
     /// keyed by the old epoch and could never be read again anyway).
-    fn bump_epoch(&mut self) {
-        self.catalog_epoch += 1;
+    fn bump_epoch(&self) {
+        self.catalog_epoch.fetch_add(1, Ordering::SeqCst);
         self.plan_cache
-            .get_mut()
+            .write()
             .expect("plan cache poisoned")
             .clear();
     }
 
-    /// The current catalog epoch: bumped by [`Engine::register_view`] and
-    /// [`Engine::invalidate`] (and therefore by
-    /// [`Engine::replace_document`]). Plan-cache entries are scoped to one
-    /// epoch.
+    /// The current catalog epoch: bumped by [`Engine::register_view`],
+    /// [`Engine::invalidate`] and [`Engine::apply_edits`] (and therefore
+    /// by [`Engine::replace_document`]). Plan-cache entries are scoped to
+    /// one epoch, and snapshot staleness (`pxv_store::Store::is_stale`)
+    /// compares against it.
     pub fn catalog_epoch(&self) -> u64 {
-        self.catalog_epoch
+        self.catalog_epoch.load(Ordering::SeqCst)
     }
 
     /// Registers several views, stopping at the first error.
@@ -851,7 +1074,7 @@ impl Engine {
     /// first-inserted entry wins, so racing threads observe one canonical
     /// outcome per key.
     fn cached_plan(&self, q: &TreePattern, options: &QueryOptions) -> Arc<Result<Plan, PlanError>> {
-        let key = PlanKey::new(q, self.catalog_epoch, options);
+        let key = PlanKey::new(q, self.catalog_epoch(), options);
         if let Some(hit) = self
             .plan_cache
             .read()
@@ -879,13 +1102,11 @@ impl Engine {
     /// Eagerly materializes every registered view over `doc`; returns the
     /// number of extensions that were newly materialized.
     pub fn warm(&self, doc: DocId) -> Result<usize, EngineError> {
-        let pdoc = self
-            .documents
-            .get(doc.0)
-            .ok_or(EngineError::UnknownDocument(doc))?;
+        self.document(doc)?;
+        let fetch = || self.document(doc).expect("doc checked above");
         let mut new = 0;
         for i in 0..self.catalog.views.len() {
-            let (_, hit) = self.catalog.extension(doc.0, pdoc, i);
+            let (_, hit) = self.catalog.extension(doc.0, fetch, i);
             if !hit {
                 new += 1;
                 self.stats.materializations.fetch_add(1, Ordering::Relaxed);
@@ -911,10 +1132,7 @@ impl Engine {
         q: &TreePattern,
         options: &QueryOptions,
     ) -> Result<Answer, EngineError> {
-        let pdoc = self
-            .documents
-            .get(doc.0)
-            .ok_or(EngineError::UnknownDocument(doc))?;
+        self.document(doc)?;
         let plan = match &*self.cached_plan(q, options) {
             Ok(plan) => plan.clone(),
             Err(e) => {
@@ -932,10 +1150,11 @@ impl Engine {
         let referenced = plan.referenced_views();
         let mut hits = 0;
         let mut mats = 0;
+        let fetch = || self.document(doc).expect("doc checked above");
         let slots: HashMap<usize, Arc<ProbExtension>> = referenced
             .iter()
             .map(|&i| {
-                let (ext, hit) = self.catalog.extension(doc.0, pdoc, i);
+                let (ext, hit) = self.catalog.extension(doc.0, fetch, i);
                 if hit {
                     hits += 1;
                 } else {
@@ -1071,7 +1290,11 @@ impl Engine {
         }
         let documents = names
             .into_iter()
-            .zip(self.documents.iter().cloned())
+            .zip(
+                self.documents
+                    .iter()
+                    .map(|slot| (**slot.read().expect("document poisoned")).clone()),
+            )
             .collect();
         let extensions = self
             .catalog
@@ -1087,7 +1310,7 @@ impl Engine {
             documents,
             views: self.catalog.views.clone(),
             extensions,
-            epoch: self.catalog_epoch,
+            epoch: self.catalog_epoch(),
         }
     }
 
@@ -1136,7 +1359,7 @@ impl Engine {
             // index was mis-filed (by a bug or a checksum-consistent
             // edit) is rejected instead of silently serving another
             // document's answers.
-            let pdoc = &engine.documents[entry.doc];
+            let pdoc = engine.document(DocId(entry.doc)).map_err(invalid)?;
             let ext = &entry.extension;
             let consistent = |ext_node: NodeId, orig: NodeId| {
                 pdoc.contains(orig) && pdoc.label(orig) == ext.pdoc.label(ext_node)
@@ -1151,12 +1374,12 @@ impl Engine {
             }
             engine
                 .catalog
-                .restore_entry(entry.doc, entry.view, Arc::new(entry.extension));
+                .install_entry(entry.doc, entry.view, Arc::new(entry.extension));
         }
         // Adopt the snapshot's epoch (registration bumped a fresh
         // counter; plan-cache entries are keyed by epoch, and the cache
         // is empty, so this is purely the generation label).
-        engine.catalog_epoch = snapshot.epoch;
+        engine.catalog_epoch.store(snapshot.epoch, Ordering::SeqCst);
         Ok(engine)
     }
 
@@ -1194,7 +1417,8 @@ impl Engine {
     /// `Fallback::Direct` branch of `answer_with`). The caller must have
     /// checked that `doc` exists.
     fn direct_answer(&self, doc: DocId, q: &TreePattern, description: String) -> Answer {
-        let nodes = pxv_peval::eval_tp(&self.documents[doc.0], q);
+        let pdoc = self.document(doc).expect("caller checked doc");
+        let nodes = pxv_peval::eval_tp(&pdoc, q);
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         self.stats.direct.fetch_add(1, Ordering::Relaxed);
         Answer {
@@ -1418,7 +1642,7 @@ mod tests {
     /// resurrect the evicted extensions.
     #[test]
     fn post_invalidate_snapshot_does_not_resurrect_extensions() {
-        let (mut e, doc) = bonus_engine();
+        let (e, doc) = bonus_engine();
         e.warm(doc).unwrap();
         let before = e.snapshot();
         assert_eq!(before.extensions.len(), 2);
@@ -1506,6 +1730,230 @@ mod tests {
         entry.doc = 1; // mis-file doc one's extension under doc two
         let err = Engine::from_snapshot(snap).expect_err("mis-filed document");
         assert!(matches!(err, StoreError::Invalid(_)), "{err}");
+    }
+
+    /// The tentpole contract at engine level: editing a live document
+    /// maintains its cached extensions (no eviction, no rematerialization
+    /// on the next query) and post-edit answers are bit-identical to a
+    /// cold engine built from the post-edit document.
+    #[test]
+    fn apply_edits_keeps_cache_warm_and_matches_cold_engine() {
+        let (e, doc) = bonus_engine();
+        e.warm(doc).unwrap();
+        let q = p("IT-personnel//person/bonus[laptop]");
+        let before = e.answer(doc, &q).unwrap();
+        let epoch_before = e.catalog_epoch();
+
+        // Reweigh the laptop branch (node 24 under mux 21) and relabel a
+        // pda leaf: both localized inside one person.
+        let report = e
+            .apply_edits(
+                doc,
+                &[
+                    Edit::SetProb {
+                        node: NodeId(24),
+                        prob: 0.45,
+                    },
+                    Edit::Relabel {
+                        node: NodeId(31),
+                        label: pxv_pxml::Label::new("tablet"),
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(report.edits, 2);
+        assert_eq!(report.extensions_maintained, 2, "both cached views kept");
+        assert_eq!(report.delta_fallbacks, 0, "localized edits never fall back");
+        assert_eq!(report.deltas_applied, 4, "2 edits × 2 extensions");
+        assert!(e.catalog_epoch() > epoch_before, "epoch observes the edit");
+
+        // The cache survived: answering re-materializes nothing.
+        let after = e.answer(doc, &q).unwrap();
+        assert_eq!(after.stats.materializations, 0, "cache stayed warm");
+        assert_ne!(after.nodes, before.nodes, "the edit changed the answer");
+
+        // Bit-identical to a cold engine built from the post-edit doc.
+        let mut cold = Engine::new();
+        let cd = cold
+            .add_document("pper", (*e.document(doc).unwrap()).clone())
+            .unwrap();
+        cold.register_views([
+            View::new("rick", p("IT-personnel//person[name/Rick]/bonus")),
+            View::new("bonuses", p("IT-personnel//person/bonus")),
+        ])
+        .unwrap();
+        let want = cold.answer(cd, &q).unwrap();
+        assert_eq!(after.nodes, want.nodes, "bit-identical, not approximate");
+        assert_eq!(after.description, want.description);
+
+        let stats = e.stats();
+        assert_eq!(stats.edits_applied, 2);
+        assert_eq!(stats.deltas_applied, 4);
+        assert_eq!(stats.delta_fallbacks, 0);
+        assert_eq!(
+            stats.materializations, 2,
+            "lifetime materializations stop at the initial warm-up"
+        );
+    }
+
+    /// Edits are all-or-nothing: an invalid edit anywhere in the sequence
+    /// leaves the document, the cache, and the counters untouched.
+    #[test]
+    fn apply_edits_is_transactional() {
+        let (e, doc) = bonus_engine();
+        e.warm(doc).unwrap();
+        let before_text = e.document(doc).unwrap().to_string();
+        let epoch = e.catalog_epoch();
+        let err = e
+            .apply_edits(
+                doc,
+                &[
+                    Edit::Relabel {
+                        node: NodeId(31),
+                        label: pxv_pxml::Label::new("tablet"),
+                    },
+                    // Mux 21 holds 0.1 + 0.9: pushing one branch to 0.95
+                    // overflows the mass.
+                    Edit::SetProb {
+                        node: NodeId(24),
+                        prob: 0.95,
+                    },
+                ],
+            )
+            .expect_err("second edit must be rejected");
+        assert!(matches!(err, EngineError::Edit(_)), "{err}");
+        assert_eq!(
+            e.document(doc).unwrap().to_string(),
+            before_text,
+            "first edit rolled back with the second"
+        );
+        assert_eq!(e.catalog_epoch(), epoch, "no epoch bump on failure");
+        assert_eq!(e.stats().edits_applied, 0);
+        assert_eq!(e.catalog().cached_extensions(doc), 2, "cache untouched");
+        assert!(matches!(
+            e.apply_edits(DocId(99), &[]).unwrap_err(),
+            EngineError::UnknownDocument(_)
+        ));
+    }
+
+    /// Inserting a new subtree surfaces the deterministically assigned
+    /// fresh ids, and new match candidates appear in maintained answers.
+    #[test]
+    fn apply_edits_insert_reports_fresh_ids() {
+        let (e, doc) = bonus_engine();
+        e.warm(doc).unwrap();
+        let next = e.document(doc).unwrap().next_fresh_id();
+        let report = e
+            .apply_edits(
+                doc,
+                &[Edit::InsertSubtree {
+                    parent: NodeId(1),
+                    prob: 1.0,
+                    subtree: parse_pdocument("person[name[Zoe], bonus[laptop]]").unwrap(),
+                }],
+            )
+            .unwrap();
+        assert_eq!(report.inserted_roots, vec![next]);
+        let a = e
+            .answer(doc, &p("IT-personnel//person/bonus[laptop]"))
+            .unwrap();
+        assert_eq!(a.stats.materializations, 0, "maintained, not rebuilt");
+        assert!(
+            a.nodes.iter().any(|&(n, _)| n > next),
+            "the grafted bonus is an answer"
+        );
+    }
+
+    /// A snapshot taken after edits carries the post-edit state: restore
+    /// round-trips both the documents and the maintained (still warm)
+    /// extensions.
+    #[test]
+    fn snapshot_carries_post_edit_state() {
+        let (e, doc) = bonus_engine();
+        e.warm(doc).unwrap();
+        e.apply_edits(
+            doc,
+            &[Edit::SetProb {
+                node: NodeId(24),
+                prob: 0.5,
+            }],
+        )
+        .unwrap();
+        let q = p("IT-personnel//person/bonus[laptop]");
+        let want = e.answer(doc, &q).unwrap();
+        let restored = Engine::from_snapshot(e.snapshot()).unwrap();
+        let rd = restored.find_document("pper").unwrap();
+        assert_eq!(
+            restored.document(rd).unwrap().to_string(),
+            e.document(doc).unwrap().to_string(),
+            "post-edit document round-trips"
+        );
+        let got = restored.answer(rd, &q).unwrap();
+        assert_eq!(got.nodes, want.nodes, "bit-identical post-edit answers");
+        assert_eq!(got.stats.materializations, 0, "maintained cache restored");
+        // Future inserts allocate the same fresh ids in both engines
+        // (next_fresh_id is part of the snapshot).
+        assert_eq!(
+            restored.document(rd).unwrap().next_fresh_id(),
+            e.document(doc).unwrap().next_fresh_id()
+        );
+    }
+
+    /// Review regression: two `apply_edits` calls racing on the same
+    /// document (plus concurrent queries) must leave the cache matching
+    /// the final document — the commit publishes document, evicted
+    /// slots, and maintained extensions under one per-document write
+    /// lock, so no interleaving can pin a stale extension.
+    #[test]
+    fn concurrent_apply_edits_keep_cache_consistent() {
+        let (e, doc) = bonus_engine();
+        e.warm(doc).unwrap();
+        let q = p("IT-personnel//person/bonus[laptop]");
+        std::thread::scope(|scope| {
+            // Two writers reweighing different mux branches of the same
+            // document (commuting edits: the final document is the same
+            // under either serialization), plus query traffic.
+            scope.spawn(|| {
+                e.apply_edits(
+                    doc,
+                    &[Edit::SetProb {
+                        node: NodeId(24),
+                        prob: 0.5,
+                    }],
+                )
+                .unwrap();
+            });
+            scope.spawn(|| {
+                e.apply_edits(
+                    doc,
+                    &[Edit::SetProb {
+                        node: NodeId(8),
+                        prob: 0.5,
+                    }],
+                )
+                .unwrap();
+            });
+            scope.spawn(|| {
+                for _ in 0..20 {
+                    let _ = e.answer(doc, &q);
+                }
+            });
+        });
+        // The settled cache answers bit-identically to a cold engine
+        // built from the final document, without re-materializing.
+        let mut cold = Engine::new();
+        let cd = cold
+            .add_document("pper", (*e.document(doc).unwrap()).clone())
+            .unwrap();
+        cold.register_views([
+            View::new("rick", p("IT-personnel//person[name/Rick]/bonus")),
+            View::new("bonuses", p("IT-personnel//person/bonus")),
+        ])
+        .unwrap();
+        let got = e.answer(doc, &q).unwrap();
+        assert_eq!(got.stats.materializations, 0, "cache settled warm");
+        assert_eq!(got.nodes, cold.answer(cd, &q).unwrap().nodes);
+        assert_eq!(e.stats().edits_applied, 2);
     }
 
     #[test]

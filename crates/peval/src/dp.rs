@@ -1,6 +1,6 @@
 //! Polynomial (data-complexity) evaluation of tree patterns over
 //! p-documents: the dynamic program standing in for the evaluation engine
-//! of Kimelfeld et al. [22] that the paper uses as a black box.
+//! of Kimelfeld et al. \[22\] that the paper uses as a black box.
 //!
 //! ## Idea
 //!
@@ -19,7 +19,7 @@
 //! process of §2. One bottom-up pass yields the exact probability that all
 //! patterns match. Complexity: linear in `|P̂|` for a fixed conjunction,
 //! exponential in query size in the worst case — the envelope the paper
-//! states for [22] (PTime data complexity, intractable query complexity).
+//! states for \[22\] (PTime data complexity, intractable query complexity).
 //!
 //! `Pr(n ∈ q(P))` reduces to a Boolean match by *pinning*: attach a fresh
 //! `⟨t⟩`-labeled child below `n` and extend `out(q)` with a `/`-child

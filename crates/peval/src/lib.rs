@@ -1,6 +1,6 @@
 //! # pxv-peval — probabilistic evaluation of tree patterns
 //!
-//! Stands in for the query-evaluation engine of Kimelfeld et al. [22] that
+//! Stands in for the query-evaluation engine of Kimelfeld et al. \[22\] that
 //! the paper assumes: exact probabilities of TP / TP∩ answers over
 //! p-documents in polynomial time in the data (worst-case exponential in
 //! the query, matching the known complexity envelope).
@@ -18,4 +18,7 @@ pub mod dp;
 pub mod exact;
 pub mod mc;
 
-pub use api::{eval_intersection_at, eval_tp, eval_tp_at, joint_probability};
+pub use api::{
+    eval_intersection_at, eval_tp, eval_tp_at, eval_tp_at_anchored, joint_probability,
+    prune_to_anchor,
+};

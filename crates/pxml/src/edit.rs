@@ -1,0 +1,667 @@
+//! Typed, validated edits over live p-documents.
+//!
+//! An [`Edit`] is one structural mutation of a [`PDocument`]: grafting a
+//! new probabilistic subtree, deleting one, changing an edge's survival
+//! probability, or relabeling an ordinary node. [`PDocument::apply_edit`]
+//! validates the edit against the document *before* mutating anything, so
+//! a rejected edit leaves the document untouched; the returned
+//! [`EditEffect`] reports what happened (fresh ids are assigned
+//! deterministically, which is what lets a remote client predict them).
+//!
+//! Edits are the document half of the update story: the rewrite layer
+//! maintains materialized view extensions *incrementally* under them
+//! (`pxv-rewrite`'s `ProbExtension::apply_delta`) and the engine exposes
+//! them as `Engine::apply_edits` / the wire protocol's `UPDATE` verb.
+//!
+//! ```
+//! use pxv_pxml::edit::Edit;
+//! use pxv_pxml::text::parse_pdocument;
+//! use pxv_pxml::{Label, NodeId};
+//!
+//! let mut doc = parse_pdocument("a#0[mux#1(0.4: b#2[c#3], 0.6: b#4)]").unwrap();
+//! // Reweigh the first mux branch, then relabel its leaf.
+//! doc.apply_edit(&Edit::SetProb { node: NodeId(2), prob: 0.3 }).unwrap();
+//! doc.apply_edit(&Edit::Relabel { node: NodeId(3), label: Label::new("d") }).unwrap();
+//! assert!((doc.child_prob(NodeId(1), NodeId(2)) - 0.3).abs() < 1e-12);
+//! assert_eq!(doc.label(NodeId(3)), Some(Label::new("d")));
+//! // Grafts assign fresh ids deterministically and re-validate.
+//! let grafted = parse_pdocument("e[f]").unwrap();
+//! let effect = doc
+//!     .apply_edit(&Edit::InsertSubtree { parent: NodeId(0), prob: 1.0, subtree: grafted })
+//!     .unwrap();
+//! assert_eq!(effect.inserted_root, Some(NodeId(5)));
+//! assert!(doc.validate().is_ok());
+//! ```
+
+use crate::label::Label;
+use crate::pdocument::{PDocument, PKind};
+use crate::NodeId;
+use std::fmt;
+
+/// Slack accepted on probability-mass checks (matches
+/// [`PDocument::validate`]).
+const PROB_EPS: f64 = 1e-9;
+
+/// One typed mutation of a p-document.
+#[derive(Clone, Debug)]
+pub enum Edit {
+    /// Graft a copy of `subtree` (a standalone p-document; its node ids
+    /// are placeholders and are remapped to fresh ids) below `parent`
+    /// with edge survival probability `prob`. `prob` must be `1.0` under
+    /// ordinary and `det` parents; `exp` parents are rejected (their
+    /// subset distribution would silently assign the new child
+    /// probability zero).
+    InsertSubtree {
+        /// Node receiving the new child.
+        parent: NodeId,
+        /// Survival probability of the new edge (under `mux`/`ind`).
+        prob: f64,
+        /// The subtree to graft (root must be ordinary, as for every
+        /// p-document).
+        subtree: PDocument,
+    },
+    /// Delete the subtree rooted at `node` (never the document root).
+    /// Deleting the last child of a distributional node is rejected —
+    /// delete the distributional node itself instead.
+    DeleteSubtree {
+        /// Root of the doomed subtree.
+        node: NodeId,
+    },
+    /// Set the survival probability of the edge from `node`'s parent to
+    /// `node`. The parent must be `mux` or `ind` (the only kinds whose
+    /// edges carry free probabilities); for `mux` the children's total
+    /// mass must stay ≤ 1.
+    SetProb {
+        /// The child end of the edge.
+        node: NodeId,
+        /// New survival probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Replace the label of ordinary node `node`.
+    Relabel {
+        /// The node to relabel (must be ordinary).
+        node: NodeId,
+        /// Its new label.
+        label: Label,
+    },
+}
+
+/// What an applied edit did to the document.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EditEffect {
+    /// Fresh id assigned to the grafted subtree's root
+    /// ([`Edit::InsertSubtree`] only).
+    pub inserted_root: Option<NodeId>,
+    /// Parent of the edited site: the graft parent, the deleted node's
+    /// former parent, or the `SetProb` edge's parent. `None` for
+    /// [`Edit::Relabel`] of the root.
+    pub parent: Option<NodeId>,
+    /// How many nodes [`Edit::DeleteSubtree`] removed (0 otherwise).
+    pub removed: usize,
+    /// The edge's survival probability before an [`Edit::SetProb`]
+    /// (`None` for other edits). Incremental view maintenance keys its
+    /// structural fast path on this: a reweigh between two positive
+    /// probabilities cannot change any answer's support.
+    pub previous_prob: Option<f64>,
+}
+
+/// Why an edit was rejected ([`PDocument::apply_edit`] mutates nothing
+/// when it returns one of these).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EditError {
+    /// The edit referenced a node the document does not contain.
+    UnknownNode(NodeId),
+    /// The document root cannot be deleted, reweighed, or inserted over.
+    RootEdit,
+    /// A probability was outside `[0, 1]`.
+    ProbabilityOutOfRange(f64),
+    /// The edit would push a `mux` node's child mass over 1.
+    MuxMassExceedsOne(NodeId),
+    /// `SetProb` on an edge whose parent kind fixes the probability
+    /// (`det`, ordinary) or encodes it in subset masks (`exp`).
+    ProbNotFree(NodeId),
+    /// `InsertSubtree` under an ordinary or `det` parent must use
+    /// probability 1 (those edges always survive).
+    InsertProbMustBeOne(f64),
+    /// `InsertSubtree` under an `exp` parent is not supported: the subset
+    /// distribution ranges over the existing children only.
+    InsertUnderExp(NodeId),
+    /// Deleting this node would leave its distributional parent childless
+    /// (an invalid p-document); delete the parent instead.
+    WouldOrphanDistribution(NodeId),
+    /// `Relabel` of a distributional node.
+    NotOrdinary(NodeId),
+    /// The edit text did not parse ([`Edit::parse`] only).
+    Parse(String),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            EditError::RootEdit => write!(f, "the document root cannot be edited this way"),
+            EditError::ProbabilityOutOfRange(p) => write!(f, "probability {p} outside [0, 1]"),
+            EditError::MuxMassExceedsOne(n) => {
+                write!(f, "edit pushes mux node {n} child mass over 1")
+            }
+            EditError::ProbNotFree(n) => {
+                write!(f, "edge probability of {n} is fixed by its parent's kind")
+            }
+            EditError::InsertProbMustBeOne(p) => {
+                write!(
+                    f,
+                    "insert under an ordinary/det parent must use prob 1, got {p}"
+                )
+            }
+            EditError::InsertUnderExp(n) => {
+                write!(
+                    f,
+                    "cannot insert under exp node {n} (subset masks are fixed)"
+                )
+            }
+            EditError::WouldOrphanDistribution(n) => write!(
+                f,
+                "deleting {n} would orphan its distributional parent; delete the parent instead"
+            ),
+            EditError::NotOrdinary(n) => write!(f, "node {n} is not ordinary"),
+            EditError::Parse(msg) => write!(f, "edit parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl PDocument {
+    /// Validates and applies one [`Edit`]. On error **nothing** is
+    /// mutated; on success the returned [`EditEffect`] reports assigned
+    /// ids and removal counts. Fresh ids for [`Edit::InsertSubtree`] are
+    /// allocated from [`PDocument::next_fresh_id`] in preorder, so the
+    /// same edit on the same document always lands on the same ids
+    /// (deterministic replication is what the wire protocol and the
+    /// snapshot store rely on).
+    pub fn apply_edit(&mut self, edit: &Edit) -> Result<EditEffect, EditError> {
+        match edit {
+            Edit::InsertSubtree {
+                parent,
+                prob,
+                subtree,
+            } => {
+                if !self.contains(*parent) {
+                    return Err(EditError::UnknownNode(*parent));
+                }
+                if !(0.0..=1.0 + PROB_EPS).contains(prob) {
+                    return Err(EditError::ProbabilityOutOfRange(*prob));
+                }
+                match self.kind(*parent) {
+                    PKind::Exp(_) => return Err(EditError::InsertUnderExp(*parent)),
+                    PKind::Ordinary(_) | PKind::Det if (*prob - 1.0).abs() > PROB_EPS => {
+                        return Err(EditError::InsertProbMustBeOne(*prob))
+                    }
+                    PKind::Mux => {
+                        let mass: f64 = self
+                            .children(*parent)
+                            .iter()
+                            .map(|&c| self.child_prob(*parent, c))
+                            .sum();
+                        if mass + *prob > 1.0 + PROB_EPS {
+                            return Err(EditError::MuxMassExceedsOne(*parent));
+                        }
+                    }
+                    _ => {}
+                }
+                let root = self.graft_subtree(*parent, subtree, *prob);
+                Ok(EditEffect {
+                    inserted_root: Some(root),
+                    parent: Some(*parent),
+                    ..EditEffect::default()
+                })
+            }
+            Edit::DeleteSubtree { node } => {
+                if !self.contains(*node) {
+                    return Err(EditError::UnknownNode(*node));
+                }
+                let Some(parent) = self.parent(*node) else {
+                    return Err(EditError::RootEdit);
+                };
+                if !self.kind(parent).is_ordinary() && self.children(parent).len() == 1 {
+                    return Err(EditError::WouldOrphanDistribution(*node));
+                }
+                let removed = self.remove_subtree(*node);
+                Ok(EditEffect {
+                    parent: Some(parent),
+                    removed,
+                    ..EditEffect::default()
+                })
+            }
+            Edit::SetProb { node, prob } => {
+                if !self.contains(*node) {
+                    return Err(EditError::UnknownNode(*node));
+                }
+                let Some(parent) = self.parent(*node) else {
+                    return Err(EditError::RootEdit);
+                };
+                if !(0.0..=1.0 + PROB_EPS).contains(prob) {
+                    return Err(EditError::ProbabilityOutOfRange(*prob));
+                }
+                match self.kind(parent) {
+                    PKind::Ind => {}
+                    PKind::Mux => {
+                        let mass: f64 = self
+                            .children(parent)
+                            .iter()
+                            .filter(|&&c| c != *node)
+                            .map(|&c| self.child_prob(parent, c))
+                            .sum();
+                        if mass + *prob > 1.0 + PROB_EPS {
+                            return Err(EditError::MuxMassExceedsOne(parent));
+                        }
+                    }
+                    _ => return Err(EditError::ProbNotFree(*node)),
+                }
+                let previous = self.child_prob(parent, *node);
+                self.set_child_prob(*node, *prob);
+                Ok(EditEffect {
+                    parent: Some(parent),
+                    previous_prob: Some(previous),
+                    ..EditEffect::default()
+                })
+            }
+            Edit::Relabel { node, label } => {
+                if !self.contains(*node) {
+                    return Err(EditError::UnknownNode(*node));
+                }
+                if !self.kind(*node).is_ordinary() {
+                    return Err(EditError::NotOrdinary(*node));
+                }
+                self.relabel(*node, *label);
+                Ok(EditEffect {
+                    parent: self.parent(*node),
+                    ..EditEffect::default()
+                })
+            }
+        }
+    }
+
+    /// Applies a sequence of edits left to right, stopping at the first
+    /// error. **Not** transactional across the sequence: earlier edits
+    /// stay applied when a later one fails — clone first when
+    /// all-or-nothing semantics are needed (the engine's `apply_edits`
+    /// does exactly that).
+    pub fn apply_edits(&mut self, edits: &[Edit]) -> Result<Vec<EditEffect>, EditError> {
+        edits.iter().map(|e| self.apply_edit(e)).collect()
+    }
+}
+
+impl fmt::Display for Edit {
+    /// The wire form parsed back by [`Edit::parse`]:
+    ///
+    /// ```text
+    /// insert n<parent> <prob> <pdoc-text>
+    /// delete n<node>
+    /// setprob n<node> <prob>
+    /// relabel n<node> <label>
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edit::InsertSubtree {
+                parent,
+                prob,
+                subtree,
+            } => write!(f, "insert {parent} {prob} {subtree}"),
+            Edit::DeleteSubtree { node } => write!(f, "delete {node}"),
+            Edit::SetProb { node, prob } => write!(f, "setprob {node} {prob}"),
+            Edit::Relabel { node, label } => {
+                write!(
+                    f,
+                    "relabel {node} {}",
+                    crate::text::quote_label(label.name())
+                )
+            }
+        }
+    }
+}
+
+/// Parses a `n<digits>` node-id token.
+fn parse_node_token(tok: &str) -> Result<NodeId, EditError> {
+    tok.strip_prefix('n')
+        .and_then(|d| d.parse::<u32>().ok())
+        .map(NodeId)
+        .ok_or_else(|| EditError::Parse(format!("expected a node id like `n5`, got `{tok}`")))
+}
+
+fn parse_prob_token(tok: &str) -> Result<f64, EditError> {
+    tok.parse::<f64>()
+        .map_err(|e| EditError::Parse(format!("bad probability `{tok}`: {e}")))
+}
+
+/// Splits one leading whitespace-delimited token off `s`.
+fn split_token(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.split_once(char::is_whitespace) {
+        Some((tok, rest)) => (tok, rest.trim_start()),
+        None => (s, ""),
+    }
+}
+
+impl Edit {
+    /// Parses the textual form produced by [`Edit`]'s `Display` impl (see
+    /// there for the grammar). Labels follow the `pxv_pxml::text` lexical
+    /// rules (bare identifier or single-quoted); inserted subtrees use
+    /// the full p-document grammar, ids included (they are placeholders —
+    /// application remaps them to fresh ids).
+    ///
+    /// ```
+    /// use pxv_pxml::edit::Edit;
+    /// let e = Edit::parse("setprob n4 0.25").unwrap();
+    /// assert_eq!(e.to_string(), "setprob n4 0.25");
+    /// let e = Edit::parse("insert n0 0.5 b[mux(0.3: c)]").unwrap();
+    /// assert!(matches!(e, Edit::InsertSubtree { prob, .. } if (prob - 0.5).abs() < 1e-12));
+    /// ```
+    pub fn parse(s: &str) -> Result<Edit, EditError> {
+        let (verb, rest) = split_token(s);
+        match verb {
+            "insert" => {
+                let (node_tok, rest) = split_token(rest);
+                let (prob_tok, body) = split_token(rest);
+                if body.is_empty() {
+                    return Err(EditError::Parse(
+                        "usage: insert n<parent> <prob> <pdoc-text>".into(),
+                    ));
+                }
+                let subtree = crate::text::parse_pdocument(body)
+                    .map_err(|e| EditError::Parse(format!("bad subtree: {e}")))?;
+                Ok(Edit::InsertSubtree {
+                    parent: parse_node_token(node_tok)?,
+                    prob: parse_prob_token(prob_tok)?,
+                    subtree,
+                })
+            }
+            "delete" => match split_token(rest) {
+                (node_tok, "") if !node_tok.is_empty() => Ok(Edit::DeleteSubtree {
+                    node: parse_node_token(node_tok)?,
+                }),
+                _ => Err(EditError::Parse("usage: delete n<node>".into())),
+            },
+            "setprob" => {
+                let (node_tok, prob_tok) = split_token(rest);
+                if prob_tok.is_empty() || prob_tok.contains(char::is_whitespace) {
+                    return Err(EditError::Parse("usage: setprob n<node> <prob>".into()));
+                }
+                Ok(Edit::SetProb {
+                    node: parse_node_token(node_tok)?,
+                    prob: parse_prob_token(prob_tok)?,
+                })
+            }
+            "relabel" => {
+                let (node_tok, label_text) = split_token(rest);
+                let label_text = label_text.trim();
+                if label_text.is_empty() {
+                    return Err(EditError::Parse("usage: relabel n<node> <label>".into()));
+                }
+                let name = if let Some(inner) = label_text
+                    .strip_prefix('\'')
+                    .and_then(|t| t.strip_suffix('\''))
+                {
+                    inner
+                } else if label_text.contains('\'') {
+                    return Err(EditError::Parse(format!(
+                        "unterminated quoted label `{label_text}`"
+                    )));
+                } else {
+                    label_text
+                };
+                Ok(Edit::Relabel {
+                    node: parse_node_token(node_tok)?,
+                    label: Label::new(name),
+                })
+            }
+            other => Err(EditError::Parse(format!(
+                "unknown edit verb `{other}` (want insert|delete|setprob|relabel)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::parse_pdocument;
+
+    fn doc() -> PDocument {
+        parse_pdocument("a#0[mux#1(0.4: b#2[c#3], 0.5: b#4), ind#5(0.7: d#6)]").unwrap()
+    }
+
+    #[test]
+    fn insert_assigns_fresh_ids_deterministically() {
+        let mut d = doc();
+        let next = d.next_fresh_id();
+        let sub = parse_pdocument("x[y, z]").unwrap();
+        let effect = d
+            .apply_edit(&Edit::InsertSubtree {
+                parent: NodeId(0),
+                prob: 1.0,
+                subtree: sub.clone(),
+            })
+            .unwrap();
+        assert_eq!(effect.inserted_root, Some(next));
+        assert!(d.validate().is_ok());
+        // Replaying the same edit on an identical document lands on the
+        // same ids.
+        let mut d2 = doc();
+        let effect2 = d2
+            .apply_edit(&Edit::InsertSubtree {
+                parent: NodeId(0),
+                prob: 1.0,
+                subtree: sub,
+            })
+            .unwrap();
+        assert_eq!(effect2.inserted_root, effect.inserted_root);
+        assert_eq!(d.to_string(), d2.to_string());
+    }
+
+    #[test]
+    fn insert_validation() {
+        let mut d = doc();
+        // Mux mass guard: 0.4 + 0.5 + 0.2 > 1.
+        let sub = parse_pdocument("x").unwrap();
+        assert_eq!(
+            d.apply_edit(&Edit::InsertSubtree {
+                parent: NodeId(1),
+                prob: 0.2,
+                subtree: sub.clone()
+            })
+            .unwrap_err(),
+            EditError::MuxMassExceedsOne(NodeId(1))
+        );
+        // ...but 0.1 fits.
+        assert!(d
+            .apply_edit(&Edit::InsertSubtree {
+                parent: NodeId(1),
+                prob: 0.1,
+                subtree: sub.clone()
+            })
+            .is_ok());
+        assert!(d.validate().is_ok());
+        // Ordinary parents need prob 1.
+        assert_eq!(
+            d.apply_edit(&Edit::InsertSubtree {
+                parent: NodeId(0),
+                prob: 0.5,
+                subtree: sub.clone()
+            })
+            .unwrap_err(),
+            EditError::InsertProbMustBeOne(0.5)
+        );
+        assert_eq!(
+            d.apply_edit(&Edit::InsertSubtree {
+                parent: NodeId(99),
+                prob: 1.0,
+                subtree: sub
+            })
+            .unwrap_err(),
+            EditError::UnknownNode(NodeId(99))
+        );
+    }
+
+    #[test]
+    fn delete_and_orphan_guard() {
+        let mut d = doc();
+        // d6 is the ind node's only child: deleting it would orphan.
+        assert_eq!(
+            d.apply_edit(&Edit::DeleteSubtree { node: NodeId(6) })
+                .unwrap_err(),
+            EditError::WouldOrphanDistribution(NodeId(6))
+        );
+        // Deleting the ind node itself is fine.
+        let effect = d
+            .apply_edit(&Edit::DeleteSubtree { node: NodeId(5) })
+            .unwrap();
+        assert_eq!(effect.removed, 2);
+        assert_eq!(effect.parent, Some(NodeId(0)));
+        assert!(!d.contains(NodeId(5)));
+        assert!(!d.contains(NodeId(6)));
+        assert!(d.validate().is_ok());
+        // Root deletion is rejected.
+        assert_eq!(
+            d.apply_edit(&Edit::DeleteSubtree { node: NodeId(0) })
+                .unwrap_err(),
+            EditError::RootEdit
+        );
+    }
+
+    #[test]
+    fn delete_under_exp_remaps_masks() {
+        let mut d = PDocument::new(Label::new("a"));
+        let exp = d.add_dist(d.root(), PKind::Exp(Vec::new()), 1.0);
+        let b = d.add_ordinary(exp, Label::new("b"), 1.0);
+        let c = d.add_ordinary(exp, Label::new("c"), 1.0);
+        let e = d.add_ordinary(exp, Label::new("e"), 1.0);
+        d.set_exp_distribution(exp, vec![(0b111, 0.5), (0b010, 0.25), (0b100, 0.25)]);
+        assert!(d.validate().is_ok());
+        // Delete the middle child c: bit 1 drops out, {b,c,e}→{b,e},
+        // {c}→{}, {e} keeps its (shifted) bit.
+        d.apply_edit(&Edit::DeleteSubtree { node: c }).unwrap();
+        assert!(d.validate().is_ok());
+        assert!((d.appearance_probability(b) - 0.5).abs() < 1e-12);
+        assert!((d.appearance_probability(e) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn setprob_validation_and_effect() {
+        let mut d = doc();
+        // Free probabilities under mux/ind only.
+        assert!(d
+            .apply_edit(&Edit::SetProb {
+                node: NodeId(6),
+                prob: 0.9
+            })
+            .is_ok());
+        assert!((d.child_prob(NodeId(5), NodeId(6)) - 0.9).abs() < 1e-12);
+        assert_eq!(
+            d.apply_edit(&Edit::SetProb {
+                node: NodeId(3),
+                prob: 0.5
+            })
+            .unwrap_err(),
+            EditError::ProbNotFree(NodeId(3))
+        );
+        // Mux mass guard counts the *other* children.
+        assert_eq!(
+            d.apply_edit(&Edit::SetProb {
+                node: NodeId(2),
+                prob: 0.6
+            })
+            .unwrap_err(),
+            EditError::MuxMassExceedsOne(NodeId(1))
+        );
+        assert!(d
+            .apply_edit(&Edit::SetProb {
+                node: NodeId(2),
+                prob: 0.5
+            })
+            .is_ok());
+        assert_eq!(
+            d.apply_edit(&Edit::SetProb {
+                node: NodeId(0),
+                prob: 0.5
+            })
+            .unwrap_err(),
+            EditError::RootEdit
+        );
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn relabel_validation() {
+        let mut d = doc();
+        d.apply_edit(&Edit::Relabel {
+            node: NodeId(3),
+            label: Label::new("renamed"),
+        })
+        .unwrap();
+        assert_eq!(d.label(NodeId(3)), Some(Label::new("renamed")));
+        assert_eq!(
+            d.apply_edit(&Edit::Relabel {
+                node: NodeId(1),
+                label: Label::new("x")
+            })
+            .unwrap_err(),
+            EditError::NotOrdinary(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let edits = [
+            Edit::InsertSubtree {
+                parent: NodeId(4),
+                prob: 0.25,
+                subtree: parse_pdocument("x[mux(0.5: y)]").unwrap(),
+            },
+            Edit::DeleteSubtree { node: NodeId(7) },
+            Edit::SetProb {
+                node: NodeId(2),
+                prob: 0.125,
+            },
+            Edit::Relabel {
+                node: NodeId(3),
+                label: Label::new("two words"),
+            },
+        ];
+        for edit in edits {
+            let text = edit.to_string();
+            let back = Edit::parse(&text).unwrap();
+            assert_eq!(back.to_string(), text, "{text}");
+        }
+        assert!(Edit::parse("frobnicate n1").is_err());
+        assert!(Edit::parse("delete x1").is_err());
+        assert!(Edit::parse("setprob n1 nope").is_err());
+        assert!(Edit::parse("insert n1 0.5").is_err());
+    }
+
+    /// Applying a rejected edit leaves the document untouched.
+    #[test]
+    fn rejected_edits_mutate_nothing() {
+        let mut d = doc();
+        let before = d.to_string();
+        for bad in [
+            Edit::DeleteSubtree { node: NodeId(6) },
+            Edit::SetProb {
+                node: NodeId(2),
+                prob: 7.0,
+            },
+            Edit::Relabel {
+                node: NodeId(5),
+                label: Label::new("x"),
+            },
+            Edit::InsertSubtree {
+                parent: NodeId(1),
+                prob: 0.9,
+                subtree: parse_pdocument("x").unwrap(),
+            },
+        ] {
+            assert!(d.apply_edit(&bad).is_err());
+            assert_eq!(d.to_string(), before);
+        }
+    }
+}

@@ -10,13 +10,15 @@
 //! * [`PxSpace`] — exact possible-world semantics `⟦P̂⟧` (exponential;
 //!   ground truth for tests);
 //! * Monte-Carlo [`PDocument::sample`];
+//! * typed, validated document [`edit`]s (the update path's substrate);
 //! * a compact text syntax ([`text`]) and workload [`generators`];
 //! * executable reconstructions of the paper's figures
 //!   ([`examples_paper`]).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod document;
+pub mod edit;
 pub mod examples_paper;
 pub mod generators;
 pub mod label;
@@ -26,6 +28,7 @@ pub mod text;
 pub mod worlds;
 
 pub use document::{Document, NodeId};
+pub use edit::{Edit, EditEffect, EditError};
 pub use label::{symbol_count, Label, Symbol};
 pub use pdocument::{PDocError, PDocument, PKind};
 pub use worlds::PxSpace;

@@ -2,7 +2,7 @@
 //!
 //! A p-document (Definition 1) is a tree whose nodes are either *ordinary*
 //! (labeled) or *distributional*. We implement the `mux` and `ind` node
-//! kinds the paper uses throughout, plus `det` and `exp` from [2] (§2 notes
+//! kinds the paper uses throughout, plus `det` and `exp` from \[2\] (§2 notes
 //! every result carries over to all four kinds; `PrXML{mux,ind}` is already
 //! a complete representation system).
 //!
@@ -380,6 +380,101 @@ impl PDocument {
     /// Next fresh id `add_*` would allocate.
     pub fn next_fresh_id(&self) -> NodeId {
         NodeId(self.next_id)
+    }
+
+    /// Replaces the label of ordinary node `n`. Panics if `n` is missing
+    /// or distributional — [`crate::edit::Edit::Relabel`] validates first.
+    pub fn relabel(&mut self, n: NodeId, label: Label) {
+        let node = self.nodes.get_mut(&n).expect("relabel: unknown node");
+        assert!(node.kind.is_ordinary(), "relabel: distributional node");
+        node.kind = PKind::Ordinary(label);
+    }
+
+    /// Sets the survival probability of the edge from `n`'s parent to `n`.
+    /// Panics unless the parent is `mux` or `ind` (the only kinds whose
+    /// edges carry free probabilities) — [`crate::edit::Edit::SetProb`]
+    /// validates first.
+    pub fn set_child_prob(&mut self, n: NodeId, prob: f64) {
+        let parent = self.parent(n).expect("set_child_prob: root has no edge");
+        let p = self.nodes.get_mut(&parent).expect("parent exists");
+        assert!(
+            matches!(p.kind, PKind::Mux | PKind::Ind),
+            "set_child_prob: parent is not mux/ind"
+        );
+        let idx = p
+            .children
+            .iter()
+            .position(|&c| c == n)
+            .expect("child of its parent");
+        p.probs[idx] = prob;
+    }
+
+    /// Removes the subtree rooted at `n` (which must not be the root),
+    /// detaching it from its parent. If the parent is an `exp` node the
+    /// subset distribution is remapped: `n`'s bit is dropped from every
+    /// mask and entries that collide are summed, in the distribution's
+    /// original order (deterministic). Returns how many nodes were
+    /// removed. Panics on the root — [`crate::edit::Edit::DeleteSubtree`]
+    /// validates first.
+    pub fn remove_subtree(&mut self, n: NodeId) -> usize {
+        let parent = self
+            .parent(n)
+            .expect("remove_subtree: cannot remove the root");
+        // Detach from the parent (children, probs, and exp masks in sync).
+        let p = self.nodes.get_mut(&parent).expect("parent exists");
+        let idx = p
+            .children
+            .iter()
+            .position(|&c| c == n)
+            .expect("child of its parent");
+        p.children.remove(idx);
+        p.probs.remove(idx);
+        if let PKind::Exp(dist) = &p.kind {
+            let mut remapped: Vec<(u64, f64)> = Vec::with_capacity(dist.len());
+            for &(mask, prob) in dist {
+                let low = mask & ((1u64 << idx) - 1);
+                let high = (mask >> (idx + 1)) << idx;
+                let new_mask = low | high;
+                match remapped.iter_mut().find(|(m, _)| *m == new_mask) {
+                    Some((_, acc)) => *acc += prob,
+                    None => remapped.push((new_mask, prob)),
+                }
+            }
+            p.kind = PKind::Exp(remapped);
+        }
+        // Drop the whole subtree from the node map.
+        let mut removed = 0;
+        let mut stack = vec![n];
+        while let Some(m) = stack.pop() {
+            let node = self.nodes.remove(&m).expect("subtree node exists");
+            stack.extend(node.children);
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Grafts a copy of `subtree` (a standalone p-document) below `parent`
+    /// with edge probability `prob`, assigning **fresh ids** in preorder
+    /// starting at [`PDocument::next_fresh_id`] (deterministic: the same
+    /// graft on the same document always lands on the same ids). Returns
+    /// the id assigned to the copy's root.
+    pub fn graft_subtree(&mut self, parent: NodeId, subtree: &PDocument, prob: f64) -> NodeId {
+        let root_label = subtree
+            .label(subtree.root())
+            .expect("p-document roots are ordinary");
+        let root = self.add_ordinary(parent, root_label, prob);
+        let mut stack = vec![(subtree.root(), root)];
+        while let Some((s, d)) = stack.pop() {
+            for &c in subtree.children(s) {
+                let p = subtree.child_prob(s, c);
+                let dc = match subtree.kind(c) {
+                    PKind::Ordinary(l) => self.add_ordinary(d, *l, p),
+                    k => self.add_dist(d, k.clone(), p),
+                };
+                stack.push((c, dc));
+            }
+        }
+        root
     }
 
     /// Reserve ids below `bound`.

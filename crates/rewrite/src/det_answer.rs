@@ -1,5 +1,5 @@
 //! The deterministic baseline: XPath rewriting using materialized views
-//! over ordinary XML ([36], [3], [8] — the prior work the paper builds
+//! over ordinary XML (\[36\], \[3\], \[8\] — the prior work the paper builds
 //! on, implemented as the comparison baseline).
 //!
 //! Deterministic rewritings only retrieve *nodes* (Definition 3); there is
@@ -63,7 +63,7 @@ pub fn det_answer_tp(rw: &DetTpRewriting, ext: &DetExtension) -> Vec<NodeId> {
 }
 
 /// A deterministic TP∩-rewriting: the canonical intersection of (possibly
-/// compensated) views, following [8]'s canonical-plan approach.
+/// compensated) views, following \[8\]'s canonical-plan approach.
 #[derive(Clone, Debug)]
 pub struct DetTpiRewriting {
     /// `(view index, compensation)` pairs; `None` = the raw view.

@@ -6,10 +6,10 @@
 //!   with `Id(·)` markers (§3.1);
 //! * [`cindep`] — probabilistic condition-independence `⊥`, syntactic
 //!   PTime test (Prop. 2);
-//! * [`tp_rewrite`] / [`fr_tp`] — the **TPrewrite** algorithm (Fig. 6) and
+//! * [`tp_rewrite`](mod@tp_rewrite) / [`fr_tp`] — the **TPrewrite** algorithm (Fig. 6) and
 //!   the probability functions of §4 (Thm. 1 restricted plans, Thm. 2
 //!   inclusion–exclusion with α patterns);
-//! * [`tpi_rewrite`] — product-form TP∩-rewritings from pairwise
+//! * [`tpi_rewrite`](mod@tpi_rewrite) — product-form TP∩-rewritings from pairwise
 //!   c-independent views (Thm. 3, Lemma 3) and the NP-hard cover search
 //!   (Thm. 4, gadgets in [`hardness`]);
 //! * [`dviews`] / [`system`] — view decompositions and the `S(q,V)`
@@ -20,7 +20,7 @@
 //! * [`answer`] — the end-to-end planner/executor that answers queries
 //!   touching only materialized extensions.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod answer;
 pub mod cindep;
@@ -45,4 +45,4 @@ pub use answer::{answer_with_views, plan};
 pub use cindep::c_independent;
 pub use tp_rewrite::{tp_rewrite, TpRewriting};
 pub use tpi_algorithm::{tpi_rewrite, TpiRewriting};
-pub use view::{ProbExtension, View};
+pub use view::{DeltaOutcome, ProbExtension, View};

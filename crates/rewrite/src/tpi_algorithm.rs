@@ -54,7 +54,7 @@ pub struct TpiRewriting {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TpiReject {
     /// `unfold(qr) ≢ q`: the canonical plan is not a deterministic
-    /// rewriting (no plan exists at all, by canonicity [8]).
+    /// rewriting (no plan exists at all, by canonicity \[8\]).
     NotEquivalent,
     /// Interleaving blow-up during the equivalence test.
     EquivalenceTooExpensive,

@@ -14,7 +14,7 @@
 //! edge probabilities and (ii) probabilities computed *within a single
 //! result subtree*, exactly as the paper's `fr` constructions do.
 
-use pxv_pxml::{Document, Label, NodeId, PDocument, PKind};
+use pxv_pxml::{Document, Edit, EditEffect, Label, NodeId, PDocument, PKind};
 use pxv_tpq::pattern::{Axis, TreePattern};
 use std::collections::HashMap;
 
@@ -96,6 +96,31 @@ pub struct ViewResult {
 }
 
 /// The probabilistic view extension `P̂_v` (§3.1).
+///
+/// ```
+/// use pxv_pxml::edit::Edit;
+/// use pxv_pxml::text::parse_pdocument;
+/// use pxv_pxml::NodeId;
+/// use pxv_rewrite::view::{ProbExtension, View};
+/// use pxv_tpq::parse::parse_pattern;
+///
+/// let doc = parse_pdocument("a#0[mux#1(0.4: b#2[c#3], 0.5: b#4)]").unwrap();
+/// let view = View::new("bs", parse_pattern("a/b").unwrap());
+/// let ext = ProbExtension::materialize(&doc, &view);
+/// assert_eq!(ext.results.len(), 2); // both b's, with their match probabilities
+/// assert!((ext.results[0].prob - 0.4).abs() < 1e-12);
+///
+/// // Extensions are maintained *incrementally* across document edits:
+/// // the delta result is identical to rematerializing from scratch.
+/// let mut after = doc.clone();
+/// let edit = Edit::SetProb { node: NodeId(2), prob: 0.25 };
+/// let effect = after.apply_edit(&edit).unwrap();
+/// let (maintained, outcome) = ext.apply_delta(&after, &edit, &effect);
+/// assert!(outcome.is_incremental());
+/// assert!((maintained.results[0].prob - 0.25).abs() < 1e-12);
+/// let cold = ProbExtension::materialize(&after, &view);
+/// assert_eq!(maintained.pdoc.to_string(), cold.pdoc.to_string());
+/// ```
 #[derive(Clone, Debug)]
 pub struct ProbExtension {
     /// The view this extension materializes.
@@ -107,31 +132,189 @@ pub struct ProbExtension {
     pub results: Vec<ViewResult>,
     /// Original id of every ordinary extension node (markers excluded).
     orig_of: HashMap<NodeId, NodeId>,
+    /// Reverse index: original node → its occurrences as `(result index,
+    /// extension node)` pairs. Derived from `orig_of` at assembly time
+    /// (never serialized); it turns the per-answer ancestor lookup of the
+    /// `fr` probability functions from a full-extension scan into a map
+    /// hit, which is what keeps warm query latency linear in the answer's
+    /// neighborhood rather than quadratic in the extension.
+    by_orig: HashMap<NodeId, Vec<(usize, NodeId)>>,
 }
 
 impl ProbExtension {
     /// Materializes `P̂_v` from the original p-document. This is the *only*
     /// function that touches `P̂`; everything downstream (probability
     /// functions, plan evaluation) uses the extension alone.
+    ///
+    /// Candidates come from the maximal world; each candidate's match
+    /// probability is evaluated over its pruned *scope* (root path plus
+    /// the subtree of its anchor ancestor — an exact marginalization,
+    /// see `pxv_peval::prune_to_anchor`). Evaluating
+    /// per-scope rather than per-document is what makes the incremental
+    /// path ([`ProbExtension::apply_delta`]) bit-identical to cold
+    /// materialization: both run the same function on the same pruned
+    /// input whenever an edit leaves a candidate's scope untouched.
     pub fn materialize(pdoc: &PDocument, view: &View) -> ProbExtension {
-        let answers = pxv_peval::eval_tp(pdoc, &view.pattern);
-        let mut ext = PDocument::new(view.doc_label());
-        let ind = ext.add_dist(ext.root(), PKind::Ind, 1.0);
-        let mut orig_of = HashMap::new();
-        let mut results = Vec::with_capacity(answers.len());
-        for (orig, prob) in answers {
-            let ext_root = copy_subtree_with_markers(pdoc, orig, &mut ext, ind, prob, &mut orig_of);
-            results.push(ViewResult {
-                ext_root,
-                orig,
-                prob,
-            });
+        let answers = scoped_answers(pdoc, &view.pattern, |_| None);
+        build_extension(pdoc, view, &answers)
+    }
+
+    /// Incrementally maintains this extension across one document edit:
+    /// `after` is the post-edit document and `effect` the application
+    /// report. Match probabilities are recomputed **only** for candidates
+    /// whose scope (root path + anchor subtree, the region every witness
+    /// of their matches lives in) intersects the edited region; all other
+    /// results reuse their stored probability, which is bit-identical to
+    /// what recomputation would produce because the scope is unchanged.
+    ///
+    /// Returns the maintained extension — guaranteed equal, field for
+    /// field (fresh extension ids included), to
+    /// `ProbExtension::materialize(after, &self.view)` — plus the
+    /// [`DeltaOutcome`] describing which path ran. Falls back to full
+    /// rematerialization when the view cannot localize at all (a
+    /// predicate on the pattern root scopes every candidate to the whole
+    /// document).
+    pub fn apply_delta(
+        &self,
+        after: &PDocument,
+        edit: &Edit,
+        effect: &EditEffect,
+    ) -> (ProbExtension, DeltaOutcome) {
+        let q = &self.view.pattern;
+        if q.first_predicate_depth() == 0 && q.mb_len() > 1 {
+            // Witnesses of a root predicate can live anywhere: no edit
+            // localizes, short of the trivial single-node pattern.
+            return (
+                ProbExtension::materialize(after, &self.view),
+                DeltaOutcome::Rematerialized,
+            );
+        }
+        // Structural fast path: a reweigh between two *positive*
+        // probabilities cannot change any answer's support (TP matching
+        // is monotone: a matching world with the edge's choice flipped to
+        // a positive alternative still matches and still has positive
+        // measure), so the candidate set, the result list, and every
+        // subtree shape are unchanged — the extension is patched in
+        // place instead of rebuilt.
+        if let Edit::SetProb { node, prob } = edit {
+            // Ordinary-node edges only: the marker map that locates the
+            // stored copies to patch does not track distributional nodes
+            // (those go through the general rebuild below).
+            if *prob > 0.0
+                && effect.previous_prob.is_some_and(|p| p > 0.0)
+                && after.label(*node).is_some()
+            {
+                return self.reweigh_delta(after, *node, *prob);
+            }
+        }
+        let old: HashMap<NodeId, f64> = self.results.iter().map(|r| (r.orig, r.prob)).collect();
+        let mut reused = 0usize;
+        let mut recomputed = 0usize;
+        let answers = scoped_answers(after, q, |scope| {
+            if scope_affected(after, scope, edit, effect) {
+                recomputed += 1;
+                None
+            } else {
+                // An untouched scope cannot create a match out of nothing:
+                // a candidate absent from the old results stays a
+                // zero-probability candidate.
+                match old.get(&scope.candidate) {
+                    Some(&p) => {
+                        reused += 1;
+                        Some(p)
+                    }
+                    None => Some(0.0),
+                }
+            }
+        });
+        let ext = build_extension(after, &self.view, &answers);
+        // Recomputation through pruned scopes is still the incremental
+        // path (scope evaluation beats whole-document evaluation even
+        // when every candidate is touched); `Rematerialized` is reserved
+        // for views that cannot localize at all.
+        (ext, DeltaOutcome::Incremental { reused, recomputed })
+    }
+
+    /// The [`ProbExtension::apply_delta`] fast path for a positive→
+    /// positive [`Edit::SetProb`] on `node`: patches the stored copies of
+    /// the reweighed edge and re-evaluates only the affected results'
+    /// match probabilities, leaving container structure, ids, and marker
+    /// maps untouched. Produces exactly what cold materialization over
+    /// `after` would (the support-preservation argument is on the
+    /// caller).
+    fn reweigh_delta(
+        &self,
+        after: &PDocument,
+        node: NodeId,
+        prob: f64,
+    ) -> (ProbExtension, DeltaOutcome) {
+        let q = &self.view.pattern;
+        let j = q.first_predicate_depth();
+        let mut pdoc = self.pdoc.clone();
+        let mut results = self.results.clone();
+        // Patch every copied occurrence of the reweighed edge (the
+        // extension copy of `node` hangs under the copy of its mux/ind
+        // parent with the same survival probability).
+        if let Some(occs) = self.by_orig.get(&node) {
+            for &(_, ext_node) in occs {
+                pdoc.set_child_prob(ext_node, prob);
+            }
+        }
+        let mut reused = 0usize;
+        let mut recomputed = 0usize;
+        for r in results.iter_mut() {
+            let anchor = anchor_of(after, r.orig, j);
+            let affected =
+                after.is_ancestor_or_self(node, r.orig) || after.is_ancestor_or_self(anchor, node);
+            if affected {
+                recomputed += 1;
+                r.prob = pxv_peval::eval_tp_at_anchored(after, q, r.orig, anchor);
+                // The result's bundle edge (under the `ind` node) carries
+                // the match probability.
+                pdoc.set_child_prob(r.ext_root, r.prob);
+            } else {
+                reused += 1;
+            }
+        }
+        (
+            ProbExtension {
+                view: self.view.clone(),
+                pdoc,
+                results,
+                orig_of: self.orig_of.clone(),
+                by_orig: self.by_orig.clone(),
+            },
+            DeltaOutcome::Incremental { reused, recomputed },
+        )
+    }
+
+    /// Assembles the extension from its finished parts, deriving the
+    /// reverse occurrence index (each original node occurs at most once
+    /// per result subtree — the copy duplicates an original subtree once
+    /// per containing result).
+    fn assemble(
+        view: View,
+        pdoc: PDocument,
+        results: Vec<ViewResult>,
+        orig_of: HashMap<NodeId, NodeId>,
+    ) -> ProbExtension {
+        let mut by_orig: HashMap<NodeId, Vec<(usize, NodeId)>> =
+            HashMap::with_capacity(orig_of.len());
+        for (i, r) in results.iter().enumerate() {
+            let mut stack = vec![r.ext_root];
+            while let Some(n) = stack.pop() {
+                if let Some(&orig) = orig_of.get(&n) {
+                    by_orig.entry(orig).or_default().push((i, n));
+                }
+                stack.extend(pdoc.children(n).iter().copied());
+            }
         }
         ProbExtension {
-            view: view.clone(),
-            pdoc: ext,
+            view,
+            pdoc,
             results,
             orig_of,
+            by_orig,
         }
     }
 
@@ -144,12 +327,15 @@ impl ProbExtension {
     /// original node `orig` — i.e. results selecting an ancestor-or-self of
     /// `orig`, shallowest first.
     pub fn results_containing(&self, orig: NodeId) -> Vec<usize> {
-        let mut hits: Vec<usize> = (0..self.results.len())
-            .filter(|&i| !self.occurrences_in_result(i, orig).is_empty())
-            .collect();
+        let Some(occs) = self.by_orig.get(&orig) else {
+            return Vec::new();
+        };
+        let mut hits: Vec<usize> = occs.iter().map(|&(i, _)| i).collect();
+        hits.sort_unstable();
+        hits.dedup();
         // Shallowest ancestor = the one whose subtree contains the others'
-        // roots; sort by decreasing subtree size ≈ ancestry order. We sort
-        // by the depth of orig's occurrence (larger depth ⇒ higher root).
+        // roots; sort by decreasing occurrence depth (deeper occurrence ⇒
+        // higher result root).
         hits.sort_by_key(|&i| {
             let occ = self.occurrences_in_result(i, orig)[0];
             std::cmp::Reverse(self.depth_in_result(i, occ))
@@ -159,16 +345,15 @@ impl ProbExtension {
 
     /// Extension nodes inside result `i` whose original id is `orig`.
     pub fn occurrences_in_result(&self, i: usize, orig: NodeId) -> Vec<NodeId> {
-        let root = self.results[i].ext_root;
-        let mut out = Vec::new();
-        let mut stack = vec![root];
-        while let Some(n) = stack.pop() {
-            if self.orig_of.get(&n) == Some(&orig) {
-                out.push(n);
-            }
-            stack.extend(self.pdoc.children(n).iter().copied());
-        }
-        out
+        self.by_orig
+            .get(&orig)
+            .map(|occs| {
+                occs.iter()
+                    .filter(|&&(j, _)| j == i)
+                    .map(|&(_, n)| n)
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Original id of an extension node.
@@ -214,12 +399,7 @@ impl ProbExtension {
                 return Err(format!("orig_of node {ext_node} not in extension"));
             }
         }
-        Ok(ProbExtension {
-            view,
-            pdoc,
-            results,
-            orig_of,
-        })
+        Ok(ProbExtension::assemble(view, pdoc, results, orig_of))
     }
 
     /// Number of *ordinary, non-marker* nodes from the result root to
@@ -240,6 +420,141 @@ impl ProbExtension {
         }
         panic!("ext node {ext_node} not inside result {i}");
     }
+}
+
+/// How [`ProbExtension::apply_delta`] serviced an edit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// Localization succeeded: `reused` results kept their stored
+    /// probabilities (their scopes were untouched), `recomputed` were
+    /// re-evaluated over their pruned scopes.
+    Incremental {
+        /// Results whose stored probability was reused bit-identically.
+        reused: usize,
+        /// Results re-evaluated because the edit intersected their scope.
+        recomputed: usize,
+    },
+    /// The edit could not be localized (or touched every candidate's
+    /// scope): the extension was rebuilt by full rematerialization.
+    Rematerialized,
+}
+
+impl DeltaOutcome {
+    /// Whether the incremental path ran (any localization at all).
+    pub fn is_incremental(&self) -> bool {
+        matches!(self, DeltaOutcome::Incremental { .. })
+    }
+}
+
+/// One candidate's localization context: the candidate node and the
+/// anchor whose pruned scope contains every witness of its matches.
+struct Scope {
+    candidate: NodeId,
+    anchor: NodeId,
+}
+
+/// The anchor of candidate `n` for a pattern whose first predicate sits
+/// at main-branch index `j`: the ordinary ancestor of `n` at ordinary
+/// depth `min(j, depth(n))`. Every embedding selecting `n` maps
+/// main-branch node `i` to a root-path node at depth ≥ `i`, so all
+/// predicate witnesses (and `n`'s own result subtree) live inside this
+/// anchor's subtree.
+fn anchor_of(pdoc: &PDocument, n: NodeId, j: usize) -> NodeId {
+    let ordinary_path: Vec<NodeId> = pdoc
+        .root_path(n)
+        .into_iter()
+        .filter(|&m| pdoc.label(m).is_some())
+        .collect();
+    ordinary_path[j.min(ordinary_path.len() - 1)]
+}
+
+/// Computes the view's answers over `pdoc`, one scope at a time.
+/// `reuse(scope)` may short-circuit a candidate with a known probability
+/// (the delta path's cache hit); `None` evaluates the candidate over its
+/// pruned scope. Zero-probability candidates are filtered, and answers
+/// come back in candidate order (sorted by node id) — the order result
+/// subtrees are copied in, which pins the extension's fresh-id layout.
+fn scoped_answers(
+    pdoc: &PDocument,
+    q: &pxv_tpq::TreePattern,
+    mut reuse: impl FnMut(&Scope) -> Option<f64>,
+) -> Vec<(NodeId, f64)> {
+    let j = q.first_predicate_depth();
+    let max = pxv_peval::dp::max_world(pdoc);
+    let mut out = Vec::new();
+    for n in pxv_tpq::embed::eval(q, &max) {
+        let scope = Scope {
+            candidate: n,
+            anchor: anchor_of(pdoc, n, j),
+        };
+        let p = match reuse(&scope) {
+            Some(p) => p,
+            None => pxv_peval::eval_tp_at_anchored(pdoc, q, n, scope.anchor),
+        };
+        if p > 0.0 {
+            out.push((n, p));
+        }
+    }
+    out
+}
+
+/// Whether `edit` (already applied; `after` is the post-edit document and
+/// `effect` its report) intersects a candidate's scope — the sound test
+/// behind probability reuse. The scope is `root_path(candidate) ∪
+/// subtree(anchor)`; sites outside it are marginalized away by
+/// `prune_to_anchor` and provably cannot change the pruned input:
+///
+/// * inserts touch the scope iff the graft parent is inside the anchor's
+///   subtree, or the inserted subtree contains the candidate (new
+///   candidates); a graft higher up only adds a sibling subtree the
+///   pruning drops (`mux` leftover mass absorbs the new edge without
+///   changing surviving edges' probabilities);
+/// * deletes touch it iff the removed child hung inside the anchor's
+///   subtree — or off a root-path `exp` node, whose collapsed marginal
+///   is *not* invariant under sibling removal (mask remapping regroups
+///   the float sums);
+/// * `SetProb`/`Relabel` touch it iff the edited node is on the
+///   candidate's root path (chain probabilities and main-branch labels
+///   feed the DP) or inside the anchor's subtree.
+fn scope_affected(after: &PDocument, scope: &Scope, edit: &Edit, effect: &EditEffect) -> bool {
+    let (n, anchor) = (scope.candidate, scope.anchor);
+    match edit {
+        Edit::InsertSubtree { .. } => {
+            let root = effect.inserted_root.expect("insert effect has a root");
+            let parent = effect.parent.expect("insert effect has a parent");
+            after.is_ancestor_or_self(root, n) || after.is_ancestor_or_self(anchor, parent)
+        }
+        Edit::DeleteSubtree { .. } => {
+            let parent = effect.parent.expect("delete effect has a parent");
+            after.is_ancestor_or_self(anchor, parent)
+                || (matches!(after.kind(parent), PKind::Exp(_))
+                    && after.is_ancestor_or_self(parent, n))
+        }
+        Edit::SetProb { node, .. } | Edit::Relabel { node, .. } => {
+            after.is_ancestor_or_self(*node, n) || after.is_ancestor_or_self(anchor, *node)
+        }
+    }
+}
+
+/// Assembles the extension container from finished answers: the
+/// `doc(v)`-rooted p-document, the `ind` bundle, one marker-annotated
+/// result subtree per answer with fresh ids assigned in answer order.
+/// Shared by cold materialization and the delta path, so both produce
+/// identical containers from identical answers.
+fn build_extension(pdoc: &PDocument, view: &View, answers: &[(NodeId, f64)]) -> ProbExtension {
+    let mut ext = PDocument::new(view.doc_label());
+    let ind = ext.add_dist(ext.root(), PKind::Ind, 1.0);
+    let mut orig_of = HashMap::new();
+    let mut results = Vec::with_capacity(answers.len());
+    for &(orig, prob) in answers {
+        let ext_root = copy_subtree_with_markers(pdoc, orig, &mut ext, ind, prob, &mut orig_of);
+        results.push(ViewResult {
+            ext_root,
+            orig,
+            prob,
+        });
+    }
+    ProbExtension::assemble(view.clone(), ext, results, orig_of)
 }
 
 /// Copies `P̂_orig` under `parent` in `ext` with fresh ids and `Id(·)`
@@ -433,6 +748,186 @@ mod tests {
         assert_eq!(plan.label(plan.root()), Label::new("doc(v1)"));
         assert_eq!(plan.mb_len(), 3);
         assert_eq!(plan.output_label().name(), "f");
+    }
+
+    /// Two extensions are equal field for field: same container document
+    /// (ids included), same results, same marker map. This is the delta
+    /// path's contract with cold materialization.
+    fn assert_ext_identical(a: &ProbExtension, b: &ProbExtension, what: &str) {
+        assert_eq!(a.pdoc.to_string(), b.pdoc.to_string(), "{what}: container");
+        assert_eq!(a.results.len(), b.results.len(), "{what}: result count");
+        for (r1, r2) in a.results.iter().zip(&b.results) {
+            assert_eq!(r1.ext_root, r2.ext_root, "{what}: ext ids");
+            assert_eq!(r1.orig, r2.orig, "{what}: orig ids");
+            assert_eq!(
+                r1.prob.to_bits(),
+                r2.prob.to_bits(),
+                "{what}: bit-identical probability"
+            );
+        }
+        let mut m1: Vec<_> = a.orig_entries().collect();
+        let mut m2: Vec<_> = b.orig_entries().collect();
+        m1.sort();
+        m2.sort();
+        assert_eq!(m1, m2, "{what}: marker maps");
+    }
+
+    /// Every edit kind, applied to the personnel scenario: the
+    /// incrementally maintained extension is identical to cold
+    /// materialization from the post-edit document, and localized edits
+    /// actually reuse work.
+    #[test]
+    fn delta_matches_cold_materialization_and_localizes() {
+        use pxv_pxml::text::parse_pdocument;
+        let base = fig2_pper();
+        let view = v("v2BON", "IT-personnel//person/bonus");
+        let edits: Vec<Edit> = vec![
+            // Reweigh the laptop/pda mux under Rick's bonus (node 24 is
+            // the laptop branch in fig2).
+            Edit::SetProb {
+                node: NodeId(24),
+                prob: 0.5,
+            },
+            // Relabel a leaf inside one person.
+            Edit::Relabel {
+                node: NodeId(24),
+                label: pxv_pxml::Label::new("tablet"),
+            },
+            // Graft a whole new person (a new bonus candidate appears).
+            Edit::InsertSubtree {
+                parent: NodeId(1),
+                prob: 1.0,
+                subtree: parse_pdocument("person[name[Zoe], bonus[mug]]").unwrap(),
+            },
+            // Delete one existing bonus subtree.
+            Edit::DeleteSubtree { node: NodeId(7) },
+        ];
+        let mut doc = base.clone();
+        let mut ext = ProbExtension::materialize(&doc, &view);
+        let mut any_reuse = false;
+        for edit in &edits {
+            let mut after = doc.clone();
+            let effect = after.apply_edit(edit).expect("edit applies");
+            let (delta_ext, outcome) = ext.apply_delta(&after, edit, &effect);
+            let cold = ProbExtension::materialize(&after, &view);
+            assert_ext_identical(&delta_ext, &cold, &format!("{edit}"));
+            if let DeltaOutcome::Incremental { reused, .. } = outcome {
+                any_reuse |= reused > 0;
+            }
+            doc = after;
+            ext = delta_ext;
+        }
+        assert!(
+            any_reuse,
+            "localized edits on a multi-person document must reuse results"
+        );
+    }
+
+    /// Reweighs that cross zero change an answer's *support* and must
+    /// take the general rebuild path (the in-place fast path only covers
+    /// positive→positive); either way the result equals cold
+    /// materialization.
+    #[test]
+    fn reweigh_through_zero_changes_support_correctly() {
+        let doc0 = pxv_pxml::text::parse_pdocument("a#0[mux#1(0.4: b#2[c#3], 0.5: b#4)]").unwrap();
+        let view = v("bs", "a/b");
+        let mut doc = doc0.clone();
+        let mut ext = ProbExtension::materialize(&doc, &view);
+        assert_eq!(ext.results.len(), 2);
+        // 0.4 → 0: b#2 leaves the support.
+        for (node, prob, want_results) in [
+            (NodeId(2), 0.0, 1),
+            (NodeId(2), 0.3, 2),  // 0 → 0.3: it comes back
+            (NodeId(4), 0.25, 2), // positive → positive: fast path
+        ] {
+            let edit = Edit::SetProb { node, prob };
+            let mut after = doc.clone();
+            let effect = after.apply_edit(&edit).unwrap();
+            let (delta_ext, outcome) = ext.apply_delta(&after, &edit, &effect);
+            assert!(outcome.is_incremental(), "{edit}");
+            let cold = ProbExtension::materialize(&after, &view);
+            assert_ext_identical(&delta_ext, &cold, &format!("{edit}"));
+            assert_eq!(delta_ext.results.len(), want_results, "{edit}");
+            doc = after;
+            ext = delta_ext;
+        }
+    }
+
+    /// A predicate on the pattern root scopes every candidate to the
+    /// whole document: the delta path must fall back, not localize.
+    #[test]
+    fn root_predicate_views_fall_back() {
+        let p = pxv_pxml::text::parse_pdocument("a#0[b#1[c#2], d#3]").unwrap();
+        let view = v("rooty", "a[d]/b");
+        let ext = ProbExtension::materialize(&p, &view);
+        let mut after = p.clone();
+        let edit = Edit::Relabel {
+            node: NodeId(2),
+            label: pxv_pxml::Label::new("x"),
+        };
+        let effect = after.apply_edit(&edit).unwrap();
+        let (delta_ext, outcome) = ext.apply_delta(&after, &edit, &effect);
+        assert_eq!(outcome, DeltaOutcome::Rematerialized);
+        assert_ext_identical(
+            &delta_ext,
+            &ProbExtension::materialize(&after, &view),
+            "fallback",
+        );
+    }
+
+    /// Random edit storm over a generated document: after every edit the
+    /// maintained extension equals cold materialization, for a
+    /// predicate-free view, a mid-branch-predicate view, and through
+    /// every edit kind the generator emits.
+    #[test]
+    fn delta_random_storm_stays_identical() {
+        use pxv_pxml::generators::personnel;
+        let (mut doc, _) = personnel(6, 2, 41);
+        let views = [
+            v("bonuses", "IT-personnel//person/bonus"),
+            v("ricks", "IT-personnel//person[name/Rick]/bonus"),
+        ];
+        let mut exts: Vec<ProbExtension> = views
+            .iter()
+            .map(|view| ProbExtension::materialize(&doc, view))
+            .collect();
+        // A deterministic little edit script touching scattered nodes.
+        let ordinary: Vec<NodeId> = {
+            let mut ids: Vec<NodeId> = doc.ordinary_ids().collect();
+            ids.sort();
+            ids
+        };
+        let mut edits: Vec<Edit> = Vec::new();
+        for (i, &n) in ordinary.iter().enumerate().skip(1) {
+            match i % 3 {
+                0 => edits.push(Edit::Relabel {
+                    node: n,
+                    label: pxv_pxml::Label::new("edited"),
+                }),
+                1 => edits.push(Edit::InsertSubtree {
+                    parent: n,
+                    prob: 1.0,
+                    subtree: pxv_pxml::text::parse_pdocument("note[hi]").unwrap(),
+                }),
+                _ => {}
+            }
+        }
+        let mut applied = 0;
+        for edit in edits {
+            let mut after = doc.clone();
+            let Ok(effect) = after.apply_edit(&edit) else {
+                continue; // structurally rejected (e.g. orphan guard)
+            };
+            for (view, ext) in views.iter().zip(exts.iter_mut()) {
+                let (delta_ext, _) = ext.apply_delta(&after, &edit, &effect);
+                let cold = ProbExtension::materialize(&after, view);
+                assert_ext_identical(&delta_ext, &cold, &format!("{}: {edit}", view.name));
+                *ext = delta_ext;
+            }
+            doc = after;
+            applied += 1;
+        }
+        assert!(applied > 10, "the storm must actually exercise edits");
     }
 
     #[test]

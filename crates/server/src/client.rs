@@ -7,7 +7,7 @@ use crate::protocol::{
     options_to_tokens, parse_answer_header, parse_node_line, ProtocolError, WireAnswer,
 };
 use pxv_engine::QueryOptions;
-use pxv_pxml::PDocument;
+use pxv_pxml::{Edit, NodeId, PDocument};
 use pxv_tpq::TreePattern;
 use std::collections::HashMap;
 use std::fmt;
@@ -42,6 +42,22 @@ impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> ClientError {
         ClientError::Io(e)
     }
+}
+
+/// The parsed tail of an `OK updated …` response: how the server
+/// serviced an `UPDATE` (mirrors `pxv_engine::UpdateReport`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Edits applied (always 1 for a single `UPDATE` request).
+    pub edits: u64,
+    /// Maintenance steps serviced by the incremental delta path.
+    pub deltas: u64,
+    /// Maintenance steps that fell back to full rematerialization.
+    pub fallbacks: u64,
+    /// Cached extensions carried warm across the edit.
+    pub extensions: u64,
+    /// Fresh root id assigned to an inserted subtree, if any.
+    pub inserted: Option<NodeId>,
 }
 
 /// A blocking connection to a `prxd` server.
@@ -153,6 +169,37 @@ impl Client {
         let tail = self.expect_ok("invalidated")?;
         tail.parse()
             .map_err(|_| ClientError::Unexpected(format!("OK invalidated {tail}")))
+    }
+
+    /// Applies one [`Edit`] to a loaded document (`UPDATE`). The server
+    /// maintains the document's cached extensions incrementally — the
+    /// warm cache survives, and post-edit answers are bit-identical to a
+    /// cold engine built from the post-edit document.
+    pub fn update(&mut self, doc: &str, edit: &Edit) -> Result<UpdateOutcome, ClientError> {
+        self.send(&format!("UPDATE {doc} {edit}"))?;
+        let tail = self.expect_ok("updated")?;
+        let mut outcome = UpdateOutcome::default();
+        for token in tail.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| ClientError::Unexpected(format!("OK updated {tail}")))?;
+            let bad = || ClientError::Unexpected(format!("OK updated {tail}"));
+            match key {
+                "edits" => outcome.edits = value.parse().map_err(|_| bad())?,
+                "deltas" => outcome.deltas = value.parse().map_err(|_| bad())?,
+                "fallbacks" => outcome.fallbacks = value.parse().map_err(|_| bad())?,
+                "exts" => outcome.extensions = value.parse().map_err(|_| bad())?,
+                "inserted" => {
+                    let id = value
+                        .strip_prefix('n')
+                        .and_then(|d| d.parse().ok())
+                        .ok_or_else(bad)?;
+                    outcome.inserted = Some(NodeId(id));
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(outcome)
     }
 
     /// Snapshots the whole engine to a **server-side** file (admin).

@@ -21,6 +21,8 @@
 //!   <doc> <tpq-text>      (n lines)     ANSWER block or ERR line
 //! STATS                              -> STATS key=value ...
 //! INVALIDATE <doc>                   -> OK invalidated <n>
+//! UPDATE <doc> <edit-spec>           -> OK updated edits=. deltas=. fallbacks=.
+//!                                       exts=. [inserted=<id>]
 //! SAVE <path>                        -> OK saved docs=. views=. exts=. epoch=. bytes=.
 //! RESTORE <path>                     -> OK restored docs=. views=. exts=. epoch=.
 //! SHUTDOWN                           -> OK shutting-down
@@ -42,10 +44,21 @@
 //! `QUERY` options are trailing `key=value` tokens: `limit=<n>`
 //! (interleaving limit), `pref=prefer-tp|prefer-tpi|tp|tpi` (plan
 //! preference), `fallback=forbid|direct`.
+//!
+//! `UPDATE` mutates a loaded document **in place**: the edit spec is the
+//! `pxv_pxml::edit` wire form (`insert n<parent> <prob> <pdoc-text>`,
+//! `delete n<node>`, `setprob n<node> <prob>`, `relabel n<node>
+//! <label>`). Cached view extensions are maintained *incrementally*
+//! (`deltas=`) with a counted fallback to full rematerialization
+//! (`fallbacks=`) — the warm cache survives the edit, and post-edit
+//! answers are bit-identical to a cold engine built from the post-edit
+//! document (asserted by the e2e suite). Inserted subtrees get fresh
+//! node ids assigned deterministically; `inserted=` reports the new
+//! root so clients can address the grafted content.
 
 use pxv_engine::{Answer, Fallback, PlanPreference, QueryOptions, QueryStats};
 use pxv_pxml::text::parse_pdocument;
-use pxv_pxml::{NodeId, PDocument};
+use pxv_pxml::{Edit, NodeId, PDocument};
 use pxv_tpq::parse::parse_pattern;
 use pxv_tpq::TreePattern;
 use std::fmt;
@@ -71,6 +84,9 @@ pub enum ProtocolError {
     BadPattern(String),
     /// A `key=value` query option was malformed.
     BadOption(String),
+    /// An `UPDATE` edit spec did not parse, or the edit was rejected by
+    /// structural validation (the document is untouched either way).
+    BadEdit(String),
     /// `BATCH` count missing, non-numeric, zero, or over [`MAX_BATCH`].
     BadCount(String),
     /// The named document is not loaded on the server.
@@ -102,6 +118,7 @@ impl ProtocolError {
             ProtocolError::BadDocument(_) => "bad-document",
             ProtocolError::BadPattern(_) => "bad-pattern",
             ProtocolError::BadOption(_) => "bad-option",
+            ProtocolError::BadEdit(_) => "bad-edit",
             ProtocolError::BadCount(_) => "bad-count",
             ProtocolError::UnknownDoc(_) => "unknown-doc",
             ProtocolError::Plan(_) => "plan",
@@ -121,6 +138,7 @@ impl ProtocolError {
             ProtocolError::BadDocument(m)
             | ProtocolError::BadPattern(m)
             | ProtocolError::BadOption(m)
+            | ProtocolError::BadEdit(m)
             | ProtocolError::BadCount(m)
             | ProtocolError::Plan(m)
             | ProtocolError::Engine(m)
@@ -156,6 +174,7 @@ impl ProtocolError {
             "bad-document" => ProtocolError::BadDocument(msg),
             "bad-pattern" => ProtocolError::BadPattern(msg),
             "bad-option" => ProtocolError::BadOption(msg),
+            "bad-edit" => ProtocolError::BadEdit(msg),
             "bad-count" => ProtocolError::BadCount(msg),
             // The name travels in backticks: `no document named `hr``.
             "unknown-doc" => {
@@ -222,6 +241,14 @@ pub enum Request {
     Invalidate {
         /// Document name.
         doc: String,
+    },
+    /// Apply one edit to a loaded document, incrementally maintaining
+    /// its cached extensions.
+    Update {
+        /// Document name.
+        doc: String,
+        /// The parsed edit.
+        edit: Edit,
     },
     /// Snapshot the whole engine to a server-side file (admin).
     Save {
@@ -416,6 +443,21 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             Ok(Request::Batch { count })
         }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "UPDATE" => {
+            let (doc, spec) = split_token(rest);
+            if doc.is_empty() || spec.is_empty() {
+                return Err(ProtocolError::Usage(
+                    "UPDATE <doc> insert n<parent> <prob> <pdoc-text> | delete n<node> | \
+                     setprob n<node> <prob> | relabel n<node> <label>"
+                        .into(),
+                ));
+            }
+            let edit = Edit::parse(spec).map_err(|e| ProtocolError::BadEdit(e.to_string()))?;
+            Ok(Request::Update {
+                doc: doc.to_string(),
+                edit,
+            })
+        }
         "INVALIDATE" => match split_token(rest) {
             (doc, "") if !doc.is_empty() => Ok(Request::Invalidate {
                 doc: doc.to_string(),
@@ -642,6 +684,38 @@ mod tests {
     }
 
     #[test]
+    fn update_requests_parse() {
+        match parse_request("UPDATE hr setprob n4 0.25").unwrap() {
+            Request::Update { doc, edit } => {
+                assert_eq!(doc, "hr");
+                assert_eq!(edit.to_string(), "setprob n4 0.25");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_request("update hr insert n0 1 person[name['Zoe Q'], bonus[mug]]").unwrap() {
+            Request::Update { edit, .. } => {
+                assert!(matches!(edit, Edit::InsertSubtree { .. }));
+                // The spec round-trips through the edit's display form.
+                let again = parse_request(&format!("UPDATE hr {edit}")).unwrap();
+                assert!(matches!(again, Request::Update { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request("UPDATE hr"),
+            Err(ProtocolError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_request("UPDATE hr frobnicate n1"),
+            Err(ProtocolError::BadEdit(_))
+        ));
+        assert!(matches!(
+            parse_request("UPDATE hr delete x9"),
+            Err(ProtocolError::BadEdit(_))
+        ));
+    }
+
+    #[test]
     fn save_restore_shutdown_requests_parse() {
         match parse_request("SAVE /tmp/with space/engine.pxv").unwrap() {
             Request::Save { path } => assert_eq!(path, "/tmp/with space/engine.pxv"),
@@ -668,6 +742,7 @@ mod tests {
             ProtocolError::Empty,
             ProtocolError::UnknownCommand("FROB".into()),
             ProtocolError::Store("corrupt at byte 42: bad section table".into()),
+            ProtocolError::BadEdit("edit parse error: unknown edit verb `frob`".into()),
             ProtocolError::BadPattern("pattern parse error at byte 3: expected label".into()),
             ProtocolError::UnknownDoc("hr".into()),
             ProtocolError::Plan("no single-view TP rewriting over these views".into()),

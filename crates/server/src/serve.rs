@@ -13,9 +13,9 @@
 //!   execute, write the tagged response, repeat until `QUIT`, EOF, or
 //!   shutdown. A session takes the engine's `read` lock for query
 //!   traffic (`QUERY`, `BATCH`, `WARM`, `STATS`) and the `write` lock
-//!   only for admin requests (`LOAD`, `VIEW`, `INVALIDATE`), so queries
-//!   from many connections run truly in parallel — the engine's sharded,
-//!   single-flight catalog does the rest.
+//!   only for admin requests (`LOAD`, `VIEW`, `INVALIDATE`, `UPDATE`),
+//!   so queries from many connections run truly in parallel — the
+//!   engine's sharded, single-flight catalog does the rest.
 //! - **Graceful shutdown**: [`ServerHandle::shutdown`] sets a flag and
 //!   wakes the accept thread with a loopback connection; sessions poll
 //!   the flag on a short read timeout and drain. Every thread is joined
@@ -423,10 +423,39 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             write_answer(out, &answer).map_err(io_to_protocol)
         }
         Request::Invalidate { doc } => {
-            let mut engine = shared.engine.write().expect("engine poisoned");
+            let engine = shared.engine.write().expect("engine poisoned");
             let id = find_doc(&engine, &doc)?;
             let n = engine.invalidate(id).map_err(engine_err)?;
             writeln!(out, "OK invalidated {n}").map_err(io_to_protocol)
+        }
+        Request::Update { doc, edit } => {
+            // The engine's apply_edits takes &self, but the server still
+            // serializes updates against query traffic with the write
+            // lock: a query racing the edit must never mix one view's
+            // pre-edit extension with another's post-edit one.
+            let engine = shared.engine.write().expect("engine poisoned");
+            let id = find_doc(&engine, &doc)?;
+            let report = engine
+                .apply_edits(id, std::slice::from_ref(&edit))
+                .map_err(|e| match e {
+                    pxv_engine::EngineError::Edit(edit_err) => {
+                        ProtocolError::BadEdit(edit_err.to_string())
+                    }
+                    other => engine_err(other),
+                })?;
+            write!(
+                out,
+                "OK updated edits={} deltas={} fallbacks={} exts={}",
+                report.edits,
+                report.deltas_applied,
+                report.delta_fallbacks,
+                report.extensions_maintained,
+            )
+            .map_err(io_to_protocol)?;
+            if let Some(root) = report.inserted_roots.first() {
+                write!(out, " inserted={root}").map_err(io_to_protocol)?;
+            }
+            writeln!(out).map_err(io_to_protocol)
         }
         Request::Save { path } => {
             // Clone the state under the read lock, write the file
@@ -485,6 +514,7 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
                 out,
                 "STATS docs={} views={} epoch={} queries={} tp={} tpi={} direct={} \
                  mats={} exthits={} inval={} planhits={} planmiss={} \
+                 edits={} deltas={} fallbacks={} \
                  conns={} rejected={} active={} requests={} errors={} p50us={} p99us={}",
                 engine.document_count(),
                 engine.catalog().len(),
@@ -498,6 +528,9 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
                 es.invalidations,
                 es.plan_cache_hits,
                 es.plan_cache_misses,
+                es.edits_applied,
+                es.deltas_applied,
+                es.delta_fallbacks,
                 ss.connections,
                 ss.rejected,
                 shared.active.load(Ordering::SeqCst),

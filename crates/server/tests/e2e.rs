@@ -240,6 +240,97 @@ fn invalidate_forces_rematerialization_over_the_wire() {
     handle.shutdown();
 }
 
+/// The update tentpole over the wire: a running server takes edits
+/// between queries, maintains the warm cache incrementally, and every
+/// post-edit wire answer is **bit-identical** to a cold engine built
+/// from the post-edit document.
+#[test]
+fn update_between_queries_bit_identical_to_cold_post_edit_engine() {
+    use pxv_pxml::edit::Edit;
+    use pxv_pxml::text::parse_pdocument;
+    use pxv_pxml::NodeId;
+
+    let handle = provisioned_server(2, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mix = query_mix();
+    for q in &mix {
+        client.query(DOC, q).unwrap();
+    }
+
+    // Mirror of the server-side document: the client applies the same
+    // edits locally, which only works because fresh-id assignment is
+    // deterministic.
+    let mut mirror = fixture_pdoc();
+    let person = {
+        // First person child of the root, to edit inside one subtree.
+        let root = mirror.root();
+        *mirror.children(root).first().expect("nonempty personnel")
+    };
+    let edits = vec![
+        Edit::Relabel {
+            node: person,
+            label: pxv_pxml::Label::new("person"), // no-op rename, still an edit
+        },
+        Edit::InsertSubtree {
+            parent: mirror.root(),
+            prob: 1.0,
+            subtree: parse_pdocument("person[name[Zoe], bonus[laptop]]").unwrap(),
+        },
+        Edit::DeleteSubtree { node: person },
+    ];
+    let mut inserted: Option<NodeId> = None;
+    for edit in &edits {
+        let effect = mirror.apply_edit(edit).expect("mirror edit applies");
+        let outcome = client.update(DOC, edit).unwrap();
+        assert_eq!(outcome.edits, 1);
+        assert_eq!(outcome.extensions, 2, "both views maintained, not evicted");
+        assert_eq!(outcome.fallbacks, 0, "localized edits stay incremental");
+        assert_eq!(outcome.inserted, effect.inserted_root, "same fresh ids");
+        inserted = inserted.or(outcome.inserted);
+    }
+    assert!(inserted.is_some(), "the insert reported its grafted root");
+
+    // Cold reference engine over the post-edit mirror.
+    let mut cold = Engine::new();
+    let cd = cold.add_document(DOC, mirror).unwrap();
+    cold.register_views(views()).unwrap();
+
+    for q in &mix {
+        let wire = client.query(DOC, q).unwrap();
+        let want = cold.answer(cd, q).unwrap();
+        assert_eq!(
+            wire.nodes, want.nodes,
+            "{q}: post-edit wire answers must be bit-identical to a cold engine"
+        );
+        assert_eq!(
+            wire.stats.materializations, 0,
+            "{q}: the maintained cache is still warm"
+        );
+    }
+
+    // A bad edit is a typed error and mutates nothing.
+    let err = client
+        .update(
+            DOC,
+            &Edit::SetProb {
+                node: NodeId(0),
+                prob: 0.5,
+            },
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, ClientError::Server(ProtocolError::BadEdit(_))),
+        "{err}"
+    );
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats["edits"], edits.len() as u64);
+    assert!(stats["deltas"] > 0, "incremental path exercised");
+    assert_eq!(stats["fallbacks"], 0);
+    client.quit().unwrap();
+    handle.shutdown();
+}
+
 #[test]
 fn connection_limit_rejects_with_busy() {
     // Fresh empty server: no setup session whose slot could still be

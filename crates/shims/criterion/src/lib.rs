@@ -8,7 +8,7 @@
 //!
 //! Measurement model: each benchmark is warmed up briefly, then timed for
 //! `sample_size` samples whose iteration count is auto-calibrated so a
-//! sample takes roughly [`TARGET_SAMPLE`]. Mean / min / max per-iteration
+//! sample takes roughly `TARGET_SAMPLE`. Mean / min / max per-iteration
 //! times are printed to stdout — no plots, no statistics files.
 
 use std::fmt::Display;

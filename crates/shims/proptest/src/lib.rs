@@ -272,7 +272,7 @@ pub mod collection {
     use super::{Strategy, TestRunner};
     use rand::Rng;
 
-    /// Element-count specification accepted by [`vec`].
+    /// Element-count specification accepted by [`vec()`](fn@vec).
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,

@@ -35,7 +35,7 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod codec;
 mod error;

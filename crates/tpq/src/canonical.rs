@@ -3,7 +3,7 @@
 //! A tree pattern has a family of *canonical documents* obtained by
 //! instantiating every `//`-edge with a path of `0+1 … k+1` fresh-labeled
 //! steps; for the wildcard-free fragment, containment holds iff it holds
-//! on canonical models with expansion depth up to a small bound ([27]).
+//! on canonical models with expansion depth up to a small bound (\[27\]).
 //! This module builds them — they serve as semantic test oracles for the
 //! containment machinery and as witness generators in documentation and
 //! tests.

@@ -1,13 +1,13 @@
 //! Containment, equivalence and minimization of tree patterns.
 //!
 //! For the wildcard-free fragment TP the paper uses, `q2 ⊑ q1` iff there is
-//! a *containment mapping* from `q1` to `q2` ([27], [4]; §2 of the paper):
+//! a *containment mapping* from `q1` to `q2` (\[27\], \[4\]; §2 of the paper):
 //! a label-preserving map sending `/`-edges to `/`-edges and `//`-edges to
 //! ancestor/descendant pairs, root to root and output to output. The
 //! mapping is computed by a polynomial bottom-up dynamic program.
 //!
 //! Minimization removes subsumed predicate branches until a fixpoint;
-//! minimized patterns are equivalent iff isomorphic ([27], [4]), which
+//! minimized patterns are equivalent iff isomorphic (\[27\], \[4\]), which
 //! [`crate::pattern::TreePattern::canonical_key`] decides.
 
 use crate::pattern::{Axis, QNodeId, TreePattern};

@@ -8,7 +8,7 @@
 //! (ii) every interleaving of `Q` is contained in `q` — the coNP-hard
 //! boundary of Corollary 2. When the merge is forced (one interleaving),
 //! the intersection is *union-free* and everything is polynomial; this is
-//! the fast path that covers extended-skeleton workloads ([10]).
+//! the fast path that covers extended-skeleton workloads (\[10\]).
 
 use crate::containment::contained_in;
 use crate::pattern::{Axis, TreePattern};

@@ -7,7 +7,7 @@
 //! and intersections TP∩ with interleavings (§5.1) plus the
 //! extended-skeleton fragment.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod canonical;
 pub mod compose;

@@ -205,6 +205,21 @@ impl TreePattern {
         !self.predicate_children(n).is_empty()
     }
 
+    /// The 0-based main-branch index of the shallowest main-branch node
+    /// carrying a predicate; `mb_len() - 1` (the output) when no node
+    /// does. Every predicate witness of an embedding lives inside the
+    /// subtree of the image of this node (or deeper), which is what lets
+    /// the update path localize an edit's effect on view extensions: an
+    /// embedding selecting `n` maps main-branch nodes to ancestors of `n`
+    /// at document depth ≥ their index, so all witnesses sit under `n`'s
+    /// ancestor at this depth (see `pxv-rewrite`'s delta maintenance).
+    pub fn first_predicate_depth(&self) -> usize {
+        let mb = self.main_branch();
+        mb.iter()
+            .position(|&n| self.has_predicates(n))
+            .unwrap_or(mb.len() - 1)
+    }
+
     /// Copies the subtree of `src` rooted at `src_node` under `dst_parent`
     /// (with `axis` on the top edge), returning the id of the copy's root.
     pub fn graft_subtree(
@@ -351,7 +366,7 @@ impl TreePattern {
     /// Canonical structural key: equal keys ⇔ isomorphic patterns
     /// (respecting labels, axes and the output position). This is *not*
     /// query equivalence (use [`crate::containment::equivalent`]), but for
-    /// minimized patterns equivalence coincides with isomorphism [27].
+    /// minimized patterns equivalence coincides with isomorphism \[27\].
     pub fn canonical_key(&self) -> String {
         fn rec(q: &TreePattern, n: QNodeId, out: &mut String) {
             out.push_str(q.axis(n).as_str());

@@ -1,5 +1,5 @@
 //! Extended skeletons (§5.1): the fragment of TP for which TP∩ equivalence
-//! tests are tractable ([10]; Corollary 3 of the paper).
+//! tests are tractable (\[10\]; Corollary 3 of the paper).
 //!
 //! A pattern is an extended skeleton iff for every main-branch node `n` and
 //! every `//`-subpredicate `st` of `n` (a predicate subtree hanging by a

@@ -129,7 +129,7 @@ fn main() {
     // (Lemma 3): the two aspect views over-count Pr(n ∈ P). A fresh engine
     // with only the two aspect views must refuse.
     let mut partial = Engine::new();
-    let pdoc = engine.document(doc).unwrap().clone();
+    let pdoc = (*engine.document(doc).unwrap()).clone();
     let pdoc_id = partial.add_document("catalog", pdoc).unwrap();
     partial
         .register_views([

@@ -10,6 +10,7 @@
 //! prxview batch   <pdoc-file> <query-file> [-jN] name=pattern…
 //!                                                concurrent batch answering
 //! prxview cindep  <q1> <q2>                      c-independence test
+//! prxview edit    <pdoc-file> <edit-spec>...     apply edits, print the result
 //! prxview gen     personnel <persons> [projects] [seed]
 //!                                                print a generated p-document
 //! prxview save    <store-dir> --doc name=file… [--no-warm] [name=pattern]…
@@ -28,6 +29,12 @@
 //! lines and `#` comments skipped), answers them on `N` worker threads
 //! (default: available parallelism) against the shared sharded catalog,
 //! and reports throughput plus engine-lifetime cache stats on stderr.
+//! `edit` applies a sequence of typed edits (`'insert n4 0.5 b[c]'`,
+//! `'delete n7'`, `'setprob n2 0.25'`, `'relabel n3 newname'` — the
+//! `pxv_pxml::edit` wire grammar) to a p-document file and prints the
+//! post-edit document on stdout; a running server takes the same specs
+//! live through the protocol's `UPDATE` verb, maintaining its cached
+//! view extensions incrementally instead of rematerializing.
 //! `serve` exposes the engine over TCP (the `pxv-server` wire protocol):
 //! documents and views can be preloaded from the command line or loaded
 //! live through the protocol's `LOAD`/`VIEW` requests; drive it with
@@ -53,6 +60,7 @@ fn usage() -> ExitCode {
          prxview plan <query> name=pattern...\n  prxview answer <pdoc-file> <query> name=pattern...\n  \
          prxview batch <pdoc-file> <query-file> [-jN] name=pattern...\n  \
          prxview cindep <q1> <q2>\n  \
+         prxview edit <pdoc-file> <edit-spec>...\n  \
          prxview gen personnel <persons> [projects] [seed]\n  \
          prxview save <store-dir> --doc name=file... [--no-warm] [name=pattern]...\n  \
          prxview load <store-dir> [<doc> <query>]\n  \
@@ -232,6 +240,24 @@ fn run() -> Result<ExitCode, String> {
             } else {
                 ExitCode::FAILURE
             })
+        }
+        Some("edit") if args.len() >= 3 => {
+            let mut pdoc = load_pdoc(&args[1])?;
+            for spec in &args[2..] {
+                let edit =
+                    prxview::pxml::Edit::parse(spec).map_err(|e| format!("`{spec}`: {e}"))?;
+                let effect = pdoc
+                    .apply_edit(&edit)
+                    .map_err(|e| format!("`{spec}`: {e}"))?;
+                match effect.inserted_root {
+                    Some(root) => eprintln!("applied: {edit} (inserted root {root})"),
+                    None => eprintln!("applied: {edit}"),
+                }
+            }
+            pdoc.validate()
+                .map_err(|e| format!("post-edit document invalid: {e}"))?;
+            println!("{pdoc}");
+            Ok(ExitCode::SUCCESS)
         }
         Some("gen") if args.len() >= 3 && args[1] == "personnel" => {
             let persons: usize = args[2].parse().map_err(|e| format!("bad persons: {e}"))?;

@@ -188,7 +188,7 @@ fn batch_answers_match_sequential_and_possible_worlds() {
     let mut enumerated = 0usize;
     for ((doc, q), answer) in batch.iter().zip(&sequential) {
         let pdoc = engine.document(*doc).unwrap();
-        if let Some(want) = brute_force(pdoc, q) {
+        if let Some(want) = brute_force(&pdoc, q) {
             assert_close(&answer.nodes, &want, &format!("{q}"));
             enumerated += 1;
         }

@@ -194,7 +194,7 @@ fn plans_agree_with_monte_carlo() {
     let mut rng = StdRng::seed_from_u64(1);
     let pdoc = engine.document(doc).unwrap();
     for (n, prob) in answer.nodes {
-        let est = prxview::peval::mc::estimate_tp_at(pdoc, &q, n, 20_000, &mut rng);
+        let est = prxview::peval::mc::estimate_tp_at(&pdoc, &q, n, 20_000, &mut rng);
         assert!(
             est.covers(prob),
             "MC {est:?} should cover plan probability {prob} at {n}"
