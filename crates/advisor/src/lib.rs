@@ -1,0 +1,479 @@
+//! Workload-driven view advisor: which views are worth their bytes?
+//!
+//! The paper answers *how* to rewrite a query over a fixed view set; the
+//! warehouse question underneath it — *which* views to materialize for an
+//! observed workload under a storage budget — is the NP-hard selection
+//! problem sketched in `examples/view_selection.rs`. This crate is the
+//! operational version of that question: it mines a bounded query log
+//! (canonical query keys with frequencies, recorded by `pxv-engine`),
+//! generates candidate views by generalizing the logged patterns
+//! (minimization and main-branch output prefixes, the shapes the
+//! TPrewrite compensation machinery can exploit), checks real coverage by
+//! running the paper's planner (`pxv_rewrite::answer::plan_checked`,
+//! which exercises `pxv_tpq::containment` for single-view TP plans and
+//! `pxv_tpq::intersect` for TP∩ plans combining a candidate with the
+//! already-registered catalog), measures each finalist's *actual*
+//! extension footprint and build cost by materializing it once, and
+//! greedily admits the best value-per-byte candidates into the budget.
+//!
+//! The output is an [`AdvisorReport`]: per-candidate coverage, projected
+//! bytes, measured build cost, a score comparable to the extension
+//! cache's eviction score, and an admit/skip verdict. The engine layer
+//! (`Engine::advise` / `Engine::advise_and_register`) turns admitted
+//! candidates into registered views; this crate stays engine-agnostic so
+//! it can also run offline over a replayed log.
+//!
+//! ```
+//! use pxv_advisor::{advise, AdviseOptions, WorkloadQuery};
+//! use pxv_pxml::text::parse_pdocument;
+//! use pxv_tpq::parse::parse_pattern;
+//! use std::sync::Arc;
+//!
+//! let doc = Arc::new(parse_pdocument("a[b[c], b[c[d]], b]").unwrap());
+//! let workload = vec![
+//!     WorkloadQuery { doc: 0, pattern: parse_pattern("a/b/c").unwrap(), count: 9 },
+//!     WorkloadQuery { doc: 0, pattern: parse_pattern("a/b/c[d]").unwrap(), count: 3 },
+//! ];
+//! let report = advise(&workload, &[], |_| Some(Arc::clone(&doc)), &AdviseOptions::default());
+//! assert!(report.coverage() >= 2, "one admitted view covers both queries");
+//! assert!(report.candidates.iter().any(|c| c.admitted));
+//! ```
+
+#![deny(missing_docs)]
+
+use pxv_pxml::PDocument;
+use pxv_rewrite::answer::{plan_checked, PlanPreference, DEFAULT_INTERLEAVING_LIMIT};
+use pxv_rewrite::view::ProbExtension;
+use pxv_rewrite::View;
+use pxv_tpq::containment::{equivalent, minimize};
+use pxv_tpq::TreePattern;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One aggregated query-log entry: a document (by engine index), the
+/// query's tree pattern, and how many times it was observed.
+#[derive(Clone, Debug)]
+pub struct WorkloadQuery {
+    /// Engine document index the query ran against.
+    pub doc: usize,
+    /// The logged tree-pattern query.
+    pub pattern: TreePattern,
+    /// Observed frequency (log arrivals coalesced by canonical key).
+    pub count: u64,
+}
+
+/// Knobs for one advisor run.
+#[derive(Clone, Debug)]
+pub struct AdviseOptions {
+    /// Byte budget the admitted candidates' projected extensions must fit
+    /// into together. `u64::MAX` means unbounded (admit every candidate
+    /// with positive marginal coverage).
+    pub budget: u64,
+    /// How many top-ranked candidates are materialized for exact
+    /// byte/cost measurement (the expensive step).
+    pub max_candidates: usize,
+    /// Interleaving bound forwarded to TPIrewrite during coverage checks.
+    pub interleaving_limit: usize,
+    /// Ignore logged queries seen fewer than this many times.
+    pub min_count: u64,
+}
+
+impl Default for AdviseOptions {
+    fn default() -> AdviseOptions {
+        AdviseOptions {
+            budget: u64::MAX,
+            max_candidates: 8,
+            interleaving_limit: DEFAULT_INTERLEAVING_LIMIT,
+            min_count: 1,
+        }
+    }
+}
+
+/// One scored candidate view in an [`AdvisorReport`].
+#[derive(Clone, Debug)]
+pub struct CandidateReport {
+    /// Suggested registration name (`adv-<n>`; the registering layer
+    /// de-duplicates against the live catalog).
+    pub name: String,
+    /// The candidate view's pattern.
+    pub pattern: TreePattern,
+    /// Document index the candidate was mined from (and measured over).
+    pub doc: usize,
+    /// Distinct logged queries the planner can rewrite using this
+    /// candidate (alone or intersected with the registered catalog).
+    pub covered: usize,
+    /// Total logged frequency behind [`CandidateReport::covered`].
+    pub weight: u64,
+    /// Covered queries that the registered catalog alone could *not*
+    /// rewrite — the candidate's real contribution.
+    pub marginal: usize,
+    /// Total logged frequency behind [`CandidateReport::marginal`].
+    pub marginal_weight: u64,
+    /// Measured heap footprint of the candidate's materialized extension
+    /// over its document.
+    pub projected_bytes: u64,
+    /// Measured wall-clock cost of that materialization, in nanoseconds.
+    pub build_nanos: u64,
+    /// Value density: marginal weight × build cost per byte — the same
+    /// cost/benefit shape the extension cache evicts by, so an admitted
+    /// candidate is one the cache would also fight to keep.
+    pub score: f64,
+    /// Whether the greedy knapsack admitted this candidate into the
+    /// budget.
+    pub admitted: bool,
+}
+
+/// The advisor's verdict over one workload: every scored candidate plus
+/// the log shape it was mined from.
+#[derive(Clone, Debug, Default)]
+pub struct AdvisorReport {
+    /// Total query arrivals in the (filtered) workload.
+    pub logged: u64,
+    /// Distinct `(document, canonical query)` keys in the workload.
+    pub distinct: usize,
+    /// The byte budget the run admitted against.
+    pub budget: u64,
+    /// Scored candidates, admitted first, then by descending score.
+    pub candidates: Vec<CandidateReport>,
+}
+
+impl AdvisorReport {
+    /// The admitted candidates, in report order.
+    pub fn admitted(&self) -> impl Iterator<Item = &CandidateReport> {
+        self.candidates.iter().filter(|c| c.admitted)
+    }
+
+    /// Distinct logged queries covered by at least one admitted
+    /// candidate (the headline number the CI smoke asserts nonzero).
+    pub fn coverage(&self) -> usize {
+        self.admitted().map(|c| c.covered).max().unwrap_or(0)
+    }
+
+    /// Projected bytes of all admitted candidates together.
+    pub fn admitted_bytes(&self) -> u64 {
+        self.admitted().map(|c| c.projected_bytes).sum()
+    }
+
+    /// One-line human summary.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} candidate(s), {} admitted ({} bytes), coverage={} over {} distinct / {} logged",
+            self.candidates.len(),
+            self.admitted().count(),
+            self.admitted_bytes(),
+            self.coverage(),
+            self.distinct,
+            self.logged,
+        )
+    }
+}
+
+/// Upper bound on the candidate pool before ranking (generation is cheap,
+/// coverage checks are not).
+const POOL_CAP: usize = 128;
+
+/// Mines `workload` for candidate views over the `registered` catalog.
+///
+/// `document` resolves a workload document index to its p-document (the
+/// engine passes its own slots; offline callers pass whatever they
+/// replayed the log against). Returns a report whose `admitted`
+/// candidates fit `options.budget` together; it never mutates anything —
+/// registration is the caller's decision.
+pub fn advise(
+    workload: &[WorkloadQuery],
+    registered: &[View],
+    document: impl Fn(usize) -> Option<Arc<PDocument>>,
+    options: &AdviseOptions,
+) -> AdvisorReport {
+    let queries: Vec<&WorkloadQuery> = workload
+        .iter()
+        .filter(|w| w.count >= options.min_count)
+        .collect();
+    let mut report = AdvisorReport {
+        logged: queries.iter().map(|w| w.count).sum(),
+        distinct: queries.len(),
+        budget: options.budget,
+        ..AdvisorReport::default()
+    };
+    if queries.is_empty() {
+        return report;
+    }
+
+    // Generate the pool: per document, every minimized logged pattern and
+    // every main-branch output prefix of it (the generalizations a
+    // TPrewrite compensation can specialize back down from), deduplicated
+    // by canonical key and annotated with the weight of its generators.
+    let mut pool: BTreeMap<(usize, String), (TreePattern, u64)> = BTreeMap::new();
+    for w in &queries {
+        let minimized = minimize(&w.pattern);
+        let mut forms = vec![minimized.clone()];
+        for depth in 1..minimized.mb_len() {
+            forms.push(minimize(&minimized.prefix(depth)));
+        }
+        for form in forms {
+            let key = (w.doc, form.canonical_key());
+            let slot = pool.entry(key).or_insert_with(|| (form, 0));
+            slot.1 += w.count;
+        }
+    }
+    // Candidates equivalent to an already-registered view add nothing:
+    // the catalog serves those rewritings today.
+    pool.retain(|_, (pattern, _)| !registered.iter().any(|v| equivalent(&v.pattern, pattern)));
+    let mut pool: Vec<((usize, String), (TreePattern, u64))> = pool.into_iter().collect();
+    pool.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(&b.0)));
+    pool.truncate(POOL_CAP);
+
+    // Coverage: which logged queries does the real planner rewrite once
+    // the candidate joins the catalog — and which of those were
+    // unanswerable before (marginal coverage, the candidate's actual
+    // contribution)? `plan_checked` runs the containment-mapping DP for
+    // TP plans and the TP∩ interleaving machinery for intersection
+    // plans, so coverage here means "a plan the engine would execute".
+    let baseline: HashMap<usize, bool> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let planned = !registered.is_empty()
+                && plan_checked(
+                    &w.pattern,
+                    registered,
+                    options.interleaving_limit,
+                    PlanPreference::PreferTp,
+                )
+                .is_ok();
+            (i, planned)
+        })
+        .collect();
+    struct Scored {
+        doc: usize,
+        pattern: TreePattern,
+        covered: usize,
+        weight: u64,
+        marginal: usize,
+        marginal_weight: u64,
+    }
+    let mut scored: Vec<Scored> = Vec::new();
+    for ((doc, _), (pattern, _)) in &pool {
+        let mut with_candidate = registered.to_vec();
+        with_candidate.push(View::new("advisor-probe", pattern.clone()));
+        let (mut covered, mut weight, mut marginal, mut marginal_weight) =
+            (0usize, 0u64, 0usize, 0u64);
+        for (i, w) in queries.iter().enumerate() {
+            if w.doc != *doc {
+                continue;
+            }
+            let ok = plan_checked(
+                &w.pattern,
+                &with_candidate,
+                options.interleaving_limit,
+                PlanPreference::PreferTp,
+            )
+            .is_ok();
+            if ok {
+                covered += 1;
+                weight += w.count;
+                if !baseline[&i] {
+                    marginal += 1;
+                    marginal_weight += w.count;
+                }
+            }
+        }
+        if covered > 0 {
+            scored.push(Scored {
+                doc: *doc,
+                pattern: pattern.clone(),
+                covered,
+                weight,
+                marginal,
+                marginal_weight,
+            });
+        }
+    }
+    // Rank by marginal contribution first (weight of newly-served
+    // queries), then total weight; materialize only the finalists.
+    scored.sort_by(|a, b| {
+        (b.marginal_weight, b.weight)
+            .cmp(&(a.marginal_weight, a.weight))
+            .then_with(|| a.pattern.canonical_key().cmp(&b.pattern.canonical_key()))
+    });
+    scored.truncate(options.max_candidates);
+
+    let mut candidates: Vec<CandidateReport> = Vec::new();
+    for (n, s) in scored.into_iter().enumerate() {
+        let Some(pdoc) = document(s.doc) else {
+            continue;
+        };
+        let start = Instant::now();
+        let ext = ProbExtension::materialize(&pdoc, &View::new("advisor-probe", s.pattern.clone()));
+        let build_nanos = start.elapsed().as_nanos() as u64;
+        let projected_bytes = ext.heap_bytes() as u64;
+        let score = s.marginal_weight.max(1) as f64 * build_nanos.max(1) as f64
+            / projected_bytes.max(1) as f64;
+        candidates.push(CandidateReport {
+            name: format!("adv-{n}"),
+            pattern: s.pattern,
+            doc: s.doc,
+            covered: s.covered,
+            weight: s.weight,
+            marginal: s.marginal,
+            marginal_weight: s.marginal_weight,
+            projected_bytes,
+            build_nanos,
+            score,
+            admitted: false,
+        });
+    }
+
+    // Greedy knapsack by value density: admit while the projected bytes
+    // fit, and only candidates that newly serve at least one query (or,
+    // with an empty catalog, serve anything at all).
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        candidates[b]
+            .score
+            .partial_cmp(&candidates[a].score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| candidates[a].name.cmp(&candidates[b].name))
+    });
+    let mut spent: u64 = 0;
+    let mut served: HashSet<String> = HashSet::new();
+    for i in order {
+        let c = &candidates[i];
+        let contributes = if registered.is_empty() {
+            c.covered > 0
+        } else {
+            c.marginal > 0
+        };
+        // Skip candidates whose pattern another admitted candidate
+        // already provides (same canonical key family would have been
+        // deduped; this guards equivalent-after-minimize collisions).
+        let key = c.pattern.canonical_key();
+        if !contributes || served.contains(&key) {
+            continue;
+        }
+        if spent.saturating_add(c.projected_bytes) <= options.budget {
+            spent += c.projected_bytes;
+            served.insert(key);
+            candidates[i].admitted = true;
+        }
+    }
+    candidates.sort_by(|a, b| {
+        b.admitted.cmp(&a.admitted).then(
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+    });
+    report.candidates = candidates;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxv_pxml::text::parse_pdocument;
+    use pxv_tpq::parse::parse_pattern;
+
+    fn p(s: &str) -> TreePattern {
+        parse_pattern(s).unwrap()
+    }
+
+    fn doc() -> Arc<PDocument> {
+        Arc::new(parse_pdocument("a[b[c[d]], b[c], b, mux(0.5: b[c[d]])]").unwrap())
+    }
+
+    #[test]
+    fn empty_workload_proposes_nothing() {
+        let report = advise(&[], &[], |_| Some(doc()), &AdviseOptions::default());
+        assert_eq!(report.distinct, 0);
+        assert!(report.candidates.is_empty());
+        assert_eq!(report.coverage(), 0);
+    }
+
+    #[test]
+    fn one_view_covers_a_family_of_queries() {
+        let workload = vec![
+            WorkloadQuery {
+                doc: 0,
+                pattern: p("a/b/c"),
+                count: 10,
+            },
+            WorkloadQuery {
+                doc: 0,
+                pattern: p("a/b/c[d]"),
+                count: 5,
+            },
+            WorkloadQuery {
+                doc: 0,
+                pattern: p("a/b[c]/c"),
+                count: 2,
+            },
+        ];
+        let report = advise(&workload, &[], |_| Some(doc()), &AdviseOptions::default());
+        assert!(report.coverage() >= 3, "{}", report.describe());
+        let best = report.candidates.iter().find(|c| c.admitted).unwrap();
+        assert!(best.projected_bytes > 0);
+        assert!(best.weight >= 17);
+    }
+
+    #[test]
+    fn registered_equivalents_are_not_reproposed() {
+        let workload = vec![WorkloadQuery {
+            doc: 0,
+            pattern: p("a/b/c"),
+            count: 10,
+        }];
+        let registered = vec![View::new("have", p("a/b/c"))];
+        let report = advise(
+            &workload,
+            &registered,
+            |_| Some(doc()),
+            &AdviseOptions::default(),
+        );
+        // Every remaining candidate must contribute marginally; a/b/c is
+        // already served, so nothing that only re-covers it is admitted.
+        for c in report.admitted() {
+            assert!(c.marginal > 0, "admitted {} adds nothing", c.name);
+        }
+    }
+
+    #[test]
+    fn budget_zero_admits_nothing() {
+        let workload = vec![WorkloadQuery {
+            doc: 0,
+            pattern: p("a/b/c"),
+            count: 10,
+        }];
+        let options = AdviseOptions {
+            budget: 0,
+            ..AdviseOptions::default()
+        };
+        let report = advise(&workload, &[], |_| Some(doc()), &options);
+        assert_eq!(report.admitted().count(), 0);
+        assert!(!report.candidates.is_empty(), "still scored, just skipped");
+    }
+
+    #[test]
+    fn min_count_filters_cold_queries() {
+        let workload = vec![
+            WorkloadQuery {
+                doc: 0,
+                pattern: p("a/b/c"),
+                count: 10,
+            },
+            WorkloadQuery {
+                doc: 0,
+                pattern: p("a/b"),
+                count: 1,
+            },
+        ];
+        let options = AdviseOptions {
+            min_count: 2,
+            ..AdviseOptions::default()
+        };
+        let report = advise(&workload, &[], |_| Some(doc()), &options);
+        assert_eq!(report.distinct, 1);
+        assert_eq!(report.logged, 10);
+    }
+}

@@ -1,7 +1,9 @@
 //! The experiment harness: regenerates every figure/example of the paper
 //! (E1–E12) and prints paper-value vs. measured-value tables, plus compact
-//! versions of the scaling experiments (B1–B12; full statistics via
-//! `cargo bench`). Output is recorded in EXPERIMENTS.md.
+//! versions of the scaling experiments (B1–B13; full statistics via
+//! `cargo bench`). Output is recorded in EXPERIMENTS.md; sections B8–B13
+//! also drop machine-readable `BENCH_<section>.json` files in the
+//! working directory.
 //!
 //! ```sh
 //! cargo run --release -p pxv-bench --bin harness            # all
@@ -418,8 +420,52 @@ fn fmt_ms(d: std::time::Duration) -> String {
     format!("{:.3}ms", d.as_secs_f64() * 1e3)
 }
 
+/// Minimal JSON emitter for the per-section `BENCH_<section>.json`
+/// artifacts (std-only; metrics keep insertion order). Machine-readable
+/// counterpart of the printed tables, so CI and trend tooling can diff
+/// runs without scraping stdout.
+struct Json {
+    section: &'static str,
+    rows: Vec<(String, String)>,
+}
+
+impl Json {
+    fn new(section: &'static str) -> Json {
+        Json {
+            section,
+            rows: Vec::new(),
+        }
+    }
+
+    fn num(&mut self, key: impl Into<String>, v: f64) {
+        self.rows.push((key.into(), format!("{v:.6}")));
+    }
+
+    fn int(&mut self, key: impl Into<String>, v: u64) {
+        self.rows.push((key.into(), v.to_string()));
+    }
+
+    fn write(self) {
+        let body: Vec<String> = self
+            .rows
+            .iter()
+            .map(|(k, v)| format!("    \"{k}\": {v}"))
+            .collect();
+        let text = format!(
+            "{{\n  \"section\": \"{}\",\n  \"metrics\": {{\n{}\n  }}\n}}\n",
+            self.section,
+            body.join(",\n")
+        );
+        let path = format!("BENCH_{}.json", self.section);
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("  wrote {path}"),
+            Err(e) => println!("  (skipping {path}: {e})"),
+        }
+    }
+}
+
 fn b_compact() {
-    println!("\n== B1–B12 compact scaling runs (full statistics: cargo bench) ==");
+    println!("\n== B1–B13 compact scaling runs (full statistics: cargo bench) ==");
 
     // B1: c-independence PTime shape.
     println!("\n[B1] c-independence test vs pattern size (Prop. 2):");
@@ -573,28 +619,40 @@ fn b_compact() {
     // B8: engine catalog amortization (cold vs warm; full statistics in
     // benches/engine_cache.rs).
     println!("\n[B8] engine cold vs warm catalog (memoized extensions):");
-    for persons in [50usize, 200, 800] {
-        use prxview::engine::Engine;
-        let (pdoc, _) = personnel(persons, 3, 9);
-        let q = qbon();
-        let mut engine = Engine::new();
-        let doc = engine.add_document("p", pdoc).unwrap();
-        engine.register_view(v2bon()).unwrap();
-        let t0 = Instant::now();
-        let cold = engine.answer(doc, &q).expect("plan");
-        let t_cold = t0.elapsed();
-        let t1 = Instant::now();
-        let warm = engine.answer(doc, &q).expect("plan");
-        let t_warm = t1.elapsed();
-        assert_eq!(warm.stats.materializations, 0);
-        assert_eq!(warm.nodes, cold.nodes);
-        println!(
-            "  persons={persons:4}: cold {:>12} ({} materialized)  warm {:>12}  ({:.1}× faster)",
-            fmt_ms(t_cold),
-            cold.stats.materializations,
-            fmt_ms(t_warm),
-            t_cold.as_secs_f64() / t_warm.as_secs_f64()
-        );
+    {
+        let mut json = Json::new("B8");
+        for persons in [50usize, 200, 800] {
+            use prxview::engine::Engine;
+            let (pdoc, _) = personnel(persons, 3, 9);
+            let q = qbon();
+            let mut engine = Engine::new();
+            let doc = engine.add_document("p", pdoc).unwrap();
+            engine.register_view(v2bon()).unwrap();
+            let t0 = Instant::now();
+            let cold = engine.answer(doc, &q).expect("plan");
+            let t_cold = t0.elapsed();
+            let t1 = Instant::now();
+            let warm = engine.answer(doc, &q).expect("plan");
+            let t_warm = t1.elapsed();
+            assert_eq!(warm.stats.materializations, 0);
+            assert_eq!(warm.nodes, cold.nodes);
+            println!(
+                "  persons={persons:4}: cold {:>12} ({} materialized)  warm {:>12}  ({:.1}× faster)",
+                fmt_ms(t_cold),
+                cold.stats.materializations,
+                fmt_ms(t_warm),
+                t_cold.as_secs_f64() / t_warm.as_secs_f64()
+            );
+            json.num(
+                format!("persons={persons}.cold_ms"),
+                t_cold.as_secs_f64() * 1e3,
+            );
+            json.num(
+                format!("persons={persons}.warm_ms"),
+                t_warm.as_secs_f64() * 1e3,
+            );
+        }
+        json.write();
     }
 
     // B9: concurrent batch throughput over a warm sharded catalog
@@ -612,6 +670,7 @@ fn b_compact() {
         let batch: Vec<_> = batch_queries(64).into_iter().map(|q| (doc, q)).collect();
         let baseline = engine.answer_batch_with(&batch, engine.options(), 1);
         let warm_mats = engine.stats().materializations;
+        let mut json = Json::new("B9");
         for threads in [1usize, 2, 4, 8] {
             let t0 = Instant::now();
             let results = engine.answer_batch_with(&batch, engine.options(), threads);
@@ -633,7 +692,12 @@ fn b_compact() {
                 fmt_ms(dt),
                 batch.len() as f64 / dt.as_secs_f64()
             );
+            json.num(
+                format!("threads={threads}.qps"),
+                batch.len() as f64 / dt.as_secs_f64(),
+            );
         }
+        json.write();
     }
 
     // B10: the TCP serving layer (tentpole of the prxd PR). A warm
@@ -671,6 +735,7 @@ fn b_compact() {
         let addr = handle.addr();
         const TOTAL_REQUESTS: usize = 200;
         let mut single_qps = 0.0;
+        let mut json = Json::new("B10");
         for conns in [1usize, 2, 4, 8] {
             let per_conn = TOTAL_REQUESTS / conns;
             let t0 = Instant::now();
@@ -703,6 +768,7 @@ fn b_compact() {
                 qps,
                 qps / single_qps
             );
+            json.num(format!("connections={conns}.qps"), qps);
         }
         let stats = handle.stats();
         println!(
@@ -710,6 +776,10 @@ fn b_compact() {
             stats.requests, stats.errors, stats.p50_us, stats.p99_us
         );
         assert_eq!(stats.errors, 0, "B10 burst must be protocol-error free");
+        json.int("requests", stats.requests);
+        json.int("p50_us", stats.p50_us);
+        json.int("p99_us", stats.p99_us);
+        json.write();
         handle.shutdown();
     }
 
@@ -724,6 +794,7 @@ fn b_compact() {
         use prxview::engine::Engine;
         use pxv_pxml::text::parse_pdocument;
         let q = qbon();
+        let mut json = Json::new("B11");
         for persons in [50usize, 200, 800] {
             let (pdoc, _) = personnel(persons, 3, 9);
             let text = pdoc.to_string();
@@ -767,7 +838,17 @@ fn b_compact() {
                 fmt_ms(t_first),
                 t_cold.as_secs_f64() / (t_restore + t_first).as_secs_f64()
             );
+            json.num(
+                format!("persons={persons}.cold_ms"),
+                t_cold.as_secs_f64() * 1e3,
+            );
+            json.num(
+                format!("persons={persons}.restore_ms"),
+                (t_restore + t_first).as_secs_f64() * 1e3,
+            );
+            json.int(format!("persons={persons}.snapshot_bytes"), bytes);
         }
+        json.write();
     }
 
     // B12: incremental view-extension maintenance (tentpole of the
@@ -784,6 +865,7 @@ fn b_compact() {
         use pxv_pxml::edit::Edit;
         use pxv_pxml::PKind;
         let q = qbon();
+        let mut json = Json::new("B12");
         for persons in [50usize, 200, 800] {
             let (pdoc, _) = personnel(persons, 3, 9);
             // A mux-weighted edge deep inside one person subtree.
@@ -853,7 +935,174 @@ fn b_compact() {
                 fmt_ms(t_incr),
                 fmt_ms(t_full),
             );
+            json.num(
+                format!("persons={persons}.maintain_ms"),
+                t_maint.as_secs_f64() * 1e3,
+            );
+            json.num(
+                format!("persons={persons}.rematerialize_ms"),
+                t_remat.as_secs_f64() * 1e3,
+            );
         }
+        json.write();
+    }
+
+    // B13: the byte-budgeted extension cache + workload advisor
+    // (tentpole of the pxv-advisor PR). A zipf-skewed document mix runs
+    // against two engines: one unbounded, one capped at 50% of the
+    // unbounded footprint. Score-driven eviction must keep the hot set
+    // resident, every budgeted answer must stay bit-identical to the
+    // unbounded engine's, the byte gauge must respect the budget at
+    // every quiesced checkpoint, and the budgeted pass must stay within
+    // 2× of unbounded throughput. The advisor then mines the budgeted
+    // engine's own query log.
+    println!("\n[B13] byte-budgeted cache at 50% footprint (zipf mix) + advisor:");
+    {
+        use prxview::engine::{AdviseOptions, Engine};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let q = qbon();
+        let n_docs = 8usize;
+        let build = || {
+            let mut engine = Engine::new();
+            let docs: Vec<_> = (0..n_docs)
+                .map(|i| {
+                    let (pdoc, _) = personnel(60, 3, 9);
+                    engine.add_document(format!("p{i}"), pdoc).unwrap()
+                })
+                .collect();
+            engine.register_views([v1bon(), v2bon()]).unwrap();
+            (engine, docs)
+        };
+        // Unbounded baseline: fully warm, measure the footprint.
+        let (unbounded, docs) = build();
+        for &d in &docs {
+            unbounded.warm(d).unwrap();
+        }
+        let unbounded_bytes = unbounded.cache_bytes();
+        let expected: Vec<_> = docs
+            .iter()
+            .map(|&d| unbounded.answer(d, &q).unwrap().nodes)
+            .collect();
+        // Zipf-skewed document trace (weight ∝ 1/rank³, fixed seed): the
+        // head documents dominate, the tail is visited rarely — the
+        // access pattern a demand-driven cache exists for.
+        let weights: Vec<f64> = (0..n_docs)
+            .map(|i| 1.0 / ((i + 1) as f64).powi(3))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut rng = StdRng::seed_from_u64(13);
+        let trace: Vec<usize> = (0..400)
+            .map(|_| {
+                let mut x = rng.gen::<f64>() * total;
+                for (i, w) in weights.iter().enumerate() {
+                    if x < *w {
+                        return i;
+                    }
+                    x -= w;
+                }
+                n_docs - 1
+            })
+            .collect();
+        // Budgeted engine: warm, then cap at 50% (evicts down), then one
+        // adaptation pass so residency reflects demand, then the timed
+        // pass on both engines.
+        let (budgeted, bdocs) = build();
+        for &d in &bdocs {
+            budgeted.warm(d).unwrap();
+        }
+        let budget = unbounded_bytes / 2;
+        budgeted.set_cache_budget(budget);
+        assert!(
+            budgeted.cache_bytes() <= budget,
+            "gauge over budget after set_cache_budget"
+        );
+        for &i in &trace {
+            let a = budgeted.answer(bdocs[i], &q).unwrap();
+            assert_eq!(
+                a.nodes, expected[i],
+                "budgeted answers must be bit-identical"
+            );
+        }
+        assert!(
+            budgeted.cache_bytes() <= budget,
+            "gauge over budget after adaptation pass"
+        );
+        let t0 = Instant::now();
+        for &i in &trace {
+            let a = unbounded.answer(docs[i], &q).unwrap();
+            assert_eq!(a.nodes, expected[i]);
+        }
+        let t_unbounded = t0.elapsed();
+        let t1 = Instant::now();
+        for &i in &trace {
+            let a = budgeted.answer(bdocs[i], &q).unwrap();
+            assert_eq!(
+                a.nodes, expected[i],
+                "budgeted answers must be bit-identical"
+            );
+        }
+        let t_budgeted = t1.elapsed();
+        let stats = budgeted.stats();
+        assert!(
+            stats.cache_bytes <= budget,
+            "quiesced gauge {} exceeds budget {budget}",
+            stats.cache_bytes
+        );
+        assert!(stats.evictions > 0, "a 50% budget must actually evict");
+        let ratio = t_budgeted.as_secs_f64() / t_unbounded.as_secs_f64();
+        println!(
+            "  footprint: unbounded {unbounded_bytes} B, budget {budget} B, resident {} B",
+            stats.cache_bytes
+        );
+        println!(
+            "  trace ({} queries): unbounded {:>12} ({:>8.0} q/s)  budgeted {:>12} ({:>8.0} q/s)  ratio {ratio:.2}×",
+            trace.len(),
+            fmt_ms(t_unbounded),
+            trace.len() as f64 / t_unbounded.as_secs_f64(),
+            fmt_ms(t_budgeted),
+            trace.len() as f64 / t_budgeted.as_secs_f64(),
+        );
+        println!(
+            "  evictions={} admission_rejects={} (hot set stays resident)",
+            stats.evictions, stats.admission_rejects
+        );
+        assert!(
+            ratio <= 2.0,
+            "budgeted throughput ratio {ratio:.2} exceeds 2x"
+        );
+        // The budgeted engine logged the trace it just served; the
+        // advisor mines that log (coverage > 0: the registered views
+        // already answer qBON, and candidates are scored against the
+        // remaining headroom).
+        let report = budgeted.advise(&AdviseOptions::default());
+        println!(
+            "  advisor: {} logged, {} distinct, {} candidate(s), coverage {}",
+            report.logged,
+            report.distinct,
+            report.candidates.len(),
+            report.coverage()
+        );
+        assert!(report.logged >= trace.len() as u64, "trace was logged");
+        let mut json = Json::new("B13");
+        json.int("unbounded_bytes", unbounded_bytes);
+        json.int("budget_bytes", budget);
+        json.int("resident_bytes", stats.cache_bytes);
+        json.int("evictions", stats.evictions);
+        json.int("admission_rejects", stats.admission_rejects);
+        json.num(
+            "qps_unbounded",
+            trace.len() as f64 / t_unbounded.as_secs_f64(),
+        );
+        json.num(
+            "qps_budgeted",
+            trace.len() as f64 / t_budgeted.as_secs_f64(),
+        );
+        json.num("throughput_ratio", ratio);
+        json.int("advisor_logged", report.logged);
+        json.int("advisor_distinct", report.distinct as u64);
+        json.int("advisor_coverage", report.coverage() as u64);
+        json.write();
     }
 }
 

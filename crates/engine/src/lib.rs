@@ -112,11 +112,15 @@ use pxv_rewrite::view::ProbExtension;
 pub use pxv_pxml::{Edit, EditEffect, EditError};
 pub use pxv_rewrite::{DeltaOutcome, View};
 use pxv_tpq::TreePattern;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
+// Re-exported so callers can drive [`Engine::advise`] without depending
+// on `pxv-advisor` directly.
+pub use pxv_advisor::{AdviseOptions, AdvisorReport, CandidateReport, WorkloadQuery};
 pub use pxv_rewrite::answer::{Plan, PlanError, PlanPreference, DEFAULT_INTERLEAVING_LIMIT};
 pub use pxv_store::{ExtensionEntry, Snapshot, StoreError};
 
@@ -343,6 +347,16 @@ pub struct EngineStats {
     /// Maintenance steps that fell back to full rematerialization (the
     /// edit touched a region the view could not localize).
     pub delta_fallbacks: u64,
+    /// Current bytes held by the extension cache (a gauge, not a
+    /// monotone counter: sampled from the catalog at snapshot time).
+    pub cache_bytes: u64,
+    /// Extensions evicted by byte-budget enforcement (invalidations and
+    /// update-path replacements are counted separately).
+    pub evictions: u64,
+    /// Freshly materialized extensions the budget refused to admit (the
+    /// querying thread still got its answer from the private handle; the
+    /// extension just never entered the shared cache).
+    pub admission_rejects: u64,
 }
 
 /// Per-document cache counters. Unlike [`EngineStats`] these describe the
@@ -391,6 +405,11 @@ impl AtomicEngineStats {
             edits_applied: self.edits_applied.load(Ordering::Relaxed),
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             delta_fallbacks: self.delta_fallbacks.load(Ordering::Relaxed),
+            // Budget counters live in the catalog; Engine::stats() fills
+            // them in after taking this snapshot.
+            cache_bytes: 0,
+            evictions: 0,
+            admission_rejects: 0,
         }
     }
 
@@ -439,8 +458,86 @@ impl AtomicDocStats {
 /// immutable extension handed to plan execution.
 type ExtensionSlot = Arc<OnceLock<Arc<ProbExtension>>>;
 
+/// Byte-accounting state of one slot (see [`SlotMeta::acct`]): the
+/// materialization has not charged the gauge yet.
+const ACCT_PENDING: u8 = 0;
+/// The slot's bytes are counted in [`Catalog::cache_bytes`].
+const ACCT_CHARGED: u8 = 1;
+/// The slot left the cache (evicted, invalidated, replaced, or rejected);
+/// its bytes are not (or no longer) counted.
+const ACCT_RETIRED: u8 = 2;
+
+/// Cost/benefit bookkeeping of one cache slot. `bytes` and
+/// `rebuild_nanos` are written once when the materialization completes;
+/// `hits` counts every read served from the completed slot (the benefit
+/// side of the eviction score); `acct` is a tiny state machine that makes
+/// the byte gauge exact under races between a completing materialization
+/// and a concurrent eviction/invalidation of the same key — exactly one
+/// side wins the `PENDING → {CHARGED, RETIRED}` transition, so bytes are
+/// never double-charged or double-released.
+#[derive(Debug, Default)]
+struct SlotMeta {
+    bytes: AtomicU64,
+    rebuild_nanos: AtomicU64,
+    hits: AtomicU64,
+    acct: AtomicU8,
+}
+
+impl SlotMeta {
+    /// The eviction score: benefit (hits so far, plus one so a fresh
+    /// entry is not instantly worthless) times cost (observed rebuild
+    /// time) per byte held. Higher is more worth keeping.
+    fn score(&self) -> f64 {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let nanos = self.rebuild_nanos.load(Ordering::Relaxed).max(1);
+        let bytes = self.bytes.load(Ordering::Relaxed).max(1);
+        (hits + 1) as f64 * nanos as f64 / bytes as f64
+    }
+}
+
+/// Map value of the sharded cache: the single-flight slot plus its
+/// cost/benefit metadata.
+#[derive(Clone, Debug, Default)]
+struct CacheEntry {
+    slot: ExtensionSlot,
+    meta: Arc<SlotMeta>,
+}
+
+/// One entry of the catalog's eviction log: which `(document, view)`
+/// extension was dropped by budget enforcement and the score components
+/// that condemned it.
+#[derive(Clone, Debug)]
+pub struct EvictionRecord {
+    /// Document index of the evicted extension.
+    pub doc: usize,
+    /// View index of the evicted extension.
+    pub view: usize,
+    /// Heap bytes the eviction released.
+    pub bytes: u64,
+    /// Cache hits the entry had served.
+    pub hits: u64,
+    /// Observed cost of the entry's materialization, in nanoseconds.
+    pub rebuild_nanos: u64,
+    /// The cost/benefit score at eviction time (lowest in cache).
+    pub score: f64,
+    /// True when the victim was the entry whose own admission triggered
+    /// enforcement — an admission reject rather than an eviction.
+    pub admission_reject: bool,
+}
+
+/// Bound on the in-memory eviction log (oldest records are dropped).
+pub const EVICTION_LOG_CAPACITY: usize = 256;
+
 /// A named set of views plus the memoized extensions materialized from
 /// them, keyed per document and sharded for concurrent access.
+///
+/// The cache is **byte-budgeted**: every completed slot is charged its
+/// [`ProbExtension::heap_bytes`] footprint against a configurable budget
+/// (default unbounded), and enforcement evicts the lowest cost/benefit
+/// score — `(hits + 1) × rebuild_nanos / bytes` — until the gauge fits.
+/// A freshly materialized extension that is itself the lowest-value slot
+/// is *rejected* instead of admitted (the querying thread keeps its
+/// private handle; the shared cache stays within budget).
 #[derive(Debug)]
 pub struct Catalog {
     views: Vec<View>,
@@ -448,7 +545,17 @@ pub struct Catalog {
     /// `(document, view) →` materialized extension, split across
     /// [`CATALOG_SHARDS`] locks by key hash so concurrent queries touching
     /// different extensions never serialize on one mutex.
-    shards: Vec<RwLock<HashMap<(usize, usize), ExtensionSlot>>>,
+    shards: Vec<RwLock<HashMap<(usize, usize), CacheEntry>>>,
+    /// Byte budget; `u64::MAX` means unbounded.
+    budget: AtomicU64,
+    /// Bytes currently charged by completed, admitted slots.
+    bytes: AtomicU64,
+    /// Budget-driven evictions (lifetime).
+    evictions: AtomicU64,
+    /// Admissions refused at materialization time (lifetime).
+    admission_rejects: AtomicU64,
+    /// Most recent eviction/rejection records, newest last.
+    eviction_log: Mutex<VecDeque<EvictionRecord>>,
 }
 
 impl Default for Catalog {
@@ -459,6 +566,11 @@ impl Default for Catalog {
             shards: (0..CATALOG_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            budget: AtomicU64::new(u64::MAX),
+            bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
+            eviction_log: Mutex::new(VecDeque::new()),
         }
     }
 }
@@ -467,7 +579,11 @@ impl Clone for Catalog {
     /// Clones the views and the *completed* cache entries (extensions are
     /// immutable, so clones share them through `Arc`); entries whose
     /// materialization is still in flight in another thread are skipped.
+    /// Budget, counters and the eviction log are copied by value; the
+    /// clone's byte gauge is recomputed from the entries it actually
+    /// kept.
     fn clone(&self) -> Catalog {
+        let mut bytes = 0u64;
         let shards = self
             .shards
             .iter()
@@ -475,8 +591,29 @@ impl Clone for Catalog {
                 let map = shard.read().expect("catalog shard poisoned");
                 RwLock::new(
                     map.iter()
-                        .filter(|(_, slot)| slot.get().is_some())
-                        .map(|(&k, slot)| (k, Arc::clone(slot)))
+                        .filter(|(_, entry)| {
+                            entry.slot.get().is_some()
+                                && entry.meta.acct.load(Ordering::Relaxed) == ACCT_CHARGED
+                        })
+                        .map(|(&k, entry)| {
+                            let b = entry.meta.bytes.load(Ordering::Relaxed);
+                            bytes += b;
+                            let meta = SlotMeta {
+                                bytes: AtomicU64::new(b),
+                                rebuild_nanos: AtomicU64::new(
+                                    entry.meta.rebuild_nanos.load(Ordering::Relaxed),
+                                ),
+                                hits: AtomicU64::new(entry.meta.hits.load(Ordering::Relaxed)),
+                                acct: AtomicU8::new(ACCT_CHARGED),
+                            };
+                            (
+                                k,
+                                CacheEntry {
+                                    slot: Arc::clone(&entry.slot),
+                                    meta: Arc::new(meta),
+                                },
+                            )
+                        })
                         .collect(),
                 )
             })
@@ -485,6 +622,16 @@ impl Clone for Catalog {
             views: self.views.clone(),
             by_name: self.by_name.clone(),
             shards,
+            budget: AtomicU64::new(self.budget.load(Ordering::Relaxed)),
+            bytes: AtomicU64::new(bytes),
+            evictions: AtomicU64::new(self.evictions.load(Ordering::Relaxed)),
+            admission_rejects: AtomicU64::new(self.admission_rejects.load(Ordering::Relaxed)),
+            eviction_log: Mutex::new(
+                self.eviction_log
+                    .lock()
+                    .expect("eviction log poisoned")
+                    .clone(),
+            ),
         }
     }
 }
@@ -548,10 +695,156 @@ impl Catalog {
                     .read()
                     .expect("catalog shard poisoned")
                     .iter()
-                    .filter(|(&(d, _), slot)| d == doc.0 && slot.get().is_some())
+                    .filter(|(&(d, _), entry)| d == doc.0 && entry.slot.get().is_some())
                     .count()
             })
             .sum()
+    }
+
+    /// The configured byte budget (`u64::MAX` = unbounded).
+    pub fn budget(&self) -> u64 {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Sets the byte budget and immediately enforces it (shrinking the
+    /// budget under a warm cache evicts the lowest-score extensions until
+    /// the gauge fits).
+    pub fn set_budget(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::Relaxed);
+        self.enforce_budget(None);
+    }
+
+    /// Bytes currently held by completed, admitted extensions.
+    pub fn cache_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of budget-driven evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of refused admissions.
+    pub fn admission_rejects(&self) -> u64 {
+        self.admission_rejects.load(Ordering::Relaxed)
+    }
+
+    /// The most recent eviction/rejection records, oldest first (bounded
+    /// by [`EVICTION_LOG_CAPACITY`]).
+    pub fn eviction_log(&self) -> Vec<EvictionRecord> {
+        self.eviction_log
+            .lock()
+            .expect("eviction log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Releases an entry's byte charge exactly once (the
+    /// `PENDING/CHARGED → RETIRED` transition). Returns the bytes
+    /// released, 0 when the entry was never charged (still in flight, or
+    /// already retired by a racing remover).
+    fn retire(&self, entry: &CacheEntry) -> u64 {
+        if entry
+            .meta
+            .acct
+            .compare_exchange(
+                ACCT_CHARGED,
+                ACCT_RETIRED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            let released = entry.meta.bytes.load(Ordering::Relaxed);
+            self.bytes.fetch_sub(released, Ordering::Relaxed);
+            released
+        } else {
+            // PENDING → RETIRED: the materializer, when it completes,
+            // will lose its own compare-exchange and skip the charge.
+            entry.meta.acct.store(ACCT_RETIRED, Ordering::Release);
+            0
+        }
+    }
+
+    /// Appends to the bounded eviction log.
+    fn log_eviction(&self, record: EvictionRecord) {
+        let mut log = self.eviction_log.lock().expect("eviction log poisoned");
+        if log.len() == EVICTION_LOG_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(record);
+    }
+
+    /// Evicts lowest-score entries until the byte gauge fits the budget.
+    /// `newest` marks the entry whose admission triggered enforcement: if
+    /// it is chosen as a victim its removal counts as an *admission
+    /// reject* rather than an eviction. Victim selection is a racy scan
+    /// (shard read locks only); the removal re-checks identity under the
+    /// shard write lock, so a concurrently replaced slot is never
+    /// mis-evicted.
+    fn enforce_budget(&self, newest: Option<(usize, usize)>) {
+        loop {
+            let budget = self.budget.load(Ordering::Relaxed);
+            if self.bytes.load(Ordering::Relaxed) <= budget {
+                return;
+            }
+            // Lowest score loses; ties break on the larger key so the
+            // scan is deterministic under equal scores.
+            let mut victim: Option<((usize, usize), f64)> = None;
+            for shard in &self.shards {
+                let map = shard.read().expect("catalog shard poisoned");
+                for (&k, entry) in map.iter() {
+                    if entry.meta.acct.load(Ordering::Relaxed) != ACCT_CHARGED {
+                        continue;
+                    }
+                    let s = entry.meta.score();
+                    let beats = match victim {
+                        None => true,
+                        Some((bk, bs)) => s < bs || (s == bs && k > bk),
+                    };
+                    if beats {
+                        victim = Some((k, s));
+                    }
+                }
+            }
+            let Some((key, score)) = victim else {
+                // Nothing evictable (all charged entries raced away);
+                // give up rather than spin.
+                return;
+            };
+            let removed = {
+                let mut map = self.shards[shard_index(key)]
+                    .write()
+                    .expect("catalog shard poisoned");
+                match map.get(&key) {
+                    Some(entry) if entry.meta.acct.load(Ordering::Relaxed) == ACCT_CHARGED => {
+                        map.remove(&key)
+                    }
+                    _ => None, // replaced or already gone; rescan
+                }
+            };
+            if let Some(entry) = removed {
+                let released = self.retire(&entry);
+                if released > 0 {
+                    let admission_reject = newest == Some(key);
+                    if admission_reject {
+                        self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.log_eviction(EvictionRecord {
+                        doc: key.0,
+                        view: key.1,
+                        bytes: released,
+                        hits: entry.meta.hits.load(Ordering::Relaxed),
+                        rebuild_nanos: entry.meta.rebuild_nanos.load(Ordering::Relaxed),
+                        score,
+                        admission_reject,
+                    });
+                }
+            }
+        }
     }
 
     /// Drops every cached extension of `doc` (call after replacing the
@@ -561,73 +854,127 @@ impl Catalog {
     pub fn invalidate(&self, doc: DocId) -> usize {
         let mut evicted = 0;
         for shard in &self.shards {
-            let mut map = shard.write().expect("catalog shard poisoned");
-            map.retain(|&(d, _), slot| {
-                if d == doc.0 {
-                    if slot.get().is_some() {
-                        evicted += 1;
+            let mut removed = Vec::new();
+            {
+                let mut map = shard.write().expect("catalog shard poisoned");
+                map.retain(|&(d, _), entry| {
+                    if d == doc.0 {
+                        if entry.slot.get().is_some() {
+                            evicted += 1;
+                        }
+                        removed.push(entry.clone());
+                        false
+                    } else {
+                        true
                     }
-                    false
-                } else {
-                    true
-                }
-            });
+                });
+            }
+            for entry in removed {
+                self.retire(&entry);
+            }
         }
         evicted
     }
 
     /// Every *completed* cache entry as `(doc index, view index,
-    /// extension)`, sorted by key — the extension cache as a snapshot
-    /// sees it (in-flight materializations are skipped, exactly like
-    /// [`Catalog::clone`] skips them).
-    fn completed_entries(&self) -> Vec<(usize, usize, Arc<ProbExtension>)> {
-        let mut out: Vec<(usize, usize, Arc<ProbExtension>)> = self
+    /// extension, hits, rebuild nanos)`, sorted by key — the extension
+    /// cache as a snapshot sees it (in-flight materializations are
+    /// skipped, exactly like [`Catalog::clone`] skips them). The score
+    /// components ride along so snapshots preserve the learned
+    /// cost/benefit state.
+    #[allow(clippy::type_complexity)]
+    fn completed_entries(&self) -> Vec<(usize, usize, Arc<ProbExtension>, u64, u64)> {
+        let mut out: Vec<(usize, usize, Arc<ProbExtension>, u64, u64)> = self
             .shards
             .iter()
             .flat_map(|shard| {
                 let map = shard.read().expect("catalog shard poisoned");
                 map.iter()
-                    .filter_map(|(&(d, v), slot)| slot.get().map(|ext| (d, v, Arc::clone(ext))))
+                    .filter_map(|(&(d, v), entry)| {
+                        entry.slot.get().map(|ext| {
+                            (
+                                d,
+                                v,
+                                Arc::clone(ext),
+                                entry.meta.hits.load(Ordering::Relaxed),
+                                entry.meta.rebuild_nanos.load(Ordering::Relaxed),
+                            )
+                        })
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();
-        out.sort_by_key(|&(d, v, _)| (d, v));
+        out.sort_by_key(|&(d, v, ..)| (d, v));
         out
     }
 
     /// Installs an already-materialized extension as a completed cache
     /// entry, replacing whatever the slot held (snapshot restore, and the
-    /// commit step of [`Engine::apply_edits`]). The caller guarantees the
-    /// indices are in range.
-    fn install_entry(&self, doc: usize, view: usize, ext: Arc<ProbExtension>) {
+    /// commit step of [`Engine::apply_edits`]). The entry is charged its
+    /// measured footprint immediately; `rebuild_nanos`/`hits` seed the
+    /// eviction score (carried over from the replaced generation or a
+    /// snapshot). The caller guarantees the indices are in range and runs
+    /// budget enforcement after its batch of installs.
+    fn install_entry(
+        &self,
+        doc: usize,
+        view: usize,
+        ext: Arc<ProbExtension>,
+        rebuild_nanos: u64,
+        hits: u64,
+    ) {
         let key = (doc, view);
         let slot: ExtensionSlot = Arc::new(OnceLock::new());
+        let bytes = ext.heap_bytes() as u64;
         slot.set(ext).expect("fresh OnceLock");
-        self.shards[shard_index(key)]
+        let entry = CacheEntry {
+            slot,
+            meta: Arc::new(SlotMeta {
+                bytes: AtomicU64::new(bytes),
+                rebuild_nanos: AtomicU64::new(rebuild_nanos),
+                hits: AtomicU64::new(hits),
+                acct: AtomicU8::new(ACCT_CHARGED),
+            }),
+        };
+        let replaced = self.shards[shard_index(key)]
             .write()
             .expect("catalog shard poisoned")
-            .insert(key, slot);
+            .insert(key, entry);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(old) = replaced {
+            self.retire(&old);
+        }
     }
 
     /// Every *completed* cached extension of `doc` as `(view index,
-    /// extension)`, sorted by view index — the set the update path
-    /// maintains across an edit. In-flight materializations are skipped;
-    /// they belong to the pre-edit document, and the update's commit
-    /// step evicts their slots so they finish orphaned (private to the
-    /// query that started them) instead of publishing stale state.
-    fn completed_for(&self, doc: usize) -> Vec<(usize, Arc<ProbExtension>)> {
-        let mut out: Vec<(usize, Arc<ProbExtension>)> = self
+    /// extension, hits, rebuild nanos)`, sorted by view index — the set
+    /// the update path maintains across an edit. In-flight
+    /// materializations are skipped; they belong to the pre-edit
+    /// document, and the update's commit step evicts their slots so they
+    /// finish orphaned (private to the query that started them) instead
+    /// of publishing stale state.
+    fn completed_for(&self, doc: usize) -> Vec<(usize, Arc<ProbExtension>, u64, u64)> {
+        let mut out: Vec<(usize, Arc<ProbExtension>, u64, u64)> = self
             .shards
             .iter()
             .flat_map(|shard| {
                 let map = shard.read().expect("catalog shard poisoned");
                 map.iter()
                     .filter(|(&(d, _), _)| d == doc)
-                    .filter_map(|(&(_, v), slot)| slot.get().map(|ext| (v, Arc::clone(ext))))
+                    .filter_map(|(&(_, v), entry)| {
+                        entry.slot.get().map(|ext| {
+                            (
+                                v,
+                                Arc::clone(ext),
+                                entry.meta.hits.load(Ordering::Relaxed),
+                                entry.meta.rebuild_nanos.load(Ordering::Relaxed),
+                            )
+                        })
+                    })
                     .collect::<Vec<_>>()
             })
             .collect();
-        out.sort_by_key(|&(v, _)| v);
+        out.sort_by_key(|&(v, ..)| v);
         out
     }
 
@@ -642,6 +989,14 @@ impl Catalog {
     /// after an `apply_edits` commit can only ever see the post-edit
     /// document — a query still holding a pre-edit snapshot cannot
     /// publish a stale extension into the shared cache.
+    ///
+    /// A completing materialization charges its measured footprint to the
+    /// byte gauge — but only if its slot is still the one in the map
+    /// (`PENDING → CHARGED`; a concurrent invalidation retires the slot
+    /// first and wins that race instead) — and then runs budget
+    /// enforcement, which may immediately reject the new entry itself.
+    /// Either way the caller keeps the returned `Arc`: budget pressure
+    /// affects what the *shared* cache retains, never the answer.
     fn extension(
         &self,
         doc: usize,
@@ -650,23 +1005,52 @@ impl Catalog {
     ) -> (Arc<ProbExtension>, bool) {
         let key = (doc, view_idx);
         let shard = &self.shards[shard_index(key)];
-        let slot: ExtensionSlot = {
+        let entry: CacheEntry = {
             let map = shard.read().expect("catalog shard poisoned");
             map.get(&key).cloned()
         }
         .unwrap_or_else(|| {
             let mut map = shard.write().expect("catalog shard poisoned");
-            Arc::clone(map.entry(key).or_default())
+            map.entry(key).or_default().clone()
         });
         // Single-flight: get_or_init runs the closure in exactly one
         // thread; racing threads block here and share the result, so the
         // same extension is never materialized twice.
         let mut materialized = false;
-        let ext = slot.get_or_init(|| {
+        let ext = Arc::clone(entry.slot.get_or_init(|| {
             materialized = true;
-            Arc::new(ProbExtension::materialize(&fetch(), &self.views[view_idx]))
-        });
-        (Arc::clone(ext), !materialized)
+            let start = Instant::now();
+            let built = Arc::new(ProbExtension::materialize(&fetch(), &self.views[view_idx]));
+            entry
+                .meta
+                .rebuild_nanos
+                .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            built
+        }));
+        if materialized {
+            entry
+                .meta
+                .bytes
+                .store(ext.heap_bytes() as u64, Ordering::Relaxed);
+            let charged = entry
+                .meta
+                .acct
+                .compare_exchange(
+                    ACCT_PENDING,
+                    ACCT_CHARGED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok();
+            if charged {
+                self.bytes
+                    .fetch_add(entry.meta.bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+                self.enforce_budget(Some(key));
+            }
+        } else {
+            entry.meta.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (ext, !materialized)
     }
 }
 
@@ -674,7 +1058,9 @@ impl Catalog {
 /// query plus every planning knob the plan depends on. The catalog epoch
 /// is part of the key so an entry can never outlive the view set it was
 /// planned against (the cache is also cleared whenever the epoch bumps).
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// `Ord` gives LRU eviction a deterministic tie-break when two entries
+/// share a recency tick.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct PlanKey {
     query: String,
     epoch: u64,
@@ -718,16 +1104,79 @@ pub struct UpdateReport {
     pub inserted_roots: Vec<NodeId>,
 }
 
-/// Memoized planner outcomes — negative results are cached too, so a
-/// hot unanswerable query does not re-run TPIrewrite on every arrival.
-type PlanCache = RwLock<HashMap<PlanKey, Arc<Result<Plan, PlanError>>>>;
+/// One memoized planner outcome plus its recency tick (for LRU
+/// eviction). Negative results are cached too, so a hot unanswerable
+/// query does not re-run TPIrewrite on every arrival.
+#[derive(Debug)]
+struct PlanEntry {
+    plan: Arc<Result<Plan, PlanError>>,
+    last_used: AtomicU64,
+}
 
-/// Upper bound on cached plans. Keys are client-controlled (every
-/// distinct canonical query × options is one entry), so a serving
-/// deployment streaming unique queries must not grow the map without
-/// limit; at the cap the whole cache is flushed (simple, deterministic,
-/// and epoch bumps flush it anyway).
+type PlanCache = RwLock<HashMap<PlanKey, PlanEntry>>;
+
+/// Default upper bound on cached plans
+/// ([`Engine::set_plan_cache_capacity`] overrides it at runtime). Keys
+/// are client-controlled (every distinct canonical query × options is
+/// one entry), so a serving deployment streaming unique queries must not
+/// grow the map without limit; at the cap the least-recently-used
+/// entries are evicted — at least an eighth of the cache at a time, so a
+/// full cache is not rescanned on every subsequent miss.
 pub const PLAN_CACHE_CAPACITY: usize = 4096;
+
+/// Upper bound on distinct queries retained in the workload log that
+/// feeds [`Engine::advise`]. At the cap the least-recently-seen entry is
+/// dropped; counts of retained entries keep accumulating, so the hot
+/// tail of the workload survives indefinitely while one-off queries age
+/// out.
+pub const QUERY_LOG_CAPACITY: usize = 1024;
+
+/// One retained workload entry: the (minimized) query, how many times it
+/// was seen, and a recency tick for bounded-ring eviction.
+#[derive(Clone, Debug)]
+struct LogSlot {
+    pattern: TreePattern,
+    count: u64,
+    last_seen: u64,
+}
+
+/// The bounded query-frequency log, keyed by `(doc, canonical form)`.
+#[derive(Clone, Debug, Default)]
+struct QueryLog {
+    entries: HashMap<(usize, String), LogSlot>,
+    tick: u64,
+}
+
+impl QueryLog {
+    fn record(&mut self, doc: usize, pattern: &TreePattern, count: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let key = (doc, pattern.canonical_key());
+        if let Some(slot) = self.entries.get_mut(&key) {
+            slot.count += count;
+            slot.last_seen = tick;
+            return;
+        }
+        if self.entries.len() >= QUERY_LOG_CAPACITY {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(k, slot)| (slot.last_seen, (k.0, k.1.clone())))
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            key,
+            LogSlot {
+                pattern: pattern.clone(),
+                count,
+                last_seen: tick,
+            },
+        );
+    }
+}
 
 /// The stateful query-answering engine (see the module docs for a tour).
 ///
@@ -743,7 +1192,7 @@ pub const PLAN_CACHE_CAPACITY: usize = 4096;
 /// the post-edit extension of another; serialize updates against queries
 /// (as the `prxd` server's engine-level write lock does) when cross-view
 /// consistency matters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
     /// Per-document slots: the `Vec` only grows (under `&mut` in
     /// [`Engine::add_document`]); each slot's content is swappable under
@@ -755,7 +1204,28 @@ pub struct Engine {
     options: QueryOptions,
     stats: AtomicEngineStats,
     plan_cache: PlanCache,
+    plan_tick: AtomicU64,
+    plan_cache_capacity: AtomicUsize,
+    query_log: Mutex<QueryLog>,
     catalog_epoch: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine {
+            documents: Vec::new(),
+            doc_names: HashMap::new(),
+            doc_stats: Vec::new(),
+            catalog: Catalog::default(),
+            options: QueryOptions::default(),
+            stats: AtomicEngineStats::default(),
+            plan_cache: RwLock::new(HashMap::new()),
+            plan_tick: AtomicU64::new(0),
+            plan_cache_capacity: AtomicUsize::new(PLAN_CACHE_CAPACITY),
+            query_log: Mutex::new(QueryLog::default()),
+            catalog_epoch: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Clone for Engine {
@@ -781,7 +1251,25 @@ impl Clone for Engine {
             catalog: self.catalog.clone(),
             options: self.options.clone(),
             stats: AtomicEngineStats::restore(self.stats.snapshot()),
-            plan_cache: RwLock::new(self.plan_cache.read().expect("plan cache poisoned").clone()),
+            plan_cache: RwLock::new(
+                self.plan_cache
+                    .read()
+                    .expect("plan cache poisoned")
+                    .iter()
+                    .map(|(k, e)| {
+                        (
+                            k.clone(),
+                            PlanEntry {
+                                plan: Arc::clone(&e.plan),
+                                last_used: AtomicU64::new(e.last_used.load(Ordering::Relaxed)),
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+            plan_tick: AtomicU64::new(self.plan_tick.load(Ordering::Relaxed)),
+            plan_cache_capacity: AtomicUsize::new(self.plan_cache_capacity.load(Ordering::Relaxed)),
+            query_log: Mutex::new(self.query_log.lock().expect("query log poisoned").clone()),
             catalog_epoch: AtomicU64::new(self.catalog_epoch.load(Ordering::SeqCst)),
         }
     }
@@ -958,7 +1446,7 @@ impl Engine {
         };
         report.inserted_roots = effects.iter().filter_map(|e| e.inserted_root).collect();
         let mut maintained = Vec::new();
-        for (view_idx, ext) in self.catalog.completed_for(doc.0) {
+        for (view_idx, ext, hits, rebuild_nanos) in self.catalog.completed_for(doc.0) {
             let mut cur = ext;
             for (k, edit) in edits.iter().enumerate() {
                 let (next, outcome) = cur.apply_delta(&states[k + 1], edit, &effects[k]);
@@ -968,7 +1456,7 @@ impl Engine {
                 }
                 cur = Arc::new(next);
             }
-            maintained.push((view_idx, cur));
+            maintained.push((view_idx, cur, hits, rebuild_nanos));
         }
         report.extensions_maintained = maintained.len();
         // Commit — still under the per-document write lock, so a second
@@ -982,9 +1470,16 @@ impl Engine {
         // later queries.
         *guard = states.pop().expect("seeded");
         self.catalog.invalidate(doc);
-        for (view_idx, ext) in maintained {
-            self.catalog.install_entry(doc.0, view_idx, ext);
+        for (view_idx, ext, hits, rebuild_nanos) in maintained {
+            // Maintained entries keep their learned score components: an
+            // edit changes the bytes but not the demand history.
+            self.catalog
+                .install_entry(doc.0, view_idx, ext, rebuild_nanos, hits);
         }
+        // Maintenance may have grown extensions past the budget; enforce
+        // once for the whole batch (inside the document lock, so later
+        // writers see a settled cache).
+        self.catalog.enforce_budget(None);
         self.bump_epoch();
         drop(guard);
         self.stats
@@ -1043,7 +1538,128 @@ impl Engine {
     /// Lifetime counters (a consistent-enough snapshot of the atomics;
     /// exact once concurrent queries have quiesced).
     pub fn stats(&self) -> EngineStats {
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        snapshot.cache_bytes = self.catalog.cache_bytes();
+        snapshot.evictions = self.catalog.evictions();
+        snapshot.admission_rejects = self.catalog.admission_rejects();
+        snapshot
+    }
+
+    /// Sets the extension-cache byte budget (`u64::MAX` = unbounded) and
+    /// immediately evicts down to it. Budget pressure only affects what
+    /// the shared cache *retains* — answers stay bit-identical, evicted
+    /// extensions simply rematerialize on next use.
+    pub fn set_cache_budget(&self, bytes: u64) {
+        self.catalog.set_budget(bytes);
+    }
+
+    /// The configured extension-cache byte budget (`u64::MAX` =
+    /// unbounded).
+    pub fn cache_budget(&self) -> u64 {
+        self.catalog.budget()
+    }
+
+    /// Bytes currently held by completed cached extensions.
+    pub fn cache_bytes(&self) -> u64 {
+        self.catalog.cache_bytes()
+    }
+
+    /// The most recent eviction/rejection records, oldest first.
+    pub fn eviction_log(&self) -> Vec<EvictionRecord> {
+        self.catalog.eviction_log()
+    }
+
+    /// Folds an observed query into the bounded workload log that feeds
+    /// [`Engine::advise`] — the same recording every [`Engine::answer`]
+    /// call does implicitly, exposed for replaying an offline workload
+    /// trace with explicit multiplicities.
+    pub fn record_query(&self, doc: DocId, q: &TreePattern, count: u64) -> Result<(), EngineError> {
+        if doc.0 >= self.documents.len() {
+            return Err(EngineError::UnknownDocument(doc));
+        }
+        if count > 0 {
+            self.query_log
+                .lock()
+                .expect("query log poisoned")
+                .record(doc.0, q, count);
+        }
+        Ok(())
+    }
+
+    /// The current workload log as advisor input, most-frequent first
+    /// (ties broken by document index then canonical form, so the order
+    /// is deterministic).
+    pub fn query_log(&self) -> Vec<WorkloadQuery> {
+        let log = self.query_log.lock().expect("query log poisoned");
+        let mut out: Vec<(String, WorkloadQuery)> = log
+            .entries
+            .iter()
+            .map(|((doc, key), slot)| {
+                (
+                    key.clone(),
+                    WorkloadQuery {
+                        doc: *doc,
+                        pattern: slot.pattern.clone(),
+                        count: slot.count,
+                    },
+                )
+            })
+            .collect();
+        out.sort_by(|(ka, a), (kb, b)| {
+            b.count
+                .cmp(&a.count)
+                .then(a.doc.cmp(&b.doc))
+                .then(ka.cmp(kb))
+        });
+        out.into_iter().map(|(_, q)| q).collect()
+    }
+
+    /// Empties the workload log (e.g. after acting on an
+    /// [`AdvisorReport`], so the next report reflects fresh demand).
+    pub fn clear_query_log(&self) {
+        let mut log = self.query_log.lock().expect("query log poisoned");
+        log.entries.clear();
+    }
+
+    /// Mines the workload log for candidate views and scores them
+    /// against the byte budget (see `pxv-advisor`). When
+    /// `options.budget` is unbounded but the engine's cache budget is
+    /// not, the advisor is handed the budget headroom left by the
+    /// current cache, so proposals fit alongside what is already
+    /// resident. Read-only: nothing is registered — pair with
+    /// [`Engine::advise_and_register`] to act on the report.
+    pub fn advise(&self, options: &AdviseOptions) -> AdvisorReport {
+        let mut options = options.clone();
+        if options.budget == u64::MAX && self.catalog.budget() != u64::MAX {
+            options.budget = self
+                .catalog
+                .budget()
+                .saturating_sub(self.catalog.cache_bytes());
+        }
+        pxv_advisor::advise(
+            &self.query_log(),
+            &self.catalog.views,
+            |doc| self.document(DocId(doc)).ok(),
+            &options,
+        )
+    }
+
+    /// Runs [`Engine::advise`] and registers every admitted candidate as
+    /// a real view (bumping the catalog epoch once if anything was
+    /// registered). Returns the report alongside the new [`ViewId`]s, in
+    /// the report's admitted order.
+    pub fn advise_and_register(
+        &mut self,
+        options: &AdviseOptions,
+    ) -> Result<(AdvisorReport, Vec<ViewId>), EngineError> {
+        let report = self.advise(options);
+        let mut ids = Vec::new();
+        for candidate in report.admitted() {
+            ids.push(
+                self.register_view(View::new(candidate.name.clone(), candidate.pattern.clone()))?,
+            );
+        }
+        Ok((report, ids))
     }
 
     /// Current-generation cache counters for one document (reset by
@@ -1075,15 +1691,16 @@ impl Engine {
     /// outcome per key.
     fn cached_plan(&self, q: &TreePattern, options: &QueryOptions) -> Arc<Result<Plan, PlanError>> {
         let key = PlanKey::new(q, self.catalog_epoch(), options);
-        if let Some(hit) = self
-            .plan_cache
-            .read()
-            .expect("plan cache poisoned")
-            .get(&key)
-            .cloned()
         {
-            self.stats.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            let map = self.plan_cache.read().expect("plan cache poisoned");
+            if let Some(entry) = map.get(&key) {
+                entry.last_used.store(
+                    self.plan_tick.fetch_add(1, Ordering::Relaxed) + 1,
+                    Ordering::Relaxed,
+                );
+                self.stats.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&entry.plan);
+            }
         }
         self.stats.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
         let planned = Arc::new(plan_checked(
@@ -1093,10 +1710,57 @@ impl Engine {
             options.preference,
         ));
         let mut map = self.plan_cache.write().expect("plan cache poisoned");
-        if map.len() >= PLAN_CACHE_CAPACITY && !map.contains_key(&key) {
-            map.clear();
+        let cap = self.plan_cache_capacity.load(Ordering::Relaxed).max(1);
+        if map.len() >= cap && !map.contains_key(&key) {
+            // LRU-ish eviction: drop the least-recently-used entries —
+            // at least an eighth of the cache — so a stream of unique
+            // queries pays the O(n) scan once per batch, not per miss.
+            let excess = map.len() + 1 - cap;
+            let drop_n = excess.max(cap / 8).min(map.len());
+            let mut ticks: Vec<(u64, PlanKey)> = map
+                .iter()
+                .map(|(k, e)| (e.last_used.load(Ordering::Relaxed), k.clone()))
+                .collect();
+            ticks.sort();
+            for (_, victim) in ticks.into_iter().take(drop_n) {
+                map.remove(&victim);
+            }
         }
-        Arc::clone(map.entry(key).or_insert(planned))
+        let tick = self.plan_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = map.entry(key).or_insert_with(|| PlanEntry {
+            plan: planned,
+            last_used: AtomicU64::new(tick),
+        });
+        Arc::clone(&entry.plan)
+    }
+
+    /// Sets the plan-cache capacity (entries, not bytes) and immediately
+    /// evicts down to it. A capacity of 0 is treated as 1.
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.plan_cache_capacity.store(capacity, Ordering::Relaxed);
+        let mut map = self.plan_cache.write().expect("plan cache poisoned");
+        if map.len() > capacity {
+            let drop_n = map.len() - capacity;
+            let mut ticks: Vec<(u64, PlanKey)> = map
+                .iter()
+                .map(|(k, e)| (e.last_used.load(Ordering::Relaxed), k.clone()))
+                .collect();
+            ticks.sort();
+            for (_, victim) in ticks.into_iter().take(drop_n) {
+                map.remove(&victim);
+            }
+        }
+    }
+
+    /// The configured plan-cache capacity.
+    pub fn plan_cache_capacity(&self) -> usize {
+        self.plan_cache_capacity.load(Ordering::Relaxed)
+    }
+
+    /// Number of plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.read().expect("plan cache poisoned").len()
     }
 
     /// Eagerly materializes every registered view over `doc`; returns the
@@ -1133,6 +1797,13 @@ impl Engine {
         options: &QueryOptions,
     ) -> Result<Answer, EngineError> {
         self.document(doc)?;
+        // Every answered query is workload evidence for the advisor —
+        // recorded before planning so unanswerable (fallback) queries
+        // count too; those are exactly the ones a new view could cover.
+        self.query_log
+            .lock()
+            .expect("query log poisoned")
+            .record(doc.0, q, 1);
         let plan = match &*self.cached_plan(q, options) {
             Ok(plan) => plan.clone(),
             Err(e) => {
@@ -1300,10 +1971,12 @@ impl Engine {
             .catalog
             .completed_entries()
             .into_iter()
-            .map(|(doc, view, ext)| ExtensionEntry {
+            .map(|(doc, view, ext, hits, rebuild_nanos)| ExtensionEntry {
                 doc,
                 view,
                 extension: (*ext).clone(),
+                hits,
+                rebuild_nanos,
             })
             .collect();
         Snapshot {
@@ -1311,6 +1984,7 @@ impl Engine {
             views: self.catalog.views.clone(),
             extensions,
             epoch: self.catalog_epoch(),
+            budget: self.catalog.budget(),
         }
     }
 
@@ -1372,10 +2046,19 @@ impl Engine {
                     view.name, entry.doc
                 )));
             }
-            engine
-                .catalog
-                .install_entry(entry.doc, entry.view, Arc::new(entry.extension));
+            engine.catalog.install_entry(
+                entry.doc,
+                entry.view,
+                Arc::new(entry.extension),
+                entry.rebuild_nanos,
+                entry.hits,
+            );
         }
+        // Adopt the snapshot's budget last: heap accounting is
+        // deterministic (logical sizes, not allocator capacities), so a
+        // cache that fit the budget when saved still fits after restore
+        // and nothing is evicted here.
+        engine.catalog.set_budget(snapshot.budget);
         // Adopt the snapshot's epoch (registration bumped a fresh
         // counter; plan-cache entries are keyed by epoch, and the cache
         // is empty, so this is purely the generation label).

@@ -140,6 +140,28 @@ impl PDocument {
         self.nodes.len() <= 1
     }
 
+    /// Deterministic estimate of this p-document's heap footprint in
+    /// bytes: the node table plus every per-node child/probability list
+    /// and explicit distribution. Counted from logical lengths (not
+    /// allocator capacities), so two structurally equal documents report
+    /// the same footprint regardless of how they were built — which is
+    /// what makes byte-budget accounting reproducible across a
+    /// materialize/snapshot/restore cycle.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // One map slot per node: key + value + a control byte.
+        let mut bytes = size_of::<PDocument>()
+            + self.nodes.len() * (size_of::<NodeId>() + size_of::<PNode>() + 1);
+        for node in self.nodes.values() {
+            bytes += node.children.len() * size_of::<NodeId>();
+            bytes += node.probs.len() * size_of::<f64>();
+            if let PKind::Exp(dist) = &node.kind {
+                bytes += dist.len() * size_of::<(u64, f64)>();
+            }
+        }
+        bytes
+    }
+
     /// Whether `n` belongs to this p-document.
     pub fn contains(&self, n: NodeId) -> bool {
         self.nodes.contains_key(&n)

@@ -361,6 +361,24 @@ impl ProbExtension {
         self.orig_of.get(&ext_node).copied()
     }
 
+    /// Deterministic estimate of this extension's heap footprint in
+    /// bytes: the extension p-document, the result list, and both
+    /// original-id indexes. Like `PDocument::heap_bytes` it counts
+    /// logical lengths rather than allocator capacities, so a restored
+    /// (bit-identical) extension reports exactly the bytes the original
+    /// did — the figure a byte-budgeted cache charges the slot for.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<ProbExtension>() + self.pdoc.heap_bytes();
+        bytes += self.results.len() * size_of::<ViewResult>();
+        bytes += self.orig_of.len() * (2 * size_of::<NodeId>() + 1);
+        for occurrences in self.by_orig.values() {
+            bytes += size_of::<NodeId>() + 1 + occurrences.len() * size_of::<(usize, NodeId)>();
+        }
+        bytes += self.view.name.len() + self.view.pattern.len() * 16;
+        bytes
+    }
+
     /// The result subtree `P̂^{n_i}_v` as a standalone p-document
     /// (markers included).
     pub fn result_subtree(&self, i: usize) -> PDocument {

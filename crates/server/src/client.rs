@@ -4,7 +4,8 @@
 //! concurrency (that is exactly what `prxload -c N` does).
 
 use crate::protocol::{
-    options_to_tokens, parse_answer_header, parse_node_line, ProtocolError, WireAnswer,
+    options_to_tokens, parse_advice_header, parse_answer_header, parse_cand_line, parse_node_line,
+    ProtocolError, WireAdvice, WireAnswer,
 };
 use pxv_engine::QueryOptions;
 use pxv_pxml::{Edit, NodeId, PDocument};
@@ -317,6 +318,36 @@ impl Client {
             }
         }
         Ok(results)
+    }
+
+    /// Sets the server's extension-cache byte budget (admin);
+    /// `u64::MAX` means unbounded. Returns the resident `cache_bytes`
+    /// after any synchronous evictions.
+    pub fn budget(&mut self, bytes: u64) -> Result<u64, ClientError> {
+        if bytes == u64::MAX {
+            self.send("BUDGET unbounded")?;
+        } else {
+            self.send(&format!("BUDGET {bytes}"))?;
+        }
+        let tail = self.expect_ok("budget")?;
+        tail.split_whitespace()
+            .find_map(|t| t.strip_prefix("cache_bytes=")?.parse().ok())
+            .ok_or_else(|| ClientError::Unexpected(format!("OK budget {tail}")))
+    }
+
+    /// Runs the view advisor over the server's query log; with `auto`
+    /// the admitted candidates are also registered as views (admin).
+    pub fn advise(&mut self, auto: bool) -> Result<WireAdvice, ClientError> {
+        self.send(if auto { "ADVISE AUTO" } else { "ADVISE" })?;
+        let header = self.recv_ok()?;
+        let (count, mut advice) = parse_advice_header(&header).map_err(ClientError::Server)?;
+        for _ in 0..count {
+            let line = self.recv()?;
+            advice
+                .candidates
+                .push(parse_cand_line(&line).map_err(ClientError::Server)?);
+        }
+        Ok(advice)
     }
 
     /// `STATS` as a key → value map (see the protocol docs for the keys).

@@ -20,6 +20,10 @@
 //! BATCH <n>                          -> RESULTS <n>, then per line one
 //!   <doc> <tpq-text>      (n lines)     ANSWER block or ERR line
 //! STATS                              -> STATS key=value ...
+//! BUDGET <bytes|unbounded>           -> OK budget=<bytes|unbounded> cache_bytes=<n>
+//! ADVISE [AUTO]                      -> ADVICE <n> logged=. distinct=. coverage=.
+//!                                       admitted=. registered=., then n CAND lines:
+//!   CAND <name> <admitted|skipped> covered=. weight=. marginal=. bytes=. pattern=<tpq-text>
 //! INVALIDATE <doc>                   -> OK invalidated <n>
 //! UPDATE <doc> <edit-spec>           -> OK updated edits=. deltas=. fallbacks=.
 //!                                       exts=. [inserted=<id>]
@@ -56,7 +60,7 @@
 //! node ids assigned deterministically; `inserted=` reports the new
 //! root so clients can address the grafted content.
 
-use pxv_engine::{Answer, Fallback, PlanPreference, QueryOptions, QueryStats};
+use pxv_engine::{AdvisorReport, Answer, Fallback, PlanPreference, QueryOptions, QueryStats};
 use pxv_pxml::text::parse_pdocument;
 use pxv_pxml::{Edit, NodeId, PDocument};
 use pxv_tpq::parse::parse_pattern;
@@ -259,6 +263,18 @@ pub enum Request {
     Restore {
         /// Source path (server-side; may contain spaces).
         path: String,
+    },
+    /// Set the extension-cache byte budget (admin); `u64::MAX` means
+    /// unbounded.
+    Budget {
+        /// New budget in bytes.
+        bytes: u64,
+    },
+    /// Run the view advisor over the server's query log; with `auto`
+    /// the admitted candidates are also registered as views (admin).
+    Advise {
+        /// Register admitted candidates instead of only reporting them.
+        auto: bool,
     },
     /// Gracefully drain and stop the server (admin).
     Shutdown,
@@ -476,6 +492,19 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
                 path: path.to_string(),
             }),
         },
+        "BUDGET" => match rest.trim() {
+            "" => Err(ProtocolError::Usage("BUDGET <bytes|unbounded>".into())),
+            v if v.eq_ignore_ascii_case("unbounded") => Ok(Request::Budget { bytes: u64::MAX }),
+            v => v
+                .parse::<u64>()
+                .map(|bytes| Request::Budget { bytes })
+                .map_err(|_| ProtocolError::Usage("BUDGET <bytes|unbounded>".into())),
+        },
+        "ADVISE" => match rest.trim() {
+            "" => Ok(Request::Advise { auto: false }),
+            v if v.eq_ignore_ascii_case("auto") => Ok(Request::Advise { auto: true }),
+            _ => Err(ProtocolError::Usage("ADVISE [AUTO]".into())),
+        },
         "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
         "PING" if rest.is_empty() => Ok(Request::Ping),
         "QUIT" if rest.is_empty() => Ok(Request::Quit),
@@ -569,6 +598,159 @@ pub fn parse_node_line(line: &str) -> Result<(NodeId, f64), ProtocolError> {
         .ok_or_else(malformed)?;
     let p: f64 = prob.parse().map_err(|_| malformed())?;
     Ok((NodeId(id), p))
+}
+
+/// An advisor report as it crosses the wire: the header counters plus
+/// one [`WireCandidate`] per candidate line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireAdvice {
+    /// Total queries recorded in the server's log (with multiplicity).
+    pub logged: u64,
+    /// Distinct `(doc, query)` keys in the log.
+    pub distinct: u64,
+    /// Best per-candidate covered query count among admitted candidates.
+    pub coverage: u64,
+    /// Number of admitted candidates.
+    pub admitted: u64,
+    /// Views actually registered (`ADVISE AUTO` only; 0 otherwise).
+    pub registered: u64,
+    /// Per-candidate rows, admitted first (server preserves score order).
+    pub candidates: Vec<WireCandidate>,
+}
+
+/// One `CAND` line of an [`WireAdvice`] response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireCandidate {
+    /// Advisor-assigned view name.
+    pub name: String,
+    /// Whether the candidate fit the budget.
+    pub admitted: bool,
+    /// Distinct workload queries the candidate can serve at all.
+    pub covered: u64,
+    /// Total workload weight (query multiplicity) the candidate serves.
+    pub weight: u64,
+    /// Workload weight served *only* with this candidate added.
+    pub marginal: u64,
+    /// Measured extension footprint in bytes.
+    pub bytes: u64,
+    /// The candidate pattern in `pxv_tpq` display form.
+    pub pattern: String,
+}
+
+/// Serializes an [`AdvisorReport`] as an `ADVICE` header plus `CAND`
+/// lines. `registered` is the number of views `ADVISE AUTO` installed.
+pub fn write_advice<W: Write>(
+    w: &mut W,
+    report: &AdvisorReport,
+    registered: usize,
+) -> io::Result<()> {
+    writeln!(
+        w,
+        "ADVICE {} logged={} distinct={} coverage={} admitted={} registered={}",
+        report.candidates.len(),
+        report.logged,
+        report.distinct,
+        report.coverage(),
+        report.admitted().count(),
+        registered,
+    )?;
+    for c in &report.candidates {
+        // `pattern=` comes last because pattern text may contain spaces.
+        writeln!(
+            w,
+            "CAND {} {} covered={} weight={} marginal={} bytes={} pattern={}",
+            c.name,
+            if c.admitted { "admitted" } else { "skipped" },
+            c.covered,
+            c.weight,
+            c.marginal_weight,
+            c.projected_bytes,
+            c.pattern,
+        )?;
+    }
+    Ok(())
+}
+
+/// Parses an `ADVICE` header; returns the candidate-line count and the
+/// header counters (an [`WireAdvice`] with an empty candidate list).
+pub fn parse_advice_header(line: &str) -> Result<(usize, WireAdvice), ProtocolError> {
+    let malformed = |what: &str| ProtocolError::Malformed(format!("{what} in `{line}`"));
+    let rest = line
+        .strip_prefix("ADVICE ")
+        .ok_or_else(|| malformed("missing ADVICE tag"))?;
+    let mut tokens = rest.split_whitespace();
+    let count: usize = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| malformed("bad candidate count"))?;
+    let mut advice = WireAdvice {
+        logged: 0,
+        distinct: 0,
+        coverage: 0,
+        admitted: 0,
+        registered: 0,
+        candidates: Vec::new(),
+    };
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| malformed("bad header token"))?;
+        let value: u64 = value.parse().map_err(|_| malformed("bad header value"))?;
+        match key {
+            "logged" => advice.logged = value,
+            "distinct" => advice.distinct = value,
+            "coverage" => advice.coverage = value,
+            "admitted" => advice.admitted = value,
+            "registered" => advice.registered = value,
+            _ => return Err(malformed("unknown header key")),
+        }
+    }
+    Ok((count, advice))
+}
+
+/// Parses one `CAND` line of an advice response.
+pub fn parse_cand_line(line: &str) -> Result<WireCandidate, ProtocolError> {
+    let malformed = |what: &str| ProtocolError::Malformed(format!("{what} in `{line}`"));
+    let rest = line
+        .strip_prefix("CAND ")
+        .ok_or_else(|| malformed("missing CAND tag"))?;
+    let (head, pattern) = rest
+        .split_once(" pattern=")
+        .ok_or_else(|| malformed("missing pattern="))?;
+    let mut tokens = head.split_whitespace();
+    let name = tokens
+        .next()
+        .filter(|n| !n.is_empty())
+        .ok_or_else(|| malformed("missing name"))?
+        .to_string();
+    let admitted = match tokens.next() {
+        Some("admitted") => true,
+        Some("skipped") => false,
+        _ => return Err(malformed("bad admission flag")),
+    };
+    let mut cand = WireCandidate {
+        name,
+        admitted,
+        covered: 0,
+        weight: 0,
+        marginal: 0,
+        bytes: 0,
+        pattern: pattern.to_string(),
+    };
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| malformed("bad stat token"))?;
+        let value: u64 = value.parse().map_err(|_| malformed("bad stat value"))?;
+        match key {
+            "covered" => cand.covered = value,
+            "weight" => cand.weight = value,
+            "marginal" => cand.marginal = value,
+            "bytes" => cand.bytes = value,
+            _ => return Err(malformed("unknown stat key")),
+        }
+    }
+    Ok(cand)
 }
 
 #[cfg(test)]
@@ -726,6 +908,34 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(matches!(parse_request("SHUTDOWN"), Ok(Request::Shutdown)));
+        match parse_request("BUDGET 65536").unwrap() {
+            Request::Budget { bytes } => assert_eq!(bytes, 65536),
+            other => panic!("{other:?}"),
+        }
+        match parse_request("budget Unbounded").unwrap() {
+            Request::Budget { bytes } => assert_eq!(bytes, u64::MAX),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request("ADVISE"),
+            Ok(Request::Advise { auto: false })
+        ));
+        assert!(matches!(
+            parse_request("advise auto"),
+            Ok(Request::Advise { auto: true })
+        ));
+        assert!(matches!(
+            parse_request("BUDGET"),
+            Err(ProtocolError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_request("BUDGET -3"),
+            Err(ProtocolError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_request("ADVISE NOW PLEASE"),
+            Err(ProtocolError::Usage(_))
+        ));
         assert!(matches!(
             parse_request("SAVE"),
             Err(ProtocolError::Usage(_))
@@ -784,6 +994,68 @@ mod tests {
             assert_eq!(n1, n2);
             assert_eq!(p1.to_bits(), p2.to_bits());
         }
+    }
+
+    #[test]
+    fn advice_block_round_trips() {
+        let report = AdvisorReport {
+            logged: 40,
+            distinct: 3,
+            budget: 4096,
+            candidates: vec![
+                pxv_engine::CandidateReport {
+                    name: "adv1".into(),
+                    pattern: parse_pattern("a/b[c]").unwrap(),
+                    doc: 0,
+                    covered: 2,
+                    weight: 31,
+                    marginal: 1,
+                    marginal_weight: 9,
+                    projected_bytes: 640,
+                    build_nanos: 1_200,
+                    score: 17.5,
+                    admitted: true,
+                },
+                pxv_engine::CandidateReport {
+                    name: "adv2".into(),
+                    pattern: parse_pattern("a//'two  spaces'").unwrap(),
+                    doc: 1,
+                    covered: 1,
+                    weight: 9,
+                    marginal: 0,
+                    marginal_weight: 0,
+                    projected_bytes: 9_000,
+                    build_nanos: 800,
+                    score: 0.1,
+                    admitted: false,
+                },
+            ],
+        };
+        let mut wire = Vec::new();
+        write_advice(&mut wire, &report, 1).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        let mut lines = text.lines();
+        let (count, advice) = parse_advice_header(lines.next().unwrap()).unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(advice.logged, 40);
+        assert_eq!(advice.distinct, 3);
+        assert_eq!(advice.coverage, 2);
+        assert_eq!(advice.admitted, 1);
+        assert_eq!(advice.registered, 1);
+        let cands: Vec<WireCandidate> = lines.map(|l| parse_cand_line(l).unwrap()).collect();
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].name, "adv1");
+        assert!(cands[0].admitted);
+        assert_eq!(cands[0].covered, 2);
+        assert_eq!(cands[0].weight, 31);
+        assert_eq!(cands[0].marginal, 9);
+        assert_eq!(cands[0].bytes, 640);
+        assert_eq!(cands[0].pattern, "a/b[c]");
+        assert!(!cands[1].admitted);
+        // Quoted labels with internal whitespace survive the wire verbatim.
+        assert_eq!(cands[1].pattern, "a//'two  spaces'");
+        assert!(parse_cand_line("CAND x admitted").is_err());
+        assert!(parse_advice_header("ADVICE nope").is_err());
     }
 
     #[test]

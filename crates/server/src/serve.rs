@@ -12,8 +12,9 @@
 //!   connections off the channel and run the whole session: read a line,
 //!   execute, write the tagged response, repeat until `QUIT`, EOF, or
 //!   shutdown. A session takes the engine's `read` lock for query
-//!   traffic (`QUERY`, `BATCH`, `WARM`, `STATS`) and the `write` lock
-//!   only for admin requests (`LOAD`, `VIEW`, `INVALIDATE`, `UPDATE`),
+//!   traffic (`QUERY`, `BATCH`, `WARM`, `STATS`, `BUDGET`, `ADVISE`)
+//!   and the `write` lock only for requests that mutate the catalog
+//!   (`LOAD`, `VIEW`, `INVALIDATE`, `UPDATE`, `ADVISE AUTO`),
 //!   so queries from many connections run truly in parallel — the
 //!   engine's sharded, single-flight catalog does the rest.
 //! - **Graceful shutdown**: [`ServerHandle::shutdown`] sets a flag and
@@ -22,7 +23,7 @@
 //!   before `shutdown` returns.
 
 use crate::protocol::{
-    parse_batch_line, parse_request, write_answer, ProtocolError, Request, MAX_BATCH,
+    parse_batch_line, parse_request, write_advice, write_answer, ProtocolError, Request, MAX_BATCH,
 };
 use crate::stats::{ServerStats, ServerStatsSnapshot};
 use pxv_engine::{DocId, Engine, EngineError};
@@ -506,6 +507,41 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             )
             .map_err(io_to_protocol)
         }
+        Request::Budget { bytes } => {
+            // `set_cache_budget` takes `&self` (eviction runs inside the
+            // catalog), so the read lock suffices — queries keep flowing
+            // while the cache shrinks.
+            let engine = shared.engine.read().expect("engine poisoned");
+            engine.set_cache_budget(bytes);
+            if bytes == u64::MAX {
+                writeln!(
+                    out,
+                    "OK budget=unbounded cache_bytes={}",
+                    engine.cache_bytes()
+                )
+            } else {
+                writeln!(
+                    out,
+                    "OK budget={bytes} cache_bytes={}",
+                    engine.cache_bytes()
+                )
+            }
+            .map_err(io_to_protocol)
+        }
+        Request::Advise { auto } => {
+            let options = pxv_engine::AdviseOptions::default();
+            if auto {
+                // Registration mutates the view catalog: write lock.
+                let mut engine = shared.engine.write().expect("engine poisoned");
+                let (report, registered) =
+                    engine.advise_and_register(&options).map_err(engine_err)?;
+                write_advice(out, &report, registered.len()).map_err(io_to_protocol)
+            } else {
+                let engine = shared.engine.read().expect("engine poisoned");
+                let report = engine.advise(&options);
+                write_advice(out, &report, 0).map_err(io_to_protocol)
+            }
+        }
         Request::Stats => {
             let engine = shared.engine.read().expect("engine poisoned");
             let es = engine.stats();
@@ -515,6 +551,7 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
                 "STATS docs={} views={} epoch={} queries={} tp={} tpi={} direct={} \
                  mats={} exthits={} inval={} planhits={} planmiss={} \
                  edits={} deltas={} fallbacks={} \
+                 cache_bytes={} evictions={} admission_rejects={} \
                  conns={} rejected={} active={} requests={} errors={} p50us={} p99us={}",
                 engine.document_count(),
                 engine.catalog().len(),
@@ -531,6 +568,9 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
                 es.edits_applied,
                 es.deltas_applied,
                 es.delta_fallbacks,
+                es.cache_bytes,
+                es.evictions,
+                es.admission_rejects,
                 ss.connections,
                 ss.rejected,
                 shared.active.load(Ordering::SeqCst),

@@ -434,6 +434,74 @@ fn save_restore_across_servers_bit_identical_and_warm() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The budgeted-cache and advisor verbs over the wire: STATS exposes
+/// the byte gauge, `BUDGET` evicts synchronously (with bit-identical
+/// rematerialization afterwards), `ADVISE` proposes a view for the
+/// workload the catalog cannot serve, and `ADVISE AUTO` registers it.
+#[test]
+fn budget_and_advise_over_the_wire() {
+    let handle = provisioned_server(4, 64);
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let stats = c.stats().unwrap();
+    assert!(stats["cache_bytes"] > 0, "warm cache is byte-accounted");
+    assert_eq!(stats["evictions"], 0);
+    assert_eq!(stats["admission_rejects"], 0);
+
+    // A query the registered views cannot serve, answered by direct
+    // evaluation — exactly what the advisor should propose a view for.
+    let uncovered = parse_pattern("IT-personnel//person/name").unwrap();
+    let direct_opts = QueryOptions::default().fallback(pxv_engine::Fallback::Direct);
+    let direct = c.query_with(DOC, &uncovered, &direct_opts).unwrap();
+    assert!(!direct.nodes.is_empty());
+
+    let advice = c.advise(false).unwrap();
+    assert!(advice.logged >= 1, "query log feeds the advisor");
+    assert!(advice.admitted >= 1, "uncovered query yields a proposal");
+    assert!(advice.coverage >= 1, "the proposal covers logged queries");
+    assert_eq!(advice.registered, 0, "plain ADVISE only reports");
+    assert!(advice.candidates.len() as u64 >= advice.admitted);
+    let winner = advice.candidates.iter().find(|c| c.admitted).unwrap();
+    assert!(winner.marginal > 0, "covers weight no registered view does");
+    assert!(winner.bytes > 0, "projected from a real materialization");
+    assert!(
+        parse_pattern(&winner.pattern).is_ok(),
+        "proposed pattern is parseable: {}",
+        winner.pattern
+    );
+
+    // AUTO registers the winners and the catalog grows by that many.
+    let before = handle.with_engine(|e| e.catalog().len());
+    let auto = c.advise(true).unwrap();
+    assert!(auto.registered >= 1);
+    let after = handle.with_engine(|e| e.catalog().len());
+    assert_eq!(after, before + auto.registered as usize);
+
+    // The formerly uncovered query is now servable from a view under
+    // fallback=forbid, bit-identically to its direct answer.
+    let via_view = c.query(DOC, &uncovered).unwrap();
+    assert_eq!(via_view.nodes, direct.nodes);
+
+    // Squeeze the budget to one byte: everything evicts, the gauge
+    // obeys, and re-querying rematerializes bit-identically.
+    let q = &query_mix()[0];
+    let warm = c.query(DOC, q).unwrap();
+    let resident = c.budget(1).unwrap();
+    assert!(resident <= 1, "synchronous eviction honored the budget");
+    let stats = c.stats().unwrap();
+    assert!(stats["cache_bytes"] <= 1);
+    assert!(stats["evictions"] > 0);
+    let cold = c.query(DOC, q).unwrap();
+    assert_eq!(cold.nodes, warm.nodes, "rematerialized answer identical");
+
+    // Back to unbounded: the cache refills and the gauge follows.
+    c.budget(u64::MAX).unwrap();
+    c.warm(DOC).unwrap();
+    assert!(c.stats().unwrap()["cache_bytes"] > 0);
+    c.quit().unwrap();
+    handle.shutdown();
+}
+
 /// The `SHUTDOWN` admin verb: the server acknowledges, then drains and
 /// joins — `wait()` returning (rather than hanging) is the assert. This
 /// is the graceful path `prxview serve --store` uses to snapshot on the

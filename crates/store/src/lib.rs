@@ -42,7 +42,9 @@ mod error;
 pub mod snapshot;
 
 pub use error::StoreError;
-pub use snapshot::{decode_snapshot, encode_snapshot, ExtensionEntry, Snapshot, MAGIC, VERSION};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, ExtensionEntry, Snapshot, MAGIC, MIN_VERSION, VERSION,
+};
 
 use std::fs;
 use std::io::Write as _;
@@ -197,8 +199,11 @@ mod tests {
                 doc: 0,
                 view: 0,
                 extension: ext,
+                hits: 5,
+                rebuild_nanos: 1_234,
             }],
             epoch: 7,
+            budget: 1 << 20,
         }
     }
 
@@ -219,6 +224,9 @@ mod tests {
             s.views[0].pattern.canonical_key()
         );
         assert_eq!(back.epoch, 7);
+        assert_eq!(back.budget, 1 << 20);
+        assert_eq!(back.extensions[0].hits, 5);
+        assert_eq!(back.extensions[0].rebuild_nanos, 1_234);
         let (e1, e2) = (&s.extensions[0].extension, &back.extensions[0].extension);
         assert_eq!(e1.results.len(), e2.results.len());
         for (r1, r2) in e1.results.iter().zip(&e2.results) {

@@ -1,12 +1,12 @@
 //! The snapshot container: a versioned, checksummed multi-section file
 //! holding an engine's entire warm state.
 //!
-//! # On-disk layout (version 1)
+//! # On-disk layout (version 2)
 //!
 //! ```text
 //! magic    8 bytes   "PXVSNAP\0"
-//! version  u32       1
-//! count    u32       number of sections (exactly 5 in v1)
+//! version  u32       2 (1 still decodes)
+//! count    u32       number of sections (exactly 5)
 //! section* :
 //!   kind     u32     1=SYMBOLS 2=DOCUMENTS 3=VIEWS 4=EXTENSIONS 5=META
 //!   length   u64     payload byte length
@@ -19,6 +19,12 @@
 //! section is an index into the SYMBOLS table (a list of spellings), so
 //! the file carries no process-local interner ids — see
 //! [`crate::codec`] for the remapping story.
+//!
+//! Version 2 extends two payloads: each EXTENSIONS entry carries two
+//! extra `u64`s (`hits`, `rebuild_nanos` — the entry's learned eviction
+//! score components), and META grows from one `u64` (epoch) to two
+//! (epoch, cache byte budget). Version-1 files decode with unbounded
+//! budget and zeroed score components.
 
 use crate::codec::{
     fnv1a, read_extension_body, read_pdocument, read_view, write_extension_body, write_pdocument,
@@ -32,8 +38,11 @@ use pxv_rewrite::View;
 /// The 8 magic bytes opening every snapshot file.
 pub const MAGIC: &[u8; 8] = b"PXVSNAP\0";
 
-/// The format version this build reads and writes.
-pub const VERSION: u32 = 1;
+/// The format version this build writes.
+pub const VERSION: u32 = 2;
+
+/// The oldest format version this build still reads.
+pub const MIN_VERSION: u32 = 1;
 
 const SECTION_SYMBOLS: u32 = 1;
 const SECTION_DOCUMENTS: u32 = 2;
@@ -63,6 +72,12 @@ pub struct ExtensionEntry {
     pub view: usize,
     /// The materialized extension (restored bit-identically).
     pub extension: ProbExtension,
+    /// Cache hits observed for this entry (eviction-score benefit; 0 in
+    /// v1 files).
+    pub hits: u64,
+    /// Observed materialization cost in nanoseconds (eviction-score
+    /// cost; 0 in v1 files).
+    pub rebuild_nanos: u64,
 }
 
 /// A point-in-time image of an engine: documents, registered views, the
@@ -70,7 +85,7 @@ pub struct ExtensionEntry {
 /// was scoped to. This is the value the codec persists; converting an
 /// `Engine` to/from it lives in `pxv-engine` (`Engine::snapshot` /
 /// `Engine::from_snapshot`), keeping this crate engine-agnostic.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Snapshot {
     /// `(name, p-document)` pairs in document-id order.
     pub documents: Vec<(String, PDocument)>,
@@ -81,17 +96,38 @@ pub struct Snapshot {
     /// The catalog epoch at snapshot time. Restoring adopts it, so a
     /// snapshot can never be mistaken for a newer catalog generation.
     pub epoch: u64,
+    /// The extension-cache byte budget at snapshot time (`u64::MAX` =
+    /// unbounded, and what v1 files decode to).
+    pub budget: u64,
+}
+
+impl Default for Snapshot {
+    fn default() -> Snapshot {
+        Snapshot {
+            documents: Vec::new(),
+            views: Vec::new(),
+            extensions: Vec::new(),
+            epoch: 0,
+            budget: u64::MAX,
+        }
+    }
 }
 
 impl Snapshot {
     /// A short human-readable inventory (`3 doc(s), 2 view(s), …`).
     pub fn describe(&self) -> String {
+        let budget = if self.budget == u64::MAX {
+            "unbounded".to_string()
+        } else {
+            format!("{} B", self.budget)
+        };
         format!(
-            "{} doc(s), {} view(s), {} cached extension(s), epoch {}",
+            "{} doc(s), {} view(s), {} cached extension(s), epoch {}, budget {}",
             self.documents.len(),
             self.views.len(),
             self.extensions.len(),
-            self.epoch
+            self.epoch,
+            budget
         )
     }
 }
@@ -119,11 +155,14 @@ pub fn encode_snapshot(s: &Snapshot) -> Vec<u8> {
     for e in &s.extensions {
         extensions.put_u32(e.doc as u32);
         extensions.put_u32(e.view as u32);
+        extensions.put_u64(e.hits);
+        extensions.put_u64(e.rebuild_nanos);
         write_extension_body(&mut extensions, &e.extension, &mut t);
     }
 
     let mut meta = Writer::new();
     meta.put_u64(s.epoch);
+    meta.put_u64(s.budget);
 
     // The symbol table is complete only now; it is nevertheless the
     // first section so decoders can resolve labels in one pass.
@@ -165,7 +204,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, StoreError> {
         return Err(StoreError::BadMagic);
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion(version));
     }
     let n_sections = r.u32()?;
@@ -232,6 +271,11 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, StoreError> {
                 for _ in 0..n {
                     let doc = sr.u32()? as usize;
                     let view_idx = sr.u32()? as usize;
+                    let (hits, rebuild_nanos) = if version >= 2 {
+                        (sr.u64()?, sr.u64()?)
+                    } else {
+                        (0, 0)
+                    };
                     if doc >= snapshot.documents.len() {
                         return sr.corrupt(format!("extension references document {doc}"));
                     }
@@ -243,10 +287,15 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, StoreError> {
                         doc,
                         view: view_idx,
                         extension,
+                        hits,
+                        rebuild_nanos,
                     });
                 }
             }
-            SECTION_META => snapshot.epoch = sr.u64()?,
+            SECTION_META => {
+                snapshot.epoch = sr.u64()?;
+                snapshot.budget = if version >= 2 { sr.u64()? } else { u64::MAX };
+            }
             _ => unreachable!("kind checked against expected_kind"),
         }
         if sr.remaining() > 0 {

@@ -22,8 +22,11 @@ fn sample_bytes() -> Vec<u8> {
             doc: 0,
             view: 0,
             extension: ext,
+            hits: 9,
+            rebuild_nanos: 777,
         }],
         epoch: 5,
+        budget: 4096,
     })
 }
 
@@ -75,6 +78,32 @@ fn wrong_magic_is_rejected() {
         decode_snapshot(&[]),
         Err(StoreError::Truncated { .. })
     ));
+}
+
+/// Backward compatibility: a hand-built version-1 file (no per-entry
+/// score fields, META = epoch only) still decodes, with the budget
+/// defaulting to unbounded.
+#[test]
+fn version1_files_still_decode() {
+    fn section(out: &mut Vec<u8>, kind: u32, payload: &[u8]) {
+        out.extend_from_slice(&kind.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&pxv_store::codec::fnv1a(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&1u32.to_le_bytes()); // version 1
+    bytes.extend_from_slice(&5u32.to_le_bytes()); // section count
+    section(&mut bytes, 1, &0u32.to_le_bytes()); // symbols: 0 spellings
+    section(&mut bytes, 2, &0u32.to_le_bytes()); // documents: 0
+    section(&mut bytes, 3, &0u32.to_le_bytes()); // views: 0
+    section(&mut bytes, 4, &0u32.to_le_bytes()); // extensions: 0
+    section(&mut bytes, 5, &42u64.to_le_bytes()); // meta: epoch only (v1)
+    let snap = decode_snapshot(&bytes).expect("v1 file must still decode");
+    assert_eq!(snap.epoch, 42);
+    assert_eq!(snap.budget, u64::MAX, "v1 decodes as unbounded");
+    assert!(snap.documents.is_empty() && snap.views.is_empty() && snap.extensions.is_empty());
 }
 
 #[test]

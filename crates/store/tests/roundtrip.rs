@@ -175,8 +175,15 @@ proptest! {
         let snap = Snapshot {
             documents: vec![("d".into(), p)],
             views: vec![view],
-            extensions: vec![ExtensionEntry { doc: 0, view: 0, extension: ext }],
+            extensions: vec![ExtensionEntry {
+                doc: 0,
+                view: 0,
+                extension: ext,
+                hits: 2,
+                rebuild_nanos: 41,
+            }],
             epoch: 3,
+            budget: u64::MAX,
         };
         let bytes = encode_snapshot(&snap);
         let back = decode_snapshot(&bytes)

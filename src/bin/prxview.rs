@@ -10,6 +10,9 @@
 //! prxview batch   <pdoc-file> <query-file> [-jN] name=pattern…
 //!                                                concurrent batch answering
 //! prxview cindep  <q1> <q2>                      c-independence test
+//! prxview advise  --doc <pdoc-file> --workload <file> [--view name=pattern]…
+//!                 [--budget N] [--top K] [--auto]
+//!                                                propose views for a workload
 //! prxview edit    <pdoc-file> <edit-spec>...     apply edits, print the result
 //! prxview gen     personnel <persons> [projects] [seed]
 //!                                                print a generated p-document
@@ -45,6 +48,13 @@
 //! request). `save`/`load` manage the same snapshots offline, and parse
 //! errors print with `file:line:col` context plus a caret instead of
 //! bare byte offsets.
+//! `advise` replays an offline workload trace (one query per line,
+//! optionally prefixed by an integer multiplicity; blank lines and `#`
+//! comments skipped) into the engine's query log and runs the view
+//! advisor against a byte budget: each candidate prints as one line,
+//! and the final `advise: … coverage=…` summary line is greppable —
+//! CI asserts nonzero coverage on it. With `--auto` the admitted
+//! candidates are registered before the report prints.
 
 use prxview::engine::{Engine, EngineError, QueryOptions};
 use prxview::pxml::text::parse_pdocument;
@@ -60,6 +70,8 @@ fn usage() -> ExitCode {
          prxview plan <query> name=pattern...\n  prxview answer <pdoc-file> <query> name=pattern...\n  \
          prxview batch <pdoc-file> <query-file> [-jN] name=pattern...\n  \
          prxview cindep <q1> <q2>\n  \
+         prxview advise --doc <pdoc-file> --workload <file> [--view name=pattern]... \
+         [--budget N] [--top K] [--auto]\n  \
          prxview edit <pdoc-file> <edit-spec>...\n  \
          prxview gen personnel <persons> [projects] [seed]\n  \
          prxview save <store-dir> --doc name=file... [--no-warm] [name=pattern]...\n  \
@@ -507,6 +519,125 @@ fn run() -> Result<ExitCode, String> {
                     store.snapshot_path().display()
                 );
             }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("advise") if args.len() >= 2 => {
+            use prxview::engine::AdviseOptions;
+            let mut doc_file: Option<String> = None;
+            let mut workload_file: Option<String> = None;
+            let mut view_args = Vec::new();
+            let mut budget = u64::MAX;
+            let mut top = AdviseOptions::default().max_candidates;
+            let mut auto = false;
+            let mut i = 1;
+            let value = |args: &[String], i: usize| -> Result<String, String> {
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| format!("{} needs a value", args[i]))
+            };
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--doc" => {
+                        doc_file = Some(value(&args, i)?);
+                        i += 2;
+                    }
+                    "--workload" => {
+                        workload_file = Some(value(&args, i)?);
+                        i += 2;
+                    }
+                    "--view" => {
+                        view_args.push(value(&args, i)?);
+                        i += 2;
+                    }
+                    "--budget" => {
+                        budget = value(&args, i)?
+                            .parse()
+                            .map_err(|e| format!("bad --budget: {e}"))?;
+                        i += 2;
+                    }
+                    "--top" => {
+                        top = value(&args, i)?
+                            .parse()
+                            .map_err(|e| format!("bad --top: {e}"))?;
+                        i += 2;
+                    }
+                    "--auto" => {
+                        auto = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("advise: unknown argument `{other}`")),
+                }
+            }
+            let doc_file = doc_file.ok_or("advise: --doc <pdoc-file> is required")?;
+            let workload_file = workload_file.ok_or("advise: --workload <file> is required")?;
+            let mut engine = engine_with_views(parse_views(&view_args)?)?;
+            let doc = engine
+                .add_document("doc", load_pdoc(&doc_file)?)
+                .map_err(|e| format!("{doc_file}: {e}"))?;
+            // Replay the trace: `[count] query` per line, count defaults
+            // to 1 (a leading integer only counts as a multiplicity when
+            // a query follows it).
+            let text = std::fs::read_to_string(&workload_file)
+                .map_err(|e| format!("cannot read {workload_file}: {e}"))?;
+            let mut replayed = 0u64;
+            for line in text.lines().map(str::trim) {
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let (count, query_text) = match line.split_once(char::is_whitespace) {
+                    Some((head, rest)) if !rest.trim().is_empty() => match head.parse::<u64>() {
+                        Ok(n) => (n, rest.trim()),
+                        Err(_) => (1, line),
+                    },
+                    _ => (1, line),
+                };
+                let q = load_query(query_text)?;
+                engine
+                    .record_query(doc, &q, count)
+                    .map_err(|e| e.to_string())?;
+                replayed += count;
+            }
+            if replayed == 0 {
+                return Err(format!("{workload_file}: no queries"));
+            }
+            let options = AdviseOptions {
+                budget,
+                max_candidates: top.max(1),
+                ..AdviseOptions::default()
+            };
+            let report = if auto {
+                let (report, registered) = engine
+                    .advise_and_register(&options)
+                    .map_err(|e| e.to_string())?;
+                eprintln!("registered {} view(s)", registered.len());
+                report
+            } else {
+                engine.advise(&options)
+            };
+            for c in &report.candidates {
+                println!(
+                    "{} {} covered={} weight={} marginal={} bytes={} score={:.3} pattern={}",
+                    c.name,
+                    if c.admitted { "admitted" } else { "skipped" },
+                    c.covered,
+                    c.weight,
+                    c.marginal_weight,
+                    c.projected_bytes,
+                    c.score,
+                    c.pattern,
+                );
+            }
+            // The greppable summary line (CI asserts on `coverage=`).
+            println!(
+                "advise: logged={} distinct={} candidates={} admitted={} \
+                 admitted_bytes={} coverage={}",
+                report.logged,
+                report.distinct,
+                report.candidates.len(),
+                report.admitted().count(),
+                report.admitted_bytes(),
+                report.coverage(),
+            );
             Ok(ExitCode::SUCCESS)
         }
         Some("cindep") if args.len() == 3 => {
