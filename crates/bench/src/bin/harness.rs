@@ -1106,6 +1106,155 @@ fn b_compact() {
     }
 }
 
+// B14: the evented serving layer under an UPDATE storm (tentpole of the
+// MVCC PR). A warm engine behind a loopback server, connections = 8× the
+// worker count (the old thread-per-connection design would starve 14 of
+// them). Phase 1 measures quiescent client-observed p99; phase 2 repeats
+// the identical read burst while one writer connection applies a
+// continuous stream of UPDATEs (insert + delete of a bonus-less person,
+// so every answer is unchanged). Readers ride published engine epochs:
+// the storm p99 must stay within 3× the quiescent baseline (with a small
+// floor absorbing scheduler noise on starved CI hosts) and every answer
+// must stay bit-identical to in-process `Engine::answer`.
+fn b14() {
+    use prxview::engine::Engine;
+    use pxv_pxml::edit::Edit;
+    use pxv_pxml::text::parse_pdocument;
+    use pxv_server::client::Client;
+    use pxv_server::serve::{serve, ServerConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const WORKERS: usize = 2;
+    const CONNS: usize = 16; // 8× WORKERS — the acceptance ratio
+    const PER_CONN: usize = 40;
+
+    fn p99_us(samples: &Mutex<Vec<Duration>>) -> u64 {
+        let mut v = std::mem::take(&mut *samples.lock().unwrap());
+        v.sort();
+        v[(v.len() * 99 / 100).min(v.len() - 1)].as_micros() as u64
+    }
+
+    println!("\n[B14] evented serving under UPDATE storm (MVCC epoch reads):");
+    let (pdoc, _) = personnel(25, 3, 9);
+    let root = pdoc.root();
+    let mut engine = Engine::new();
+    let doc = engine.add_document("p", pdoc).unwrap();
+    engine.register_views([v1bon(), v2bon()]).unwrap();
+    engine.warm(doc).unwrap();
+    let mix: Vec<String> = batch_queries(5).iter().map(|q| q.to_string()).collect();
+    let expected: Vec<_> = batch_queries(5)
+        .iter()
+        .map(|q| engine.answer(doc, q).unwrap().nodes)
+        .collect();
+    let handle = serve(
+        engine,
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: WORKERS,
+            max_connections: 64,
+        },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+
+    let latencies = Mutex::new(Vec::with_capacity(CONNS * PER_CONN));
+    let read_burst = |label: &str| {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..CONNS {
+                let (mix, expected, latencies) = (&mix, &expected, &latencies);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut local = Vec::with_capacity(PER_CONN);
+                    for r in 0..PER_CONN {
+                        let i = (c + r) % mix.len();
+                        let q0 = Instant::now();
+                        let answer = client.query_text("p", &mix[i]).expect("answer");
+                        local.push(q0.elapsed());
+                        assert_eq!(
+                            answer.nodes, expected[i],
+                            "wire answers must stay bit-identical to Engine::answer"
+                        );
+                    }
+                    let _ = client.quit();
+                    latencies.lock().unwrap().extend(local);
+                });
+            }
+        });
+        println!(
+            "  {label}: {} connections × {PER_CONN} requests on {WORKERS} workers in {}",
+            CONNS,
+            fmt_ms(t0.elapsed())
+        );
+    };
+
+    read_burst("quiescent");
+    let p99_quiet = p99_us(&latencies);
+
+    let storming = AtomicBool::new(true);
+    let mut updates = 0u64;
+    std::thread::scope(|scope| {
+        let storm = scope.spawn(|| {
+            let mut writer = Client::connect(addr).expect("connect writer");
+            let subtree = parse_pdocument("person[name[Ghost]]").unwrap();
+            let mut n = 0u64;
+            while storming.load(Ordering::Relaxed) {
+                let outcome = writer
+                    .update(
+                        "p",
+                        &Edit::InsertSubtree {
+                            parent: root,
+                            prob: 1.0,
+                            subtree: subtree.clone(),
+                        },
+                    )
+                    .expect("storm insert");
+                let ghost = outcome.inserted.expect("insert reports its root");
+                writer
+                    .update("p", &Edit::DeleteSubtree { node: ghost })
+                    .expect("storm delete");
+                n += 2;
+            }
+            let _ = writer.quit();
+            n
+        });
+        read_burst("update storm");
+        storming.store(false, Ordering::Relaxed);
+        updates = storm.join().expect("storm thread");
+    });
+    let p99_storm = p99_us(&latencies);
+    assert!(updates > 0, "the storm actually applied updates");
+
+    // The acceptance bound: readers never wait on the writer's prepare
+    // phase, so the storm can cost at most epoch-swap noise. The 5 ms
+    // floor keeps a sub-millisecond quiescent baseline from turning
+    // scheduler jitter into a flaky 3× violation.
+    let bound_us = (3 * p99_quiet).max(5_000);
+    let ratio = p99_storm as f64 / p99_quiet.max(1) as f64;
+    println!(
+        "  p99: quiescent {p99_quiet} µs, under storm {p99_storm} µs ({ratio:.2}×, \
+         {updates} updates interleaved)"
+    );
+    assert!(
+        p99_storm <= bound_us,
+        "reader p99 under storm ({p99_storm} µs) exceeds bound ({bound_us} µs)"
+    );
+    let stats = handle.stats();
+    assert_eq!(stats.errors, 0, "B14 must be protocol-error free");
+    let mut json = Json::new("B14");
+    json.int("workers", WORKERS as u64);
+    json.int("connections", CONNS as u64);
+    json.int("requests", stats.requests);
+    json.int("updates", updates);
+    json.int("p99_quiet_us", p99_quiet);
+    json.int("p99_storm_us", p99_storm);
+    json.num("storm_ratio", ratio);
+    json.write();
+    handle.shutdown();
+}
+
 type Experiment = (&'static str, fn() -> bool);
 
 fn main() {
@@ -1131,8 +1280,14 @@ fn main() {
             all_ok &= f();
         }
     }
-    if want("bench") || args.is_empty() || args.iter().any(|a| a.starts_with('b')) {
+    let bench_all = want("bench") || args.is_empty();
+    // `harness b14` runs only the storm section (what the CI server-storm
+    // job invokes); any other b-key still runs the whole compact suite.
+    if bench_all || args.iter().any(|a| a.starts_with('b') && a != "b14") {
         b_compact();
+    }
+    if bench_all || want("b14") {
+        b14();
     }
     println!(
         "\n{}",

@@ -115,7 +115,7 @@ use pxv_tpq::TreePattern;
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
 // Re-exported so callers can drive [`Engine::advise`] without depending
@@ -588,7 +588,7 @@ impl Clone for Catalog {
             .shards
             .iter()
             .map(|shard| {
-                let map = shard.read().expect("catalog shard poisoned");
+                let map = shard.read().unwrap_or_else(PoisonError::into_inner);
                 RwLock::new(
                     map.iter()
                         .filter(|(_, entry)| {
@@ -629,7 +629,7 @@ impl Clone for Catalog {
             eviction_log: Mutex::new(
                 self.eviction_log
                     .lock()
-                    .expect("eviction log poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .clone(),
             ),
         }
@@ -693,7 +693,7 @@ impl Catalog {
             .map(|shard| {
                 shard
                     .read()
-                    .expect("catalog shard poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .iter()
                     .filter(|(&(d, _), entry)| d == doc.0 && entry.slot.get().is_some())
                     .count()
@@ -734,7 +734,7 @@ impl Catalog {
     pub fn eviction_log(&self) -> Vec<EvictionRecord> {
         self.eviction_log
             .lock()
-            .expect("eviction log poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .cloned()
             .collect()
@@ -769,7 +769,10 @@ impl Catalog {
 
     /// Appends to the bounded eviction log.
     fn log_eviction(&self, record: EvictionRecord) {
-        let mut log = self.eviction_log.lock().expect("eviction log poisoned");
+        let mut log = self
+            .eviction_log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if log.len() == EVICTION_LOG_CAPACITY {
             log.pop_front();
         }
@@ -793,7 +796,7 @@ impl Catalog {
             // scan is deterministic under equal scores.
             let mut victim: Option<((usize, usize), f64)> = None;
             for shard in &self.shards {
-                let map = shard.read().expect("catalog shard poisoned");
+                let map = shard.read().unwrap_or_else(PoisonError::into_inner);
                 for (&k, entry) in map.iter() {
                     if entry.meta.acct.load(Ordering::Relaxed) != ACCT_CHARGED {
                         continue;
@@ -816,7 +819,7 @@ impl Catalog {
             let removed = {
                 let mut map = self.shards[shard_index(key)]
                     .write()
-                    .expect("catalog shard poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 match map.get(&key) {
                     Some(entry) if entry.meta.acct.load(Ordering::Relaxed) == ACCT_CHARGED => {
                         map.remove(&key)
@@ -856,7 +859,7 @@ impl Catalog {
         for shard in &self.shards {
             let mut removed = Vec::new();
             {
-                let mut map = shard.write().expect("catalog shard poisoned");
+                let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
                 map.retain(|&(d, _), entry| {
                     if d == doc.0 {
                         if entry.slot.get().is_some() {
@@ -888,7 +891,7 @@ impl Catalog {
             .shards
             .iter()
             .flat_map(|shard| {
-                let map = shard.read().expect("catalog shard poisoned");
+                let map = shard.read().unwrap_or_else(PoisonError::into_inner);
                 map.iter()
                     .filter_map(|(&(d, v), entry)| {
                         entry.slot.get().map(|ext| {
@@ -938,7 +941,7 @@ impl Catalog {
         };
         let replaced = self.shards[shard_index(key)]
             .write()
-            .expect("catalog shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, entry);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         if let Some(old) = replaced {
@@ -958,7 +961,7 @@ impl Catalog {
             .shards
             .iter()
             .flat_map(|shard| {
-                let map = shard.read().expect("catalog shard poisoned");
+                let map = shard.read().unwrap_or_else(PoisonError::into_inner);
                 map.iter()
                     .filter(|(&(d, _), _)| d == doc)
                     .filter_map(|(&(_, v), entry)| {
@@ -1006,11 +1009,11 @@ impl Catalog {
         let key = (doc, view_idx);
         let shard = &self.shards[shard_index(key)];
         let entry: CacheEntry = {
-            let map = shard.read().expect("catalog shard poisoned");
+            let map = shard.read().unwrap_or_else(PoisonError::into_inner);
             map.get(&key).cloned()
         }
         .unwrap_or_else(|| {
-            let mut map = shard.write().expect("catalog shard poisoned");
+            let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
             map.entry(key).or_default().clone()
         });
         // Single-flight: get_or_init runs the closure in exactly one
@@ -1189,9 +1192,23 @@ impl QueryLog {
 /// atomic — so a served (shared) engine can be updated in place. Writers
 /// are internally consistent but a query racing an `apply_edits` call on
 /// the *same document* may observe the pre-edit extension of one view and
-/// the post-edit extension of another; serialize updates against queries
-/// (as the `prxd` server's engine-level write lock does) when cross-view
-/// consistency matters.
+/// the post-edit extension of another; when cross-view consistency
+/// matters, either serialize updates against queries or — as the `prxd`
+/// server does — wrap the engine in an [`EpochEngine`] so edits prepare
+/// a fresh engine off to the side and publish it atomically.
+///
+/// # Lock poisoning
+///
+/// Every internal lock acquisition recovers from poisoning
+/// (`unwrap_or_else(PoisonError::into_inner)`) instead of propagating the
+/// panic. This is sound because guarded values are only ever replaced
+/// wholesale (document slots swap a whole `Arc`) or hold *cache* state
+/// (extensions, plans, the query log) that is recomputable by
+/// construction; [`Engine::apply_edits`] commits by evicting before
+/// reinstalling, so an unwind mid-commit leaves the cache cold for that
+/// document, never stale. Without recovery, one panicking request would
+/// turn every subsequent lock acquisition into a panic — a death spiral
+/// the serving-layer regression tests pin down.
 #[derive(Debug)]
 pub struct Engine {
     /// Per-document slots: the `Vec` only grows (under `&mut` in
@@ -1234,7 +1251,11 @@ impl Clone for Engine {
             documents: self
                 .documents
                 .iter()
-                .map(|slot| RwLock::new(Arc::clone(&slot.read().expect("document poisoned"))))
+                .map(|slot| {
+                    RwLock::new(Arc::clone(
+                        &slot.read().unwrap_or_else(PoisonError::into_inner),
+                    ))
+                })
                 .collect(),
             doc_names: self.doc_names.clone(),
             doc_stats: self
@@ -1254,7 +1275,7 @@ impl Clone for Engine {
             plan_cache: RwLock::new(
                 self.plan_cache
                     .read()
-                    .expect("plan cache poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .iter()
                     .map(|(k, e)| {
                         (
@@ -1269,7 +1290,12 @@ impl Clone for Engine {
             ),
             plan_tick: AtomicU64::new(self.plan_tick.load(Ordering::Relaxed)),
             plan_cache_capacity: AtomicUsize::new(self.plan_cache_capacity.load(Ordering::Relaxed)),
-            query_log: Mutex::new(self.query_log.lock().expect("query log poisoned").clone()),
+            query_log: Mutex::new(
+                self.query_log
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
             catalog_epoch: AtomicU64::new(self.catalog_epoch.load(Ordering::SeqCst)),
         }
     }
@@ -1320,7 +1346,7 @@ impl Engine {
     pub fn document(&self, id: DocId) -> Result<Arc<PDocument>, EngineError> {
         self.documents
             .get(id.0)
-            .map(|slot| Arc::clone(&slot.read().expect("document poisoned")))
+            .map(|slot| Arc::clone(&slot.read().unwrap_or_else(PoisonError::into_inner)))
             .ok_or(EngineError::UnknownDocument(id))
     }
 
@@ -1345,7 +1371,7 @@ impl Engine {
             .documents
             .get(id.0)
             .ok_or(EngineError::UnknownDocument(id))?;
-        *slot.write().expect("document poisoned") = Arc::new(pdoc);
+        *slot.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(pdoc);
         self.invalidate(id)?;
         Ok(())
     }
@@ -1424,7 +1450,7 @@ impl Engine {
         }
         // Serialize writers on this document for the whole operation; the
         // swap at the end publishes the post-edit state.
-        let mut guard = slot.write().expect("document poisoned");
+        let mut guard = slot.write().unwrap_or_else(PoisonError::into_inner);
         // Build the chain of intermediate documents (edit k maps state k
         // to state k+1) on private copies — one clone per edit, nothing
         // published until every edit has validated.
@@ -1509,7 +1535,7 @@ impl Engine {
         self.catalog_epoch.fetch_add(1, Ordering::SeqCst);
         self.plan_cache
             .write()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clear();
     }
 
@@ -1580,7 +1606,7 @@ impl Engine {
         if count > 0 {
             self.query_log
                 .lock()
-                .expect("query log poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .record(doc.0, q, count);
         }
         Ok(())
@@ -1590,7 +1616,10 @@ impl Engine {
     /// (ties broken by document index then canonical form, so the order
     /// is deterministic).
     pub fn query_log(&self) -> Vec<WorkloadQuery> {
-        let log = self.query_log.lock().expect("query log poisoned");
+        let log = self
+            .query_log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let mut out: Vec<(String, WorkloadQuery)> = log
             .entries
             .iter()
@@ -1617,7 +1646,10 @@ impl Engine {
     /// Empties the workload log (e.g. after acting on an
     /// [`AdvisorReport`], so the next report reflects fresh demand).
     pub fn clear_query_log(&self) {
-        let mut log = self.query_log.lock().expect("query log poisoned");
+        let mut log = self
+            .query_log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         log.entries.clear();
     }
 
@@ -1692,7 +1724,10 @@ impl Engine {
     fn cached_plan(&self, q: &TreePattern, options: &QueryOptions) -> Arc<Result<Plan, PlanError>> {
         let key = PlanKey::new(q, self.catalog_epoch(), options);
         {
-            let map = self.plan_cache.read().expect("plan cache poisoned");
+            let map = self
+                .plan_cache
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(entry) = map.get(&key) {
                 entry.last_used.store(
                     self.plan_tick.fetch_add(1, Ordering::Relaxed) + 1,
@@ -1709,7 +1744,10 @@ impl Engine {
             options.interleaving_limit,
             options.preference,
         ));
-        let mut map = self.plan_cache.write().expect("plan cache poisoned");
+        let mut map = self
+            .plan_cache
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let cap = self.plan_cache_capacity.load(Ordering::Relaxed).max(1);
         if map.len() >= cap && !map.contains_key(&key) {
             // LRU-ish eviction: drop the least-recently-used entries —
@@ -1739,7 +1777,10 @@ impl Engine {
     pub fn set_plan_cache_capacity(&self, capacity: usize) {
         let capacity = capacity.max(1);
         self.plan_cache_capacity.store(capacity, Ordering::Relaxed);
-        let mut map = self.plan_cache.write().expect("plan cache poisoned");
+        let mut map = self
+            .plan_cache
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         if map.len() > capacity {
             let drop_n = map.len() - capacity;
             let mut ticks: Vec<(u64, PlanKey)> = map
@@ -1760,7 +1801,10 @@ impl Engine {
 
     /// Number of plans currently cached.
     pub fn plan_cache_len(&self) -> usize {
-        self.plan_cache.read().expect("plan cache poisoned").len()
+        self.plan_cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Eagerly materializes every registered view over `doc`; returns the
@@ -1802,7 +1846,7 @@ impl Engine {
         // count too; those are exactly the ones a new view could cover.
         self.query_log
             .lock()
-            .expect("query log poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .record(doc.0, q, 1);
         let plan = match &*self.cached_plan(q, options) {
             Ok(plan) => plan.clone(),
@@ -1964,7 +2008,7 @@ impl Engine {
             .zip(
                 self.documents
                     .iter()
-                    .map(|slot| (**slot.read().expect("document poisoned")).clone()),
+                    .map(|slot| (**slot.read().unwrap_or_else(PoisonError::into_inner)).clone()),
             )
             .collect();
         let extensions = self
@@ -2113,6 +2157,109 @@ impl Engine {
             plan: None,
             description,
         }
+    }
+}
+
+/// Multi-version concurrency control (MVCC) over a whole [`Engine`]:
+/// readers resolve against an atomically published engine *epoch* — an
+/// `Arc<Engine>` snapshot — while writers prepare the next epoch off to
+/// the side and publish it with one pointer swap. Readers therefore
+/// **never block** on an in-flight mutation, no matter how long the
+/// writer's prepare phase takes; this is what lets the `prxd` server
+/// answer `QUERY`/`BATCH`/`STATS` at full speed through an `UPDATE` or
+/// `RESTORE` storm.
+///
+/// # Epoch publication rules
+///
+/// - [`EpochEngine::read`] hands out the current epoch as an
+///   `Arc<Engine>`. The internal lock is held only for the duration of
+///   the `Arc` clone, never across engine work.
+/// - [`EpochEngine::update`] serializes writers on a mutex, clones the
+///   current engine ([`Engine::clone`] shares documents and cached
+///   extensions by `Arc`, so the copy is proportional to the *catalog
+///   index*, not the data), runs the mutation on the private clone, and
+///   publishes it only if the closure returns `Ok` — an error (or a
+///   panic) discards the clone and leaves the published epoch untouched.
+/// - [`EpochEngine::update_in_place`] is for mutations that are already
+///   safe under concurrent readers by the engine's own design
+///   (`set_cache_budget`, `invalidate`: interior-mutability paths whose
+///   effects are recomputable cache state). It takes the writer mutex for
+///   ordering but mutates the *published* engine directly — no clone, no
+///   epoch bump.
+/// - In-flight readers keep the epoch they started with: a query that
+///   began on epoch `n` completes against epoch `n` even if epoch `n+1`
+///   publishes midway — snapshot isolation, the cross-view consistency
+///   the [`Engine`] docs ask for, without serializing reads.
+///
+/// The documented trade-off: statistics incremented by readers of epoch
+/// `n` *during* a writer's prepare window are not reflected in epoch
+/// `n+1` (the clone carried a snapshot of the counters). Counters are
+/// telemetry, not ledger state; sequential flows observe exact values.
+#[derive(Debug)]
+pub struct EpochEngine {
+    /// The published epoch. Lock hold times are O(1): `Arc` clone on
+    /// read, pointer swap on publish.
+    current: RwLock<Arc<Engine>>,
+    /// Serializes writers so each prepares against the latest epoch.
+    writer: Mutex<()>,
+    /// Monotonic count of published epochs (the seed engine is epoch 0).
+    epoch: AtomicU64,
+}
+
+impl EpochEngine {
+    /// Wraps `engine` as the initial published epoch (epoch 0).
+    pub fn new(engine: Engine) -> EpochEngine {
+        EpochEngine {
+            current: RwLock::new(Arc::new(engine)),
+            writer: Mutex::new(()),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The current epoch's engine, as a shared snapshot. Queries resolved
+    /// against it are isolated from any concurrently publishing writer.
+    pub fn read(&self) -> Arc<Engine> {
+        Arc::clone(&self.current.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// How many epochs have been published over the initial engine.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Runs `f` on a private clone of the current engine and publishes
+    /// the clone as the next epoch **iff** `f` returns `Ok`. On `Err` —
+    /// or on a panic inside `f` — the clone is discarded and the
+    /// published epoch is untouched, so readers can never observe a
+    /// half-applied mutation.
+    pub fn update<R, E>(&self, f: impl FnOnce(&mut Engine) -> Result<R, E>) -> Result<R, E> {
+        let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut next = Engine::clone(&self.read());
+        let out = f(&mut next)?;
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(out)
+    }
+
+    /// Runs `f` against the published engine under the writer mutex —
+    /// for `&self` mutations the engine already defines as safe under
+    /// concurrent readers (budget changes, invalidation). No new epoch is
+    /// published; the mutex only orders the call against [`update`]
+    /// writers so a concurrent clone cannot resurrect pre-call state.
+    ///
+    /// [`update`]: EpochEngine::update
+    pub fn update_in_place<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
+        let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&self.read())
+    }
+
+    /// Publishes `engine` wholesale as the next epoch (the `RESTORE`
+    /// path: the replacement was built from a snapshot, outside any
+    /// lock).
+    pub fn replace(&self, engine: Engine) {
+        let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(engine);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -2655,5 +2802,127 @@ mod tests {
         assert_eq!(e.stats().materializations, 1, "no duplicate work");
         assert_eq!(e.stats().cache_hits, 31);
         assert_eq!(e.catalog().cached_extensions(doc), 1);
+    }
+
+    #[test]
+    fn epoch_readers_keep_their_snapshot() {
+        let (engine, doc) = bonus_engine();
+        let q = p("IT-personnel//person/bonus");
+        let ee = EpochEngine::new(engine);
+        let before = ee.read();
+        let baseline = before.answer(doc, &q).unwrap().nodes;
+        assert_eq!(ee.epoch(), 0);
+
+        // Publish epoch 1: delete the first person under the root.
+        let victim = {
+            let pdoc = before.document(doc).unwrap();
+            let root = pdoc.root();
+            *pdoc.children(root).first().unwrap()
+        };
+        ee.update(|e| e.apply_edits(doc, &[Edit::DeleteSubtree { node: victim }]))
+            .unwrap();
+        assert_eq!(ee.epoch(), 1);
+
+        // The pre-publish snapshot still answers the pre-edit state,
+        // bit-identically; the new epoch answers the post-edit state.
+        assert_eq!(before.answer(doc, &q).unwrap().nodes, baseline);
+        let after = ee.read().answer(doc, &q).unwrap().nodes;
+        assert_ne!(after, baseline, "the edit changed the answer");
+        let mut cold = Engine::new();
+        let cd = cold
+            .add_document("pper", (*ee.read().document(doc).unwrap()).clone())
+            .unwrap();
+        cold.register_views([
+            View::new("rick", p("IT-personnel//person[name/Rick]/bonus")),
+            View::new("bonuses", p("IT-personnel//person/bonus")),
+        ])
+        .unwrap();
+        assert_eq!(
+            after,
+            cold.answer(cd, &q).unwrap().nodes,
+            "published epoch bit-identical to a cold post-edit engine"
+        );
+    }
+
+    #[test]
+    fn failed_update_publishes_nothing() {
+        let (engine, _) = bonus_engine();
+        let ee = EpochEngine::new(engine);
+        let err: Result<(), EngineError> = ee.update(|e| {
+            e.set_cache_budget(1); // mutates the doomed clone only
+            Err(EngineError::DuplicateView("x".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(ee.epoch(), 0, "no epoch published on Err");
+        assert_eq!(ee.read().cache_budget(), u64::MAX, "clone was discarded");
+    }
+
+    #[test]
+    fn panicking_update_is_contained_and_recovered() {
+        let (engine, doc) = bonus_engine();
+        let q = p("IT-personnel//person/bonus[laptop]");
+        let ee = EpochEngine::new(engine);
+        let baseline = ee.read().answer(doc, &q).unwrap().nodes;
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Result<(), EngineError> = ee.update(|_| panic!("injected mid-update panic"));
+        }));
+        assert!(panicked.is_err());
+        // The poisoned writer mutex recovers; the published epoch never
+        // saw the half-applied clone; later writers still publish.
+        assert_eq!(ee.epoch(), 0);
+        assert_eq!(ee.read().answer(doc, &q).unwrap().nodes, baseline);
+        ee.update(|e| {
+            e.add_document("fresh", parse_pdocument("a[b]").unwrap())
+                .map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(ee.epoch(), 1);
+        assert_eq!(ee.read().document_count(), 2);
+    }
+
+    #[test]
+    fn readers_do_not_block_on_a_slow_writer() {
+        use std::sync::atomic::AtomicBool;
+        let (engine, doc) = bonus_engine();
+        let q = p("IT-personnel//person/bonus");
+        let ee = EpochEngine::new(engine);
+        let baseline = ee.read().answer(doc, &q).unwrap().nodes;
+        let in_prepare = AtomicBool::new(false);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                ee.update(|e| {
+                    in_prepare.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    e.add_document("held", parse_pdocument("a[b]").unwrap())
+                        .map(|_| ())
+                })
+                .unwrap();
+            });
+            while !in_prepare.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // The writer is parked mid-prepare; a read must complete now,
+            // against the still-published epoch 0.
+            let nodes = ee.read().answer(doc, &q).unwrap().nodes;
+            assert_eq!(nodes, baseline);
+            assert_eq!(ee.epoch(), 0, "nothing published yet");
+            release.store(true, Ordering::SeqCst);
+        });
+        assert_eq!(ee.epoch(), 1);
+        assert_eq!(ee.read().document_count(), 2);
+    }
+
+    #[test]
+    fn update_in_place_mutates_published_state_without_an_epoch() {
+        let (engine, doc) = bonus_engine();
+        let ee = EpochEngine::new(engine);
+        ee.read().warm(doc).unwrap();
+        let n = ee.update_in_place(|e| e.invalidate(doc).unwrap());
+        assert_eq!(n, 2, "both warm extensions dropped in place");
+        assert_eq!(ee.epoch(), 0, "in-place mutation publishes no epoch");
+        assert_eq!(ee.read().catalog().cached_extensions(doc), 0);
     }
 }

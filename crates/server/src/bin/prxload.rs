@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! prxload [--addr HOST:PORT] [--connections N] [--requests N]
-//!         [--persons N] [--no-setup] [--quiet]
+//!         [--persons N] [--storm] [--no-setup] [--quiet]
 //! ```
 //!
 //! Unless `--no-setup` is given, it first provisions the B10 workload on
@@ -14,8 +14,15 @@
 //! batch experiments), and reports aggregate throughput, per-connection
 //! latency, and the server's protocol-error count. Exit code is non-zero
 //! if any request failed — the CI smoke job asserts a zero-error burst.
+//!
+//! `--storm` adds one writer connection that applies `UPDATE`s (insert
+//! then delete of a bonus-less person, so query answers are unaffected)
+//! for the whole duration of the query burst — the CI storm job uses it
+//! to prove readers ride published engine epochs instead of waiting on
+//! writers.
 
 use pxv_server::client::Client;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Document name used by the generated workload.
@@ -36,6 +43,7 @@ struct Args {
     connections: usize,
     requests: usize,
     persons: usize,
+    storm: bool,
     setup: bool,
     quiet: bool,
 }
@@ -46,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         connections: 8,
         requests: 200,
         persons: 100,
+        storm: false,
         setup: true,
         quiet: false,
     };
@@ -65,12 +74,13 @@ fn parse_args() -> Result<Args, String> {
             "--persons" => {
                 args.persons = value(&flag)?.parse().map_err(|e| format!("{flag}: {e}"))?
             }
+            "--storm" => args.storm = true,
             "--no-setup" => args.setup = false,
             "--quiet" => args.quiet = true,
             other => {
                 return Err(format!(
                     "unknown flag `{other}`\nusage: prxload [--addr HOST:PORT] [-c N] [-n N] \
-                     [--persons N] [--no-setup] [--quiet]"
+                     [--persons N] [--storm] [--no-setup] [--quiet]"
                 ))
             }
         }
@@ -104,6 +114,49 @@ fn setup(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The storm writer: insert-then-delete `UPDATE` pairs on one dedicated
+/// connection until the query burst ends. The inserted person carries no
+/// `bonus` node, so every concurrent query's answer is unchanged — any
+/// error or divergence the readers see is a server bug, not workload
+/// noise. Returns (updates applied, update failures).
+fn storm_loop(addr: &str, persons: usize, stop: &AtomicBool) -> (usize, usize) {
+    use pxv_pxml::edit::Edit;
+    use pxv_pxml::text::parse_pdocument;
+    let Ok(mut writer) = Client::connect(addr) else {
+        return (0, 1);
+    };
+    // Same seed as setup(): the generated document's root id is stable.
+    let root = pxv_pxml::generators::personnel(persons, 3, 9).0.root();
+    let subtree = parse_pdocument("person[name[Ghost]]").expect("static subtree");
+    let (mut ok, mut failed) = (0usize, 0usize);
+    while !stop.load(Ordering::Relaxed) {
+        let inserted = writer.update(
+            DOC,
+            &Edit::InsertSubtree {
+                parent: root,
+                prob: 1.0,
+                subtree: subtree.clone(),
+            },
+        );
+        match inserted {
+            Ok(outcome) => {
+                ok += 1;
+                let Some(ghost) = outcome.inserted else {
+                    failed += 1;
+                    continue;
+                };
+                match writer.update(DOC, &Edit::DeleteSubtree { node: ghost }) {
+                    Ok(_) => ok += 1,
+                    Err(_) => failed += 1,
+                }
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let _ = writer.quit();
+    (ok, failed)
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
     if args.setup {
@@ -114,9 +167,14 @@ fn run() -> Result<bool, String> {
     for _ in 0..args.connections {
         clients.push(Client::connect(&args.addr).map_err(|e| format!("connect: {e}"))?);
     }
+    let stop_storm = AtomicBool::new(false);
     let t0 = Instant::now();
-    let outcomes: Vec<(usize, usize)> = std::thread::scope(|scope| {
-        clients
+    let (outcomes, storm): (Vec<(usize, usize)>, (usize, usize)) = std::thread::scope(|scope| {
+        let storm_thread = args.storm.then(|| {
+            let (addr, persons, stop) = (&args.addr, args.persons, &stop_storm);
+            scope.spawn(move || storm_loop(addr, persons, stop))
+        });
+        let outcomes: Vec<(usize, usize)> = clients
             .into_iter()
             .enumerate()
             .map(|(i, mut client)| {
@@ -138,7 +196,12 @@ fn run() -> Result<bool, String> {
             .collect::<Vec<_>>()
             .into_iter()
             .map(|t| t.join().expect("load thread panicked"))
-            .collect()
+            .collect();
+        stop_storm.store(true, Ordering::Relaxed);
+        let storm = storm_thread
+            .map(|t| t.join().expect("storm thread panicked"))
+            .unwrap_or((0, 0));
+        (outcomes, storm)
     });
     let elapsed = t0.elapsed();
     let ok: usize = outcomes.iter().map(|&(ok, _)| ok).sum();
@@ -157,6 +220,12 @@ fn run() -> Result<bool, String> {
             ok,
             failed,
         );
+        if args.storm {
+            println!(
+                "storm: {} update(s) applied concurrently, {} failed",
+                storm.0, storm.1
+            );
+        }
         // Server-side view of the same burst.
         if let Ok(mut c) = Client::connect(&args.addr) {
             if let Ok(stats) = c.stats() {
@@ -174,7 +243,7 @@ fn run() -> Result<bool, String> {
             let _ = c.quit();
         }
     }
-    Ok(failed == 0)
+    Ok(failed == 0 && storm.1 == 0)
 }
 
 fn main() -> std::process::ExitCode {

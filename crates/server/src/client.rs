@@ -248,6 +248,33 @@ impl Client {
         self.query_text(doc, &query.to_string())
     }
 
+    /// Pipelines a whole round of queries on this one connection: every
+    /// request line is written before any response is read, then the
+    /// answers are drained in request order. The server frames them all
+    /// immediately and executes them strictly in order (one in flight
+    /// per connection), so responses never interleave — this helper is
+    /// how the e2e tests pin that contract down.
+    pub fn query_pipelined(
+        &mut self,
+        doc: &str,
+        queries: &[TreePattern],
+    ) -> Result<Vec<WireAnswer>, ClientError> {
+        let mut request = String::new();
+        for q in queries {
+            let line = format!("QUERY {doc} {q}");
+            if line.contains('\n') {
+                return Err(ClientError::Unexpected(format!(
+                    "request contains a newline and cannot be framed: {line:?}"
+                )));
+            }
+            request.push_str(&line);
+            request.push('\n');
+        }
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.flush()?;
+        queries.iter().map(|_| self.read_answer()).collect()
+    }
+
     /// Answers one query with explicit options (serialized as trailing
     /// `key=value` tokens).
     pub fn query_with(

@@ -2,32 +2,38 @@
 //!
 //! Exposes one shared [`pxv_engine::Engine`] over TCP with a hand-rolled,
 //! std-only stack: no async runtime, no serialization framework — a
-//! line-oriented wire protocol over `std::net`, a fixed-size worker pool
-//! of plain threads, and a blocking client. The engine already answers
-//! queries through `&self` (sharded catalog, single-flight
-//! materialization, plan cache), so the server's job is only transport:
-//! sessions take a `read` lock on the engine for query traffic and a
-//! `write` lock for the rare administrative requests (`LOAD`, `VIEW`,
-//! `INVALIDATE`).
+//! line-oriented wire protocol over `std::net`, an evented reactor over
+//! `poll(2)`, a small worker pool of plain threads, and a blocking
+//! client. Connections are **not** bound to threads: one reactor thread
+//! multiplexes every socket (nonblocking, with per-connection read/write
+//! buffers and request pipelining) and hands complete requests to the
+//! workers, so thousands of connections ride on a handful of threads.
+//! The engine side is MVCC: reads resolve against the current published
+//! [`pxv_engine::EpochEngine`] epoch and never block on a writer;
+//! writers prepare a successor engine privately and publish it with one
+//! atomic swap.
 //!
 //! ```text
-//!   client ──TCP──▶ accept thread ──channel──▶ worker pool (N threads)
-//!                        │                          │ per-connection session
-//!                        │ connection cap           ▼
-//!                        ▼                   Arc<RwLock<Engine>>
-//!                   ERR busy                 (read: QUERY/BATCH/WARM/STATS,
-//!                                             write: LOAD/VIEW/INVALIDATE)
+//!   clients ══TCP══▶ reactor thread ──jobs──▶ worker pool (N threads)
+//!   (many)           poll(2) over:   ◀─done──      │
+//!                    listener + conns               ▼
+//!                    (nonblocking,            EpochEngine
+//!                     rbuf/wbuf,        read:  QUERY/BATCH/WARM/STATS/…
+//!                     pipelining,       write: LOAD/VIEW/UPDATE/RESTORE
+//!                     `ERR busy` cap)          (clone → publish swap)
 //! ```
 //!
-//! The three layers:
+//! The layers:
 //!
 //! - [`protocol`] — requests, tagged-line responses, typed
 //!   [`protocol::ProtocolError`]s; reuses the `pxv_pxml::text` and
 //!   `pxv_tpq::parse` display forms, whose round-trip property is
 //!   load-bearing here.
+//! - [`poll`] — the crate's entire FFI surface: a safe wrapper over
+//!   `poll(2)` (std links libc on Unix; no external crates).
 //! - [`serve`] — [`serve::serve`] binds a listener and returns a
 //!   [`serve::ServerHandle`] (ephemeral ports supported: bind to port 0);
-//!   graceful shutdown, connection limits, and atomic
+//!   the reactor, graceful shutdown, connection limits, and atomic
 //!   [`stats::ServerStats`] with a fixed-bucket latency histogram.
 //! - [`client`] — a blocking [`client::Client`] speaking the protocol,
 //!   used by the `prxload` load generator, the e2e tests, and the
@@ -57,6 +63,8 @@
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(unix)]
+pub mod poll;
 pub mod protocol;
 pub mod serve;
 pub mod stats;

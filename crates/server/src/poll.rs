@@ -1,0 +1,123 @@
+//! Std-only readiness polling: a thin, safe wrapper over `poll(2)`.
+//!
+//! The no-external-crates constraint rules out `mio`, but it does not
+//! rule out the portable Unix readiness syscall itself — std already
+//! links `libc` on every Unix target, so declaring the one symbol we
+//! need is enough. This module is the entire FFI surface of the crate:
+//! one `#[repr(C)]` struct mirroring `struct pollfd` and one extern
+//! function. Everything above it (the reactor in [`crate::serve`])
+//! is safe code.
+//!
+//! Scope: Unix only (`cfg(unix)` at the module declaration). Linux is
+//! the deployment target; `nfds_t` is declared as `c_ulong`, which
+//! matches glibc/musl.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_ulong};
+
+/// Readable (or a peer's half-close, reported together with
+/// [`POLLHUP`]).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (returned in `revents` only; never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (returned in `revents` only; never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The fd is invalid (returned in `revents` only; never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// Mirror of `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (a negative fd is ignored by the
+    /// kernel — handy for keeping slot indices stable).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events (filled in by the kernel).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A descriptor watched for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Did the kernel report any of `mask` (or a condition that implies
+    /// it can be serviced, i.e. error/hangup for a read interest)?
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & (mask | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until at least one watched descriptor is ready, or
+/// `timeout_ms` elapses (`0` returns immediately, negative blocks
+/// forever). Returns the number of descriptors with nonzero `revents`.
+/// `EINTR` is reported as `Ok(0)` — callers loop anyway.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `PollFd` is `#[repr(C)]`-identical to `struct pollfd`, the
+    // slice is valid for `fds.len()` entries for the duration of the
+    // call, and the kernel only writes `revents` within those bounds.
+    let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+    if n < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn reports_readability_and_timeout() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        // Nothing written yet: a zero-timeout poll reports not ready.
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        assert!(!fds[0].ready(POLLIN));
+        a.write_all(b"x").unwrap();
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].ready(POLLIN));
+        let mut buf = [0u8; 1];
+        let mut b = b;
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"x");
+    }
+
+    #[test]
+    fn hangup_counts_as_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(a);
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].ready(POLLIN), "EOF/hangup wakes a read interest");
+    }
+
+    #[test]
+    fn negative_fd_is_ignored() {
+        let mut fds = [PollFd::new(-1, POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+}

@@ -512,6 +512,19 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     }
 }
 
+/// Framing helper for evented servers: `Some(count)` iff `line` is a
+/// well-formed `BATCH` header whose `count` body lines follow on the
+/// connection. A malformed header (bad or out-of-range count) returns
+/// `None` — it frames as an ordinary one-line request and earns its
+/// `ERR` without consuming body lines, exactly like the threaded
+/// server's inline parse did.
+pub fn batch_header(line: &str) -> Option<usize> {
+    match parse_request(line) {
+        Ok(Request::Batch { count }) => Some(count),
+        _ => None,
+    }
+}
+
 /// Parses one `<doc> <tpq-text>` line of a `BATCH` body (no per-line
 /// options — a batch runs under the engine's default options).
 pub fn parse_batch_line(line: &str) -> Result<(String, TreePattern), ProtocolError> {

@@ -1,37 +1,58 @@
-//! The threaded TCP server: one accept thread feeding a fixed-size
-//! worker pool over an in-process channel, one session per connection.
+//! The evented TCP server: one reactor thread multiplexing every
+//! connection over [`poll(2)`](crate::poll), a small worker pool
+//! executing requests against an MVCC [`EpochEngine`], and per-connection
+//! read/write buffers with request pipelining.
 //!
-//! # Threading model
+//! # Architecture
 //!
-//! - The **accept thread** owns the listener. It admits a connection if
-//!   the number of in-flight sessions (queued + running) is under
-//!   [`ServerConfig::max_connections`], otherwise it answers `ERR busy`
-//!   and closes — back-pressure is explicit and observable, never an
-//!   unbounded queue.
-//! - **Workers** (`ServerConfig::workers` plain threads) pull admitted
-//!   connections off the channel and run the whole session: read a line,
-//!   execute, write the tagged response, repeat until `QUIT`, EOF, or
-//!   shutdown. A session takes the engine's `read` lock for query
-//!   traffic (`QUERY`, `BATCH`, `WARM`, `STATS`, `BUDGET`, `ADVISE`)
-//!   and the `write` lock only for requests that mutate the catalog
-//!   (`LOAD`, `VIEW`, `INVALIDATE`, `UPDATE`, `ADVISE AUTO`),
-//!   so queries from many connections run truly in parallel — the
-//!   engine's sharded, single-flight catalog does the rest.
-//! - **Graceful shutdown**: [`ServerHandle::shutdown`] sets a flag and
-//!   wakes the accept thread with a loopback connection; sessions poll
-//!   the flag on a short read timeout and drain. Every thread is joined
-//!   before `shutdown` returns.
+//! - The **reactor** (one thread) owns the listener, a self-pipe, and
+//!   every connection — all nonblocking. It accepts, frames request
+//!   lines out of per-connection read buffers, queues complete requests,
+//!   dispatches at most one request per connection at a time to the
+//!   workers, and flushes response bytes back out. Connection count is
+//!   bounded by [`ServerConfig::max_connections`] (a real limit on open
+//!   sockets, not a thread count); beyond it a connection gets one
+//!   best-effort nonblocking `ERR busy` line and is closed — a stalled
+//!   client can never wedge admission.
+//! - **Workers** ([`ServerConfig::workers`] plain threads) execute one
+//!   framed request at a time: reads (`QUERY`, `BATCH`, `WARM`, `STATS`,
+//!   `SAVE`, `ADVISE`) resolve against the current published engine
+//!   epoch ([`EpochEngine::read`]) and never block on a writer; writers
+//!   (`LOAD`, `VIEW`, `UPDATE`, `ADVISE AUTO`, `RESTORE`) prepare a new
+//!   engine off to the side and publish it with one atomic swap.
+//!   Completed responses travel back to the reactor over a completion
+//!   queue plus a self-pipe wake.
+//! - **Pipelining**: clients may write many requests without waiting.
+//!   The reactor frames them all, executes them strictly in order per
+//!   connection (one in flight at a time — responses can never
+//!   interleave), and stops reading a connection whose queue or write
+//!   buffer is full, so back-pressure is per-connection and bounded.
+//! - **Panic containment**: a request that panics is caught in the
+//!   worker and answered with an `ERR engine` line. Mutating requests
+//!   run on a private engine clone, so a mid-`UPDATE` panic discards the
+//!   clone and the published epoch is untouched; the engine's internal
+//!   locks recover from poisoning, so the historical death spiral (one
+//!   panic turning every later request into a panic) cannot recur.
+//! - **Graceful shutdown** ([`ServerHandle::shutdown`] or the `SHUTDOWN`
+//!   verb): the reactor stops accepting, lets in-flight requests finish,
+//!   sends idle sessions an `ERR shutdown` line, flushes, and joins the
+//!   workers. Every thread is joined before `shutdown`/`wait` returns.
 
+use crate::poll::{poll_fds, PollFd, POLLIN, POLLNVAL, POLLOUT};
 use crate::protocol::{
-    parse_batch_line, parse_request, write_advice, write_answer, ProtocolError, Request, MAX_BATCH,
+    batch_header, parse_batch_line, parse_request, write_advice, write_answer, ProtocolError,
+    Request, MAX_BATCH,
 };
 use crate::stats::{ServerStats, ServerStatsSnapshot};
-use pxv_engine::{DocId, Engine, EngineError};
-use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use pxv_engine::{DocId, Engine, EngineError, EpochEngine};
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,10 +61,11 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port (tests, benches).
     pub addr: String,
-    /// Worker threads — the number of sessions served concurrently.
+    /// Request-execution threads. Connections are **not** bound to
+    /// workers — thousands of connections multiplex over a few threads.
     pub workers: usize,
-    /// Admission cap on in-flight sessions (queued + running); beyond it
-    /// connections get `ERR busy` and are closed.
+    /// Cap on concurrently open connections; beyond it new connections
+    /// get `ERR busy` and are closed.
     pub max_connections: usize,
 }
 
@@ -52,35 +74,62 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7878".into(),
             workers: 8,
-            max_connections: 64,
+            max_connections: 1024,
         }
     }
 }
 
-/// State shared by the accept thread, the workers, and the handle.
+/// Longest request line the server will buffer (documents travel on one
+/// line, so this is generous — ~16 MiB). Beyond it the connection is
+/// dropped: without the cap, a client streaming bytes with no `\n`
+/// would grow the line buffer until the process is OOM-killed.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// Most requests a connection may have framed-but-unanswered before the
+/// reactor stops reading it (kernel-buffer back-pressure takes over).
+const QUEUE_CAP: usize = 64;
+
+/// Stop dispatching a connection's queued requests while this many
+/// response bytes are still unflushed to it — a client that pipelines
+/// but never reads cannot grow the write buffer without bound.
+const WBUF_SOFT_CAP: usize = 8 << 20;
+
+/// Reactor poll tick: the upper bound on shutdown-flag observation
+/// latency if every wake byte were lost (they are not; this is a belt).
+const POLL_TICK_MS: i32 = 100;
+
+/// How long shutdown waits for in-flight requests and unflushed
+/// responses before force-closing what remains.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// State shared by the reactor, the workers, and the handle.
 struct Shared {
-    engine: RwLock<Engine>,
+    engine: EpochEngine,
     stats: ServerStats,
     shutdown: AtomicBool,
-    /// Sessions admitted but not yet finished (back-pressure gauge).
+    /// Open connections (reactor-maintained gauge; `STATS active=`).
     active: AtomicUsize,
-    /// The bound address — what the `SHUTDOWN` request connects to in
-    /// order to wake the accept thread out of its blocking `accept()`.
-    addr: SocketAddr,
 }
 
-/// Wakes a blocking `accept()` on `addr` with a loopback connection. A
-/// wildcard bind address (0.0.0.0 / ::) is not connectable on every
-/// platform — substitute the loopback of the same family.
-fn wake_accept(addr: SocketAddr) {
-    let mut wake = addr;
-    if wake.ip().is_unspecified() {
-        wake.set_ip(match wake.ip() {
-            std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-            std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-        });
-    }
-    let _ = TcpStream::connect(wake);
+/// One framed request on its way to a worker. `unit` is the request
+/// line, plus the body lines for `BATCH`.
+struct Job {
+    conn: usize,
+    gen: u64,
+    unit: Vec<String>,
+    enqueued: Instant,
+}
+
+/// One finished response on its way back to the reactor.
+struct Done {
+    conn: usize,
+    gen: u64,
+    bytes: Vec<u8>,
+    quit: bool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A running server: its address, stats, and the threads behind it.
@@ -89,7 +138,9 @@ fn wake_accept(addr: SocketAddr) {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    /// Write end of the reactor's self-pipe (shutdown wake-up).
+    wake: UnixStream,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -104,18 +155,25 @@ impl ServerHandle {
         self.shared.stats.snapshot()
     }
 
-    /// Runs a closure against the shared engine (read lock) — lets the
-    /// process hosting the server inspect state without a socket.
-    pub fn with_engine<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
-        f(&self.shared.engine.read().expect("engine poisoned"))
+    /// Number of currently open connections (the admission gauge).
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
     }
 
-    /// Signals shutdown, wakes the accept thread, and joins every
-    /// thread. In-flight sessions notice within the session poll
-    /// interval (~200 ms) and drain first.
+    /// Runs a closure against the current engine epoch — lets the
+    /// process hosting the server inspect state without a socket. The
+    /// closure sees a consistent snapshot; a concurrently publishing
+    /// writer does not disturb it.
+    pub fn with_engine<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
+        f(&self.shared.engine.read())
+    }
+
+    /// Signals shutdown, wakes the reactor, and joins every thread.
+    /// In-flight requests finish first; idle sessions are drained with
+    /// an `ERR shutdown` line.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        wake_accept(self.addr);
+        let _ = (&self.wake).write(&[1]);
         self.join_all();
     }
 
@@ -135,7 +193,7 @@ impl ServerHandle {
     }
 
     fn join_all(&mut self) {
-        if let Some(t) = self.accept.take() {
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
         for t in self.workers.drain(..) {
@@ -144,8 +202,9 @@ impl ServerHandle {
     }
 }
 
-/// Binds `config.addr` and starts the accept thread and worker pool
-/// around `engine`. Returns once the listener is live.
+/// Binds `config.addr` and starts the reactor and worker pool around
+/// `engine` (published as epoch 0 of an [`EpochEngine`]). Returns once
+/// the listener is live.
 pub fn serve(engine: Engine, config: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(
         config
@@ -155,217 +214,543 @@ pub fn serve(engine: Engine, config: &ServerConfig) -> io::Result<ServerHandle> 
             .ok_or_else(|| io::Error::new(ErrorKind::InvalidInput, "unresolvable address"))?,
     )?;
     let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    // Self-pipe: workers (and the handle) write one byte to pull the
+    // reactor out of `poll` the moment a completion (or shutdown) is
+    // ready. Both ends nonblocking: a full pipe means a wake is already
+    // pending, so dropping the byte is fine.
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
     let shared = Arc::new(Shared {
-        engine: RwLock::new(engine),
+        engine: EpochEngine::new(engine),
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
         active: AtomicUsize::new(0),
-        addr,
     });
-    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
-    let rx = Arc::new(Mutex::new(rx));
+    let completions: Arc<Mutex<Vec<Done>>> = Arc::new(Mutex::new(Vec::new()));
+    let (job_tx, job_rx): (Sender<Job>, Receiver<Job>) = channel();
+    let job_rx = Arc::new(Mutex::new(job_rx));
     let workers = (0..config.workers.max(1))
         .map(|_| {
             let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&rx);
-            std::thread::spawn(move || worker_loop(&shared, &rx))
+            let job_rx = Arc::clone(&job_rx);
+            let completions = Arc::clone(&completions);
+            let wake = wake_tx.try_clone()?;
+            Ok(std::thread::spawn(move || {
+                worker_loop(&shared, &job_rx, &completions, &wake)
+            }))
         })
-        .collect();
-    let accept = {
+        .collect::<io::Result<Vec<_>>>()?;
+    let reactor = {
         let shared = Arc::clone(&shared);
+        let completions = Arc::clone(&completions);
         let max_connections = config.max_connections.max(1);
-        std::thread::spawn(move || accept_loop(&listener, &shared, &tx, max_connections))
+        std::thread::spawn(move || {
+            Reactor {
+                listener,
+                wake_rx,
+                shared: &shared,
+                jobs: job_tx,
+                completions: &completions,
+                max_connections,
+                conns: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                next_gen: 0,
+            }
+            .run()
+        })
     };
     Ok(ServerHandle {
         addr,
         shared,
-        accept: Some(accept),
+        wake: wake_tx,
+        reactor: Some(reactor),
         workers,
     })
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Shared,
-    tx: &Sender<TcpStream>,
+/// A partially-collected `BATCH`: the header line plus body lines as
+/// they arrive; dispatched as one unit when `total` lines are framed.
+struct Batch {
+    lines: Vec<String>,
+    total: usize,
+}
+
+/// Reactor-side per-connection state.
+struct Conn {
+    stream: TcpStream,
+    /// Guards completions against slot reuse: a `Done` whose `gen`
+    /// mismatches is for a connection that already closed.
+    gen: u64,
+    /// Bytes read but not yet framed into lines (at most one partial
+    /// line once framing has run).
+    rbuf: Vec<u8>,
+    /// Response bytes not yet written, from `wpos` on.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Framed requests awaiting dispatch, in arrival order.
+    units: VecDeque<Vec<String>>,
+    batch: Option<Batch>,
+    in_flight: bool,
+    /// Peer closed its write half; finish pipelined work, flush, close.
+    eof: bool,
+    /// Close as soon as the write buffer drains (QUIT, shutdown, or a
+    /// fatal framing error already reported).
+    closing: bool,
+}
+
+impl Conn {
+    fn wants_read(&self) -> bool {
+        !self.eof && !self.closing && (self.units.len() < QUEUE_CAP || self.batch.is_some())
+    }
+
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Nothing left to do for this connection?
+    fn drained(&self) -> bool {
+        !self.in_flight && self.units.is_empty() && !self.wants_write()
+    }
+}
+
+/// What a pollfd slot refers to.
+enum Key {
+    Wake,
+    Listener,
+    Conn(usize),
+}
+
+struct Reactor<'a> {
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    shared: &'a Shared,
+    jobs: Sender<Job>,
+    completions: &'a Mutex<Vec<Done>>,
     max_connections: usize,
-) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                // Persistent failures (e.g. fd exhaustion) must not spin a
-                // core, and in that state the loopback shutdown wake-up
-                // cannot connect either — poll the flag here too.
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    next_gen: u64,
+}
+
+impl Reactor<'_> {
+    fn run(mut self) {
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut keys: Vec<Key> = Vec::new();
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            self.deliver_completions();
+            let shutting = self.shared.shutdown.load(Ordering::SeqCst);
+            if shutting {
+                drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                self.begin_drain();
+            }
+            // Sweep: flush what can be flushed, close what is done.
+            for id in 0..self.conns.len() {
+                self.settle(id);
+            }
+            self.shared.active.store(self.live, Ordering::SeqCst);
+            if shutting && (self.live == 0 || drain_deadline.is_some_and(|d| Instant::now() >= d)) {
+                break;
+            }
+
+            fds.clear();
+            keys.clear();
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+            keys.push(Key::Wake);
+            if !shutting {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                keys.push(Key::Listener);
+            }
+            for (id, slot) in self.conns.iter().enumerate() {
+                let Some(c) = slot else { continue };
+                let mut events = 0i16;
+                if c.wants_read() {
+                    events |= POLLIN;
                 }
+                if c.wants_write() {
+                    events |= POLLOUT;
+                }
+                if events != 0 {
+                    fds.push(PollFd::new(c.stream.as_raw_fd(), events));
+                    keys.push(Key::Conn(id));
+                }
+            }
+            if poll_fds(&mut fds, POLL_TICK_MS).is_err() {
+                // EINVAL et al. cannot be polled through; re-check the
+                // shutdown flag rather than spinning on the error.
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            // The wake-up connection (or a late client): turn it away.
-            let _ = writeln!(&stream, "{}", ProtocolError::Shutdown.to_line());
-            break; // tx drops here; workers drain and exit
-        }
-        if shared.active.load(Ordering::SeqCst) >= max_connections {
-            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = writeln!(&stream, "{}", ProtocolError::Busy.to_line());
-            continue;
-        }
-        shared.active.fetch_add(1, Ordering::SeqCst);
-        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-        if tx.send(stream).is_err() {
-            break;
-        }
-    }
-}
-
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
-    loop {
-        // Hold the receiver lock only for the dequeue, not the session.
-        let stream = match rx.lock().expect("receiver poisoned").recv() {
-            Ok(stream) => stream,
-            Err(_) => break, // accept thread gone and queue drained
-        };
-        // Contain a panicking session to its own connection: without the
-        // catch, one bad request would kill this worker for good and leak
-        // its admission slot, shrinking the pool until the server wedges.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session(stream, shared)));
-        shared.active.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-/// Longest request line the server will buffer (documents travel on one
-/// line, so this is generous — ~16 MiB). Beyond it the connection is
-/// dropped: without the cap, a client streaming bytes with no `\n`
-/// would grow the line buffer until the process is OOM-killed.
-pub const MAX_LINE_BYTES: usize = 16 << 20;
-
-/// Reads one `\n`-terminated line, polling the shutdown flag on read
-/// timeouts so idle sessions drain promptly. Returns `None` on EOF or
-/// shutdown; errors on oversized or non-UTF-8 lines (ending the
-/// session). Framing happens on **raw bytes** (`read_until`) and the
-/// UTF-8 conversion only once the line is complete: `read_line`'s
-/// append-to-string guard would discard bytes already consumed from the
-/// socket when a read timeout lands mid-multibyte-character, silently
-/// corrupting the request stream for non-ASCII quoted labels.
-fn read_line_polling(
-    reader: &mut BufReader<TcpStream>,
-    shared: &Shared,
-    buf: &mut String,
-) -> io::Result<Option<()>> {
-    buf.clear();
-    let mut bytes = Vec::new();
-    loop {
-        match reader.read_until(b'\n', &mut bytes) {
-            Ok(0) => return Ok(None),
-            Ok(_) if bytes.ends_with(b"\n") => {
-                let line = std::str::from_utf8(&bytes)
-                    .map_err(|e| io::Error::new(ErrorKind::InvalidData, e))?;
-                buf.push_str(line);
-                return Ok(Some(()));
-            }
-            // A line can arrive split across timeouts: keep appending.
-            Ok(_) => {}
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(None);
+            for (fd, key) in fds.iter().zip(&keys) {
+                match key {
+                    Key::Wake if fd.ready(POLLIN) => self.drain_wake(),
+                    Key::Listener if fd.ready(POLLIN) => self.accept_ready(),
+                    Key::Conn(id) => {
+                        let id = *id;
+                        if fd.revents & POLLNVAL != 0 {
+                            self.close(id);
+                            continue;
+                        }
+                        if fd.ready(POLLOUT) || fd.ready(POLLIN) {
+                            self.service(id, fd.ready(POLLIN));
+                        }
+                    }
+                    _ => {}
                 }
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
         }
-        if bytes.len() > MAX_LINE_BYTES {
-            return Err(io::Error::new(
-                ErrorKind::InvalidData,
-                "request line exceeds MAX_LINE_BYTES",
-            ));
+        // Dropping `self.jobs` disconnects the workers' receiver; they
+        // finish in-flight jobs and exit, and `join_all` collects them.
+    }
+
+    /// Pulls finished responses into their connections' write buffers
+    /// and dispatches the next queued request of each.
+    fn deliver_completions(&mut self) {
+        let done = std::mem::take(&mut *lock(self.completions));
+        for d in done {
+            let Some(c) = self.conns.get_mut(d.conn).and_then(Option::as_mut) else {
+                continue; // connection closed while the request ran
+            };
+            if c.gen != d.gen {
+                continue; // slot was reused
+            }
+            c.in_flight = false;
+            c.wbuf.extend_from_slice(&d.bytes);
+            if d.quit {
+                c.closing = true;
+                c.units.clear();
+                c.batch = None;
+            }
+            self.settle(d.conn);
+        }
+    }
+
+    /// Shutdown drain: idle sessions get the `ERR shutdown` line and
+    /// close; sessions with an in-flight request keep it (the response
+    /// still flushes) but their queued pipeline is dropped.
+    fn begin_drain(&mut self) {
+        for slot in &mut self.conns {
+            let Some(c) = slot else { continue };
+            if c.closing {
+                continue;
+            }
+            c.units.clear();
+            c.batch = None;
+            let line = ProtocolError::Shutdown.to_line();
+            c.wbuf.extend_from_slice(line.as_bytes());
+            c.wbuf.push(b'\n');
+            c.closing = true;
+        }
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        while matches!((&self.wake_rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    /// Accepts until the backlog is empty. Over the connection limit (or
+    /// during shutdown) the socket is made nonblocking *before* the
+    /// single best-effort reply, so a stalled client cannot wedge
+    /// admission for everyone — the historical accept-thread bug.
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient (EMFILE etc.); retry next tick
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                let _ = (&stream).write_all(ProtocolError::Shutdown.to_line().as_bytes());
+                let _ = (&stream).write_all(b"\n");
+                continue;
+            }
+            if self.live >= self.max_connections {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = (&stream).write_all(ProtocolError::Busy.to_line().as_bytes());
+                let _ = (&stream).write_all(b"\n");
+                continue;
+            }
+            stream.set_nodelay(true).ok();
+            self.shared
+                .stats
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            self.next_gen += 1;
+            let conn = Conn {
+                stream,
+                gen: self.next_gen,
+                rbuf: Vec::new(),
+                wbuf: Vec::new(),
+                wpos: 0,
+                units: VecDeque::new(),
+                batch: None,
+                in_flight: false,
+                eof: false,
+                closing: false,
+            };
+            let id = match self.free.pop() {
+                Some(id) => {
+                    self.conns[id] = Some(conn);
+                    id
+                }
+                None => {
+                    self.conns.push(Some(conn));
+                    self.conns.len() - 1
+                }
+            };
+            self.live += 1;
+            self.shared.active.store(self.live, Ordering::SeqCst);
+            let _ = id;
+        }
+    }
+
+    /// Handles readiness on a connection: drain the socket, frame lines
+    /// into request units, then flush/dispatch/close as appropriate.
+    fn service(&mut self, id: usize, readable: bool) {
+        if readable {
+            let Some(c) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+                return;
+            };
+            if read_available(c).is_err() || frame_lines(c, &self.shared.stats).is_err() {
+                self.close(id);
+                return;
+            }
+        }
+        self.settle(id);
+    }
+
+    /// Flush pending bytes, dispatch the next unit, close if finished.
+    fn settle(&mut self, id: usize) {
+        let Some(c) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+            return;
+        };
+        if flush(c).is_err() {
+            self.close(id);
+            return;
+        }
+        if !c.in_flight
+            && !c.closing
+            && c.wbuf.len() - c.wpos <= WBUF_SOFT_CAP
+            && !self.shared.shutdown.load(Ordering::SeqCst)
+        {
+            if let Some(unit) = c.units.pop_front() {
+                c.in_flight = true;
+                let _ = self.jobs.send(Job {
+                    conn: id,
+                    gen: c.gen,
+                    unit,
+                    enqueued: Instant::now(),
+                });
+            }
+        }
+        let Some(c) = self.conns.get_mut(id).and_then(Option::as_mut) else {
+            return;
+        };
+        let finished = (c.closing || c.eof) && c.drained();
+        if finished {
+            self.close(id);
+        }
+    }
+
+    fn close(&mut self, id: usize) {
+        if let Some(slot) = self.conns.get_mut(id) {
+            if slot.take().is_some() {
+                self.free.push(id);
+                self.live -= 1;
+                self.shared.active.store(self.live, Ordering::SeqCst);
+            }
         }
     }
 }
 
-fn session(stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
-    // A client that stops *reading* must not wedge this worker forever in
-    // write_all: a stalled write errors out and ends the session, freeing
-    // the admission slot (and letting shutdown() join the pool).
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut line = String::new();
-    while read_line_polling(&mut reader, shared, &mut line)?.is_some() {
+/// Reads whatever the socket has (nonblocking). EOF sets `conn.eof`;
+/// hard errors are fatal for the connection.
+fn read_available(c: &mut Conn) -> Result<(), ()> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match (&c.stream).read(&mut buf) {
+            Ok(0) => {
+                c.eof = true;
+                return Ok(());
+            }
+            Ok(n) => c.rbuf.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(()),
+        }
+    }
+}
+
+/// Frames complete `\n`-terminated lines out of the read buffer into
+/// request units (collecting `BATCH` bodies). Non-UTF-8 lines and
+/// oversized unterminated lines are fatal, as in the threaded server.
+fn frame_lines(c: &mut Conn, stats: &ServerStats) -> Result<(), ()> {
+    let mut consumed = 0usize;
+    while let Some(rel) = c.rbuf[consumed..].iter().position(|&b| b == b'\n') {
+        let end = consumed + rel;
+        let Ok(line) = std::str::from_utf8(&c.rbuf[consumed..end]) else {
+            return Err(());
+        };
+        let line = line.to_string();
+        consumed = end + 1;
+        if let Some(batch) = &mut c.batch {
+            batch.lines.push(line);
+            if batch.lines.len() == batch.total {
+                let batch = c.batch.take().expect("just matched");
+                push_unit(c, batch.lines, stats);
+            }
+            continue;
+        }
         if line.trim().is_empty() {
             continue; // blank keep-alive lines are not an error
         }
-        let t0 = Instant::now();
-        let mut out = Vec::with_capacity(256);
-        let quit = handle_line(&line, shared, &mut reader, &mut out)?;
-        writer.write_all(&out)?;
-        writer.flush()?;
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        shared.stats.latency.record(t0.elapsed());
-        if quit {
-            break;
+        match batch_header(&line) {
+            Some(count) => {
+                c.batch = Some(Batch {
+                    lines: vec![line],
+                    total: count + 1,
+                })
+            }
+            None => push_unit(c, vec![line], stats),
         }
-        // A client pipelining back-to-back requests never hits the read
-        // timeout where the flag is otherwise polled — check it between
-        // requests too, so shutdown() drains within one request.
-        if shared.shutdown.load(Ordering::SeqCst) {
-            let _ = writeln!(writer, "{}", ProtocolError::Shutdown.to_line());
-            break;
-        }
+    }
+    c.rbuf.drain(..consumed);
+    if c.rbuf.len() > MAX_LINE_BYTES {
+        return Err(());
     }
     Ok(())
 }
 
-/// Executes one request line, writing the full response into `out`.
-/// Returns `true` when the session should end (`QUIT`).
-fn handle_line(
-    line: &str,
+fn push_unit(c: &mut Conn, unit: Vec<String>, stats: &ServerStats) {
+    if c.in_flight || !c.units.is_empty() {
+        stats.pipelined.fetch_add(1, Ordering::Relaxed);
+    }
+    c.units.push_back(unit);
+}
+
+/// Writes as much of the pending response as the socket accepts.
+fn flush(c: &mut Conn) -> Result<(), ()> {
+    while c.wpos < c.wbuf.len() {
+        match (&c.stream).write(&c.wbuf[c.wpos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => c.wpos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(()),
+        }
+    }
+    c.wbuf.clear();
+    c.wpos = 0;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Worker side: execute framed request units against the EpochEngine.
+// ---------------------------------------------------------------------
+
+fn worker_loop(
     shared: &Shared,
-    reader: &mut BufReader<TcpStream>,
-    out: &mut Vec<u8>,
-) -> io::Result<bool> {
+    jobs: &Mutex<Receiver<Job>>,
+    completions: &Mutex<Vec<Done>>,
+    wake: &UnixStream,
+) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the request.
+        let job = match lock(jobs).recv() {
+            Ok(job) => job,
+            Err(_) => break, // reactor gone and queue drained
+        };
+        let mut out = Vec::with_capacity(256);
+        // Contain a panicking request to an ERR response: the engine's
+        // locks recover from poisoning and mutating requests run on a
+        // private clone, so the published state stays consistent.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_unit(&job.unit, shared, &mut out)
+        }));
+        let quit = match outcome {
+            Ok(quit) => quit,
+            Err(_) => {
+                out.clear();
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let e = ProtocolError::Engine(
+                    "panic while serving request; state rolled back to the published epoch".into(),
+                );
+                let _ = writeln!(out, "{}", e.to_line());
+                false
+            }
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        shared.stats.latency.record(job.enqueued.elapsed());
+        lock(completions).push(Done {
+            conn: job.conn,
+            gen: job.gen,
+            bytes: out,
+            quit,
+        });
+        // Nonblocking self-pipe: a full pipe already has a wake pending.
+        let _ = (&*wake).write(&[1]);
+    }
+}
+
+/// Executes one framed request unit, writing the full response into
+/// `out`. Returns `true` when the connection should close (`QUIT`,
+/// `SHUTDOWN`).
+fn handle_unit(unit: &[String], shared: &Shared, out: &mut Vec<u8>) -> bool {
+    let line = &unit[0];
+    #[cfg(debug_assertions)]
+    if line.trim() == "__PANIC" {
+        // Debug-only fault injection for the poisoning regression test:
+        // panic *inside* an epoch update — the historical worst case,
+        // which used to poison the engine lock and kill every later
+        // request on every connection.
+        let _: Result<(), EngineError> = shared
+            .engine
+            .update(|_| panic!("__PANIC: injected mid-update fault"));
+        unreachable!("the injected panic unwinds past this point");
+    }
     let request = match parse_request(line) {
         Ok(request) => request,
         Err(e) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            writeln!(out, "{}", e.to_line())?;
-            return Ok(false);
+            let _ = writeln!(out, "{}", e.to_line());
+            return false;
         }
     };
     let result = match request {
         Request::Quit => {
-            writeln!(out, "OK bye")?;
-            return Ok(true);
+            let _ = writeln!(out, "OK bye");
+            return true;
         }
         Request::Ping => {
-            writeln!(out, "PONG")?;
-            return Ok(false);
+            let _ = writeln!(out, "PONG");
+            return false;
         }
         Request::Shutdown => {
-            // Acknowledge first (the session writes `out` before it
-            // breaks), then raise the flag and wake the accept thread so
-            // `ServerHandle::wait`/`join` returns. Peer sessions drain on
-            // their next poll tick.
-            writeln!(out, "OK shutting-down")?;
+            // Acknowledge, then raise the flag; the completion wake pulls
+            // the reactor out of `poll`, which drains every session.
+            let _ = writeln!(out, "OK shutting-down");
             shared.shutdown.store(true, Ordering::SeqCst);
-            wake_accept(shared.addr);
-            return Ok(true);
+            return true;
         }
         Request::Batch { count } => {
-            return handle_batch(count, shared, reader, out).map(|()| false)
+            handle_batch(count, &unit[1..], shared, out);
+            return false;
         }
         other => execute(other, shared, out),
     };
     if let Err(e) = result {
         shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-        writeln!(out, "{}", e.to_line())?;
+        let _ = writeln!(out, "{}", e.to_line());
     }
-    Ok(false)
+    false
 }
 
 fn engine_err(e: EngineError) -> ProtocolError {
@@ -381,32 +766,41 @@ fn find_doc(engine: &Engine, name: &str) -> Result<DocId, ProtocolError> {
         .ok_or_else(|| ProtocolError::UnknownDoc(format!("no document named `{name}`")))
 }
 
-/// Executes one non-batch request against the shared engine and writes
-/// its success response; errors bubble up to be written as `ERR` lines.
+/// Executes one non-batch request and writes its success response;
+/// errors bubble up to be written as `ERR` lines.
+///
+/// The epoch discipline: reads resolve against [`EpochEngine::read`]
+/// and never block; catalog mutations go through [`EpochEngine::update`]
+/// (prepare on a clone, publish atomically); `INVALIDATE`/`BUDGET` are
+/// in-place because their effects are recomputable cache state the
+/// engine already defines as safe under concurrent readers.
 fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
     match request {
         Request::Load { doc, pdoc } => {
             let nodes = pdoc.len();
-            let mut engine = shared.engine.write().expect("engine poisoned");
             // LOAD is upsert: re-loading a name replaces the content and
             // invalidates its cached extensions.
-            match engine.find_document(&doc) {
-                Some(id) => engine.replace_document(id, pdoc).map_err(engine_err)?,
-                None => {
-                    engine.add_document(&doc, pdoc).map_err(engine_err)?;
-                }
-            }
+            shared
+                .engine
+                .update(|engine| match engine.find_document(&doc) {
+                    Some(id) => engine.replace_document(id, pdoc).map_err(engine_err),
+                    None => engine
+                        .add_document(&doc, pdoc)
+                        .map_err(engine_err)
+                        .map(|_| ()),
+                })?;
             writeln!(out, "OK doc {doc} nodes={nodes}").map_err(io_to_protocol)
         }
         Request::View { name, pattern } => {
-            let mut engine = shared.engine.write().expect("engine poisoned");
-            engine
-                .register_view(pxv_engine::View::new(&name, pattern))
-                .map_err(engine_err)?;
+            shared.engine.update(|engine| {
+                engine
+                    .register_view(pxv_engine::View::new(&name, pattern))
+                    .map_err(engine_err)
+            })?;
             writeln!(out, "OK view {name}").map_err(io_to_protocol)
         }
         Request::Warm { doc } => {
-            let engine = shared.engine.read().expect("engine poisoned");
+            let engine = shared.engine.read();
             let id = find_doc(&engine, &doc)?;
             let n = engine.warm(id).map_err(engine_err)?;
             writeln!(out, "OK warmed {n}").map_err(io_to_protocol)
@@ -416,7 +810,7 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             query,
             options,
         } => {
-            let engine = shared.engine.read().expect("engine poisoned");
+            let engine = shared.engine.read();
             let id = find_doc(&engine, &doc)?;
             let answer = engine
                 .answer_with(id, &query, &options)
@@ -424,26 +818,27 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             write_answer(out, &answer).map_err(io_to_protocol)
         }
         Request::Invalidate { doc } => {
-            let engine = shared.engine.write().expect("engine poisoned");
-            let id = find_doc(&engine, &doc)?;
-            let n = engine.invalidate(id).map_err(engine_err)?;
+            let n = shared.engine.update_in_place(|engine| {
+                let id = find_doc(engine, &doc)?;
+                engine.invalidate(id).map_err(engine_err)
+            })?;
             writeln!(out, "OK invalidated {n}").map_err(io_to_protocol)
         }
         Request::Update { doc, edit } => {
-            // The engine's apply_edits takes &self, but the server still
-            // serializes updates against query traffic with the write
-            // lock: a query racing the edit must never mix one view's
-            // pre-edit extension with another's post-edit one.
-            let engine = shared.engine.write().expect("engine poisoned");
-            let id = find_doc(&engine, &doc)?;
-            let report = engine
-                .apply_edits(id, std::slice::from_ref(&edit))
-                .map_err(|e| match e {
-                    pxv_engine::EngineError::Edit(edit_err) => {
-                        ProtocolError::BadEdit(edit_err.to_string())
-                    }
-                    other => engine_err(other),
-                })?;
+            // Clone-and-publish: queries racing this edit keep answering
+            // on the pre-edit epoch and can never mix one view's pre-edit
+            // extension with another's post-edit one.
+            let report = shared.engine.update(|engine| {
+                let id = find_doc(engine, &doc)?;
+                engine
+                    .apply_edits(id, std::slice::from_ref(&edit))
+                    .map_err(|e| match e {
+                        pxv_engine::EngineError::Edit(edit_err) => {
+                            ProtocolError::BadEdit(edit_err.to_string())
+                        }
+                        other => engine_err(other),
+                    })
+            })?;
             write!(
                 out,
                 "OK updated edits={} deltas={} fallbacks={} exts={}",
@@ -459,12 +854,9 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             writeln!(out).map_err(io_to_protocol)
         }
         Request::Save { path } => {
-            // Clone the state under the read lock, write the file
-            // outside it — disk latency must not stall query traffic.
-            let snapshot = {
-                let engine = shared.engine.read().expect("engine poisoned");
-                engine.snapshot()
-            };
+            // Snapshot the current epoch, write the file outside any
+            // lock — disk latency stalls nothing.
+            let snapshot = shared.engine.read().snapshot();
             let bytes = pxv_store::write_snapshot(&path, &snapshot)
                 .map_err(|e| ProtocolError::Store(e.to_string()))?;
             writeln!(
@@ -478,9 +870,9 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             .map_err(io_to_protocol)
         }
         Request::Restore { path } => {
-            // Read and rebuild outside the lock; swap atomically under
-            // the write lock. A failed restore leaves the old engine
-            // untouched.
+            // Read and rebuild outside any lock; publish atomically. A
+            // failed restore leaves the current epoch untouched, and
+            // queries keep flowing off it while the rebuild runs.
             let snapshot =
                 pxv_store::read_snapshot(&path).map_err(|e| ProtocolError::Store(e.to_string()))?;
             let (docs, views, exts, epoch) = (
@@ -492,15 +884,10 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             // Options are per-process configuration, not snapshot state:
             // the replacement engine keeps the options the server was
             // configured with.
-            let options = shared
-                .engine
-                .read()
-                .expect("engine poisoned")
-                .options()
-                .clone();
+            let options = shared.engine.read().options().clone();
             let restored = Engine::from_snapshot_with(snapshot, options)
                 .map_err(|e| ProtocolError::Store(e.to_string()))?;
-            *shared.engine.write().expect("engine poisoned") = restored;
+            shared.engine.replace(restored);
             writeln!(
                 out,
                 "OK restored docs={docs} views={views} exts={exts} epoch={epoch}"
@@ -509,53 +896,48 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
         }
         Request::Budget { bytes } => {
             // `set_cache_budget` takes `&self` (eviction runs inside the
-            // catalog), so the read lock suffices — queries keep flowing
-            // while the cache shrinks.
-            let engine = shared.engine.read().expect("engine poisoned");
-            engine.set_cache_budget(bytes);
+            // catalog) — in place, under the writer mutex so a concurrent
+            // clone-writer cannot resurrect the old budget.
+            let cache_bytes = shared.engine.update_in_place(|engine| {
+                engine.set_cache_budget(bytes);
+                engine.cache_bytes()
+            });
             if bytes == u64::MAX {
-                writeln!(
-                    out,
-                    "OK budget=unbounded cache_bytes={}",
-                    engine.cache_bytes()
-                )
+                writeln!(out, "OK budget=unbounded cache_bytes={cache_bytes}")
             } else {
-                writeln!(
-                    out,
-                    "OK budget={bytes} cache_bytes={}",
-                    engine.cache_bytes()
-                )
+                writeln!(out, "OK budget={bytes} cache_bytes={cache_bytes}")
             }
             .map_err(io_to_protocol)
         }
         Request::Advise { auto } => {
             let options = pxv_engine::AdviseOptions::default();
             if auto {
-                // Registration mutates the view catalog: write lock.
-                let mut engine = shared.engine.write().expect("engine poisoned");
-                let (report, registered) =
-                    engine.advise_and_register(&options).map_err(engine_err)?;
+                // Registration mutates the view catalog: epoch update.
+                let (report, registered) = shared
+                    .engine
+                    .update(|engine| engine.advise_and_register(&options).map_err(engine_err))?;
                 write_advice(out, &report, registered.len()).map_err(io_to_protocol)
             } else {
-                let engine = shared.engine.read().expect("engine poisoned");
-                let report = engine.advise(&options);
+                let report = shared.engine.read().advise(&options);
                 write_advice(out, &report, 0).map_err(io_to_protocol)
             }
         }
         Request::Stats => {
-            let engine = shared.engine.read().expect("engine poisoned");
+            let engine = shared.engine.read();
             let es = engine.stats();
             let ss = shared.stats.snapshot();
             writeln!(
                 out,
-                "STATS docs={} views={} epoch={} queries={} tp={} tpi={} direct={} \
-                 mats={} exthits={} inval={} planhits={} planmiss={} \
+                "STATS docs={} views={} epoch={} engine_epoch={} queries={} tp={} tpi={} \
+                 direct={} mats={} exthits={} inval={} planhits={} planmiss={} \
                  edits={} deltas={} fallbacks={} \
                  cache_bytes={} evictions={} admission_rejects={} \
-                 conns={} rejected={} active={} requests={} errors={} p50us={} p99us={}",
+                 conns={} rejected={} active={} requests={} errors={} pipelined={} \
+                 p50us={} p99us={}",
                 engine.document_count(),
                 engine.catalog().len(),
                 engine.catalog_epoch(),
+                shared.engine.epoch(),
                 es.queries,
                 es.plans_tp,
                 es.plans_tpi,
@@ -576,6 +958,7 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
                 shared.active.load(Ordering::SeqCst),
                 ss.requests,
                 ss.errors,
+                ss.pipelined,
                 ss.p50_us,
                 ss.p99_us,
             )
@@ -593,53 +976,44 @@ fn io_to_protocol(e: io::Error) -> ProtocolError {
     ProtocolError::Engine(format!("i/o: {e}"))
 }
 
-/// Reads the `count` body lines of a `BATCH`, answers the well-formed
-/// ones concurrently through [`Engine::answer_batch`], and writes a
-/// `RESULTS` header followed by one `ANSWER` block or `ERR` line per
-/// query, in request order.
-fn handle_batch(
-    count: usize,
-    shared: &Shared,
-    reader: &mut BufReader<TcpStream>,
-    out: &mut Vec<u8>,
-) -> io::Result<()> {
+/// Answers the pre-framed body lines of a `BATCH` concurrently through
+/// [`Engine::answer_batch`] — all against one epoch snapshot, so a batch
+/// racing an `UPDATE` is answered entirely pre- or entirely post-edit —
+/// and writes a `RESULTS` header followed by one `ANSWER` block or `ERR`
+/// line per query, in request order.
+fn handle_batch(count: usize, body: &[String], shared: &Shared, out: &mut Vec<u8>) {
     debug_assert!(count <= MAX_BATCH);
-    let mut line = String::new();
-    let mut items = Vec::with_capacity(count);
-    for _ in 0..count {
-        match read_line_polling(reader, shared, &mut line)? {
-            Some(()) => items.push(parse_batch_line(&line)),
-            None => return Ok(()), // connection died mid-batch
-        }
-    }
-    let engine = shared.engine.read().expect("engine poisoned");
+    debug_assert_eq!(body.len(), count, "reactor frames exactly `count` lines");
+    let engine = shared.engine.read();
     // Resolve names, keeping per-item errors positional; well-formed
-    // queries move (not clone) into the batch, and `resolved` remembers
-    // which positions ran (batch indices are increasing, so draining the
+    // queries move into the batch, and `resolved` remembers which
+    // positions ran (batch indices are increasing, so draining the
     // answers in order realigns them).
     let mut batch: Vec<(DocId, pxv_tpq::TreePattern)> = Vec::new();
-    let resolved: Vec<Result<(), ProtocolError>> = items
-        .into_iter()
-        .map(|item| {
-            let (doc, query) = item?;
+    let resolved: Vec<Result<(), ProtocolError>> = body
+        .iter()
+        .map(|line| {
+            let (doc, query) = parse_batch_line(line)?;
             batch.push((find_doc(&engine, &doc)?, query));
             Ok(())
         })
         .collect();
     let mut answers = engine.answer_batch(&batch).into_iter();
-    writeln!(out, "RESULTS {count}")?;
+    let _ = writeln!(out, "RESULTS {count}");
     let mut errors = 0u64;
     for item in resolved {
         match item {
             Err(e) => {
                 errors += 1;
-                writeln!(out, "{}", e.to_line())?;
+                let _ = writeln!(out, "{}", e.to_line());
             }
             Ok(()) => match answers.next().expect("one answer per resolved query") {
-                Ok(answer) => write_answer(out, &answer)?,
+                Ok(answer) => {
+                    let _ = write_answer(out, &answer);
+                }
                 Err(e) => {
                     errors += 1;
-                    writeln!(out, "{}", engine_err(e).to_line())?;
+                    let _ = writeln!(out, "{}", engine_err(e).to_line());
                 }
             },
         }
@@ -649,5 +1023,4 @@ fn handle_batch(
     if errors > 0 {
         shared.stats.errors.fetch_add(1, Ordering::Relaxed);
     }
-    Ok(())
 }

@@ -75,7 +75,11 @@ pub struct ServerStats {
     /// Requests whose response contained at least one `ERR` line (a
     /// `BATCH` with failing body lines counts once).
     pub(crate) errors: AtomicU64,
-    /// Per-request latency histogram.
+    /// Requests that arrived pipelined — queued behind an earlier,
+    /// still-unanswered request on the same connection.
+    pub(crate) pipelined: AtomicU64,
+    /// Per-request latency histogram (dispatch to response written,
+    /// queue wait included).
     pub(crate) latency: LatencyHistogram,
 }
 
@@ -90,6 +94,9 @@ pub struct ServerStatsSnapshot {
     pub requests: u64,
     /// Requests whose response contained at least one `ERR` line.
     pub errors: u64,
+    /// Requests that were queued behind another in-flight request on the
+    /// same connection (pipelining depth indicator).
+    pub pipelined: u64,
     /// Median request latency (bucket upper bound, µs).
     pub p50_us: u64,
     /// 99th-percentile request latency (bucket upper bound, µs).
@@ -103,6 +110,7 @@ impl ServerStats {
             rejected: self.rejected.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            pipelined: self.pipelined.load(Ordering::Relaxed),
             p50_us: self.latency.quantile_us(0.50),
             p99_us: self.latency.quantile_us(0.99),
         }

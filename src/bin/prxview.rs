@@ -41,7 +41,12 @@
 //! `serve` exposes the engine over TCP (the `pxv-server` wire protocol):
 //! documents and views can be preloaded from the command line or loaded
 //! live through the protocol's `LOAD`/`VIEW` requests; drive it with
-//! `prxload` or any line-oriented TCP client (`nc` included). With
+//! `prxload` or any line-oriented TCP client (`nc` included). The server
+//! is evented: `-jN` sizes the request-execution pool only, while
+//! `--max-conn M` is a real cap on concurrently open sockets — many
+//! idle or pipelining connections multiplex over a few workers, and
+//! reads are answered from published MVCC engine epochs so `QUERY`
+//! traffic never waits behind an `UPDATE`. With
 //! `--store DIR` the server restores `DIR/engine.pxv` on boot (warm
 //! cache, zero re-materialization, bit-identical answers) and snapshots
 //! the engine back on graceful shutdown (the protocol's `SHUTDOWN`
@@ -498,7 +503,8 @@ fn run() -> Result<ExitCode, String> {
             let mut handle = prxview::server::serve::serve(engine, &config)
                 .map_err(|e| format!("bind {}: {e}", config.addr))?;
             eprintln!(
-                "prxd listening on {} ({} workers, {} max connections); \
+                "prxd listening on {} (evented: {} worker threads multiplexing \
+                 up to {} connections); \
                  protocol: LOAD/VIEW/WARM/QUERY/BATCH/STATS/INVALIDATE/\
                  SAVE/RESTORE/SHUTDOWN/PING/QUIT",
                 handle.addr(),
