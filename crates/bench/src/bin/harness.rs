@@ -729,6 +729,7 @@ fn b_compact() {
                 addr: "127.0.0.1:0".into(),
                 workers: 8,
                 max_connections: 64,
+                ..ServerConfig::default()
             },
         )
         .expect("bind loopback");
@@ -1154,6 +1155,7 @@ fn b14() {
             addr: "127.0.0.1:0".into(),
             workers: WORKERS,
             max_connections: 64,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");
@@ -1255,6 +1257,113 @@ fn b14() {
     handle.shutdown();
 }
 
+// B15: per-query profiling cost and stage accounting (tentpole of the
+// observability PR). The warm B8 workload (seeded personnel document,
+// `v2BON` view, bonus query) is answered in three modes: plain
+// (`Engine::answer_with` with the engine's own options), profiling
+// explicitly disabled, and profiling enabled. The disabled path must be
+// free — it reads no clocks, so it is the *same machine code* as plain,
+// and the measured overhead bound (≤5%, with a small absolute floor
+// absorbing scheduler noise) pins that down against regressions that
+// would sneak timing onto the default path. The enabled path must
+// account for its time: the per-stage breakdown has to sum to within
+// 10% of the engine's own measured wall time, and all three modes must
+// produce bit-identical answers.
+fn b15() {
+    use prxview::engine::{Engine, QueryOptions};
+
+    const PERSONS: usize = 200;
+    const REPS: usize = 7;
+    const QUERIES_PER_REP: usize = 200;
+
+    println!("\n[B15] per-query profiling: disabled-path overhead + stage accounting:");
+    let (pdoc, _) = personnel(PERSONS, 3, 9);
+    let q = qbon();
+    let mut engine = Engine::new();
+    let doc = engine.add_document("p", pdoc).unwrap();
+    engine.register_view(v2bon()).unwrap();
+    let baseline = engine.answer(doc, &q).expect("plan"); // warm the cache
+
+    // Min-of-REPS timing of a loop of warm queries: the minimum is the
+    // run least disturbed by the scheduler, which is what a code-path
+    // cost comparison needs (a median still carries preemption noise).
+    let time_ms = |options: &QueryOptions| -> f64 {
+        (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..QUERIES_PER_REP {
+                    let answer = engine.answer_with(doc, &q, options).expect("plan");
+                    assert_eq!(
+                        answer.nodes, baseline.nodes,
+                        "profiling must never change answers"
+                    );
+                }
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let plain_opts = engine.options().clone();
+    let disabled_opts = plain_opts.clone().profile(false);
+    let enabled_opts = plain_opts.clone().profile(true);
+    let plain_ms = time_ms(&plain_opts);
+    let disabled_ms = time_ms(&disabled_opts);
+    let enabled_ms = time_ms(&enabled_opts);
+
+    // Sanity on the flag itself.
+    assert!(
+        engine
+            .answer_with(doc, &q, &disabled_opts)
+            .unwrap()
+            .profile
+            .is_none(),
+        "profile=false must not attach a breakdown"
+    );
+
+    // Stage accounting: aggregate a profiled loop so one preempted query
+    // cannot dominate the ratio.
+    let (mut stage_sum, mut total_sum) = (0u64, 0u64);
+    for _ in 0..QUERIES_PER_REP {
+        let answer = engine.answer_with(doc, &q, &enabled_opts).expect("plan");
+        let profile = answer.profile.expect("profile=true attaches a breakdown");
+        assert!(profile.total_nanos > 0, "profiled total is measured");
+        assert_eq!(profile.epoch, engine.catalog_epoch());
+        stage_sum += profile.stage_nanos_sum();
+        total_sum += profile.total_nanos;
+    }
+    let stage_ratio = stage_sum as f64 / total_sum as f64;
+
+    let overhead_disabled_pct = (disabled_ms / plain_ms - 1.0).max(0.0) * 100.0;
+    let overhead_enabled_pct = (enabled_ms / plain_ms - 1.0).max(0.0) * 100.0;
+    println!(
+        "  warm loop ({QUERIES_PER_REP} queries, min of {REPS}): plain {plain_ms:.3} ms, \
+         profile=false {disabled_ms:.3} ms ({overhead_disabled_pct:.2}% over), \
+         profile=true {enabled_ms:.3} ms ({overhead_enabled_pct:.2}% over)"
+    );
+    println!("  stage accounting: stages/total = {stage_ratio:.3} (bound: within 10%)");
+
+    // 0.5 ms absolute floor over the whole loop: on a starved CI host a
+    // few µs of jitter must not fail a bound about code-path cost.
+    assert!(
+        disabled_ms <= plain_ms * 1.05 + 0.5,
+        "disabled-profiling overhead too high: plain {plain_ms:.3} ms vs {disabled_ms:.3} ms"
+    );
+    assert!(
+        (0.9..=1.1).contains(&stage_ratio),
+        "stage breakdown must sum to within 10% of wall time, got {stage_ratio:.3}"
+    );
+
+    let mut json = Json::new("B15");
+    json.int("queries_per_rep", QUERIES_PER_REP as u64);
+    json.num("plain_ms", plain_ms);
+    json.num("disabled_ms", disabled_ms);
+    json.num("enabled_ms", enabled_ms);
+    json.num("overhead_disabled_pct", overhead_disabled_pct);
+    json.num("overhead_enabled_pct", overhead_enabled_pct);
+    json.num("stage_ratio", stage_ratio);
+    json.write();
+}
+
 type Experiment = (&'static str, fn() -> bool);
 
 fn main() {
@@ -1281,13 +1390,21 @@ fn main() {
         }
     }
     let bench_all = want("bench") || args.is_empty();
-    // `harness b14` runs only the storm section (what the CI server-storm
-    // job invokes); any other b-key still runs the whole compact suite.
-    if bench_all || args.iter().any(|a| a.starts_with('b') && a != "b14") {
+    // `harness b14` / `harness b15` run only their own section (what the
+    // CI server-storm and obs-smoke jobs invoke); any other b-key still
+    // runs the whole compact suite.
+    if bench_all
+        || args
+            .iter()
+            .any(|a| a.starts_with('b') && a != "b14" && a != "b15")
+    {
         b_compact();
     }
     if bench_all || want("b14") {
         b14();
+    }
+    if bench_all || want("b15") {
+        b15();
     }
     println!(
         "\n{}",

@@ -102,6 +102,8 @@
 
 #![deny(missing_docs)]
 
+use pxv_obs::profile::QueryProfile;
+use pxv_obs::ring::Ring;
 use pxv_pxml::{NodeId, PDocument};
 use pxv_rewrite::answer::{execute_tpi, plan_checked};
 use pxv_rewrite::fr_tp::answer_tp;
@@ -112,7 +114,7 @@ use pxv_rewrite::view::ProbExtension;
 pub use pxv_pxml::{Edit, EditEffect, EditError};
 pub use pxv_rewrite::{DeltaOutcome, View};
 use pxv_tpq::TreePattern;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
@@ -221,6 +223,7 @@ pub struct QueryOptions {
     interleaving_limit: usize,
     preference: PlanPreference,
     fallback: Fallback,
+    profile: bool,
 }
 
 impl Default for QueryOptions {
@@ -229,6 +232,7 @@ impl Default for QueryOptions {
             interleaving_limit: DEFAULT_INTERLEAVING_LIMIT,
             preference: PlanPreference::default(),
             fallback: Fallback::default(),
+            profile: false,
         }
     }
 }
@@ -259,6 +263,15 @@ impl QueryOptions {
         self
     }
 
+    /// Whether to time each answering stage and attach a
+    /// [`QueryProfile`] to the [`Answer`]. Off by default: the disabled
+    /// path reads no clocks and leaves answers bit-identical to an
+    /// uninstrumented run.
+    pub fn profile(mut self, profile: bool) -> QueryOptions {
+        self.profile = profile;
+        self
+    }
+
     /// The configured interleaving limit.
     pub fn get_interleaving_limit(&self) -> usize {
         self.interleaving_limit
@@ -272,6 +285,11 @@ impl QueryOptions {
     /// The configured fallback policy.
     pub fn get_fallback(&self) -> Fallback {
         self.fallback
+    }
+
+    /// Whether stage profiling is enabled.
+    pub fn get_profile(&self) -> bool {
+        self.profile
     }
 }
 
@@ -304,6 +322,9 @@ pub struct Answer {
     pub description: String,
     /// Execution counters.
     pub stats: QueryStats,
+    /// Stage timing breakdown, present iff the query ran with
+    /// [`QueryOptions::profile`]`(true)`.
+    pub profile: Option<QueryProfile>,
 }
 
 impl Answer {
@@ -554,8 +575,9 @@ pub struct Catalog {
     evictions: AtomicU64,
     /// Admissions refused at materialization time (lifetime).
     admission_rejects: AtomicU64,
-    /// Most recent eviction/rejection records, newest last.
-    eviction_log: Mutex<VecDeque<EvictionRecord>>,
+    /// Most recent eviction/rejection records, newest last (bounded ring:
+    /// overflow drops the oldest record and is counted).
+    eviction_log: Mutex<Ring<EvictionRecord>>,
 }
 
 impl Default for Catalog {
@@ -570,7 +592,7 @@ impl Default for Catalog {
             bytes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             admission_rejects: AtomicU64::new(0),
-            eviction_log: Mutex::new(VecDeque::new()),
+            eviction_log: Mutex::new(Ring::new(EVICTION_LOG_CAPACITY)),
         }
     }
 }
@@ -769,14 +791,10 @@ impl Catalog {
 
     /// Appends to the bounded eviction log.
     fn log_eviction(&self, record: EvictionRecord) {
-        let mut log = self
-            .eviction_log
+        self.eviction_log
             .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if log.len() == EVICTION_LOG_CAPACITY {
-            log.pop_front();
-        }
-        log.push_back(record);
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(record);
     }
 
     /// Evicts lowest-score entries until the byte gauge fits the budget.
@@ -1841,6 +1859,10 @@ impl Engine {
         options: &QueryOptions,
     ) -> Result<Answer, EngineError> {
         self.document(doc)?;
+        // When profiling is off (the default) every timing site below is
+        // a `None` branch — no clocks are read, so the answer path is
+        // bit-identical to an uninstrumented run.
+        let t_total = options.profile.then(Instant::now);
         // Every answered query is workload evidence for the advisor —
         // recorded before planning so unanswerable (fallback) queries
         // count too; those are exactly the ones a new view could cover.
@@ -1848,16 +1870,33 @@ impl Engine {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .record(doc.0, q, 1);
-        let plan = match &*self.cached_plan(q, options) {
+        let t_plan = t_total.map(|_| Instant::now());
+        let planned = self.cached_plan(q, options);
+        let plan_nanos = t_plan.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let plan = match &*planned {
             Ok(plan) => plan.clone(),
             Err(e) => {
                 return match options.fallback {
                     Fallback::Forbid => Err(EngineError::Plan(e.clone())),
-                    Fallback::Direct => Ok(self.direct_answer(
-                        doc,
-                        q,
-                        format!("direct evaluation (fallback: {e})"),
-                    )),
+                    Fallback::Direct => {
+                        let t_eval = t_total.map(|_| Instant::now());
+                        let mut answer = self.direct_answer(
+                            doc,
+                            q,
+                            format!("direct evaluation (fallback: {e})"),
+                        );
+                        if let Some(start) = t_total {
+                            answer.profile = Some(QueryProfile {
+                                plan_nanos,
+                                eval_nanos: t_eval.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                                total_nanos: start.elapsed().as_nanos() as u64,
+                                cache_bytes: self.catalog.cache_bytes(),
+                                epoch: self.catalog_epoch(),
+                                ..QueryProfile::default()
+                            });
+                        }
+                        Ok(answer)
+                    }
                 }
             }
         };
@@ -1865,11 +1904,24 @@ impl Engine {
         let referenced = plan.referenced_views();
         let mut hits = 0;
         let mut mats = 0;
+        let mut probe_nanos = 0u64;
+        let mut materialize_nanos = 0u64;
         let fetch = || self.document(doc).expect("doc checked above");
         let slots: HashMap<usize, Arc<ProbExtension>> = referenced
             .iter()
             .map(|&i| {
+                let t_ext = t_total.map(|_| Instant::now());
                 let (ext, hit) = self.catalog.extension(doc.0, fetch, i);
+                if let Some(t) = t_ext {
+                    let nanos = t.elapsed().as_nanos() as u64;
+                    // A hit is a pure cache probe; a miss spent its time
+                    // materializing (probe cost is noise within it).
+                    if hit {
+                        probe_nanos += nanos;
+                    } else {
+                        materialize_nanos += nanos;
+                    }
+                }
                 if hit {
                     hits += 1;
                 } else {
@@ -1878,6 +1930,7 @@ impl Engine {
                 (i, ext)
             })
             .collect();
+        let t_eval = t_total.map(|_| Instant::now());
         let (nodes, candidates) = match &plan {
             Plan::Tp(rw) => {
                 let ext = &slots[&rw.view_index];
@@ -1888,6 +1941,7 @@ impl Engine {
                 (exec.answers, exec.candidates)
             }
         };
+        let eval_nanos = t_eval.map_or(0, |t| t.elapsed().as_nanos() as u64);
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         match &plan {
             Plan::Tp(_) => self.stats.plans_tp.fetch_add(1, Ordering::Relaxed),
@@ -1915,6 +1969,16 @@ impl Engine {
                 materializations: mats,
                 candidates,
             },
+            profile: t_total.map(|start| QueryProfile {
+                plan_nanos,
+                probe_nanos,
+                materialize_nanos,
+                eval_nanos,
+                total_nanos: start.elapsed().as_nanos() as u64,
+                cache_bytes: self.catalog.cache_bytes(),
+                epoch: self.catalog_epoch(),
+                ..QueryProfile::default()
+            }),
         })
     }
 
@@ -2156,6 +2220,7 @@ impl Engine {
             nodes,
             plan: None,
             description,
+            profile: None,
         }
     }
 }

@@ -1,0 +1,99 @@
+//! The per-query flight record: where one answer's wall time went.
+//!
+//! When `QueryOptions::profile(true)` is set, the engine fills a
+//! [`QueryProfile`] while answering and attaches it to the `Answer`. The
+//! stage set mirrors the answer pipeline: parse (server-side), plan,
+//! cache-probe, materialize, eval, serialize (server-side). The engine
+//! only fills the stages it executes; the server adds parse/serialize
+//! around it. When profiling is *disabled* none of these fields are
+//! touched and no clocks are read, so answers stay bit-identical to an
+//! uninstrumented run.
+
+/// Stage breakdown and context for a single profiled query. All times
+/// are nanoseconds of wall clock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Parsing the wire request into a query (server-side).
+    pub parse_nanos: u64,
+    /// Planning: rewriting-based plan lookup or construction.
+    pub plan_nanos: u64,
+    /// Probing the extension cache for already-materialized views.
+    pub probe_nanos: u64,
+    /// Materializing view extensions missing from the cache.
+    pub materialize_nanos: u64,
+    /// Evaluating the plan (or the direct fallback) over extensions.
+    pub eval_nanos: u64,
+    /// Rendering the answer to wire form (server-side).
+    pub serialize_nanos: u64,
+    /// End-to-end wall time as observed by whoever assembled the profile.
+    pub total_nanos: u64,
+    /// Extension-cache bytes resident when the query finished.
+    pub cache_bytes: u64,
+    /// Catalog epoch the query observed.
+    pub epoch: u64,
+}
+
+impl QueryProfile {
+    /// Sum of the individual stage times (excludes `total_nanos`, which
+    /// is measured independently — the gap between the two is untracked
+    /// overhead).
+    pub fn stage_nanos_sum(&self) -> u64 {
+        self.parse_nanos
+            + self.plan_nanos
+            + self.probe_nanos
+            + self.materialize_nanos
+            + self.eval_nanos
+            + self.serialize_nanos
+    }
+
+    /// The profile as wire `key=value` pairs, in [`crate::keys::PROFILE_KEYS`]
+    /// order, with times reported in microseconds.
+    pub fn wire_pairs(&self) -> [(&'static str, u64); 9] {
+        [
+            (crate::keys::PROFILE_PARSE_US, self.parse_nanos / 1_000),
+            (crate::keys::PROFILE_PLAN_US, self.plan_nanos / 1_000),
+            (crate::keys::PROFILE_PROBE_US, self.probe_nanos / 1_000),
+            (crate::keys::PROFILE_MAT_US, self.materialize_nanos / 1_000),
+            (crate::keys::PROFILE_EVAL_US, self.eval_nanos / 1_000),
+            (crate::keys::PROFILE_SER_US, self.serialize_nanos / 1_000),
+            (crate::keys::PROFILE_TOTAL_US, self.total_nanos / 1_000),
+            (crate::keys::PROFILE_CACHE_BYTES, self.cache_bytes),
+            (crate::keys::PROFILE_EPOCH, self.epoch),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_sum_excludes_total() {
+        let p = QueryProfile {
+            parse_nanos: 1,
+            plan_nanos: 2,
+            probe_nanos: 3,
+            materialize_nanos: 4,
+            eval_nanos: 5,
+            serialize_nanos: 6,
+            total_nanos: 1_000,
+            cache_bytes: 7,
+            epoch: 8,
+        };
+        assert_eq!(p.stage_nanos_sum(), 21);
+    }
+
+    #[test]
+    fn wire_pairs_follow_canonical_key_order() {
+        let p = QueryProfile {
+            parse_nanos: 1_500,
+            total_nanos: 9_999,
+            ..QueryProfile::default()
+        };
+        let pairs = p.wire_pairs();
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, crate::keys::PROFILE_KEYS);
+        assert_eq!(pairs[0], ("parse_us", 1), "ns truncate to µs");
+        assert_eq!(pairs[6], ("total_us", 9));
+    }
+}

@@ -1,0 +1,128 @@
+//! A bounded ring buffer that drops the oldest entry on overflow.
+//!
+//! The system keeps several "most recent N events" logs — catalog
+//! evictions, slow requests, span records. Before this type each one
+//! hand-rolled the same `VecDeque` + capacity check (and one of them,
+//! the eviction log, shipped unbounded first and had to be capped after
+//! a pathological budget-flip loop grew it without limit). [`Ring`] is
+//! that pattern once: push is O(1), overflow evicts the oldest entry,
+//! and the number of dropped entries is counted so a reader can tell a
+//! quiet log from a saturated one.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO ring: [`Ring::push`] beyond capacity drops the
+/// oldest entry (and counts it). Not internally synchronized — wrap in a
+/// `Mutex` for shared use, as the eviction and slow-query logs do.
+#[derive(Clone, Debug)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// An empty ring holding at most `capacity` entries. A zero capacity
+    /// is honored literally: every push is dropped (and counted).
+    pub fn new(capacity: usize) -> Ring<T> {
+        Ring {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `value`, evicting the oldest entry if the ring is full.
+    /// Returns the evicted entry, if any.
+    pub fn push(&mut self, value: T) -> Option<T> {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return Some(value);
+        }
+        let evicted = if self.buf.len() == self.capacity {
+            self.dropped += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(value);
+        evicted
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Removes and returns every entry, oldest first, leaving the ring
+    /// empty (the drop counter is kept).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime count of entries evicted (or refused) by overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Empties the ring (the drop counter is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_beyond_capacity_drops_oldest() {
+        let mut r = Ring::new(3);
+        assert!(r.is_empty());
+        for i in 0..3 {
+            assert_eq!(r.push(i), None);
+        }
+        assert_eq!(r.push(3), Some(0), "oldest entry evicted");
+        assert_eq!(r.push(4), Some(1));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.drain(), vec![2, 3, 4]);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2, "drain keeps the drop counter");
+    }
+
+    #[test]
+    fn zero_capacity_refuses_everything() {
+        let mut r = Ring::new(0);
+        assert_eq!(r.push("x"), Some("x"));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let mut r = Ring::new(1);
+        r.push(1);
+        r.push(2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+}

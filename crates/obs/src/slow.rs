@@ -1,0 +1,140 @@
+//! A thresholded slow-request log over a bounded [`Ring`].
+//!
+//! The server feeds every answered query through [`SlowLog::observe`];
+//! requests at or above the threshold are kept (most recent
+//! [`SLOW_LOG_CAPACITY`], oldest dropped) and dumped by the `STATS SLOW`
+//! wire verb. The request text is built lazily so the fast path — a
+//! request under threshold — costs one atomic load and one comparison.
+
+use crate::ring::Ring;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Maximum retained slow-request records.
+pub const SLOW_LOG_CAPACITY: usize = 128;
+
+/// One request that crossed the slow threshold.
+#[derive(Clone, Debug)]
+pub struct SlowRecord {
+    /// Wall time the request took, in microseconds.
+    pub micros: u64,
+    /// The request line (as received on the wire).
+    pub request: String,
+}
+
+/// The slow-request log: a threshold plus a bounded ring of offenders.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_nanos: AtomicU64,
+    ring: Mutex<Ring<SlowRecord>>,
+}
+
+impl SlowLog {
+    /// A log keeping requests that took at least `threshold_us`
+    /// microseconds. A zero threshold keeps everything.
+    pub fn new(threshold_us: u64) -> SlowLog {
+        SlowLog {
+            threshold_nanos: AtomicU64::new(threshold_us.saturating_mul(1_000)),
+            ring: Mutex::new(Ring::new(SLOW_LOG_CAPACITY)),
+        }
+    }
+
+    /// Current threshold in microseconds.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_nanos.load(Ordering::Relaxed) / 1_000
+    }
+
+    /// Replaces the threshold (takes effect for subsequent observations).
+    pub fn set_threshold_us(&self, threshold_us: u64) {
+        self.threshold_nanos
+            .store(threshold_us.saturating_mul(1_000), Ordering::Relaxed);
+    }
+
+    /// Records the request iff `took` meets the threshold; `request` is
+    /// only invoked (and the ring lock only taken) in that case. Returns
+    /// whether the request was logged.
+    pub fn observe(&self, took: Duration, request: impl FnOnce() -> String) -> bool {
+        let nanos = took.as_nanos().min(u64::MAX as u128) as u64;
+        if nanos < self.threshold_nanos.load(Ordering::Relaxed) {
+            return false;
+        }
+        let record = SlowRecord {
+            micros: nanos / 1_000,
+            request: request(),
+        };
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(record);
+        true
+    }
+
+    /// Snapshot of the retained records, oldest first.
+    pub fn records(&self) -> Vec<SlowRecord> {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted from the ring since creation — `len() + dropped()`
+    /// is the lifetime total of logged slow requests.
+    pub fn dropped(&self) -> u64 {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_applies_threshold_lazily() {
+        let log = SlowLog::new(1_000); // 1ms
+        let logged = log.observe(Duration::from_micros(10), || {
+            panic!("request builder must not run under threshold")
+        });
+        assert!(!logged);
+        assert!(log.is_empty());
+        assert!(log.observe(Duration::from_micros(1_000), || "QUERY slow".into()));
+        let records = log.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].micros, 1_000);
+        assert_eq!(records[0].request, "QUERY slow");
+    }
+
+    #[test]
+    fn threshold_is_adjustable_and_ring_is_bounded() {
+        let log = SlowLog::new(0);
+        assert_eq!(log.threshold_us(), 0);
+        log.set_threshold_us(5);
+        assert_eq!(log.threshold_us(), 5);
+        assert!(!log.observe(Duration::from_micros(4), || unreachable!()));
+        for i in 0..(SLOW_LOG_CAPACITY + 10) {
+            log.observe(Duration::from_micros(10), || format!("q{i}"));
+        }
+        let records = log.records();
+        assert_eq!(records.len(), SLOW_LOG_CAPACITY);
+        assert_eq!(records[0].request, "q10", "oldest entries were dropped");
+        assert_eq!(log.dropped(), 10);
+    }
+}

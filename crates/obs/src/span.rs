@@ -1,0 +1,238 @@
+//! A lightweight span/tracing facade with per-thread bounded rings.
+//!
+//! The design goal is that instrumentation left compiled into hot paths
+//! (`pxv_peval::eval_tp`, `ProbExtension::materialize`, snapshot I/O)
+//! costs one relaxed atomic load when nobody is recording. When the
+//! process-wide [`Recorder`] is enabled, [`Span::enter`] captures a
+//! monotonic-clock start, [`Span::record`] attaches integer fields, and
+//! dropping the span pushes a [`SpanRecord`] into a bounded ring owned by
+//! the current thread. Threads never contend on a shared buffer while
+//! recording — each ring has its own lock touched only by its owner and
+//! by [`Recorder::drain`], which merges all rings into one timeline.
+//!
+//! Per-connection (rather than process-wide) visibility is served by the
+//! query-stage profile ([`crate::profile::QueryProfile`]), which rides on
+//! the `Answer` itself; the recorder is the coarse, process-wide switch.
+
+use crate::ring::Ring;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Capacity of each per-thread span ring; the oldest records are dropped
+/// (and counted) once a thread has this many undrained spans.
+pub const SPAN_RING_CAPACITY: usize = 256;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Process start reference for span timestamps: all `start_nanos` are
+/// offsets from the first call that needs a timestamp.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+type SharedRing = Arc<Mutex<Ring<SpanRecord>>>;
+
+/// Every per-thread ring ever created, so drain can merge them even
+/// after their owning threads exit.
+fn all_rings() -> &'static Mutex<Vec<SharedRing>> {
+    static RINGS: OnceLock<Mutex<Vec<SharedRing>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: SharedRing = {
+        let ring = Arc::new(Mutex::new(Ring::new(SPAN_RING_CAPACITY)));
+        all_rings()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// One completed span: what ran, when it started (nanoseconds since the
+/// recorder's process epoch), how long it took, and any integer fields
+/// attached while it was open.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `"eval_tp"` or `"snapshot_write"`.
+    pub name: &'static str,
+    /// Start offset in nanoseconds from the process epoch.
+    pub start_nanos: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+    /// Integer fields recorded while the span was open, in call order.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+/// The process-wide recording switch and drain point.
+pub struct Recorder;
+
+impl Recorder {
+    /// Starts recording spans process-wide.
+    pub fn enable() {
+        epoch(); // pin the time reference before the first span
+        ENABLED.store(true, Ordering::Release);
+    }
+
+    /// Stops recording. Spans already buffered stay until drained.
+    pub fn disable() {
+        ENABLED.store(false, Ordering::Release);
+    }
+
+    /// Whether spans are currently being recorded.
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Removes and returns all buffered spans from every thread's ring,
+    /// merged and sorted by start time.
+    pub fn drain() -> Vec<SpanRecord> {
+        let rings = all_rings().lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::new();
+        for ring in rings.iter() {
+            out.extend(ring.lock().unwrap_or_else(PoisonError::into_inner).drain());
+        }
+        out.sort_by_key(|r| r.start_nanos);
+        out
+    }
+
+    /// Lifetime count of span records dropped because a thread's ring
+    /// overflowed before being drained.
+    pub fn dropped() -> u64 {
+        let rings = all_rings().lock().unwrap_or_else(PoisonError::into_inner);
+        rings
+            .iter()
+            .map(|r| r.lock().unwrap_or_else(PoisonError::into_inner).dropped())
+            .sum()
+    }
+}
+
+/// An open span. Create with [`Span::enter`]; the measurement ends (and
+/// the record is buffered) when the span is dropped.
+#[must_use = "a span measures until dropped; binding it to `_` ends it immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// Opens a span. When the [`Recorder`] is disabled this is inert:
+    /// one relaxed atomic load, no clock read, no allocation.
+    pub fn enter(name: &'static str) -> Span {
+        let start = if Recorder::is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Span {
+            name,
+            start,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches an integer field (e.g. `span.record("nodes", n)`).
+    /// No-op on an inert span.
+    pub fn record(&mut self, key: &'static str, value: u64) {
+        if self.start.is_some() {
+            self.fields.push((key, value));
+        }
+    }
+
+    /// Whether this span is actually measuring (recorder was enabled at
+    /// [`Span::enter`] time).
+    pub fn is_active(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let record = SpanRecord {
+            name: self.name,
+            start_nanos: start.duration_since(epoch()).as_nanos() as u64,
+            nanos: start.elapsed().as_nanos() as u64,
+            fields: std::mem::take(&mut self.fields),
+        };
+        LOCAL.with(|ring| {
+            ring.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(record);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder switch is process-global, so tests that flip it must
+    // not run concurrently with each other.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = serial();
+        Recorder::disable();
+        let _ = Recorder::drain();
+        {
+            let mut s = Span::enter("inert");
+            assert!(!s.is_active());
+            s.record("ignored", 1);
+        }
+        assert!(Recorder::drain().is_empty());
+    }
+
+    #[test]
+    fn enabled_spans_capture_timing_and_fields() {
+        let _guard = serial();
+        Recorder::enable();
+        let _ = Recorder::drain();
+        {
+            let mut s = Span::enter("work");
+            assert!(s.is_active());
+            s.record("items", 42);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        Recorder::disable();
+        let spans = Recorder::drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "work");
+        assert!(
+            spans[0].nanos >= 1_000_000,
+            "slept 2ms, got {}",
+            spans[0].nanos
+        );
+        assert_eq!(spans[0].fields, vec![("items", 42)]);
+    }
+
+    #[test]
+    fn drain_merges_threads_in_start_order() {
+        let _guard = serial();
+        Recorder::enable();
+        let _ = Recorder::drain();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..3 {
+                        let _s = Span::enter("t");
+                    }
+                });
+            }
+        });
+        Recorder::disable();
+        let spans = Recorder::drain();
+        assert_eq!(spans.len(), 12);
+        assert!(spans
+            .windows(2)
+            .all(|w| w[0].start_nanos <= w[1].start_nanos));
+    }
+}

@@ -11,8 +11,10 @@ use pxv_tpq::TreePattern;
 /// Candidates are found on the maximal world (TP is monotone), then each
 /// candidate's probability is computed by a pinned run of the DP.
 pub fn eval_tp(pdoc: &PDocument, q: &TreePattern) -> Vec<(NodeId, f64)> {
+    let mut span = pxv_obs::Span::enter("eval_tp");
     let max = dp::max_world(pdoc);
     let candidates = pxv_tpq::embed::eval(q, &max);
+    span.record("candidates", candidates.len() as u64);
     let mut out = Vec::with_capacity(candidates.len());
     for n in candidates {
         let p = eval_tp_at(pdoc, q, n);
@@ -20,6 +22,7 @@ pub fn eval_tp(pdoc: &PDocument, q: &TreePattern) -> Vec<(NodeId, f64)> {
             out.push((n, p));
         }
     }
+    span.record("answers", out.len() as u64);
     out
 }
 

@@ -155,8 +155,12 @@ impl ProbExtension {
     /// materialization: both run the same function on the same pruned
     /// input whenever an edit leaves a candidate's scope untouched.
     pub fn materialize(pdoc: &PDocument, view: &View) -> ProbExtension {
+        let mut span = pxv_obs::Span::enter("materialize");
         let answers = scoped_answers(pdoc, &view.pattern, |_| None);
-        build_extension(pdoc, view, &answers)
+        let ext = build_extension(pdoc, view, &answers);
+        span.record("results", ext.results.len() as u64);
+        span.record("heap_bytes", ext.heap_bytes() as u64);
+        ext
     }
 
     /// Incrementally maintains this extension across one document edit:

@@ -157,11 +157,33 @@ fn storm_loop(addr: &str, persons: usize, stop: &AtomicBool) -> (usize, usize) {
     (ok, failed)
 }
 
+/// Pulls one sample value out of a Prometheus text exposition (first
+/// line whose metric name matches exactly; labeled samples like
+/// histogram buckets are matched by their bare name prefix).
+fn metric_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let (sample_name, value) = line.rsplit_once(' ')?;
+        (sample_name == name).then(|| value.parse().ok())?
+    })
+}
+
+/// Scrapes the server's `METRICS` exposition on a fresh connection.
+fn scrape(addr: &str) -> Option<String> {
+    let mut c = Client::connect(addr).ok()?;
+    let text = c.metrics().ok()?;
+    let _ = c.quit();
+    Some(text)
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
     if args.setup {
         setup(&args)?;
     }
+    // Scrape METRICS on each side of the burst: the delta isolates this
+    // run's traffic from whatever the server served before, and the CI
+    // smoke job asserts the counters are monotone across scrapes.
+    let before = scrape(&args.addr);
     // One client per connection, opened before the clock starts.
     let mut clients = Vec::with_capacity(args.connections);
     for _ in 0..args.connections {
@@ -241,6 +263,22 @@ fn run() -> Result<bool, String> {
                 );
             }
             let _ = c.quit();
+        }
+        // The burst as the metrics endpoint saw it.
+        if let (Some(before), Some(after)) = (&before, scrape(&args.addr)) {
+            let delta = |name: &str| {
+                metric_value(&after, name)
+                    .zip(metric_value(before, name))
+                    .map_or(0, |(a, b)| a.saturating_sub(b))
+            };
+            println!(
+                "metrics: Δpxv_server_requests_total={} Δpxv_engine_queries_total={} \
+                 Δpxv_engine_cache_hits_total={} request_us_count={}",
+                delta("pxv_server_requests_total"),
+                delta("pxv_engine_queries_total"),
+                delta("pxv_engine_cache_hits_total"),
+                metric_value(&after, "pxv_server_request_us_count").unwrap_or(0),
+            );
         }
     }
     Ok(failed == 0 && storm.1 == 0)

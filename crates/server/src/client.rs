@@ -5,9 +5,10 @@
 
 use crate::protocol::{
     options_to_tokens, parse_advice_header, parse_answer_header, parse_cand_line, parse_node_line,
-    ProtocolError, WireAdvice, WireAnswer,
+    parse_profile_line, ProtocolError, WireAdvice, WireAnswer, WireProfile,
 };
 use pxv_engine::QueryOptions;
+use pxv_obs::slow::SlowRecord;
 use pxv_pxml::{Edit, NodeId, PDocument};
 use pxv_tpq::TreePattern;
 use std::collections::HashMap;
@@ -395,6 +396,69 @@ impl Client {
                 Ok((k.to_string(), v))
             })
             .collect()
+    }
+
+    /// `METRICS`: the server's full Prometheus text exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send("METRICS")?;
+        let header = self.recv_ok()?;
+        let count: usize = header
+            .strip_prefix("METRICS ")
+            .and_then(|n| n.parse().ok())
+            .ok_or(ClientError::Unexpected(header.clone()))?;
+        let mut text = String::new();
+        for _ in 0..count {
+            text.push_str(&self.recv()?);
+            text.push('\n');
+        }
+        Ok(text)
+    }
+
+    /// `PROFILE`: answers one query with per-stage timing enabled and
+    /// returns the stage breakdown (the answer nodes themselves are not
+    /// returned — re-run the query for them).
+    pub fn profile(
+        &mut self,
+        doc: &str,
+        query: &TreePattern,
+        options: &QueryOptions,
+    ) -> Result<WireProfile, ClientError> {
+        self.send(&format!(
+            "PROFILE {doc} {query}{}",
+            options_to_tokens(options)
+        ))?;
+        let line = self.recv_ok()?;
+        parse_profile_line(&line).map_err(ClientError::Server)
+    }
+
+    /// `STATS SLOW`: the slow-query threshold (µs) and the retained
+    /// slow-request records, oldest first.
+    pub fn slow(&mut self) -> Result<(u64, Vec<SlowRecord>), ClientError> {
+        self.send("STATS SLOW")?;
+        let header = self.recv_ok()?;
+        let rest = header
+            .strip_prefix("SLOW ")
+            .ok_or(ClientError::Unexpected(header.clone()))?;
+        let (count, threshold) = rest
+            .split_once(" threshold_us=")
+            .and_then(|(n, t)| Some((n.parse::<usize>().ok()?, t.parse::<u64>().ok()?)))
+            .ok_or(ClientError::Unexpected(header.clone()))?;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.recv()?;
+            let record = line
+                .strip_prefix("SLOWQ us=")
+                .and_then(|rest| rest.split_once(' '))
+                .and_then(|(us, request)| {
+                    Some(SlowRecord {
+                        micros: us.parse().ok()?,
+                        request: request.to_string(),
+                    })
+                })
+                .ok_or(ClientError::Unexpected(line.clone()))?;
+            records.push(record);
+        }
+        Ok((threshold, records))
     }
 
     /// Ends the session (`QUIT` → `OK bye`), consuming the client.

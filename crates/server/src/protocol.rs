@@ -20,6 +20,13 @@
 //! BATCH <n>                          -> RESULTS <n>, then per line one
 //!   <doc> <tpq-text>      (n lines)     ANSWER block or ERR line
 //! STATS                              -> STATS key=value ...
+//! STATS SLOW                         -> SLOW <n> threshold_us=<t>, then n lines:
+//!   SLOWQ us=<micros> <request-line>
+//! METRICS                            -> METRICS <n>, then n lines of
+//!                                       Prometheus text exposition
+//! PROFILE <doc> <tpq-text> [opts]    -> PROFILE nodes=<n> parse_us=. plan_us=.
+//!                                       probe_us=. mat_us=. eval_us=. ser_us=.
+//!                                       total_us=. cache_bytes=. epoch=. plan=<route>
 //! BUDGET <bytes|unbounded>           -> OK budget=<bytes|unbounded> cache_bytes=<n>
 //! ADVISE [AUTO]                      -> ADVICE <n> logged=. distinct=. coverage=.
 //!                                       admitted=. registered=., then n CAND lines:
@@ -47,7 +54,16 @@
 //!
 //! `QUERY` options are trailing `key=value` tokens: `limit=<n>`
 //! (interleaving limit), `pref=prefer-tp|prefer-tpi|tp|tpi` (plan
-//! preference), `fallback=forbid|direct`.
+//! preference), `fallback=forbid|direct`, `profile=true|false` (stage
+//! timing; `PROFILE` is sugar for a profiled `QUERY` whose response
+//! leads with the stage breakdown instead of the node list).
+//!
+//! `METRICS` renders every server, engine, cache and store metric in the
+//! Prometheus text format (`# HELP`/`# TYPE` comments plus
+//! `name[{labels}] value` sample lines), framed by a `METRICS <n>`
+//! header carrying the line count. `STATS SLOW` dumps the bounded
+//! slow-query log (most recent first-in-first-out window of requests at
+//! or above the server's threshold).
 //!
 //! `UPDATE` mutates a loaded document **in place**: the edit spec is the
 //! `pxv_pxml::edit` wire form (`insert n<parent> <prob> <pdoc-text>`,
@@ -61,6 +77,7 @@
 //! root so clients can address the grafted content.
 
 use pxv_engine::{AdvisorReport, Answer, Fallback, PlanPreference, QueryOptions, QueryStats};
+use pxv_obs::QueryProfile;
 use pxv_pxml::text::parse_pdocument;
 use pxv_pxml::{Edit, NodeId, PDocument};
 use pxv_tpq::parse::parse_pattern;
@@ -241,6 +258,20 @@ pub enum Request {
     },
     /// Engine + server counters.
     Stats,
+    /// Dump the bounded slow-query log.
+    StatsSlow,
+    /// Prometheus text exposition of every registered metric.
+    Metrics,
+    /// Answer one query with stage profiling forced on; the response
+    /// leads with the stage breakdown.
+    Profile {
+        /// Document name.
+        doc: String,
+        /// The tree-pattern query.
+        query: TreePattern,
+        /// Per-request options (profiling already enabled).
+        options: QueryOptions,
+    },
     /// Drop a document's cached extensions.
     Invalidate {
         /// Document name.
@@ -305,6 +336,7 @@ fn split_query_options(body: &str) -> Result<(String, QueryOptions), ProtocolErr
     let mut limit = None;
     let mut preference = None;
     let mut fallback = None;
+    let mut profile = None;
     while let Some(cut) = rest.rfind(char::is_whitespace) {
         let token = rest[cut..].trim_start();
         if token.contains('\'') {
@@ -352,6 +384,18 @@ fn split_query_options(body: &str) -> Result<(String, QueryOptions), ProtocolErr
                 };
                 fallback.get_or_insert(parsed);
             }
+            "profile" => {
+                let parsed = match value {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(ProtocolError::BadOption(format!(
+                            "profile=`{other}` (want true|false)"
+                        )))
+                    }
+                };
+                profile.get_or_insert(parsed);
+            }
             _ => break,
         }
         rest = prefix;
@@ -360,7 +404,8 @@ fn split_query_options(body: &str) -> Result<(String, QueryOptions), ProtocolErr
     let options = QueryOptions::new()
         .interleaving_limit(limit.unwrap_or(defaults.get_interleaving_limit()))
         .plan_preference(preference.unwrap_or_default())
-        .fallback(fallback.unwrap_or_default());
+        .fallback(fallback.unwrap_or_default())
+        .profile(profile.unwrap_or(false));
     Ok((rest.to_string(), options))
 }
 
@@ -385,6 +430,9 @@ pub fn options_to_tokens(options: &QueryOptions) -> String {
             Fallback::Forbid => " fallback=forbid",
             Fallback::Direct => " fallback=direct",
         });
+    }
+    if options.get_profile() != defaults.get_profile() {
+        out.push_str(" profile=true");
     }
     out
 }
@@ -445,7 +493,24 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             }),
             _ => Err(ProtocolError::Usage("WARM <doc>".into())),
         },
-        "QUERY" => parse_query_body(rest, "QUERY <doc> <tpq-text> [limit=|pref=|fallback=]"),
+        "QUERY" => parse_query_body(
+            rest,
+            "QUERY <doc> <tpq-text> [limit=|pref=|fallback=|profile=]",
+        ),
+        "PROFILE" => {
+            match parse_query_body(rest, "PROFILE <doc> <tpq-text> [limit=|pref=|fallback=]")? {
+                Request::Query {
+                    doc,
+                    query,
+                    options,
+                } => Ok(Request::Profile {
+                    doc,
+                    query,
+                    options: options.profile(true),
+                }),
+                _ => unreachable!("parse_query_body yields Query"),
+            }
+        }
         "BATCH" => {
             let count: usize = rest
                 .trim()
@@ -459,6 +524,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             Ok(Request::Batch { count })
         }
         "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "STATS" if rest.trim().eq_ignore_ascii_case("slow") => Ok(Request::StatsSlow),
+        "METRICS" if rest.is_empty() => Ok(Request::Metrics),
+        "METRICS" => Err(ProtocolError::Usage("METRICS".into())),
         "UPDATE" => {
             let (doc, spec) = split_token(rest);
             if doc.is_empty() || spec.is_empty() {
@@ -611,6 +679,72 @@ pub fn parse_node_line(line: &str) -> Result<(NodeId, f64), ProtocolError> {
         .ok_or_else(malformed)?;
     let p: f64 = prob.parse().map_err(|_| malformed())?;
     Ok((NodeId(id), p))
+}
+
+/// A stage breakdown as it crosses the wire: the answer size, the
+/// profile key/value pairs (canonical [`pxv_obs::keys::PROFILE_KEYS`]
+/// order), and the route description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireProfile {
+    /// Number of answer nodes the profiled query produced.
+    pub nodes: u64,
+    /// The stage breakdown and context, times in microseconds.
+    pub profile: QueryProfile,
+    /// The route taken (plan shape and views, or direct evaluation).
+    pub plan: String,
+}
+
+/// Serializes a profiled answer as the one-line `PROFILE` response.
+/// `profile` is the completed record (engine stages plus the server's
+/// parse/serialize contributions); times travel as microseconds.
+pub fn write_profile<W: Write>(
+    w: &mut W,
+    answer: &Answer,
+    profile: &QueryProfile,
+) -> io::Result<()> {
+    write!(w, "PROFILE nodes={}", answer.nodes.len())?;
+    for (key, value) in profile.wire_pairs() {
+        write!(w, " {key}={value}")?;
+    }
+    writeln!(w, " plan={}", answer.description.replace('\n', " "))
+}
+
+/// Parses a `PROFILE` response line. Times in the returned
+/// [`QueryProfile`] are microseconds (the wire unit), not nanoseconds.
+pub fn parse_profile_line(line: &str) -> Result<WireProfile, ProtocolError> {
+    let malformed = |what: &str| ProtocolError::Malformed(format!("{what} in `{line}`"));
+    let rest = line
+        .strip_prefix("PROFILE ")
+        .ok_or_else(|| malformed("missing PROFILE tag"))?;
+    let (head, plan) = rest
+        .split_once(" plan=")
+        .ok_or_else(|| malformed("missing plan="))?;
+    let mut nodes = None;
+    let mut profile = QueryProfile::default();
+    for token in head.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| malformed("bad profile token"))?;
+        let value: u64 = value.parse().map_err(|_| malformed("bad profile value"))?;
+        match key {
+            "nodes" => nodes = Some(value),
+            pxv_obs::keys::PROFILE_PARSE_US => profile.parse_nanos = value,
+            pxv_obs::keys::PROFILE_PLAN_US => profile.plan_nanos = value,
+            pxv_obs::keys::PROFILE_PROBE_US => profile.probe_nanos = value,
+            pxv_obs::keys::PROFILE_MAT_US => profile.materialize_nanos = value,
+            pxv_obs::keys::PROFILE_EVAL_US => profile.eval_nanos = value,
+            pxv_obs::keys::PROFILE_SER_US => profile.serialize_nanos = value,
+            pxv_obs::keys::PROFILE_TOTAL_US => profile.total_nanos = value,
+            pxv_obs::keys::PROFILE_CACHE_BYTES => profile.cache_bytes = value,
+            pxv_obs::keys::PROFILE_EPOCH => profile.epoch = value,
+            _ => return Err(malformed("unknown profile key")),
+        }
+    }
+    Ok(WireProfile {
+        nodes: nodes.ok_or_else(|| malformed("missing nodes="))?,
+        profile,
+        plan: plan.to_string(),
+    })
 }
 
 /// An advisor report as it crosses the wire: the header counters plus
@@ -960,6 +1094,94 @@ mod tests {
     }
 
     #[test]
+    fn observability_requests_parse() {
+        assert!(matches!(parse_request("METRICS"), Ok(Request::Metrics)));
+        assert!(matches!(parse_request("metrics"), Ok(Request::Metrics)));
+        assert!(matches!(
+            parse_request("METRICS please"),
+            Err(ProtocolError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_request("STATS SLOW"),
+            Ok(Request::StatsSlow)
+        ));
+        assert!(matches!(
+            parse_request("stats slow"),
+            Ok(Request::StatsSlow)
+        ));
+        assert!(matches!(parse_request("STATS"), Ok(Request::Stats)));
+        match parse_request("PROFILE hr IT-personnel//person[name]").unwrap() {
+            Request::Profile { doc, options, .. } => {
+                assert_eq!(doc, "hr");
+                assert!(options.get_profile());
+            }
+            other => panic!("{other:?}"),
+        }
+        // `profile=` is an ordinary query option and round-trips.
+        match parse_request("QUERY hr r//a profile=true limit=2").unwrap() {
+            Request::Query { options, .. } => {
+                assert!(options.get_profile());
+                assert_eq!(options.get_interleaving_limit(), 2);
+                let tokens = options_to_tokens(&options);
+                assert!(tokens.contains("profile=true"), "{tokens}");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_request("QUERY hr r//a profile=false").unwrap() {
+            Request::Query { options, .. } => {
+                assert!(!options.get_profile());
+                assert_eq!(options_to_tokens(&options), "");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request("QUERY hr r//a profile=maybe"),
+            Err(ProtocolError::BadOption(_))
+        ));
+        assert!(matches!(
+            parse_request("PROFILE hr"),
+            Err(ProtocolError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn profile_line_round_trips() {
+        let answer = Answer {
+            nodes: vec![(NodeId(3), 0.5)],
+            plan: None,
+            description: "TP plan via view `bs` (u=0)".into(),
+            stats: QueryStats::default(),
+            profile: None,
+        };
+        let profile = QueryProfile {
+            parse_nanos: 12_000,
+            plan_nanos: 34_000,
+            probe_nanos: 5_000,
+            materialize_nanos: 0,
+            eval_nanos: 78_000,
+            serialize_nanos: 9_000,
+            total_nanos: 140_000,
+            cache_bytes: 4096,
+            epoch: 11,
+        };
+        let mut wire = Vec::new();
+        write_profile(&mut wire, &answer, &profile).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        let line = text.lines().next().unwrap();
+        let back = parse_profile_line(line).unwrap();
+        assert_eq!(back.nodes, 1);
+        assert_eq!(back.plan, answer.description);
+        // The wire carries microseconds; parse restores them verbatim.
+        assert_eq!(back.profile.parse_nanos, 12);
+        assert_eq!(back.profile.eval_nanos, 78);
+        assert_eq!(back.profile.total_nanos, 140);
+        assert_eq!(back.profile.cache_bytes, 4096);
+        assert_eq!(back.profile.epoch, 11);
+        assert!(parse_profile_line("PROFILE nodes=1").is_err());
+        assert!(parse_profile_line("ANSWER 0").is_err());
+    }
+
+    #[test]
     fn error_lines_round_trip() {
         for err in [
             ProtocolError::Empty,
@@ -991,6 +1213,7 @@ mod tests {
                 materializations: 0,
                 candidates: 4,
             },
+            profile: None,
         };
         let mut wire = Vec::new();
         write_answer(&mut wire, &answer).unwrap();

@@ -40,11 +40,13 @@
 
 use crate::poll::{poll_fds, PollFd, POLLIN, POLLNVAL, POLLOUT};
 use crate::protocol::{
-    batch_header, parse_batch_line, parse_request, write_advice, write_answer, ProtocolError,
-    Request, MAX_BATCH,
+    batch_header, parse_batch_line, parse_request, write_advice, write_answer, write_profile,
+    ProtocolError, Request, MAX_BATCH,
 };
-use crate::stats::{ServerStats, ServerStatsSnapshot};
+use crate::stats::{ServerMetrics, ServerStats, ServerStatsSnapshot};
 use pxv_engine::{DocId, Engine, EngineError, EpochEngine};
+use pxv_obs::slow::SlowLog;
+use pxv_obs::Exposition;
 use std::collections::VecDeque;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -67,6 +69,9 @@ pub struct ServerConfig {
     /// Cap on concurrently open connections; beyond it new connections
     /// get `ERR busy` and are closed.
     pub max_connections: usize,
+    /// Requests slower than this (dispatch to response written, µs) are
+    /// recorded in the bounded slow-query log (`STATS SLOW`).
+    pub slow_threshold_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +80,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".into(),
             workers: 8,
             max_connections: 1024,
+            slow_threshold_us: 10_000,
         }
     }
 }
@@ -106,6 +112,10 @@ const DRAIN_GRACE: Duration = Duration::from_secs(5);
 struct Shared {
     engine: EpochEngine,
     stats: ServerStats,
+    /// Live metric handles + the registry `METRICS` renders from.
+    metrics: ServerMetrics,
+    /// Bounded slow-query ring (`STATS SLOW`).
+    slow: SlowLog,
     shutdown: AtomicBool,
     /// Open connections (reactor-maintained gauge; `STATS active=`).
     active: AtomicUsize,
@@ -222,9 +232,13 @@ pub fn serve(engine: Engine, config: &ServerConfig) -> io::Result<ServerHandle> 
     let (wake_tx, wake_rx) = UnixStream::pair()?;
     wake_tx.set_nonblocking(true)?;
     wake_rx.set_nonblocking(true)?;
+    let stats = ServerStats::default();
+    let metrics = ServerMetrics::new(stats.latency.clone());
     let shared = Arc::new(Shared {
         engine: EpochEngine::new(engine),
-        stats: ServerStats::default(),
+        stats,
+        metrics,
+        slow: SlowLog::new(config.slow_threshold_us),
         shutdown: AtomicBool::new(false),
         active: AtomicUsize::new(0),
     });
@@ -341,7 +355,36 @@ impl Reactor<'_> {
         let mut fds: Vec<PollFd> = Vec::new();
         let mut keys: Vec<Key> = Vec::new();
         let mut drain_deadline: Option<Instant> = None;
+        let mut last_iter: Option<Instant> = None;
+        let mut last_epoch = self.shared.engine.epoch();
         loop {
+            // Reactor observability: iteration latency (poll wait
+            // included — an idle reactor shows the poll tick), queue and
+            // pipelining depth across connections, and how stale a
+            // freshly published epoch looked to the reactor — the gap
+            // between the observation that saw the old epoch and the one
+            // that saw the new.
+            let now = Instant::now();
+            if let Some(prev) = last_iter {
+                let metrics = &self.shared.metrics;
+                metrics.poll_loop_us.record_duration(now - prev);
+                let epoch = self.shared.engine.epoch();
+                if epoch != last_epoch {
+                    metrics.epoch_lag_us.set((now - prev).as_micros() as u64);
+                    last_epoch = epoch;
+                }
+                metrics.epoch.set(epoch);
+            }
+            last_iter = Some(now);
+            let (mut queued, mut deepest) = (0u64, 0u64);
+            for c in self.conns.iter().flatten() {
+                let depth = c.units.len() as u64 + u64::from(c.in_flight);
+                queued += depth;
+                deepest = deepest.max(depth);
+            }
+            self.shared.metrics.queue_depth.set(queued);
+            self.shared.metrics.pipeline_depth.set(deepest);
+
             self.deliver_completions();
             let shutting = self.shared.shutdown.load(Ordering::SeqCst);
             if shutting {
@@ -688,7 +731,9 @@ fn worker_loop(
             }
         };
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        shared.stats.latency.record(job.enqueued.elapsed());
+        let took = job.enqueued.elapsed();
+        shared.stats.latency.record_duration(took);
+        shared.slow.observe(took, || job.unit[0].clone());
         lock(completions).push(Done {
             conn: job.conn,
             gen: job.gen,
@@ -716,6 +761,13 @@ fn handle_unit(unit: &[String], shared: &Shared, out: &mut Vec<u8>) -> bool {
             .update(|_| panic!("__PANIC: injected mid-update fault"));
         unreachable!("the injected panic unwinds past this point");
     }
+    // Only `PROFILE` pays for parse timing — every other request keeps
+    // its zero-clock-read fast path.
+    let profiling = line
+        .trim_start()
+        .get(..8)
+        .is_some_and(|p| p.eq_ignore_ascii_case("PROFILE "));
+    let t_parse = profiling.then(Instant::now);
     let request = match parse_request(line) {
         Ok(request) => request,
         Err(e) => {
@@ -724,6 +776,7 @@ fn handle_unit(unit: &[String], shared: &Shared, out: &mut Vec<u8>) -> bool {
             return false;
         }
     };
+    let parse_nanos = t_parse.map_or(0, |t| t.elapsed().as_nanos() as u64);
     let result = match request {
         Request::Quit => {
             let _ = writeln!(out, "OK bye");
@@ -744,7 +797,7 @@ fn handle_unit(unit: &[String], shared: &Shared, out: &mut Vec<u8>) -> bool {
             handle_batch(count, &unit[1..], shared, out);
             return false;
         }
-        other => execute(other, shared, out),
+        other => execute(other, parse_nanos, shared, out),
     };
     if let Err(e) = result {
         shared.stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -767,14 +820,21 @@ fn find_doc(engine: &Engine, name: &str) -> Result<DocId, ProtocolError> {
 }
 
 /// Executes one non-batch request and writes its success response;
-/// errors bubble up to be written as `ERR` lines.
+/// errors bubble up to be written as `ERR` lines. `parse_nanos` is the
+/// request-line parse time, measured by the caller only for `PROFILE`
+/// (zero otherwise).
 ///
 /// The epoch discipline: reads resolve against [`EpochEngine::read`]
 /// and never block; catalog mutations go through [`EpochEngine::update`]
 /// (prepare on a clone, publish atomically); `INVALIDATE`/`BUDGET` are
 /// in-place because their effects are recomputable cache state the
 /// engine already defines as safe under concurrent readers.
-fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
+fn execute(
+    request: Request,
+    parse_nanos: u64,
+    shared: &Shared,
+    out: &mut Vec<u8>,
+) -> Result<(), ProtocolError> {
     match request {
         Request::Load { doc, pdoc } => {
             let nodes = pdoc.len();
@@ -859,6 +919,8 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             let snapshot = shared.engine.read().snapshot();
             let bytes = pxv_store::write_snapshot(&path, &snapshot)
                 .map_err(|e| ProtocolError::Store(e.to_string()))?;
+            shared.metrics.saves.inc();
+            shared.metrics.snapshot_bytes.set(bytes as u64);
             writeln!(
                 out,
                 "OK saved docs={} views={} exts={} epoch={} bytes={bytes}",
@@ -888,6 +950,7 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             let restored = Engine::from_snapshot_with(snapshot, options)
                 .map_err(|e| ProtocolError::Store(e.to_string()))?;
             shared.engine.replace(restored);
+            shared.metrics.restores.inc();
             writeln!(
                 out,
                 "OK restored docs={docs} views={views} exts={exts} epoch={epoch}"
@@ -923,52 +986,238 @@ fn execute(request: Request, shared: &Shared, out: &mut Vec<u8>) -> Result<(), P
             }
         }
         Request::Stats => {
-            let engine = shared.engine.read();
-            let es = engine.stats();
-            let ss = shared.stats.snapshot();
+            // One value per canonical key, zipped positionally against
+            // `pxv_obs::keys::STATS_KEYS` — the single source of truth
+            // for key names and order shared with clients and tests.
+            let values = stats_values(shared);
+            write!(out, "STATS").map_err(io_to_protocol)?;
+            for (key, value) in pxv_obs::keys::STATS_KEYS.iter().zip(values) {
+                write!(out, " {key}={value}").map_err(io_to_protocol)?;
+            }
+            writeln!(out).map_err(io_to_protocol)
+        }
+        Request::StatsSlow => {
+            let records = shared.slow.records();
             writeln!(
                 out,
-                "STATS docs={} views={} epoch={} engine_epoch={} queries={} tp={} tpi={} \
-                 direct={} mats={} exthits={} inval={} planhits={} planmiss={} \
-                 edits={} deltas={} fallbacks={} \
-                 cache_bytes={} evictions={} admission_rejects={} \
-                 conns={} rejected={} active={} requests={} errors={} pipelined={} \
-                 p50us={} p99us={}",
-                engine.document_count(),
-                engine.catalog().len(),
-                engine.catalog_epoch(),
-                shared.engine.epoch(),
-                es.queries,
-                es.plans_tp,
-                es.plans_tpi,
-                es.direct,
-                es.materializations,
-                es.cache_hits,
-                es.invalidations,
-                es.plan_cache_hits,
-                es.plan_cache_misses,
-                es.edits_applied,
-                es.deltas_applied,
-                es.delta_fallbacks,
-                es.cache_bytes,
-                es.evictions,
-                es.admission_rejects,
-                ss.connections,
-                ss.rejected,
-                shared.active.load(Ordering::SeqCst),
-                ss.requests,
-                ss.errors,
-                ss.pipelined,
-                ss.p50_us,
-                ss.p99_us,
+                "SLOW {} threshold_us={}",
+                records.len(),
+                shared.slow.threshold_us()
             )
-            .map_err(io_to_protocol)
+            .map_err(io_to_protocol)?;
+            for r in &records {
+                writeln!(out, "SLOWQ us={} {}", r.micros, r.request).map_err(io_to_protocol)?;
+            }
+            Ok(())
+        }
+        Request::Metrics => {
+            let text = render_metrics(shared);
+            writeln!(out, "METRICS {}", text.lines().count()).map_err(io_to_protocol)?;
+            out.extend_from_slice(text.as_bytes());
+            Ok(())
+        }
+        Request::Profile {
+            doc,
+            query,
+            options,
+        } => {
+            let t_rest = Instant::now();
+            let engine = shared.engine.read();
+            let id = find_doc(&engine, &doc)?;
+            let answer = engine
+                .answer_with(id, &query, &options)
+                .map_err(engine_err)?;
+            let mut profile = answer.profile.clone().unwrap_or_default();
+            profile.parse_nanos = parse_nanos;
+            // Serialization cost is real but the PROFILE response does
+            // not carry the answer block — render it to a scratch buffer
+            // to measure what a QUERY response would have cost.
+            let t_ser = Instant::now();
+            let mut scratch = Vec::with_capacity(256);
+            write_answer(&mut scratch, &answer).map_err(io_to_protocol)?;
+            profile.serialize_nanos = t_ser.elapsed().as_nanos() as u64;
+            // Server-side total: parse plus everything after it.
+            profile.total_nanos = parse_nanos + t_rest.elapsed().as_nanos() as u64;
+            write_profile(out, &answer, &profile).map_err(io_to_protocol)
         }
         // Handled by the caller.
         Request::Ping | Request::Quit | Request::Shutdown | Request::Batch { .. } => {
             unreachable!()
         }
     }
+}
+
+/// The 27 `STATS` values, in [`pxv_obs::keys::STATS_KEYS`] order.
+fn stats_values(shared: &Shared) -> [u64; pxv_obs::keys::STATS_KEYS.len()] {
+    let engine = shared.engine.read();
+    let es = engine.stats();
+    let ss = shared.stats.snapshot();
+    [
+        engine.document_count() as u64,
+        engine.catalog().len() as u64,
+        engine.catalog_epoch(),
+        shared.engine.epoch(),
+        es.queries,
+        es.plans_tp,
+        es.plans_tpi,
+        es.direct,
+        es.materializations,
+        es.cache_hits,
+        es.invalidations,
+        es.plan_cache_hits,
+        es.plan_cache_misses,
+        es.edits_applied,
+        es.deltas_applied,
+        es.delta_fallbacks,
+        es.cache_bytes,
+        es.evictions,
+        es.admission_rejects,
+        ss.connections,
+        ss.rejected,
+        shared.active.load(Ordering::SeqCst) as u64,
+        ss.requests,
+        ss.errors,
+        ss.pipelined,
+        ss.p50_us,
+        ss.p99_us,
+    ]
+}
+
+/// Renders the full `METRICS` exposition: the live registry (request
+/// latency, reactor gauges, store counters) followed by the engine's
+/// lifetime counters *sampled* at scrape time from the current epoch —
+/// every `STATS` datum is reachable here under a canonical
+/// `pxv_<layer>_<name>`.
+fn render_metrics(shared: &Shared) -> String {
+    let mut x = Exposition::new();
+    shared.metrics.registry.render_into(&mut x);
+    // Server totals (atomics sampled, not double-counted live handles).
+    let ss = shared.stats.snapshot();
+    x.counter(
+        "pxv_server_connections_total",
+        "Connections accepted and admitted.",
+        ss.connections,
+    );
+    x.counter(
+        "pxv_server_rejected_total",
+        "Connections rejected at the connection limit.",
+        ss.rejected,
+    );
+    x.counter(
+        "pxv_server_requests_total",
+        "Requests handled.",
+        ss.requests,
+    );
+    x.counter(
+        "pxv_server_errors_total",
+        "Requests answered with at least one ERR line.",
+        ss.errors,
+    );
+    x.counter(
+        "pxv_server_pipelined_total",
+        "Requests that arrived pipelined behind an unanswered one.",
+        ss.pipelined,
+    );
+    x.gauge(
+        "pxv_server_active_connections",
+        "Currently open connections.",
+        shared.active.load(Ordering::SeqCst) as u64,
+    );
+    x.counter(
+        "pxv_server_slow_queries_total",
+        "Requests slower than the slow-log threshold.",
+        shared.slow.len() as u64 + shared.slow.dropped(),
+    );
+    // Engine + cache lifetime counters, sampled from the current epoch.
+    let engine = shared.engine.read();
+    let es = engine.stats();
+    x.gauge(
+        "pxv_engine_docs",
+        "Loaded documents.",
+        engine.document_count() as u64,
+    );
+    x.gauge(
+        "pxv_engine_views",
+        "Registered views.",
+        engine.catalog().len() as u64,
+    );
+    x.gauge(
+        "pxv_engine_epoch",
+        "Catalog epoch (bumped per mutation).",
+        engine.catalog_epoch(),
+    );
+    x.counter("pxv_engine_queries_total", "Queries answered.", es.queries);
+    x.counter(
+        "pxv_engine_tp_plans_total",
+        "Single-view TP plans executed.",
+        es.plans_tp,
+    );
+    x.counter(
+        "pxv_engine_tpi_plans_total",
+        "Interleaving TPI plans executed.",
+        es.plans_tpi,
+    );
+    x.counter(
+        "pxv_engine_direct_total",
+        "Direct (view-less) evaluations.",
+        es.direct,
+    );
+    x.counter(
+        "pxv_engine_materializations_total",
+        "View extensions materialized.",
+        es.materializations,
+    );
+    x.counter(
+        "pxv_engine_cache_hits_total",
+        "Extension cache hits.",
+        es.cache_hits,
+    );
+    x.counter(
+        "pxv_engine_invalidations_total",
+        "Cached extensions invalidated.",
+        es.invalidations,
+    );
+    x.counter(
+        "pxv_engine_plan_cache_hits_total",
+        "Plan cache hits.",
+        es.plan_cache_hits,
+    );
+    x.counter(
+        "pxv_engine_plan_cache_misses_total",
+        "Plan cache misses.",
+        es.plan_cache_misses,
+    );
+    x.counter(
+        "pxv_engine_edits_total",
+        "Document edits applied.",
+        es.edits_applied,
+    );
+    x.counter(
+        "pxv_engine_deltas_total",
+        "Extensions maintained incrementally under edits.",
+        es.deltas_applied,
+    );
+    x.counter(
+        "pxv_engine_delta_fallbacks_total",
+        "Extensions invalidated because no delta rule applied.",
+        es.delta_fallbacks,
+    );
+    x.gauge(
+        "pxv_cache_bytes",
+        "Bytes held by the extension cache.",
+        es.cache_bytes,
+    );
+    x.counter(
+        "pxv_cache_evictions_total",
+        "Extensions evicted by the budget.",
+        es.evictions,
+    );
+    x.counter(
+        "pxv_cache_admission_rejects_total",
+        "Extensions refused admission by the budget.",
+        es.admission_rejects,
+    );
+    x.finish()
 }
 
 fn io_to_protocol(e: io::Error) -> ProtocolError {

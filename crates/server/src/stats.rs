@@ -1,67 +1,9 @@
-//! Server-side counters: atomic totals plus a fixed-bucket latency
-//! histogram for p50/p99 without locks or allocation on the hot path.
+//! Server-side counters and the server's metric surface: atomic totals,
+//! the request-latency histogram (a `pxv_obs::Histogram`, shared with
+//! the metrics registry), and the reactor gauges exported by `METRICS`.
 
+use pxv_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-/// Number of histogram buckets: bucket `i` counts requests whose latency
-/// is in `[2^i, 2^(i+1))` microseconds, so 32 buckets cover 1 µs to over
-/// an hour.
-pub const LATENCY_BUCKETS: usize = 32;
-
-/// A lock-free power-of-two histogram of request latencies. Recording is
-/// one atomic increment; quantiles walk the 32 buckets and report the
-/// upper bound of the bucket containing the requested rank (exact enough
-/// for p50/p99 dashboards, and never more than 2× off).
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one request latency.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().max(1) as u64;
-        let idx = (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Upper bound (µs) of the bucket holding the `q`-quantile
-    /// (`0.0 < q <= 1.0`); 0 when nothing was recorded.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        1u64 << LATENCY_BUCKETS
-    }
-
-    /// Total number of recorded requests.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-}
 
 /// Atomic lifetime counters of one server.
 #[derive(Debug, Default)]
@@ -79,8 +21,9 @@ pub struct ServerStats {
     /// still-unanswered request on the same connection.
     pub(crate) pipelined: AtomicU64,
     /// Per-request latency histogram (dispatch to response written,
-    /// queue wait included).
-    pub(crate) latency: LatencyHistogram,
+    /// queue wait included; microsecond samples). Cloned into the
+    /// metrics registry as `pxv_server_request_us`.
+    pub(crate) latency: Histogram,
 }
 
 /// A point-in-time copy of [`ServerStats`] (what `STATS` serializes).
@@ -111,8 +54,89 @@ impl ServerStats {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             pipelined: self.pipelined.load(Ordering::Relaxed),
-            p50_us: self.latency.quantile_us(0.50),
-            p99_us: self.latency.quantile_us(0.99),
+            p50_us: self.latency.quantile(0.50),
+            p99_us: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// The server's live metric handles, registered under canonical
+/// `pxv_<layer>_<name>` names. Reactor gauges are written from the poll
+/// loop; engine/cache lifetime counters are *sampled* into the rendered
+/// exposition at `METRICS` time (see `serve::render_metrics`) instead of
+/// being double-counted into live handles.
+#[derive(Debug)]
+pub(crate) struct ServerMetrics {
+    /// The registry the live handles below are registered in.
+    pub(crate) registry: Registry,
+    /// Request units sitting in the worker queue at the last sweep.
+    pub(crate) queue_depth: Gauge,
+    /// Largest per-connection pipelining depth seen at the last sweep.
+    pub(crate) pipeline_depth: Gauge,
+    /// Engine epoch last observed by the reactor.
+    pub(crate) epoch: Gauge,
+    /// Microseconds between reactor observations across the iteration
+    /// that noticed the last epoch change — how stale a freshly
+    /// published epoch can look to connections.
+    pub(crate) epoch_lag_us: Gauge,
+    /// Poll-loop iteration latency (µs).
+    pub(crate) poll_loop_us: Histogram,
+    /// Snapshots written via `SAVE`.
+    pub(crate) saves: Counter,
+    /// Snapshots loaded via `RESTORE`.
+    pub(crate) restores: Counter,
+    /// Size of the last snapshot written (bytes).
+    pub(crate) snapshot_bytes: Gauge,
+}
+
+impl ServerMetrics {
+    /// Builds the registry and registers every live handle, attaching
+    /// `request_latency` (the [`ServerStats`] histogram) under
+    /// `pxv_server_request_us`.
+    pub(crate) fn new(request_latency: Histogram) -> ServerMetrics {
+        let registry = Registry::new();
+        registry.attach_histogram(
+            "pxv_server_request_us",
+            "Request latency from dispatch to response written (µs).",
+            request_latency,
+        );
+        let queue_depth = registry.gauge(
+            "pxv_server_queue_depth",
+            "Request units waiting in the worker queue.",
+        );
+        let pipeline_depth = registry.gauge(
+            "pxv_server_pipeline_depth",
+            "Largest per-connection pipelining depth at the last sweep.",
+        );
+        let epoch = registry.gauge(
+            "pxv_server_epoch",
+            "Engine epoch last observed by the reactor.",
+        );
+        let epoch_lag_us = registry.gauge(
+            "pxv_server_epoch_lag_us",
+            "Reactor observation gap across the last epoch change (µs).",
+        );
+        let poll_loop_us = registry.histogram(
+            "pxv_server_poll_loop_us",
+            "Poll-loop iteration latency (µs).",
+        );
+        let saves = registry.counter("pxv_store_saves_total", "Snapshots written via SAVE.");
+        let restores =
+            registry.counter("pxv_store_restores_total", "Snapshots loaded via RESTORE.");
+        let snapshot_bytes = registry.gauge(
+            "pxv_store_snapshot_bytes",
+            "Size of the last snapshot written (bytes).",
+        );
+        ServerMetrics {
+            registry,
+            queue_depth,
+            pipeline_depth,
+            epoch,
+            epoch_lag_us,
+            poll_loop_us,
+            saves,
+            restores,
+            snapshot_bytes,
         }
     }
 }
@@ -120,21 +144,43 @@ impl ServerStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+    fn snapshot_quantiles_come_from_the_shared_histogram() {
+        let stats = ServerStats::default();
+        let metrics = ServerMetrics::new(stats.latency.clone());
         for _ in 0..99 {
-            h.record(Duration::from_micros(3)); // bucket [2,4)
+            stats.latency.record_duration(Duration::from_micros(3));
         }
-        h.record(Duration::from_millis(40)); // bucket [32768, 65536)
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile_us(0.5), 4);
-        assert_eq!(h.quantile_us(0.99), 4);
-        assert_eq!(h.quantile_us(1.0), 65536);
-        // Sub-microsecond latencies land in the first bucket.
-        h.record(Duration::from_nanos(10));
-        assert_eq!(h.count(), 101);
+        stats.latency.record_duration(Duration::from_millis(40));
+        let snap = stats.snapshot();
+        assert_eq!(snap.p50_us, 4);
+        assert_eq!(snap.p99_us, 4);
+        // The registry sees the same samples through the attached handle.
+        let text = metrics.registry.render();
+        assert!(text.contains("pxv_server_request_us_count 100"));
+    }
+
+    #[test]
+    fn reactor_gauges_render_under_canonical_names() {
+        let metrics = ServerMetrics::new(Histogram::new());
+        metrics.queue_depth.set(3);
+        metrics.epoch.set(7);
+        metrics.poll_loop_us.record(120);
+        metrics.saves.inc();
+        let text = metrics.registry.render();
+        for needle in [
+            "pxv_server_queue_depth 3",
+            "pxv_server_epoch 7",
+            "# TYPE pxv_server_poll_loop_us histogram",
+            "pxv_store_saves_total 1",
+            "# TYPE pxv_server_pipeline_depth gauge",
+            "# TYPE pxv_server_epoch_lag_us gauge",
+            "# TYPE pxv_store_restores_total counter",
+            "# TYPE pxv_store_snapshot_bytes gauge",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 }

@@ -67,6 +67,7 @@ fn provisioned_server(workers: usize, max_connections: usize) -> ServerHandle {
             addr: "127.0.0.1:0".into(),
             workers,
             max_connections,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port");
@@ -341,6 +342,7 @@ fn connection_limit_rejects_with_busy() {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             max_connections: 1,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -404,6 +406,7 @@ fn save_restore_across_servers_bit_identical_and_warm() {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             max_connections: 8,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -498,6 +501,143 @@ fn budget_and_advise_over_the_wire() {
     c.budget(u64::MAX).unwrap();
     c.warm(DOC).unwrap();
     assert!(c.stats().unwrap()["cache_bytes"] > 0);
+    c.quit().unwrap();
+    handle.shutdown();
+}
+
+/// The observability tentpole over the wire: `STATS` emits exactly the
+/// canonical key set, `METRICS` parses as Prometheus text (every sample
+/// line `name value`, counters monotone across scrapes), `PROFILE`
+/// returns a complete stage breakdown consistent with the plain answer,
+/// and `STATS SLOW` dumps the slow-query ring.
+#[test]
+fn observability_verbs_over_the_wire() {
+    // Threshold 0: every request qualifies as "slow", so the slow log is
+    // deterministically nonempty.
+    let handle = serve(
+        Engine::new(),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            max_connections: 8,
+            slow_threshold_us: 0,
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.load(DOC, &fixture_pdoc()).unwrap();
+    for v in views() {
+        c.view(&v.name, &v.pattern).unwrap();
+    }
+    c.warm(DOC).unwrap();
+
+    // STATS: exactly the canonical key set, each key exactly once.
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.len(), pxv_obs::keys::STATS_KEYS.len());
+    for key in pxv_obs::keys::STATS_KEYS {
+        assert!(
+            stats.contains_key(key),
+            "STATS missing canonical key `{key}`"
+        );
+    }
+
+    // METRICS: well-formed Prometheus text with every layer represented.
+    let scrape = |c: &mut Client| {
+        let text = c.metrics().unwrap();
+        let mut samples = std::collections::HashMap::new();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                let name = line.split_whitespace().nth(2).expect("# HELP/TYPE name");
+                assert!(
+                    pxv_obs::metrics::valid_metric_name(name),
+                    "bad metric name in comment: {line}"
+                );
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample: name value");
+            let value: u64 = value.parse().unwrap_or_else(|_| panic!("numeric: {line}"));
+            let family = name
+                .split('{')
+                .next()
+                .unwrap()
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            assert!(
+                pxv_obs::metrics::valid_metric_name(family),
+                "bad sample name: {line}"
+            );
+            samples.insert(name.to_string(), value);
+        }
+        samples
+    };
+    let first = scrape(&mut c);
+    for family in [
+        "pxv_server_request_us_count",
+        "pxv_server_requests_total",
+        "pxv_server_queue_depth",
+        "pxv_engine_queries_total",
+        "pxv_engine_cache_hits_total",
+        "pxv_engine_docs",
+        "pxv_cache_bytes",
+        "pxv_store_saves_total",
+        "pxv_server_slow_queries_total",
+    ] {
+        assert!(first.contains_key(family), "METRICS missing `{family}`");
+    }
+    assert!(first["pxv_cache_bytes"] > 0, "warm cache is byte-accounted");
+    assert!(
+        first["pxv_server_request_us_count"] > 0,
+        "request latency histogram has samples"
+    );
+
+    // A burst of queries, then a second scrape: counters are monotone
+    // and the engine counters moved by exactly the burst.
+    let mix = query_mix();
+    for q in &mix {
+        c.query(DOC, q).unwrap();
+    }
+    let second = scrape(&mut c);
+    for (name, &was) in &first {
+        if name.contains("_total") || name.contains("_count") || name.contains("_bucket") {
+            assert!(
+                second.get(name).is_some_and(|&now| now >= was),
+                "counter `{name}` went backwards"
+            );
+        }
+    }
+    assert_eq!(
+        second["pxv_engine_queries_total"],
+        first["pxv_engine_queries_total"] + mix.len() as u64
+    );
+
+    // PROFILE: complete breakdown, consistent with the plain answer.
+    let plain = c.query(DOC, &mix[0]).unwrap();
+    let profile = c.profile(DOC, &mix[0], &QueryOptions::default()).unwrap();
+    assert_eq!(profile.nodes as usize, plain.nodes.len());
+    assert_eq!(profile.plan, plain.plan);
+    assert!(profile.profile.total_nanos > 0, "measured total");
+    assert!(
+        profile.profile.stage_nanos_sum() <= profile.profile.total_nanos,
+        "stages are contained in the total"
+    );
+    assert!(profile.profile.cache_bytes > 0, "warm cache reported");
+    assert!(profile.profile.epoch > 0, "post-mutation epoch reported");
+    // …and a plain QUERY is unaffected by someone else profiling.
+    let again = c.query(DOC, &mix[0]).unwrap();
+    assert_eq!(again.nodes, plain.nodes);
+
+    // STATS SLOW: threshold 0 logs everything; the dump is bounded and
+    // carries real request lines.
+    let (threshold, records) = c.slow().unwrap();
+    assert_eq!(threshold, 0);
+    assert!(!records.is_empty(), "threshold 0 logs every request");
+    assert!(records.len() <= pxv_obs::slow::SLOW_LOG_CAPACITY);
+    assert!(
+        records.iter().any(|r| r.request.starts_with("QUERY ")),
+        "slow log carries the request lines"
+    );
+
     c.quit().unwrap();
     handle.shutdown();
 }

@@ -66,6 +66,7 @@ fn provisioned_server(workers: usize, max_connections: usize) -> ServerHandle {
             addr: "127.0.0.1:0".into(),
             workers,
             max_connections,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port");

@@ -61,8 +61,10 @@ pub const SNAPSHOT_FILE: &str = "engine.pxv";
 /// A crash mid-write leaves either the old snapshot or none — never a
 /// torn file. Returns the number of bytes written.
 pub fn write_snapshot(path: impl AsRef<Path>, snapshot: &Snapshot) -> Result<u64, StoreError> {
+    let mut span = pxv_obs::Span::enter("snapshot_write");
     let path = path.as_ref();
     let bytes = encode_snapshot(snapshot);
+    span.record("bytes", bytes.len() as u64);
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path
         .file_name()
@@ -100,8 +102,10 @@ pub fn write_snapshot(path: impl AsRef<Path>, snapshot: &Snapshot) -> Result<u64
 
 /// Reads and decodes a snapshot file.
 pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
+    let mut span = pxv_obs::Span::enter("snapshot_read");
     let path = path.as_ref();
     let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    span.record("bytes", bytes.len() as u64);
     decode_snapshot(&bytes)
 }
 

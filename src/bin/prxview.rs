@@ -19,9 +19,11 @@
 //! prxview save    <store-dir> --doc name=file… [--no-warm] [name=pattern]…
 //!                                                build, warm and snapshot an engine
 //! prxview load    <store-dir> [<doc> <query>]    inspect (and query) a snapshot
-//! prxview serve   [--port P] [--addr H] [-jN] [--max-conn M]
+//! prxview serve   [--port P] [--addr H] [-jN] [--max-conn M] [--slow-us T]
 //!                 [--store DIR] [--doc name=file]… [name=pattern]…
 //!                                                run the prxd TCP server
+//! prxview metrics [host:port]                    scrape a server's METRICS
+//!                                                (Prometheus text) to stdout
 //! ```
 //!
 //! P-document files use the `pxv-pxml` text syntax, e.g.
@@ -81,8 +83,9 @@ fn usage() -> ExitCode {
          prxview gen personnel <persons> [projects] [seed]\n  \
          prxview save <store-dir> --doc name=file... [--no-warm] [name=pattern]...\n  \
          prxview load <store-dir> [<doc> <query>]\n  \
-         prxview serve [--port P] [--addr H] [-jN] [--max-conn M] [--store DIR] \
-         [--doc name=file]... [name=pattern]..."
+         prxview serve [--port P] [--addr H] [-jN] [--max-conn M] [--slow-us T] [--store DIR] \
+         [--doc name=file]... [name=pattern]...\n  \
+         prxview metrics [host:port]"
     );
     ExitCode::from(2)
 }
@@ -413,6 +416,12 @@ fn run() -> Result<ExitCode, String> {
                             .map_err(|e| format!("bad --max-conn: {e}"))?;
                         i += 2;
                     }
+                    "--slow-us" => {
+                        config.slow_threshold_us = value(&args, i)?
+                            .parse()
+                            .map_err(|e| format!("bad --slow-us: {e}"))?;
+                        i += 2;
+                    }
                     "--store" => {
                         store_dir = Some(value(&args, i)?);
                         i += 2;
@@ -505,7 +514,7 @@ fn run() -> Result<ExitCode, String> {
             eprintln!(
                 "prxd listening on {} (evented: {} worker threads multiplexing \
                  up to {} connections); \
-                 protocol: LOAD/VIEW/WARM/QUERY/BATCH/STATS/INVALIDATE/\
+                 protocol: LOAD/VIEW/WARM/QUERY/PROFILE/BATCH/STATS/METRICS/INVALIDATE/\
                  SAVE/RESTORE/SHUTDOWN/PING/QUIT",
                 handle.addr(),
                 config.workers,
@@ -644,6 +653,16 @@ fn run() -> Result<ExitCode, String> {
                 report.admitted_bytes(),
                 report.coverage(),
             );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("metrics") if args.len() <= 2 => {
+            // Scrape a running server's Prometheus exposition — the CLI
+            // half of the observability loop (`serve` is the other).
+            let addr = args.get(1).cloned().unwrap_or("127.0.0.1:7878".into());
+            let mut client = prxview::server::client::Client::connect(&addr)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
+            let text = client.metrics().map_err(|e| e.to_string())?;
+            print!("{text}");
             Ok(ExitCode::SUCCESS)
         }
         Some("cindep") if args.len() == 3 => {

@@ -201,6 +201,36 @@ fn single_flight_holds_under_eviction_races() {
     }
 }
 
+/// The eviction log itself is bounded: a pathological workload that
+/// churns the cache for thousands of rounds keeps only the most recent
+/// [`EVICTION_LOG_CAPACITY`] records (oldest dropped), while the
+/// lifetime counters keep the true totals — the log can never become
+/// the memory leak it exists to explain.
+#[test]
+fn eviction_log_is_bounded_under_sustained_churn() {
+    use prxview::engine::EVICTION_LOG_CAPACITY;
+    let (engine, docs) = multi_doc_engine(1);
+    engine.set_cache_budget(1);
+    let q = p("IT-personnel//person/bonus[laptop]");
+    let rounds = EVICTION_LOG_CAPACITY + 50;
+    for _ in 0..rounds {
+        engine.answer(docs[0], &q).unwrap();
+    }
+    let log = engine.eviction_log();
+    assert_eq!(log.len(), EVICTION_LOG_CAPACITY, "ring keeps the cap");
+    assert!(
+        log.iter().all(|r| r.admission_reject),
+        "budget=1 retires every materialization as an admission reject"
+    );
+    let stats = engine.stats();
+    assert!(
+        stats.evictions + stats.admission_rejects >= rounds as u64,
+        "lifetime counters outlive the bounded log: {} + {} < {rounds}",
+        stats.evictions,
+        stats.admission_rejects
+    );
+}
+
 /// The plan cache is bounded: filling it past capacity evicts the
 /// least-recently-used plans, keeps hot plans warm, and never grows the
 /// map past the configured cap.
