@@ -1,0 +1,155 @@
+//! `bench-diff` — the perf-trajectory gate.
+//!
+//! Compares freshly-emitted `BENCH_B*.json` files (the harness's
+//! machine-readable section dumps) against the committed baselines and
+//! fails when a timing metric regresses past the threshold:
+//!
+//! ```text
+//! bench-diff <baseline-dir> <fresh-dir> [threshold-pct]
+//! ```
+//!
+//! Only `*_ms` metrics are compared — they are the wall-clock timings;
+//! counters, ratios and percentages are reported informationally but
+//! never gate (an overhead percentage is a ratio of two noisy timings
+//! and twice as jittery as either). A metric regresses when
+//!
+//! ```text
+//! fresh > base * (1 + threshold/100) + ABS_FLOOR_MS
+//! ```
+//!
+//! with a default threshold of 25% and a small absolute floor, so a
+//! sub-millisecond metric on a noisy CI host cannot fail the gate on
+//! scheduler jitter alone. Sections present in only one directory are
+//! skipped with a note: the gate compares trajectories, it does not
+//! demand identical suites across branches. Exit status: 0 when nothing
+//! regressed, 1 on any regression, 2 on usage or parse errors.
+
+use prxview::obs::export::{parse_json, JsonValue};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Additive slack in milliseconds on top of the relative threshold.
+const ABS_FLOOR_MS: f64 = 0.5;
+
+/// Reads one `BENCH_*.json` file into `(section, [(metric, value)])`.
+fn read_bench(path: &Path) -> Result<(String, Vec<(String, f64)>), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let root = parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let section = match root.get("section") {
+        Some(JsonValue::Str(s)) => s.clone(),
+        _ => return Err(format!("{}: missing `section`", path.display())),
+    };
+    let Some(JsonValue::Object(metrics)) = root.get("metrics") else {
+        return Err(format!("{}: missing `metrics` object", path.display()));
+    };
+    let mut out = Vec::new();
+    for (key, value) in metrics {
+        let JsonValue::Num(v) = value else {
+            return Err(format!("{}: metric `{key}` is not numeric", path.display()));
+        };
+        out.push((key.clone(), *v));
+    }
+    Ok((section, out))
+}
+
+/// The `BENCH_B*.json` files under `dir`, sorted by name.
+fn bench_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot list {}: {e}", dir.display()))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("BENCH_B") && name.ends_with(".json")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_dir, fresh_dir) = match (args.first(), args.get(1)) {
+        (Some(b), Some(f)) => (PathBuf::from(b), PathBuf::from(f)),
+        _ => return Err("usage: bench-diff <baseline-dir> <fresh-dir> [threshold-pct]".into()),
+    };
+    let threshold: f64 = match args.get(2) {
+        Some(t) => t
+            .parse()
+            .map_err(|_| format!("threshold `{t}` is not a number"))?,
+        None => 25.0,
+    };
+
+    let mut compared = 0usize;
+    let mut regressions = Vec::new();
+    for base_path in bench_files(&baseline_dir)? {
+        let name = base_path.file_name().unwrap().to_str().unwrap();
+        let fresh_path = fresh_dir.join(name);
+        if !fresh_path.exists() {
+            println!("bench-diff: {name}: no fresh run, skipped");
+            continue;
+        }
+        let (section, base) = read_bench(&base_path)?;
+        let (fresh_section, fresh) = read_bench(&fresh_path)?;
+        if section != fresh_section {
+            return Err(format!(
+                "{name}: section mismatch `{section}` vs `{fresh_section}`"
+            ));
+        }
+        for (key, base_v) in &base {
+            let Some((_, fresh_v)) = fresh.iter().find(|(k, _)| k == key) else {
+                println!("bench-diff: {section}.{key}: dropped in fresh run, skipped");
+                continue;
+            };
+            if !key.ends_with("_ms") {
+                continue; // counters/ratios inform, only timings gate
+            }
+            compared += 1;
+            let limit = base_v * (1.0 + threshold / 100.0) + ABS_FLOOR_MS;
+            let delta_pct = if *base_v > 0.0 {
+                (fresh_v / base_v - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            let verdict = if *fresh_v > limit {
+                regressions.push(format!(
+                    "{section}.{key}: {base_v:.3} ms -> {fresh_v:.3} ms ({delta_pct:+.1}%)"
+                ));
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "bench-diff: {section}.{key}: base {base_v:.3} ms, fresh {fresh_v:.3} ms \
+                 ({delta_pct:+.1}%, limit {limit:.3} ms) {verdict}"
+            );
+        }
+    }
+
+    if compared == 0 {
+        return Err("no overlapping *_ms metrics compared — wrong directories?".into());
+    }
+    if regressions.is_empty() {
+        println!("bench-diff: {compared} timing metrics within {threshold}% of baseline ✓");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "bench-diff: {} of {compared} timing metrics regressed past {threshold}%:",
+            regressions.len()
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

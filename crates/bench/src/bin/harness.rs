@@ -1364,10 +1364,135 @@ fn b15() {
     json.write();
 }
 
+fn b16() {
+    use prxview::engine::Engine;
+    use prxview::obs::trace::build_trees;
+    use prxview::obs::{Recorder, TraceContext};
+
+    const PERSONS: usize = 200;
+    const REPS: usize = 7;
+    const QUERIES_PER_REP: usize = 200;
+
+    println!("\n[B16] causal tracing: disabled-path overhead + span-tree capture:");
+    let (pdoc, _) = personnel(PERSONS, 3, 9);
+    let q = qbon();
+    let mut engine = Engine::new();
+    let doc = engine.add_document("p", pdoc).unwrap();
+    engine.register_view(v2bon()).unwrap();
+    let baseline = engine.answer(doc, &q).expect("plan"); // warm the cache
+    assert!(
+        !Recorder::is_enabled(),
+        "the harness runs with the process recorder off"
+    );
+
+    // Same min-of-REPS discipline as B15: the minimum is the run least
+    // disturbed by the scheduler, which is what a code-path cost
+    // comparison needs.
+    let opts_off = engine.options().clone().trace(false);
+    let opts_on = engine.options().clone().trace(true);
+    let time_ms = |traced: bool| -> f64 {
+        (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..QUERIES_PER_REP {
+                    let (_ctx, options) = if traced {
+                        (Some(TraceContext::with_flight().install()), &opts_on)
+                    } else {
+                        (None, &opts_off)
+                    };
+                    let answer = engine.answer_with(doc, &q, options).expect("plan");
+                    assert_eq!(
+                        answer.nodes, baseline.nodes,
+                        "tracing must never change answers"
+                    );
+                }
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let plain_ms = time_ms(false);
+    let disabled_ms = time_ms(false);
+    let enabled_ms = time_ms(true);
+
+    // One traced query, checked structurally: the flight recorder holds
+    // a single tree rooted at the engine's `answer` span with the
+    // plan/eval stages as correctly-parented children.
+    let ctx = TraceContext::with_flight();
+    let flight = ctx.flight().expect("with_flight carries one").clone();
+    {
+        let _guard = ctx.install();
+        engine.answer_with(doc, &q, &opts_on).expect("plan");
+    }
+    let records = flight.records();
+    let spans_per_query = records.len() as u64;
+    let trees = build_trees(&records);
+    assert_eq!(trees.len(), 1, "one query, one trace");
+    let root = &trees[0].roots[0];
+    assert_eq!(root.record.name, "answer");
+    for stage in ["plan", "eval"] {
+        let child = root
+            .children
+            .iter()
+            .find(|c| c.record.name == stage)
+            .unwrap_or_else(|| panic!("missing `{stage}` child span"));
+        assert_eq!(child.record.parent_id, root.record.span_id);
+    }
+
+    let overhead_disabled_pct = (disabled_ms / plain_ms - 1.0).max(0.0) * 100.0;
+    let overhead_enabled_pct = (enabled_ms / plain_ms - 1.0).max(0.0) * 100.0;
+    println!(
+        "  warm loop ({QUERIES_PER_REP} queries, min of {REPS}): plain {plain_ms:.3} ms, \
+         trace=off {disabled_ms:.3} ms ({overhead_disabled_pct:.2}% over), \
+         traced {enabled_ms:.3} ms ({overhead_enabled_pct:.2}% over)"
+    );
+    println!("  span tree: {spans_per_query} spans/query, answer → plan/probe/eval");
+
+    // 0.5 ms absolute floor over the whole loop, as in B15: scheduler
+    // jitter on a starved CI host must not fail a code-path-cost bound.
+    assert!(
+        disabled_ms <= plain_ms * 1.05 + 0.5,
+        "disabled-tracing overhead too high: plain {plain_ms:.3} ms vs {disabled_ms:.3} ms"
+    );
+
+    let mut json = Json::new("B16");
+    json.int("queries_per_rep", QUERIES_PER_REP as u64);
+    json.num("plain_ms", plain_ms);
+    json.num("disabled_ms", disabled_ms);
+    json.num("enabled_ms", enabled_ms);
+    json.num("overhead_disabled_pct", overhead_disabled_pct);
+    json.num("overhead_enabled_pct", overhead_enabled_pct);
+    json.int("spans_per_query", spans_per_query);
+    json.write();
+}
+
 type Experiment = (&'static str, fn() -> bool);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `harness trace-check <file>` validates a Chrome trace dump and
+    // exits — the CI trace-smoke job's JSON checker, sharing the exact
+    // parser the obs tests assert against.
+    if args.first().map(String::as_str) == Some("trace-check") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: harness trace-check <trace.json>");
+            std::process::exit(2);
+        };
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match prxview::obs::export::check_chrome_trace(&json) {
+            Ok(events) => {
+                println!("trace-check: {path}: {events} events ok");
+                return;
+            }
+            Err(e) => {
+                eprintln!("trace-check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
     let mut all_ok = true;
     let experiments: Vec<Experiment> = vec![
@@ -1390,13 +1515,13 @@ fn main() {
         }
     }
     let bench_all = want("bench") || args.is_empty();
-    // `harness b14` / `harness b15` run only their own section (what the
-    // CI server-storm and obs-smoke jobs invoke); any other b-key still
-    // runs the whole compact suite.
+    // `harness b14`/`b15`/`b16` run only their own section (what the CI
+    // server-storm, obs-smoke and bench-diff jobs invoke); any other
+    // b-key still runs the whole compact suite.
     if bench_all
         || args
             .iter()
-            .any(|a| a.starts_with('b') && a != "b14" && a != "b15")
+            .any(|a| a.starts_with('b') && a != "b14" && a != "b15" && a != "b16")
     {
         b_compact();
     }
@@ -1405,6 +1530,9 @@ fn main() {
     }
     if bench_all || want("b15") {
         b15();
+    }
+    if bench_all || want("b16") {
+        b16();
     }
     println!(
         "\n{}",

@@ -224,6 +224,7 @@ pub struct QueryOptions {
     preference: PlanPreference,
     fallback: Fallback,
     profile: bool,
+    trace: bool,
 }
 
 impl Default for QueryOptions {
@@ -233,6 +234,7 @@ impl Default for QueryOptions {
             preference: PlanPreference::default(),
             fallback: Fallback::default(),
             profile: false,
+            trace: false,
         }
     }
 }
@@ -290,6 +292,23 @@ impl QueryOptions {
     /// Whether stage profiling is enabled.
     pub fn get_profile(&self) -> bool {
         self.profile
+    }
+
+    /// Whether to capture the query's causal span tree and return it
+    /// with the answer. The engine itself only carries the flag — span
+    /// capture is driven by the ambient
+    /// [`pxv_obs::trace::TraceContext`] the caller (typically the
+    /// server) installs around the query. Off by default, and like
+    /// profiling the disabled path reads no clocks and leaves answers
+    /// bit-identical.
+    pub fn trace(mut self, trace: bool) -> QueryOptions {
+        self.trace = trace;
+        self
+    }
+
+    /// Whether span-tree capture was requested.
+    pub fn get_trace(&self) -> bool {
+        self.trace
     }
 }
 
@@ -1861,7 +1880,11 @@ impl Engine {
         self.document(doc)?;
         // When profiling is off (the default) every timing site below is
         // a `None` branch — no clocks are read, so the answer path is
-        // bit-identical to an uninstrumented run.
+        // bit-identical to an uninstrumented run. The spans are equally
+        // free: `Span::enter` is inert (no clock, no allocation) unless
+        // the process recorder or an ambient trace context is active.
+        let mut span_answer = pxv_obs::Span::enter("answer");
+        span_answer.record("doc", doc.0 as u64);
         let t_total = options.profile.then(Instant::now);
         // Every answered query is workload evidence for the advisor —
         // recorded before planning so unanswerable (fallback) queries
@@ -1871,7 +1894,10 @@ impl Engine {
             .unwrap_or_else(PoisonError::into_inner)
             .record(doc.0, q, 1);
         let t_plan = t_total.map(|_| Instant::now());
-        let planned = self.cached_plan(q, options);
+        let planned = {
+            let _span = pxv_obs::Span::enter("plan");
+            self.cached_plan(q, options)
+        };
         let plan_nanos = t_plan.map_or(0, |t| t.elapsed().as_nanos() as u64);
         let plan = match &*planned {
             Ok(plan) => plan.clone(),
@@ -1880,6 +1906,7 @@ impl Engine {
                     Fallback::Forbid => Err(EngineError::Plan(e.clone())),
                     Fallback::Direct => {
                         let t_eval = t_total.map(|_| Instant::now());
+                        let _span = pxv_obs::Span::enter("eval");
                         let mut answer = self.direct_answer(
                             doc,
                             q,
@@ -1910,8 +1937,11 @@ impl Engine {
         let slots: HashMap<usize, Arc<ProbExtension>> = referenced
             .iter()
             .map(|&i| {
+                let mut span_probe = pxv_obs::Span::enter("probe");
+                span_probe.record("view", i as u64);
                 let t_ext = t_total.map(|_| Instant::now());
                 let (ext, hit) = self.catalog.extension(doc.0, fetch, i);
+                span_probe.record("hit", hit as u64);
                 if let Some(t) = t_ext {
                     let nanos = t.elapsed().as_nanos() as u64;
                     // A hit is a pure cache probe; a miss spent its time
@@ -1931,6 +1961,7 @@ impl Engine {
             })
             .collect();
         let t_eval = t_total.map(|_| Instant::now());
+        let mut span_eval = pxv_obs::Span::enter("eval");
         let (nodes, candidates) = match &plan {
             Plan::Tp(rw) => {
                 let ext = &slots[&rw.view_index];
@@ -1941,6 +1972,8 @@ impl Engine {
                 (exec.answers, exec.candidates)
             }
         };
+        span_eval.record("candidates", candidates as u64);
+        drop(span_eval);
         let eval_nanos = t_eval.map_or(0, |t| t.elapsed().as_nanos() as u64);
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         match &plan {
@@ -2023,12 +2056,22 @@ impl Engine {
         // index off a shared atomic cursor, so long queries never stall a
         // statically-assigned chunk, and results are stitched back into
         // input order at the end.
+        //
+        // Trace propagation is explicit: the ambient `TraceContext` is
+        // thread-local, so each spawned worker re-installs a clone of the
+        // caller's context before answering — worker spans then carry the
+        // same trace id (and feed the same flight recorder) as if the
+        // batch had run inline.
+        let ambient = pxv_obs::TraceContext::current();
         let cursor = AtomicUsize::new(0);
         let mut out: Vec<Option<Result<Answer, EngineError>>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
                 .map(|_| {
-                    scope.spawn(|| {
+                    let ambient = ambient.clone();
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let _ctx = ambient.map(pxv_obs::TraceContext::install);
                         let mut local = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -2989,5 +3032,87 @@ mod tests {
         assert_eq!(n, 2, "both warm extensions dropped in place");
         assert_eq!(ee.epoch(), 0, "in-place mutation publishes no epoch");
         assert_eq!(ee.read().catalog().cached_extensions(doc), 0);
+    }
+
+    #[test]
+    fn traced_answers_form_a_span_tree_and_stay_bit_identical() {
+        let (e, doc) = bonus_engine();
+        let q = p("IT-personnel//person/bonus");
+        let plain = e.answer(doc, &q).unwrap();
+        // Re-warm is irrelevant here: the second answer hits the cache,
+        // so the traced run sees a "probe" hit and no materialization —
+        // invalidate first so the cold path (probe → materialize) shows.
+        e.invalidate(doc).unwrap();
+
+        let ctx = pxv_obs::TraceContext::with_flight();
+        let trace_id = ctx.trace_id();
+        let flight = ctx.flight().unwrap().clone();
+        let traced = {
+            let _guard = ctx.install();
+            e.answer_with(doc, &q, &QueryOptions::new().trace(true))
+                .unwrap()
+        };
+        assert_eq!(traced.nodes, plain.nodes, "tracing must not change answers");
+
+        let records = flight.records();
+        let trees = pxv_obs::trace::build_trees(&records);
+        assert_eq!(trees.len(), 1, "one request, one trace");
+        let tree = &trees[0];
+        assert_eq!(tree.trace_id, trace_id);
+        assert_eq!(tree.roots.len(), 1, "the answer span is the sole root");
+        let root = &tree.roots[0];
+        assert_eq!(root.record.name, "answer");
+        let child_names: Vec<&str> = root.children.iter().map(|c| c.record.name).collect();
+        assert!(child_names.contains(&"plan"), "children: {child_names:?}");
+        assert!(child_names.contains(&"probe"), "children: {child_names:?}");
+        assert!(child_names.contains(&"eval"), "children: {child_names:?}");
+        for child in &root.children {
+            assert_eq!(child.record.parent_id, root.record.span_id);
+            assert_eq!(child.record.trace_id, trace_id);
+        }
+        // The lower layers' spans nest where the causal chain says: a
+        // cold probe contains the rewrite layer's materialization.
+        let probe = root
+            .children
+            .iter()
+            .find(|c| c.record.name == "probe")
+            .unwrap();
+        assert!(
+            probe
+                .children
+                .iter()
+                .any(|c| c.record.name == "materialize"),
+            "cold probe nests the materialize span"
+        );
+    }
+
+    #[test]
+    fn batch_workers_join_the_callers_trace() {
+        let (e, doc) = bonus_engine();
+        let queries: Vec<_> = (0..8)
+            .map(|_| (doc, p("IT-personnel//person/bonus")))
+            .collect();
+        let ctx = pxv_obs::TraceContext::with_flight();
+        let trace_id = ctx.trace_id();
+        let flight = ctx.flight().unwrap().clone();
+        let results = {
+            let _guard = ctx.install();
+            e.answer_batch_with(&queries, &QueryOptions::new(), 4)
+        };
+        assert!(results.iter().all(Result::is_ok));
+        let records = flight.records();
+        let answers = records.iter().filter(|r| r.name == "answer").count();
+        assert_eq!(answers, 8, "every worker-answered query is traced");
+        assert!(
+            records.iter().all(|r| r.trace_id == trace_id),
+            "workers re-install the caller's context"
+        );
+        // Without an ambient context (and with the recorder off) the
+        // same batch records nothing — the disabled path stays inert.
+        let quiet = pxv_obs::TraceContext::with_flight();
+        let quiet_flight = quiet.flight().unwrap().clone();
+        drop(quiet); // never installed
+        e.answer_batch_with(&queries, &QueryOptions::new(), 4);
+        assert!(quiet_flight.records().is_empty());
     }
 }

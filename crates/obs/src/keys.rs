@@ -56,13 +56,15 @@ pub const STATS_REQUESTS: &str = "requests";
 pub const STATS_ERRORS: &str = "errors";
 /// Requests that arrived pipelined behind another.
 pub const STATS_PIPELINED: &str = "pipelined";
+/// Span records dropped from overflowing trace rings.
+pub const STATS_SPANS_DROPPED: &str = "spans_dropped";
 /// Request latency p50 (µs, bucket upper bound).
 pub const STATS_P50US: &str = "p50us";
 /// Request latency p99 (µs, bucket upper bound).
 pub const STATS_P99US: &str = "p99us";
 
 /// Every `STATS` key, in the exact order the server emits them.
-pub const STATS_KEYS: [&str; 27] = [
+pub const STATS_KEYS: [&str; 28] = [
     STATS_DOCS,
     STATS_VIEWS,
     STATS_EPOCH,
@@ -88,6 +90,7 @@ pub const STATS_KEYS: [&str; 27] = [
     STATS_REQUESTS,
     STATS_ERRORS,
     STATS_PIPELINED,
+    STATS_SPANS_DROPPED,
     STATS_P50US,
     STATS_P99US,
 ];

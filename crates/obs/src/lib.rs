@@ -19,9 +19,19 @@
 //!   ([`metrics::Exposition`]) for the server's `METRICS` verb. Metric
 //!   names follow `pxv_<layer>_<name>` (see `DESIGN.md` §12).
 //! - [`span`] — a lightweight tracing facade: [`span::Span::enter`]
-//!   costs one relaxed atomic load when the process-wide
-//!   [`span::Recorder`] is disabled, and records monotonic-clock timings
-//!   into a per-thread bounded ring when enabled.
+//!   costs two relaxed atomic loads when nothing records, and records
+//!   monotonic-clock timings — stamped with a causal
+//!   `(trace_id, span_id, parent_id)` identity — into a per-thread
+//!   bounded ring when the process-wide [`span::Recorder`] or an
+//!   installed [`trace::TraceContext`] is active.
+//! - [`trace`] — request-scoped causal tracing: [`trace::TraceContext`]
+//!   names a request, propagates across worker handoffs by explicit
+//!   capture/install, optionally mirrors the request's spans into a
+//!   bounded [`trace::FlightRecorder`], and [`trace::build_trees`]
+//!   reassembles drained spans into per-request trees.
+//! - [`export`] — Chrome `trace_event` JSON and plain-text renderings
+//!   of drained spans, plus a std-only JSON parser/checker shared by
+//!   tests, the CI trace-smoke job, and the `bench-diff` gate.
 //! - [`profile`] — the per-query flight record: a stage breakdown
 //!   (parse / plan / cache-probe / materialize / eval / serialize) that
 //!   `pxv_engine::QueryOptions::profile(true)` makes an `Answer` carry,
@@ -46,15 +56,18 @@
 
 #![deny(missing_docs)]
 
+pub mod export;
 pub mod keys;
 pub mod metrics;
 pub mod profile;
 pub mod ring;
 pub mod slow;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Exposition, Gauge, Histogram, Registry};
 pub use profile::QueryProfile;
 pub use ring::Ring;
 pub use slow::{SlowLog, SlowRecord};
 pub use span::{Recorder, Span, SpanRecord};
+pub use trace::{FlightRecorder, TraceContext, TraceTree};

@@ -21,6 +21,9 @@ pub struct SlowRecord {
     pub micros: u64,
     /// The request line (as received on the wire).
     pub request: String,
+    /// The request's rendered span tree, when tracing was active for
+    /// the request (see [`crate::trace::FlightRecorder`]).
+    pub trace: Option<String>,
 }
 
 /// The slow-request log: a threshold plus a bounded ring of offenders.
@@ -55,6 +58,20 @@ impl SlowLog {
     /// only invoked (and the ring lock only taken) in that case. Returns
     /// whether the request was logged.
     pub fn observe(&self, took: Duration, request: impl FnOnce() -> String) -> bool {
+        self.observe_traced(took, request, || None)
+    }
+
+    /// [`SlowLog::observe`] with a lazily-built span tree: `trace` runs
+    /// only when the request qualifies, typically rendering the
+    /// request's [`crate::trace::FlightRecorder`] contents — this is how
+    /// `serve --slow-us` captures the full causal tree of each
+    /// offending query, not just its total.
+    pub fn observe_traced(
+        &self,
+        took: Duration,
+        request: impl FnOnce() -> String,
+        trace: impl FnOnce() -> Option<String>,
+    ) -> bool {
         let nanos = took.as_nanos().min(u64::MAX as u128) as u64;
         if nanos < self.threshold_nanos.load(Ordering::Relaxed) {
             return false;
@@ -62,6 +79,7 @@ impl SlowLog {
         let record = SlowRecord {
             micros: nanos / 1_000,
             request: request(),
+            trace: trace(),
         };
         self.ring
             .lock()
@@ -120,6 +138,25 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].micros, 1_000);
         assert_eq!(records[0].request, "QUERY slow");
+        assert!(records[0].trace.is_none());
+    }
+
+    #[test]
+    fn observe_traced_attaches_the_tree_lazily() {
+        let log = SlowLog::new(1_000);
+        let fast = log.observe_traced(
+            Duration::from_micros(10),
+            || unreachable!("under threshold"),
+            || unreachable!("under threshold"),
+        );
+        assert!(!fast);
+        assert!(log.observe_traced(
+            Duration::from_micros(2_000),
+            || "QUERY slow".into(),
+            || Some("trace 1\n  request 2000.000us".into()),
+        ));
+        let records = log.records();
+        assert_eq!(records[0].trace.as_deref().unwrap().lines().count(), 2);
     }
 
     #[test]

@@ -142,6 +142,65 @@ fn span_rings_merge_under_recorder_antagonist() {
     assert!(kept <= ((WRITERS + 2) * SPAN_RING_CAPACITY) as u64);
 }
 
+/// A scraper renders the exposition while a writer keeps publishing new
+/// "epochs" (bumping counters then the epoch gauge, the way the server
+/// samples the engine's published epoch at scrape time). Every scrape
+/// must parse, and counter samples must be monotone from one scrape to
+/// the next — a scrape can never observe a counter going backwards,
+/// whatever instant it raced the writer at.
+#[test]
+fn metrics_scrape_races_epoch_publisher_monotonically() {
+    let registry = std::sync::Arc::new(Registry::new());
+    let queries = registry.counter("pxv_test_race_queries_total", "Queries.");
+    let epoch = registry.gauge("pxv_test_race_epoch", "Published epoch.");
+    let stop = AtomicBool::new(false);
+    let mut last_queries = 0u64;
+    let mut last_epoch_seen = 0u64;
+    std::thread::scope(|scope| {
+        let writer = {
+            let queries = queries.clone();
+            let epoch = epoch.clone();
+            let stop = &stop;
+            scope.spawn(move || {
+                for e in 1..=1_000u64 {
+                    for _ in 0..37 {
+                        queries.inc();
+                    }
+                    epoch.set(e); // publish
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            })
+        };
+        for _ in 0..200 {
+            let text = registry.render();
+            let mut scraped_queries = None;
+            let mut scraped_epoch = None;
+            for line in text.lines() {
+                if let Some(v) = line.strip_prefix("pxv_test_race_queries_total ") {
+                    scraped_queries = Some(v.parse::<u64>().expect("numeric counter"));
+                }
+                if let Some(v) = line.strip_prefix("pxv_test_race_epoch ") {
+                    scraped_epoch = Some(v.parse::<u64>().expect("numeric gauge"));
+                }
+            }
+            let q = scraped_queries.expect("counter rendered");
+            let e = scraped_epoch.expect("gauge rendered");
+            assert!(
+                q >= last_queries,
+                "counter went backwards across scrapes: {q} < {last_queries}"
+            );
+            last_queries = q;
+            last_epoch_seen = last_epoch_seen.max(e);
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    });
+    assert!(last_epoch_seen >= 1, "the race actually overlapped");
+    assert_eq!(queries.get(), 37_000, "no increments were lost");
+}
+
 /// Concurrent observers of a slow log with a flapping threshold: the log
 /// never exceeds its capacity and only over-threshold entries are kept.
 #[test]

@@ -235,7 +235,27 @@ impl Client {
             let line = self.recv()?;
             nodes.push(parse_node_line(&line).map_err(ClientError::Server)?);
         }
-        Ok(WireAnswer { nodes, stats, plan })
+        Ok(WireAnswer {
+            nodes,
+            stats,
+            plan,
+            trace: None,
+        })
+    }
+
+    /// Reads a `TRACE <n>` frame: `n` body lines, rejoined with `\n`.
+    fn read_trace_frame(&mut self) -> Result<String, ClientError> {
+        let header = self.recv_ok()?;
+        let count: usize = header
+            .strip_prefix("TRACE ")
+            .and_then(|n| n.parse().ok())
+            .ok_or(ClientError::Unexpected(header.clone()))?;
+        let mut text = String::new();
+        for _ in 0..count {
+            text.push_str(&self.recv()?);
+            text.push('\n');
+        }
+        Ok(text)
     }
 
     /// Answers one query from pattern text with default options.
@@ -288,7 +308,49 @@ impl Client {
             "QUERY {doc} {query}{}",
             options_to_tokens(options)
         ))?;
-        self.read_answer()
+        let mut answer = self.read_answer()?;
+        // A traced query's answer block is followed by its span tree.
+        if options.get_trace() {
+            answer.trace = Some(self.read_trace_frame()?);
+        }
+        Ok(answer)
+    }
+
+    /// `QUERY … trace=true`: answers one query and returns it together
+    /// with the rendered span tree of exactly that request. The answer
+    /// is bit-identical to an untraced [`Client::query`].
+    pub fn trace(
+        &mut self,
+        doc: &str,
+        query: &TreePattern,
+    ) -> Result<(WireAnswer, String), ClientError> {
+        let options = QueryOptions::new().trace(true);
+        let mut answer = self.query_with(doc, query, &options)?;
+        let tree = answer
+            .trace
+            .take()
+            .expect("trace=true always returns a tree");
+        Ok((answer, tree))
+    }
+
+    /// `TRACE ON`: start recording spans from every request.
+    pub fn trace_on(&mut self) -> Result<(), ClientError> {
+        self.send("TRACE ON")?;
+        self.expect_ok("trace").map(|_| ())
+    }
+
+    /// `TRACE OFF`: stop recording (buffered spans stay drainable).
+    pub fn trace_off(&mut self) -> Result<(), ClientError> {
+        self.send("TRACE OFF")?;
+        self.expect_ok("trace").map(|_| ())
+    }
+
+    /// `TRACE DUMP`: drains every span recorded since the last dump as
+    /// one Chrome `trace_event` JSON document (loadable in
+    /// `about:tracing` / Perfetto).
+    pub fn trace_dump(&mut self) -> Result<String, ClientError> {
+        self.send("TRACE DUMP")?;
+        self.read_trace_frame()
     }
 
     /// Answers a batch concurrently on the server; per-query outcomes
@@ -341,7 +403,12 @@ impl Client {
                         let node_line = self.recv()?;
                         nodes.push(parse_node_line(&node_line).map_err(ClientError::Server)?);
                     }
-                    results.push(Ok(WireAnswer { nodes, stats, plan }));
+                    results.push(Ok(WireAnswer {
+                        nodes,
+                        stats,
+                        plan,
+                        trace: None,
+                    }));
                 }
             }
         }
@@ -446,16 +513,39 @@ impl Client {
         let mut records = Vec::with_capacity(count);
         for _ in 0..count {
             let line = self.recv()?;
-            let record = line
+            let mut record = line
                 .strip_prefix("SLOWQ us=")
                 .and_then(|rest| rest.split_once(' '))
                 .and_then(|(us, request)| {
                     Some(SlowRecord {
                         micros: us.parse().ok()?,
                         request: request.to_string(),
+                        trace: None,
                     })
                 })
                 .ok_or(ClientError::Unexpected(line.clone()))?;
+            // A traced record interposes `spans=<k>` before the request
+            // and is followed by its k `SLOWT` tree lines.
+            if let Some((spans, request)) = record
+                .request
+                .strip_prefix("spans=")
+                .and_then(|rest| rest.split_once(' '))
+            {
+                let spans: usize = spans
+                    .parse()
+                    .map_err(|_| ClientError::Unexpected(line.clone()))?;
+                record.request = request.to_string();
+                let mut tree = String::new();
+                for _ in 0..spans {
+                    let tree_line = self.recv()?;
+                    let body = tree_line
+                        .strip_prefix("SLOWT ")
+                        .ok_or(ClientError::Unexpected(tree_line.clone()))?;
+                    tree.push_str(body);
+                    tree.push('\n');
+                }
+                record.trace = Some(tree);
+            }
             records.push(record);
         }
         Ok((threshold, records))

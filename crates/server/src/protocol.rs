@@ -20,10 +20,14 @@
 //! BATCH <n>                          -> RESULTS <n>, then per line one
 //!   <doc> <tpq-text>      (n lines)     ANSWER block or ERR line
 //! STATS                              -> STATS key=value ...
-//! STATS SLOW                         -> SLOW <n> threshold_us=<t>, then n lines:
-//!   SLOWQ us=<micros> <request-line>
+//! STATS SLOW                         -> SLOW <n> threshold_us=<t>, then n entries:
+//!   SLOWQ us=<micros> [spans=<k>] <request-line>, each followed by its
+//!   k SLOWT <tree-line> lines when a span tree was captured
 //! METRICS                            -> METRICS <n>, then n lines of
 //!                                       Prometheus text exposition
+//! TRACE ON|OFF                       -> OK trace on|off
+//! TRACE DUMP                         -> TRACE <n>, then n lines of Chrome
+//!                                       trace_event JSON (one event per line)
 //! PROFILE <doc> <tpq-text> [opts]    -> PROFILE nodes=<n> parse_us=. plan_us=.
 //!                                       probe_us=. mat_us=. eval_us=. ser_us=.
 //!                                       total_us=. cache_bytes=. epoch=. plan=<route>
@@ -56,7 +60,16 @@
 //! (interleaving limit), `pref=prefer-tp|prefer-tpi|tp|tpi` (plan
 //! preference), `fallback=forbid|direct`, `profile=true|false` (stage
 //! timing; `PROFILE` is sugar for a profiled `QUERY` whose response
-//! leads with the stage breakdown instead of the node list).
+//! leads with the stage breakdown instead of the node list), and
+//! `trace=true|false` (capture the query's causal span tree; the
+//! `ANSWER` block is followed by a `TRACE <n>` frame of `n` rendered
+//! tree lines — the answer itself stays bit-identical).
+//!
+//! `TRACE ON|OFF` toggles the process-wide span recorder; `TRACE DUMP`
+//! drains it and returns every span since the last dump as Chrome
+//! `trace_event` JSON, framed `TRACE <n>` + one event per line (the
+//! whole frame concatenates to one JSON document loadable in
+//! `about:tracing`/Perfetto).
 //!
 //! `METRICS` renders every server, engine, cache and store metric in the
 //! Prometheus text format (`# HELP`/`# TYPE` comments plus
@@ -307,12 +320,25 @@ pub enum Request {
         /// Register admitted candidates instead of only reporting them.
         auto: bool,
     },
+    /// Toggle or dump the process-wide span recorder.
+    Trace(TraceMode),
     /// Gracefully drain and stop the server (admin).
     Shutdown,
     /// Liveness probe.
     Ping,
     /// End the session.
     Quit,
+}
+
+/// What a `TRACE` request asks of the process-wide span recorder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Start recording spans from every request.
+    On,
+    /// Stop recording (already-buffered spans remain drainable).
+    Off,
+    /// Drain everything recorded so far as Chrome trace JSON.
+    Dump,
 }
 
 /// Splits `line` into its first whitespace-delimited token and the rest.
@@ -337,6 +363,7 @@ fn split_query_options(body: &str) -> Result<(String, QueryOptions), ProtocolErr
     let mut preference = None;
     let mut fallback = None;
     let mut profile = None;
+    let mut trace = None;
     while let Some(cut) = rest.rfind(char::is_whitespace) {
         let token = rest[cut..].trim_start();
         if token.contains('\'') {
@@ -396,6 +423,18 @@ fn split_query_options(body: &str) -> Result<(String, QueryOptions), ProtocolErr
                 };
                 profile.get_or_insert(parsed);
             }
+            "trace" => {
+                let parsed = match value {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(ProtocolError::BadOption(format!(
+                            "trace=`{other}` (want true|false)"
+                        )))
+                    }
+                };
+                trace.get_or_insert(parsed);
+            }
             _ => break,
         }
         rest = prefix;
@@ -405,7 +444,8 @@ fn split_query_options(body: &str) -> Result<(String, QueryOptions), ProtocolErr
         .interleaving_limit(limit.unwrap_or(defaults.get_interleaving_limit()))
         .plan_preference(preference.unwrap_or_default())
         .fallback(fallback.unwrap_or_default())
-        .profile(profile.unwrap_or(false));
+        .profile(profile.unwrap_or(false))
+        .trace(trace.unwrap_or(false));
     Ok((rest.to_string(), options))
 }
 
@@ -433,6 +473,9 @@ pub fn options_to_tokens(options: &QueryOptions) -> String {
     }
     if options.get_profile() != defaults.get_profile() {
         out.push_str(" profile=true");
+    }
+    if options.get_trace() != defaults.get_trace() {
+        out.push_str(" trace=true");
     }
     out
 }
@@ -495,7 +538,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         },
         "QUERY" => parse_query_body(
             rest,
-            "QUERY <doc> <tpq-text> [limit=|pref=|fallback=|profile=]",
+            "QUERY <doc> <tpq-text> [limit=|pref=|fallback=|profile=|trace=]",
         ),
         "PROFILE" => {
             match parse_query_body(rest, "PROFILE <doc> <tpq-text> [limit=|pref=|fallback=]")? {
@@ -527,6 +570,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "STATS" if rest.trim().eq_ignore_ascii_case("slow") => Ok(Request::StatsSlow),
         "METRICS" if rest.is_empty() => Ok(Request::Metrics),
         "METRICS" => Err(ProtocolError::Usage("METRICS".into())),
+        "TRACE" => match rest.trim() {
+            v if v.eq_ignore_ascii_case("on") => Ok(Request::Trace(TraceMode::On)),
+            v if v.eq_ignore_ascii_case("off") => Ok(Request::Trace(TraceMode::Off)),
+            v if v.eq_ignore_ascii_case("dump") => Ok(Request::Trace(TraceMode::Dump)),
+            _ => Err(ProtocolError::Usage("TRACE ON|OFF|DUMP".into())),
+        },
         "UPDATE" => {
             let (doc, spec) = split_token(rest);
             if doc.is_empty() || spec.is_empty() {
@@ -615,6 +664,8 @@ pub struct WireAnswer {
     pub stats: QueryStats,
     /// The route taken (plan shape and views, or direct evaluation).
     pub plan: String,
+    /// The rendered span tree, when the query was sent `trace=true`.
+    pub trace: Option<String>,
 }
 
 /// Serializes an [`Answer`] as an `ANSWER` header plus `NODE` lines.
@@ -1140,6 +1191,65 @@ mod tests {
         ));
         assert!(matches!(
             parse_request("PROFILE hr"),
+            Err(ProtocolError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn trace_option_and_verb_round_trip() {
+        // `trace=` is an ordinary query option and round-trips.
+        match parse_request("QUERY hr r//a trace=true limit=2").unwrap() {
+            Request::Query { options, .. } => {
+                assert!(options.get_trace());
+                assert_eq!(options.get_interleaving_limit(), 2);
+                let tokens = options_to_tokens(&options);
+                assert!(tokens.contains("trace=true"), "{tokens}");
+                // And the tokens parse back to the same options.
+                match parse_request(&format!("QUERY hr r//a{tokens}")).unwrap() {
+                    Request::Query { options: back, .. } => {
+                        assert!(back.get_trace());
+                        assert_eq!(back.get_interleaving_limit(), 2);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_request("QUERY hr r//a trace=false").unwrap() {
+            Request::Query { options, .. } => {
+                assert!(!options.get_trace());
+                assert_eq!(options_to_tokens(&options), "");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request("QUERY hr r//a trace=maybe"),
+            Err(ProtocolError::BadOption(_))
+        ));
+        // A quoted label that merely looks like the option stays query.
+        match parse_request("QUERY hr r/'p trace=true'").unwrap() {
+            Request::Query { options, .. } => assert!(!options.get_trace()),
+            other => panic!("{other:?}"),
+        }
+        // The TRACE verb, case-insensitively.
+        assert!(matches!(
+            parse_request("TRACE ON"),
+            Ok(Request::Trace(TraceMode::On))
+        ));
+        assert!(matches!(
+            parse_request("trace off"),
+            Ok(Request::Trace(TraceMode::Off))
+        ));
+        assert!(matches!(
+            parse_request("TRACE dump"),
+            Ok(Request::Trace(TraceMode::Dump))
+        ));
+        assert!(matches!(
+            parse_request("TRACE"),
+            Err(ProtocolError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_request("TRACE sideways"),
             Err(ProtocolError::Usage(_))
         ));
     }

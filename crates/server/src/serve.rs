@@ -712,10 +712,20 @@ fn worker_loop(
             Err(_) => break, // reactor gone and queue drained
         };
         let mut out = Vec::with_capacity(256);
+        // With the process-wide recorder on (`TRACE ON`), every request
+        // runs under a fresh trace context with a flight recorder: the
+        // worker installs the context (spans it and the engine record
+        // carry this request's trace id) and opens the root `request`
+        // span. The flight's copy of the tree is what the slow log
+        // attaches — rendering it drains nothing from the global rings.
+        let ctx = pxv_obs::Recorder::is_enabled().then(pxv_obs::TraceContext::with_flight);
+        let flight = ctx.as_ref().and_then(|c| c.flight().cloned());
         // Contain a panicking request to an ERR response: the engine's
         // locks recover from poisoning and mutating requests run on a
         // private clone, so the published state stays consistent.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = ctx.map(pxv_obs::TraceContext::install);
+            let _root = pxv_obs::Span::enter("request");
             handle_unit(&job.unit, shared, &mut out)
         }));
         let quit = match outcome {
@@ -733,7 +743,14 @@ fn worker_loop(
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
         let took = job.enqueued.elapsed();
         shared.stats.latency.record_duration(took);
-        shared.slow.observe(took, || job.unit[0].clone());
+        shared.slow.observe_traced(
+            took,
+            || job.unit[0].clone(),
+            || {
+                let records = flight.as_ref()?.records();
+                (!records.is_empty()).then(|| pxv_obs::export::render_text_tree(&records))
+            },
+        );
         lock(completions).push(Done {
             conn: job.conn,
             gen: job.gen,
@@ -872,10 +889,30 @@ fn execute(
         } => {
             let engine = shared.engine.read();
             let id = find_doc(&engine, &doc)?;
-            let answer = engine
-                .answer_with(id, &query, &options)
-                .map_err(engine_err)?;
-            write_answer(out, &answer).map_err(io_to_protocol)
+            if options.get_trace() {
+                // `trace=true` installs its own context + flight for
+                // exactly this query, independent of the process-wide
+                // recorder, and returns the rendered tree after the
+                // answer block. The answer bytes are identical to an
+                // untraced run — spans read clocks, never data.
+                let ctx = pxv_obs::TraceContext::with_flight();
+                let flight = ctx.flight().expect("with_flight carries one").clone();
+                let answer = {
+                    let _guard = ctx.install();
+                    let _root = pxv_obs::Span::enter("request");
+                    engine.answer_with(id, &query, &options).map_err(engine_err)
+                }?;
+                write_answer(out, &answer).map_err(io_to_protocol)?;
+                let tree = pxv_obs::export::render_text_tree(&flight.records());
+                writeln!(out, "TRACE {}", tree.lines().count()).map_err(io_to_protocol)?;
+                out.extend_from_slice(tree.as_bytes());
+                Ok(())
+            } else {
+                let answer = engine
+                    .answer_with(id, &query, &options)
+                    .map_err(engine_err)?;
+                write_answer(out, &answer).map_err(io_to_protocol)
+            }
         }
         Request::Invalidate { doc } => {
             let n = shared.engine.update_in_place(|engine| {
@@ -1006,7 +1043,23 @@ fn execute(
             )
             .map_err(io_to_protocol)?;
             for r in &records {
-                writeln!(out, "SLOWQ us={} {}", r.micros, r.request).map_err(io_to_protocol)?;
+                match &r.trace {
+                    Some(tree) => {
+                        writeln!(
+                            out,
+                            "SLOWQ us={} spans={} {}",
+                            r.micros,
+                            tree.lines().count(),
+                            r.request
+                        )
+                        .map_err(io_to_protocol)?;
+                        for line in tree.lines() {
+                            writeln!(out, "SLOWT {line}").map_err(io_to_protocol)?;
+                        }
+                    }
+                    None => writeln!(out, "SLOWQ us={} {}", r.micros, r.request)
+                        .map_err(io_to_protocol)?,
+                }
             }
             Ok(())
         }
@@ -1016,6 +1069,27 @@ fn execute(
             out.extend_from_slice(text.as_bytes());
             Ok(())
         }
+        Request::Trace(mode) => match mode {
+            crate::protocol::TraceMode::On => {
+                pxv_obs::Recorder::enable();
+                writeln!(out, "OK trace on").map_err(io_to_protocol)
+            }
+            crate::protocol::TraceMode::Off => {
+                pxv_obs::Recorder::disable();
+                writeln!(out, "OK trace off").map_err(io_to_protocol)
+            }
+            crate::protocol::TraceMode::Dump => {
+                // Draining consumes: spans dumped once never reappear in
+                // a later dump. The dump excludes this request's own
+                // `request` span — it is still open while we drain.
+                let drained = pxv_obs::Recorder::drain();
+                let json = pxv_obs::export::chrome_trace_json(&drained);
+                writeln!(out, "TRACE {}", json.lines().count()).map_err(io_to_protocol)?;
+                out.extend_from_slice(json.as_bytes());
+                out.push(b'\n');
+                Ok(())
+            }
+        },
         Request::Profile {
             doc,
             query,
@@ -1047,7 +1121,9 @@ fn execute(
     }
 }
 
-/// The 27 `STATS` values, in [`pxv_obs::keys::STATS_KEYS`] order.
+/// The `STATS` values, one per key in [`pxv_obs::keys::STATS_KEYS`]
+/// order — the array length is tied to the key list so adding a key
+/// without adding its value is a compile error.
 fn stats_values(shared: &Shared) -> [u64; pxv_obs::keys::STATS_KEYS.len()] {
     let engine = shared.engine.read();
     let es = engine.stats();
@@ -1078,6 +1154,7 @@ fn stats_values(shared: &Shared) -> [u64; pxv_obs::keys::STATS_KEYS.len()] {
         ss.requests,
         ss.errors,
         ss.pipelined,
+        pxv_obs::Recorder::dropped(),
         ss.p50_us,
         ss.p99_us,
     ]
@@ -1127,6 +1204,11 @@ fn render_metrics(shared: &Shared) -> String {
         "pxv_server_slow_queries_total",
         "Requests slower than the slow-log threshold.",
         shared.slow.len() as u64 + shared.slow.dropped(),
+    );
+    x.counter(
+        "pxv_obs_spans_dropped",
+        "Span records dropped from overflowing trace rings.",
+        pxv_obs::Recorder::dropped(),
     );
     // Engine + cache lifetime counters, sampled from the current epoch.
     let engine = shared.engine.read();

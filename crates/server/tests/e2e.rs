@@ -582,6 +582,7 @@ fn observability_verbs_over_the_wire() {
         "pxv_cache_bytes",
         "pxv_store_saves_total",
         "pxv_server_slow_queries_total",
+        "pxv_obs_spans_dropped",
     ] {
         assert!(first.contains_key(family), "METRICS missing `{family}`");
     }
@@ -637,6 +638,143 @@ fn observability_verbs_over_the_wire() {
         records.iter().any(|r| r.request.starts_with("QUERY ")),
         "slow log carries the request lines"
     );
+
+    c.quit().unwrap();
+    handle.shutdown();
+}
+
+/// Causal tracing end to end: a `trace=true` query returns its own span
+/// tree inline with a bit-identical answer; `TRACE ON` records every
+/// request, `TRACE DUMP` drains them as Chrome trace JSON whose causal
+/// links check out; and the slow log captures the span tree of each
+/// offending query while the recorder is on.
+#[test]
+fn causal_tracing_over_the_wire() {
+    let handle = serve(
+        Engine::new(),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            max_connections: 8,
+            // Threshold 0: every request is "slow", so the flight
+            // recorder's tree deterministically lands in the log.
+            slow_threshold_us: 0,
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.load(DOC, &fixture_pdoc()).unwrap();
+    for v in views() {
+        c.view(&v.name, &v.pattern).unwrap();
+    }
+
+    // `trace=true` with the recorder OFF: the tree comes back inline and
+    // the answer is bit-identical to the untraced run. One warm-up run
+    // first, so plain and traced both execute against a warm cache and
+    // even their stats match.
+    let q = &query_mix()[0];
+    c.query(DOC, q).unwrap();
+    let plain = c.query(DOC, q).unwrap();
+    let (traced, tree) = c.trace(DOC, q).unwrap();
+    assert_eq!(traced.nodes, plain.nodes, "tracing must not change answers");
+    assert_eq!(traced.stats, plain.stats);
+    let lines: Vec<&str> = tree.lines().collect();
+    let indent = |line: &str| line.len() - line.trim_start().len();
+    assert!(lines[0].starts_with("trace "), "heading first: {tree}");
+    assert!(
+        lines[1].trim_start().starts_with("request "),
+        "the request span is the root: {tree}"
+    );
+    assert_eq!(indent(lines[1]), 2, "root sits under the heading: {tree}");
+    let answer_line = lines
+        .iter()
+        .find(|l| l.trim_start().starts_with("answer "))
+        .expect("answer span under the root");
+    assert_eq!(indent(answer_line), 4, "answer is the request's child");
+    for stage in ["plan ", "eval "] {
+        let line = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with(stage))
+            .unwrap_or_else(|| panic!("missing `{stage}` span in {tree}"));
+        assert_eq!(indent(line), 6, "`{stage}` is the answer's child");
+    }
+
+    // TRACE ON → a burst → TRACE DUMP: valid Chrome trace JSON whose
+    // events include the per-request roots, with an `answer` span
+    // causally parented under a `request` span.
+    c.trace_on().unwrap();
+    for q in &query_mix() {
+        c.query(DOC, q).unwrap();
+    }
+    let json = c.trace_dump().unwrap();
+    c.trace_off().unwrap();
+    let events = pxv_obs::export::check_chrome_trace(&json).expect("dump validates");
+    assert!(events > 0, "the burst recorded spans");
+    let parsed = pxv_obs::export::parse_json(&json).unwrap();
+    let Some(pxv_obs::export::JsonValue::Array(event_list)) = parsed.get("traceEvents") else {
+        panic!("traceEvents array");
+    };
+    let field = |e: &pxv_obs::export::JsonValue, key: &str| {
+        e.get("args")
+            .and_then(|a| a.get(key))
+            .and_then(|v| v.as_num())
+            .unwrap() as u64
+    };
+    let name_of: std::collections::HashMap<u64, String> = event_list
+        .iter()
+        .map(|e| {
+            let name = match e.get("name") {
+                Some(pxv_obs::export::JsonValue::Str(s)) => s.clone(),
+                other => panic!("string name, got {other:?}"),
+            };
+            (field(e, "span_id"), name)
+        })
+        .collect();
+    let answer_event = event_list
+        .iter()
+        .find(|e| name_of[&field(e, "span_id")] == "answer")
+        .expect("an answer span in the dump");
+    assert_eq!(
+        name_of
+            .get(&field(answer_event, "parent_id"))
+            .map(String::as_str),
+        Some("request"),
+        "the answer span is parented under its request span"
+    );
+    // Draining consumes: a second dump never repeats a span (the
+    // recorder is shared process-wide, so concurrent tests may add new
+    // spans — but dumped ids can never reappear).
+    let again = c.trace_dump().unwrap();
+    pxv_obs::export::check_chrome_trace(&again).expect("second dump validates");
+    let reparsed = pxv_obs::export::parse_json(&again).unwrap();
+    if let Some(pxv_obs::export::JsonValue::Array(later)) = reparsed.get("traceEvents") {
+        for e in later {
+            assert!(
+                !name_of.contains_key(&field(e, "span_id")),
+                "span dumped twice"
+            );
+        }
+    }
+
+    // The slow log captured the burst's trees: records that ran under
+    // the recorder carry a rendered tree rooted at their request span.
+    let (_, records) = c.slow().unwrap();
+    let with_trace: Vec<_> = records.iter().filter_map(|r| r.trace.as_ref()).collect();
+    assert!(
+        !with_trace.is_empty(),
+        "threshold 0 + TRACE ON attaches trees"
+    );
+    for tree in with_trace {
+        assert!(tree.lines().next().unwrap().starts_with("trace "), "{tree}");
+        assert!(
+            tree.lines()
+                .nth(1)
+                .unwrap()
+                .trim_start()
+                .starts_with("request"),
+            "{tree}"
+        );
+    }
 
     c.quit().unwrap();
     handle.shutdown();

@@ -24,6 +24,9 @@
 //!                                                run the prxd TCP server
 //! prxview metrics [host:port]                    scrape a server's METRICS
 //!                                                (Prometheus text) to stdout
+//! prxview trace   <host:port> [out.json]         drain a server's recorded
+//!                                                spans (TRACE DUMP) into a
+//!                                                Chrome trace JSON file
 //! ```
 //!
 //! P-document files use the `pxv-pxml` text syntax, e.g.
@@ -85,7 +88,8 @@ fn usage() -> ExitCode {
          prxview load <store-dir> [<doc> <query>]\n  \
          prxview serve [--port P] [--addr H] [-jN] [--max-conn M] [--slow-us T] [--store DIR] \
          [--doc name=file]... [name=pattern]...\n  \
-         prxview metrics [host:port]"
+         prxview metrics [host:port]\n  \
+         prxview trace <host:port> [out.json]"
     );
     ExitCode::from(2)
 }
@@ -663,6 +667,23 @@ fn run() -> Result<ExitCode, String> {
                 .map_err(|e| format!("connect {addr}: {e}"))?;
             let text = client.metrics().map_err(|e| e.to_string())?;
             print!("{text}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("trace") if matches!(args.len(), 2 | 3) => {
+            // Drain a running server's recorded spans (`TRACE DUMP`) and
+            // write them as Chrome trace JSON, loadable in
+            // about:tracing or https://ui.perfetto.dev. The dump is
+            // validated before it is written — a truncated or malformed
+            // file would fail silently in the viewer instead.
+            let addr = &args[1];
+            let out = args.get(2).map(String::as_str).unwrap_or("trace.json");
+            let mut client = prxview::server::client::Client::connect(addr)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
+            let json = client.trace_dump().map_err(|e| e.to_string())?;
+            let events = prxview::obs::export::check_chrome_trace(&json)
+                .map_err(|e| format!("server returned an invalid trace dump: {e}"))?;
+            std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("trace: wrote {events} spans to {out}");
             Ok(ExitCode::SUCCESS)
         }
         Some("cindep") if args.len() == 3 => {

@@ -39,13 +39,15 @@
 //! plan execution), [`engine`] (the stateful facade, its own crate
 //! `pxv-engine`), [`store`] (`pxv-store`: persistent binary snapshots —
 //! `Engine::snapshot_to` / `Engine::restore_from` give warm restarts
-//! with bit-identical answers), and [`server`] (`pxv-server`: the `prxd`
+//! with bit-identical answers), [`server`] (`pxv-server`: the `prxd`
 //! TCP serving layer — wire protocol, threaded server, blocking client,
-//! `prxload`).
+//! `prxload`), and [`obs`] (`pxv-obs`: metrics, causal span tracing and
+//! the Chrome trace exporter).
 
 #![warn(missing_docs)]
 
 pub use pxv_engine as engine;
+pub use pxv_obs as obs;
 pub use pxv_peval as peval;
 pub use pxv_pxml as pxml;
 pub use pxv_rewrite as rewrite;
