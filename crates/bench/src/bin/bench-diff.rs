@@ -21,8 +21,12 @@
 //! sub-millisecond metric on a noisy CI host cannot fail the gate on
 //! scheduler jitter alone. Sections present in only one directory are
 //! skipped with a note: the gate compares trajectories, it does not
-//! demand identical suites across branches. Exit status: 0 when nothing
-//! regressed, 1 on any regression, 2 on usage or parse errors.
+//! demand identical suites across branches. Within an overlapping
+//! section, however, a `*_ms` key present on one side only is a hard
+//! error naming the key — a timing metric that silently drops out of the
+//! comparison is a gate that silently stopped gating. Exit status: 0
+//! when nothing regressed, 1 on any regression, 2 on usage, parse or
+//! key-mismatch errors.
 
 use prxview::obs::export::{parse_json, JsonValue};
 use std::path::{Path, PathBuf};
@@ -67,6 +71,76 @@ fn bench_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(files)
 }
 
+/// Result of comparing one section's metric lists.
+#[derive(Debug)]
+struct SectionDiff {
+    /// Timing metrics compared.
+    compared: usize,
+    /// One line per regressed metric.
+    regressions: Vec<String>,
+    /// One report line per compared metric (printed in order).
+    report: Vec<String>,
+}
+
+/// Compares one section's baseline metrics against a fresh run.
+///
+/// A `*_ms` key present on only one side is a hard error naming the key:
+/// a timing that vanished from the fresh run (renamed or dropped) would
+/// otherwise pass silently, and a fresh timing with no baseline is a
+/// stale-baseline gate that gates nothing. Non-timing keys may come and
+/// go freely — they never gate.
+fn diff_section(
+    section: &str,
+    base: &[(String, f64)],
+    fresh: &[(String, f64)],
+    threshold: f64,
+) -> Result<SectionDiff, String> {
+    for (key, _) in fresh {
+        if key.ends_with("_ms") && !base.iter().any(|(k, _)| k == key) {
+            return Err(format!(
+                "{section}.{key}: timing metric has no baseline — regenerate the \
+                 committed BENCH_{section}.json"
+            ));
+        }
+    }
+    let mut diff = SectionDiff {
+        compared: 0,
+        regressions: Vec::new(),
+        report: Vec::new(),
+    };
+    for (key, base_v) in base {
+        if !key.ends_with("_ms") {
+            continue; // counters/ratios inform, only timings gate
+        }
+        let Some((_, fresh_v)) = fresh.iter().find(|(k, _)| k == key) else {
+            return Err(format!(
+                "{section}.{key}: baseline timing metric missing from the fresh \
+                 run — a dropped key must fail, not silently pass"
+            ));
+        };
+        diff.compared += 1;
+        let limit = base_v * (1.0 + threshold / 100.0) + ABS_FLOOR_MS;
+        let delta_pct = if *base_v > 0.0 {
+            (fresh_v / base_v - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let verdict = if *fresh_v > limit {
+            diff.regressions.push(format!(
+                "{section}.{key}: {base_v:.3} ms -> {fresh_v:.3} ms ({delta_pct:+.1}%)"
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        diff.report.push(format!(
+            "{section}.{key}: base {base_v:.3} ms, fresh {fresh_v:.3} ms \
+             ({delta_pct:+.1}%, limit {limit:.3} ms) {verdict}"
+        ));
+    }
+    Ok(diff)
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (baseline_dir, fresh_dir) = match (args.first(), args.get(1)) {
@@ -96,34 +170,12 @@ fn run() -> Result<ExitCode, String> {
                 "{name}: section mismatch `{section}` vs `{fresh_section}`"
             ));
         }
-        for (key, base_v) in &base {
-            let Some((_, fresh_v)) = fresh.iter().find(|(k, _)| k == key) else {
-                println!("bench-diff: {section}.{key}: dropped in fresh run, skipped");
-                continue;
-            };
-            if !key.ends_with("_ms") {
-                continue; // counters/ratios inform, only timings gate
-            }
-            compared += 1;
-            let limit = base_v * (1.0 + threshold / 100.0) + ABS_FLOOR_MS;
-            let delta_pct = if *base_v > 0.0 {
-                (fresh_v / base_v - 1.0) * 100.0
-            } else {
-                0.0
-            };
-            let verdict = if *fresh_v > limit {
-                regressions.push(format!(
-                    "{section}.{key}: {base_v:.3} ms -> {fresh_v:.3} ms ({delta_pct:+.1}%)"
-                ));
-                "REGRESSED"
-            } else {
-                "ok"
-            };
-            println!(
-                "bench-diff: {section}.{key}: base {base_v:.3} ms, fresh {fresh_v:.3} ms \
-                 ({delta_pct:+.1}%, limit {limit:.3} ms) {verdict}"
-            );
+        let diff = diff_section(&section, &base, &fresh, threshold)?;
+        for line in &diff.report {
+            println!("bench-diff: {line}");
         }
+        compared += diff.compared;
+        regressions.extend(diff.regressions);
     }
 
     if compared == 0 {
@@ -151,5 +203,70 @@ fn main() -> ExitCode {
             eprintln!("bench-diff: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = metrics(&[("warm_ms", 10.0), ("queries", 200.0)]);
+        let fresh = metrics(&[("warm_ms", 11.0), ("queries", 200.0)]);
+        let diff = diff_section("B9", &base, &fresh, 25.0).expect("no key errors");
+        assert_eq!(diff.compared, 1);
+        assert!(diff.regressions.is_empty());
+    }
+
+    #[test]
+    fn regression_past_threshold_is_flagged() {
+        let base = metrics(&[("warm_ms", 10.0)]);
+        let fresh = metrics(&[("warm_ms", 14.0)]);
+        let diff = diff_section("B9", &base, &fresh, 25.0).expect("no key errors");
+        assert_eq!(diff.regressions.len(), 1);
+        assert!(diff.regressions[0].contains("B9.warm_ms"));
+    }
+
+    #[test]
+    fn baseline_timing_missing_from_fresh_is_a_hard_error() {
+        // The regression this guards: a baseline `*_ms` key that the
+        // fresh run no longer emits used to be skipped with a note — a
+        // renamed or deleted timing silently left the gate.
+        let base = metrics(&[("warm_ms", 10.0), ("cold_ms", 50.0)]);
+        let fresh = metrics(&[("warm_ms", 10.0)]);
+        let err = diff_section("B9", &base, &fresh, 25.0).unwrap_err();
+        assert!(err.contains("B9.cold_ms"), "error must name the key: {err}");
+        assert!(err.contains("missing from the fresh run"));
+    }
+
+    #[test]
+    fn fresh_timing_without_baseline_is_a_hard_error() {
+        let base = metrics(&[("warm_ms", 10.0)]);
+        let fresh = metrics(&[("warm_ms", 10.0), ("boot_ms", 1.0)]);
+        let err = diff_section("B9", &base, &fresh, 25.0).unwrap_err();
+        assert!(err.contains("B9.boot_ms"), "error must name the key: {err}");
+        assert!(err.contains("no baseline"));
+    }
+
+    #[test]
+    fn non_timing_keys_may_differ_freely() {
+        let base = metrics(&[("warm_ms", 10.0), ("queries", 200.0)]);
+        let fresh = metrics(&[("warm_ms", 10.0), ("spans", 5.0)]);
+        let diff = diff_section("B9", &base, &fresh, 25.0).expect("counters never gate");
+        assert_eq!(diff.compared, 1);
+        assert!(diff.regressions.is_empty());
+    }
+
+    #[test]
+    fn absolute_floor_absorbs_sub_ms_jitter() {
+        let base = metrics(&[("tiny_ms", 0.1)]);
+        let fresh = metrics(&[("tiny_ms", 0.5)]); // 400% over, under the floor
+        let diff = diff_section("B9", &base, &fresh, 25.0).expect("no key errors");
+        assert!(diff.regressions.is_empty());
     }
 }

@@ -1466,6 +1466,132 @@ fn b16() {
     json.write();
 }
 
+// B17 measures the snapshot-format-v3 PR (columnar compressed sections
+// + lazy per-section restore). Two claims are pinned: the columnar v3
+// encoding of a warmed engine is at least 30% smaller than the v2 row
+// encoding of the *same* snapshot, and a lazy v3 restore reaches its
+// first answer at least 3× faster than a full eager v2 restore — while
+// answering bit-identically with zero materializations (every extension
+// comes out of the snapshot, faulted in on first probe).
+fn b17() {
+    use prxview::engine::Engine;
+    use prxview::store::{
+        decode_snapshot, decode_snapshot_lazy, encode_snapshot, encode_snapshot_v2,
+    };
+
+    const REPS: usize = 5;
+    println!("\n[B17] columnar snapshots: v3 size + lazy restore time-to-first-answer:");
+    let mut json = Json::new("B17");
+    for persons in [200usize, 800] {
+        let (pdoc, _) = personnel(persons, 3, 9);
+        // The first query is the selective qRBON: its plan references one
+        // view, so a lazy restore faults exactly one section while the
+        // eager restore has decoded the whole eight-view catalog first —
+        // which is the scenario lazy restore exists for.
+        let q = qrbon();
+        let mut engine = Engine::new();
+        let doc = engine.add_document("p", pdoc).unwrap();
+        engine.register_view(v1bon()).unwrap();
+        engine.register_view(v2bon()).unwrap();
+        for (name, pattern) in [
+            ("vLAP", "IT-personnel//person/bonus[laptop]"),
+            ("vPDA", "IT-personnel//person/bonus[pda]"),
+            ("vTAB", "IT-personnel//person/bonus[tablet]"),
+            ("vNAME", "IT-personnel//person/name"),
+            ("vPER", "IT-personnel//person"),
+            ("vRICK", "IT-personnel//person[name/Rick]"),
+        ] {
+            engine.register_view(View::new(name, pat(pattern))).unwrap();
+        }
+        engine.warm(doc).unwrap();
+        let baseline = engine.answer(doc, &q).expect("plan");
+        let snap = engine.snapshot();
+        let v2_bytes = encode_snapshot_v2(&snap);
+        let v3_bytes = encode_snapshot(&snap);
+
+        // Eager v2 restore: decode the whole file, rebuild the engine,
+        // answer. Min-of-REPS, as in B15/B16.
+        let v2_ms = (0..REPS)
+            .map(|_| {
+                let t0 = Instant::now();
+                let snapshot = decode_snapshot(&v2_bytes).expect("v2 decodes");
+                let restored = Engine::from_snapshot(snapshot).expect("v2 restores");
+                let answer = restored.answer(doc, &q).expect("plan");
+                assert_eq!(
+                    answer.nodes, baseline.nodes,
+                    "v2 restore must be bit-identical"
+                );
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min);
+
+        // Lazy v3 restore: decode only the section directory, boot, and
+        // answer — the first probe faults exactly the sections the plan
+        // references. Then warm() to force the rest in.
+        let mut v3_first_ms = f64::INFINITY;
+        let mut v3_warm_ms = f64::INFINITY;
+        let mut sections_total = 0;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let lazy = decode_snapshot_lazy(v3_bytes.clone()).expect("v3 decodes lazily");
+            let restored = Engine::from_snapshot_lazy(lazy).expect("v3 restores");
+            let answer = restored.answer(doc, &q).expect("plan");
+            let first_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                answer.nodes, baseline.nodes,
+                "v3 restore must be bit-identical"
+            );
+            let first_faults = restored.stats().sections_faulted;
+            assert!(first_faults >= 1, "the first answer faults sections in");
+            assert!(
+                first_faults < restored.catalog().len() as u64,
+                "the first answer must not force the whole catalog"
+            );
+            let t1 = Instant::now();
+            restored.warm(doc).expect("warm");
+            let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let stats = restored.stats();
+            assert_eq!(
+                stats.materializations, 0,
+                "a lazy restore must serve entirely from the snapshot"
+            );
+            sections_total = stats.sections_faulted;
+            v3_first_ms = v3_first_ms.min(first_ms);
+            v3_warm_ms = v3_warm_ms.min(warm_ms);
+        }
+
+        let ratio = v3_bytes.len() as f64 / v2_bytes.len() as f64;
+        let speedup = v2_ms / v3_first_ms;
+        println!(
+            "  {persons} persons: v2 {} B, v3 {} B ({:.1}% of v2); \
+             eager v2 restore+answer {v2_ms:.3} ms, lazy v3 first answer {v3_first_ms:.3} ms \
+             ({speedup:.1}×), full fault-in +{v3_warm_ms:.3} ms ({sections_total} sections)",
+            v2_bytes.len(),
+            v3_bytes.len(),
+            ratio * 100.0,
+        );
+        if persons == 800 {
+            assert!(
+                v3_bytes.len() as f64 <= v2_bytes.len() as f64 * 0.7,
+                "v3 must be ≥30% smaller than v2 at 800 persons: v2 {} B, v3 {} B",
+                v2_bytes.len(),
+                v3_bytes.len()
+            );
+            assert!(
+                speedup >= 3.0,
+                "lazy v3 time-to-first-answer must be ≥3× faster than eager v2 \
+                 restore: v2 {v2_ms:.3} ms vs v3 {v3_first_ms:.3} ms"
+            );
+        }
+        json.int(format!("persons={persons}.v2_bytes"), v2_bytes.len() as u64);
+        json.int(format!("persons={persons}.v3_bytes"), v3_bytes.len() as u64);
+        json.num(format!("persons={persons}.v2_restore_ms"), v2_ms);
+        json.num(format!("persons={persons}.v3_first_ms"), v3_first_ms);
+        json.num(format!("persons={persons}.v3_warm_ms"), v3_warm_ms);
+    }
+    json.write();
+}
+
 type Experiment = (&'static str, fn() -> bool);
 
 fn main() {
@@ -1515,13 +1641,13 @@ fn main() {
         }
     }
     let bench_all = want("bench") || args.is_empty();
-    // `harness b14`/`b15`/`b16` run only their own section (what the CI
-    // server-storm, obs-smoke and bench-diff jobs invoke); any other
-    // b-key still runs the whole compact suite.
+    // `harness b14`/`b15`/`b16`/`b17` run only their own section (what
+    // the CI server-storm, obs-smoke and bench-diff jobs invoke); any
+    // other b-key still runs the whole compact suite.
     if bench_all
         || args
             .iter()
-            .any(|a| a.starts_with('b') && a != "b14" && a != "b15" && a != "b16")
+            .any(|a| a.starts_with('b') && a != "b14" && a != "b15" && a != "b16" && a != "b17")
     {
         b_compact();
     }
@@ -1533,6 +1659,9 @@ fn main() {
     }
     if bench_all || want("b16") {
         b16();
+    }
+    if bench_all || want("b17") {
+        b17();
     }
     println!(
         "\n{}",

@@ -135,6 +135,15 @@ pub const CATALOG_SHARDS: usize = 16;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DocId(usize);
 
+impl DocId {
+    /// Position of the document in the engine's load order (also the
+    /// `doc` index space of snapshot sections and
+    /// [`EngineError::Section`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Handle to a view registered with a [`Catalog`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ViewId(usize);
@@ -164,6 +173,18 @@ pub enum EngineError {
     Edit(EditError),
     /// No probabilistic rewriting exists and direct fallback is disabled.
     Plan(PlanError),
+    /// A lazily restored extension section failed to decode or validate
+    /// when a query first probed it (corrupt bytes, a bad checksum, or a
+    /// document mismatch). Other sections keep serving; re-probing the
+    /// damaged one reports this error again.
+    Section {
+        /// Document index of the failing section.
+        doc: usize,
+        /// View index of the failing section.
+        view: usize,
+        /// The underlying store-level failure.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -177,6 +198,9 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidDocument(why) => write!(f, "invalid p-document: {why}"),
             EngineError::Edit(e) => write!(f, "edit rejected: {e}"),
             EngineError::Plan(e) => write!(f, "{e}"),
+            EngineError::Section { doc, view, what } => {
+                write!(f, "lazy extension section (doc {doc}, view {view}): {what}")
+            }
         }
     }
 }
@@ -397,6 +421,11 @@ pub struct EngineStats {
     /// querying thread still got its answer from the private handle; the
     /// extension just never entered the shared cache).
     pub admission_rejects: u64,
+    /// Lazily restored snapshot sections decoded on first probe (each
+    /// counts once; subsequent probes of the section are cache hits).
+    pub sections_faulted: u64,
+    /// Total nanoseconds spent decoding lazily faulted sections.
+    pub lazy_decode_ns: u64,
 }
 
 /// Per-document cache counters. Unlike [`EngineStats`] these describe the
@@ -445,11 +474,13 @@ impl AtomicEngineStats {
             edits_applied: self.edits_applied.load(Ordering::Relaxed),
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             delta_fallbacks: self.delta_fallbacks.load(Ordering::Relaxed),
-            // Budget counters live in the catalog; Engine::stats() fills
-            // them in after taking this snapshot.
+            // Budget and lazy-restore counters live in the catalog;
+            // Engine::stats() fills them in after taking this snapshot.
             cache_bytes: 0,
             evictions: 0,
             admission_rejects: 0,
+            sections_faulted: 0,
+            lazy_decode_ns: 0,
         }
     }
 
@@ -535,12 +566,37 @@ impl SlotMeta {
     }
 }
 
+/// An undecoded snapshot section backing a lazily restored cache entry:
+/// the byte range to fault in, the view to decode it against, and a
+/// single-flight mutex so two racing queries decode the section once.
+/// (A `OnceLock` closure cannot fail, and a corrupt section must report
+/// a typed error on *every* probe — hence a mutex, not `get_or_init`.)
+#[derive(Debug)]
+struct PendingBody {
+    section: pxv_store::ExtSectionRef,
+    view: View,
+    flight: Mutex<()>,
+}
+
 /// Map value of the sharded cache: the single-flight slot plus its
-/// cost/benefit metadata.
+/// cost/benefit metadata, and — for lazily restored entries — the
+/// snapshot section the slot decodes from on first probe.
 #[derive(Clone, Debug, Default)]
 struct CacheEntry {
     slot: ExtensionSlot,
     meta: Arc<SlotMeta>,
+    pending: Option<Arc<PendingBody>>,
+}
+
+/// How [`Catalog::extension`] satisfied a probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Probe {
+    /// Served from the completed cache (including single-flight waits).
+    Hit,
+    /// This probe materialized the extension from the document.
+    Materialized,
+    /// This probe decoded a pending snapshot section (lazy restore).
+    Faulted,
 }
 
 /// One entry of the catalog's eviction log: which `(document, view)`
@@ -597,6 +653,10 @@ pub struct Catalog {
     /// Most recent eviction/rejection records, newest last (bounded ring:
     /// overflow drops the oldest record and is counted).
     eviction_log: Mutex<Ring<EvictionRecord>>,
+    /// Pending snapshot sections decoded on first probe (lifetime).
+    sections_faulted: AtomicU64,
+    /// Nanoseconds spent decoding faulted sections (lifetime).
+    lazy_decode_nanos: AtomicU64,
 }
 
 impl Default for Catalog {
@@ -612,17 +672,22 @@ impl Default for Catalog {
             evictions: AtomicU64::new(0),
             admission_rejects: AtomicU64::new(0),
             eviction_log: Mutex::new(Ring::new(EVICTION_LOG_CAPACITY)),
+            sections_faulted: AtomicU64::new(0),
+            lazy_decode_nanos: AtomicU64::new(0),
         }
     }
 }
 
 impl Clone for Catalog {
-    /// Clones the views and the *completed* cache entries (extensions are
-    /// immutable, so clones share them through `Arc`); entries whose
-    /// materialization is still in flight in another thread are skipped.
-    /// Budget, counters and the eviction log are copied by value; the
-    /// clone's byte gauge is recomputed from the entries it actually
-    /// kept.
+    /// Clones the views, the *completed* cache entries (extensions are
+    /// immutable, so clones share them through `Arc`), and any **pending**
+    /// lazily restored sections (the clone shares the slot and the
+    /// encoded body, so a section decoded in either generation is decoded
+    /// once; the clone charges its byte gauge on first observation).
+    /// Entries whose materialization is still in flight in another thread
+    /// are skipped. Budget, counters and the eviction log are copied by
+    /// value; the clone's byte gauge is recomputed from the entries it
+    /// actually kept.
     fn clone(&self) -> Catalog {
         let mut bytes = 0u64;
         let shards = self
@@ -632,28 +697,51 @@ impl Clone for Catalog {
                 let map = shard.read().unwrap_or_else(PoisonError::into_inner);
                 RwLock::new(
                     map.iter()
-                        .filter(|(_, entry)| {
-                            entry.slot.get().is_some()
-                                && entry.meta.acct.load(Ordering::Relaxed) == ACCT_CHARGED
-                        })
-                        .map(|(&k, entry)| {
-                            let b = entry.meta.bytes.load(Ordering::Relaxed);
-                            bytes += b;
-                            let meta = SlotMeta {
-                                bytes: AtomicU64::new(b),
-                                rebuild_nanos: AtomicU64::new(
-                                    entry.meta.rebuild_nanos.load(Ordering::Relaxed),
-                                ),
-                                hits: AtomicU64::new(entry.meta.hits.load(Ordering::Relaxed)),
-                                acct: AtomicU8::new(ACCT_CHARGED),
-                            };
-                            (
-                                k,
-                                CacheEntry {
-                                    slot: Arc::clone(&entry.slot),
-                                    meta: Arc::new(meta),
-                                },
-                            )
+                        .filter_map(|(&k, entry)| {
+                            let acct = entry.meta.acct.load(Ordering::Relaxed);
+                            if entry.slot.get().is_some() && acct == ACCT_CHARGED {
+                                let b = entry.meta.bytes.load(Ordering::Relaxed);
+                                bytes += b;
+                                let meta = SlotMeta {
+                                    bytes: AtomicU64::new(b),
+                                    rebuild_nanos: AtomicU64::new(
+                                        entry.meta.rebuild_nanos.load(Ordering::Relaxed),
+                                    ),
+                                    hits: AtomicU64::new(entry.meta.hits.load(Ordering::Relaxed)),
+                                    acct: AtomicU8::new(ACCT_CHARGED),
+                                };
+                                Some((
+                                    k,
+                                    CacheEntry {
+                                        slot: Arc::clone(&entry.slot),
+                                        meta: Arc::new(meta),
+                                        pending: None,
+                                    },
+                                ))
+                            } else if entry.pending.is_some() && acct != ACCT_RETIRED {
+                                // A lazily restored section not yet charged
+                                // here: keep it pending (an UPDATE after a
+                                // lazy restore must not silently drop the
+                                // still-encoded warm state).
+                                let meta = SlotMeta {
+                                    bytes: AtomicU64::new(0),
+                                    rebuild_nanos: AtomicU64::new(
+                                        entry.meta.rebuild_nanos.load(Ordering::Relaxed),
+                                    ),
+                                    hits: AtomicU64::new(entry.meta.hits.load(Ordering::Relaxed)),
+                                    acct: AtomicU8::new(ACCT_PENDING),
+                                };
+                                Some((
+                                    k,
+                                    CacheEntry {
+                                        slot: Arc::clone(&entry.slot),
+                                        meta: Arc::new(meta),
+                                        pending: entry.pending.clone(),
+                                    },
+                                ))
+                            } else {
+                                None
+                            }
                         })
                         .collect(),
                 )
@@ -673,6 +761,8 @@ impl Clone for Catalog {
                     .unwrap_or_else(PoisonError::into_inner)
                     .clone(),
             ),
+            sections_faulted: AtomicU64::new(self.sections_faulted.load(Ordering::Relaxed)),
+            lazy_decode_nanos: AtomicU64::new(self.lazy_decode_nanos.load(Ordering::Relaxed)),
         }
     }
 }
@@ -768,6 +858,17 @@ impl Catalog {
     /// Lifetime count of refused admissions.
     pub fn admission_rejects(&self) -> u64 {
         self.admission_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of pending snapshot sections decoded on first
+    /// probe (lazy restore faults).
+    pub fn sections_faulted(&self) -> u64 {
+        self.sections_faulted.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent decoding faulted sections.
+    pub fn lazy_decode_nanos(&self) -> u64 {
+        self.lazy_decode_nanos.load(Ordering::Relaxed)
     }
 
     /// The most recent eviction/rejection records, oldest first (bounded
@@ -916,12 +1017,14 @@ impl Catalog {
         evicted
     }
 
-    /// Every *completed* cache entry as `(doc index, view index,
-    /// extension, hits, rebuild nanos)`, sorted by key — the extension
-    /// cache as a snapshot sees it (in-flight materializations are
-    /// skipped, exactly like [`Catalog::clone`] skips them). The score
-    /// components ride along so snapshots preserve the learned
-    /// cost/benefit state.
+    /// Every cache entry a snapshot should persist, as `(doc index, view
+    /// index, extension, hits, rebuild nanos)`, sorted by key. Completed
+    /// entries are taken as-is; **pending** lazily restored sections are
+    /// decoded transiently (the cache itself is not mutated) so a
+    /// re-save after a lazy restore keeps the never-probed warm state —
+    /// a section whose bytes turn out corrupt is skipped, keeping the
+    /// save total. In-flight materializations are skipped, exactly like
+    /// [`Catalog::clone`] skips them.
     #[allow(clippy::type_complexity)]
     fn completed_entries(&self) -> Vec<(usize, usize, Arc<ProbExtension>, u64, u64)> {
         let mut out: Vec<(usize, usize, Arc<ProbExtension>, u64, u64)> = self
@@ -931,15 +1034,29 @@ impl Catalog {
                 let map = shard.read().unwrap_or_else(PoisonError::into_inner);
                 map.iter()
                     .filter_map(|(&(d, v), entry)| {
-                        entry.slot.get().map(|ext| {
-                            (
-                                d,
-                                v,
-                                Arc::clone(ext),
-                                entry.meta.hits.load(Ordering::Relaxed),
-                                entry.meta.rebuild_nanos.load(Ordering::Relaxed),
-                            )
-                        })
+                        let ext = match entry.slot.get() {
+                            Some(ext) => Arc::clone(ext),
+                            None => {
+                                let pending = entry.pending.as_ref()?;
+                                let _flight = pending
+                                    .flight
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner);
+                                match entry.slot.get() {
+                                    Some(ext) => Arc::clone(ext),
+                                    None => {
+                                        Arc::new(pending.section.decode(pending.view.clone()).ok()?)
+                                    }
+                                }
+                            }
+                        };
+                        Some((
+                            d,
+                            v,
+                            ext,
+                            entry.meta.hits.load(Ordering::Relaxed),
+                            entry.meta.rebuild_nanos.load(Ordering::Relaxed),
+                        ))
                     })
                     .collect::<Vec<_>>()
             })
@@ -975,12 +1092,50 @@ impl Catalog {
                 hits: AtomicU64::new(hits),
                 acct: AtomicU8::new(ACCT_CHARGED),
             }),
+            pending: None,
         };
         let replaced = self.shards[shard_index(key)]
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, entry);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(old) = replaced {
+            self.retire(&old);
+        }
+    }
+
+    /// Installs an **undecoded** snapshot section as a pending cache
+    /// entry (lazy restore): the slot stays empty and the encoded body
+    /// rides along, to be decoded — single-flight — on first probe.
+    /// Nothing is charged to the byte gauge until the fault completes.
+    /// The caller guarantees the indices are in range.
+    fn install_pending(
+        &self,
+        doc: usize,
+        view: usize,
+        section: pxv_store::ExtSectionRef,
+        rebuild_nanos: u64,
+        hits: u64,
+    ) {
+        let key = (doc, view);
+        let entry = CacheEntry {
+            slot: Arc::new(OnceLock::new()),
+            meta: Arc::new(SlotMeta {
+                bytes: AtomicU64::new(0),
+                rebuild_nanos: AtomicU64::new(rebuild_nanos),
+                hits: AtomicU64::new(hits),
+                acct: AtomicU8::new(ACCT_PENDING),
+            }),
+            pending: Some(Arc::new(PendingBody {
+                section,
+                view: self.views[view].clone(),
+                flight: Mutex::new(()),
+            })),
+        };
+        let replaced = self.shards[shard_index(key)]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, entry);
         if let Some(old) = replaced {
             self.retire(&old);
         }
@@ -1042,7 +1197,7 @@ impl Catalog {
         doc: usize,
         fetch: impl Fn() -> Arc<PDocument>,
         view_idx: usize,
-    ) -> (Arc<ProbExtension>, bool) {
+    ) -> Result<(Arc<ProbExtension>, Probe), EngineError> {
         let key = (doc, view_idx);
         let shard = &self.shards[shard_index(key)];
         let entry: CacheEntry = {
@@ -1053,6 +1208,11 @@ impl Catalog {
             let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
             map.entry(key).or_default().clone()
         });
+        // Lazily restored entries decode their snapshot section on first
+        // probe instead of materializing from the document.
+        if let Some(pending) = entry.pending.clone() {
+            return self.fault_section(key, &entry, &pending, fetch);
+        }
         // Single-flight: get_or_init runs the closure in exactly one
         // thread; racing threads block here and share the result, so the
         // same extension is never materialized twice.
@@ -1072,25 +1232,120 @@ impl Catalog {
                 .meta
                 .bytes
                 .store(ext.heap_bytes() as u64, Ordering::Relaxed);
-            let charged = entry
-                .meta
-                .acct
-                .compare_exchange(
-                    ACCT_PENDING,
-                    ACCT_CHARGED,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_ok();
-            if charged {
-                self.bytes
-                    .fetch_add(entry.meta.bytes.load(Ordering::Relaxed), Ordering::Relaxed);
-                self.enforce_budget(Some(key));
-            }
+            self.charge(key, &entry);
         } else {
             entry.meta.hits.fetch_add(1, Ordering::Relaxed);
         }
-        (ext, !materialized)
+        Ok((
+            ext,
+            if materialized {
+                Probe::Materialized
+            } else {
+                Probe::Hit
+            },
+        ))
+    }
+
+    /// Charges a slot's measured bytes to the gauge exactly once
+    /// (`PENDING → CHARGED`; a concurrent invalidation retires the slot
+    /// first and wins the race instead) and then enforces the budget,
+    /// which may immediately reject the entry itself.
+    fn charge(&self, key: (usize, usize), entry: &CacheEntry) {
+        let charged = entry
+            .meta
+            .acct
+            .compare_exchange(
+                ACCT_PENDING,
+                ACCT_CHARGED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if charged {
+            self.bytes
+                .fetch_add(entry.meta.bytes.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.enforce_budget(Some(key));
+        }
+    }
+
+    /// The fault path of a lazily restored entry: decode the pending
+    /// snapshot section (single-flight behind the body's mutex), validate
+    /// it against the live document, publish it into the slot and charge
+    /// the byte gauge. A section already decoded — here, or in the
+    /// catalog generation this entry was cloned from — is a plain hit,
+    /// charged on first observation. Corrupt or inconsistent bytes are a
+    /// typed [`EngineError::Section`] on every probe; other sections keep
+    /// serving.
+    fn fault_section(
+        &self,
+        key: (usize, usize),
+        entry: &CacheEntry,
+        pending: &PendingBody,
+        fetch: impl Fn() -> Arc<PDocument>,
+    ) -> Result<(Arc<ProbExtension>, Probe), EngineError> {
+        let hit = |ext: &Arc<ProbExtension>| {
+            if entry.meta.acct.load(Ordering::Relaxed) == ACCT_PENDING {
+                entry
+                    .meta
+                    .bytes
+                    .store(ext.heap_bytes() as u64, Ordering::Relaxed);
+                self.charge(key, entry);
+            }
+            entry.meta.hits.fetch_add(1, Ordering::Relaxed);
+            (Arc::clone(ext), Probe::Hit)
+        };
+        if let Some(ext) = entry.slot.get() {
+            return Ok(hit(ext));
+        }
+        let flight = pending
+            .flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(ext) = entry.slot.get() {
+            // Raced with another query's fault of the same section:
+            // single-flight turned this probe into a hit.
+            return Ok(hit(ext));
+        }
+        let section_err = |what: String| EngineError::Section {
+            doc: key.0,
+            view: key.1,
+            what,
+        };
+        let start = Instant::now();
+        let ext = pending
+            .section
+            .decode(pending.view.clone())
+            .map_err(|e| section_err(e.to_string()))?;
+        // The eager restore path cross-checks every original-node
+        // reference against the target document before serving; the lazy
+        // path runs exactly that check at fault time.
+        let pdoc = fetch();
+        let consistent = |ext_node: NodeId, orig: NodeId| {
+            pdoc.contains(orig) && pdoc.label(orig) == ext.pdoc.label(ext_node)
+        };
+        if !ext.results.iter().all(|r| consistent(r.ext_root, r.orig))
+            || !ext.orig_entries().all(|(e, o)| consistent(e, o))
+        {
+            return Err(section_err(format!(
+                "extension of view `{}` does not match document {}",
+                pending.view.name, key.0
+            )));
+        }
+        let nanos = start.elapsed().as_nanos() as u64;
+        let ext = Arc::new(ext);
+        entry
+            .meta
+            .bytes
+            .store(ext.heap_bytes() as u64, Ordering::Relaxed);
+        // rebuild_nanos keeps the saved materialization cost — the
+        // eviction score should reflect what a *rebuild* costs, which a
+        // cheap decode does not measure. Decode time is counted apart.
+        let _ = entry.slot.set(Arc::clone(&ext));
+        drop(flight);
+        self.charge(key, entry);
+        self.sections_faulted.fetch_add(1, Ordering::Relaxed);
+        self.lazy_decode_nanos.fetch_add(nanos, Ordering::Relaxed);
+        Ok((ext, Probe::Faulted))
     }
 }
 
@@ -1605,6 +1860,8 @@ impl Engine {
         snapshot.cache_bytes = self.catalog.cache_bytes();
         snapshot.evictions = self.catalog.evictions();
         snapshot.admission_rejects = self.catalog.admission_rejects();
+        snapshot.sections_faulted = self.catalog.sections_faulted();
+        snapshot.lazy_decode_ns = self.catalog.lazy_decode_nanos();
         snapshot
     }
 
@@ -1845,19 +2102,24 @@ impl Engine {
     }
 
     /// Eagerly materializes every registered view over `doc`; returns the
-    /// number of extensions that were newly materialized.
+    /// number of extensions newly made resident (materialized, or faulted
+    /// in from a lazy snapshot section).
     pub fn warm(&self, doc: DocId) -> Result<usize, EngineError> {
         self.document(doc)?;
         let fetch = || self.document(doc).expect("doc checked above");
         let mut new = 0;
         for i in 0..self.catalog.views.len() {
-            let (_, hit) = self.catalog.extension(doc.0, fetch, i);
-            if !hit {
-                new += 1;
-                self.stats.materializations.fetch_add(1, Ordering::Relaxed);
-                self.doc_stats[doc.0]
-                    .materializations
-                    .fetch_add(1, Ordering::Relaxed);
+            let (_, probe) = self.catalog.extension(doc.0, fetch, i)?;
+            match probe {
+                Probe::Hit => {}
+                Probe::Faulted => new += 1,
+                Probe::Materialized => {
+                    new += 1;
+                    self.stats.materializations.fetch_add(1, Ordering::Relaxed);
+                    self.doc_stats[doc.0]
+                        .materializations
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         Ok(new)
@@ -1934,32 +2196,36 @@ impl Engine {
         let mut probe_nanos = 0u64;
         let mut materialize_nanos = 0u64;
         let fetch = || self.document(doc).expect("doc checked above");
-        let slots: HashMap<usize, Arc<ProbExtension>> = referenced
-            .iter()
-            .map(|&i| {
-                let mut span_probe = pxv_obs::Span::enter("probe");
-                span_probe.record("view", i as u64);
-                let t_ext = t_total.map(|_| Instant::now());
-                let (ext, hit) = self.catalog.extension(doc.0, fetch, i);
-                span_probe.record("hit", hit as u64);
-                if let Some(t) = t_ext {
-                    let nanos = t.elapsed().as_nanos() as u64;
-                    // A hit is a pure cache probe; a miss spent its time
-                    // materializing (probe cost is noise within it).
-                    if hit {
-                        probe_nanos += nanos;
-                    } else {
-                        materialize_nanos += nanos;
-                    }
-                }
-                if hit {
-                    hits += 1;
+        let mut slots: HashMap<usize, Arc<ProbExtension>> = HashMap::new();
+        for &i in &referenced {
+            let mut span_probe = pxv_obs::Span::enter("probe");
+            span_probe.record("view", i as u64);
+            let t_ext = t_total.map(|_| Instant::now());
+            let (ext, probe) = self.catalog.extension(doc.0, fetch, i)?;
+            span_probe.record("hit", (probe != Probe::Materialized) as u64);
+            span_probe.record("fault", (probe == Probe::Faulted) as u64);
+            if let Some(t) = t_ext {
+                let nanos = t.elapsed().as_nanos() as u64;
+                // A hit is a pure cache probe (a lazy fault is billed the
+                // same way — its decode time is tracked by the catalog's
+                // own counter); a miss spent its time materializing
+                // (probe cost is noise within it).
+                if probe == Probe::Materialized {
+                    materialize_nanos += nanos;
                 } else {
-                    mats += 1;
+                    probe_nanos += nanos;
                 }
-                (i, ext)
-            })
-            .collect();
+            }
+            // A fault counts as a cache hit: the extension was already
+            // resident in the snapshot, not rebuilt from the document, so
+            // `extensions_touched == cache_hits + materializations` holds.
+            if probe == Probe::Materialized {
+                mats += 1;
+            } else {
+                hits += 1;
+            }
+            slots.insert(i, ext);
+        }
         let t_eval = t_total.map(|_| Instant::now());
         let mut span_eval = pxv_obs::Span::enter("eval");
         let (nodes, candidates) = match &plan {
@@ -2158,45 +2424,8 @@ impl Engine {
             engine.register_view(view).map_err(invalid)?;
         }
         for entry in snapshot.extensions {
-            if entry.doc >= engine.documents.len() {
-                return Err(StoreError::Invalid(format!(
-                    "extension references document {} of {}",
-                    entry.doc,
-                    engine.documents.len()
-                )));
-            }
-            let Some(view) = engine.catalog.views.get(entry.view) else {
-                return Err(StoreError::Invalid(format!(
-                    "extension references view {} of {}",
-                    entry.view,
-                    engine.catalog.views.len()
-                )));
-            };
-            if view.name != entry.extension.view.name {
-                return Err(StoreError::Invalid(format!(
-                    "extension for view `{}` filed under catalog slot `{}`",
-                    entry.extension.view.name, view.name
-                )));
-            }
-            // Cross-check the document association too: every original
-            // node the extension bundles must exist in the target
-            // document with a matching label, so a snapshot whose doc
-            // index was mis-filed (by a bug or a checksum-consistent
-            // edit) is rejected instead of silently serving another
-            // document's answers.
-            let pdoc = engine.document(DocId(entry.doc)).map_err(invalid)?;
-            let ext = &entry.extension;
-            let consistent = |ext_node: NodeId, orig: NodeId| {
-                pdoc.contains(orig) && pdoc.label(orig) == ext.pdoc.label(ext_node)
-            };
-            if !ext.results.iter().all(|r| consistent(r.ext_root, r.orig))
-                || !ext.orig_entries().all(|(e, o)| consistent(e, o))
-            {
-                return Err(StoreError::Invalid(format!(
-                    "extension of view `{}` does not match document {}",
-                    view.name, entry.doc
-                )));
-            }
+            engine.check_restored_slot(entry.doc, entry.view)?;
+            engine.check_restored_extension(entry.doc, entry.view, &entry.extension)?;
             engine.catalog.install_entry(
                 entry.doc,
                 entry.view,
@@ -2220,6 +2449,127 @@ impl Engine {
     /// [`Engine::from_snapshot_with`] with default options.
     pub fn from_snapshot(snapshot: Snapshot) -> Result<Engine, StoreError> {
         Engine::from_snapshot_with(snapshot, QueryOptions::default())
+    }
+
+    /// Bounds-checks a restored extension's `(doc, view)` slot.
+    fn check_restored_slot(&self, doc: usize, view: usize) -> Result<(), StoreError> {
+        if doc >= self.documents.len() {
+            return Err(StoreError::Invalid(format!(
+                "extension references document {} of {}",
+                doc,
+                self.documents.len()
+            )));
+        }
+        if view >= self.catalog.views.len() {
+            return Err(StoreError::Invalid(format!(
+                "extension references view {} of {}",
+                view,
+                self.catalog.views.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validates a decoded extension against the catalog slot it was
+    /// filed under: the view names must agree, and every original node
+    /// the extension bundles must exist in the target document with a
+    /// matching label, so a snapshot whose index was mis-filed (by a bug
+    /// or a checksum-consistent edit) is rejected instead of silently
+    /// serving another document's answers. The lazy restore path defers
+    /// this check to fault time ([`EngineError::Section`]).
+    fn check_restored_extension(
+        &self,
+        doc: usize,
+        view_idx: usize,
+        ext: &ProbExtension,
+    ) -> Result<(), StoreError> {
+        let view = &self.catalog.views[view_idx];
+        if view.name != ext.view.name {
+            return Err(StoreError::Invalid(format!(
+                "extension for view `{}` filed under catalog slot `{}`",
+                ext.view.name, view.name
+            )));
+        }
+        let pdoc = self
+            .document(DocId(doc))
+            .map_err(|e| StoreError::Invalid(e.to_string()))?;
+        let consistent = |ext_node: NodeId, orig: NodeId| {
+            pdoc.contains(orig) && pdoc.label(orig) == ext.pdoc.label(ext_node)
+        };
+        if !ext.results.iter().all(|r| consistent(r.ext_root, r.orig))
+            || !ext.orig_entries().all(|(e, o)| consistent(e, o))
+        {
+            return Err(StoreError::Invalid(format!(
+                "extension of view `{}` does not match document {}",
+                view.name, doc
+            )));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds an engine from a [`LazySnapshot`] (see
+    /// [`pxv_store::decode_snapshot_lazy`]): documents and views are
+    /// installed eagerly, but each still-encoded extension section is
+    /// parked as a pending catalog slot holding only a reference into the
+    /// snapshot's byte buffer. Boot cost is proportional to the section
+    /// directory, not to the extension payload; the first query that
+    /// probes a pending slot decodes it (single-flight) and later probes
+    /// are plain hits. A corrupt section surfaces as a typed
+    /// [`EngineError::Section`] at query time while every other section
+    /// keeps serving — restore itself only fails on structural problems
+    /// visible in the directory.
+    pub fn from_snapshot_lazy_with(
+        snapshot: pxv_store::LazySnapshot,
+        options: QueryOptions,
+    ) -> Result<Engine, StoreError> {
+        let invalid = |e: EngineError| StoreError::Invalid(e.to_string());
+        let mut engine = Engine::with_options(options);
+        for (name, pdoc) in snapshot.documents {
+            engine.add_document(name, pdoc).map_err(invalid)?;
+        }
+        for view in snapshot.views {
+            engine.register_view(view).map_err(invalid)?;
+        }
+        for section in snapshot.sections {
+            engine.check_restored_slot(section.doc, section.view)?;
+            match section.body {
+                pxv_store::LazyBody::Ready(ext) => {
+                    engine.check_restored_extension(section.doc, section.view, &ext)?;
+                    engine.catalog.install_entry(
+                        section.doc,
+                        section.view,
+                        Arc::new(*ext),
+                        section.rebuild_nanos,
+                        section.hits,
+                    );
+                }
+                pxv_store::LazyBody::Pending(body) => {
+                    engine.catalog.install_pending(
+                        section.doc,
+                        section.view,
+                        body,
+                        section.rebuild_nanos,
+                        section.hits,
+                    );
+                }
+            }
+        }
+        engine.catalog.set_budget(snapshot.budget);
+        engine.catalog_epoch.store(snapshot.epoch, Ordering::SeqCst);
+        Ok(engine)
+    }
+
+    /// [`Engine::from_snapshot_lazy_with`] with default options.
+    pub fn from_snapshot_lazy(snapshot: pxv_store::LazySnapshot) -> Result<Engine, StoreError> {
+        Engine::from_snapshot_lazy_with(snapshot, QueryOptions::default())
+    }
+
+    /// Restores an engine lazily from a snapshot file: like
+    /// [`Engine::restore_from`], but extension sections stay encoded
+    /// until first probe. v1/v2 snapshot files decode eagerly under the
+    /// same call, so this is always safe to prefer when serving.
+    pub fn restore_lazy(path: impl AsRef<Path>) -> Result<Engine, StoreError> {
+        Engine::from_snapshot_lazy(pxv_store::read_snapshot_lazy(path)?)
     }
 
     /// Saves a snapshot of this engine to `path` atomically

@@ -44,6 +44,10 @@ pub const STATS_CACHE_BYTES: &str = "cache_bytes";
 pub const STATS_EVICTIONS: &str = "evictions";
 /// Cache admissions rejected.
 pub const STATS_ADMISSION_REJECTS: &str = "admission_rejects";
+/// Lazy snapshot sections decoded on first probe.
+pub const STATS_SECTIONS_FAULTED: &str = "sections_faulted";
+/// Nanoseconds spent decoding lazily faulted sections.
+pub const STATS_LAZY_DECODE_NS: &str = "lazy_decode_ns";
 /// Connections accepted.
 pub const STATS_CONNS: &str = "conns";
 /// Connections rejected at the accept gate.
@@ -64,7 +68,7 @@ pub const STATS_P50US: &str = "p50us";
 pub const STATS_P99US: &str = "p99us";
 
 /// Every `STATS` key, in the exact order the server emits them.
-pub const STATS_KEYS: [&str; 28] = [
+pub const STATS_KEYS: [&str; 30] = [
     STATS_DOCS,
     STATS_VIEWS,
     STATS_EPOCH,
@@ -84,6 +88,8 @@ pub const STATS_KEYS: [&str; 28] = [
     STATS_CACHE_BYTES,
     STATS_EVICTIONS,
     STATS_ADMISSION_REJECTS,
+    STATS_SECTIONS_FAULTED,
+    STATS_LAZY_DECODE_NS,
     STATS_CONNS,
     STATS_REJECTED,
     STATS_ACTIVE,

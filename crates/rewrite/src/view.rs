@@ -424,6 +424,39 @@ impl ProbExtension {
         Ok(ProbExtension::assemble(view, pdoc, results, orig_of))
     }
 
+    /// [`ProbExtension::from_parts`] for column-oriented callers: the
+    /// result triples arrive as three parallel slices (as decoded from a
+    /// struct-of-arrays snapshot section) instead of a `ViewResult` row
+    /// vector. Validation is identical to `from_parts`.
+    pub fn from_columns(
+        view: View,
+        pdoc: PDocument,
+        ext_roots: &[NodeId],
+        origs: &[NodeId],
+        probs: &[f64],
+        orig_of: HashMap<NodeId, NodeId>,
+    ) -> Result<ProbExtension, String> {
+        if ext_roots.len() != origs.len() || ext_roots.len() != probs.len() {
+            return Err(format!(
+                "result columns disagree on length ({} root(s), {} original(s), {} probability(ies))",
+                ext_roots.len(),
+                origs.len(),
+                probs.len()
+            ));
+        }
+        let results = ext_roots
+            .iter()
+            .zip(origs)
+            .zip(probs)
+            .map(|((&ext_root, &orig), &prob)| ViewResult {
+                ext_root,
+                orig,
+                prob,
+            })
+            .collect();
+        ProbExtension::from_parts(view, pdoc, results, orig_of)
+    }
+
     /// Number of *ordinary, non-marker* nodes from the result root to
     /// `ext_node`, inclusive on both ends (the paper's `s(i, j)` when
     /// `ext_node` is an occurrence of `n_j` in result `i`).

@@ -972,19 +972,23 @@ fn execute(
             // Read and rebuild outside any lock; publish atomically. A
             // failed restore leaves the current epoch untouched, and
             // queries keep flowing off it while the rebuild runs.
-            let snapshot =
-                pxv_store::read_snapshot(&path).map_err(|e| ProtocolError::Store(e.to_string()))?;
+            // Lazy read: extension sections stay encoded until first
+            // probe, so RESTORE acknowledges in O(section directory)
+            // instead of O(extension payload). v1/v2 files decode
+            // eagerly under the same call.
+            let snapshot = pxv_store::read_snapshot_lazy(&path)
+                .map_err(|e| ProtocolError::Store(e.to_string()))?;
             let (docs, views, exts, epoch) = (
                 snapshot.documents.len(),
                 snapshot.views.len(),
-                snapshot.extensions.len(),
+                snapshot.sections.len(),
                 snapshot.epoch,
             );
             // Options are per-process configuration, not snapshot state:
             // the replacement engine keeps the options the server was
             // configured with.
             let options = shared.engine.read().options().clone();
-            let restored = Engine::from_snapshot_with(snapshot, options)
+            let restored = Engine::from_snapshot_lazy_with(snapshot, options)
                 .map_err(|e| ProtocolError::Store(e.to_string()))?;
             shared.engine.replace(restored);
             shared.metrics.restores.inc();
@@ -1148,6 +1152,8 @@ fn stats_values(shared: &Shared) -> [u64; pxv_obs::keys::STATS_KEYS.len()] {
         es.cache_bytes,
         es.evictions,
         es.admission_rejects,
+        es.sections_faulted,
+        es.lazy_decode_ns,
         ss.connections,
         ss.rejected,
         shared.active.load(Ordering::SeqCst) as u64,

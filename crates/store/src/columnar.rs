@@ -1,0 +1,710 @@
+//! The v3 column codec: struct-of-arrays layouts compressed by a
+//! std-only block codec.
+//!
+//! # Blocks
+//!
+//! A *block* is the unit of compression: one `u64` column (node ids,
+//! parent ids, probability bits, kind bytes, label indices) encoded as
+//!
+//! ```text
+//! tag      u8    0=RAW  1=DELTA  2=RLE
+//! count    u32   number of values
+//! len      u32   payload byte length
+//! payload  len bytes
+//! checksum u64   FNV-1a 64 of tag‖count‖len‖payload
+//! ```
+//!
+//! * **RAW** — little-endian `u64`s, `len == 8·count`. The fallback that
+//!   makes the encoder total.
+//! * **DELTA** — zigzag LEB128 varints of the wrapping difference from
+//!   the previous value (first value deltas from 0). Near-monotone id
+//!   columns collapse to one or two bytes per value.
+//! * **RLE** — `(run-length, value)` varint pairs. Probability columns
+//!   (mostly the canonical 1.0) and kind columns run long.
+//!
+//! The encoder tries every representation and keeps the smallest
+//! (ties break toward the smaller tag), so the output is deterministic
+//! and never larger than `RAW` + the 17-byte block header. Decoding is
+//! total: the per-block checksum is verified before the payload is
+//! parsed, every structural violation (unknown tag, count mismatch,
+//! short or over-long payload, varint overflow) is a typed
+//! [`StoreError`] carrying the absolute byte offset, and allocation is
+//! bounded by the caller-supplied expected count — a corrupted count
+//! cannot balloon memory.
+//!
+//! On top of blocks this module lays out whole p-documents and
+//! extension bodies as columns; see the `write_*`/`read_*` pairs below
+//! and the format notes in [`crate::snapshot`].
+
+use crate::codec::{fnv1a, Reader, SymTable, Writer};
+use crate::error::StoreError;
+use pxv_pxml::{NodeId, PDocument, PKind};
+use pxv_rewrite::view::ProbExtension;
+use pxv_rewrite::View;
+use std::collections::HashMap;
+
+const TAG_RAW: u8 = 0;
+const TAG_DELTA: u8 = 1;
+const TAG_RLE: u8 = 2;
+
+/// Sentinel parent id marking the root node of an encoded tree (shared
+/// with the row codec).
+const NO_PARENT: u32 = u32::MAX;
+
+const KIND_ORDINARY: u8 = 0;
+const KIND_MUX: u8 = 1;
+const KIND_IND: u8 = 2;
+const KIND_DET: u8 = 3;
+const KIND_EXP: u8 = 4;
+
+/// Hard upper bound on values per block (128 Mi values = 1 GiB decoded).
+/// A crafted file whose checksums verify cannot drive a larger
+/// allocation than this.
+const MAX_BLOCK_COUNT: usize = 1 << 27;
+
+// ---------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A bounds-checked cursor over a block payload that reports **absolute**
+/// file offsets (the payload's base offset plus the local position).
+struct PayloadCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    base: usize,
+}
+
+impl<'a> PayloadCursor<'a> {
+    fn new(buf: &'a [u8], base: usize) -> PayloadCursor<'a> {
+        PayloadCursor { buf, pos: 0, base }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn corrupt<T>(&self, what: impl Into<String>) -> Result<T, StoreError> {
+        Err(StoreError::Corrupt {
+            at: self.base + self.pos,
+            what: what.into(),
+        })
+    }
+
+    fn varint(&mut self) -> Result<u64, StoreError> {
+        let at = self.pos;
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let Some(&byte) = self.buf.get(self.pos) else {
+                return Err(StoreError::Truncated {
+                    at: self.base + self.pos,
+                    needed: 1,
+                });
+            };
+            self.pos += 1;
+            let payload = (byte & 0x7f) as u64;
+            if shift == 63 && payload > 1 {
+                return Err(StoreError::Corrupt {
+                    at: self.base + at,
+                    what: "varint overflows u64".into(),
+                });
+            }
+            v |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(StoreError::Corrupt {
+                    at: self.base + at,
+                    what: "varint longer than 10 bytes".into(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Block encode
+// ---------------------------------------------------------------------
+
+fn raw_payload(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn delta_payload(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 2);
+    let mut prev = 0u64;
+    for &v in values {
+        put_varint(&mut out, zigzag(v.wrapping_sub(prev) as i64));
+        prev = v;
+    }
+    out
+}
+
+fn rle_payload(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < values.len() {
+        let v = values[i];
+        let mut run = 1usize;
+        while i + run < values.len() && values[i + run] == v {
+            run += 1;
+        }
+        put_varint(&mut out, run as u64);
+        put_varint(&mut out, v);
+        i += run;
+    }
+    out
+}
+
+/// Encodes one `u64` column as a self-checksummed block, picking the
+/// smallest of the RAW / DELTA / RLE representations. Deterministic.
+pub fn encode_block(values: &[u64]) -> Vec<u8> {
+    assert!(
+        values.len() <= MAX_BLOCK_COUNT,
+        "column of {} values exceeds the block limit",
+        values.len()
+    );
+    let candidates = [
+        (TAG_RAW, raw_payload(values)),
+        (TAG_DELTA, delta_payload(values)),
+        (TAG_RLE, rle_payload(values)),
+    ];
+    let (tag, payload) = candidates
+        .into_iter()
+        .min_by_key(|(tag, p)| (p.len(), *tag))
+        .expect("three candidates");
+    let mut out = Vec::with_capacity(17 + payload.len());
+    out.push(tag);
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+pub(crate) fn write_block(w: &mut Writer, values: &[u64]) {
+    for b in encode_block(values) {
+        w.put_u8(b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Block decode
+// ---------------------------------------------------------------------
+
+pub(crate) fn read_block(r: &mut Reader<'_>, expected: usize) -> Result<Vec<u64>, StoreError> {
+    let block_at = r.pos();
+    let tag = r.u8()?;
+    let count = r.u32()? as usize;
+    let len = r.u32()? as usize;
+    if count != expected {
+        return Err(StoreError::Corrupt {
+            at: block_at,
+            what: format!("block declares {count} value(s), {expected} expected"),
+        });
+    }
+    if count > MAX_BLOCK_COUNT {
+        return Err(StoreError::Corrupt {
+            at: block_at,
+            what: format!("implausible block count {count}"),
+        });
+    }
+    let payload_at = r.pos();
+    let payload = r.take(len)?;
+    let recorded = r.u64()?;
+    // The checksum covers the header too, so a flipped tag/count/len is
+    // caught even when the payload still parses.
+    let mut h = Vec::with_capacity(9 + len);
+    h.push(tag);
+    h.extend_from_slice(&(count as u32).to_le_bytes());
+    h.extend_from_slice(&(len as u32).to_le_bytes());
+    h.extend_from_slice(payload);
+    let found = fnv1a(&h);
+    if found != recorded {
+        return Err(StoreError::Corrupt {
+            at: block_at,
+            what: format!(
+                "block checksum mismatch: recorded {recorded:#018x}, computed {found:#018x}"
+            ),
+        });
+    }
+    let mut c = PayloadCursor::new(payload, payload_at);
+    let values = match tag {
+        TAG_RAW => {
+            if len != count * 8 {
+                return c.corrupt(format!("raw block of {count} value(s) has {len} byte(s)"));
+            }
+            let mut out = Vec::with_capacity(count);
+            for i in 0..count {
+                let b: [u8; 8] = payload[i * 8..i * 8 + 8].try_into().expect("8 bytes");
+                out.push(u64::from_le_bytes(b));
+            }
+            c.pos = len;
+            out
+        }
+        TAG_DELTA => {
+            if count > len {
+                return c.corrupt(format!("delta block of {count} value(s) has {len} byte(s)"));
+            }
+            let mut out = Vec::with_capacity(count);
+            let mut prev = 0u64;
+            for _ in 0..count {
+                let d = unzigzag(c.varint()?);
+                prev = prev.wrapping_add(d as u64);
+                out.push(prev);
+            }
+            out
+        }
+        TAG_RLE => {
+            let mut out = Vec::with_capacity(count.min(len));
+            while out.len() < count {
+                let run_at = c.pos;
+                let run = c.varint()?;
+                let value = c.varint()?;
+                if run == 0 {
+                    c.pos = run_at;
+                    return c.corrupt("zero-length run");
+                }
+                if run > (count - out.len()) as u64 {
+                    c.pos = run_at;
+                    return c.corrupt(format!(
+                        "run of {run} overflows the block ({} value(s) left)",
+                        count - out.len()
+                    ));
+                }
+                out.resize(out.len() + run as usize, value);
+            }
+            out
+        }
+        other => {
+            return Err(StoreError::Corrupt {
+                at: block_at,
+                what: format!("unknown block tag {other}"),
+            })
+        }
+    };
+    if c.remaining() > 0 {
+        return c.corrupt(format!(
+            "{} trailing byte(s) in block payload",
+            c.remaining()
+        ));
+    }
+    Ok(values)
+}
+
+/// Decodes a block produced by [`encode_block`], requiring the whole
+/// slice to be consumed and the value count to equal `expected`. Total:
+/// any malformed input is a typed, offset-carrying [`StoreError`].
+pub fn decode_block(bytes: &[u8], expected: usize) -> Result<Vec<u64>, StoreError> {
+    let mut r = Reader::new(bytes);
+    let values = read_block(&mut r, expected)?;
+    if r.remaining() > 0 {
+        return r.corrupt(format!("{} trailing byte(s) after block", r.remaining()));
+    }
+    Ok(values)
+}
+
+// ---------------------------------------------------------------------
+// Columnar p-documents
+// ---------------------------------------------------------------------
+
+fn dfs_order(p: &PDocument) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(p.len());
+    let mut stack = vec![p.root()];
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        stack.extend(p.children(n).iter().rev().copied());
+    }
+    out
+}
+
+/// Emits `p` as five per-node columns (ids, parents, probability bits,
+/// kinds, labels) followed by the rare explicit distributions.
+pub(crate) fn write_pdocument_columnar(w: &mut Writer, p: &PDocument, t: &mut SymTable) {
+    w.put_u32(p.root().0);
+    w.put_u32(p.next_fresh_id().0);
+    w.put_u32(p.len() as u32);
+    let order = dfs_order(p);
+    let n = order.len();
+    let mut ids = Vec::with_capacity(n);
+    let mut parents = Vec::with_capacity(n);
+    let mut probs = Vec::with_capacity(n);
+    let mut kinds = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    let mut exps: Vec<(u32, &[(u64, f64)])> = Vec::new();
+    for (i, &node) in order.iter().enumerate() {
+        ids.push(node.0 as u64);
+        match p.parent(node) {
+            None => {
+                parents.push(NO_PARENT as u64);
+                // Canonical filler keeping the probability column aligned.
+                probs.push(1.0f64.to_bits());
+            }
+            Some(parent) => {
+                parents.push(parent.0 as u64);
+                let prob = match p.kind(parent) {
+                    PKind::Mux | PKind::Ind => p.child_prob(parent, node),
+                    _ => 1.0,
+                };
+                probs.push(prob.to_bits());
+            }
+        }
+        match p.kind(node) {
+            PKind::Ordinary(l) => {
+                kinds.push(KIND_ORDINARY as u64);
+                labels.push(t.id(*l) as u64);
+            }
+            PKind::Mux => {
+                kinds.push(KIND_MUX as u64);
+                labels.push(0);
+            }
+            PKind::Ind => {
+                kinds.push(KIND_IND as u64);
+                labels.push(0);
+            }
+            PKind::Det => {
+                kinds.push(KIND_DET as u64);
+                labels.push(0);
+            }
+            PKind::Exp(dist) => {
+                kinds.push(KIND_EXP as u64);
+                labels.push(0);
+                exps.push((i as u32, dist));
+            }
+        }
+    }
+    write_block(w, &ids);
+    write_block(w, &parents);
+    write_block(w, &probs);
+    write_block(w, &kinds);
+    write_block(w, &labels);
+    w.put_u32(exps.len() as u32);
+    for (pos, dist) in exps {
+        w.put_u32(pos);
+        w.put_u32(dist.len() as u32);
+        for &(mask, prob) in dist {
+            w.put_u64(mask);
+            w.put_f64_bits(prob);
+        }
+    }
+}
+
+fn fits_u32(r: &Reader<'_>, v: u64, what: &str) -> Result<u32, StoreError> {
+    u32::try_from(v).map_err(|_| StoreError::Corrupt {
+        at: r.pos(),
+        what: format!("{what} {v} does not fit in 32 bits"),
+    })
+}
+
+/// Decodes a p-document written by [`write_pdocument_columnar`],
+/// re-running every structural check the row decoder performs (declared
+/// root, duplicate ids, unseen or self parents, non-ordinary root).
+pub(crate) fn read_pdocument_columnar(
+    r: &mut Reader<'_>,
+    syms: &[pxv_pxml::Symbol],
+) -> Result<PDocument, StoreError> {
+    let root = r.u32()?;
+    let next_id = r.u32()?;
+    let n_at = r.pos();
+    let n = r.u32()? as usize;
+    if n == 0 {
+        return Err(StoreError::Corrupt {
+            at: n_at,
+            what: "p-document with zero nodes".into(),
+        });
+    }
+    if n > MAX_BLOCK_COUNT {
+        return Err(StoreError::Corrupt {
+            at: n_at,
+            what: format!("implausible node count {n}"),
+        });
+    }
+    let ids = read_block(r, n)?;
+    let parents = read_block(r, n)?;
+    let probs = read_block(r, n)?;
+    let kinds = read_block(r, n)?;
+    let labels = read_block(r, n)?;
+    let n_exp = r.count(8)?;
+    let mut dists: HashMap<usize, Vec<(u64, f64)>> = HashMap::with_capacity(n_exp);
+    for _ in 0..n_exp {
+        let pos_at = r.pos();
+        let pos = r.u32()? as usize;
+        if pos >= n || kinds[pos] != KIND_EXP as u64 {
+            return Err(StoreError::Corrupt {
+                at: pos_at,
+                what: format!("explicit distribution for non-exp node index {pos}"),
+            });
+        }
+        if dists.contains_key(&pos) {
+            return Err(StoreError::Corrupt {
+                at: pos_at,
+                what: format!("duplicate explicit distribution for node index {pos}"),
+            });
+        }
+        let len = r.count(16)?;
+        let mut dist = Vec::with_capacity(len);
+        for _ in 0..len {
+            let mask = r.u64()?;
+            let p = r.f64_bits()?;
+            dist.push((mask, p));
+        }
+        dists.insert(pos, dist);
+    }
+    let mut pdoc: Option<PDocument> = None;
+    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::with_capacity(n);
+    for i in 0..n {
+        let id = fits_u32(r, ids[i], "node id")?;
+        let parent = fits_u32(r, parents[i], "parent id")?;
+        let prob = f64::from_bits(probs[i]);
+        let kind = match kinds[i] as u8 {
+            KIND_ORDINARY if kinds[i] <= u8::MAX as u64 => {
+                let label_idx = fits_u32(r, labels[i], "label index")?;
+                let label =
+                    syms.get(label_idx as usize)
+                        .copied()
+                        .ok_or_else(|| StoreError::Corrupt {
+                            at: r.pos(),
+                            what: format!(
+                                "symbol index {label_idx} out of range (table has {})",
+                                syms.len()
+                            ),
+                        })?;
+                PKind::Ordinary(label)
+            }
+            KIND_MUX if kinds[i] <= u8::MAX as u64 => PKind::Mux,
+            KIND_IND if kinds[i] <= u8::MAX as u64 => PKind::Ind,
+            KIND_DET if kinds[i] <= u8::MAX as u64 => PKind::Det,
+            KIND_EXP if kinds[i] <= u8::MAX as u64 => {
+                let dist = dists.remove(&i).ok_or_else(|| StoreError::Corrupt {
+                    at: r.pos(),
+                    what: format!("exp node index {i} has no explicit distribution"),
+                })?;
+                PKind::Exp(dist)
+            }
+            _ => {
+                return Err(StoreError::Corrupt {
+                    at: r.pos(),
+                    what: format!("bad p-node kind value {}", kinds[i]),
+                })
+            }
+        };
+        if seen.contains(&id) {
+            return Err(StoreError::Corrupt {
+                at: r.pos(),
+                what: format!("duplicate node id {id}"),
+            });
+        }
+        match (&mut pdoc, parent) {
+            (None, NO_PARENT) if id == root => match kind {
+                PKind::Ordinary(l) => pdoc = Some(PDocument::with_root_id(l, NodeId(id))),
+                _ => {
+                    return Err(StoreError::Corrupt {
+                        at: r.pos(),
+                        what: "p-document root is not ordinary".into(),
+                    })
+                }
+            },
+            (None, _) => {
+                return Err(StoreError::Corrupt {
+                    at: r.pos(),
+                    what: "first node is not the declared root".into(),
+                })
+            }
+            (Some(_), NO_PARENT) => {
+                return Err(StoreError::Corrupt {
+                    at: r.pos(),
+                    what: "p-document has two roots".into(),
+                })
+            }
+            (Some(pdoc), p) => {
+                // A self-parent (p == id) fails here because `id` joins
+                // `seen` only after this check.
+                if !seen.contains(&p) {
+                    return Err(StoreError::Corrupt {
+                        at: r.pos(),
+                        what: format!("node {id} references unseen parent {p}"),
+                    });
+                }
+                match kind {
+                    PKind::Ordinary(l) => {
+                        pdoc.add_ordinary_with_id(NodeId(p), l, prob, NodeId(id));
+                    }
+                    k => pdoc.add_dist_with_id(NodeId(p), k, prob, NodeId(id)),
+                }
+            }
+        }
+        seen.insert(id);
+    }
+    if !dists.is_empty() {
+        return Err(StoreError::Corrupt {
+            at: r.pos(),
+            what: format!("{} orphaned explicit distribution(s)", dists.len()),
+        });
+    }
+    let mut pdoc = pdoc.expect("n >= 1 so the root was built");
+    pdoc.reserve_ids_below(next_id);
+    Ok(pdoc)
+}
+
+// ---------------------------------------------------------------------
+// Columnar extension bodies
+// ---------------------------------------------------------------------
+
+/// Emits an extension body as columns: its p-document, then the result
+/// triples (ext roots, originals, probability bits) and the sorted
+/// `extension node → original node` map, one block per column.
+pub(crate) fn write_extension_body_columnar(w: &mut Writer, ext: &ProbExtension, t: &mut SymTable) {
+    write_pdocument_columnar(w, &ext.pdoc, t);
+    let n = ext.results.len();
+    w.put_u32(n as u32);
+    let mut ext_roots = Vec::with_capacity(n);
+    let mut origs = Vec::with_capacity(n);
+    let mut probs = Vec::with_capacity(n);
+    for res in &ext.results {
+        ext_roots.push(res.ext_root.0 as u64);
+        origs.push(res.orig.0 as u64);
+        probs.push(res.prob.to_bits());
+    }
+    write_block(w, &ext_roots);
+    write_block(w, &origs);
+    write_block(w, &probs);
+    let mut orig: Vec<(NodeId, NodeId)> = ext.orig_entries().collect();
+    orig.sort_unstable();
+    w.put_u32(orig.len() as u32);
+    let ext_nodes: Vec<u64> = orig.iter().map(|(e, _)| e.0 as u64).collect();
+    let orig_nodes: Vec<u64> = orig.iter().map(|(_, o)| o.0 as u64).collect();
+    write_block(w, &ext_nodes);
+    write_block(w, &orig_nodes);
+}
+
+/// Decodes an extension body written by
+/// [`write_extension_body_columnar`], rebuilding the extension through
+/// [`ProbExtension::from_columns`] (which re-validates node references).
+pub(crate) fn read_extension_body_columnar(
+    r: &mut Reader<'_>,
+    syms: &[pxv_pxml::Symbol],
+    view: View,
+) -> Result<ProbExtension, StoreError> {
+    let pdoc = read_pdocument_columnar(r, syms)?;
+    let n_at = r.pos();
+    let n = r.u32()? as usize;
+    if n > MAX_BLOCK_COUNT {
+        return Err(StoreError::Corrupt {
+            at: n_at,
+            what: format!("implausible result count {n}"),
+        });
+    }
+    let ext_root_col = read_block(r, n)?;
+    let orig_col = read_block(r, n)?;
+    let prob_col = read_block(r, n)?;
+    let mut ext_roots = Vec::with_capacity(n);
+    let mut origs = Vec::with_capacity(n);
+    let mut probs = Vec::with_capacity(n);
+    for i in 0..n {
+        ext_roots.push(NodeId(fits_u32(r, ext_root_col[i], "result root id")?));
+        origs.push(NodeId(fits_u32(r, orig_col[i], "result original id")?));
+        probs.push(f64::from_bits(prob_col[i]));
+    }
+    let m_at = r.pos();
+    let m = r.u32()? as usize;
+    if m > MAX_BLOCK_COUNT {
+        return Err(StoreError::Corrupt {
+            at: m_at,
+            what: format!("implausible origin-map count {m}"),
+        });
+    }
+    let ext_node_col = read_block(r, m)?;
+    let orig_node_col = read_block(r, m)?;
+    let at = r.pos();
+    let mut orig_of = HashMap::with_capacity(m);
+    for i in 0..m {
+        orig_of.insert(
+            NodeId(fits_u32(r, ext_node_col[i], "origin-map key")?),
+            NodeId(fits_u32(r, orig_node_col[i], "origin-map value")?),
+        );
+    }
+    ProbExtension::from_columns(view, pdoc, &ext_roots, &origs, &probs, orig_of)
+        .map_err(|what| StoreError::Corrupt { at, what })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[u64]) {
+        let enc = encode_block(values);
+        let back = decode_block(&enc, values.len()).expect("round trip");
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn empty_single_and_runs_round_trip() {
+        round_trip(&[]);
+        round_trip(&[0]);
+        round_trip(&[u64::MAX]);
+        round_trip(&[7; 100]);
+        round_trip(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        round_trip(&[u64::MAX, 0, u64::MAX, 0]);
+    }
+
+    #[test]
+    fn monotone_ids_pick_a_compact_encoding() {
+        let ids: Vec<u64> = (0..1000u64).collect();
+        let enc = encode_block(&ids);
+        assert!(
+            enc.len() < ids.len() * 8,
+            "{} bytes for 1000 ids",
+            enc.len()
+        );
+    }
+
+    #[test]
+    fn runs_beat_raw() {
+        let probs = vec![1.0f64.to_bits(); 512];
+        let enc = encode_block(&probs);
+        assert!(enc.len() <= probs.len() * 8);
+        assert!(enc.len() < 64, "{} bytes for a 512-long run", enc.len());
+    }
+
+    #[test]
+    fn count_mismatch_is_typed() {
+        let enc = encode_block(&[1, 2, 3]);
+        let err = decode_block(&enc, 4).unwrap_err();
+        assert_eq!(err.kind(), "corrupt");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut enc = encode_block(&[1, 2, 3]);
+        enc.push(0);
+        let err = decode_block(&enc, 3).unwrap_err();
+        assert_eq!(err.kind(), "corrupt");
+    }
+}

@@ -38,12 +38,14 @@
 #![deny(missing_docs)]
 
 pub mod codec;
+pub mod columnar;
 mod error;
 pub mod snapshot;
 
 pub use error::StoreError;
 pub use snapshot::{
-    decode_snapshot, encode_snapshot, ExtensionEntry, Snapshot, MAGIC, MIN_VERSION, VERSION,
+    decode_snapshot, decode_snapshot_lazy, encode_snapshot, encode_snapshot_v2, ExtSectionRef,
+    ExtensionEntry, LazyBody, LazySection, LazySnapshot, Snapshot, MAGIC, MIN_VERSION, VERSION,
 };
 
 use std::fs;
@@ -109,6 +111,18 @@ pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
     decode_snapshot(&bytes)
 }
 
+/// Reads a snapshot file **lazily**: the section index, documents,
+/// views and metadata are decoded and verified, while v3 extension
+/// bodies stay encoded until first probe (see
+/// [`snapshot::decode_snapshot_lazy`]).
+pub fn read_snapshot_lazy(path: impl AsRef<Path>) -> Result<LazySnapshot, StoreError> {
+    let mut span = pxv_obs::Span::enter("snapshot_read_lazy");
+    let path = path.as_ref();
+    let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    span.record("bytes", bytes.len() as u64);
+    decode_snapshot_lazy(bytes)
+}
+
 /// A snapshot directory: the durable home of one engine's state
 /// (`<dir>/engine.pxv`), plus bookkeeping for the staleness contract.
 ///
@@ -166,6 +180,14 @@ impl Store {
     /// Loads the snapshot, recording its epoch for [`Store::is_stale`].
     pub fn load(&self) -> Result<Snapshot, StoreError> {
         let snapshot = read_snapshot(self.snapshot_path())?;
+        *self.last_epoch.lock().expect("store epoch poisoned") = Some(snapshot.epoch);
+        Ok(snapshot)
+    }
+
+    /// Loads the snapshot lazily (extension bodies decode on first
+    /// probe), recording its epoch for [`Store::is_stale`].
+    pub fn load_lazy(&self) -> Result<LazySnapshot, StoreError> {
+        let snapshot = read_snapshot_lazy(self.snapshot_path())?;
         *self.last_epoch.lock().expect("store epoch poisoned") = Some(snapshot.epoch);
         Ok(snapshot)
     }

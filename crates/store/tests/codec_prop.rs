@@ -1,0 +1,203 @@
+//! Property tests for the v3 block codec in isolation: every adversarial
+//! integer sequence must survive `encode_block` → `decode_block`
+//! unchanged, the encoder must never lose to the raw layout by more than
+//! the fixed header, and no torn byte may decode to anything but a typed
+//! error. The sequences cover the codec's decision boundaries — empty,
+//! single, maximum-delta alternation (zigzag wrap-around), monotone runs
+//! (the DELTA sweet spot), constant runs (the RLE sweet spot) and raw
+//! f64 bit patterns including NaN payloads (which must pass through as
+//! opaque bits, never canonicalized).
+
+use pxv_store::columnar::{decode_block, encode_block};
+use pxv_store::StoreError;
+
+/// Deterministic xorshift64* so failures reproduce without a rand dep.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// The size of the RAW layout for `n` values: tag + count + len +
+/// payload + checksum.
+fn raw_block_len(n: usize) -> usize {
+    1 + 4 + 4 + 8 * n + 8
+}
+
+fn round_trip(values: &[u64]) {
+    let encoded = encode_block(values);
+    let back = decode_block(&encoded, values.len())
+        .unwrap_or_else(|e| panic!("round trip of {} values failed: {e}", values.len()));
+    assert_eq!(back, values, "decode must invert encode");
+    assert!(
+        encoded.len() <= raw_block_len(values.len()),
+        "the encoder tries RAW too, so it can never exceed it: {} > {}",
+        encoded.len(),
+        raw_block_len(values.len())
+    );
+}
+
+#[test]
+fn adversarial_sequences_round_trip() {
+    let nan_payload = f64::from_bits(0x7ff8_dead_beef_cafe);
+    assert!(nan_payload.is_nan());
+    let cases: Vec<Vec<u64>> = vec![
+        vec![],
+        vec![0],
+        vec![u64::MAX],
+        vec![u64::MAX, 0, u64::MAX, 0, u64::MAX], // max zigzag deltas
+        vec![0, u64::MAX],                        // single max delta
+        vec![1 << 63, (1 << 63) - 1],             // sign-boundary delta
+        (0..1000).collect(),                      // monotone, delta 1
+        (0..1000).map(|i| i * 40).collect(),      // monotone, delta 40
+        (0..1000).rev().collect(),                // descending
+        vec![7; 1000],                            // one long run
+        vec![0, 0, 1, 1, 1, 2, 2, 0, 0, 0],       // short mixed runs
+        vec![f64::NAN.to_bits(); 17],             // canonical NaN bits
+        vec![
+            nan_payload.to_bits(),
+            (-0.0f64).to_bits(),
+            f64::INFINITY.to_bits(),
+        ],
+        vec![1.0f64.to_bits(), 0.5f64.to_bits(), 0.25f64.to_bits()],
+    ];
+    for values in &cases {
+        round_trip(values);
+    }
+}
+
+#[test]
+fn random_sequences_round_trip() {
+    let mut rng = Rng(0x9e37_79b9_7f4a_7c15);
+    for len in [1usize, 2, 3, 17, 64, 255, 1024] {
+        // Uniform random u64s (RAW territory).
+        let uniform: Vec<u64> = (0..len).map(|_| rng.next()).collect();
+        round_trip(&uniform);
+        // Random probabilities as raw IEEE-754 bits — the EXTENSIONS
+        // probability column's actual distribution.
+        let probs: Vec<u64> = (0..len)
+            .map(|_| ((rng.next() >> 11) as f64 / (1u64 << 53) as f64).to_bits())
+            .collect();
+        round_trip(&probs);
+        // Noisy-monotone ids: ascending with random small gaps, the id
+        // columns' actual distribution.
+        let mut cur = 0u64;
+        let ids: Vec<u64> = (0..len)
+            .map(|_| {
+                cur += rng.next() % 16;
+                cur
+            })
+            .collect();
+        round_trip(&ids);
+        // Runs of random values with random short lengths.
+        let mut runs = Vec::new();
+        while runs.len() < len {
+            let v = rng.next() % 5;
+            for _ in 0..=(rng.next() % 9) {
+                runs.push(v);
+            }
+        }
+        runs.truncate(len);
+        round_trip(&runs);
+    }
+}
+
+#[test]
+fn rle_eligible_pool_compresses() {
+    // A constant column (the probability column of a deterministic
+    // extension, say) must encode into a handful of bytes, not 8n.
+    for len in [16usize, 256, 4096] {
+        let values = vec![0x3ff0_0000_0000_0000u64; len]; // 1.0f64 bits
+        let encoded = encode_block(&values);
+        // One run = one (length, value) varint pair: the whole block is
+        // header + checksum + ~12 payload bytes regardless of `len`.
+        assert!(
+            encoded.len() <= 48,
+            "a {len}-value run must encode in O(1) bytes: {} vs raw {}",
+            encoded.len(),
+            raw_block_len(len)
+        );
+        round_trip(&values);
+    }
+    // Dense monotone ids (delta 1) are the varint-delta pool: one byte
+    // per value plus header, against eight raw.
+    let ids: Vec<u64> = (0..4096).collect();
+    let encoded = encode_block(&ids);
+    assert!(
+        encoded.len() <= raw_block_len(ids.len()) / 4,
+        "dense monotone ids must delta-compress: {} vs {}",
+        encoded.len(),
+        raw_block_len(ids.len())
+    );
+}
+
+#[test]
+fn every_single_byte_flip_is_a_typed_error() {
+    // The per-block checksum covers the header and the payload, so any
+    // one-byte corruption — including inside the compressed payload and
+    // inside the checksum itself — must surface as a typed StoreError,
+    // never a panic and never silently different values.
+    let mut rng = Rng(42);
+    let mut cur = 0u64;
+    let ids: Vec<u64> = (0..200)
+        .map(|_| {
+            cur += rng.next() % 8;
+            cur
+        })
+        .collect();
+    for values in [&ids[..], &[7; 100][..], &[0, u64::MAX, 3, 9][..]] {
+        let encoded = encode_block(values);
+        for at in 0..encoded.len() {
+            for bit in 0..8 {
+                let mut bad = encoded.clone();
+                bad[at] ^= 1 << bit;
+                match decode_block(&bad, values.len()) {
+                    Err(
+                        StoreError::ChecksumMismatch { .. }
+                        | StoreError::Corrupt { .. }
+                        | StoreError::Truncated { .. },
+                    ) => {}
+                    Err(other) => panic!("flip at {at} bit {bit}: unexpected error kind {other}"),
+                    Ok(decoded) => panic!(
+                        "flip at {at} bit {bit} decoded silently ({} values)",
+                        decoded.len()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_truncation_prefix_is_a_typed_error() {
+    let values: Vec<u64> = (0..300).map(|i| i * 3).collect();
+    let encoded = encode_block(&values);
+    for cut in 0..encoded.len() {
+        match decode_block(&encoded[..cut], values.len()) {
+            Err(
+                StoreError::Truncated { .. }
+                | StoreError::ChecksumMismatch { .. }
+                | StoreError::Corrupt { .. },
+            ) => {}
+            Err(other) => panic!("prefix {cut}: unexpected error kind {other}"),
+            Ok(_) => panic!("prefix {cut} of {} decoded silently", encoded.len()),
+        }
+    }
+}
+
+#[test]
+fn wrong_expected_count_is_rejected() {
+    let values: Vec<u64> = (0..50).collect();
+    let encoded = encode_block(&values);
+    for expected in [0usize, 1, 49, 51, 1000] {
+        assert!(
+            decode_block(&encoded, expected).is_err(),
+            "count {expected} must not decode a 50-value block"
+        );
+    }
+}

@@ -8,7 +8,10 @@
 use pxv_pxml::text::parse_pdocument;
 use pxv_rewrite::view::ProbExtension;
 use pxv_rewrite::View;
-use pxv_store::{decode_snapshot, encode_snapshot, ExtensionEntry, Snapshot, StoreError, MAGIC};
+use pxv_store::{
+    decode_snapshot, decode_snapshot_lazy, encode_snapshot, ExtensionEntry, LazyBody, Snapshot,
+    StoreError, MAGIC,
+};
 use pxv_tpq::parse::parse_pattern;
 
 fn sample_bytes() -> Vec<u8> {
@@ -213,6 +216,178 @@ fn standalone_codec_byte_flips_never_panic() {
                 let _ = decode(&damaged);
             }));
             assert!(outcome.is_ok(), "{what}: flip at byte {i} panicked");
+        }
+    }
+}
+
+/// A v3 snapshot with two extension sections (two views over one
+/// document), so one section can be corrupted while the other serves.
+fn columnar_sample() -> (Vec<u8>, Snapshot) {
+    let pdoc = parse_pdocument(
+        "a[mux(0.4: b[c, c, c], 0.6: b[c]), ind(0.5: b[d], 0.9: 'two  spaces'), b[c, d]]",
+    )
+    .unwrap();
+    let v1 = View::new("bs", parse_pattern("a/b").unwrap());
+    let v2 = View::new("cs", parse_pattern("a/b/c").unwrap());
+    let e1 = ProbExtension::materialize(&pdoc, &v1);
+    let e2 = ProbExtension::materialize(&pdoc, &v2);
+    let snap = Snapshot {
+        documents: vec![("hr".into(), pdoc)],
+        views: vec![v1, v2],
+        extensions: vec![
+            ExtensionEntry {
+                doc: 0,
+                view: 0,
+                extension: e1,
+                hits: 3,
+                rebuild_nanos: 123,
+            },
+            ExtensionEntry {
+                doc: 0,
+                view: 1,
+                extension: e2,
+                hits: 1,
+                rebuild_nanos: 456,
+            },
+        ],
+        epoch: 7,
+        budget: u64::MAX,
+    };
+    (encode_snapshot(&snap), snap)
+}
+
+/// Walks the 5-section container: `(kind, header_at, payload_at, len)`
+/// per section. Tests hand-parse the layout on purpose — a layout change
+/// must break them loudly.
+fn section_bounds(bytes: &[u8]) -> Vec<(u32, usize, usize, usize)> {
+    let mut at = MAGIC.len() + 4 + 4;
+    let mut out = Vec::new();
+    for _ in 0..5 {
+        let kind = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+        out.push((kind, at, at + 20, len));
+        at += 20 + len;
+    }
+    out
+}
+
+/// The tentpole contract, eager half: every truncation prefix and every
+/// single-byte flip of a v3 columnar file — including bytes inside
+/// compressed blocks — is a typed, offset-sane `StoreError` from the
+/// eager decoder. Never a panic, never a silently different snapshot.
+#[test]
+fn v3_columnar_flip_and_truncation_sweep_is_total() {
+    let (bytes, _) = columnar_sample();
+    assert!(decode_snapshot(&bytes).is_ok(), "baseline must decode");
+    for len in 0..bytes.len() {
+        match decode_snapshot(&bytes[..len]) {
+            Err(StoreError::Truncated { at, .. }) | Err(StoreError::Corrupt { at, .. }) => {
+                assert!(at <= len, "offset {at} beyond prefix {len}")
+            }
+            Err(_) => {}
+            Ok(_) => panic!("prefix of {len}/{} bytes decoded", bytes.len()),
+        }
+    }
+    for i in 0..bytes.len() {
+        let mut damaged = bytes.clone();
+        damaged[i] ^= 0xFF;
+        match decode_snapshot(&damaged) {
+            Err(StoreError::Truncated { at, .. }) | Err(StoreError::Corrupt { at, .. }) => {
+                assert!(at <= bytes.len(), "flip at {i}: offset {at} beyond file")
+            }
+            Err(_) => {}
+            Ok(_) => panic!("flip at byte {i}/{} decoded", bytes.len()),
+        }
+    }
+}
+
+/// The tentpole contract, lazy half: a flip anywhere in a v3 file is
+/// caught *somewhere* on the lazy path — at boot (directory and
+/// non-extension sections are verified then) or as a typed error when
+/// the damaged section is faulted. The single exception is the stored
+/// whole-payload checksum of the EXTENSIONS section, which the lazy boot
+/// deliberately skips (the directory and per-body checksums cover the
+/// same bytes); a flip there changes no decoded state.
+#[test]
+fn v3_lazy_flip_sweep_is_caught_at_boot_or_fault() {
+    let (bytes, _) = columnar_sample();
+    let sections = section_bounds(&bytes);
+    let (_, ext_header_at, _, _) = sections
+        .iter()
+        .copied()
+        .find(|&(kind, ..)| kind == 4)
+        .expect("extensions section");
+    // kind u32 + len u64, then the recorded whole-payload checksum u64.
+    let skipped_checksum = ext_header_at + 12..ext_header_at + 20;
+    for i in 0..bytes.len() {
+        let mut damaged = bytes.clone();
+        damaged[i] ^= 0xFF;
+        let lazy = match decode_snapshot_lazy(damaged) {
+            Err(_) => continue, // caught at boot: typed, fine
+            Ok(lazy) => lazy,
+        };
+        let mut any_fault_err = false;
+        for s in &lazy.sections {
+            match &s.body {
+                LazyBody::Pending(r) => {
+                    if r.decode(lazy.views[s.view].clone()).is_err() {
+                        any_fault_err = true;
+                    }
+                }
+                LazyBody::Ready(_) => unreachable!("v3 sections restore pending"),
+            }
+        }
+        assert!(
+            any_fault_err || skipped_checksum.contains(&i),
+            "flip at byte {i}/{} escaped both boot and fault detection",
+            bytes.len()
+        );
+    }
+}
+
+/// The per-section fault isolation the engine builds on: a flip inside
+/// one still-encoded section body leaves the boot and every *other*
+/// section fully serviceable; only the damaged section reports (typed)
+/// when faulted.
+#[test]
+fn lazy_fault_of_corrupt_section_leaves_others_serving() {
+    let (bytes, snap) = columnar_sample();
+    let clean = decode_snapshot_lazy(bytes.clone()).expect("clean lazy boot");
+    // Locate each pending body's byte range from the clean boot.
+    let ranges: Vec<(usize, std::ops::Range<usize>)> = clean
+        .sections
+        .iter()
+        .map(|s| match &s.body {
+            LazyBody::Pending(r) => (s.view, r.offset()..r.offset() + r.len()),
+            LazyBody::Ready(_) => unreachable!("v3 sections restore pending"),
+        })
+        .collect();
+    assert_eq!(ranges.len(), 2);
+    for (damaged_idx, (_, range)) in ranges.iter().enumerate() {
+        // Flip every byte of this body in turn; boot must stay clean and
+        // the *other* section must decode to exactly the saved results.
+        for at in range.clone() {
+            let mut damaged = bytes.clone();
+            damaged[at] ^= 0xFF;
+            let lazy = decode_snapshot_lazy(damaged)
+                .expect("a flip inside an undecoded body must not fail the boot");
+            for (idx, s) in lazy.sections.iter().enumerate() {
+                let LazyBody::Pending(r) = &s.body else {
+                    unreachable!("v3 sections restore pending")
+                };
+                let decoded = r.decode(lazy.views[s.view].clone());
+                if idx == damaged_idx {
+                    let err = decoded.expect_err("damaged section must fault typed");
+                    let _ = err.kind(); // typed; no panic, no wrong answer
+                } else {
+                    let ext = decoded.expect("undamaged section keeps serving");
+                    assert_eq!(
+                        ext.results.len(),
+                        snap.extensions[idx].extension.results.len(),
+                        "undamaged section must decode to the saved results"
+                    );
+                }
+            }
         }
     }
 }

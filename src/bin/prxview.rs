@@ -456,13 +456,17 @@ fn run() -> Result<ExitCode, String> {
                 .map_err(|e| e.to_string())?;
             let mut engine = match &store {
                 Some(store) if store.has_snapshot() => {
-                    let snapshot = store.load().map_err(|e| e.to_string())?;
+                    // Lazy boot: only the section directory is decoded
+                    // here, so the server starts answering while
+                    // extension sections are still encoded — each faults
+                    // in on its first probe.
+                    let snapshot = store.load_lazy().map_err(|e| e.to_string())?;
                     eprintln!(
                         "restored {} from {}",
                         snapshot.describe(),
                         store.snapshot_path().display()
                     );
-                    Engine::from_snapshot_with(snapshot, QueryOptions::default())
+                    Engine::from_snapshot_lazy_with(snapshot, QueryOptions::default())
                         .map_err(|e| e.to_string())?
                 }
                 _ => Engine::with_options(QueryOptions::default()),
